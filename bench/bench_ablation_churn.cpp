@@ -1,0 +1,68 @@
+// Robustness study (paper §I motivation, "frequent online/offline"):
+// sweep the per-epoch device-offline probability on the Iris benchmark
+// over 6 QPUs and compare all four strategies' converged loss, plus a
+// gradient-pruning sweep (after Wang et al., QOC) showing how much of
+// the gradient a node can skip before accuracy degrades.
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace arbiterq;
+
+  const data::BenchmarkCase bc{"iris", 2, 2};
+  const data::EncodedSplit split = data::prepare_case(bc);
+  const qnn::QnnModel model(qnn::Backbone::kCRz, bc.num_qubits,
+                            bc.num_layers);
+
+  std::printf("Robustness: per-epoch device offline probability "
+              "(6 QPUs, Iris, 40 epochs)\n");
+  std::printf("%-10s %12s %12s %12s %12s\n", "p(offline)", "single-node",
+              "all-sharing", "EQC", "ArbiterQ");
+  for (double p : {0.0, 0.1, 0.3, 0.5}) {
+    core::TrainConfig cfg;
+    cfg.epochs = 40;
+    cfg.offline_probability = p;
+    const core::DistributedTrainer trainer(
+        model, device::table3_fleet_subset(6, bc.num_qubits), cfg);
+    std::printf("%-10.1f", p);
+    for (core::Strategy s : bench::kAllStrategies) {
+      const auto r = trainer.train(s, split);
+      std::printf(" %12.4f", r.convergence.loss);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nTemporal calibration drift: bias drift sigma, every "
+              "5 epochs (40 epochs)\n");
+  std::printf("%-10s %12s %12s %12s %12s\n", "sigma", "single-node",
+              "all-sharing", "EQC", "ArbiterQ");
+  for (double sigma : {0.0, 0.02, 0.05, 0.1}) {
+    core::TrainConfig cfg;
+    cfg.epochs = 40;
+    cfg.drift_sigma = sigma;
+    cfg.drift_interval = 5;
+    const core::DistributedTrainer trainer(
+        model, device::table3_fleet_subset(6, bc.num_qubits), cfg);
+    std::printf("%-10.2f", sigma);
+    for (core::Strategy s : bench::kAllStrategies) {
+      const auto r = trainer.train(s, split);
+      std::printf(" %12.4f", r.convergence.loss);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nGradient pruning: fraction of gradient components "
+              "dropped per node (ArbiterQ)\n");
+  std::printf("%-10s %12s %12s\n", "pruned", "conv epoch", "loss");
+  for (double prune : {0.0, 0.25, 0.5, 0.75, 0.9}) {
+    core::TrainConfig cfg;
+    cfg.epochs = 40;
+    cfg.gradient_prune_ratio = prune;
+    const core::DistributedTrainer trainer(
+        model, device::table3_fleet_subset(6, bc.num_qubits), cfg);
+    const auto r = trainer.train(core::Strategy::kArbiterQ, split);
+    std::printf("%-10.2f %12d %12.4f\n", prune, r.convergence.epoch,
+                r.convergence.loss);
+  }
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Ablation of the torus construction (§IV-A design choices, not a paper
+// table): on the Iris benchmark over 10 QPUs,
+//  1. sweep the number of sub-tori (1 = one big pool .. 5),
+//  2. compare the DFT-period wrap against a naive partition that chunks
+//     QPUs *contiguously along the behavioral axis* — which packs
+//     similar devices together and should compensate noise worse.
+
+#include <algorithm>
+#include <numeric>
+
+#include "bench_util.hpp"
+
+#include "arbiterq/core/scheduler.hpp"
+#include "arbiterq/core/torus.hpp"
+
+namespace {
+
+using namespace arbiterq;
+
+core::TorusPartition contiguous_partition(core::TorusPartition base,
+                                          int num_tori) {
+  // Re-chunk by raw behavioral coordinate instead of wrapped phase.
+  const std::size_t n = base.behavioral_coords.size();
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return base.behavioral_coords[static_cast<std::size_t>(a)] <
+           base.behavioral_coords[static_cast<std::size_t>(b)];
+  });
+  base.tori.assign(static_cast<std::size_t>(num_tori), {});
+  std::size_t cursor = 0;
+  for (int t = 0; t < num_tori; ++t) {
+    const std::size_t remaining = static_cast<std::size_t>(num_tori - t);
+    const std::size_t chunk = (n - cursor + remaining - 1) / remaining;
+    for (std::size_t k = 0; k < chunk; ++k) {
+      base.tori[static_cast<std::size_t>(t)].push_back(order[cursor++]);
+    }
+  }
+  return base;
+}
+
+}  // namespace
+
+int main() {
+  const data::BenchmarkCase bc{"iris", 2, 2};
+  const data::EncodedSplit split = data::prepare_case(bc);
+  const qnn::QnnModel model(qnn::Backbone::kCRz, bc.num_qubits,
+                            bc.num_layers);
+
+  core::TrainConfig cfg;
+  cfg.epochs = 40;
+  const core::DistributedTrainer trainer(
+      model, device::table3_fleet(bc.num_qubits), cfg);
+  const auto arbiter = trainer.train(core::Strategy::kArbiterQ, split);
+  const auto tasks =
+      core::make_tasks(split.test_features, split.test_labels);
+
+  core::ScheduleConfig sc;
+  sc.shots_per_task = 256;
+  sc.warmup_shots = 32;
+  sc.trajectories = 16;
+
+  std::printf("Ablation: number of sub-tori (10 QPUs, Iris)\n");
+  for (int tori = 1; tori <= 5; ++tori) {
+    const auto partition = core::build_torus_partition(
+        trainer.behavioral_vectors(), arbiter.weights, tori);
+    const core::ShotOrientedScheduler scheduler(
+        trainer.executors(), arbiter.weights, partition, sc);
+    const auto r = scheduler.run(tasks);
+    std::printf("  %d tori: loss %.4f  stddev %.4f  imbalance %.2f\n",
+                tori, r.mean_loss, r.loss_stddev, r.workload_imbalance);
+  }
+
+  std::printf("\nAblation: DFT-period wrap vs contiguous behavioral "
+              "chunks (3 tori)\n");
+  const auto wrapped = core::build_torus_partition(
+      trainer.behavioral_vectors(), arbiter.weights, 3);
+  const auto naive = contiguous_partition(wrapped, 3);
+  for (const auto* p : {&wrapped, &naive}) {
+    const core::ShotOrientedScheduler scheduler(trainer.executors(),
+                                                arbiter.weights, *p, sc);
+    const auto r = scheduler.run(tasks);
+    std::printf("  %-18s loss %.4f  stddev %.4f  tori:",
+                p == &wrapped ? "DFT-period wrap" : "contiguous chunks",
+                r.mean_loss, r.loss_stddev);
+    for (const auto& t : p->tori) {
+      std::printf(" {");
+      for (std::size_t k = 0; k < t.size(); ++k) {
+        std::printf("%s%d", k ? "," : "", t[k] + 1);
+      }
+      std::printf("}");
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

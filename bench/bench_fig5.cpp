@@ -1,0 +1,62 @@
+// Regenerates Figure 5: loss-vs-epoch convergence curves of the four
+// strategies on each benchmark, over the 10-simulator Table III fleet.
+// Default runs Iris and Wine (both backbones); pass --full to add MNIST
+// and HMDB51 (the latter is the runtime-dominant row).
+//
+// Shape targets (paper): ArbiterQ's curve descends fastest and ends
+// lowest and is the most stable; all-sharing is the worst distributed
+// curve.
+
+#include <cstring>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace arbiterq;
+
+void curves(const data::BenchmarkCase& bc, qnn::Backbone backbone,
+            int epochs, std::size_t max_test, bool mitigate = false) {
+  const data::EncodedSplit split =
+      bench::limit_test(data::prepare_case(bc), max_test);
+  const qnn::QnnModel model(backbone, bc.num_qubits, bc.num_layers);
+  core::TrainConfig cfg;
+  cfg.epochs = epochs;
+  cfg.error_mitigation = mitigate;
+  const core::DistributedTrainer trainer(
+      model, device::table3_fleet(bc.num_qubits), cfg);
+
+  std::printf("%s / %s (loss every %d epochs):\n", bc.dataset.c_str(),
+              qnn::backbone_name(backbone).c_str(),
+              std::max(1, epochs / 15));
+  const auto outcomes = bench::run_all_strategies(trainer, split);
+  for (const auto& o : outcomes) {
+    bench::print_series(core::strategy_name(o.strategy).c_str(),
+                        o.result.epoch_test_loss,
+                        static_cast<std::size_t>(std::max(1, epochs / 15)));
+  }
+  bench::maybe_write_curves("fig5_" + bc.dataset + "_" +
+                                qnn::backbone_name(backbone) + ".csv",
+                            outcomes);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool full = argc > 1 && std::strcmp(argv[1], "--full") == 0;
+  std::printf("Fig. 5: convergence across benchmarks "
+              "(10-QPU Table III fleet)\n\n");
+  curves({"iris", 2, 2}, qnn::Backbone::kCRz, 60, 100);
+  curves({"iris", 2, 2}, qnn::Backbone::kCRx, 60, 100);
+  curves({"wine", 4, 2}, qnn::Backbone::kCRz, 80, 100);
+  curves({"wine", 4, 2}, qnn::Backbone::kCRx, 80, 100);
+  if (full) {
+    curves({"mnist", 6, 2}, qnn::Backbone::kCRz, 80, 100);
+    curves({"mnist", 6, 2}, qnn::Backbone::kCRx, 80, 100);
+    curves({"hmdb51", 10, 10}, qnn::Backbone::kCRz, 14, 10, true);
+  } else {
+    std::printf("(run with --full to add the MNIST and HMDB51 curves)\n");
+  }
+  return 0;
+}

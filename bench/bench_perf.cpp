@@ -1,0 +1,168 @@
+// Performance microbenchmarks (google-benchmark): the simulator and
+// compiler substrate costs that size every experiment above — state
+// vector evolution vs qubit count, exact vs trajectory execution,
+// adjoint gradient vs parameter shift, transpilation, and the
+// density-matrix reference.
+
+#include <benchmark/benchmark.h>
+
+#include "arbiterq/device/presets.hpp"
+#include "arbiterq/math/rng.hpp"
+#include "arbiterq/core/behavioral_vector.hpp"
+#include "arbiterq/qnn/executor.hpp"
+#include "arbiterq/qnn/model.hpp"
+#include "arbiterq/sim/adjoint.hpp"
+#include "arbiterq/sim/density_matrix.hpp"
+#include "arbiterq/sim/simulator.hpp"
+#include "arbiterq/transpile/optimize.hpp"
+#include "arbiterq/transpile/transpiler.hpp"
+
+namespace {
+
+using namespace arbiterq;
+
+qnn::QnnModel model_for(int qubits) {
+  return qnn::QnnModel(qnn::Backbone::kCRz, qubits, 2);
+}
+
+std::vector<double> params_for(const qnn::QnnModel& m) {
+  std::vector<double> p(static_cast<std::size_t>(m.num_params()));
+  math::Rng rng(13);
+  for (double& v : p) v = rng.uniform(-1.5, 1.5);
+  return p;
+}
+
+void BM_StatevectorForward(benchmark::State& state) {
+  const int qubits = static_cast<int>(state.range(0));
+  const qnn::QnnModel m = model_for(qubits);
+  const auto params = params_for(m);
+  sim::StatevectorSimulator sim;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.expectation_z(m.circuit(), params, 0));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_StatevectorForward)->DenseRange(2, 14, 2);
+
+void BM_CompiledNoisyForward(benchmark::State& state) {
+  const int qubits = static_cast<int>(state.range(0));
+  const qnn::QnnModel m = model_for(qubits);
+  const qnn::QnnExecutor ex(m, device::table3_fleet(qubits)[0]);
+  std::vector<double> features(static_cast<std::size_t>(qubits), 0.7);
+  std::vector<double> weights(static_cast<std::size_t>(m.num_weights()),
+                              0.3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ex.probability(features, weights));
+  }
+}
+BENCHMARK(BM_CompiledNoisyForward)->DenseRange(2, 10, 2);
+
+void BM_AdjointGradient(benchmark::State& state) {
+  const int qubits = static_cast<int>(state.range(0));
+  const qnn::QnnModel m = model_for(qubits);
+  const auto params = params_for(m);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sim::adjoint_gradient_z(m.circuit(), params, 0));
+  }
+}
+BENCHMARK(BM_AdjointGradient)->DenseRange(2, 10, 2);
+
+void BM_ParameterShiftGradient(benchmark::State& state) {
+  const int qubits = static_cast<int>(state.range(0));
+  const qnn::QnnModel m = model_for(qubits);
+  const qnn::QnnExecutor ex(m, device::table3_fleet(qubits)[0]);
+  std::vector<double> features(static_cast<std::size_t>(qubits), 0.7);
+  std::vector<double> weights(static_cast<std::size_t>(m.num_weights()),
+                              0.3);
+  const std::vector<std::vector<double>> feats = {features};
+  const std::vector<int> labels = {1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ex.loss_gradient_shift(qnn::LossKind::kMse, feats, labels,
+                               weights));
+  }
+}
+BENCHMARK(BM_ParameterShiftGradient)->DenseRange(2, 6, 2);
+
+void BM_TrajectoryShots(benchmark::State& state) {
+  const qnn::QnnModel m = model_for(4);
+  const qnn::QnnExecutor ex(m, device::table3_fleet(4)[1]);
+  std::vector<double> features(4, 0.7);
+  std::vector<double> weights(static_cast<std::size_t>(m.num_weights()),
+                              0.3);
+  math::Rng rng(7);
+  const int shots = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ex.sampled_probability(features, weights, shots, rng, 16));
+  }
+  state.SetItemsProcessed(state.iterations() * shots);
+}
+BENCHMARK(BM_TrajectoryShots)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_Transpile(benchmark::State& state) {
+  const int qubits = static_cast<int>(state.range(0));
+  const qnn::QnnModel m = model_for(qubits);
+  const auto fleet = device::table3_fleet(qubits);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(transpile::compile(m.circuit(), fleet[0]));
+  }
+}
+BENCHMARK(BM_Transpile)->DenseRange(2, 10, 2);
+
+void BM_DensityMatrixReference(benchmark::State& state) {
+  const int qubits = static_cast<int>(state.range(0));
+  const qnn::QnnModel m = model_for(qubits);
+  const auto params = params_for(m);
+  sim::NoiseModel noise(qubits);
+  for (int q = 0; q < qubits; ++q) noise.set_depolarizing_1q(q, 0.01);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sim::reference_expectation_z(m.circuit(), params, noise, 0));
+  }
+}
+BENCHMARK(BM_DensityMatrixReference)->DenseRange(2, 6, 2);
+
+void BM_BehavioralVectorize(benchmark::State& state) {
+  const int qubits = static_cast<int>(state.range(0));
+  const qnn::QnnModel m = model_for(qubits);
+  const auto fleet = device::table3_fleet(qubits);
+  const auto compiled = transpile::compile(m.circuit(), fleet[0]);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::vectorize(compiled, fleet[0], m.circuit().size()));
+  }
+}
+BENCHMARK(BM_BehavioralVectorize)->DenseRange(2, 10, 4);
+
+void BM_OptimizePass(benchmark::State& state) {
+  const int qubits = static_cast<int>(state.range(0));
+  const qnn::QnnModel m = model_for(qubits);
+  const auto compiled =
+      transpile::compile(m.circuit(), device::table3_fleet(qubits)[0]);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(transpile::optimize(compiled.executable));
+  }
+}
+BENCHMARK(BM_OptimizePass)->DenseRange(2, 10, 2);
+
+void BM_ForwardOptimizedVsRaw(benchmark::State& state) {
+  // Forward evaluation cost after the peephole pass (compare with
+  // BM_CompiledNoisyForward at the same qubit count).
+  const int qubits = static_cast<int>(state.range(0));
+  const qnn::QnnModel m = model_for(qubits);
+  const auto dev = device::table3_fleet(qubits)[0];
+  const auto compiled = transpile::compile(m.circuit(), dev);
+  const auto optimized = transpile::optimize(compiled.executable);
+  sim::StatevectorSimulator sim(dev.make_noise_model());
+  std::vector<double> params(static_cast<std::size_t>(m.num_params()), 0.4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.expectation_z(optimized, params, 0));
+  }
+}
+BENCHMARK(BM_ForwardOptimizedVsRaw)->DenseRange(2, 10, 2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

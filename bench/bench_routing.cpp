@@ -1,0 +1,92 @@
+// Routing study: SWAP counts and resulting circuit depth/error of the
+// greedy shortest-path router vs the SABRE-style lookahead router, for
+// the QNN ring entangler on every topology family in the fleet. Routing
+// quality feeds straight into the behavioral vectors' topological part
+// (and thus into grouping), so this ablation shows how compiler choices
+// shift ArbiterQ's similarity structure.
+
+#include <cstdio>
+
+#include "arbiterq/core/behavioral_vector.hpp"
+#include "arbiterq/device/presets.hpp"
+#include "arbiterq/qnn/model.hpp"
+#include "arbiterq/transpile/decompose.hpp"
+#include "arbiterq/transpile/optimize.hpp"
+#include "arbiterq/transpile/routing.hpp"
+#include "arbiterq/transpile/transpiler.hpp"
+
+int main() {
+  using namespace arbiterq;
+
+  const qnn::QnnModel model(qnn::Backbone::kCRz, 6, 2);
+  std::printf("Routing the %d-qubit ring-entangler model "
+              "(%zu logical gates)\n",
+              model.num_qubits(), model.circuit().size());
+  std::printf("%-12s %-10s | %6s %6s %7s | %10s\n", "device", "router",
+              "swaps", "gates", "depth", "sum(topo)");
+
+  for (const device::Qpu& dev : device::table3_fleet(6)) {
+    for (const auto& [name, strategy] :
+         {std::pair{"greedy",
+                    transpile::RoutingOptions::Strategy::kGreedyPath},
+          std::pair{"lookahead",
+                    transpile::RoutingOptions::Strategy::kLookahead}}) {
+      transpile::RoutingOptions opts;
+      opts.strategy = strategy;
+      const auto routed =
+          transpile::route(model.circuit(), dev.topology(), opts);
+      const auto executable =
+          transpile::decompose_to_basis(routed.circuit, dev.basis());
+
+      transpile::CompiledCircuit compiled;
+      compiled.routed = routed.circuit;
+      compiled.executable = executable;
+      compiled.initial_layout = routed.initial_layout;
+      compiled.final_layout = routed.final_layout;
+      const auto bv =
+          core::vectorize(compiled, dev, model.circuit().size());
+      double topo_sum = 0.0;
+      for (double v : bv.topological) topo_sum += v;
+
+      std::printf("%-12s %-10s | %6zu %6zu %7zu | %10.4f\n",
+                  dev.name().c_str(), name,
+                  routed.circuit.routing_swap_count(), executable.size(),
+                  executable.depth(), topo_sum);
+    }
+  }
+
+  std::printf("\nNoise-aware layout vs identity placement "
+              "(behavioral error mass sum(ctx)+sum(topo)):\n");
+  for (const device::Qpu& dev : device::table3_fleet(6)) {
+    double mass[2];
+    for (int use_layout = 0; use_layout < 2; ++use_layout) {
+      transpile::CompileOptions options;
+      options.select_layout = use_layout == 1;
+      const auto cc = transpile::compile(model.circuit(), dev, options);
+      const auto bv = core::vectorize(cc, dev, model.circuit().size());
+      double m = 0.0;
+      for (double v : bv.contextual) m += v;
+      for (double v : bv.topological) m += v;
+      mass[use_layout] = m;
+    }
+    std::printf("  %-12s identity %.4f -> selected %.4f (%+.1f%%)\n",
+                dev.name().c_str(), mass[0], mass[1],
+                100.0 * (mass[1] - mass[0]) / mass[0]);
+  }
+
+  std::printf("\nPeephole optimizer effect on the executable stream:\n");
+  for (int qubits : {4, 6, 10}) {
+    const qnn::QnnModel m(qnn::Backbone::kCRz, qubits,
+                          qubits >= 10 ? 10 : 2);
+    const auto dev = device::table3_fleet(qubits)[0];
+    const auto compiled = transpile::compile(m.circuit(), dev);
+    transpile::OptimizeStats stats;
+    const auto optimized = transpile::optimize(compiled.executable, &stats);
+    std::printf("  %2d qubits: %5zu -> %5zu gates "
+                "(merged %zu, cancelled %zu pairs, dropped %zu)\n",
+                qubits, compiled.executable.size(), optimized.size(),
+                stats.rotations_merged, stats.pairs_cancelled,
+                stats.identities_dropped);
+  }
+  return 0;
+}

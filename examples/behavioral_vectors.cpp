@@ -1,0 +1,57 @@
+// Behavioral vectorization tour (paper §III-A): compile one QNN model on
+// every Table III device, print the contextual/topological vectors, the
+// Eq. 1 distance matrix and the similarity groups that similarity-aware
+// gradient sharing would use.
+
+#include <cstdio>
+
+#include "arbiterq/core/similarity.hpp"
+#include "arbiterq/device/presets.hpp"
+#include "arbiterq/qnn/executor.hpp"
+#include "arbiterq/qnn/model.hpp"
+
+int main() {
+  using namespace arbiterq;
+
+  const qnn::QnnModel model(qnn::Backbone::kCRz, 4, 2);
+  const auto fleet = device::table3_fleet(4);
+
+  std::vector<core::BehavioralVector> vectors;
+  for (const device::Qpu& qpu : fleet) {
+    const qnn::QnnExecutor ex(model, qpu);
+    vectors.push_back(core::vectorize(ex.compiled(), ex.qpu(),
+                                      model.circuit().size()));
+    const auto& bv = vectors.back();
+    double ctx = 0.0;
+    double topo = 0.0;
+    for (double v : bv.contextual) ctx += v;
+    for (double v : bv.topological) topo += v;
+    std::printf("%-10s  swaps %2zu  sum(ctx) %.4f  sum(topo) %.4f\n",
+                qpu.name().c_str(),
+                ex.compiled().routed.routing_swap_count(), ctx, topo);
+  }
+
+  const core::SimilarityGraph graph(vectors, 2000.0);
+  std::printf("\nEq.1 distance matrix (x1e-4):\n      ");
+  for (std::size_t j = 0; j < graph.size(); ++j) {
+    std::printf("%5zu ", j + 1);
+  }
+  std::printf("\n");
+  for (std::size_t i = 0; i < graph.size(); ++i) {
+    std::printf("  %2zu: ", i + 1);
+    for (std::size_t j = 0; j < graph.size(); ++j) {
+      std::printf("%5.1f ", graph.distance(i, j) * 1e4);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nsimilarity groups at threshold 8e-4:\n");
+  for (const auto& g : graph.groups(8e-4)) {
+    std::printf("  {");
+    for (std::size_t k = 0; k < g.size(); ++k) {
+      std::printf("%s%d", k ? ", " : "", g[k] + 1);
+    }
+    std::printf("}\n");
+  }
+  return 0;
+}

@@ -1,0 +1,181 @@
+#include "arbiterq/circuit/circuit.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace arbiterq::circuit {
+
+Circuit::Circuit(int num_qubits, int num_params)
+    : num_qubits_(num_qubits), num_params_(num_params) {
+  if (num_qubits <= 0) {
+    throw std::invalid_argument("Circuit: qubit count must be positive");
+  }
+  if (num_params < 0) {
+    throw std::invalid_argument("Circuit: negative parameter count");
+  }
+}
+
+void Circuit::check_qubit(int q) const {
+  if (q < 0 || q >= num_qubits_) {
+    throw std::out_of_range("Circuit: qubit index out of range");
+  }
+}
+
+void Circuit::check_param(const ParamExpr& p) const {
+  if (!p.is_constant() && p.index >= num_params_) {
+    throw std::out_of_range("Circuit: parameter index out of range");
+  }
+}
+
+Circuit& Circuit::add(Gate g) {
+  check_qubit(g.qubits[0]);
+  if (g.arity() == 2) {
+    check_qubit(g.qubits[1]);
+    if (g.qubits[0] == g.qubits[1]) {
+      throw std::invalid_argument("Circuit: two-qubit gate on equal qubits");
+    }
+  }
+  for (int i = 0; i < g.param_count(); ++i) {
+    check_param(g.params[static_cast<std::size_t>(i)]);
+  }
+  gates_.push_back(g);
+  return *this;
+}
+
+Circuit& Circuit::add_simple(GateKind kind, int q) {
+  Gate g;
+  g.kind = kind;
+  g.qubits = {q, 0};
+  return add(g);
+}
+
+Circuit& Circuit::rx(int q, ParamExpr theta) {
+  Gate g;
+  g.kind = GateKind::kRX;
+  g.qubits = {q, 0};
+  g.params[0] = theta;
+  return add(g);
+}
+
+Circuit& Circuit::ry(int q, ParamExpr theta) {
+  Gate g;
+  g.kind = GateKind::kRY;
+  g.qubits = {q, 0};
+  g.params[0] = theta;
+  return add(g);
+}
+
+Circuit& Circuit::rz(int q, ParamExpr theta) {
+  Gate g;
+  g.kind = GateKind::kRZ;
+  g.qubits = {q, 0};
+  g.params[0] = theta;
+  return add(g);
+}
+
+Circuit& Circuit::u3(int q, ParamExpr theta, ParamExpr phi, ParamExpr lambda) {
+  Gate g;
+  g.kind = GateKind::kU3;
+  g.qubits = {q, 0};
+  g.params = {theta, phi, lambda};
+  return add(g);
+}
+
+Circuit& Circuit::cx(int control, int target) {
+  Gate g;
+  g.kind = GateKind::kCX;
+  g.qubits = {control, target};
+  return add(g);
+}
+
+Circuit& Circuit::cz(int control, int target) {
+  Gate g;
+  g.kind = GateKind::kCZ;
+  g.qubits = {control, target};
+  return add(g);
+}
+
+Circuit& Circuit::crx(int control, int target, ParamExpr theta) {
+  Gate g;
+  g.kind = GateKind::kCRX;
+  g.qubits = {control, target};
+  g.params[0] = theta;
+  return add(g);
+}
+
+Circuit& Circuit::cry(int control, int target, ParamExpr theta) {
+  Gate g;
+  g.kind = GateKind::kCRY;
+  g.qubits = {control, target};
+  g.params[0] = theta;
+  return add(g);
+}
+
+Circuit& Circuit::crz(int control, int target, ParamExpr theta) {
+  Gate g;
+  g.kind = GateKind::kCRZ;
+  g.qubits = {control, target};
+  g.params[0] = theta;
+  return add(g);
+}
+
+Circuit& Circuit::swap(int a, int b) {
+  Gate g;
+  g.kind = GateKind::kSwap;
+  g.qubits = {a, b};
+  return add(g);
+}
+
+Circuit& Circuit::append(const Circuit& other, int param_offset) {
+  if (other.num_qubits_ != num_qubits_) {
+    throw std::invalid_argument("Circuit::append: qubit count mismatch");
+  }
+  for (Gate g : other.gates_) {
+    for (int i = 0; i < g.param_count(); ++i) {
+      auto& p = g.params[static_cast<std::size_t>(i)];
+      if (!p.is_constant()) p.index += param_offset;
+    }
+    add(g);
+  }
+  return *this;
+}
+
+std::size_t Circuit::two_qubit_gate_count() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(gates_.begin(), gates_.end(),
+                    [](const Gate& g) { return g.arity() == 2; }));
+}
+
+std::size_t Circuit::routing_swap_count() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(gates_.begin(), gates_.end(),
+                    [](const Gate& g) { return g.is_routing_swap; }));
+}
+
+std::size_t Circuit::depth() const noexcept {
+  std::vector<std::size_t> level(static_cast<std::size_t>(num_qubits_), 0);
+  std::size_t depth = 0;
+  for (const Gate& g : gates_) {
+    const auto q0 = static_cast<std::size_t>(g.qubits[0]);
+    std::size_t lvl = level[q0];
+    if (g.arity() == 2) {
+      lvl = std::max(lvl, level[static_cast<std::size_t>(g.qubits[1])]);
+    }
+    ++lvl;
+    level[q0] = lvl;
+    if (g.arity() == 2) level[static_cast<std::size_t>(g.qubits[1])] = lvl;
+    depth = std::max(depth, lvl);
+  }
+  return depth;
+}
+
+std::string Circuit::to_string() const {
+  std::ostringstream os;
+  os << "circuit(" << num_qubits_ << " qubits, " << num_params_
+     << " params):\n";
+  for (const Gate& g : gates_) os << "  " << g.to_string() << "\n";
+  return os.str();
+}
+
+}  // namespace arbiterq::circuit

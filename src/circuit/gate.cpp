@@ -1,0 +1,111 @@
+#include "arbiterq/circuit/gate.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace arbiterq::circuit {
+
+int gate_arity(GateKind kind) noexcept {
+  switch (kind) {
+    case GateKind::kCX:
+    case GateKind::kCZ:
+    case GateKind::kCRX:
+    case GateKind::kCRY:
+    case GateKind::kCRZ:
+    case GateKind::kSwap:
+      return 2;
+    default:
+      return 1;
+  }
+}
+
+int gate_param_count(GateKind kind) noexcept {
+  switch (kind) {
+    case GateKind::kRX:
+    case GateKind::kRY:
+    case GateKind::kRZ:
+    case GateKind::kCRX:
+    case GateKind::kCRY:
+    case GateKind::kCRZ:
+      return 1;
+    case GateKind::kU3:
+      return 3;
+    default:
+      return 0;
+  }
+}
+
+std::string gate_name(GateKind kind) {
+  switch (kind) {
+    case GateKind::kI:
+      return "i";
+    case GateKind::kX:
+      return "x";
+    case GateKind::kY:
+      return "y";
+    case GateKind::kZ:
+      return "z";
+    case GateKind::kH:
+      return "h";
+    case GateKind::kS:
+      return "s";
+    case GateKind::kSdg:
+      return "sdg";
+    case GateKind::kSX:
+      return "sx";
+    case GateKind::kRX:
+      return "rx";
+    case GateKind::kRY:
+      return "ry";
+    case GateKind::kRZ:
+      return "rz";
+    case GateKind::kU3:
+      return "u3";
+    case GateKind::kCX:
+      return "cx";
+    case GateKind::kCZ:
+      return "cz";
+    case GateKind::kCRX:
+      return "crx";
+    case GateKind::kCRY:
+      return "cry";
+    case GateKind::kCRZ:
+      return "crz";
+    case GateKind::kSwap:
+      return "swap";
+  }
+  throw std::logic_error("gate_name: unknown kind");
+}
+
+std::array<double, 3> Gate::bound_params(std::span<const double> params) const {
+  std::array<double, 3> out{{0.0, 0.0, 0.0}};
+  for (int i = 0; i < param_count(); ++i) {
+    out[static_cast<std::size_t>(i)] =
+        this->params[static_cast<std::size_t>(i)].value(params);
+  }
+  return out;
+}
+
+std::string Gate::to_string() const {
+  std::ostringstream os;
+  os << gate_name(kind) << "(q" << qubits[0];
+  if (arity() == 2) os << ",q" << qubits[1];
+  if (param_count() > 0) {
+    os << ";";
+    for (int i = 0; i < param_count(); ++i) {
+      const ParamExpr& p = params[static_cast<std::size_t>(i)];
+      if (i > 0) os << ",";
+      if (p.is_constant()) {
+        os << " " << p.offset;
+      } else {
+        os << " " << p.coeff << "*p" << p.index;
+        if (p.offset != 0.0) os << "+" << p.offset;
+      }
+    }
+  }
+  os << ")";
+  if (is_routing_swap) os << "[route]";
+  return os.str();
+}
+
+}  // namespace arbiterq::circuit

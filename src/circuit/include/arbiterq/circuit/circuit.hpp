@@ -1,0 +1,77 @@
+#pragma once
+// A quantum circuit: an ordered gate list over a fixed qubit register,
+// parameterized by an external vector of `num_params` values (QNN weights
+// and/or encoded features). Builder methods append gates; free functions
+// in unitary.hpp evaluate semantics.
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "arbiterq/circuit/gate.hpp"
+
+namespace arbiterq::circuit {
+
+class Circuit {
+ public:
+  Circuit() = default;
+  explicit Circuit(int num_qubits, int num_params = 0);
+
+  int num_qubits() const noexcept { return num_qubits_; }
+  int num_params() const noexcept { return num_params_; }
+  std::size_t size() const noexcept { return gates_.size(); }
+  bool empty() const noexcept { return gates_.empty(); }
+
+  const std::vector<Gate>& gates() const noexcept { return gates_; }
+  const Gate& gate(std::size_t i) const { return gates_.at(i); }
+
+  /// Append a fully-formed gate (validates qubit indices and arity).
+  Circuit& add(Gate g);
+
+  // -- 1-qubit builders ------------------------------------------------
+  Circuit& x(int q) { return add_simple(GateKind::kX, q); }
+  Circuit& y(int q) { return add_simple(GateKind::kY, q); }
+  Circuit& z(int q) { return add_simple(GateKind::kZ, q); }
+  Circuit& h(int q) { return add_simple(GateKind::kH, q); }
+  Circuit& s(int q) { return add_simple(GateKind::kS, q); }
+  Circuit& sdg(int q) { return add_simple(GateKind::kSdg, q); }
+  Circuit& sx(int q) { return add_simple(GateKind::kSX, q); }
+  Circuit& rx(int q, ParamExpr theta);
+  Circuit& ry(int q, ParamExpr theta);
+  Circuit& rz(int q, ParamExpr theta);
+  Circuit& u3(int q, ParamExpr theta, ParamExpr phi, ParamExpr lambda);
+
+  // -- 2-qubit builders ------------------------------------------------
+  Circuit& cx(int control, int target);
+  Circuit& cz(int control, int target);
+  Circuit& crx(int control, int target, ParamExpr theta);
+  Circuit& cry(int control, int target, ParamExpr theta);
+  Circuit& crz(int control, int target, ParamExpr theta);
+  Circuit& swap(int a, int b);
+
+  /// Append every gate of `other` (same qubit count required); parameter
+  /// indices of `other` are shifted by `param_offset`.
+  Circuit& append(const Circuit& other, int param_offset = 0);
+
+  /// Number of two-qubit gates (routing pressure metric).
+  std::size_t two_qubit_gate_count() const noexcept;
+  /// Number of routing SWAPs inserted by a transpiler.
+  std::size_t routing_swap_count() const noexcept;
+  /// Depth = length of the longest qubit-dependency chain.
+  std::size_t depth() const noexcept;
+
+  /// Multi-line human-readable listing.
+  std::string to_string() const;
+
+ private:
+  Circuit& add_simple(GateKind kind, int q);
+  void check_qubit(int q) const;
+  void check_param(const ParamExpr& p) const;
+
+  int num_qubits_ = 0;
+  int num_params_ = 0;
+  std::vector<Gate> gates_;
+};
+
+}  // namespace arbiterq::circuit

@@ -1,0 +1,51 @@
+#pragma once
+// Pauli-string observables (e.g. "ZIIZ"): the general readout alphabet a
+// QNN measurement layer draws from. The stack's binary classifier only
+// needs Z on one qubit, but multi-observable readout (parity checks,
+// energy terms) is standard library surface.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace arbiterq::circuit {
+
+enum class PauliOp : std::uint8_t { kI = 0, kX = 1, kY = 2, kZ = 3 };
+
+char pauli_char(PauliOp op);
+
+class PauliString {
+ public:
+  /// Identity string over n qubits.
+  explicit PauliString(int num_qubits);
+
+  /// Parse "ZIXY" (leftmost char = qubit 0). Throws on bad characters.
+  static PauliString parse(const std::string& text);
+
+  int num_qubits() const noexcept {
+    return static_cast<int>(ops_.size());
+  }
+  PauliOp op(int qubit) const;
+  PauliString& set(int qubit, PauliOp op);
+
+  /// Number of non-identity factors.
+  int weight() const noexcept;
+  bool is_identity() const noexcept { return weight() == 0; }
+
+  /// "ZIXY" form.
+  std::string to_string() const;
+
+  bool operator==(const PauliString& other) const noexcept {
+    return ops_ == other.ops_;
+  }
+
+  /// True if the two strings commute as operators (they anticommute on
+  /// an odd number of qubits where both act with different non-identity
+  /// Paulis).
+  bool commutes_with(const PauliString& other) const;
+
+ private:
+  std::vector<PauliOp> ops_;
+};
+
+}  // namespace arbiterq::circuit

@@ -1,0 +1,31 @@
+#pragma once
+// Plain-text circuit serialization. OpenQASM cannot carry this IR's
+// affine symbolic parameters (coeff*p[k] + offset) or the transpiler's
+// provenance tags, so the format is our own, line-oriented and
+// diff-friendly:
+//
+//   aqc 1
+//   qubits 3
+//   params 4
+//   ry q1 p0*0.5+1.5708
+//   crz q0 q2 p3
+//   swap q0 q1 @route:4        # routing SWAP attributed to logical gate 4
+//   x q2 @id:7
+//
+// Angles are either a constant (decimal) or pN[*coeff][+offset].
+// serialize/deserialize round-trip exactly (modulo float formatting at
+// 17 significant digits, which is lossless for doubles).
+
+#include <string>
+
+#include "arbiterq/circuit/circuit.hpp"
+
+namespace arbiterq::circuit {
+
+std::string serialize(const Circuit& c);
+
+/// Parse a serialized circuit; throws std::invalid_argument with a
+/// line-numbered message on malformed input.
+Circuit deserialize(const std::string& text);
+
+}  // namespace arbiterq::circuit

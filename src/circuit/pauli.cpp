@@ -1,0 +1,98 @@
+#include "arbiterq/circuit/pauli.hpp"
+
+#include <stdexcept>
+
+namespace arbiterq::circuit {
+
+char pauli_char(PauliOp op) {
+  switch (op) {
+    case PauliOp::kI:
+      return 'I';
+    case PauliOp::kX:
+      return 'X';
+    case PauliOp::kY:
+      return 'Y';
+    case PauliOp::kZ:
+      return 'Z';
+  }
+  throw std::logic_error("pauli_char: unknown op");
+}
+
+PauliString::PauliString(int num_qubits) {
+  if (num_qubits <= 0) {
+    throw std::invalid_argument("PauliString: qubit count must be positive");
+  }
+  ops_.assign(static_cast<std::size_t>(num_qubits), PauliOp::kI);
+}
+
+PauliString PauliString::parse(const std::string& text) {
+  PauliString p(static_cast<int>(text.size()));
+  for (std::size_t q = 0; q < text.size(); ++q) {
+    switch (text[q]) {
+      case 'I':
+      case 'i':
+        p.ops_[q] = PauliOp::kI;
+        break;
+      case 'X':
+      case 'x':
+        p.ops_[q] = PauliOp::kX;
+        break;
+      case 'Y':
+      case 'y':
+        p.ops_[q] = PauliOp::kY;
+        break;
+      case 'Z':
+      case 'z':
+        p.ops_[q] = PauliOp::kZ;
+        break;
+      default:
+        throw std::invalid_argument("PauliString::parse: bad character");
+    }
+  }
+  return p;
+}
+
+PauliOp PauliString::op(int qubit) const {
+  if (qubit < 0 || qubit >= num_qubits()) {
+    throw std::out_of_range("PauliString::op: qubit out of range");
+  }
+  return ops_[static_cast<std::size_t>(qubit)];
+}
+
+PauliString& PauliString::set(int qubit, PauliOp op) {
+  if (qubit < 0 || qubit >= num_qubits()) {
+    throw std::out_of_range("PauliString::set: qubit out of range");
+  }
+  ops_[static_cast<std::size_t>(qubit)] = op;
+  return *this;
+}
+
+int PauliString::weight() const noexcept {
+  int w = 0;
+  for (PauliOp op : ops_) {
+    if (op != PauliOp::kI) ++w;
+  }
+  return w;
+}
+
+std::string PauliString::to_string() const {
+  std::string out;
+  out.reserve(ops_.size());
+  for (PauliOp op : ops_) out.push_back(pauli_char(op));
+  return out;
+}
+
+bool PauliString::commutes_with(const PauliString& other) const {
+  if (num_qubits() != other.num_qubits()) {
+    throw std::invalid_argument("commutes_with: qubit count mismatch");
+  }
+  int anticommuting = 0;
+  for (std::size_t q = 0; q < ops_.size(); ++q) {
+    const PauliOp a = ops_[q];
+    const PauliOp b = other.ops_[q];
+    if (a != PauliOp::kI && b != PauliOp::kI && a != b) ++anticommuting;
+  }
+  return anticommuting % 2 == 0;
+}
+
+}  // namespace arbiterq::circuit

@@ -1,0 +1,211 @@
+#include "arbiterq/circuit/serialize.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace arbiterq::circuit {
+
+namespace {
+
+std::string format_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string format_param(const ParamExpr& p) {
+  if (p.is_constant()) return format_double(p.offset);
+  std::string out = "p" + std::to_string(p.index);
+  if (p.coeff != 1.0) out += "*" + format_double(p.coeff);
+  if (p.offset != 0.0) {
+    out += (p.offset > 0.0 ? "+" : "") + format_double(p.offset);
+  }
+  return out;
+}
+
+GateKind kind_from_name(const std::string& name, int line) {
+  static const std::vector<std::pair<std::string, GateKind>> kTable = {
+      {"i", GateKind::kI},     {"x", GateKind::kX},
+      {"y", GateKind::kY},     {"z", GateKind::kZ},
+      {"h", GateKind::kH},     {"s", GateKind::kS},
+      {"sdg", GateKind::kSdg}, {"sx", GateKind::kSX},
+      {"rx", GateKind::kRX},   {"ry", GateKind::kRY},
+      {"rz", GateKind::kRZ},   {"u3", GateKind::kU3},
+      {"cx", GateKind::kCX},   {"cz", GateKind::kCZ},
+      {"crx", GateKind::kCRX}, {"cry", GateKind::kCRY},
+      {"crz", GateKind::kCRZ}, {"swap", GateKind::kSwap},
+  };
+  for (const auto& [n, k] : kTable) {
+    if (n == name) return k;
+  }
+  throw std::invalid_argument("deserialize: line " + std::to_string(line) +
+                              ": unknown gate '" + name + "'");
+}
+
+int parse_qubit(const std::string& token, int line) {
+  if (token.size() < 2 || token[0] != 'q') {
+    throw std::invalid_argument("deserialize: line " + std::to_string(line) +
+                                ": expected qubit token, got '" + token +
+                                "'");
+  }
+  return std::atoi(token.c_str() + 1);
+}
+
+ParamExpr parse_param(const std::string& token, int line) {
+  if (token.empty()) {
+    throw std::invalid_argument("deserialize: line " + std::to_string(line) +
+                                ": empty parameter");
+  }
+  if (token[0] != 'p') {
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      throw std::invalid_argument("deserialize: line " +
+                                  std::to_string(line) +
+                                  ": bad constant '" + token + "'");
+    }
+    return ParamExpr::constant(v);
+  }
+  // pN[*coeff][+offset|-offset]
+  std::size_t pos = 1;
+  std::size_t digits = 0;
+  while (pos + digits < token.size() &&
+         std::isdigit(static_cast<unsigned char>(token[pos + digits]))) {
+    ++digits;
+  }
+  if (digits == 0) {
+    throw std::invalid_argument("deserialize: line " + std::to_string(line) +
+                                ": bad parameter reference '" + token + "'");
+  }
+  const int index = std::atoi(token.substr(pos, digits).c_str());
+  pos += digits;
+  double coeff = 1.0;
+  if (pos < token.size() && token[pos] == '*') {
+    char* end = nullptr;
+    coeff = std::strtod(token.c_str() + pos + 1, &end);
+    pos = static_cast<std::size_t>(end - token.c_str());
+  }
+  double offset = 0.0;
+  if (pos < token.size() && (token[pos] == '+' || token[pos] == '-')) {
+    char* end = nullptr;
+    offset = std::strtod(token.c_str() + pos, &end);
+    pos = static_cast<std::size_t>(end - token.c_str());
+  }
+  if (pos != token.size()) {
+    throw std::invalid_argument("deserialize: line " + std::to_string(line) +
+                                ": trailing junk in '" + token + "'");
+  }
+  return ParamExpr::ref(index, coeff, offset);
+}
+
+}  // namespace
+
+std::string serialize(const Circuit& c) {
+  std::ostringstream os;
+  os << "aqc 1\n";
+  os << "qubits " << c.num_qubits() << "\n";
+  os << "params " << c.num_params() << "\n";
+  for (const Gate& g : c.gates()) {
+    os << gate_name(g.kind) << " q" << g.qubits[0];
+    if (g.arity() == 2) os << " q" << g.qubits[1];
+    for (int k = 0; k < g.param_count(); ++k) {
+      os << " " << format_param(g.params[static_cast<std::size_t>(k)]);
+    }
+    if (g.is_routing_swap) {
+      os << " @route:" << g.logical_id;
+    } else if (g.logical_id >= 0) {
+      os << " @id:" << g.logical_id;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+Circuit deserialize(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  int line_no = 0;
+  int num_qubits = -1;
+  int num_params = -1;
+
+  auto next_tokens = [&](std::vector<std::string>* tokens) {
+    while (std::getline(is, line)) {
+      ++line_no;
+      // Strip comments.
+      const auto hash = line.find('#');
+      if (hash != std::string::npos) line.resize(hash);
+      std::istringstream ls(line);
+      tokens->clear();
+      std::string tok;
+      while (ls >> tok) tokens->push_back(tok);
+      if (!tokens->empty()) return true;
+    }
+    return false;
+  };
+
+  std::vector<std::string> tokens;
+  if (!next_tokens(&tokens) || tokens.size() != 2 || tokens[0] != "aqc" ||
+      tokens[1] != "1") {
+    throw std::invalid_argument("deserialize: missing 'aqc 1' header");
+  }
+  if (!next_tokens(&tokens) || tokens.size() != 2 ||
+      tokens[0] != "qubits") {
+    throw std::invalid_argument("deserialize: missing 'qubits N'");
+  }
+  num_qubits = std::atoi(tokens[1].c_str());
+  if (!next_tokens(&tokens) || tokens.size() != 2 ||
+      tokens[0] != "params") {
+    throw std::invalid_argument("deserialize: missing 'params N'");
+  }
+  num_params = std::atoi(tokens[1].c_str());
+
+  Circuit c(num_qubits, num_params);
+  while (next_tokens(&tokens)) {
+    Gate g;
+    g.kind = kind_from_name(tokens[0], line_no);
+    std::size_t pos = 1;
+    if (pos >= tokens.size()) {
+      throw std::invalid_argument("deserialize: line " +
+                                  std::to_string(line_no) +
+                                  ": missing qubits");
+    }
+    g.qubits[0] = parse_qubit(tokens[pos++], line_no);
+    if (g.arity() == 2) {
+      if (pos >= tokens.size()) {
+        throw std::invalid_argument("deserialize: line " +
+                                    std::to_string(line_no) +
+                                    ": missing second qubit");
+      }
+      g.qubits[1] = parse_qubit(tokens[pos++], line_no);
+    }
+    for (int k = 0; k < g.param_count(); ++k) {
+      if (pos >= tokens.size()) {
+        throw std::invalid_argument("deserialize: line " +
+                                    std::to_string(line_no) +
+                                    ": missing parameter");
+      }
+      g.params[static_cast<std::size_t>(k)] =
+          parse_param(tokens[pos++], line_no);
+    }
+    if (pos < tokens.size() && tokens[pos].rfind("@route:", 0) == 0) {
+      g.is_routing_swap = true;
+      g.logical_id = std::atoi(tokens[pos].c_str() + 7);
+      ++pos;
+    } else if (pos < tokens.size() && tokens[pos].rfind("@id:", 0) == 0) {
+      g.logical_id = std::atoi(tokens[pos].c_str() + 4);
+      ++pos;
+    }
+    if (pos != tokens.size()) {
+      throw std::invalid_argument("deserialize: line " +
+                                  std::to_string(line_no) +
+                                  ": trailing tokens");
+    }
+    c.add(g);
+  }
+  return c;
+}
+
+}  // namespace arbiterq::circuit

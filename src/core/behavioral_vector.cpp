@@ -1,0 +1,66 @@
+#include "arbiterq/core/behavioral_vector.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace arbiterq::core {
+
+std::vector<double> BehavioralVector::concatenated() const {
+  std::vector<double> out;
+  out.reserve(contextual.size() + topological.size());
+  out.insert(out.end(), contextual.begin(), contextual.end());
+  out.insert(out.end(), topological.begin(), topological.end());
+  return out;
+}
+
+std::string BehavioralVector::to_string() const {
+  std::ostringstream os;
+  os << "behavioral[ctx:";
+  for (double v : contextual) os << " " << v;
+  os << " | topo:";
+  for (double v : topological) os << " " << v;
+  os << "]";
+  return os.str();
+}
+
+BehavioralVector vectorize(const transpile::CompiledCircuit& compiled,
+                           const device::Qpu& qpu,
+                           std::size_t logical_size) {
+  BehavioralVector bv;
+  // Survival product per logical gate; converted to cumulative error at
+  // the end: v(i) = 1 - prod_j (1 - e_ij).
+  std::vector<double> ctx_survival(logical_size, 1.0);
+  std::vector<double> topo_survival(logical_size, 1.0);
+
+  // Contextual part from the executable (basis) gates; topological part
+  // from the routed circuit's SWAPs (SWAP-level granularity, with
+  // Qpu::gate_error accounting for the three native gates inside).
+  for (const circuit::Gate& g : compiled.executable.gates()) {
+    if (g.is_routing_swap) continue;
+    if (g.logical_id < 0 ||
+        static_cast<std::size_t>(g.logical_id) >= logical_size) {
+      throw std::invalid_argument("vectorize: basis gate with bad logical id");
+    }
+    ctx_survival[static_cast<std::size_t>(g.logical_id)] *=
+        1.0 - qpu.gate_error(g);
+  }
+  for (const circuit::Gate& g : compiled.routed.gates()) {
+    if (!g.is_routing_swap) continue;
+    if (g.logical_id < 0 ||
+        static_cast<std::size_t>(g.logical_id) >= logical_size) {
+      throw std::invalid_argument("vectorize: SWAP with bad logical id");
+    }
+    topo_survival[static_cast<std::size_t>(g.logical_id)] *=
+        1.0 - qpu.gate_error(g);
+  }
+
+  bv.contextual.resize(logical_size);
+  bv.topological.resize(logical_size);
+  for (std::size_t i = 0; i < logical_size; ++i) {
+    bv.contextual[i] = 1.0 - ctx_survival[i];
+    bv.topological[i] = 1.0 - topo_survival[i];
+  }
+  return bv;
+}
+
+}  // namespace arbiterq::core

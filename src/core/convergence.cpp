@@ -1,0 +1,71 @@
+#include "arbiterq/core/convergence.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "arbiterq/math/stats.hpp"
+
+namespace arbiterq::core {
+
+Convergence detect_convergence(const std::vector<double>& losses,
+                               const ConvergenceConfig& cfg) {
+  if (losses.empty()) {
+    throw std::invalid_argument("detect_convergence: empty loss curve");
+  }
+  const auto smoothed = math::moving_average(losses, cfg.smooth_window);
+
+  const std::size_t tail = std::min(cfg.tail, losses.size());
+  double plateau = 0.0;
+  double raw_tail = 0.0;
+  for (std::size_t k = losses.size() - tail; k < losses.size(); ++k) {
+    plateau += smoothed[k];
+    raw_tail += losses[k];
+  }
+  plateau /= static_cast<double>(tail);
+  raw_tail /= static_cast<double>(tail);
+
+  Convergence out;
+  out.loss = raw_tail;
+
+  const double initial = smoothed.front();
+  const double improvement = initial - plateau;
+  if (improvement <= cfg.abs_tol) {
+    // Never learned (or got worse): report the full epoch count.
+    out.epoch = static_cast<int>(losses.size());
+    return out;
+  }
+
+  // Widen the band by the plateau's own residual wobble (smoothed-curve
+  // std over the final quarter), so a strategy is not declared
+  // unconverged merely for bouncing at its noise floor.
+  const std::size_t quarter = std::max<std::size_t>(2, smoothed.size() / 4);
+  std::vector<double> plateau_region(smoothed.end() -
+                                         static_cast<std::ptrdiff_t>(quarter),
+                                     smoothed.end());
+  const double wobble = math::stddev(plateau_region);
+  const double band =
+      plateau + std::max(cfg.abs_tol, cfg.range_frac * improvement) +
+      1.5 * wobble;
+  // First in-band epoch from which at least sustain_fraction of the
+  // remaining smoothed losses stay in the band (suffix scan).
+  const std::size_t len = smoothed.size();
+  std::vector<std::size_t> in_band_suffix(len + 1, 0);
+  for (std::size_t e = len; e-- > 0;) {
+    in_band_suffix[e] =
+        in_band_suffix[e + 1] + (smoothed[e] <= band ? 1U : 0U);
+  }
+  std::size_t epoch = len - 1;
+  for (std::size_t e = 0; e < len; ++e) {
+    const double fraction = static_cast<double>(in_band_suffix[e]) /
+                            static_cast<double>(len - e);
+    if (smoothed[e] <= band && fraction >= cfg.sustain_fraction) {
+      epoch = e;
+      break;
+    }
+  }
+  out.epoch = static_cast<int>(epoch) + 1;
+  return out;
+}
+
+}  // namespace arbiterq::core

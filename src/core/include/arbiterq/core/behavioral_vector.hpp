@@ -1,0 +1,43 @@
+#pragma once
+// Behavioral vectorization (paper §III-A): a uniform representation of
+// *how a QNN circuit behaves once implemented on a specific QPU*.
+//
+//  * contextual vector — element i is the cumulative executional error of
+//    the basis gates that logical gate i decomposes into:
+//        v_c(i) = 1 - prod_j (1 - e_ij)
+//  * topological vector — element i is the cumulative error of the
+//    routing SWAPs inserted on behalf of logical gate i (0 for gates that
+//    needed no routing); same length as the contextual vector.
+//
+// Gate errors use e = 1 - exp(-t/tau) * f (device::Qpu::gate_error).
+// Elements are ordered by the execution sequence of the original QNN
+// circuit — the transpiler's logical_id tags carry that ordering through
+// routing and decomposition.
+
+#include <string>
+#include <vector>
+
+#include "arbiterq/device/qpu.hpp"
+#include "arbiterq/transpile/transpiler.hpp"
+
+namespace arbiterq::core {
+
+struct BehavioralVector {
+  std::vector<double> contextual;
+  std::vector<double> topological;
+
+  std::size_t length() const noexcept { return contextual.size(); }
+
+  /// Contextual then topological, the uniform representation distances
+  /// are measured in (Eq. 1 divides by this concatenated length).
+  std::vector<double> concatenated() const;
+
+  std::string to_string() const;
+};
+
+/// Vectorize one compiled circuit on its device. `logical_size` is the
+/// gate count of the original (pre-transpile) QNN circuit.
+BehavioralVector vectorize(const transpile::CompiledCircuit& compiled,
+                           const device::Qpu& qpu, std::size_t logical_size);
+
+}  // namespace arbiterq::core

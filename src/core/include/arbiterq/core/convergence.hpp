@@ -1,0 +1,44 @@
+#pragma once
+// Convergence detection over a per-epoch loss curve: the metric pair
+// Table I reports (convergence epoch, converged loss).
+//
+// Definition (DESIGN.md): smooth the curve with a centered moving
+// average; the plateau is the mean smoothed loss of the last `tail`
+// epochs; the curve "converged" at the first in-band epoch from which at
+// least `sustain_fraction` of the remaining smoothed losses stay within
+//     plateau + max(abs_tol, range_frac * (initial - plateau)) + wobble
+// (wobble = the plateau's own residual std). A noisy curve that keeps
+// bouncing above the band converges late; a curve that never improves
+// (initial <= plateau) never converges and reports the full epoch count
+// — the Fig. 2a "all-sharing diverges" situation.
+
+#include <cstddef>
+#include <vector>
+
+namespace arbiterq::core {
+
+struct Convergence {
+  /// 1-based epoch index (matches the paper's counting); equal to the
+  /// curve length if the curve never settles.
+  int epoch = 0;
+  /// Converged loss: mean of the last `tail` raw losses.
+  double loss = 0.0;
+};
+
+struct ConvergenceConfig {
+  /// Width of the acceptance band as a fraction of total improvement.
+  double range_frac = 0.10;
+  /// Absolute floor of the band (loss units).
+  double abs_tol = 2e-3;
+  /// Fraction of the remaining epochs that must sit inside the band for
+  /// an epoch to count as converged — tolerates one transient excursion
+  /// without rewarding curves that keep leaving the band.
+  double sustain_fraction = 0.85;
+  std::size_t smooth_window = 9;
+  std::size_t tail = 5;
+};
+
+Convergence detect_convergence(const std::vector<double>& losses,
+                               const ConvergenceConfig& cfg = {});
+
+}  // namespace arbiterq::core

@@ -1,0 +1,109 @@
+#pragma once
+// Inference scheduling (paper §IV-B and the Fig. 2b baseline).
+//
+// Shot-oriented (ArbiterQ): a warm-up pass sketches each task's
+// difficulty; tasks are assigned greedily — hard tasks to the most
+// accurate torus — under per-torus quotas proportional to torus
+// throughput; inside a torus each task's shots are split across all
+// members proportionally to their shot rate and the member predictions
+// are shot-weighted averaged (the noise-compensation step).
+//
+// Batch-based (baseline, what EQC uses): every task runs entirely on a
+// single QPU, tasks dealt out proportionally to QPU throughput.
+//
+// Both report mean test loss, the loss spread, per-QPU shot counts and
+// estimated busy time (workload balance).
+
+#include <cstdint>
+#include <vector>
+
+#include "arbiterq/core/torus.hpp"
+#include "arbiterq/math/rng.hpp"
+#include "arbiterq/qnn/executor.hpp"
+
+namespace arbiterq::core {
+
+struct InferenceTask {
+  std::vector<double> features;  ///< encoded, radians
+  int label = 0;
+};
+
+struct ScheduleConfig {
+  int shots_per_task = 256;
+  int warmup_shots = 32;
+  int trajectories = 16;
+  qnn::LossKind loss = qnn::LossKind::kMse;
+  std::uint64_t seed = 99;
+};
+
+struct InferenceReport {
+  double mean_loss = 0.0;
+  /// Sample standard deviation of per-task losses (Fig. 2b metric).
+  double loss_stddev = 0.0;
+  std::vector<double> per_task_loss;
+  /// Shots executed per QPU.
+  std::vector<double> qpu_shots;
+  /// Estimated busy time per QPU in microseconds.
+  std::vector<double> qpu_busy_us;
+  /// max(busy) / mean(busy) over QPUs that did any work; 1.0 = balanced.
+  double workload_imbalance = 1.0;
+  /// Wall-clock of the whole batch: the busiest QPU's time (us).
+  double makespan_us = 0.0;
+  /// Tasks completed per second at that makespan.
+  double throughput_tasks_per_s = 0.0;
+};
+
+/// Build inference tasks from an encoded feature set.
+std::vector<InferenceTask> make_tasks(
+    const std::vector<std::vector<double>>& features,
+    const std::vector<int>& labels);
+
+class ShotOrientedScheduler {
+ public:
+  /// `executors` and `weights` are indexed by QPU; `weights[i]` is the
+  /// (personalized) model QPU i deploys.
+  ShotOrientedScheduler(const std::vector<qnn::QnnExecutor>& executors,
+                        std::vector<std::vector<double>> weights,
+                        TorusPartition partition, ScheduleConfig config);
+
+  const TorusPartition& partition() const noexcept { return partition_; }
+  /// Accuracy score per torus (higher = cleaner members), the greedy
+  /// assignment's sort key.
+  const std::vector<double>& torus_scores() const noexcept {
+    return torus_scores_;
+  }
+
+  InferenceReport run(const std::vector<InferenceTask>& tasks) const;
+
+ private:
+  double torus_probability(std::size_t torus, const InferenceTask& task,
+                           int shots, math::Rng& rng,
+                           InferenceReport* report) const;
+
+  const std::vector<qnn::QnnExecutor>& executors_;
+  std::vector<std::vector<double>> weights_;
+  TorusPartition partition_;
+  ScheduleConfig config_;
+  std::vector<double> torus_scores_;
+  std::vector<double> torus_rate_;  ///< summed member shot rates
+};
+
+/// Baseline: batch-based inference. `weights[i]` is what QPU i deploys
+/// (pass identical rows to model EQC's central model).
+InferenceReport batch_based_inference(
+    const std::vector<qnn::QnnExecutor>& executors,
+    const std::vector<std::vector<double>>& weights,
+    const std::vector<InferenceTask>& tasks, const ScheduleConfig& config);
+
+/// Reference: full ensemble inference a la EQC — every task runs its
+/// whole shot budget on *every* QPU and the predictions are combined
+/// with the given voting weights (normalized internally). The most
+/// accurate and least efficient point of the design space: the fleet
+/// does |fleet| times the work of the other schedulers.
+InferenceReport ensemble_weighted_inference(
+    const std::vector<qnn::QnnExecutor>& executors,
+    const std::vector<std::vector<double>>& weights,
+    const std::vector<double>& votes,
+    const std::vector<InferenceTask>& tasks, const ScheduleConfig& config);
+
+}  // namespace arbiterq::core

@@ -1,0 +1,52 @@
+#pragma once
+// Similarity-aware grouping (paper §III-B):
+//   dist(i,j) = ||v_b^i - v_b^j||_2 / length(v_b)        (Eq. 1)
+//   sim(i,j)  = exp(-kappa * dist(i,j))
+// QPUs whose distance falls below a threshold form a sharing group;
+// groups are the connected components of the thresholded distance graph,
+// so "similar to a common neighbor" chains into one group.
+
+#include <vector>
+
+#include "arbiterq/core/behavioral_vector.hpp"
+#include "arbiterq/math/matrix.hpp"
+
+namespace arbiterq::core {
+
+/// Eq. 1 — behavioral vectors must have equal lengths.
+double behavioral_distance(const BehavioralVector& a,
+                           const BehavioralVector& b);
+
+/// sim = exp(-kappa * dist); kappa is the paper's hyperparameter
+/// (20000 in §V-A).
+double similarity_from_distance(double dist, double kappa);
+
+class SimilarityGraph {
+ public:
+  SimilarityGraph(const std::vector<BehavioralVector>& vectors,
+                  double kappa);
+
+  std::size_t size() const noexcept { return n_; }
+  double distance(std::size_t i, std::size_t j) const {
+    return dist_(i, j);
+  }
+  double similarity(std::size_t i, std::size_t j) const {
+    return sim_(i, j);
+  }
+  const math::Matrix& distance_matrix() const noexcept { return dist_; }
+  const math::Matrix& similarity_matrix() const noexcept { return sim_; }
+
+  /// Connected components under dist <= threshold; each component sorted,
+  /// components ordered by smallest member.
+  std::vector<std::vector<int>> groups(double threshold) const;
+
+  /// Peers of node i in its group (excluding i itself).
+  std::vector<int> peers(int i, double threshold) const;
+
+ private:
+  std::size_t n_;
+  math::Matrix dist_;
+  math::Matrix sim_;
+};
+
+}  // namespace arbiterq::core

@@ -1,0 +1,54 @@
+#pragma once
+// QPU torus construction (paper §IV-A). Goal: partition the fleet into
+// sub-tori whose members are mutually *dissimilar*, so their noise
+// biases compensate when a task's shots are split across a torus.
+//
+// Pipeline:
+//  1. MDS reduces the behavioral-vector space and the model-vector
+//     (weight) space to 1-D sequences {b_j} and {m_t} that preserve the
+//     pairwise distances (Saeed et al.).
+//  2. A non-uniform DFT of the model sequence sampled at the behavioral
+//     positions (Eq. 2) finds the dominant frequency; the cycle period is
+//     T = span({b_j}) / argmax_k |F_m[k]| (Eq. 3).
+//  3. The behavioral sequence is wrapped onto a circle of circumference
+//     T: QPUs whose b-coordinates differ by a multiple of T land at the
+//     same phase — and those are exactly the "distant but model-similar"
+//     nodes MDS alone cannot separate.
+//  4. Equidistant partition along the circle: sort by phase, cut into
+//     near-equal contiguous chunks. Each chunk strings together QPUs from
+//     different periods, i.e. with low behavioral similarity.
+
+#include <vector>
+
+#include "arbiterq/core/behavioral_vector.hpp"
+
+namespace arbiterq::core {
+
+struct TorusPartition {
+  /// Cycle period T of Eq. 3.
+  double cycle_period = 0.0;
+  /// argmax frequency index of the NUDFT (>= 1).
+  std::size_t dominant_frequency = 0;
+  /// 1-D MDS coordinates, indexed by QPU.
+  std::vector<double> behavioral_coords;
+  std::vector<double> model_coords;
+  /// Phase in [0, 1) on the torus circle, indexed by QPU.
+  std::vector<double> phase;
+  /// QPU indices per sub-torus (each sorted by phase).
+  std::vector<std::vector<int>> tori;
+
+  /// Torus containing QPU q; throws if q is unknown.
+  std::size_t torus_of(int q) const;
+};
+
+/// Default torus count used by the Table IV experiments: one torus per
+/// ~3 QPUs ({1,2,3}->1, {6}->2, {8}->2, {10}->3).
+int default_torus_count(std::size_t num_qpus);
+
+/// Build the partition from per-QPU behavioral vectors and model vectors
+/// (deployed weights). num_tori <= 0 selects default_torus_count.
+TorusPartition build_torus_partition(
+    const std::vector<BehavioralVector>& behavioral,
+    const std::vector<std::vector<double>>& model_vectors, int num_tori = 0);
+
+}  // namespace arbiterq::core

@@ -1,0 +1,285 @@
+#include "arbiterq/core/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "arbiterq/math/stats.hpp"
+
+namespace arbiterq::core {
+
+namespace {
+
+void finalize_report(InferenceReport& r) {
+  r.mean_loss = math::mean(r.per_task_loss);
+  r.loss_stddev = math::stddev(r.per_task_loss);
+  std::vector<double> busy;
+  for (double b : r.qpu_busy_us) {
+    if (b > 0.0) busy.push_back(b);
+  }
+  if (!busy.empty()) {
+    r.workload_imbalance = math::max_value(busy) / math::mean(busy);
+    r.makespan_us = math::max_value(busy);
+    r.throughput_tasks_per_s =
+        1e6 * static_cast<double>(r.per_task_loss.size()) / r.makespan_us;
+  }
+}
+
+}  // namespace
+
+std::vector<InferenceTask> make_tasks(
+    const std::vector<std::vector<double>>& features,
+    const std::vector<int>& labels) {
+  if (features.size() != labels.size()) {
+    throw std::invalid_argument("make_tasks: size mismatch");
+  }
+  std::vector<InferenceTask> tasks(features.size());
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    tasks[i].features = features[i];
+    tasks[i].label = labels[i];
+  }
+  return tasks;
+}
+
+ShotOrientedScheduler::ShotOrientedScheduler(
+    const std::vector<qnn::QnnExecutor>& executors,
+    std::vector<std::vector<double>> weights, TorusPartition partition,
+    ScheduleConfig config)
+    : executors_(executors),
+      weights_(std::move(weights)),
+      partition_(std::move(partition)),
+      config_(config) {
+  if (executors_.empty() || weights_.size() != executors_.size()) {
+    throw std::invalid_argument("ShotOrientedScheduler: fleet mismatch");
+  }
+  torus_scores_.resize(partition_.tori.size());
+  torus_rate_.resize(partition_.tori.size());
+  for (std::size_t t = 0; t < partition_.tori.size(); ++t) {
+    double err = 0.0;
+    double rate = 0.0;
+    for (int q : partition_.tori[t]) {
+      err += executors_[static_cast<std::size_t>(q)].qpu().average_error();
+      rate += executors_[static_cast<std::size_t>(q)].shot_rate();
+    }
+    const auto members = static_cast<double>(partition_.tori[t].size());
+    torus_scores_[t] = members > 0.0 ? -err / members : 0.0;
+    torus_rate_[t] = rate;
+  }
+}
+
+double ShotOrientedScheduler::torus_probability(std::size_t torus,
+                                                const InferenceTask& task,
+                                                int shots, math::Rng& rng,
+                                                InferenceReport* report) const {
+  const auto& members = partition_.tori[torus];
+  // Split the shots proportionally to each member's shot rate.
+  double total_rate = 0.0;
+  for (int q : members) {
+    total_rate += executors_[static_cast<std::size_t>(q)].shot_rate();
+  }
+  double p = 0.0;
+  int assigned = 0;
+  double weight_sum = 0.0;
+  for (std::size_t m = 0; m < members.size(); ++m) {
+    const auto q = static_cast<std::size_t>(members[m]);
+    const double share =
+        executors_[q].shot_rate() / std::max(total_rate, 1e-12);
+    int q_shots = m + 1 == members.size()
+                      ? shots - assigned
+                      : static_cast<int>(std::round(share * shots));
+    q_shots = std::clamp(q_shots, 0, shots - assigned);
+    if (q_shots == 0) continue;
+    assigned += q_shots;
+    math::Rng shot_rng = rng.split(q * 7717ULL + 13ULL);
+    const double pq = executors_[q].sampled_probability(
+        task.features, weights_[q], q_shots, shot_rng,
+        config_.trajectories);
+    p += static_cast<double>(q_shots) * pq;
+    weight_sum += static_cast<double>(q_shots);
+    if (report != nullptr) {
+      report->qpu_shots[q] += static_cast<double>(q_shots);
+      report->qpu_busy_us[q] +=
+          static_cast<double>(q_shots) * executors_[q].shot_latency_us();
+    }
+  }
+  return weight_sum > 0.0 ? p / weight_sum : 0.5;
+}
+
+InferenceReport ShotOrientedScheduler::run(
+    const std::vector<InferenceTask>& tasks) const {
+  if (tasks.empty()) {
+    throw std::invalid_argument("ShotOrientedScheduler::run: no tasks");
+  }
+  const std::size_t n_tori = partition_.tori.size();
+  InferenceReport report;
+  report.per_task_loss.resize(tasks.size());
+  report.qpu_shots.assign(executors_.size(), 0.0);
+  report.qpu_busy_us.assign(executors_.size(), 0.0);
+
+  math::Rng root(config_.seed);
+
+  // Warm-up: sketch task difficulty with a few shots round-robin across
+  // tori (cheap, counted toward the workload).
+  std::vector<double> difficulty(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    math::Rng rng = root.split("warmup").split(i);
+    const double p = torus_probability(i % n_tori, tasks[i],
+                                       config_.warmup_shots, rng, &report);
+    difficulty[i] = qnn::loss_value(config_.loss, p, tasks[i].label);
+  }
+
+  // Greedy assignment: hard tasks to accurate tori, under throughput-
+  // proportional quotas.
+  std::vector<std::size_t> task_order(tasks.size());
+  std::iota(task_order.begin(), task_order.end(), 0);
+  std::sort(task_order.begin(), task_order.end(),
+            [&](std::size_t a, std::size_t b) {
+              return difficulty[a] > difficulty[b];
+            });
+  std::vector<std::size_t> torus_order(n_tori);
+  std::iota(torus_order.begin(), torus_order.end(), 0);
+  std::sort(torus_order.begin(), torus_order.end(),
+            [&](std::size_t a, std::size_t b) {
+              return torus_scores_[a] > torus_scores_[b];
+            });
+
+  const double total_rate =
+      std::accumulate(torus_rate_.begin(), torus_rate_.end(), 0.0);
+  std::vector<std::size_t> quota(n_tori);
+  std::size_t assigned = 0;
+  for (std::size_t k = 0; k < n_tori; ++k) {
+    const std::size_t t = torus_order[k];
+    quota[t] = k + 1 == n_tori
+                   ? tasks.size() - assigned
+                   : static_cast<std::size_t>(std::round(
+                         torus_rate_[t] / std::max(total_rate, 1e-12) *
+                         static_cast<double>(tasks.size())));
+    quota[t] = std::min(quota[t], tasks.size() - assigned);
+    assigned += quota[t];
+  }
+
+  std::vector<std::size_t> task_torus(tasks.size());
+  std::size_t cursor = 0;
+  for (std::size_t k = 0; k < n_tori && cursor < tasks.size(); ++k) {
+    const std::size_t t = torus_order[k];
+    for (std::size_t c = 0; c < quota[t] && cursor < tasks.size(); ++c) {
+      task_torus[task_order[cursor++]] = t;
+    }
+  }
+  // Any rounding leftovers land on the fastest torus.
+  while (cursor < tasks.size()) {
+    task_torus[task_order[cursor++]] = torus_order[0];
+  }
+
+  // Execute.
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    math::Rng rng = root.split("exec").split(i);
+    const double p = torus_probability(task_torus[i], tasks[i],
+                                       config_.shots_per_task, rng, &report);
+    report.per_task_loss[i] =
+        qnn::loss_value(config_.loss, p, tasks[i].label);
+  }
+
+  finalize_report(report);
+  return report;
+}
+
+InferenceReport batch_based_inference(
+    const std::vector<qnn::QnnExecutor>& executors,
+    const std::vector<std::vector<double>>& weights,
+    const std::vector<InferenceTask>& tasks, const ScheduleConfig& config) {
+  if (executors.empty() || weights.size() != executors.size()) {
+    throw std::invalid_argument("batch_based_inference: fleet mismatch");
+  }
+  if (tasks.empty()) {
+    throw std::invalid_argument("batch_based_inference: no tasks");
+  }
+  InferenceReport report;
+  report.per_task_loss.resize(tasks.size());
+  report.qpu_shots.assign(executors.size(), 0.0);
+  report.qpu_busy_us.assign(executors.size(), 0.0);
+
+  // Deal tasks out proportionally to QPU shot rate via largest-remainder
+  // round-robin on cumulative deficit.
+  std::vector<double> rate(executors.size());
+  double total_rate = 0.0;
+  for (std::size_t q = 0; q < executors.size(); ++q) {
+    rate[q] = executors[q].shot_rate();
+    total_rate += rate[q];
+  }
+  std::vector<double> credit(executors.size(), 0.0);
+  math::Rng root(config.seed);
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    for (std::size_t q = 0; q < executors.size(); ++q) {
+      credit[q] += rate[q] / total_rate;
+    }
+    const std::size_t pick = static_cast<std::size_t>(
+        std::max_element(credit.begin(), credit.end()) - credit.begin());
+    credit[pick] -= 1.0;
+
+    math::Rng rng = root.split("batch").split(i);
+    const double p = executors[pick].sampled_probability(
+        tasks[i].features, weights[pick], config.shots_per_task, rng,
+        config.trajectories);
+    report.per_task_loss[i] =
+        qnn::loss_value(config.loss, p, tasks[i].label);
+    report.qpu_shots[pick] += static_cast<double>(config.shots_per_task);
+    report.qpu_busy_us[pick] += static_cast<double>(config.shots_per_task) *
+                                executors[pick].shot_latency_us();
+  }
+
+  finalize_report(report);
+  return report;
+}
+
+InferenceReport ensemble_weighted_inference(
+    const std::vector<qnn::QnnExecutor>& executors,
+    const std::vector<std::vector<double>>& weights,
+    const std::vector<double>& votes,
+    const std::vector<InferenceTask>& tasks, const ScheduleConfig& config) {
+  if (executors.empty() || weights.size() != executors.size() ||
+      votes.size() != executors.size()) {
+    throw std::invalid_argument("ensemble_weighted_inference: fleet mismatch");
+  }
+  if (tasks.empty()) {
+    throw std::invalid_argument("ensemble_weighted_inference: no tasks");
+  }
+  double vote_total = 0.0;
+  for (double v : votes) {
+    if (v < 0.0) {
+      throw std::invalid_argument("ensemble_weighted_inference: bad vote");
+    }
+    vote_total += v;
+  }
+  if (vote_total <= 0.0) {
+    throw std::invalid_argument("ensemble_weighted_inference: zero votes");
+  }
+
+  InferenceReport report;
+  report.per_task_loss.resize(tasks.size());
+  report.qpu_shots.assign(executors.size(), 0.0);
+  report.qpu_busy_us.assign(executors.size(), 0.0);
+
+  math::Rng root(config.seed);
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    double p = 0.0;
+    for (std::size_t q = 0; q < executors.size(); ++q) {
+      math::Rng rng = root.split("ensemble").split(i * 131ULL + q);
+      const double pq = executors[q].sampled_probability(
+          tasks[i].features, weights[q], config.shots_per_task, rng,
+          config.trajectories);
+      p += votes[q] / vote_total * pq;
+      report.qpu_shots[q] += static_cast<double>(config.shots_per_task);
+      report.qpu_busy_us[q] += static_cast<double>(config.shots_per_task) *
+                               executors[q].shot_latency_us();
+    }
+    report.per_task_loss[i] =
+        qnn::loss_value(config.loss, p, tasks[i].label);
+  }
+
+  finalize_report(report);
+  return report;
+}
+
+}  // namespace arbiterq::core

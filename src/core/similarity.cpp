@@ -1,0 +1,99 @@
+#include "arbiterq/core/similarity.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <numeric>
+#include <stdexcept>
+
+#include "arbiterq/math/stats.hpp"
+
+namespace arbiterq::core {
+
+double behavioral_distance(const BehavioralVector& a,
+                           const BehavioralVector& b) {
+  const auto va = a.concatenated();
+  const auto vb = b.concatenated();
+  if (va.size() != vb.size() || va.empty()) {
+    throw std::invalid_argument("behavioral_distance: length mismatch");
+  }
+  return math::l2_distance(va, vb) / static_cast<double>(va.size());
+}
+
+double similarity_from_distance(double dist, double kappa) {
+  if (dist < 0.0 || kappa < 0.0) {
+    throw std::invalid_argument("similarity_from_distance: negative input");
+  }
+  return std::exp(-kappa * dist);
+}
+
+SimilarityGraph::SimilarityGraph(
+    const std::vector<BehavioralVector>& vectors, double kappa)
+    : n_(vectors.size()), dist_(vectors.size(), vectors.size()),
+      sim_(vectors.size(), vectors.size()) {
+  if (vectors.empty()) {
+    throw std::invalid_argument("SimilarityGraph: no vectors");
+  }
+  for (std::size_t i = 0; i < n_; ++i) {
+    sim_(i, i) = 1.0;
+    for (std::size_t j = i + 1; j < n_; ++j) {
+      const double d = behavioral_distance(vectors[i], vectors[j]);
+      dist_(i, j) = dist_(j, i) = d;
+      const double s = similarity_from_distance(d, kappa);
+      sim_(i, j) = sim_(j, i) = s;
+    }
+  }
+}
+
+std::vector<std::vector<int>> SimilarityGraph::groups(
+    double threshold) const {
+  // Union-find over the thresholded graph.
+  std::vector<int> parent(n_);
+  std::iota(parent.begin(), parent.end(), 0);
+  std::function<int(int)> find = [&](int x) {
+    while (parent[static_cast<std::size_t>(x)] != x) {
+      parent[static_cast<std::size_t>(x)] =
+          parent[static_cast<std::size_t>(
+              parent[static_cast<std::size_t>(x)])];
+      x = parent[static_cast<std::size_t>(x)];
+    }
+    return x;
+  };
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = i + 1; j < n_; ++j) {
+      if (dist_(i, j) <= threshold) {
+        parent[static_cast<std::size_t>(find(static_cast<int>(j)))] =
+            find(static_cast<int>(i));
+      }
+    }
+  }
+  std::vector<std::vector<int>> out;
+  std::vector<int> root_to_group(n_, -1);
+  for (std::size_t i = 0; i < n_; ++i) {
+    const int r = find(static_cast<int>(i));
+    if (root_to_group[static_cast<std::size_t>(r)] < 0) {
+      root_to_group[static_cast<std::size_t>(r)] =
+          static_cast<int>(out.size());
+      out.emplace_back();
+    }
+    out[static_cast<std::size_t>(root_to_group[static_cast<std::size_t>(r)])]
+        .push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+std::vector<int> SimilarityGraph::peers(int i, double threshold) const {
+  const auto all = groups(threshold);
+  for (const auto& g : all) {
+    if (std::find(g.begin(), g.end(), i) != g.end()) {
+      std::vector<int> peers;
+      for (int m : g) {
+        if (m != i) peers.push_back(m);
+      }
+      return peers;
+    }
+  }
+  return {};
+}
+
+}  // namespace arbiterq::core

@@ -1,0 +1,93 @@
+#include "arbiterq/core/torus.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "arbiterq/math/dft.hpp"
+#include "arbiterq/math/mds.hpp"
+
+namespace arbiterq::core {
+
+std::size_t TorusPartition::torus_of(int q) const {
+  for (std::size_t t = 0; t < tori.size(); ++t) {
+    if (std::find(tori[t].begin(), tori[t].end(), q) != tori[t].end()) {
+      return t;
+    }
+  }
+  throw std::out_of_range("TorusPartition::torus_of: unknown QPU");
+}
+
+int default_torus_count(std::size_t num_qpus) {
+  return std::max(1, static_cast<int>(num_qpus / 3));
+}
+
+TorusPartition build_torus_partition(
+    const std::vector<BehavioralVector>& behavioral,
+    const std::vector<std::vector<double>>& model_vectors, int num_tori) {
+  const std::size_t n = behavioral.size();
+  if (n == 0 || model_vectors.size() != n) {
+    throw std::invalid_argument("build_torus_partition: input mismatch");
+  }
+  if (num_tori <= 0) num_tori = default_torus_count(n);
+  if (static_cast<std::size_t>(num_tori) > n) {
+    throw std::invalid_argument("build_torus_partition: more tori than QPUs");
+  }
+
+  TorusPartition out;
+
+  std::vector<std::vector<double>> b_points;
+  b_points.reserve(n);
+  for (const auto& bv : behavioral) b_points.push_back(bv.concatenated());
+  out.behavioral_coords = math::mds_embed_1d(
+      math::pairwise_distances(b_points));
+  out.model_coords =
+      math::mds_embed_1d(math::pairwise_distances(model_vectors));
+
+  // Degenerate fleets (n < 3, or a flat behavioral axis) skip the DFT and
+  // fall back to a single-period torus.
+  const auto [lo, hi] = std::minmax_element(out.behavioral_coords.begin(),
+                                            out.behavioral_coords.end());
+  const double span = *hi - *lo;
+  if (n >= 3 && span > 1e-15) {
+    const auto cycle = math::dominant_cycle(out.behavioral_coords,
+                                            out.model_coords, n);
+    out.cycle_period = cycle.period;
+    out.dominant_frequency = cycle.frequency_index;
+  } else {
+    out.cycle_period = span > 0.0 ? span : 1.0;
+    out.dominant_frequency = 1;
+  }
+
+  // Wrap onto the torus circle.
+  out.phase.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double offset = out.behavioral_coords[i] - *lo;
+    const double m = std::fmod(offset, out.cycle_period);
+    out.phase[i] = m / out.cycle_period;
+  }
+
+  // Equidistant partition: sort by phase, cut into near-equal chunks
+  // (larger chunks first, matching Table IV's {4,3,3} style splits).
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const double pa = out.phase[static_cast<std::size_t>(a)];
+    const double pb = out.phase[static_cast<std::size_t>(b)];
+    return pa != pb ? pa < pb : a < b;
+  });
+  out.tori.resize(static_cast<std::size_t>(num_tori));
+  std::size_t cursor = 0;
+  for (int t = 0; t < num_tori; ++t) {
+    const std::size_t remaining_tori = static_cast<std::size_t>(num_tori - t);
+    const std::size_t chunk =
+        (n - cursor + remaining_tori - 1) / remaining_tori;
+    for (std::size_t k = 0; k < chunk; ++k) {
+      out.tori[static_cast<std::size_t>(t)].push_back(order[cursor++]);
+    }
+  }
+  return out;
+}
+
+}  // namespace arbiterq::core

@@ -1,0 +1,76 @@
+#include "arbiterq/data/dataset.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace arbiterq::data {
+
+void Dataset::validate() const {
+  if (samples.size() != labels.size()) {
+    throw std::invalid_argument("Dataset: samples/labels size mismatch");
+  }
+  const std::size_t d = num_features();
+  for (const auto& s : samples) {
+    if (s.size() != d) throw std::invalid_argument("Dataset: ragged rows");
+  }
+  for (int l : labels) {
+    if (l != 0 && l != 1) {
+      throw std::invalid_argument("Dataset: labels must be 0/1");
+    }
+  }
+}
+
+Split train_test_split(const Dataset& d, double train_fraction,
+                       math::Rng rng) {
+  d.validate();
+  if (d.size() < 2) {
+    throw std::invalid_argument("train_test_split: need >= 2 samples");
+  }
+  if (train_fraction <= 0.0 || train_fraction >= 1.0) {
+    throw std::invalid_argument("train_test_split: fraction must be (0,1)");
+  }
+  std::vector<std::size_t> order(d.size());
+  std::iota(order.begin(), order.end(), 0);
+  // Fisher-Yates with our deterministic rng.
+  for (std::size_t i = order.size(); i > 1; --i) {
+    const std::size_t j = rng.uniform_int(i);
+    std::swap(order[i - 1], order[j]);
+  }
+  std::size_t n_train = static_cast<std::size_t>(
+      train_fraction * static_cast<double>(d.size()) + 0.5);
+  n_train = std::clamp<std::size_t>(n_train, 1, d.size() - 1);
+
+  Split split;
+  split.train.name = d.name + "/train";
+  split.test.name = d.name + "/test";
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    Dataset& dst = i < n_train ? split.train : split.test;
+    dst.samples.push_back(d.samples[order[i]]);
+    dst.labels.push_back(d.labels[order[i]]);
+  }
+  return split;
+}
+
+std::vector<std::size_t> minibatch_indices(std::size_t dataset_size,
+                                           std::size_t batch_size,
+                                           std::size_t batch_index,
+                                           math::Rng rng) {
+  if (dataset_size == 0 || batch_size == 0) {
+    throw std::invalid_argument("minibatch_indices: empty input");
+  }
+  std::vector<std::size_t> order(dataset_size);
+  std::iota(order.begin(), order.end(), 0);
+  for (std::size_t i = order.size(); i > 1; --i) {
+    const std::size_t j = rng.uniform_int(i);
+    std::swap(order[i - 1], order[j]);
+  }
+  std::vector<std::size_t> batch;
+  const std::size_t start = (batch_index * batch_size) % dataset_size;
+  for (std::size_t k = 0; k < std::min(batch_size, dataset_size); ++k) {
+    batch.push_back(order[(start + k) % dataset_size]);
+  }
+  return batch;
+}
+
+}  // namespace arbiterq::data

@@ -1,0 +1,45 @@
+#pragma once
+// Labeled classical datasets and the train/test split used throughout the
+// evaluation (80/20, §V-A).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arbiterq/math/rng.hpp"
+
+namespace arbiterq::data {
+
+struct Dataset {
+  std::string name;
+  std::vector<std::vector<double>> samples;  ///< rows of equal length
+  std::vector<int> labels;                   ///< 0 or 1
+
+  std::size_t size() const noexcept { return samples.size(); }
+  std::size_t num_features() const {
+    return samples.empty() ? 0 : samples[0].size();
+  }
+
+  /// Throws std::invalid_argument if rows are ragged, labels mismatch or
+  /// any label is not 0/1.
+  void validate() const;
+};
+
+struct Split {
+  Dataset train;
+  Dataset test;
+};
+
+/// Shuffled split with the given training fraction (at least one sample
+/// on each side). Deterministic under `rng`.
+Split train_test_split(const Dataset& d, double train_fraction,
+                       math::Rng rng);
+
+/// Deterministic minibatch: indices of batch `b` of size `batch_size`
+/// over an epoch-shuffled order.
+std::vector<std::size_t> minibatch_indices(std::size_t dataset_size,
+                                           std::size_t batch_size,
+                                           std::size_t batch_index,
+                                           math::Rng rng);
+
+}  // namespace arbiterq::data

@@ -1,0 +1,44 @@
+#pragma once
+// End-to-end data preparation: split -> PCA to the qubit count -> angle
+// scaling to [0, pi], with PCA and the scaler fitted on the training
+// split only. Also the Table II benchmark roster (dataset, qubit count,
+// layer count) that every evaluation binary iterates over.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arbiterq/data/dataset.hpp"
+#include "arbiterq/data/synthetic.hpp"
+
+namespace arbiterq::data {
+
+struct EncodedSplit {
+  std::string name;
+  int num_qubits = 0;
+  std::vector<std::vector<double>> train_features;  ///< radians, [0, pi]
+  std::vector<int> train_labels;
+  std::vector<std::vector<double>> test_features;
+  std::vector<int> test_labels;
+};
+
+/// 80/20 split (paper §V-A), PCA compression to `num_qubits` features and
+/// angle scaling. Deterministic in `seed`.
+EncodedSplit prepare(const Dataset& dataset, int num_qubits,
+                     double train_fraction = 0.8, std::uint64_t seed = 7);
+
+/// One Table II row: dataset constructor + QNN shape.
+struct BenchmarkCase {
+  std::string dataset;  ///< "iris" | "wine" | "mnist" | "hmdb51"
+  int num_qubits = 2;
+  int num_layers = 2;  ///< 2*num_qubits*num_layers = Table II weights
+};
+
+/// All four Table II rows: iris(2q), wine(4q), mnist(6q), hmdb51(10q, 10
+/// layers -> 200 weights).
+std::vector<BenchmarkCase> table2_cases();
+
+/// Build + prepare the dataset of one benchmark case.
+EncodedSplit prepare_case(const BenchmarkCase& bc, std::uint64_t seed = 7);
+
+}  // namespace arbiterq::data

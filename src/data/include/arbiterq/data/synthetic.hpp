@@ -1,0 +1,39 @@
+#pragma once
+// Seeded synthetic stand-ins for the paper's four benchmarks (Table II).
+// We do not ship the original data files; each generator produces a
+// two-class Gaussian mixture with the paper's exact sample and feature
+// counts, a controlled class separation, and a fraction of purely noisy
+// dimensions — preserving the optimization-landscape characteristics
+// (dimensionality, signal-to-noise) that the measured quantities
+// (convergence epoch, converged loss) depend on. See DESIGN.md,
+// "Substitutions".
+
+#include <cstdint>
+
+#include "arbiterq/data/dataset.hpp"
+
+namespace arbiterq::data {
+
+struct SyntheticSpec {
+  std::string name;
+  std::size_t num_samples = 100;
+  std::size_t num_features = 4;
+  /// Distance between class means per informative dimension, in units of
+  /// the within-class standard deviation.
+  double separation = 2.0;
+  /// Fraction of dimensions carrying no class signal.
+  double noise_dims_fraction = 0.25;
+  std::uint64_t seed = 1;
+};
+
+/// Generate a two-class Gaussian mixture per the spec (balanced classes).
+Dataset make_synthetic(const SyntheticSpec& spec);
+
+/// Table II rows: 100x4 (Iris), 114x13 (Wine), 100x64 (MNIST 8x8-like),
+/// 100x108 (HMDB51 descriptor-like).
+Dataset iris_like(std::uint64_t seed = 11);
+Dataset wine_like(std::uint64_t seed = 13);
+Dataset mnist_like(std::uint64_t seed = 21);
+Dataset hmdb51_like(std::uint64_t seed = 22);
+
+}  // namespace arbiterq::data

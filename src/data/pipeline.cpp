@@ -1,0 +1,62 @@
+#include "arbiterq/data/pipeline.hpp"
+
+#include <stdexcept>
+
+#include "arbiterq/math/pca.hpp"
+#include "arbiterq/qnn/encoding.hpp"
+
+namespace arbiterq::data {
+
+EncodedSplit prepare(const Dataset& dataset, int num_qubits,
+                     double train_fraction, std::uint64_t seed) {
+  if (num_qubits < 1 ||
+      static_cast<std::size_t>(num_qubits) > dataset.num_features()) {
+    throw std::invalid_argument("prepare: qubit count vs features mismatch");
+  }
+  const Split split = train_test_split(dataset, train_fraction,
+                                       math::Rng(seed).split("split"));
+
+  const math::Pca pca(split.train.samples,
+                      static_cast<std::size_t>(num_qubits));
+  const auto train_compressed = pca.transform_all(split.train.samples);
+  const auto test_compressed = pca.transform_all(split.test.samples);
+
+  const qnn::FeatureScaler scaler(train_compressed);
+
+  EncodedSplit out;
+  out.name = dataset.name;
+  out.num_qubits = num_qubits;
+  out.train_features = scaler.transform_all(train_compressed);
+  out.train_labels = split.train.labels;
+  out.test_features = scaler.transform_all(test_compressed);
+  out.test_labels = split.test.labels;
+  return out;
+}
+
+std::vector<BenchmarkCase> table2_cases() {
+  return {
+      {"iris", 2, 2},     // 8 weights
+      {"wine", 4, 2},     // 16 weights
+      {"mnist", 6, 2},    // 24 weights
+      {"hmdb51", 10, 10}  // 200 weights
+  };
+}
+
+EncodedSplit prepare_case(const BenchmarkCase& bc, std::uint64_t seed) {
+  Dataset d;
+  if (bc.dataset == "iris") {
+    d = iris_like();
+  } else if (bc.dataset == "wine") {
+    d = wine_like();
+  } else if (bc.dataset == "mnist") {
+    d = mnist_like();
+  } else if (bc.dataset == "hmdb51") {
+    d = hmdb51_like();
+  } else {
+    throw std::invalid_argument("prepare_case: unknown dataset " +
+                                bc.dataset);
+  }
+  return prepare(d, bc.num_qubits, 0.8, seed);
+}
+
+}  // namespace arbiterq::data

@@ -1,0 +1,37 @@
+#pragma once
+// Concrete device fleets used throughout the evaluation:
+//  * the 10 simulator configurations of Table III (infidelities and T1/T2
+//    exactly as printed; topology family, delays and bias scales are ours
+//    — the paper does not publish them — chosen to span realistic
+//    heterogeneity);
+//  * an origin_wukong-like 72-qubit 6x12 grid chip (U3+CZ basis, average
+//    fidelities 99.72% / 95.86% from §V-A) plus the four 2-qubit tiles the
+//    Fig. 6 experiment cuts from it.
+
+#include <vector>
+
+#include "arbiterq/device/qpu.hpp"
+
+namespace arbiterq::device {
+
+/// The 10 Table III simulators. Every device gets at least `min_qubits`
+/// qubits so a fleet can host any of the Table II models (the paper's
+/// fleet spans 2-10 qubits; a benchmark only dispatches to devices large
+/// enough for its circuit). `bias_factor` scales the per-device coherent
+/// calibration error (coherent_bias_scale = bias_factor * sqrt(infid_1q));
+/// it is the heterogeneity knob — larger values pull the devices' optimal
+/// weights further apart.
+std::vector<Qpu> table3_fleet(int min_qubits = 10, double bias_factor = 4.0);
+
+/// First `count` devices of the Table III fleet.
+std::vector<Qpu> table3_fleet_subset(int count, int min_qubits = 10,
+                                     double bias_factor = 4.0);
+
+/// The origin_wukong-like chip: 6x12 grid, U3+CZ, f1q=99.72%, f2q=95.86%.
+Qpu origin_wukong();
+
+/// Four disjoint 2-qubit tiles cut from different regions of the wukong
+/// chip, forming the Fig. 6 distributed system.
+std::vector<Qpu> wukong_tiles();
+
+}  // namespace arbiterq::device

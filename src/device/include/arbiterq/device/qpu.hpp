@@ -1,0 +1,114 @@
+#pragma once
+// A (simulated) quantum processing unit: coupling topology, native basis,
+// calibration data (per-qubit/per-edge infidelities, T1/T2, durations,
+// readout error) and the deterministic coherent-bias pattern that makes
+// each device's optimal QNN weights distinct.
+//
+// Gate executional error follows the paper's formula (§III-A, after
+// Sanders et al.):  e = 1 - exp(-t/tau) * f
+// with t the gate duration, tau = T1 for single-qubit gates
+// ("depolarization time") and tau = T2 for two-qubit gates ("decoherence
+// time"), and f the reported gate fidelity.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arbiterq/circuit/gate.hpp"
+#include "arbiterq/device/topology.hpp"
+#include "arbiterq/sim/noise_model.hpp"
+
+namespace arbiterq::device {
+
+/// Native gate set a transpiled circuit must use.
+enum class BasisSet : std::uint8_t {
+  kIbm,     ///< {RZ, SX, X, CX}
+  kOrigin,  ///< {U3, CZ}
+};
+
+std::string basis_name(BasisSet basis);
+
+struct QpuSpec {
+  std::string name;
+  int id = 0;
+  Topology topology;
+  BasisSet basis = BasisSet::kIbm;
+
+  /// Device-average infidelities; per-qubit/per-edge values are derived
+  /// from these with a deterministic +/-20% spread seeded by `noise_seed`.
+  double infidelity_1q = 0.0;
+  double infidelity_2q = 0.0;
+
+  double t1_us = 100.0;  ///< depolarization time
+  double t2_us = 50.0;   ///< decoherence time
+
+  double duration_1q_ns = 30.0;
+  double duration_2q_ns = 200.0;
+  double readout_us = 2.0;
+  /// Per-shot scheduling/reset delay; dominates shot latency on real
+  /// clouds (the paper's 0.26s example uses 200us of delay per shot).
+  double delay_us = 200.0;
+
+  /// Average readout assignment infidelity.
+  double readout_error = 0.01;
+
+  /// RMS magnitude (radians) of the per-qubit coherent rotation offset.
+  double coherent_bias_scale = 0.05;
+
+  /// Seeds the per-qubit/per-edge spreads and the bias pattern.
+  std::uint64_t noise_seed = 0;
+};
+
+class Qpu {
+ public:
+  explicit Qpu(QpuSpec spec);
+
+  const QpuSpec& spec() const noexcept { return spec_; }
+  const std::string& name() const noexcept { return spec_.name; }
+  int id() const noexcept { return spec_.id; }
+  int num_qubits() const noexcept { return spec_.topology.num_qubits(); }
+  const Topology& topology() const noexcept { return spec_.topology; }
+  BasisSet basis() const noexcept { return spec_.basis; }
+
+  /// Calibrated per-qubit / per-edge infidelities (fidelity = 1 - value).
+  double fidelity_1q(int q) const;
+  double fidelity_2q(int a, int b) const;
+  double coherent_bias(int q) const;
+  double readout_error(int q) const;
+
+  /// Duration of one gate kind in nanoseconds (SWAP = 3 two-qubit gates).
+  double gate_duration_ns(circuit::GateKind kind) const;
+
+  /// Executional error e = 1 - exp(-t/tau) * f for a gate on specific
+  /// qubits (paper §III-A). Two-qubit gates on non-adjacent qubits take
+  /// the edge-average fidelity (they must be routed before execution).
+  double gate_error(const circuit::Gate& g) const;
+
+  /// Wall-clock of one shot of a circuit with the given depth, in us.
+  double shot_latency_us(std::size_t depth) const;
+  /// Shots per second at the given circuit depth.
+  double shot_rate(std::size_t depth) const;
+
+  /// Noise model over this device's qubits for the simulators. Two-qubit
+  /// depolarizing probabilities are populated on topology edges.
+  sim::NoiseModel make_noise_model() const;
+
+  /// Device view restricted to `qubits` (relabeled 0..k-1): inherits
+  /// calibration of the selected qubits/edges. Used to cut independent
+  /// tiles out of a large chip (the Fig. 6 wukong experiment).
+  Qpu subdevice(const std::vector<int>& qubits, const std::string& name,
+                int id) const;
+
+  /// Mean gate error over all qubits and edges — EQC's voting weight is
+  /// derived from this single quality figure.
+  double average_error() const;
+
+ private:
+  QpuSpec spec_;
+  std::vector<double> fid_1q_;
+  std::vector<double> fid_2q_;  // dense n x n, only edges are meaningful
+  std::vector<double> bias_;
+  std::vector<double> readout_;
+};
+
+}  // namespace arbiterq::device

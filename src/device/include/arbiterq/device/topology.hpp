@@ -1,0 +1,52 @@
+#pragma once
+// Qubit coupling graph of a QPU. Routing, SWAP-cost estimation and the
+// topological part of the behavioral vector all read from here.
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace arbiterq::device {
+
+class Topology {
+ public:
+  Topology() = default;
+  /// Undirected graph over qubits 0..n-1; duplicate/reversed edges are
+  /// deduplicated; self-loops are rejected.
+  Topology(int num_qubits, std::vector<std::pair<int, int>> edges);
+
+  static Topology line(int n);
+  static Topology ring(int n);
+  static Topology grid(int rows, int cols);
+  static Topology star(int n);
+  static Topology fully_connected(int n);
+
+  int num_qubits() const noexcept { return num_qubits_; }
+  const std::vector<std::pair<int, int>>& edges() const noexcept {
+    return edges_;
+  }
+  std::size_t num_edges() const noexcept { return edges_.size(); }
+
+  bool connected(int a, int b) const;
+  const std::vector<int>& neighbors(int q) const;
+
+  /// Hop distance (precomputed BFS); -1 if unreachable.
+  int distance(int a, int b) const;
+  /// One shortest path a -> b inclusive; empty if unreachable.
+  std::vector<int> shortest_path(int a, int b) const;
+
+  bool is_connected_graph() const;
+
+  /// Subgraph induced by `qubits`, relabeled to 0..k-1 in the given order.
+  Topology induced(const std::vector<int>& qubits) const;
+
+ private:
+  void build_caches();
+
+  int num_qubits_ = 0;
+  std::vector<std::pair<int, int>> edges_;
+  std::vector<std::vector<int>> adjacency_;
+  std::vector<int> dist_;  // dense num_qubits x num_qubits
+};
+
+}  // namespace arbiterq::device

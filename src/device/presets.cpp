@@ -1,0 +1,131 @@
+#include "arbiterq/device/presets.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace arbiterq::device {
+
+namespace {
+
+enum class TopoFamily { kLine, kRing, kGrid, kStar };
+
+Topology make_topology(TopoFamily family, int n) {
+  switch (family) {
+    case TopoFamily::kLine:
+      return Topology::line(n);
+    case TopoFamily::kRing:
+      return Topology::ring(n);
+    case TopoFamily::kGrid: {
+      // Closest-to-square 2-row grid; pad the qubit count up to even.
+      const int cols = (n + 1) / 2;
+      return Topology::grid(2, cols);
+    }
+    case TopoFamily::kStar:
+      return Topology::star(n);
+  }
+  throw std::logic_error("make_topology: unknown family");
+}
+
+struct Table3Row {
+  double infid_1q;  // x1e-4 in the paper; stored as absolute here
+  double infid_2q;  // x1e-3 in the paper; stored as absolute here
+  double t1_us;
+  double t2_us;
+  TopoFamily family;
+  double delay_us;
+};
+
+// Infidelities and T1/T2 exactly as Table III; topology family and shot
+// delay are our additions (see presets.hpp).
+constexpr Table3Row kTable3[10] = {
+    {2.36e-4, 7.58e-3, 193.0, 21.4, TopoFamily::kLine, 220.0},
+    {3.06e-4, 8.67e-3, 137.0, 67.1, TopoFamily::kRing, 180.0},
+    {1.45e-4, 4.81e-3, 349.0, 84.7, TopoFamily::kGrid, 140.0},
+    {5.07e-4, 4.33e-3, 134.0, 89.2, TopoFamily::kLine, 260.0},
+    {3.41e-4, 3.69e-3, 114.0, 96.5, TopoFamily::kStar, 200.0},
+    {2.29e-4, 2.93e-3, 103.0, 25.7, TopoFamily::kRing, 120.0},
+    {4.27e-4, 4.62e-3, 171.0, 83.2, TopoFamily::kGrid, 240.0},
+    {1.72e-4, 3.66e-3, 232.0, 47.9, TopoFamily::kLine, 160.0},
+    {3.66e-4, 2.90e-3, 260.0, 58.4, TopoFamily::kRing, 190.0},
+    {2.42e-4, 9.75e-3, 166.0, 38.6, TopoFamily::kGrid, 280.0},
+};
+
+}  // namespace
+
+std::vector<Qpu> table3_fleet(int min_qubits, double bias_factor) {
+  return table3_fleet_subset(10, min_qubits, bias_factor);
+}
+
+std::vector<Qpu> table3_fleet_subset(int count, int min_qubits,
+                                     double bias_factor) {
+  if (count < 1 || count > 10) {
+    throw std::invalid_argument("table3_fleet_subset: count must be 1..10");
+  }
+  if (min_qubits < 2) {
+    throw std::invalid_argument("table3_fleet_subset: need >= 2 qubits");
+  }
+  std::vector<Qpu> fleet;
+  fleet.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const Table3Row& row = kTable3[static_cast<std::size_t>(i)];
+    QpuSpec spec;
+    spec.name = "sim-qpu-" + std::to_string(i + 1);
+    spec.id = i + 1;
+    spec.topology = make_topology(row.family, min_qubits);
+    spec.basis = BasisSet::kIbm;
+    spec.infidelity_1q = row.infid_1q;
+    spec.infidelity_2q = row.infid_2q;
+    spec.t1_us = row.t1_us;
+    spec.t2_us = row.t2_us;
+    spec.delay_us = row.delay_us;
+    spec.readout_error = 0.01;
+    // Coherent calibration error grows with gate infidelity: a sloppier
+    // device is also miscalibrated, which is what moves its optimum.
+    spec.coherent_bias_scale = bias_factor * std::sqrt(row.infid_1q);
+    spec.noise_seed = 0x5EEDULL + static_cast<std::uint64_t>(i + 1) * 7919ULL;
+    fleet.emplace_back(std::move(spec));
+  }
+  return fleet;
+}
+
+Qpu origin_wukong() {
+  QpuSpec spec;
+  spec.name = "origin-wukong";
+  spec.id = 100;
+  spec.topology = Topology::grid(6, 12);
+  spec.basis = BasisSet::kOrigin;
+  spec.infidelity_1q = 1.0 - 0.9972;
+  spec.infidelity_2q = 1.0 - 0.9586;
+  spec.t1_us = 100.0;
+  spec.t2_us = 40.0;
+  spec.duration_1q_ns = 40.0;
+  spec.duration_2q_ns = 250.0;
+  spec.delay_us = 200.0;
+  spec.readout_error = 0.02;
+  spec.coherent_bias_scale = 0.25;
+  spec.noise_seed = 0xD0C5ULL;
+  return Qpu(std::move(spec));
+}
+
+std::vector<Qpu> wukong_tiles() {
+  const Qpu chip = origin_wukong();
+  // Four adjacent-pair tiles from different chip regions (row*12 + col):
+  // corners and center, so the spatial calibration spread is maximal.
+  const std::vector<std::vector<int>> groups = {
+      {0, 1},    // top-left
+      {17, 18},  // row 1, middle
+      {38, 50},  // column pair in the center
+      {70, 71},  // bottom-right
+  };
+  std::vector<Qpu> tiles;
+  tiles.reserve(groups.size());
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    tiles.push_back(chip.subdevice(groups[g],
+                                   "wukong-tile-" + std::to_string(g + 1),
+                                   101 + static_cast<int>(g)));
+  }
+  return tiles;
+}
+
+}  // namespace arbiterq::device

@@ -1,0 +1,183 @@
+#include "arbiterq/device/qpu.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "arbiterq/math/rng.hpp"
+
+namespace arbiterq::device {
+
+std::string basis_name(BasisSet basis) {
+  switch (basis) {
+    case BasisSet::kIbm:
+      return "{rz,sx,x,cx}";
+    case BasisSet::kOrigin:
+      return "{u3,cz}";
+  }
+  throw std::logic_error("basis_name: unknown basis");
+}
+
+Qpu::Qpu(QpuSpec spec) : spec_(std::move(spec)) {
+  const int n = spec_.topology.num_qubits();
+  const auto un = static_cast<std::size_t>(n);
+  if (spec_.infidelity_1q < 0.0 || spec_.infidelity_1q >= 1.0 ||
+      spec_.infidelity_2q < 0.0 || spec_.infidelity_2q >= 1.0) {
+    throw std::invalid_argument("Qpu: infidelity outside [0, 1)");
+  }
+  if (spec_.t1_us <= 0.0 || spec_.t2_us <= 0.0) {
+    throw std::invalid_argument("Qpu: T1/T2 must be positive");
+  }
+
+  // Deterministic calibration spread around the device averages:
+  // +/-20% uniform for infidelities, Gaussian biases. Seeded per device so
+  // two QPUs with identical averages still behave differently (spatial
+  // heterogeneity, §II-B).
+  math::Rng rng = math::Rng(spec_.noise_seed).split("calibration");
+  fid_1q_.resize(un);
+  bias_.resize(un);
+  readout_.resize(un);
+  for (std::size_t q = 0; q < un; ++q) {
+    const double spread = rng.uniform(-0.2, 0.2);
+    fid_1q_[q] = 1.0 - spec_.infidelity_1q * (1.0 + spread);
+    bias_[q] = rng.normal(0.0, spec_.coherent_bias_scale);
+    readout_[q] =
+        std::clamp(spec_.readout_error * (1.0 + rng.uniform(-0.3, 0.3)), 0.0,
+                   0.5);
+  }
+  fid_2q_.assign(un * un, 1.0 - spec_.infidelity_2q);
+  for (const auto& [a, b] : spec_.topology.edges()) {
+    const double spread = rng.uniform(-0.2, 0.2);
+    const double f = 1.0 - spec_.infidelity_2q * (1.0 + spread);
+    fid_2q_[static_cast<std::size_t>(a) * un + static_cast<std::size_t>(b)] =
+        f;
+    fid_2q_[static_cast<std::size_t>(b) * un + static_cast<std::size_t>(a)] =
+        f;
+  }
+}
+
+double Qpu::fidelity_1q(int q) const {
+  return fid_1q_.at(static_cast<std::size_t>(q));
+}
+
+double Qpu::fidelity_2q(int a, int b) const {
+  const auto n = static_cast<std::size_t>(num_qubits());
+  if (a < 0 || b < 0 || a >= num_qubits() || b >= num_qubits()) {
+    throw std::out_of_range("Qpu::fidelity_2q: qubit out of range");
+  }
+  return fid_2q_[static_cast<std::size_t>(a) * n + static_cast<std::size_t>(b)];
+}
+
+double Qpu::coherent_bias(int q) const {
+  return bias_.at(static_cast<std::size_t>(q));
+}
+
+double Qpu::readout_error(int q) const {
+  return readout_.at(static_cast<std::size_t>(q));
+}
+
+double Qpu::gate_duration_ns(circuit::GateKind kind) const {
+  using circuit::GateKind;
+  switch (kind) {
+    case GateKind::kI:
+      return 0.0;
+    case GateKind::kSwap:
+      return 3.0 * spec_.duration_2q_ns;
+    default:
+      return circuit::gate_arity(kind) == 2 ? spec_.duration_2q_ns
+                                            : spec_.duration_1q_ns;
+  }
+}
+
+double Qpu::gate_error(const circuit::Gate& g) const {
+  if (g.kind == circuit::GateKind::kI) return 0.0;
+  const double t_us = gate_duration_ns(g.kind) * 1e-3;
+  if (g.arity() == 1) {
+    const double f = fidelity_1q(g.qubits[0]);
+    return 1.0 - std::exp(-t_us / spec_.t1_us) * f;
+  }
+  const double f = fidelity_2q(g.qubits[0], g.qubits[1]);
+  const double e_once = 1.0 - std::exp(-(spec_.duration_2q_ns * 1e-3) /
+                                       spec_.t2_us) *
+                                  f;
+  if (g.kind == circuit::GateKind::kSwap) {
+    // SWAP executes as three native two-qubit gates.
+    return 1.0 - std::pow(1.0 - e_once, 3.0);
+  }
+  return e_once;
+}
+
+double Qpu::shot_latency_us(std::size_t depth) const {
+  // Rough serial model: depth * avg layer duration + readout + reset delay.
+  const double layer_us =
+      0.5 * (spec_.duration_1q_ns + spec_.duration_2q_ns) * 1e-3;
+  return static_cast<double>(depth) * layer_us + spec_.readout_us +
+         spec_.delay_us;
+}
+
+double Qpu::shot_rate(std::size_t depth) const {
+  return 1e6 / shot_latency_us(depth);
+}
+
+sim::NoiseModel Qpu::make_noise_model() const {
+  const int n = num_qubits();
+  sim::NoiseModel model(n);
+  const double t1q_us = spec_.duration_1q_ns * 1e-3;
+  const double t2q_us = spec_.duration_2q_ns * 1e-3;
+  for (int q = 0; q < n; ++q) {
+    const double e = 1.0 - std::exp(-t1q_us / spec_.t1_us) * fid_1q_[
+        static_cast<std::size_t>(q)];
+    model.set_depolarizing_1q(q, std::clamp(e, 0.0, 1.0));
+    model.set_coherent_bias(q, bias_[static_cast<std::size_t>(q)]);
+    model.set_readout_error(q, readout_[static_cast<std::size_t>(q)],
+                            readout_[static_cast<std::size_t>(q)]);
+  }
+  for (const auto& [a, b] : spec_.topology.edges()) {
+    const double e =
+        1.0 - std::exp(-t2q_us / spec_.t2_us) * fidelity_2q(a, b);
+    model.set_depolarizing_2q(a, b, std::clamp(e, 0.0, 1.0));
+  }
+  return model;
+}
+
+Qpu Qpu::subdevice(const std::vector<int>& qubits, const std::string& name,
+                   int id) const {
+  QpuSpec sub = spec_;
+  sub.name = name;
+  sub.id = id;
+  sub.topology = spec_.topology.induced(qubits);
+  // Re-seed so the tile keeps its own identity, then overwrite the derived
+  // calibration with the parent's values for the selected qubits.
+  Qpu out(sub);
+  const auto k = qubits.size();
+  for (std::size_t i = 0; i < k; ++i) {
+    out.fid_1q_[i] = fid_1q_[static_cast<std::size_t>(qubits[i])];
+    out.bias_[i] = bias_[static_cast<std::size_t>(qubits[i])];
+    out.readout_[i] = readout_[static_cast<std::size_t>(qubits[i])];
+  }
+  const auto n = static_cast<std::size_t>(num_qubits());
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      out.fid_2q_[i * k + j] =
+          fid_2q_[static_cast<std::size_t>(qubits[i]) * n +
+                  static_cast<std::size_t>(qubits[j])];
+    }
+  }
+  return out;
+}
+
+double Qpu::average_error() const {
+  double total = 0.0;
+  std::size_t count = 0;
+  for (int q = 0; q < num_qubits(); ++q) {
+    total += 1.0 - fidelity_1q(q);
+    ++count;
+  }
+  for (const auto& [a, b] : spec_.topology.edges()) {
+    total += 1.0 - fidelity_2q(a, b);
+    ++count;
+  }
+  return count == 0 ? 0.0 : total / static_cast<double>(count);
+}
+
+}  // namespace arbiterq::device

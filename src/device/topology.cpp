@@ -1,0 +1,160 @@
+#include "arbiterq/device/topology.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace arbiterq::device {
+
+Topology::Topology(int num_qubits, std::vector<std::pair<int, int>> edges)
+    : num_qubits_(num_qubits) {
+  if (num_qubits <= 0) {
+    throw std::invalid_argument("Topology: qubit count must be positive");
+  }
+  for (auto& [a, b] : edges) {
+    if (a < 0 || a >= num_qubits || b < 0 || b >= num_qubits) {
+      throw std::out_of_range("Topology: edge endpoint out of range");
+    }
+    if (a == b) throw std::invalid_argument("Topology: self-loop edge");
+    if (a > b) std::swap(a, b);
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  edges_ = std::move(edges);
+  build_caches();
+}
+
+Topology Topology::line(int n) {
+  std::vector<std::pair<int, int>> e;
+  for (int i = 0; i + 1 < n; ++i) e.emplace_back(i, i + 1);
+  return Topology(n, std::move(e));
+}
+
+Topology Topology::ring(int n) {
+  if (n < 3) return line(n);
+  std::vector<std::pair<int, int>> e;
+  for (int i = 0; i < n; ++i) e.emplace_back(i, (i + 1) % n);
+  return Topology(n, std::move(e));
+}
+
+Topology Topology::grid(int rows, int cols) {
+  if (rows <= 0 || cols <= 0) {
+    throw std::invalid_argument("Topology::grid: non-positive shape");
+  }
+  std::vector<std::pair<int, int>> e;
+  auto id = [cols](int r, int c) { return r * cols + c; };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) e.emplace_back(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) e.emplace_back(id(r, c), id(r + 1, c));
+    }
+  }
+  return Topology(rows * cols, std::move(e));
+}
+
+Topology Topology::star(int n) {
+  std::vector<std::pair<int, int>> e;
+  for (int i = 1; i < n; ++i) e.emplace_back(0, i);
+  return Topology(n, std::move(e));
+}
+
+Topology Topology::fully_connected(int n) {
+  std::vector<std::pair<int, int>> e;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) e.emplace_back(i, j);
+  }
+  return Topology(n, std::move(e));
+}
+
+void Topology::build_caches() {
+  const auto n = static_cast<std::size_t>(num_qubits_);
+  adjacency_.assign(n, {});
+  for (const auto& [a, b] : edges_) {
+    adjacency_[static_cast<std::size_t>(a)].push_back(b);
+    adjacency_[static_cast<std::size_t>(b)].push_back(a);
+  }
+  for (auto& adj : adjacency_) std::sort(adj.begin(), adj.end());
+
+  dist_.assign(n * n, -1);
+  for (std::size_t src = 0; src < n; ++src) {
+    std::queue<int> frontier;
+    frontier.push(static_cast<int>(src));
+    dist_[src * n + src] = 0;
+    while (!frontier.empty()) {
+      const int u = frontier.front();
+      frontier.pop();
+      for (int v : adjacency_[static_cast<std::size_t>(u)]) {
+        if (dist_[src * n + static_cast<std::size_t>(v)] < 0) {
+          dist_[src * n + static_cast<std::size_t>(v)] =
+              dist_[src * n + static_cast<std::size_t>(u)] + 1;
+          frontier.push(v);
+        }
+      }
+    }
+  }
+}
+
+bool Topology::connected(int a, int b) const { return distance(a, b) == 1; }
+
+const std::vector<int>& Topology::neighbors(int q) const {
+  if (q < 0 || q >= num_qubits_) {
+    throw std::out_of_range("Topology::neighbors: qubit out of range");
+  }
+  return adjacency_[static_cast<std::size_t>(q)];
+}
+
+int Topology::distance(int a, int b) const {
+  if (a < 0 || a >= num_qubits_ || b < 0 || b >= num_qubits_) {
+    throw std::out_of_range("Topology::distance: qubit out of range");
+  }
+  return dist_[static_cast<std::size_t>(a) *
+                   static_cast<std::size_t>(num_qubits_) +
+               static_cast<std::size_t>(b)];
+}
+
+std::vector<int> Topology::shortest_path(int a, int b) const {
+  if (distance(a, b) < 0) return {};
+  std::vector<int> path{a};
+  int cur = a;
+  while (cur != b) {
+    // Step to any neighbor strictly closer to b.
+    for (int v : neighbors(cur)) {
+      if (distance(v, b) == distance(cur, b) - 1) {
+        cur = v;
+        break;
+      }
+    }
+    path.push_back(cur);
+  }
+  return path;
+}
+
+bool Topology::is_connected_graph() const {
+  for (int q = 1; q < num_qubits_; ++q) {
+    if (distance(0, q) < 0) return false;
+  }
+  return true;
+}
+
+Topology Topology::induced(const std::vector<int>& qubits) const {
+  std::vector<int> relabel(static_cast<std::size_t>(num_qubits_), -1);
+  for (std::size_t i = 0; i < qubits.size(); ++i) {
+    const int q = qubits[i];
+    if (q < 0 || q >= num_qubits_) {
+      throw std::out_of_range("Topology::induced: qubit out of range");
+    }
+    if (relabel[static_cast<std::size_t>(q)] >= 0) {
+      throw std::invalid_argument("Topology::induced: duplicate qubit");
+    }
+    relabel[static_cast<std::size_t>(q)] = static_cast<int>(i);
+  }
+  std::vector<std::pair<int, int>> e;
+  for (const auto& [a, b] : edges_) {
+    const int ra = relabel[static_cast<std::size_t>(a)];
+    const int rb = relabel[static_cast<std::size_t>(b)];
+    if (ra >= 0 && rb >= 0) e.emplace_back(ra, rb);
+  }
+  return Topology(static_cast<int>(qubits.size()), std::move(e));
+}
+
+}  // namespace arbiterq::device

@@ -1,0 +1,59 @@
+#include "arbiterq/math/dft.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace arbiterq::math {
+
+std::vector<std::complex<double>> nudft(const std::vector<double>& positions,
+                                        const std::vector<double>& values,
+                                        std::size_t num_bins) {
+  if (positions.empty() || positions.size() != values.size()) {
+    throw std::invalid_argument("nudft: positions/values size mismatch");
+  }
+  const auto [lo_it, hi_it] =
+      std::minmax_element(positions.begin(), positions.end());
+  const double span = *hi_it - *lo_it;
+  if (span <= 0.0) {
+    throw std::invalid_argument("nudft: zero position span");
+  }
+  std::vector<std::complex<double>> out(num_bins);
+  const double base = 2.0 * std::numbers::pi / span;
+  for (std::size_t k = 0; k < num_bins; ++k) {
+    std::complex<double> acc{0.0, 0.0};
+    for (std::size_t j = 0; j < positions.size(); ++j) {
+      const double phase = -base * static_cast<double>(k) * positions[j];
+      acc += values[j] * std::complex<double>(std::cos(phase), std::sin(phase));
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+DominantCycle dominant_cycle(const std::vector<double>& positions,
+                             const std::vector<double>& values,
+                             std::size_t num_bins) {
+  if (num_bins == 0) num_bins = positions.size();
+  if (num_bins < 2) {
+    throw std::invalid_argument("dominant_cycle: need at least 2 bins");
+  }
+  const auto spectrum = nudft(positions, values, num_bins);
+  DominantCycle cycle;
+  cycle.frequency_index = 1;
+  cycle.magnitude = std::abs(spectrum[1]);
+  for (std::size_t k = 2; k < spectrum.size(); ++k) {
+    const double mag = std::abs(spectrum[k]);
+    if (mag > cycle.magnitude) {
+      cycle.magnitude = mag;
+      cycle.frequency_index = k;
+    }
+  }
+  const auto [lo_it, hi_it] =
+      std::minmax_element(positions.begin(), positions.end());
+  cycle.period = (*hi_it - *lo_it) / static_cast<double>(cycle.frequency_index);
+  return cycle;
+}
+
+}  // namespace arbiterq::math

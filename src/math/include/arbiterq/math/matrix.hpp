@@ -1,0 +1,58 @@
+#pragma once
+// Dense real matrix with the small set of operations the ArbiterQ stack
+// needs (MDS double-centering, PCA covariance, eigen decomposition).
+// Row-major storage; sizes are fixed at construction.
+
+#include <cstddef>
+#include <initializer_list>
+#include <iosfwd>
+#include <vector>
+
+namespace arbiterq::math {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+  /// Build from nested initializer lists; all rows must have equal length.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  bool empty() const noexcept { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  /// Contiguous row-major storage (size rows()*cols()).
+  const std::vector<double>& data() const noexcept { return data_; }
+
+  Matrix transpose() const;
+  Matrix operator*(const Matrix& rhs) const;
+  Matrix operator+(const Matrix& rhs) const;
+  Matrix operator-(const Matrix& rhs) const;
+  Matrix& operator*=(double s);
+
+  /// y = A x (x.size() must equal cols()).
+  std::vector<double> apply(const std::vector<double>& x) const;
+
+  /// Max |a_ij - b_ij|; matrices must have equal shape.
+  static double max_abs_diff(const Matrix& a, const Matrix& b);
+
+  bool is_symmetric(double tol = 1e-12) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Matrix& m);
+
+}  // namespace arbiterq::math

@@ -1,0 +1,29 @@
+#pragma once
+// Classical multidimensional scaling (Torgerson MDS). ArbiterQ (§IV-A)
+// reduces the behavioral-vector space and the model-vector space to
+// one-dimensional sequences that approximately preserve pairwise
+// distances, as the first step of torus construction.
+
+#include <cstddef>
+#include <vector>
+
+#include "arbiterq/math/matrix.hpp"
+
+namespace arbiterq::math {
+
+/// Pairwise Euclidean distance matrix of n points given as rows of `points`.
+Matrix pairwise_distances(const std::vector<std::vector<double>>& points);
+
+/// Classical MDS embedding into `dim` dimensions from a symmetric distance
+/// matrix. Returns an n x dim matrix of coordinates. Eigenvalues that are
+/// negative (non-Euclidean distances) are clamped to zero.
+Matrix mds_embed(const Matrix& distances, std::size_t dim);
+
+/// Convenience: 1-D MDS coordinates (column 0 of mds_embed(d, 1)).
+std::vector<double> mds_embed_1d(const Matrix& distances);
+
+/// Stress-1 goodness-of-fit of an embedding against target distances:
+/// sqrt( sum (d_ij - dhat_ij)^2 / sum d_ij^2 ), over i<j. 0 = perfect.
+double mds_stress(const Matrix& distances, const Matrix& embedding);
+
+}  // namespace arbiterq::math

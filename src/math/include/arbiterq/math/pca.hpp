@@ -1,0 +1,38 @@
+#pragma once
+// Principal component analysis over real feature vectors. The QNN data
+// pipeline compresses d-dimensional classical features to n_qubits angle
+// parameters (Table II: 13 Wine features -> 4 qubits, 64 MNIST pixels ->
+// 6 qubits, ...), which is the standard angle-encoding preprocessing.
+
+#include <cstddef>
+#include <vector>
+
+#include "arbiterq/math/matrix.hpp"
+
+namespace arbiterq::math {
+
+class Pca {
+ public:
+  /// Fit on samples (rows = samples, each of equal length) and keep the
+  /// top `components` principal directions.
+  Pca(const std::vector<std::vector<double>>& samples, std::size_t components);
+
+  /// Project one sample onto the kept components (centered first).
+  std::vector<double> transform(const std::vector<double>& sample) const;
+
+  std::vector<std::vector<double>> transform_all(
+      const std::vector<std::vector<double>>& samples) const;
+
+  std::size_t input_dim() const noexcept { return mean_.size(); }
+  std::size_t output_dim() const noexcept { return basis_.rows(); }
+
+  /// Fraction of total variance captured by the kept components, in [0, 1].
+  double explained_variance_ratio() const noexcept { return explained_; }
+
+ private:
+  std::vector<double> mean_;
+  Matrix basis_;  // output_dim x input_dim, rows are principal directions
+  double explained_ = 0.0;
+};
+
+}  // namespace arbiterq::math

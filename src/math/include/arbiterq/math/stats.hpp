@@ -1,0 +1,28 @@
+#pragma once
+// Small statistics helpers shared by the trainers, the convergence
+// detector and the benchmark harnesses.
+
+#include <cstddef>
+#include <vector>
+
+namespace arbiterq::math {
+
+double mean(const std::vector<double>& xs);
+
+/// Sample standard deviation (n-1 denominator); 0 for fewer than 2 points.
+double stddev(const std::vector<double>& xs);
+
+double min_value(const std::vector<double>& xs);
+double max_value(const std::vector<double>& xs);
+
+/// Centered moving average with window `w` (clamped at the edges).
+std::vector<double> moving_average(const std::vector<double>& xs,
+                                   std::size_t w);
+
+/// Euclidean norm.
+double l2_norm(const std::vector<double>& xs);
+
+/// Euclidean distance between equal-length vectors.
+double l2_distance(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace arbiterq::math

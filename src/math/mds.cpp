@@ -1,0 +1,108 @@
+#include "arbiterq/math/mds.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "arbiterq/math/eigen.hpp"
+
+namespace arbiterq::math {
+
+Matrix pairwise_distances(const std::vector<std::vector<double>>& points) {
+  const std::size_t n = points.size();
+  Matrix d(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (points[i].size() != points[0].size()) {
+      throw std::invalid_argument("pairwise_distances: ragged point set");
+    }
+    for (std::size_t j = i + 1; j < n; ++j) {
+      double s = 0.0;
+      for (std::size_t k = 0; k < points[i].size(); ++k) {
+        const double diff = points[i][k] - points[j][k];
+        s += diff * diff;
+      }
+      d(i, j) = d(j, i) = std::sqrt(s);
+    }
+  }
+  return d;
+}
+
+Matrix mds_embed(const Matrix& distances, std::size_t dim) {
+  if (distances.rows() != distances.cols()) {
+    throw std::invalid_argument("mds_embed: distance matrix must be square");
+  }
+  const std::size_t n = distances.rows();
+  if (dim == 0 || dim > n) {
+    throw std::invalid_argument("mds_embed: invalid target dimension");
+  }
+
+  // B = -1/2 * J D^2 J with J = I - 11^T/n (double centering).
+  Matrix d2(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      d2(i, j) = distances(i, j) * distances(i, j);
+    }
+  }
+  std::vector<double> row_mean(n, 0.0);
+  double grand = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) row_mean[i] += d2(i, j);
+    row_mean[i] /= static_cast<double>(n);
+    grand += row_mean[i];
+  }
+  grand /= static_cast<double>(n);
+  Matrix b(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      b(i, j) = -0.5 * (d2(i, j) - row_mean[i] - row_mean[j] + grand);
+    }
+  }
+  // Symmetrize against rounding before the eigensolver.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double avg = 0.5 * (b(i, j) + b(j, i));
+      b(i, j) = b(j, i) = avg;
+    }
+  }
+
+  const EigenResult eig = eigen_symmetric(b);
+  Matrix coords(n, dim);
+  for (std::size_t k = 0; k < dim; ++k) {
+    const double lambda = std::max(0.0, eig.values[k]);
+    const double scale = std::sqrt(lambda);
+    for (std::size_t i = 0; i < n; ++i) {
+      coords(i, k) = scale * eig.vectors(i, k);
+    }
+  }
+  return coords;
+}
+
+std::vector<double> mds_embed_1d(const Matrix& distances) {
+  const Matrix coords = mds_embed(distances, 1);
+  std::vector<double> out(coords.rows());
+  for (std::size_t i = 0; i < coords.rows(); ++i) out[i] = coords(i, 0);
+  return out;
+}
+
+double mds_stress(const Matrix& distances, const Matrix& embedding) {
+  if (distances.rows() != embedding.rows()) {
+    throw std::invalid_argument("mds_stress: size mismatch");
+  }
+  const std::size_t n = distances.rows();
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      double s = 0.0;
+      for (std::size_t k = 0; k < embedding.cols(); ++k) {
+        const double diff = embedding(i, k) - embedding(j, k);
+        s += diff * diff;
+      }
+      const double dhat = std::sqrt(s);
+      num += (distances(i, j) - dhat) * (distances(i, j) - dhat);
+      den += distances(i, j) * distances(i, j);
+    }
+  }
+  return den == 0.0 ? 0.0 : std::sqrt(num / den);
+}
+
+}  // namespace arbiterq::math

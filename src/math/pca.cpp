@@ -1,0 +1,75 @@
+#include "arbiterq/math/pca.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "arbiterq/math/eigen.hpp"
+
+namespace arbiterq::math {
+
+Pca::Pca(const std::vector<std::vector<double>>& samples,
+         std::size_t components) {
+  if (samples.empty()) throw std::invalid_argument("Pca: empty sample set");
+  const std::size_t n = samples.size();
+  const std::size_t d = samples[0].size();
+  if (components == 0 || components > d) {
+    throw std::invalid_argument("Pca: invalid component count");
+  }
+
+  mean_.assign(d, 0.0);
+  for (const auto& s : samples) {
+    if (s.size() != d) throw std::invalid_argument("Pca: ragged samples");
+    for (std::size_t k = 0; k < d; ++k) mean_[k] += s[k];
+  }
+  for (double& m : mean_) m /= static_cast<double>(n);
+
+  Matrix cov(d, d);
+  for (const auto& s : samples) {
+    for (std::size_t i = 0; i < d; ++i) {
+      const double xi = s[i] - mean_[i];
+      for (std::size_t j = i; j < d; ++j) {
+        cov(i, j) += xi * (s[j] - mean_[j]);
+      }
+    }
+  }
+  const double denom = static_cast<double>(n > 1 ? n - 1 : 1);
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = i; j < d; ++j) {
+      cov(i, j) /= denom;
+      cov(j, i) = cov(i, j);
+    }
+  }
+
+  const EigenResult eig = eigen_symmetric(cov);
+  basis_ = Matrix(components, d);
+  double kept = 0.0;
+  double total = 0.0;
+  for (std::size_t k = 0; k < d; ++k) total += std::max(0.0, eig.values[k]);
+  for (std::size_t k = 0; k < components; ++k) {
+    kept += std::max(0.0, eig.values[k]);
+    for (std::size_t i = 0; i < d; ++i) basis_(k, i) = eig.vectors(i, k);
+  }
+  explained_ = total > 0.0 ? kept / total : 1.0;
+}
+
+std::vector<double> Pca::transform(const std::vector<double>& sample) const {
+  if (sample.size() != mean_.size()) {
+    throw std::invalid_argument("Pca::transform: dimension mismatch");
+  }
+  std::vector<double> centered(sample.size());
+  for (std::size_t i = 0; i < sample.size(); ++i) {
+    centered[i] = sample[i] - mean_[i];
+  }
+  return basis_.apply(centered);
+}
+
+std::vector<std::vector<double>> Pca::transform_all(
+    const std::vector<std::vector<double>>& samples) const {
+  std::vector<std::vector<double>> out;
+  out.reserve(samples.size());
+  for (const auto& s : samples) out.push_back(transform(s));
+  return out;
+}
+
+}  // namespace arbiterq::math

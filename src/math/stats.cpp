@@ -1,0 +1,68 @@
+#include "arbiterq/math/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace arbiterq::math {
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) throw std::invalid_argument("mean: empty input");
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double stddev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(xs.size() - 1));
+}
+
+double min_value(const std::vector<double>& xs) {
+  if (xs.empty()) throw std::invalid_argument("min_value: empty input");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_value(const std::vector<double>& xs) {
+  if (xs.empty()) throw std::invalid_argument("max_value: empty input");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+std::vector<double> moving_average(const std::vector<double>& xs,
+                                   std::size_t w) {
+  if (w == 0) throw std::invalid_argument("moving_average: zero window");
+  std::vector<double> out(xs.size());
+  const std::ptrdiff_t half = static_cast<std::ptrdiff_t>(w) / 2;
+  const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(xs.size());
+  for (std::ptrdiff_t i = 0; i < n; ++i) {
+    const std::ptrdiff_t lo = std::max<std::ptrdiff_t>(0, i - half);
+    const std::ptrdiff_t hi = std::min<std::ptrdiff_t>(n - 1, i + half);
+    double s = 0.0;
+    for (std::ptrdiff_t j = lo; j <= hi; ++j) s += xs[j];
+    out[i] = s / static_cast<double>(hi - lo + 1);
+  }
+  return out;
+}
+
+double l2_norm(const std::vector<double>& xs) {
+  double s = 0.0;
+  for (double x : xs) s += x * x;
+  return std::sqrt(s);
+}
+
+double l2_distance(const std::vector<double>& a,
+                   const std::vector<double>& b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("l2_distance: size mismatch");
+  }
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    s += (a[i] - b[i]) * (a[i] - b[i]);
+  }
+  return std::sqrt(s);
+}
+
+}  // namespace arbiterq::math

@@ -1,0 +1,117 @@
+#include "arbiterq/qnn/analysis.hpp"
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+#include <stdexcept>
+
+namespace arbiterq::qnn {
+
+namespace {
+
+using circuit::Complex;
+
+std::vector<double> random_params(const QnnModel& model, math::Rng& rng) {
+  std::vector<double> p(static_cast<std::size_t>(model.num_params()));
+  for (int q = 0; q < model.num_qubits(); ++q) {
+    p[static_cast<std::size_t>(q)] = rng.uniform(0.0, std::numbers::pi);
+  }
+  for (int w = 0; w < model.num_weights(); ++w) {
+    p[static_cast<std::size_t>(model.weight_param_index(w))] =
+        rng.uniform(-std::numbers::pi, std::numbers::pi);
+  }
+  return p;
+}
+
+sim::Statevector evolve(const QnnModel& model,
+                        const std::vector<double>& params) {
+  sim::Statevector sv(model.num_qubits());
+  for (const auto& g : model.circuit().gates()) sv.apply_gate(g, params);
+  return sv;
+}
+
+double fidelity(const sim::Statevector& a, const sim::Statevector& b) {
+  Complex overlap{0.0, 0.0};
+  const auto& aa = a.amplitudes();
+  const auto& bb = b.amplitudes();
+  for (std::size_t i = 0; i < aa.size(); ++i) {
+    overlap += std::conj(aa[i]) * bb[i];
+  }
+  return std::norm(overlap);
+}
+
+}  // namespace
+
+double meyer_wallach_q(const sim::Statevector& sv) {
+  const int n = sv.num_qubits();
+  const auto& amps = sv.amplitudes();
+  double purity_sum = 0.0;
+  for (int q = 0; q < n; ++q) {
+    const std::size_t bit = std::size_t{1} << q;
+    // Single-qubit reduced density matrix entries.
+    double rho00 = 0.0;
+    double rho11 = 0.0;
+    Complex rho01{0.0, 0.0};
+    for (std::size_t i = 0; i < amps.size(); ++i) {
+      if (i & bit) continue;
+      const Complex a0 = amps[i];
+      const Complex a1 = amps[i | bit];
+      rho00 += std::norm(a0);
+      rho11 += std::norm(a1);
+      rho01 += a0 * std::conj(a1);
+    }
+    purity_sum += rho00 * rho00 + rho11 * rho11 + 2.0 * std::norm(rho01);
+  }
+  return 2.0 * (1.0 - purity_sum / static_cast<double>(n));
+}
+
+ExpressibilityReport expressibility(const QnnModel& model, int samples,
+                                    int bins, math::Rng rng) {
+  if (samples < 2 || bins < 2) {
+    throw std::invalid_argument("expressibility: need samples/bins >= 2");
+  }
+  std::vector<double> histogram(static_cast<std::size_t>(bins), 0.0);
+  for (int s = 0; s < samples; ++s) {
+    const auto pa = random_params(model, rng);
+    const auto pb = random_params(model, rng);
+    const double f = fidelity(evolve(model, pa), evolve(model, pb));
+    auto bin = static_cast<std::size_t>(f * bins);
+    if (bin >= static_cast<std::size_t>(bins)) {
+      bin = static_cast<std::size_t>(bins) - 1;
+    }
+    histogram[bin] += 1.0;
+  }
+  for (double& h : histogram) h /= static_cast<double>(samples);
+
+  // Haar bin mass: integral of (N-1)(1-F)^(N-2) over the bin is
+  // (1-F_lo)^(N-1) - (1-F_hi)^(N-1).
+  const double dim = std::pow(2.0, model.num_qubits());
+  ExpressibilityReport report;
+  report.samples = samples;
+  report.bins = bins;
+  double kl = 0.0;
+  for (int b = 0; b < bins; ++b) {
+    const double lo = static_cast<double>(b) / bins;
+    const double hi = static_cast<double>(b + 1) / bins;
+    const double haar =
+        std::pow(1.0 - lo, dim - 1.0) - std::pow(1.0 - hi, dim - 1.0);
+    const double p = histogram[static_cast<std::size_t>(b)];
+    if (p > 0.0) kl += p * std::log(p / std::max(haar, 1e-12));
+  }
+  report.kl_divergence = kl;
+  return report;
+}
+
+double entangling_capability(const QnnModel& model, int samples,
+                             math::Rng rng) {
+  if (samples < 1) {
+    throw std::invalid_argument("entangling_capability: samples < 1");
+  }
+  double total = 0.0;
+  for (int s = 0; s < samples; ++s) {
+    total += meyer_wallach_q(evolve(model, random_params(model, rng)));
+  }
+  return total / static_cast<double>(samples);
+}
+
+}  // namespace arbiterq::qnn

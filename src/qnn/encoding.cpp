@@ -1,0 +1,52 @@
+#include "arbiterq/qnn/encoding.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numbers>
+#include <stdexcept>
+
+namespace arbiterq::qnn {
+
+FeatureScaler::FeatureScaler(
+    const std::vector<std::vector<double>>& samples) {
+  if (samples.empty()) {
+    throw std::invalid_argument("FeatureScaler: empty sample set");
+  }
+  const std::size_t d = samples[0].size();
+  lo_.assign(d, std::numeric_limits<double>::infinity());
+  hi_.assign(d, -std::numeric_limits<double>::infinity());
+  for (const auto& s : samples) {
+    if (s.size() != d) {
+      throw std::invalid_argument("FeatureScaler: ragged samples");
+    }
+    for (std::size_t k = 0; k < d; ++k) {
+      lo_[k] = std::min(lo_[k], s[k]);
+      hi_[k] = std::max(hi_[k], s[k]);
+    }
+  }
+}
+
+std::vector<double> FeatureScaler::transform(
+    const std::vector<double>& sample) const {
+  if (sample.size() != lo_.size()) {
+    throw std::invalid_argument("FeatureScaler::transform: dim mismatch");
+  }
+  std::vector<double> out(sample.size());
+  for (std::size_t k = 0; k < sample.size(); ++k) {
+    const double span = hi_[k] - lo_[k];
+    const double unit =
+        span > 0.0 ? std::clamp((sample[k] - lo_[k]) / span, 0.0, 1.0) : 0.5;
+    out[k] = unit * std::numbers::pi;
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> FeatureScaler::transform_all(
+    const std::vector<std::vector<double>>& samples) const {
+  std::vector<std::vector<double>> out;
+  out.reserve(samples.size());
+  for (const auto& s : samples) out.push_back(transform(s));
+  return out;
+}
+
+}  // namespace arbiterq::qnn

@@ -1,0 +1,159 @@
+#include "arbiterq/qnn/executor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "arbiterq/qnn/gradient.hpp"
+#include "arbiterq/sim/adjoint.hpp"
+
+namespace arbiterq::qnn {
+
+QnnExecutor::QnnExecutor(QnnModel model, device::Qpu qpu,
+                         ExecutorOptions options)
+    : model_(std::move(model)),
+      qpu_(std::move(qpu)),
+      options_(options),
+      compiled_(transpile::compile(model_.circuit(), qpu_)),
+      simulator_(qpu_.make_noise_model()),
+      readout_qubit_(compiled_.measure_qubit(0)),
+      survival_(simulator_.noise().survival_probability(
+          compiled_.executable)) {}
+
+void QnnExecutor::recalibrate(double bias_drift_sigma, math::Rng& rng) {
+  sim::NoiseModel drifted = simulator_.noise();
+  if (!drifted.enabled()) return;
+  for (int q = 0; q < drifted.num_qubits(); ++q) {
+    drifted.set_coherent_bias(
+        q, drifted.coherent_bias(q) + rng.normal(0.0, bias_drift_sigma));
+  }
+  simulator_ = sim::StatevectorSimulator(std::move(drifted));
+}
+
+double QnnExecutor::readout_contract(double p_one) const {
+  const double p01 = noise().enabled() ? noise().readout_p01(readout_qubit_)
+                                       : 0.0;
+  const double p10 = noise().enabled() ? noise().readout_p10(readout_qubit_)
+                                       : 0.0;
+  return p_one * (1.0 - p10) + (1.0 - p_one) * p01;
+}
+
+double QnnExecutor::probability(const std::vector<double>& features,
+                                const std::vector<double>& weights) const {
+  const auto params = model_.pack_params(features, weights);
+  double z = simulator_.expectation_z(compiled_.executable, params,
+                                      readout_qubit_);
+  if (options_.mitigate_depolarizing && survival_ > 0.0) z /= survival_;
+  return readout_contract(0.5 * (1.0 - z));
+}
+
+double QnnExecutor::sampled_probability(const std::vector<double>& features,
+                                        const std::vector<double>& weights,
+                                        int shots, math::Rng& rng,
+                                        int trajectories) const {
+  const auto params = model_.pack_params(features, weights);
+  sim::ShotOptions opts;
+  opts.shots = shots;
+  opts.trajectories = trajectories;
+  // Readout flips are already applied per shot inside sample_counts.
+  const double p = simulator_.sampled_probability_of_one(
+      compiled_.executable, params, readout_qubit_, opts, rng);
+  if (!options_.mitigate_depolarizing || survival_ <= 0.0) return p;
+  // Post-measurement rescaling: z -> z / S, clamped to physical range.
+  const double z = std::clamp((1.0 - 2.0 * p) / survival_, -1.0, 1.0);
+  return 0.5 * (1.0 - z);
+}
+
+double QnnExecutor::dataset_loss(
+    LossKind kind, const std::vector<std::vector<double>>& features,
+    const std::vector<int>& labels,
+    const std::vector<double>& weights) const {
+  if (features.size() != labels.size() || features.empty()) {
+    throw std::invalid_argument("dataset_loss: bad dataset");
+  }
+  double total = 0.0;
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    total += loss_value(kind, probability(features[i], weights), labels[i]);
+  }
+  return total / static_cast<double>(features.size());
+}
+
+std::vector<double> QnnExecutor::loss_gradient(
+    LossKind kind, const std::vector<std::vector<double>>& features,
+    const std::vector<int>& labels,
+    const std::vector<double>& weights) const {
+  if (features.size() != labels.size() || features.empty()) {
+    throw std::invalid_argument("loss_gradient: bad dataset");
+  }
+  const std::size_t w_count = weights.size();
+  const std::size_t w_offset = static_cast<std::size_t>(model_.num_qubits());
+  std::vector<double> grad(w_count, 0.0);
+  const sim::NoiseModel* noise_ptr =
+      noise().enabled() ? &simulator_.noise() : nullptr;
+  double contraction =
+      noise().enabled() ? 1.0 - noise().readout_p01(readout_qubit_) -
+                              noise().readout_p10(readout_qubit_)
+                        : 1.0;
+  // Mitigation rescales <Z> (and hence its gradient) by 1/S.
+  if (options_.mitigate_depolarizing && survival_ > 0.0) {
+    contraction /= survival_;
+  }
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    const auto params = model_.pack_params(features[i], weights);
+    // Same (possibly mitigated) objective the loss reports.
+    const double p = probability(features[i], weights);
+    const double dl_dp = loss_derivative(kind, p, labels[i]);
+    const auto dz = sim::adjoint_gradient_z(compiled_.executable, params,
+                                            readout_qubit_, noise_ptr);
+    // p_raw = (1 - <Z>)/2, then the readout contraction scales dp/dw.
+    const double chain = dl_dp * contraction * -0.5;
+    for (std::size_t w = 0; w < w_count; ++w) {
+      grad[w] += chain * dz[w_offset + w];
+    }
+  }
+  const double inv_n = 1.0 / static_cast<double>(features.size());
+  for (double& g : grad) g *= inv_n;
+  return grad;
+}
+
+std::vector<double> QnnExecutor::loss_gradient_shift(
+    LossKind kind, const std::vector<std::vector<double>>& features,
+    const std::vector<int>& labels,
+    const std::vector<double>& weights) const {
+  if (features.size() != labels.size() || features.empty()) {
+    throw std::invalid_argument("loss_gradient_shift: bad dataset");
+  }
+  const auto rules = shift_rules();
+  std::vector<double> grad(weights.size(), 0.0);
+  std::vector<double> w = weights;
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    const double p = probability(features[i], w);
+    const double dl_dp = loss_derivative(kind, p, labels[i]);
+    ScalarFn prob = [&](const std::vector<double>& wv) {
+      return probability(features[i], wv);
+    };
+    for (std::size_t j = 0; j < w.size(); ++j) {
+      grad[j] += dl_dp * parameter_shift_partial(prob, w, j, rules[j]);
+    }
+  }
+  const double inv_n = 1.0 / static_cast<double>(features.size());
+  for (double& g : grad) g *= inv_n;
+  return grad;
+}
+
+std::vector<ShiftRule> QnnExecutor::shift_rules() const {
+  std::vector<ShiftRule> rules(static_cast<std::size_t>(model_.num_weights()));
+  for (int w = 0; w < model_.num_weights(); ++w) {
+    rules[static_cast<std::size_t>(w)] = model_.shift_rule(w);
+  }
+  return rules;
+}
+
+double QnnExecutor::shot_latency_us() const {
+  return qpu_.shot_latency_us(compiled_.executable.depth());
+}
+
+double QnnExecutor::shot_rate() const {
+  return qpu_.shot_rate(compiled_.executable.depth());
+}
+
+}  // namespace arbiterq::qnn

@@ -1,0 +1,83 @@
+#include "arbiterq/qnn/gradient.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace arbiterq::qnn {
+
+namespace {
+constexpr double kHalfPi = std::numbers::pi / 2.0;
+constexpr double kThreeHalfPi = 3.0 * std::numbers::pi / 2.0;
+const double kC1 = (std::numbers::sqrt2 + 1.0) / (4.0 * std::numbers::sqrt2);
+const double kC2 = (std::numbers::sqrt2 - 1.0) / (4.0 * std::numbers::sqrt2);
+}  // namespace
+
+double parameter_shift_partial(const ScalarFn& f,
+                               std::vector<double>& weights, std::size_t i,
+                               ShiftRule rule) {
+  if (i >= weights.size()) {
+    throw std::out_of_range("parameter_shift_partial: index out of range");
+  }
+  const double w0 = weights[i];
+  auto eval_at = [&](double shift) {
+    weights[i] = w0 + shift;
+    return f(weights);
+  };
+  double grad = 0.0;
+  switch (rule) {
+    case ShiftRule::kTwoTerm:
+      grad = 0.5 * (eval_at(kHalfPi) - eval_at(-kHalfPi));
+      break;
+    case ShiftRule::kFourTerm: {
+      const double d1 = eval_at(kHalfPi) - eval_at(-kHalfPi);
+      const double d2 = eval_at(kThreeHalfPi) - eval_at(-kThreeHalfPi);
+      grad = kC1 * d1 - kC2 * d2;
+      break;
+    }
+  }
+  weights[i] = w0;
+  return grad;
+}
+
+std::vector<double> parameter_shift_gradient(
+    const ScalarFn& f, std::vector<double> weights,
+    const std::vector<ShiftRule>& rules) {
+  if (rules.size() != weights.size()) {
+    throw std::invalid_argument("parameter_shift_gradient: rules mismatch");
+  }
+  std::vector<double> grad(weights.size());
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    grad[i] = parameter_shift_partial(f, weights, i, rules[i]);
+  }
+  return grad;
+}
+
+std::vector<double> finite_difference_gradient(const ScalarFn& f,
+                                               std::vector<double> weights,
+                                               double h) {
+  if (h <= 0.0) {
+    throw std::invalid_argument("finite_difference_gradient: h <= 0");
+  }
+  std::vector<double> grad(weights.size());
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double w0 = weights[i];
+    weights[i] = w0 + h;
+    const double fp = f(weights);
+    weights[i] = w0 - h;
+    const double fm = f(weights);
+    weights[i] = w0;
+    grad[i] = (fp - fm) / (2.0 * h);
+  }
+  return grad;
+}
+
+std::size_t shift_evaluations(const std::vector<ShiftRule>& rules) {
+  std::size_t evals = 0;
+  for (ShiftRule r : rules) {
+    evals += r == ShiftRule::kTwoTerm ? 2U : 4U;
+  }
+  return evals;
+}
+
+}  // namespace arbiterq::qnn

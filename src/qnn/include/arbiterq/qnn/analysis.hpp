@@ -1,0 +1,40 @@
+#pragma once
+// Backbone analysis after Sim, Johnson & Aspuru-Guzik ("Expressibility
+// and entangling capability of parameterized quantum circuits", the
+// source of the paper's Model-CRz / Model-CRx backbones):
+//
+//  * expressibility — KL divergence between the fidelity distribution of
+//    random parameter pairs |<psi(a)|psi(b)>|^2 and the Haar-random
+//    distribution P(F) = (N-1)(1-F)^(N-2). Lower = more expressive.
+//  * entangling capability — mean Meyer-Wallach entanglement
+//    Q = 2 (1 - (1/n) sum_k Tr(rho_k^2)) over random parameters,
+//    in [0, 1]. Higher = more entangling.
+//
+// Both operate on the *logical* model circuit with random weights; the
+// encoding angles are sampled uniformly in [0, pi] like real inputs.
+
+#include "arbiterq/math/rng.hpp"
+#include "arbiterq/qnn/model.hpp"
+#include "arbiterq/sim/statevector.hpp"
+
+namespace arbiterq::qnn {
+
+struct ExpressibilityReport {
+  double kl_divergence = 0.0;
+  int samples = 0;
+  int bins = 0;
+};
+
+/// Estimate expressibility from `samples` random state pairs binned into
+/// `bins` fidelity buckets. Deterministic under `rng`.
+ExpressibilityReport expressibility(const QnnModel& model, int samples,
+                                    int bins, math::Rng rng);
+
+/// Mean Meyer-Wallach Q over `samples` random parameter vectors.
+double entangling_capability(const QnnModel& model, int samples,
+                             math::Rng rng);
+
+/// Meyer-Wallach Q of one state (exposed for testing).
+double meyer_wallach_q(const sim::Statevector& sv);
+
+}  // namespace arbiterq::qnn

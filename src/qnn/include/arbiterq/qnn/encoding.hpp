@@ -1,0 +1,30 @@
+#pragma once
+// Angle encoding (paper §V-A, after Weigold et al.): classical features,
+// one per qubit, become the rotation angles of a layer of RY gates.
+// FeatureScaler maps raw feature values into [0, pi] with min/max learned
+// on the training split only.
+
+#include <vector>
+
+namespace arbiterq::qnn {
+
+class FeatureScaler {
+ public:
+  /// Learn per-dimension min/max from `samples` (rows of equal length).
+  explicit FeatureScaler(const std::vector<std::vector<double>>& samples);
+
+  /// Map one sample into [0, pi]^d; values outside the training range are
+  /// clamped.
+  std::vector<double> transform(const std::vector<double>& sample) const;
+
+  std::vector<std::vector<double>> transform_all(
+      const std::vector<std::vector<double>>& samples) const;
+
+  std::size_t dim() const noexcept { return lo_.size(); }
+
+ private:
+  std::vector<double> lo_;
+  std::vector<double> hi_;
+};
+
+}  // namespace arbiterq::qnn

@@ -1,0 +1,43 @@
+#pragma once
+// Gradient oracles over a scalar function of the weight vector (the QNN
+// readout probability). Parameter shift (paper §III-B, after Wang et al.
+// QOC) is exact for our circuits:
+//  * two-term rule for single-qubit rotation weights:
+//      f'(w) = (f(w+pi/2) - f(w-pi/2)) / 2
+//  * four-term rule for controlled-rotation weights (generator
+//    eigenvalues {0, +-1/2} give frequencies {1/2, 1}):
+//      f'(w) = c1 (f(w+pi/2) - f(w-pi/2)) - c2 (f(w+3pi/2) - f(w-3pi/2))
+//      c1 = (sqrt2+1)/(4 sqrt2),  c2 = (sqrt2-1)/(4 sqrt2)
+// A central finite-difference oracle is provided for cross-validation.
+
+#include <functional>
+#include <vector>
+
+#include "arbiterq/qnn/model.hpp"
+
+namespace arbiterq::qnn {
+
+/// Scalar objective evaluated at a weight vector.
+using ScalarFn = std::function<double(const std::vector<double>&)>;
+
+/// Exact parameter-shift partial derivative of f with respect to
+/// weights[i]; `weights` is restored before returning.
+double parameter_shift_partial(const ScalarFn& f,
+                               std::vector<double>& weights, std::size_t i,
+                               ShiftRule rule);
+
+/// Full parameter-shift gradient; rules.size() must equal weights.size().
+std::vector<double> parameter_shift_gradient(
+    const ScalarFn& f, std::vector<double> weights,
+    const std::vector<ShiftRule>& rules);
+
+/// Central finite differences (validation oracle).
+std::vector<double> finite_difference_gradient(const ScalarFn& f,
+                                               std::vector<double> weights,
+                                               double h = 1e-5);
+
+/// Number of f evaluations one gradient costs (2 or 4 per weight) —
+/// the paper's training-time model charges circuit executions per shift.
+std::size_t shift_evaluations(const std::vector<ShiftRule>& rules);
+
+}  // namespace arbiterq::qnn

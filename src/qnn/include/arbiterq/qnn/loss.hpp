@@ -1,0 +1,29 @@
+#pragma once
+// Binary-classification losses on the QNN readout probability
+// p = P(logical qubit 0 reads 1). Labels are 0/1.
+
+#include <cstddef>
+#include <vector>
+
+namespace arbiterq::qnn {
+
+enum class LossKind {
+  kMse,           ///< (p - y)^2
+  kCrossEntropy,  ///< -y log p - (1-y) log(1-p), probabilities clamped
+};
+
+/// Per-sample loss value.
+double loss_value(LossKind kind, double p, int label);
+
+/// d(loss)/dp at (p, label).
+double loss_derivative(LossKind kind, double p, int label);
+
+/// Mean loss over a batch of predicted probabilities and labels.
+double batch_loss(LossKind kind, const std::vector<double>& probs,
+                  const std::vector<int>& labels);
+
+/// Classification accuracy with threshold 0.5.
+double batch_accuracy(const std::vector<double>& probs,
+                      const std::vector<int>& labels);
+
+}  // namespace arbiterq::qnn

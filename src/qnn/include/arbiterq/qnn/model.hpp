@@ -1,0 +1,65 @@
+#pragma once
+// The two QNN backbones of the evaluation (§V-A), adapted from Sim et
+// al.'s circuit family:
+//   Model-CRz: each learning layer is RY(w) on every qubit followed by a
+//              CRZ(w) entangling ring,
+//   Model-CRx: same with a CRX ring.
+// Weight count = 2 * n_qubits * n_layers, which reproduces Table II
+// exactly (8/16/24 weights with 2 layers; 200 with 10 layers on HMDB51).
+//
+// The full circuit's parameter vector is [features | weights]: indices
+// [0, n_qubits) are the angle-encoded features, the rest are trainable.
+
+#include <string>
+
+#include "arbiterq/circuit/circuit.hpp"
+
+namespace arbiterq::qnn {
+
+enum class Backbone { kCRz, kCRx };
+
+std::string backbone_name(Backbone b);
+
+/// Shift rule needed for the exact parameter-shift gradient of a weight.
+enum class ShiftRule {
+  kTwoTerm,   ///< single-qubit rotation: +-pi/2 shifts
+  kFourTerm,  ///< controlled rotation: +-pi/2 and +-3pi/2 shifts
+};
+
+class QnnModel {
+ public:
+  QnnModel(Backbone backbone, int num_qubits, int num_layers);
+
+  Backbone backbone() const noexcept { return backbone_; }
+  int num_qubits() const noexcept { return num_qubits_; }
+  int num_layers() const noexcept { return num_layers_; }
+  int num_weights() const noexcept { return 2 * num_qubits_ * num_layers_; }
+  /// Total circuit parameters: features + weights.
+  int num_params() const noexcept { return num_qubits_ + num_weights(); }
+
+  /// Parameter index of weight `w` inside the circuit parameter vector.
+  int weight_param_index(int w) const noexcept { return num_qubits_ + w; }
+
+  /// Shift rule for weight `w` (RY weights are two-term, ring weights
+  /// four-term).
+  ShiftRule shift_rule(int w) const;
+
+  /// Encoding layer + learning layers, parameterized as described above.
+  /// The readout observable is Z on logical qubit 0.
+  const circuit::Circuit& circuit() const noexcept { return circuit_; }
+
+  /// Assemble the circuit parameter vector from an encoded feature vector
+  /// (length num_qubits, radians) and a weight vector.
+  std::vector<double> pack_params(const std::vector<double>& features,
+                                  const std::vector<double>& weights) const;
+
+ private:
+  circuit::Circuit build() const;
+
+  Backbone backbone_;
+  int num_qubits_;
+  int num_layers_;
+  circuit::Circuit circuit_;
+};
+
+}  // namespace arbiterq::qnn

@@ -1,0 +1,70 @@
+#include "arbiterq/qnn/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace arbiterq::qnn {
+
+namespace {
+constexpr double kEps = 1e-9;
+}
+
+double loss_value(LossKind kind, double p, int label) {
+  if (label != 0 && label != 1) {
+    throw std::invalid_argument("loss_value: label must be 0 or 1");
+  }
+  const double y = static_cast<double>(label);
+  switch (kind) {
+    case LossKind::kMse:
+      return (p - y) * (p - y);
+    case LossKind::kCrossEntropy: {
+      const double pc = std::clamp(p, kEps, 1.0 - kEps);
+      return -(y * std::log(pc) + (1.0 - y) * std::log(1.0 - pc));
+    }
+  }
+  throw std::logic_error("loss_value: unknown kind");
+}
+
+double loss_derivative(LossKind kind, double p, int label) {
+  if (label != 0 && label != 1) {
+    throw std::invalid_argument("loss_derivative: label must be 0 or 1");
+  }
+  const double y = static_cast<double>(label);
+  switch (kind) {
+    case LossKind::kMse:
+      return 2.0 * (p - y);
+    case LossKind::kCrossEntropy: {
+      const double pc = std::clamp(p, kEps, 1.0 - kEps);
+      return -(y / pc) + (1.0 - y) / (1.0 - pc);
+    }
+  }
+  throw std::logic_error("loss_derivative: unknown kind");
+}
+
+double batch_loss(LossKind kind, const std::vector<double>& probs,
+                  const std::vector<int>& labels) {
+  if (probs.size() != labels.size() || probs.empty()) {
+    throw std::invalid_argument("batch_loss: size mismatch or empty batch");
+  }
+  double total = 0.0;
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    total += loss_value(kind, probs[i], labels[i]);
+  }
+  return total / static_cast<double>(probs.size());
+}
+
+double batch_accuracy(const std::vector<double>& probs,
+                      const std::vector<int>& labels) {
+  if (probs.size() != labels.size() || probs.empty()) {
+    throw std::invalid_argument("batch_accuracy: size mismatch or empty");
+  }
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    const int predicted = probs[i] >= 0.5 ? 1 : 0;
+    if (predicted == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(probs.size());
+}
+
+}  // namespace arbiterq::qnn

@@ -1,0 +1,82 @@
+#include "arbiterq/qnn/model.hpp"
+
+#include <stdexcept>
+
+namespace arbiterq::qnn {
+
+using circuit::Circuit;
+using circuit::ParamExpr;
+
+std::string backbone_name(Backbone b) {
+  switch (b) {
+    case Backbone::kCRz:
+      return "Model-CRz";
+    case Backbone::kCRx:
+      return "Model-CRx";
+  }
+  throw std::logic_error("backbone_name: unknown backbone");
+}
+
+QnnModel::QnnModel(Backbone backbone, int num_qubits, int num_layers)
+    : backbone_(backbone), num_qubits_(num_qubits), num_layers_(num_layers) {
+  if (num_qubits < 2) {
+    throw std::invalid_argument("QnnModel: need at least 2 qubits");
+  }
+  if (num_layers < 1) {
+    throw std::invalid_argument("QnnModel: need at least 1 layer");
+  }
+  circuit_ = build();
+}
+
+Circuit QnnModel::build() const {
+  Circuit c(num_qubits_, num_params());
+  // Encoding layer: one RY per qubit, angle = feature (already scaled to
+  // [0, pi] by FeatureScaler).
+  for (int q = 0; q < num_qubits_; ++q) {
+    c.ry(q, ParamExpr::ref(q));
+  }
+  int w = num_qubits_;  // next parameter index
+  for (int layer = 0; layer < num_layers_; ++layer) {
+    for (int q = 0; q < num_qubits_; ++q) {
+      c.ry(q, ParamExpr::ref(w++));
+    }
+    for (int q = 0; q < num_qubits_; ++q) {
+      const int target = (q + 1) % num_qubits_;
+      if (backbone_ == Backbone::kCRz) {
+        c.crz(q, target, ParamExpr::ref(w++));
+      } else {
+        c.crx(q, target, ParamExpr::ref(w++));
+      }
+    }
+  }
+  return c;
+}
+
+ShiftRule QnnModel::shift_rule(int w) const {
+  if (w < 0 || w >= num_weights()) {
+    throw std::out_of_range("QnnModel::shift_rule: weight out of range");
+  }
+  // Within each layer, the first num_qubits weights drive RY gates and
+  // the next num_qubits drive the controlled ring.
+  const int within_layer = w % (2 * num_qubits_);
+  return within_layer < num_qubits_ ? ShiftRule::kTwoTerm
+                                    : ShiftRule::kFourTerm;
+}
+
+std::vector<double> QnnModel::pack_params(
+    const std::vector<double>& features,
+    const std::vector<double>& weights) const {
+  if (static_cast<int>(features.size()) != num_qubits_) {
+    throw std::invalid_argument("pack_params: feature size mismatch");
+  }
+  if (static_cast<int>(weights.size()) != num_weights()) {
+    throw std::invalid_argument("pack_params: weight size mismatch");
+  }
+  std::vector<double> p;
+  p.reserve(features.size() + weights.size());
+  p.insert(p.end(), features.begin(), features.end());
+  p.insert(p.end(), weights.begin(), weights.end());
+  return p;
+}
+
+}  // namespace arbiterq::qnn

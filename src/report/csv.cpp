@@ -1,0 +1,111 @@
+#include "arbiterq/report/csv.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace arbiterq::report {
+
+namespace {
+
+bool needs_quoting(const std::string& field) {
+  return field.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string quoted(const std::string& field) {
+  if (!needs_quoting(field)) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
+CsvTable::CsvTable(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {
+  if (columns_.empty()) {
+    throw std::invalid_argument("CsvTable: no columns");
+  }
+}
+
+CsvTable& CsvTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != columns_.size()) {
+    throw std::invalid_argument("CsvTable::add_row: cell count mismatch");
+  }
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+CsvTable& CsvTable::add_row(const std::vector<double>& cells) {
+  std::vector<std::string> text;
+  text.reserve(cells.size());
+  for (double v : cells) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.10g", v);
+    text.emplace_back(buf);
+  }
+  return add_row(std::move(text));
+}
+
+std::string CsvTable::to_string() const {
+  std::string out;
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    if (c) out += ",";
+    out += quoted(columns_[c]);
+  }
+  out += "\n";
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out += ",";
+      out += quoted(row[c]);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+void CsvTable::write(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) {
+    throw std::runtime_error("CsvTable::write: cannot open " + path);
+  }
+  os << to_string();
+  if (!os) {
+    throw std::runtime_error("CsvTable::write: write failed for " + path);
+  }
+}
+
+CsvTable loss_curves_table(
+    const std::vector<std::pair<std::string, std::vector<double>>>& series) {
+  if (series.empty()) {
+    throw std::invalid_argument("loss_curves_table: no series");
+  }
+  std::vector<std::string> columns = {"epoch"};
+  std::size_t longest = 0;
+  for (const auto& [label, values] : series) {
+    columns.push_back(label);
+    longest = std::max(longest, values.size());
+  }
+  CsvTable table(std::move(columns));
+  for (std::size_t e = 0; e < longest; ++e) {
+    std::vector<std::string> row;
+    row.push_back(std::to_string(e + 1));
+    for (const auto& [label, values] : series) {
+      if (e < values.size()) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.10g", values[e]);
+        row.emplace_back(buf);
+      } else {
+        row.emplace_back("");
+      }
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace arbiterq::report

@@ -1,0 +1,38 @@
+#pragma once
+// Minimal CSV emission (RFC 4180 quoting) so every experiment binary can
+// dump plot-ready data next to its console table. No third-party I/O.
+
+#include <string>
+#include <vector>
+
+namespace arbiterq::report {
+
+class CsvTable {
+ public:
+  explicit CsvTable(std::vector<std::string> columns);
+
+  std::size_t num_columns() const noexcept { return columns_.size(); }
+  std::size_t num_rows() const noexcept { return rows_.size(); }
+
+  /// Throws if the cell count does not match the column count.
+  CsvTable& add_row(std::vector<std::string> cells);
+  /// Numeric convenience (formatted with %.10g).
+  CsvTable& add_row(const std::vector<double>& cells);
+
+  /// Full document, header first, fields quoted when needed.
+  std::string to_string() const;
+
+  /// Write to `path`; throws std::runtime_error on I/O failure.
+  void write(const std::string& path) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Loss-curve convenience: one "epoch" column plus one column per series;
+/// series may have different lengths (short ones pad with empty cells).
+CsvTable loss_curves_table(
+    const std::vector<std::pair<std::string, std::vector<double>>>& series);
+
+}  // namespace arbiterq::report

@@ -1,0 +1,174 @@
+#include "arbiterq/sim/adjoint.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "arbiterq/circuit/unitary.hpp"
+#include "arbiterq/sim/statevector.hpp"
+
+namespace arbiterq::sim {
+
+namespace {
+
+using circuit::Complex;
+using circuit::Gate;
+using circuit::GateKind;
+using circuit::Mat2;
+using circuit::Mat4;
+
+constexpr Complex kI{0.0, 1.0};
+
+/// Derivative of a 1q gate matrix with respect to parameter slot `slot`.
+Mat2 d_matrix_1q(GateKind kind, const std::array<double, 3>& p, int slot) {
+  const double c = std::cos(p[0] / 2.0);
+  const double s = std::sin(p[0] / 2.0);
+  switch (kind) {
+    case GateKind::kRX:
+      return {Complex{-s / 2, 0}, -kI * (c / 2), -kI * (c / 2),
+              Complex{-s / 2, 0}};
+    case GateKind::kRY:
+      return {Complex{-s / 2, 0}, Complex{-c / 2, 0}, Complex{c / 2, 0},
+              Complex{-s / 2, 0}};
+    case GateKind::kRZ:
+      return {-kI * 0.5 * std::exp(-kI * (p[0] / 2.0)), Complex{0, 0},
+              Complex{0, 0}, kI * 0.5 * std::exp(kI * (p[0] / 2.0))};
+    case GateKind::kU3: {
+      const Complex el = std::exp(kI * p[2]);
+      const Complex ep = std::exp(kI * p[1]);
+      const Complex epl = std::exp(kI * (p[1] + p[2]));
+      switch (slot) {
+        case 0:
+          return {Complex{-s / 2, 0}, -el * (c / 2), ep * (c / 2),
+                  -epl * (s / 2)};
+        case 1:
+          return {Complex{0, 0}, Complex{0, 0}, kI * ep * s, kI * epl * c};
+        case 2:
+          return {Complex{0, 0}, -kI * el * s, Complex{0, 0}, kI * epl * c};
+        default:
+          break;
+      }
+      throw std::logic_error("d_matrix_1q: bad U3 slot");
+    }
+    default:
+      throw std::logic_error("d_matrix_1q: gate is not parameterized");
+  }
+}
+
+/// Derivative of a controlled-rotation 4x4 matrix (zero on the
+/// control=0 block, 1q derivative on the control=1 block).
+Mat4 d_matrix_2q(GateKind kind, const std::array<double, 3>& p) {
+  GateKind inner;
+  switch (kind) {
+    case GateKind::kCRX:
+      inner = GateKind::kRX;
+      break;
+    case GateKind::kCRY:
+      inner = GateKind::kRY;
+      break;
+    case GateKind::kCRZ:
+      inner = GateKind::kRZ;
+      break;
+    default:
+      throw std::logic_error("d_matrix_2q: gate is not parameterized");
+  }
+  const Mat2 d = d_matrix_1q(inner, p, 0);
+  Mat4 m{};
+  m[2 * 4 + 2] = d[0];
+  m[2 * 4 + 3] = d[1];
+  m[3 * 4 + 2] = d[2];
+  m[3 * 4 + 3] = d[3];
+  return m;
+}
+
+Complex inner_product(const std::vector<Complex>& a,
+                      const std::vector<Complex>& b) {
+  Complex acc{0.0, 0.0};
+  for (std::size_t i = 0; i < a.size(); ++i) acc += std::conj(a[i]) * b[i];
+  return acc;
+}
+
+}  // namespace
+
+std::vector<double> adjoint_gradient_z(const circuit::Circuit& c,
+                                       std::span<const double> params,
+                                       int qubit,
+                                       const NoiseModel* noise) {
+  if (static_cast<int>(params.size()) < c.num_params()) {
+    throw std::invalid_argument("adjoint_gradient_z: params too short");
+  }
+  const bool noisy = noise != nullptr && noise->enabled();
+
+  auto bound_of = [&](const Gate& g) {
+    return noisy ? noise->biased_params(g, params) : g.bound_params(params);
+  };
+
+  // Forward pass.
+  Statevector psi(c.num_qubits());
+  for (const Gate& g : c.gates()) {
+    const auto bound = bound_of(g);
+    if (g.arity() == 1) {
+      psi.apply_mat2(circuit::gate_matrix_1q(g.kind, bound), g.qubits[0]);
+    } else {
+      psi.apply_mat4(circuit::gate_matrix_2q(g.kind, bound), g.qubits[0],
+                     g.qubits[1]);
+    }
+  }
+
+  // lambda = Z_qubit psi.
+  Statevector lambda = psi;
+  lambda.apply_pauli(3, qubit);
+
+  std::vector<double> grad(static_cast<std::size_t>(c.num_params()), 0.0);
+  Statevector mu(c.num_qubits());  // scratch register
+
+  const auto& gates = c.gates();
+  for (std::size_t k = gates.size(); k-- > 0;) {
+    const Gate& g = gates[k];
+    const auto bound = bound_of(g);
+    if (g.arity() == 1) {
+      const Mat2 m = circuit::gate_matrix_1q(g.kind, bound);
+      const Mat2 md = circuit::mat2_adjoint(m);
+      psi.apply_mat2(md, g.qubits[0]);
+      for (int slot = 0; slot < g.param_count(); ++slot) {
+        const circuit::ParamExpr& pe =
+            g.params[static_cast<std::size_t>(slot)];
+        if (pe.is_constant()) continue;
+        mu = psi;
+        mu.apply_mat2(d_matrix_1q(g.kind, bound, slot), g.qubits[0]);
+        const Complex ip = inner_product(lambda.amplitudes(),
+                                         mu.amplitudes());
+        grad[static_cast<std::size_t>(pe.index)] +=
+            2.0 * pe.coeff * ip.real();
+      }
+      lambda.apply_mat2(md, g.qubits[0]);
+    } else {
+      const Mat4 m = circuit::gate_matrix_2q(g.kind, bound);
+      // Adjoint of a 4x4: conjugate transpose.
+      Mat4 md{};
+      for (int r = 0; r < 4; ++r) {
+        for (int col = 0; col < 4; ++col) {
+          md[static_cast<std::size_t>(r * 4 + col)] =
+              std::conj(m[static_cast<std::size_t>(col * 4 + r)]);
+        }
+      }
+      psi.apply_mat4(md, g.qubits[0], g.qubits[1]);
+      if (g.param_count() > 0 && !g.params[0].is_constant()) {
+        mu = psi;
+        mu.apply_mat4(d_matrix_2q(g.kind, bound), g.qubits[0], g.qubits[1]);
+        const Complex ip = inner_product(lambda.amplitudes(),
+                                         mu.amplitudes());
+        grad[static_cast<std::size_t>(g.params[0].index)] +=
+            2.0 * g.params[0].coeff * ip.real();
+      }
+      lambda.apply_mat4(md, g.qubits[0], g.qubits[1]);
+    }
+  }
+
+  if (noisy) {
+    const double survival = noise->survival_probability(c);
+    for (double& gv : grad) gv *= survival;
+  }
+  return grad;
+}
+
+}  // namespace arbiterq::sim

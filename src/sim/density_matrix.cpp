@@ -1,0 +1,277 @@
+#include "arbiterq/sim/density_matrix.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace arbiterq::sim {
+
+namespace {
+
+using circuit::Mat2;
+using circuit::Mat4;
+
+const Mat2 kPauliX{Complex{0, 0}, Complex{1, 0}, Complex{1, 0}, Complex{0, 0}};
+const Mat2 kPauliY{Complex{0, 0}, Complex{0, -1}, Complex{0, 1},
+                   Complex{0, 0}};
+const Mat2 kPauliZ{Complex{1, 0}, Complex{0, 0}, Complex{0, 0},
+                   Complex{-1, 0}};
+
+Mat4 kron2(const Mat2& b, const Mat2& a) {
+  // |b a> ordering: index = 2*bit_b + bit_a.
+  Mat4 m{};
+  for (int rb = 0; rb < 2; ++rb) {
+    for (int ra = 0; ra < 2; ++ra) {
+      for (int cb = 0; cb < 2; ++cb) {
+        for (int ca = 0; ca < 2; ++ca) {
+          m[static_cast<std::size_t>((rb * 2 + ra) * 4 + (cb * 2 + ca))] =
+              b[static_cast<std::size_t>(rb * 2 + cb)] *
+              a[static_cast<std::size_t>(ra * 2 + ca)];
+        }
+      }
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
+DensityMatrix::DensityMatrix(int num_qubits)
+    : num_qubits_(num_qubits), dim_(std::size_t{1} << num_qubits) {
+  if (num_qubits <= 0 || num_qubits > 13) {
+    throw std::invalid_argument("DensityMatrix: unsupported qubit count");
+  }
+  rho_.assign(dim_ * dim_, Complex{0.0, 0.0});
+  rho_[0] = 1.0;
+}
+
+void DensityMatrix::reset() {
+  std::fill(rho_.begin(), rho_.end(), Complex{0.0, 0.0});
+  rho_[0] = 1.0;
+}
+
+void DensityMatrix::apply_left_right_1q(const Mat2& m, int q) {
+  const std::size_t bit = std::size_t{1} << q;
+  // rho -> M rho M^dagger. Left multiply on rows, then right multiply
+  // (by M^dagger) on columns.
+  for (std::size_t col = 0; col < dim_; ++col) {
+    for (std::size_t row = 0; row < dim_; ++row) {
+      if (row & bit) continue;
+      const Complex a0 = rho_[row * dim_ + col];
+      const Complex a1 = rho_[(row | bit) * dim_ + col];
+      rho_[row * dim_ + col] = m[0] * a0 + m[1] * a1;
+      rho_[(row | bit) * dim_ + col] = m[2] * a0 + m[3] * a1;
+    }
+  }
+  const Mat2 md = circuit::mat2_adjoint(m);
+  for (std::size_t row = 0; row < dim_; ++row) {
+    for (std::size_t col = 0; col < dim_; ++col) {
+      if (col & bit) continue;
+      const Complex a0 = rho_[row * dim_ + col];
+      const Complex a1 = rho_[row * dim_ + (col | bit)];
+      // Right multiplication: rho' = rho * M^dagger, columns mix with
+      // M^dagger's *columns* transposed -> use md rows as (rho * md).
+      rho_[row * dim_ + col] = a0 * md[0] + a1 * md[2];
+      rho_[row * dim_ + (col | bit)] = a0 * md[1] + a1 * md[3];
+    }
+  }
+}
+
+void DensityMatrix::apply_left_right_2q(const Mat4& m, int qb, int qa) {
+  const std::size_t bit_b = std::size_t{1} << qb;
+  const std::size_t bit_a = std::size_t{1} << qa;
+  for (std::size_t col = 0; col < dim_; ++col) {
+    for (std::size_t row = 0; row < dim_; ++row) {
+      if ((row & bit_b) || (row & bit_a)) continue;
+      std::size_t idx[4] = {row, row | bit_a, row | bit_b,
+                            row | bit_b | bit_a};
+      Complex amp[4];
+      for (int k = 0; k < 4; ++k) amp[k] = rho_[idx[k] * dim_ + col];
+      for (int r = 0; r < 4; ++r) {
+        Complex acc{0.0, 0.0};
+        for (int k = 0; k < 4; ++k) {
+          acc += m[static_cast<std::size_t>(r * 4 + k)] * amp[k];
+        }
+        rho_[idx[r] * dim_ + col] = acc;
+      }
+    }
+  }
+  // Right multiply by M^dagger: (rho * M^dagger)_{r,c} =
+  // sum_k rho_{r,k} conj(M_{c,k}).
+  for (std::size_t row = 0; row < dim_; ++row) {
+    for (std::size_t col = 0; col < dim_; ++col) {
+      if ((col & bit_b) || (col & bit_a)) continue;
+      std::size_t idx[4] = {col, col | bit_a, col | bit_b,
+                            col | bit_b | bit_a};
+      Complex amp[4];
+      for (int k = 0; k < 4; ++k) amp[k] = rho_[row * dim_ + idx[k]];
+      for (int c = 0; c < 4; ++c) {
+        Complex acc{0.0, 0.0};
+        for (int k = 0; k < 4; ++k) {
+          acc += amp[k] * std::conj(m[static_cast<std::size_t>(c * 4 + k)]);
+        }
+        rho_[row * dim_ + idx[c]] = acc;
+      }
+    }
+  }
+}
+
+void DensityMatrix::apply_mat2(const Mat2& m, int q) {
+  apply_left_right_1q(m, q);
+}
+
+void DensityMatrix::apply_mat4(const Mat4& m, int qb, int qa) {
+  apply_left_right_2q(m, qb, qa);
+}
+
+void DensityMatrix::apply_gate(const circuit::Gate& g,
+                               std::span<const double> params) {
+  const auto bound = g.bound_params(params);
+  if (g.arity() == 1) {
+    apply_mat2(circuit::gate_matrix_1q(g.kind, bound), g.qubits[0]);
+  } else {
+    apply_mat4(circuit::gate_matrix_2q(g.kind, bound), g.qubits[0],
+               g.qubits[1]);
+  }
+}
+
+void DensityMatrix::depolarize_1q(int q, double p) {
+  if (p <= 0.0) return;
+  DensityMatrix x = *this;
+  x.apply_left_right_1q(kPauliX, q);
+  DensityMatrix y = *this;
+  y.apply_left_right_1q(kPauliY, q);
+  DensityMatrix z = *this;
+  z.apply_left_right_1q(kPauliZ, q);
+  for (std::size_t i = 0; i < rho_.size(); ++i) {
+    rho_[i] = (1.0 - p) * rho_[i] +
+              (p / 3.0) * (x.rho_[i] + y.rho_[i] + z.rho_[i]);
+  }
+}
+
+void DensityMatrix::depolarize_2q(int a, int b, double p) {
+  if (p <= 0.0) return;
+  const Mat2 kId{Complex{1, 0}, Complex{0, 0}, Complex{0, 0}, Complex{1, 0}};
+  const Mat2 paulis[4] = {kId, kPauliX, kPauliY, kPauliZ};
+  std::vector<Complex> acc(rho_.size(), Complex{0.0, 0.0});
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      if (i == 0 && j == 0) continue;
+      DensityMatrix t = *this;
+      t.apply_left_right_2q(
+          kron2(paulis[static_cast<std::size_t>(i)],
+                paulis[static_cast<std::size_t>(j)]),
+          b, a);
+      for (std::size_t k = 0; k < acc.size(); ++k) acc[k] += t.rho_[k];
+    }
+  }
+  for (std::size_t k = 0; k < rho_.size(); ++k) {
+    rho_[k] = (1.0 - p) * rho_[k] + (p / 15.0) * acc[k];
+  }
+}
+
+void DensityMatrix::amplitude_damp(int q, double gamma) {
+  if (gamma <= 0.0) return;
+  const double sg = std::sqrt(gamma);
+  const double s1 = std::sqrt(1.0 - gamma);
+  const Mat2 k0{Complex{1, 0}, Complex{0, 0}, Complex{0, 0}, Complex{s1, 0}};
+  const Mat2 k1{Complex{0, 0}, Complex{sg, 0}, Complex{0, 0}, Complex{0, 0}};
+  DensityMatrix a = *this;
+  a.apply_left_right_1q(k0, q);
+  DensityMatrix b = *this;
+  b.apply_left_right_1q(k1, q);
+  for (std::size_t i = 0; i < rho_.size(); ++i) rho_[i] = a.rho_[i] + b.rho_[i];
+}
+
+void DensityMatrix::phase_damp(int q, double lambda) {
+  if (lambda <= 0.0) return;
+  const double s1 = std::sqrt(1.0 - lambda);
+  const double sl = std::sqrt(lambda);
+  const Mat2 k0{Complex{1, 0}, Complex{0, 0}, Complex{0, 0}, Complex{s1, 0}};
+  const Mat2 k1{Complex{0, 0}, Complex{0, 0}, Complex{0, 0}, Complex{sl, 0}};
+  DensityMatrix a = *this;
+  a.apply_left_right_1q(k0, q);
+  DensityMatrix b = *this;
+  b.apply_left_right_1q(k1, q);
+  for (std::size_t i = 0; i < rho_.size(); ++i) rho_[i] = a.rho_[i] + b.rho_[i];
+}
+
+double DensityMatrix::expectation_z(int q) const {
+  return 1.0 - 2.0 * probability_of_one(q);
+}
+
+double DensityMatrix::probability_of_one(int q) const {
+  const std::size_t bit = std::size_t{1} << q;
+  double p = 0.0;
+  for (std::size_t i = 0; i < dim_; ++i) {
+    if (i & bit) p += rho_[i * dim_ + i].real();
+  }
+  return p;
+}
+
+std::vector<double> DensityMatrix::probabilities() const {
+  std::vector<double> p(dim_);
+  for (std::size_t i = 0; i < dim_; ++i) p[i] = rho_[i * dim_ + i].real();
+  return p;
+}
+
+double DensityMatrix::trace_real() const {
+  double t = 0.0;
+  for (std::size_t i = 0; i < dim_; ++i) t += rho_[i * dim_ + i].real();
+  return t;
+}
+
+bool DensityMatrix::is_hermitian(double tol) const {
+  for (std::size_t r = 0; r < dim_; ++r) {
+    for (std::size_t c = r; c < dim_; ++c) {
+      if (std::abs(rho_[r * dim_ + c] - std::conj(rho_[c * dim_ + r])) > tol) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+double DensityMatrix::purity() const {
+  double p = 0.0;
+  for (std::size_t r = 0; r < dim_; ++r) {
+    for (std::size_t c = 0; c < dim_; ++c) {
+      p += std::norm(rho_[r * dim_ + c]);
+    }
+  }
+  return p;
+}
+
+double reference_expectation_z(const circuit::Circuit& c,
+                               std::span<const double> params,
+                               const NoiseModel& noise, int qubit) {
+  DensityMatrix rho(c.num_qubits());
+  for (const circuit::Gate& g : c.gates()) {
+    const auto bound = noise.enabled() ? noise.biased_params(g, params)
+                                       : g.bound_params(params);
+    if (g.arity() == 1) {
+      rho.apply_mat2(circuit::gate_matrix_1q(g.kind, bound), g.qubits[0]);
+    } else {
+      rho.apply_mat4(circuit::gate_matrix_2q(g.kind, bound), g.qubits[0],
+                     g.qubits[1]);
+    }
+    if (!noise.enabled()) continue;
+    const double p = noise.gate_error(g);
+    if (p <= 0.0) continue;
+    // Match the trajectory engine: an independent single-qubit
+    // depolarizing event on each involved qubit.
+    for (int k = 0; k < g.arity(); ++k) {
+      rho.depolarize_1q(g.qubits[static_cast<std::size_t>(k)], p);
+    }
+  }
+  double ez = rho.expectation_z(qubit);
+  if (noise.enabled()) {
+    // Classical readout flips contract <Z>:
+    // <Z>' = (1 - p01 - p10) <Z> + (p10 - p01).
+    const double p01 = noise.readout_p01(qubit);
+    const double p10 = noise.readout_p10(qubit);
+    ez = (1.0 - p01 - p10) * ez + (p10 - p01);
+  }
+  return ez;
+}
+
+}  // namespace arbiterq::sim

@@ -1,0 +1,36 @@
+#pragma once
+// Adjoint differentiation (reverse-mode through the state vector): the
+// full gradient of <Z_qubit> with respect to every circuit parameter in
+// O(#gates) state evolutions, instead of parameter shift's O(#params)
+// circuit executions. Exact for pure-state evolution, so it matches the
+// parameter-shift rules bit-for-bit on noiseless circuits (tested), and
+// under the exact-mode noise treatment (coherent biases + attenuation)
+// it differentiates the same objective StatevectorSimulator::
+// expectation_z computes: biases are additive constants and the
+// attenuation factor is parameter-independent.
+//
+// Algorithm (PennyLane/qiskit "adjoint Jacobian"):
+//   psi = U |0>,  lambda = Z_q psi
+//   for gate k = T..1:
+//     psi    <- G_k^dagger psi            (state before gate k)
+//     grad_p += 2 Re <lambda| dG_k/dp |psi>   for each bound parameter
+//     lambda <- G_k^dagger lambda
+
+#include <span>
+#include <vector>
+
+#include "arbiterq/circuit/circuit.hpp"
+#include "arbiterq/sim/noise_model.hpp"
+
+namespace arbiterq::sim {
+
+/// Gradient of <Z_qubit> with respect to params[0..num_params). When
+/// `noise` is non-null, rotation angles are biased and the result is
+/// scaled by the circuit's survival probability — the derivative of the
+/// exact-mode noisy expectation.
+std::vector<double> adjoint_gradient_z(const circuit::Circuit& c,
+                                       std::span<const double> params,
+                                       int qubit,
+                                       const NoiseModel* noise = nullptr);
+
+}  // namespace arbiterq::sim

@@ -1,0 +1,78 @@
+#pragma once
+// Exact density-matrix simulator with Kraus channels. It is the ground
+// truth the cheaper engines are validated against: trajectory sampling
+// must converge to the depolarizing-channel expectation, and the exact
+// executor's attenuation factor must stay within a documented bound of
+// it. Dense 2^n x 2^n storage — intended for n <= ~7 (tests and small
+// experiments).
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "arbiterq/circuit/circuit.hpp"
+#include "arbiterq/circuit/unitary.hpp"
+#include "arbiterq/sim/noise_model.hpp"
+
+namespace arbiterq::sim {
+
+using circuit::Complex;
+
+class DensityMatrix {
+ public:
+  /// Initialized to |0...0><0...0|.
+  explicit DensityMatrix(int num_qubits);
+
+  int num_qubits() const noexcept { return num_qubits_; }
+  std::size_t dim() const noexcept { return dim_; }
+
+  Complex element(std::size_t r, std::size_t c) const {
+    return rho_[r * dim_ + c];
+  }
+
+  void reset();
+
+  /// Apply a unitary gate (parameters bound from `params`).
+  void apply_gate(const circuit::Gate& g, std::span<const double> params);
+  void apply_mat2(const circuit::Mat2& m, int q);
+  void apply_mat4(const circuit::Mat4& m, int qb, int qa);
+
+  /// rho -> (1-p) rho + p/3 (X rho X + Y rho Y + Z rho Z).
+  void depolarize_1q(int q, double p);
+  /// Two-qubit depolarizing: with probability p, a uniformly random
+  /// non-identity two-qubit Pauli is applied.
+  void depolarize_2q(int a, int b, double p);
+  /// Amplitude damping (T1 decay) with decay probability gamma.
+  void amplitude_damp(int q, double gamma);
+  /// Phase damping (pure dephasing) with probability lambda.
+  void phase_damp(int q, double lambda);
+
+  double expectation_z(int q) const;
+  double probability_of_one(int q) const;
+  std::vector<double> probabilities() const;
+
+  double trace_real() const;
+  bool is_hermitian(double tol = 1e-9) const;
+  /// Purity Tr(rho^2) in [1/2^n, 1].
+  double purity() const;
+
+ private:
+  void apply_left_right_1q(const circuit::Mat2& m, int q);
+  void apply_left_right_2q(const circuit::Mat4& m, int qb, int qa);
+
+  int num_qubits_;
+  std::size_t dim_;
+  std::vector<Complex> rho_;
+};
+
+/// Exact noisy expectation of Z on `qubit`: every gate is followed by the
+/// noise model's depolarizing channel on the involved qubits and the
+/// coherent biases are folded into the rotation angles — the reference
+/// semantics for StatevectorSimulator's two noise treatments. Readout
+/// error is applied as a classical bit-flip contraction of <Z>.
+double reference_expectation_z(const circuit::Circuit& c,
+                               std::span<const double> params,
+                               const NoiseModel& noise, int qubit);
+
+}  // namespace arbiterq::sim

@@ -1,0 +1,30 @@
+#pragma once
+// Expectation values of Pauli-string observables on both simulator
+// backends, plus weighted sums (Hamiltonians / multi-term readouts).
+
+#include <vector>
+
+#include "arbiterq/circuit/pauli.hpp"
+#include "arbiterq/sim/density_matrix.hpp"
+#include "arbiterq/sim/statevector.hpp"
+
+namespace arbiterq::sim {
+
+/// <psi| P |psi>; P must match the register's qubit count. The result is
+/// real for any Hermitian Pauli string.
+double expectation(const Statevector& sv, const circuit::PauliString& p);
+
+/// Tr(rho P).
+double expectation(const DensityMatrix& rho, const circuit::PauliString& p);
+
+/// One term of a Pauli-sum observable.
+struct PauliTerm {
+  double coefficient = 1.0;
+  circuit::PauliString pauli;
+};
+
+/// sum_k c_k <P_k>.
+double expectation(const Statevector& sv,
+                   const std::vector<PauliTerm>& observable);
+
+}  // namespace arbiterq::sim

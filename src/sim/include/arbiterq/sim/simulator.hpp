@@ -1,0 +1,81 @@
+#pragma once
+// Circuit execution engines.
+//
+// StatevectorSimulator offers two noise treatments:
+//  * exact mode — coherent biases applied deterministically; stochastic
+//    gate errors collapse to an expectation-value attenuation factor
+//    (survival probability toward the maximally mixed state). Fast and
+//    deterministic: used for training, where thousands of parameter-shift
+//    evaluations per epoch are needed.
+//  * trajectory mode — after every gate a random Pauli fires on each
+//    involved qubit with the gate's depolarizing probability; measurement
+//    applies classical readout flips. Shots are distributed over a
+//    configurable number of independent trajectories: used for inference,
+//    where ArbiterQ's shot-splitting across a torus is the object of
+//    study.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "arbiterq/circuit/circuit.hpp"
+#include "arbiterq/math/rng.hpp"
+#include "arbiterq/sim/noise_model.hpp"
+#include "arbiterq/sim/statevector.hpp"
+
+namespace arbiterq::sim {
+
+struct ShotOptions {
+  int shots = 1000;
+  /// Independent noisy trajectories the shots are spread across. More
+  /// trajectories = better noise averaging but more state evolutions.
+  int trajectories = 32;
+};
+
+class StatevectorSimulator {
+ public:
+  /// Ideal simulator (no noise model).
+  StatevectorSimulator() = default;
+  explicit StatevectorSimulator(NoiseModel noise);
+
+  const NoiseModel& noise() const noexcept { return noise_; }
+
+  /// Evolve |0..0> through the circuit with no noise at all.
+  Statevector run_ideal(const circuit::Circuit& c,
+                        std::span<const double> params) const;
+
+  /// Evolve with coherent biases only (deterministic part of the noise).
+  Statevector run_biased(const circuit::Circuit& c,
+                         std::span<const double> params) const;
+
+  /// Exact-mode noisy expectation of Z on `qubit`:
+  /// survival * <Z>_biased (depolarized remainder contributes 0).
+  double expectation_z(const circuit::Circuit& c,
+                       std::span<const double> params, int qubit) const;
+
+  /// Exact-mode probability of measuring `qubit` = 1.
+  double probability_of_one(const circuit::Circuit& c,
+                            std::span<const double> params, int qubit) const;
+
+  /// Trajectory-mode sampling: returns counts per basis state
+  /// (size 2^num_qubits). Deterministic given `rng`'s state.
+  std::vector<std::uint32_t> sample_counts(const circuit::Circuit& c,
+                                           std::span<const double> params,
+                                           const ShotOptions& opts,
+                                           math::Rng& rng) const;
+
+  /// Fraction of sampled shots with `qubit` = 1.
+  double sampled_probability_of_one(const circuit::Circuit& c,
+                                    std::span<const double> params, int qubit,
+                                    const ShotOptions& opts,
+                                    math::Rng& rng) const;
+
+ private:
+  void run_trajectory(const circuit::Circuit& c,
+                      std::span<const double> params, Statevector& sv,
+                      math::Rng& rng) const;
+
+  NoiseModel noise_;
+};
+
+}  // namespace arbiterq::sim

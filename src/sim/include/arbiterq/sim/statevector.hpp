@@ -1,0 +1,58 @@
+#pragma once
+// Pure state-vector register: the workhorse behind both the exact QNN
+// executor (training) and the stochastic-trajectory shot sampler
+// (inference). Qubit 0 is the least significant bit of a basis index.
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "arbiterq/circuit/circuit.hpp"
+#include "arbiterq/circuit/unitary.hpp"
+#include "arbiterq/math/rng.hpp"
+
+namespace arbiterq::sim {
+
+using circuit::Complex;
+
+class Statevector {
+ public:
+  /// Initialized to |0...0>.
+  explicit Statevector(int num_qubits);
+
+  int num_qubits() const noexcept { return num_qubits_; }
+  std::size_t dim() const noexcept { return amps_.size(); }
+  const std::vector<Complex>& amplitudes() const noexcept { return amps_; }
+
+  /// Back to |0...0>.
+  void reset();
+
+  void apply_mat2(const circuit::Mat2& m, int q);
+  /// qb is the bit matching the matrix's high index (gate.qubits[0]),
+  /// qa the low one (gate.qubits[1]); see unitary.hpp for the convention.
+  void apply_mat4(const circuit::Mat4& m, int qb, int qa);
+
+  /// Apply one gate with parameters bound from `params` (no noise).
+  void apply_gate(const circuit::Gate& g, std::span<const double> params);
+
+  /// Apply a Pauli operator: 1 = X, 2 = Y, 3 = Z.
+  void apply_pauli(int pauli, int q);
+
+  double probability_of_one(int q) const;
+  /// <Z_q> = P(q=0) - P(q=1).
+  double expectation_z(int q) const;
+  /// |amp|^2 for every basis state.
+  std::vector<double> probabilities() const;
+
+  /// Sample one basis-state index from the Born distribution.
+  std::size_t sample(math::Rng& rng) const;
+
+  double norm() const;
+
+ private:
+  int num_qubits_;
+  std::vector<Complex> amps_;
+};
+
+}  // namespace arbiterq::sim

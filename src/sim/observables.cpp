@@ -1,0 +1,95 @@
+#include "arbiterq/sim/observables.hpp"
+
+#include <stdexcept>
+
+namespace arbiterq::sim {
+
+namespace {
+
+using circuit::PauliOp;
+using circuit::PauliString;
+
+void apply_pauli_string(Statevector& sv, const PauliString& p) {
+  for (int q = 0; q < p.num_qubits(); ++q) {
+    switch (p.op(q)) {
+      case PauliOp::kI:
+        break;
+      case PauliOp::kX:
+        sv.apply_pauli(1, q);
+        break;
+      case PauliOp::kY:
+        sv.apply_pauli(2, q);
+        break;
+      case PauliOp::kZ:
+        sv.apply_pauli(3, q);
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+double expectation(const Statevector& sv, const PauliString& p) {
+  if (p.num_qubits() != sv.num_qubits()) {
+    throw std::invalid_argument("expectation: qubit count mismatch");
+  }
+  Statevector transformed = sv;
+  apply_pauli_string(transformed, p);
+  Complex acc{0.0, 0.0};
+  const auto& a = sv.amplitudes();
+  const auto& b = transformed.amplitudes();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += std::conj(a[i]) * b[i];
+  }
+  return acc.real();
+}
+
+double expectation(const DensityMatrix& rho, const PauliString& p) {
+  if (p.num_qubits() != rho.num_qubits()) {
+    throw std::invalid_argument("expectation: qubit count mismatch");
+  }
+  // Tr(rho P) = sum_i (rho P)_{ii} = sum_{i,j} rho_{ij} P_{ji}. Every
+  // Pauli string has exactly one nonzero entry per column: P|i> =
+  // phase(i) |m(i)>, so P_{ji} = phase(i) [j == m(i)] and
+  // Tr(rho P) = sum_i phase(i) rho_{i, m(i)}... computed via the
+  // statevector trick on columns is overkill; do it directly.
+  const std::size_t dim = rho.dim();
+  Complex total{0.0, 0.0};
+  for (std::size_t i = 0; i < dim; ++i) {
+    std::size_t j = i;
+    Complex phase{1.0, 0.0};
+    for (int q = 0; q < p.num_qubits(); ++q) {
+      const std::size_t bit = std::size_t{1} << q;
+      const bool one = (i & bit) != 0;
+      switch (p.op(q)) {
+        case PauliOp::kI:
+          break;
+        case PauliOp::kX:
+          j ^= bit;
+          break;
+        case PauliOp::kY:
+          j ^= bit;
+          phase *= one ? Complex{0.0, -1.0} : Complex{0.0, 1.0};
+          break;
+        case PauliOp::kZ:
+          if (one) phase *= -1.0;
+          break;
+      }
+    }
+    // (rho P)_{ii} = sum_j rho_{ij} P_{ji}; P maps |i> -> phase |j>,
+    // i.e. P_{ji} = phase, so the contribution is rho_{i j} * phase.
+    total += rho.element(i, j) * phase;
+  }
+  return total.real();
+}
+
+double expectation(const Statevector& sv,
+                   const std::vector<PauliTerm>& observable) {
+  double total = 0.0;
+  for (const PauliTerm& term : observable) {
+    total += term.coefficient * expectation(sv, term.pauli);
+  }
+  return total;
+}
+
+}  // namespace arbiterq::sim

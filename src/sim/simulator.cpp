@@ -1,0 +1,147 @@
+#include "arbiterq/sim/simulator.hpp"
+
+#include <stdexcept>
+
+#include "arbiterq/circuit/unitary.hpp"
+
+namespace arbiterq::sim {
+
+StatevectorSimulator::StatevectorSimulator(NoiseModel noise)
+    : noise_(std::move(noise)) {}
+
+Statevector StatevectorSimulator::run_ideal(
+    const circuit::Circuit& c, std::span<const double> params) const {
+  Statevector sv(c.num_qubits());
+  for (const circuit::Gate& g : c.gates()) sv.apply_gate(g, params);
+  return sv;
+}
+
+Statevector StatevectorSimulator::run_biased(
+    const circuit::Circuit& c, std::span<const double> params) const {
+  // Fuse runs of single-qubit gates into one 2x2 per qubit between
+  // two-qubit gates: 1q gates on distinct qubits commute, so deferring a
+  // per-qubit product until a 2q gate (or the end) touches that qubit is
+  // exact and cuts most of the basis-gate stream's butterfly passes.
+  Statevector sv(c.num_qubits());
+  const bool noisy = noise_.enabled();
+  std::vector<circuit::Mat2> pending(
+      static_cast<std::size_t>(c.num_qubits()),
+      circuit::Mat2{Complex{1, 0}, Complex{0, 0}, Complex{0, 0},
+                    Complex{1, 0}});
+  std::vector<bool> has_pending(static_cast<std::size_t>(c.num_qubits()),
+                                false);
+  auto flush = [&](int q) {
+    const auto uq = static_cast<std::size_t>(q);
+    if (!has_pending[uq]) return;
+    sv.apply_mat2(pending[uq], q);
+    pending[uq] = {Complex{1, 0}, Complex{0, 0}, Complex{0, 0},
+                   Complex{1, 0}};
+    has_pending[uq] = false;
+  };
+  for (const circuit::Gate& g : c.gates()) {
+    const auto bound =
+        noisy ? noise_.biased_params(g, params) : g.bound_params(params);
+    if (g.arity() == 1) {
+      const auto uq = static_cast<std::size_t>(g.qubits[0]);
+      pending[uq] = circuit::mat2_multiply(
+          circuit::gate_matrix_1q(g.kind, bound), pending[uq]);
+      has_pending[uq] = true;
+    } else {
+      flush(g.qubits[0]);
+      flush(g.qubits[1]);
+      sv.apply_mat4(circuit::gate_matrix_2q(g.kind, bound), g.qubits[0],
+                    g.qubits[1]);
+    }
+  }
+  for (int q = 0; q < c.num_qubits(); ++q) flush(q);
+  return sv;
+}
+
+double StatevectorSimulator::expectation_z(const circuit::Circuit& c,
+                                           std::span<const double> params,
+                                           int qubit) const {
+  const Statevector sv = run_biased(c, params);
+  const double survival =
+      noise_.enabled() ? noise_.survival_probability(c) : 1.0;
+  return survival * sv.expectation_z(qubit);
+}
+
+double StatevectorSimulator::probability_of_one(const circuit::Circuit& c,
+                                                std::span<const double> params,
+                                                int qubit) const {
+  return 0.5 * (1.0 - expectation_z(c, params, qubit));
+}
+
+void StatevectorSimulator::run_trajectory(const circuit::Circuit& c,
+                                          std::span<const double> params,
+                                          Statevector& sv,
+                                          math::Rng& rng) const {
+  sv.reset();
+  for (const circuit::Gate& g : c.gates()) {
+    const auto bound = noise_.enabled() ? noise_.biased_params(g, params)
+                                        : g.bound_params(params);
+    if (g.arity() == 1) {
+      sv.apply_mat2(circuit::gate_matrix_1q(g.kind, bound), g.qubits[0]);
+    } else {
+      sv.apply_mat4(circuit::gate_matrix_2q(g.kind, bound), g.qubits[0],
+                    g.qubits[1]);
+    }
+    if (!noise_.enabled()) continue;
+    const double p = noise_.gate_error(g);
+    if (p <= 0.0) continue;
+    for (int k = 0; k < g.arity(); ++k) {
+      if (rng.bernoulli(p)) {
+        const int pauli = 1 + static_cast<int>(rng.uniform_int(3));
+        sv.apply_pauli(pauli, g.qubits[static_cast<std::size_t>(k)]);
+      }
+    }
+  }
+}
+
+std::vector<std::uint32_t> StatevectorSimulator::sample_counts(
+    const circuit::Circuit& c, std::span<const double> params,
+    const ShotOptions& opts, math::Rng& rng) const {
+  if (opts.shots <= 0 || opts.trajectories <= 0) {
+    throw std::invalid_argument("sample_counts: shots/trajectories invalid");
+  }
+  std::vector<std::uint32_t> counts(std::size_t{1} << c.num_qubits(), 0);
+  Statevector sv(c.num_qubits());
+  const int n_traj = std::min(opts.trajectories, opts.shots);
+  int remaining = opts.shots;
+  for (int t = 0; t < n_traj; ++t) {
+    const int this_shots = remaining / (n_traj - t);
+    remaining -= this_shots;
+    run_trajectory(c, params, sv, rng);
+    for (int s = 0; s < this_shots; ++s) {
+      std::size_t outcome = sv.sample(rng);
+      if (noise_.enabled()) {
+        for (int q = 0; q < c.num_qubits(); ++q) {
+          const bool one = (outcome >> q) & 1U;
+          const double flip =
+              one ? noise_.readout_p10(q) : noise_.readout_p01(q);
+          if (flip > 0.0 && rng.bernoulli(flip)) {
+            outcome ^= std::size_t{1} << q;
+          }
+        }
+      }
+      ++counts[outcome];
+    }
+  }
+  return counts;
+}
+
+double StatevectorSimulator::sampled_probability_of_one(
+    const circuit::Circuit& c, std::span<const double> params, int qubit,
+    const ShotOptions& opts, math::Rng& rng) const {
+  const auto counts = sample_counts(c, params, opts, rng);
+  std::uint64_t ones = 0;
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    total += counts[i];
+    if ((i >> qubit) & 1U) ones += counts[i];
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(ones) / static_cast<double>(total);
+}
+
+}  // namespace arbiterq::sim

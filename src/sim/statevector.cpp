@@ -1,0 +1,123 @@
+#include "arbiterq/sim/statevector.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace arbiterq::sim {
+
+Statevector::Statevector(int num_qubits) : num_qubits_(num_qubits) {
+  if (num_qubits <= 0 || num_qubits > 26) {
+    throw std::invalid_argument("Statevector: unsupported qubit count");
+  }
+  amps_.assign(std::size_t{1} << num_qubits, Complex{0.0, 0.0});
+  amps_[0] = 1.0;
+}
+
+void Statevector::reset() {
+  std::fill(amps_.begin(), amps_.end(), Complex{0.0, 0.0});
+  amps_[0] = 1.0;
+}
+
+void Statevector::apply_mat2(const circuit::Mat2& m, int q) {
+  const std::size_t bit = std::size_t{1} << q;
+  const std::size_t n = amps_.size();
+  // Diagonal fast path (RZ/S/Z...): pure per-amplitude phases, no
+  // butterfly — these dominate basis-gate streams after transpilation.
+  if (m[1] == Complex{0.0, 0.0} && m[2] == Complex{0.0, 0.0}) {
+    for (std::size_t i = 0; i < n; ++i) {
+      amps_[i] *= (i & bit) ? m[3] : m[0];
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i & bit) continue;
+    const Complex a0 = amps_[i];
+    const Complex a1 = amps_[i | bit];
+    amps_[i] = m[0] * a0 + m[1] * a1;
+    amps_[i | bit] = m[2] * a0 + m[3] * a1;
+  }
+}
+
+void Statevector::apply_mat4(const circuit::Mat4& m, int qb, int qa) {
+  const std::size_t bit_b = std::size_t{1} << qb;
+  const std::size_t bit_a = std::size_t{1} << qa;
+  const std::size_t n = amps_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if ((i & bit_b) || (i & bit_a)) continue;
+    const std::size_t i00 = i;
+    const std::size_t i01 = i | bit_a;
+    const std::size_t i10 = i | bit_b;
+    const std::size_t i11 = i | bit_b | bit_a;
+    const Complex a00 = amps_[i00];
+    const Complex a01 = amps_[i01];
+    const Complex a10 = amps_[i10];
+    const Complex a11 = amps_[i11];
+    amps_[i00] = m[0] * a00 + m[1] * a01 + m[2] * a10 + m[3] * a11;
+    amps_[i01] = m[4] * a00 + m[5] * a01 + m[6] * a10 + m[7] * a11;
+    amps_[i10] = m[8] * a00 + m[9] * a01 + m[10] * a10 + m[11] * a11;
+    amps_[i11] = m[12] * a00 + m[13] * a01 + m[14] * a10 + m[15] * a11;
+  }
+}
+
+void Statevector::apply_gate(const circuit::Gate& g,
+                             std::span<const double> params) {
+  const auto bound = g.bound_params(params);
+  if (g.arity() == 1) {
+    apply_mat2(circuit::gate_matrix_1q(g.kind, bound), g.qubits[0]);
+  } else {
+    apply_mat4(circuit::gate_matrix_2q(g.kind, bound), g.qubits[0],
+               g.qubits[1]);
+  }
+}
+
+void Statevector::apply_pauli(int pauli, int q) {
+  switch (pauli) {
+    case 1:
+      apply_mat2(circuit::gate_matrix_1q(circuit::GateKind::kX, {}), q);
+      break;
+    case 2:
+      apply_mat2(circuit::gate_matrix_1q(circuit::GateKind::kY, {}), q);
+      break;
+    case 3:
+      apply_mat2(circuit::gate_matrix_1q(circuit::GateKind::kZ, {}), q);
+      break;
+    default:
+      throw std::invalid_argument("apply_pauli: pauli must be 1, 2 or 3");
+  }
+}
+
+double Statevector::probability_of_one(int q) const {
+  const std::size_t bit = std::size_t{1} << q;
+  double p = 0.0;
+  for (std::size_t i = 0; i < amps_.size(); ++i) {
+    if (i & bit) p += std::norm(amps_[i]);
+  }
+  return p;
+}
+
+double Statevector::expectation_z(int q) const {
+  return 1.0 - 2.0 * probability_of_one(q);
+}
+
+std::vector<double> Statevector::probabilities() const {
+  std::vector<double> p(amps_.size());
+  for (std::size_t i = 0; i < amps_.size(); ++i) p[i] = std::norm(amps_[i]);
+  return p;
+}
+
+std::size_t Statevector::sample(math::Rng& rng) const {
+  double r = rng.uniform();
+  for (std::size_t i = 0; i < amps_.size(); ++i) {
+    r -= std::norm(amps_[i]);
+    if (r <= 0.0) return i;
+  }
+  return amps_.size() - 1;  // numerical slack: land on the last state
+}
+
+double Statevector::norm() const {
+  double s = 0.0;
+  for (const Complex& a : amps_) s += std::norm(a);
+  return std::sqrt(s);
+}
+
+}  // namespace arbiterq::sim

@@ -1,0 +1,310 @@
+#include "arbiterq/transpile/decompose.hpp"
+
+#include <numbers>
+#include <stdexcept>
+
+namespace arbiterq::transpile {
+
+namespace {
+
+using circuit::Circuit;
+using circuit::Gate;
+using circuit::GateKind;
+using circuit::ParamExpr;
+
+constexpr double kPi = std::numbers::pi;
+constexpr double kHalfPi = std::numbers::pi / 2.0;
+
+/// Scale a ParamExpr by a constant: value' = s * value.
+ParamExpr scaled(const ParamExpr& p, double s) {
+  return {p.index, p.coeff * s, p.offset * s};
+}
+
+class Emitter {
+ public:
+  Emitter(Circuit& out, int logical_id, bool routing_swap)
+      : out_(out), logical_id_(logical_id), routing_swap_(routing_swap) {}
+
+  void gate1(GateKind kind, int q, ParamExpr p0 = ParamExpr::constant(0.0),
+             ParamExpr p1 = ParamExpr::constant(0.0),
+             ParamExpr p2 = ParamExpr::constant(0.0)) {
+    Gate g;
+    g.kind = kind;
+    g.qubits = {q, 0};
+    g.params = {p0, p1, p2};
+    g.logical_id = logical_id_;
+    g.is_routing_swap = routing_swap_;
+    out_.add(g);
+  }
+
+  void gate2(GateKind kind, int a, int b,
+             ParamExpr p0 = ParamExpr::constant(0.0)) {
+    Gate g;
+    g.kind = kind;
+    g.qubits = {a, b};
+    g.params[0] = p0;
+    g.logical_id = logical_id_;
+    g.is_routing_swap = routing_swap_;
+    out_.add(g);
+  }
+
+  // ---- IBM basis {RZ, SX, X, CX} -------------------------------------
+
+  void ibm_rz(int q, ParamExpr theta) { gate1(GateKind::kRZ, q, theta); }
+
+  void ibm_h(int q) {
+    // H = RZ(pi/2) SX RZ(pi/2), up to global phase.
+    ibm_rz(q, ParamExpr::constant(kHalfPi));
+    gate1(GateKind::kSX, q);
+    ibm_rz(q, ParamExpr::constant(kHalfPi));
+  }
+
+  void ibm_rx(int q, ParamExpr theta) {
+    // RX(t) = H RZ(t) H (exactly, since H Z H = X).
+    ibm_h(q);
+    ibm_rz(q, theta);
+    ibm_h(q);
+  }
+
+  void ibm_ry(int q, ParamExpr theta) {
+    // RY(t) = S RX(t) Sdg with S = RZ(pi/2) up to phase; circuit order
+    // applies Sdg first.
+    ibm_rz(q, ParamExpr::constant(-kHalfPi));
+    ibm_rx(q, theta);
+    ibm_rz(q, ParamExpr::constant(kHalfPi));
+  }
+
+  void ibm_cz(int a, int b) {
+    ibm_h(b);
+    gate2(GateKind::kCX, a, b);
+    ibm_h(b);
+  }
+
+  // ---- Origin basis {U3, CZ} -----------------------------------------
+
+  void origin_u3(int q, ParamExpr theta, ParamExpr phi, ParamExpr lambda) {
+    gate1(GateKind::kU3, q, theta, phi, lambda);
+  }
+
+  void origin_h(int q) {
+    origin_u3(q, ParamExpr::constant(kHalfPi), ParamExpr::constant(0.0),
+              ParamExpr::constant(kPi));
+  }
+
+  void origin_rz(int q, ParamExpr theta) {
+    // RZ(t) = U3(0, t, 0) up to global phase (a pure phase gate P(t)).
+    origin_u3(q, ParamExpr::constant(0.0), theta, ParamExpr::constant(0.0));
+  }
+
+  void origin_cx(int a, int b) {
+    origin_h(b);
+    gate2(GateKind::kCZ, a, b);
+    origin_h(b);
+  }
+
+ private:
+  Circuit& out_;
+  int logical_id_;
+  bool routing_swap_;
+};
+
+void decompose_gate_ibm(const Gate& g, Emitter& e) {
+  const int q = g.qubits[0];
+  const int t = g.qubits[1];
+  switch (g.kind) {
+    case GateKind::kI:
+      break;
+    case GateKind::kX:
+    case GateKind::kSX:
+      e.gate1(g.kind, q);
+      break;
+    case GateKind::kRZ:
+      e.ibm_rz(q, g.params[0]);
+      break;
+    case GateKind::kZ:
+      e.ibm_rz(q, ParamExpr::constant(kPi));
+      break;
+    case GateKind::kS:
+      e.ibm_rz(q, ParamExpr::constant(kHalfPi));
+      break;
+    case GateKind::kSdg:
+      e.ibm_rz(q, ParamExpr::constant(-kHalfPi));
+      break;
+    case GateKind::kY:
+      // Y = i X Z: apply Z then X, global phase dropped.
+      e.ibm_rz(q, ParamExpr::constant(kPi));
+      e.gate1(GateKind::kX, q);
+      break;
+    case GateKind::kH:
+      e.ibm_h(q);
+      break;
+    case GateKind::kRX:
+      e.ibm_rx(q, g.params[0]);
+      break;
+    case GateKind::kRY:
+      e.ibm_ry(q, g.params[0]);
+      break;
+    case GateKind::kU3:
+      // U3(t, phi, lam) = RZ(phi) RY(t) RZ(lam) up to phase; circuit
+      // order applies RZ(lam) first.
+      e.ibm_rz(q, g.params[2]);
+      e.ibm_ry(q, g.params[0]);
+      e.ibm_rz(q, g.params[1]);
+      break;
+    case GateKind::kCX:
+      e.gate2(GateKind::kCX, q, t);
+      break;
+    case GateKind::kCZ:
+      e.ibm_cz(q, t);
+      break;
+    case GateKind::kCRZ:
+      // CRZ(t) = RZ(t/2)_t CX RZ(-t/2)_t CX.
+      e.ibm_rz(t, scaled(g.params[0], 0.5));
+      e.gate2(GateKind::kCX, q, t);
+      e.ibm_rz(t, scaled(g.params[0], -0.5));
+      e.gate2(GateKind::kCX, q, t);
+      break;
+    case GateKind::kCRY:
+      e.ibm_ry(t, scaled(g.params[0], 0.5));
+      e.gate2(GateKind::kCX, q, t);
+      e.ibm_ry(t, scaled(g.params[0], -0.5));
+      e.gate2(GateKind::kCX, q, t);
+      break;
+    case GateKind::kCRX:
+      // Conjugate CRZ by H on the target.
+      e.ibm_h(t);
+      e.ibm_rz(t, scaled(g.params[0], 0.5));
+      e.gate2(GateKind::kCX, q, t);
+      e.ibm_rz(t, scaled(g.params[0], -0.5));
+      e.gate2(GateKind::kCX, q, t);
+      e.ibm_h(t);
+      break;
+    case GateKind::kSwap:
+      e.gate2(GateKind::kCX, q, t);
+      e.gate2(GateKind::kCX, t, q);
+      e.gate2(GateKind::kCX, q, t);
+      break;
+  }
+}
+
+void decompose_gate_origin(const Gate& g, Emitter& e) {
+  const int q = g.qubits[0];
+  const int t = g.qubits[1];
+  const auto c0 = ParamExpr::constant(0.0);
+  switch (g.kind) {
+    case GateKind::kI:
+      break;
+    case GateKind::kU3:
+      e.origin_u3(q, g.params[0], g.params[1], g.params[2]);
+      break;
+    case GateKind::kX:
+      e.origin_u3(q, ParamExpr::constant(kPi), c0, ParamExpr::constant(kPi));
+      break;
+    case GateKind::kY:
+      e.origin_u3(q, ParamExpr::constant(kPi), ParamExpr::constant(kHalfPi),
+                  ParamExpr::constant(kHalfPi));
+      break;
+    case GateKind::kZ:
+      e.origin_rz(q, ParamExpr::constant(kPi));
+      break;
+    case GateKind::kS:
+      e.origin_rz(q, ParamExpr::constant(kHalfPi));
+      break;
+    case GateKind::kSdg:
+      e.origin_rz(q, ParamExpr::constant(-kHalfPi));
+      break;
+    case GateKind::kH:
+      e.origin_h(q);
+      break;
+    case GateKind::kSX:
+      e.origin_u3(q, ParamExpr::constant(kHalfPi),
+                  ParamExpr::constant(-kHalfPi),
+                  ParamExpr::constant(kHalfPi));
+      break;
+    case GateKind::kRX:
+      e.origin_u3(q, g.params[0], ParamExpr::constant(-kHalfPi),
+                  ParamExpr::constant(kHalfPi));
+      break;
+    case GateKind::kRY:
+      e.origin_u3(q, g.params[0], c0, c0);
+      break;
+    case GateKind::kRZ:
+      e.origin_rz(q, g.params[0]);
+      break;
+    case GateKind::kCZ:
+      e.gate2(GateKind::kCZ, q, t);
+      break;
+    case GateKind::kCX:
+      e.origin_cx(q, t);
+      break;
+    case GateKind::kCRZ:
+      e.origin_rz(t, scaled(g.params[0], 0.5));
+      e.origin_cx(q, t);
+      e.origin_rz(t, scaled(g.params[0], -0.5));
+      e.origin_cx(q, t);
+      break;
+    case GateKind::kCRY:
+      e.origin_u3(t, scaled(g.params[0], 0.5), c0, c0);
+      e.origin_cx(q, t);
+      e.origin_u3(t, scaled(g.params[0], -0.5), c0, c0);
+      e.origin_cx(q, t);
+      break;
+    case GateKind::kCRX:
+      e.origin_h(t);
+      e.origin_rz(t, scaled(g.params[0], 0.5));
+      e.origin_cx(q, t);
+      e.origin_rz(t, scaled(g.params[0], -0.5));
+      e.origin_cx(q, t);
+      e.origin_h(t);
+      break;
+    case GateKind::kSwap:
+      e.origin_cx(q, t);
+      e.origin_cx(t, q);
+      e.origin_cx(q, t);
+      break;
+  }
+}
+
+}  // namespace
+
+bool is_native(circuit::GateKind kind, device::BasisSet basis) noexcept {
+  switch (basis) {
+    case device::BasisSet::kIbm:
+      return kind == GateKind::kRZ || kind == GateKind::kSX ||
+             kind == GateKind::kX || kind == GateKind::kCX;
+    case device::BasisSet::kOrigin:
+      return kind == GateKind::kU3 || kind == GateKind::kCZ;
+  }
+  return false;
+}
+
+circuit::Circuit decompose_to_basis(const circuit::Circuit& c,
+                                    device::BasisSet basis) {
+  Circuit out(c.num_qubits(), c.num_params());
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    const Gate& g = c.gate(i);
+    const int logical =
+        g.logical_id >= 0 ? g.logical_id : static_cast<int>(i);
+    Emitter e(out, logical, g.is_routing_swap);
+    switch (basis) {
+      case device::BasisSet::kIbm:
+        decompose_gate_ibm(g, e);
+        break;
+      case device::BasisSet::kOrigin:
+        decompose_gate_origin(g, e);
+        break;
+    }
+  }
+  return out;
+}
+
+int native_gate_count(circuit::GateKind kind, device::BasisSet basis) {
+  Circuit probe(2);
+  Gate g;
+  g.kind = kind;
+  g.qubits = {0, circuit::gate_arity(kind) == 2 ? 1 : 0};
+  probe.add(g);
+  return static_cast<int>(decompose_to_basis(probe, basis).size());
+}
+
+}  // namespace arbiterq::transpile

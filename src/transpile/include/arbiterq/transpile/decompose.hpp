@@ -1,0 +1,29 @@
+#pragma once
+// Basis translation: rewrite every gate of a circuit into a device's
+// native set while preserving symbolic parameter references (a CRZ(p_k)
+// becomes RZ(0.5*p_k), CX, RZ(-0.5*p_k), CX — still re-bindable).
+// Each emitted gate inherits the logical_id of its source gate so the
+// behavioral vectorizer can attribute basis-gate errors back to logical
+// QNN gates (paper §III-A).
+//
+// All identities are exact up to global phase, which is unobservable and
+// tolerated by the equivalence tests.
+
+#include "arbiterq/circuit/circuit.hpp"
+#include "arbiterq/device/qpu.hpp"
+
+namespace arbiterq::transpile {
+
+/// Rewrite `c` into the given basis. Gate order and qubit placement are
+/// preserved; no routing is performed here.
+circuit::Circuit decompose_to_basis(const circuit::Circuit& c,
+                                    device::BasisSet basis);
+
+/// True if the gate kind is native to the basis.
+bool is_native(circuit::GateKind kind, device::BasisSet basis) noexcept;
+
+/// Number of native gates a single gate of this kind expands into (used
+/// by the behavioral vectorizer's per-logical-gate error accumulation).
+int native_gate_count(circuit::GateKind kind, device::BasisSet basis);
+
+}  // namespace arbiterq::transpile

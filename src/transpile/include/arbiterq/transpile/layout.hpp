@@ -1,0 +1,41 @@
+#pragma once
+// Noise-aware initial layout selection: when the device has more qubits
+// than the circuit (every Table III device runs 2-6 qubit models), the
+// choice of physical sub-region changes the compiled circuit's error
+// mass. The selector grows candidate connected regions greedily around
+// every seed qubit, scoring them by calibrated gate errors weighted by
+// how often the circuit uses each resource, and returns the best
+// logical -> physical assignment.
+
+#include <vector>
+
+#include "arbiterq/circuit/circuit.hpp"
+#include "arbiterq/device/qpu.hpp"
+
+namespace arbiterq::transpile {
+
+struct LayoutResult {
+  /// assignment[logical] = physical qubit.
+  std::vector<int> assignment;
+  /// The score the selector minimized (expected error mass; lower is
+  /// better). Comparable across candidates on the same device only.
+  double score = 0.0;
+};
+
+/// Pick a connected physical region of c.num_qubits() qubits minimizing
+/// the usage-weighted error score:
+///   sum_q use1[q] * e1(phys(q)) +
+///   sum_(a,b) use2[a][b] * e2(best edge or distance-penalized pair)
+/// where use1/use2 count the circuit's 1q/2q gates per logical resource.
+/// Throws if the device is smaller than the circuit or disconnected.
+LayoutResult select_layout(const circuit::Circuit& c,
+                           const device::Qpu& qpu);
+
+/// Relabel `c` so logical qubit q becomes assignment[q] (the circuit is
+/// widened to the device size); gate order is unchanged. Routing then
+/// starts from this placement instead of the identity.
+circuit::Circuit apply_layout(const circuit::Circuit& c,
+                              const std::vector<int>& assignment,
+                              int device_qubits);
+
+}  // namespace arbiterq::transpile

@@ -1,0 +1,38 @@
+#pragma once
+// Peephole circuit optimization over native-basis circuits. Transpiled
+// QNN circuits are full of patterns like RZ(pi/2)·RZ(theta)·RZ(pi/2)
+// (from the RY decomposition) and back-to-back CX pairs (from CRZ chains
+// meeting routing SWAPs); folding them shrinks the executable stream —
+// and with it every simulation, gradient and behavioral-vector pass.
+//
+// Passes (all exact, all parameter-preserving):
+//  * merge_rotations — adjacent same-axis rotations on one qubit fuse
+//    when their angles stay affine in at most one parameter
+//    (coeff*p + offset), e.g. RZ(0.5p+a)·RZ(b) -> RZ(0.5p+a+b);
+//  * cancel_adjacent_inverses — CX·CX, CZ·CZ and SWAP·SWAP on the same
+//    qubits annihilate;
+//  * drop_identity_rotations — constant rotations with angle ~ 0 (mod
+//    4pi for rotations) vanish.
+// Gate attribution: a fused gate keeps the logical_id of its *first*
+// constituent; cancelation removes both gates outright.
+
+#include "arbiterq/circuit/circuit.hpp"
+
+namespace arbiterq::transpile {
+
+struct OptimizeStats {
+  std::size_t rotations_merged = 0;
+  std::size_t pairs_cancelled = 0;
+  std::size_t identities_dropped = 0;
+
+  std::size_t total() const noexcept {
+    return rotations_merged + pairs_cancelled + identities_dropped;
+  }
+};
+
+/// Run all passes to a fixed point (bounded). Returns the optimized
+/// circuit; `stats`, if non-null, accumulates what happened.
+circuit::Circuit optimize(const circuit::Circuit& c,
+                          OptimizeStats* stats = nullptr);
+
+}  // namespace arbiterq::transpile

@@ -1,0 +1,53 @@
+#pragma once
+// Qubit routing: make every two-qubit gate act on topology-adjacent
+// physical qubits by inserting SWAP chains (greedy shortest-path, the
+// "SABRE-lite" strategy in DESIGN.md). Inserted SWAPs are tagged
+// is_routing_swap and carry the logical_id of the two-qubit gate that
+// forced them — exactly the attribution the topological part of the
+// behavioral vector needs (paper §III-A).
+
+#include <vector>
+
+#include "arbiterq/circuit/circuit.hpp"
+#include "arbiterq/device/topology.hpp"
+
+namespace arbiterq::transpile {
+
+struct RoutedCircuit {
+  /// Gates over *physical* qubits; contains tagged routing SWAPs.
+  circuit::Circuit circuit;
+  /// initial_layout[logical] = physical qubit before the first gate.
+  std::vector<int> initial_layout;
+  /// final_layout[logical] = physical qubit after the last gate; readout
+  /// of logical qubit q must measure physical qubit final_layout[q].
+  std::vector<int> final_layout;
+};
+
+struct RoutingOptions {
+  enum class Strategy {
+    /// Walk one endpoint along a shortest path until adjacent (fast,
+    /// deterministic; the default everywhere).
+    kGreedyPath,
+    /// Score candidate SWAPs against a decayed window of upcoming
+    /// two-qubit gates (SABRE-style lookahead); usually fewer SWAPs on
+    /// congested circuits at higher compile cost.
+    kLookahead,
+  };
+  Strategy strategy = Strategy::kGreedyPath;
+  /// Upcoming two-qubit gates the lookahead scorer considers.
+  int lookahead_window = 8;
+  /// Geometric decay of lookahead terms.
+  double lookahead_decay = 0.7;
+};
+
+/// Route `c` onto `topo` (topo.num_qubits() >= c.num_qubits()); the
+/// initial layout is the identity. Gates keep their order; each gate's
+/// logical_id is set to its index in `c` if not already set.
+RoutedCircuit route(const circuit::Circuit& c, const device::Topology& topo,
+                    const RoutingOptions& options = {});
+
+/// True when every two-qubit gate of `c` acts on adjacent qubits.
+bool respects_topology(const circuit::Circuit& c,
+                       const device::Topology& topo);
+
+}  // namespace arbiterq::transpile

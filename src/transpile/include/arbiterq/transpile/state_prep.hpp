@@ -1,0 +1,31 @@
+#pragma once
+// State-preparation synthesis (Mottonen-style): build a circuit of RY and
+// CX gates that maps |0...0> to an arbitrary *real* target state. This is
+// the amplitude-encoding substrate (Weigold et al.'s second encoding
+// pattern): 2^n classical features load into n qubits, at the cost of a
+// multiplexed-rotation cascade instead of one RY per qubit.
+//
+// The construction walks the amplitude tree top-down: at level k the
+// branch angles are theta_j = 2*atan2(r_right, r_left) over each block's
+// halves, applied as a uniformly controlled RY on qubit n-1-k with the
+// higher qubits as controls; each multiplexor is decomposed recursively
+// into single RYs and CXs (2^k RYs + 2^k CXs at level k).
+
+#include <vector>
+
+#include "arbiterq/circuit/circuit.hpp"
+
+namespace arbiterq::transpile {
+
+/// Circuit over ceil(log2(amplitudes.size())) qubits preparing the given
+/// real state from |0...0>. `amplitudes` must have power-of-two length
+/// >= 2 and nonzero norm; it is normalized internally. Signs are
+/// preserved (any real state is reachable with RY/CX alone).
+circuit::Circuit prepare_real_state(const std::vector<double>& amplitudes);
+
+/// Pad (with zeros) and normalize a feature vector to the next
+/// power-of-two length, ready for prepare_real_state. Throws if all
+/// features are zero.
+std::vector<double> amplitude_encode(const std::vector<double>& features);
+
+}  // namespace arbiterq::transpile

@@ -1,0 +1,52 @@
+#pragma once
+// Full compile pipeline for one (circuit, QPU) pair:
+//   1. tag logical ids on the source gates,
+//   2. route onto the device topology (SWAP insertion),
+//   3. translate to the native basis.
+// The result keeps three views: the routed circuit (logical gates +
+// explicit SWAPs — what the behavioral vectorizer reads), the executable
+// circuit (native gates — what the simulator runs) and the layouts
+// (which physical qubit to measure for each logical qubit).
+
+#include <vector>
+
+#include "arbiterq/circuit/circuit.hpp"
+#include "arbiterq/device/qpu.hpp"
+#include "arbiterq/transpile/routing.hpp"
+
+namespace arbiterq::transpile {
+
+struct CompileOptions {
+  /// Pick a noise-aware initial placement (layout.hpp) instead of the
+  /// identity layout.
+  bool select_layout = false;
+  /// Run the peephole optimizer (optimize.hpp) on the executable.
+  bool optimize = false;
+  RoutingOptions routing;
+};
+
+struct CompiledCircuit {
+  /// Routed, still in the source gate alphabet, with tagged SWAPs.
+  circuit::Circuit routed;
+  /// Routed and translated to the device's native basis.
+  circuit::Circuit executable;
+  std::vector<int> initial_layout;  ///< logical -> physical, before gate 0
+  std::vector<int> final_layout;    ///< logical -> physical, after last gate
+
+  /// Physical qubit to measure for logical qubit `q`.
+  int measure_qubit(int q) const {
+    return final_layout.at(static_cast<std::size_t>(q));
+  }
+};
+
+/// Compile `c` for `qpu`. Throws if the device is too small or its
+/// topology is disconnected.
+CompiledCircuit compile(const circuit::Circuit& c, const device::Qpu& qpu);
+
+/// Compile with explicit pipeline options (placement, routing strategy,
+/// peephole optimization). The default-constructed options reproduce
+/// compile(c, qpu) exactly.
+CompiledCircuit compile(const circuit::Circuit& c, const device::Qpu& qpu,
+                        const CompileOptions& options);
+
+}  // namespace arbiterq::transpile

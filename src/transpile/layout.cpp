@@ -1,0 +1,270 @@
+#include "arbiterq/transpile/layout.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace arbiterq::transpile {
+
+namespace {
+
+using circuit::Circuit;
+using circuit::Gate;
+using circuit::GateKind;
+
+double one_qubit_error(const device::Qpu& qpu, int p) {
+  Gate g;
+  g.kind = GateKind::kRY;
+  g.qubits = {p, 0};
+  return qpu.gate_error(g);
+}
+
+double two_qubit_error(const device::Qpu& qpu, int a, int b) {
+  Gate g;
+  g.kind = GateKind::kCX;
+  g.qubits = {a, b};
+  return qpu.gate_error(g);
+}
+
+/// Quality of one physical qubit: its 1q error plus the mean error of
+/// its incident edges (lower is better).
+double qubit_quality(const device::Qpu& qpu, int p) {
+  double q = one_qubit_error(qpu, p);
+  const auto& nbrs = qpu.topology().neighbors(p);
+  if (!nbrs.empty()) {
+    double e = 0.0;
+    for (int nb : nbrs) e += two_qubit_error(qpu, p, nb);
+    q += e / static_cast<double>(nbrs.size());
+  }
+  return q;
+}
+
+}  // namespace
+
+LayoutResult select_layout(const circuit::Circuit& c,
+                           const device::Qpu& qpu) {
+  const int n = c.num_qubits();
+  const int dev = qpu.num_qubits();
+  if (dev < n) {
+    throw std::invalid_argument("select_layout: device smaller than circuit");
+  }
+  if (!qpu.topology().is_connected_graph()) {
+    throw std::invalid_argument("select_layout: disconnected topology");
+  }
+
+  // Usage profile of the logical circuit.
+  std::vector<double> use1(static_cast<std::size_t>(n), 0.0);
+  std::vector<std::vector<double>> use2(
+      static_cast<std::size_t>(n),
+      std::vector<double>(static_cast<std::size_t>(n), 0.0));
+  for (const Gate& g : c.gates()) {
+    if (g.arity() == 1) {
+      use1[static_cast<std::size_t>(g.qubits[0])] += 1.0;
+    } else {
+      use2[static_cast<std::size_t>(g.qubits[0])]
+          [static_cast<std::size_t>(g.qubits[1])] += 1.0;
+    }
+  }
+  std::vector<double> total_use(static_cast<std::size_t>(n), 0.0);
+  for (int q = 0; q < n; ++q) {
+    total_use[static_cast<std::size_t>(q)] =
+        use1[static_cast<std::size_t>(q)];
+    for (int r = 0; r < n; ++r) {
+      total_use[static_cast<std::size_t>(q)] +=
+          use2[static_cast<std::size_t>(q)][static_cast<std::size_t>(r)] +
+          use2[static_cast<std::size_t>(r)][static_cast<std::size_t>(q)];
+    }
+  }
+
+  auto score_assignment = [&](const std::vector<int>& phys) {
+    double s = 0.0;
+    for (int q = 0; q < n; ++q) {
+      s += use1[static_cast<std::size_t>(q)] *
+           one_qubit_error(qpu, phys[static_cast<std::size_t>(q)]);
+    }
+    for (int a = 0; a < n; ++a) {
+      for (int b = 0; b < n; ++b) {
+        const double uses =
+            use2[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)];
+        if (uses == 0.0) continue;
+        const int pa = phys[static_cast<std::size_t>(a)];
+        const int pb = phys[static_cast<std::size_t>(b)];
+        const int dist = qpu.topology().distance(pa, pb);
+        double e = two_qubit_error(qpu, pa, pb);
+        if (dist > 1) {
+          // Each missing hop costs roughly one SWAP (3 native 2q gates).
+          e += static_cast<double>(dist - 1) * 3.0 * e;
+        }
+        s += uses * e;
+      }
+    }
+    return s;
+  };
+
+  LayoutResult best;
+  best.score = std::numeric_limits<double>::infinity();
+
+  for (int seed = 0; seed < dev; ++seed) {
+    // Grow a connected region of n qubits around the seed, cheapest
+    // frontier qubit first.
+    std::vector<int> region = {seed};
+    std::vector<bool> in_region(static_cast<std::size_t>(dev), false);
+    in_region[static_cast<std::size_t>(seed)] = true;
+    while (static_cast<int>(region.size()) < n) {
+      int pick = -1;
+      double pick_quality = std::numeric_limits<double>::infinity();
+      for (int member : region) {
+        for (int nb : qpu.topology().neighbors(member)) {
+          if (in_region[static_cast<std::size_t>(nb)]) continue;
+          const double quality = qubit_quality(qpu, nb);
+          if (quality < pick_quality) {
+            pick_quality = quality;
+            pick = nb;
+          }
+        }
+      }
+      if (pick < 0) break;  // cannot grow (shouldn't happen: connected)
+      region.push_back(pick);
+      in_region[static_cast<std::size_t>(pick)] = true;
+    }
+    if (static_cast<int>(region.size()) < n) continue;
+
+    // Interaction-aware matching: walk a path through the logical
+    // interaction graph (busiest qubit first, then strongest unplaced
+    // partner of the last placed) and a path through the region's
+    // induced subgraph, and zip them — logical neighbors land on
+    // physically adjacent qubits whenever the region allows it.
+    std::vector<int> logical_path;
+    {
+      std::vector<bool> placed(static_cast<std::size_t>(n), false);
+      int cur = 0;
+      for (int q = 1; q < n; ++q) {
+        if (total_use[static_cast<std::size_t>(q)] >
+            total_use[static_cast<std::size_t>(cur)]) {
+          cur = q;
+        }
+      }
+      logical_path.push_back(cur);
+      placed[static_cast<std::size_t>(cur)] = true;
+      while (static_cast<int>(logical_path.size()) < n) {
+        int next = -1;
+        double weight = -1.0;
+        for (int q = 0; q < n; ++q) {
+          if (placed[static_cast<std::size_t>(q)]) continue;
+          const double w =
+              use2[static_cast<std::size_t>(cur)]
+                  [static_cast<std::size_t>(q)] +
+              use2[static_cast<std::size_t>(q)]
+                  [static_cast<std::size_t>(cur)];
+          if (w > weight) {
+            weight = w;
+            next = q;
+          }
+        }
+        logical_path.push_back(next);
+        placed[static_cast<std::size_t>(next)] = true;
+        cur = next;
+      }
+    }
+    std::vector<int> region_path;
+    {
+      std::vector<bool> visited(static_cast<std::size_t>(dev), false);
+      int cur = *std::min_element(region.begin(), region.end(),
+                                  [&](int a, int b) {
+                                    return qubit_quality(qpu, a) <
+                                           qubit_quality(qpu, b);
+                                  });
+      region_path.push_back(cur);
+      visited[static_cast<std::size_t>(cur)] = true;
+      while (static_cast<int>(region_path.size()) < n) {
+        int next = -1;
+        double best_quality = std::numeric_limits<double>::infinity();
+        // Prefer an unvisited region neighbor of the path's tail; fall
+        // back to the best unvisited region qubit.
+        for (int nb : qpu.topology().neighbors(cur)) {
+          if (!in_region[static_cast<std::size_t>(nb)] ||
+              visited[static_cast<std::size_t>(nb)]) {
+            continue;
+          }
+          const double quality = qubit_quality(qpu, nb);
+          if (quality < best_quality) {
+            best_quality = quality;
+            next = nb;
+          }
+        }
+        if (next < 0) {
+          for (int member : region) {
+            if (visited[static_cast<std::size_t>(member)]) continue;
+            const double quality = qubit_quality(qpu, member);
+            if (quality < best_quality) {
+              best_quality = quality;
+              next = member;
+            }
+          }
+        }
+        region_path.push_back(next);
+        visited[static_cast<std::size_t>(next)] = true;
+        cur = next;
+      }
+    }
+
+    std::vector<int> assignment(static_cast<std::size_t>(n), -1);
+    for (int k = 0; k < n; ++k) {
+      assignment[static_cast<std::size_t>(
+          logical_path[static_cast<std::size_t>(k)])] =
+          region_path[static_cast<std::size_t>(k)];
+    }
+    const double score = score_assignment(assignment);
+    if (score < best.score) {
+      best.score = score;
+      best.assignment = std::move(assignment);
+    }
+  }
+
+  // The identity placement is always a candidate: the selector can only
+  // improve on the default the router would otherwise use.
+  {
+    std::vector<int> identity(static_cast<std::size_t>(n));
+    std::iota(identity.begin(), identity.end(), 0);
+    const double score = score_assignment(identity);
+    if (score < best.score) {
+      best.score = score;
+      best.assignment = std::move(identity);
+    }
+  }
+
+  if (best.assignment.empty()) {
+    throw std::logic_error("select_layout: no candidate region found");
+  }
+  return best;
+}
+
+circuit::Circuit apply_layout(const circuit::Circuit& c,
+                              const std::vector<int>& assignment,
+                              int device_qubits) {
+  if (static_cast<int>(assignment.size()) != c.num_qubits()) {
+    throw std::invalid_argument("apply_layout: assignment size mismatch");
+  }
+  std::vector<bool> used(static_cast<std::size_t>(device_qubits), false);
+  for (int p : assignment) {
+    if (p < 0 || p >= device_qubits) {
+      throw std::out_of_range("apply_layout: physical qubit out of range");
+    }
+    if (used[static_cast<std::size_t>(p)]) {
+      throw std::invalid_argument("apply_layout: duplicate physical qubit");
+    }
+    used[static_cast<std::size_t>(p)] = true;
+  }
+  Circuit out(device_qubits, c.num_params());
+  for (Gate g : c.gates()) {
+    g.qubits[0] = assignment[static_cast<std::size_t>(g.qubits[0])];
+    if (g.arity() == 2) {
+      g.qubits[1] = assignment[static_cast<std::size_t>(g.qubits[1])];
+    }
+    out.add(g);
+  }
+  return out;
+}
+
+}  // namespace arbiterq::transpile

@@ -1,0 +1,156 @@
+#include "arbiterq/transpile/optimize.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <optional>
+#include <vector>
+
+namespace arbiterq::transpile {
+
+namespace {
+
+using circuit::Circuit;
+using circuit::Gate;
+using circuit::GateKind;
+using circuit::ParamExpr;
+
+bool is_axis_rotation(GateKind k) noexcept {
+  return k == GateKind::kRX || k == GateKind::kRY || k == GateKind::kRZ;
+}
+
+/// Sum of two affine parameter expressions, when still affine in at most
+/// one parameter.
+std::optional<ParamExpr> add_exprs(const ParamExpr& a, const ParamExpr& b) {
+  if (a.is_constant() && b.is_constant()) {
+    return ParamExpr::constant(a.offset + b.offset);
+  }
+  if (a.is_constant()) {
+    return ParamExpr::ref(b.index, b.coeff, a.offset + b.offset);
+  }
+  if (b.is_constant()) {
+    return ParamExpr::ref(a.index, a.coeff, a.offset + b.offset);
+  }
+  if (a.index == b.index) {
+    const double coeff = a.coeff + b.coeff;
+    if (coeff == 0.0) return ParamExpr::constant(a.offset + b.offset);
+    return ParamExpr::ref(a.index, coeff, a.offset + b.offset);
+  }
+  return std::nullopt;  // two distinct parameters: not representable
+}
+
+bool is_zero_rotation(const Gate& g) {
+  if (!is_axis_rotation(g.kind)) return false;
+  const ParamExpr& p = g.params[0];
+  if (!p.is_constant()) return false;
+  // Angle multiple of 2*pi: identity up to global phase.
+  const double two_pi = 2.0 * std::numbers::pi;
+  const double m = std::abs(std::remainder(p.offset, two_pi));
+  return m < 1e-12;
+}
+
+bool self_inverse_pair(const Gate& a, const Gate& b) {
+  if (a.kind != b.kind) return false;
+  switch (a.kind) {
+    case GateKind::kX:
+    case GateKind::kH:
+      return a.qubits[0] == b.qubits[0];
+    case GateKind::kCX:
+      return a.qubits == b.qubits;
+    case GateKind::kCZ:
+    case GateKind::kSwap:
+      return (a.qubits == b.qubits) ||
+             (a.qubits[0] == b.qubits[1] && a.qubits[1] == b.qubits[0]);
+    default:
+      return false;
+  }
+}
+
+/// One fused/cancel pass; returns true if anything changed.
+bool pass(std::vector<Gate>& gates, int num_qubits, OptimizeStats* stats) {
+  bool changed = false;
+  std::vector<bool> removed(gates.size(), false);
+  std::vector<std::ptrdiff_t> last_on(static_cast<std::size_t>(num_qubits),
+                                      -1);
+  for (std::size_t i = 0; i < gates.size(); ++i) {
+    Gate& g = gates[i];
+    if (g.arity() == 1) {
+      const auto q = static_cast<std::size_t>(g.qubits[0]);
+      const std::ptrdiff_t p = last_on[q];
+      if (p >= 0 && !removed[static_cast<std::size_t>(p)]) {
+        Gate& prev = gates[static_cast<std::size_t>(p)];
+        if (is_axis_rotation(g.kind) && prev.kind == g.kind &&
+            prev.qubits[0] == g.qubits[0]) {
+          if (auto merged = add_exprs(prev.params[0], g.params[0])) {
+            prev.params[0] = *merged;
+            removed[i] = true;
+            changed = true;
+            if (stats != nullptr) ++stats->rotations_merged;
+            continue;  // prev stays the last gate on q
+          }
+        }
+        if (self_inverse_pair(prev, g)) {
+          removed[static_cast<std::size_t>(p)] = true;
+          removed[i] = true;
+          changed = true;
+          if (stats != nullptr) ++stats->pairs_cancelled;
+          last_on[q] = -1;
+          continue;
+        }
+      }
+      last_on[q] = static_cast<std::ptrdiff_t>(i);
+    } else {
+      const auto qa = static_cast<std::size_t>(g.qubits[0]);
+      const auto qb = static_cast<std::size_t>(g.qubits[1]);
+      const std::ptrdiff_t pa = last_on[qa];
+      if (pa >= 0 && pa == last_on[qb] &&
+          !removed[static_cast<std::size_t>(pa)] &&
+          self_inverse_pair(gates[static_cast<std::size_t>(pa)], g)) {
+        removed[static_cast<std::size_t>(pa)] = true;
+        removed[i] = true;
+        changed = true;
+        if (stats != nullptr) ++stats->pairs_cancelled;
+        last_on[qa] = last_on[qb] = -1;
+        continue;
+      }
+      last_on[qa] = last_on[qb] = static_cast<std::ptrdiff_t>(i);
+    }
+  }
+
+  if (changed) {
+    std::vector<Gate> kept;
+    kept.reserve(gates.size());
+    for (std::size_t i = 0; i < gates.size(); ++i) {
+      if (!removed[i]) kept.push_back(gates[i]);
+    }
+    gates = std::move(kept);
+  }
+
+  // Identity elimination (merging above can create zero rotations).
+  std::vector<Gate> kept;
+  kept.reserve(gates.size());
+  for (const Gate& g : gates) {
+    if (is_zero_rotation(g)) {
+      changed = true;
+      if (stats != nullptr) ++stats->identities_dropped;
+      continue;
+    }
+    kept.push_back(g);
+  }
+  gates = std::move(kept);
+  return changed;
+}
+
+}  // namespace
+
+circuit::Circuit optimize(const circuit::Circuit& c, OptimizeStats* stats) {
+  std::vector<Gate> gates = c.gates();
+  // Fixed point; the bound is generous (each pass strictly shrinks).
+  for (int iter = 0; iter < 64; ++iter) {
+    if (!pass(gates, c.num_qubits(), stats)) break;
+  }
+  Circuit out(c.num_qubits(), c.num_params());
+  for (const Gate& g : gates) out.add(g);
+  return out;
+}
+
+}  // namespace arbiterq::transpile

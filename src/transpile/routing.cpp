@@ -1,0 +1,188 @@
+#include "arbiterq/transpile/routing.hpp"
+
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace arbiterq::transpile {
+
+namespace {
+
+using circuit::Circuit;
+using circuit::Gate;
+using circuit::GateKind;
+
+/// Mutable routing state shared by both strategies.
+struct Router {
+  Router(const Circuit& c, const device::Topology& topo)
+      : topo_(topo), out_(topo.num_qubits(), c.num_params()) {
+    layout_.resize(static_cast<std::size_t>(c.num_qubits()));
+    std::iota(layout_.begin(), layout_.end(), 0);
+    position_.assign(static_cast<std::size_t>(topo.num_qubits()), -1);
+    for (std::size_t l = 0; l < layout_.size(); ++l) {
+      position_[static_cast<std::size_t>(layout_[l])] =
+          static_cast<int>(l);
+    }
+  }
+
+  int physical(int logical) const {
+    return layout_[static_cast<std::size_t>(logical)];
+  }
+
+  void emit_swap(int pa, int pb, int logical_id) {
+    Gate sg;
+    sg.kind = GateKind::kSwap;
+    sg.qubits = {pa, pb};
+    sg.logical_id = logical_id;
+    sg.is_routing_swap = true;
+    out_.add(sg);
+    const int la = position_[static_cast<std::size_t>(pa)];
+    const int lb = position_[static_cast<std::size_t>(pb)];
+    position_[static_cast<std::size_t>(pa)] = lb;
+    position_[static_cast<std::size_t>(pb)] = la;
+    if (la >= 0) layout_[static_cast<std::size_t>(la)] = pb;
+    if (lb >= 0) layout_[static_cast<std::size_t>(lb)] = pa;
+  }
+
+  void emit_gate(Gate g) {
+    g.qubits[0] = physical(g.qubits[0]);
+    if (g.arity() == 2) g.qubits[1] = physical(g.qubits[1]);
+    out_.add(g);
+  }
+
+  const device::Topology& topo_;
+  Circuit out_;
+  std::vector<int> layout_;    // logical -> physical
+  std::vector<int> position_;  // physical -> logical (-1 = free)
+};
+
+void route_greedy_front(Router& r, int la, int lb, int logical_id) {
+  int pa = r.physical(la);
+  while (r.topo_.distance(pa, r.physical(lb)) > 1) {
+    const auto path = r.topo_.shortest_path(pa, r.physical(lb));
+    r.emit_swap(path[0], path[1], logical_id);
+    pa = path[1];
+  }
+}
+
+/// Upcoming two-qubit logical pairs starting at gate index `from`.
+std::vector<std::pair<int, int>> upcoming_pairs(const Circuit& c,
+                                                std::size_t from,
+                                                int window) {
+  std::vector<std::pair<int, int>> pairs;
+  for (std::size_t i = from;
+       i < c.size() && pairs.size() < static_cast<std::size_t>(window);
+       ++i) {
+    const Gate& g = c.gate(i);
+    if (g.arity() == 2) pairs.emplace_back(g.qubits[0], g.qubits[1]);
+  }
+  return pairs;
+}
+
+void route_lookahead_front(Router& r, const Circuit& c, std::size_t index,
+                           const RoutingOptions& opts, int logical_id) {
+  const Gate& front = c.gate(index);
+  const auto pairs = upcoming_pairs(c, index + 1, opts.lookahead_window);
+  int stall_guard = 0;
+  while (r.topo_.distance(r.physical(front.qubits[0]),
+                          r.physical(front.qubits[1])) > 1) {
+    const int pa = r.physical(front.qubits[0]);
+    const int pb = r.physical(front.qubits[1]);
+    const int front_dist = r.topo_.distance(pa, pb);
+
+    // Candidate SWAPs: edges incident to either endpoint's position.
+    double best_score = std::numeric_limits<double>::infinity();
+    int best_a = -1;
+    int best_b = -1;
+    int best_front = front_dist;
+    for (int endpoint : {pa, pb}) {
+      for (int nb : r.topo_.neighbors(endpoint)) {
+        // Evaluate the layout as if (endpoint, nb) were swapped.
+        auto dist_after = [&](int logical) {
+          int p = r.physical(logical);
+          if (p == endpoint) p = nb;
+          else if (p == nb) p = endpoint;
+          return p;
+        };
+        const int fd = r.topo_.distance(dist_after(front.qubits[0]),
+                                        dist_after(front.qubits[1]));
+        double score = static_cast<double>(fd);
+        double decay = opts.lookahead_decay;
+        for (const auto& [qa, qb] : pairs) {
+          score += decay * r.topo_.distance(dist_after(qa), dist_after(qb));
+          decay *= opts.lookahead_decay;
+        }
+        if (score < best_score) {
+          best_score = score;
+          best_a = endpoint;
+          best_b = nb;
+          best_front = fd;
+        }
+      }
+    }
+
+    // Progress guard: if lookahead dithers (front distance not shrinking
+    // for too long), fall back to a shortest-path step.
+    if (best_front >= front_dist) {
+      if (++stall_guard > r.topo_.num_qubits()) {
+        const auto path = r.topo_.shortest_path(pa, pb);
+        r.emit_swap(path[0], path[1], logical_id);
+        stall_guard = 0;
+        continue;
+      }
+    } else {
+      stall_guard = 0;
+    }
+    r.emit_swap(best_a, best_b, logical_id);
+  }
+}
+
+}  // namespace
+
+RoutedCircuit route(const circuit::Circuit& c, const device::Topology& topo,
+                    const RoutingOptions& options) {
+  if (topo.num_qubits() < c.num_qubits()) {
+    throw std::invalid_argument("route: device smaller than circuit");
+  }
+  if (!topo.is_connected_graph()) {
+    throw std::invalid_argument("route: disconnected topology");
+  }
+
+  Router router(c, topo);
+  RoutedCircuit out;
+  out.initial_layout = router.layout_;
+
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    Gate g = c.gate(i);
+    const int logical_id =
+        g.logical_id >= 0 ? g.logical_id : static_cast<int>(i);
+    g.logical_id = logical_id;
+    if (g.arity() == 2) {
+      switch (options.strategy) {
+        case RoutingOptions::Strategy::kGreedyPath:
+          route_greedy_front(router, g.qubits[0], g.qubits[1], logical_id);
+          break;
+        case RoutingOptions::Strategy::kLookahead:
+          route_lookahead_front(router, c, i, options, logical_id);
+          break;
+      }
+    }
+    router.emit_gate(g);
+  }
+
+  out.circuit = std::move(router.out_);
+  out.final_layout = router.layout_;
+  return out;
+}
+
+bool respects_topology(const circuit::Circuit& c,
+                       const device::Topology& topo) {
+  for (const Gate& g : c.gates()) {
+    if (g.arity() == 2 && !topo.connected(g.qubits[0], g.qubits[1])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace arbiterq::transpile

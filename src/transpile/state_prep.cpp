@@ -1,0 +1,114 @@
+#include "arbiterq/transpile/state_prep.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace arbiterq::transpile {
+
+namespace {
+
+using circuit::Circuit;
+using circuit::ParamExpr;
+
+bool is_power_of_two(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+/// Uniformly controlled RY: apply RY(angles[j]) to `target` where j is
+/// the integer formed by the control qubits' values (controls[0] = most
+/// significant bit of j). Recursive CX/RY decomposition.
+void ucry(Circuit& c, const std::vector<double>& angles, int target,
+          const std::vector<int>& controls) {
+  if (controls.empty()) {
+    c.ry(target, ParamExpr::constant(angles[0]));
+    return;
+  }
+  const std::size_t half = angles.size() / 2;
+  std::vector<double> plus(half);
+  std::vector<double> minus(half);
+  for (std::size_t j = 0; j < half; ++j) {
+    plus[j] = 0.5 * (angles[j] + angles[j + half]);
+    minus[j] = 0.5 * (angles[j] - angles[j + half]);
+  }
+  const std::vector<int> rest(controls.begin() + 1, controls.end());
+  // Circuit order ucry(plus), CX, ucry(minus), CX realizes
+  // RY(plus+minus)=angles[j] on control=0 and RY(plus-minus)=
+  // angles[j+half] on control=1 (X RY(t) X = RY(-t)).
+  ucry(c, plus, target, rest);
+  c.cx(controls[0], target);
+  ucry(c, minus, target, rest);
+  c.cx(controls[0], target);
+}
+
+}  // namespace
+
+circuit::Circuit prepare_real_state(const std::vector<double>& amplitudes) {
+  if (amplitudes.size() < 2 || !is_power_of_two(amplitudes.size())) {
+    throw std::invalid_argument(
+        "prepare_real_state: length must be a power of two >= 2");
+  }
+  double norm_sq = 0.0;
+  for (double a : amplitudes) norm_sq += a * a;
+  if (norm_sq <= 0.0) {
+    throw std::invalid_argument("prepare_real_state: zero state");
+  }
+  const double inv_norm = 1.0 / std::sqrt(norm_sq);
+
+  int n = 0;
+  while ((std::size_t{1} << n) < amplitudes.size()) ++n;
+
+  // Amplitude tree: tree[k][j] = signed value at level k (k = n means
+  // leaves); internal nodes carry the non-negative norm of their block.
+  std::vector<std::vector<double>> tree(static_cast<std::size_t>(n) + 1);
+  tree[static_cast<std::size_t>(n)].resize(amplitudes.size());
+  for (std::size_t i = 0; i < amplitudes.size(); ++i) {
+    tree[static_cast<std::size_t>(n)][i] = amplitudes[i] * inv_norm;
+  }
+  for (int k = n - 1; k >= 0; --k) {
+    const auto& child = tree[static_cast<std::size_t>(k) + 1];
+    auto& level = tree[static_cast<std::size_t>(k)];
+    level.resize(child.size() / 2);
+    for (std::size_t j = 0; j < level.size(); ++j) {
+      level[j] = std::sqrt(child[2 * j] * child[2 * j] +
+                           child[2 * j + 1] * child[2 * j + 1]);
+    }
+  }
+
+  Circuit c(n, 0);
+  for (int k = 0; k < n; ++k) {
+    const int target = n - 1 - k;
+    std::vector<int> controls;
+    for (int q = n - 1; q > target; --q) controls.push_back(q);
+    const auto& parents = tree[static_cast<std::size_t>(k)];
+    const auto& children = tree[static_cast<std::size_t>(k) + 1];
+    std::vector<double> angles(parents.size(), 0.0);
+    for (std::size_t j = 0; j < parents.size(); ++j) {
+      // Blocks with zero norm never receive amplitude; angle 0 is fine.
+      if (parents[j] > 1e-300) {
+        angles[j] = 2.0 * std::atan2(children[2 * j + 1], children[2 * j]);
+      }
+    }
+    ucry(c, angles, target, controls);
+  }
+  return c;
+}
+
+std::vector<double> amplitude_encode(const std::vector<double>& features) {
+  if (features.empty()) {
+    throw std::invalid_argument("amplitude_encode: empty features");
+  }
+  std::size_t padded = 2;
+  while (padded < features.size()) padded <<= 1;
+  std::vector<double> out(padded, 0.0);
+  double norm_sq = 0.0;
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    out[i] = features[i];
+    norm_sq += features[i] * features[i];
+  }
+  if (norm_sq <= 0.0) {
+    throw std::invalid_argument("amplitude_encode: all-zero features");
+  }
+  const double inv = 1.0 / std::sqrt(norm_sq);
+  for (double& v : out) v *= inv;
+  return out;
+}
+
+}  // namespace arbiterq::transpile

@@ -1,0 +1,50 @@
+#include "arbiterq/transpile/transpiler.hpp"
+
+#include <numeric>
+
+#include "arbiterq/transpile/decompose.hpp"
+#include "arbiterq/transpile/layout.hpp"
+#include "arbiterq/transpile/optimize.hpp"
+
+namespace arbiterq::transpile {
+
+CompiledCircuit compile(const circuit::Circuit& c, const device::Qpu& qpu) {
+  return compile(c, qpu, CompileOptions{});
+}
+
+CompiledCircuit compile(const circuit::Circuit& c, const device::Qpu& qpu,
+                        const CompileOptions& options) {
+  CompiledCircuit out;
+
+  // Placement. The routed circuit lives on physical qubits, so the
+  // initial/final layouts must compose placement with routing.
+  std::vector<int> placement(static_cast<std::size_t>(c.num_qubits()));
+  RoutedCircuit routed = [&] {
+    if (!options.select_layout) {
+      std::iota(placement.begin(), placement.end(), 0);
+      return route(c, qpu.topology(), options.routing);
+    }
+    const LayoutResult layout = select_layout(c, qpu);
+    placement = layout.assignment;
+    const circuit::Circuit placed =
+        apply_layout(c, layout.assignment, qpu.num_qubits());
+    return route(placed, qpu.topology(), options.routing);
+  }();
+
+  out.executable = decompose_to_basis(routed.circuit, qpu.basis());
+  if (options.optimize) out.executable = optimize(out.executable);
+  out.routed = std::move(routed.circuit);
+  // route()'s layouts are identity-based over the placed circuit; map
+  // them back to the original logical qubits.
+  out.initial_layout.resize(placement.size());
+  out.final_layout.resize(placement.size());
+  for (std::size_t q = 0; q < placement.size(); ++q) {
+    out.initial_layout[q] = routed.initial_layout[static_cast<std::size_t>(
+        placement[q])];
+    out.final_layout[q] =
+        routed.final_layout[static_cast<std::size_t>(placement[q])];
+  }
+  return out;
+}
+
+}  // namespace arbiterq::transpile

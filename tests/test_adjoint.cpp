@@ -1,0 +1,165 @@
+#include "arbiterq/sim/adjoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arbiterq/math/rng.hpp"
+#include "arbiterq/sim/simulator.hpp"
+
+namespace arbiterq::sim {
+namespace {
+
+using circuit::Circuit;
+using circuit::ParamExpr;
+
+std::vector<double> fd_gradient_z(const StatevectorSimulator& sim,
+                                  const Circuit& c,
+                                  std::vector<double> params, int qubit,
+                                  double h = 1e-6) {
+  std::vector<double> grad(params.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const double p0 = params[i];
+    params[i] = p0 + h;
+    const double fp = sim.expectation_z(c, params, qubit);
+    params[i] = p0 - h;
+    const double fm = sim.expectation_z(c, params, qubit);
+    params[i] = p0;
+    grad[i] = (fp - fm) / (2.0 * h);
+  }
+  return grad;
+}
+
+TEST(Adjoint, SingleRyClosedForm) {
+  Circuit c(1, 1);
+  c.ry(0, ParamExpr::ref(0));
+  // <Z> = cos(theta) -> d/dtheta = -sin(theta).
+  for (double theta : {0.0, 0.4, 1.3, -2.0}) {
+    const std::vector<double> params = {theta};
+    const auto g = adjoint_gradient_z(c, params, 0);
+    ASSERT_EQ(g.size(), 1U);
+    EXPECT_NEAR(g[0], -std::sin(theta), 1e-10) << "theta=" << theta;
+  }
+}
+
+TEST(Adjoint, SharedParameterAccumulates) {
+  // Two RY gates driven by the same parameter: gradient doubles.
+  Circuit c(1, 1);
+  c.ry(0, ParamExpr::ref(0)).ry(0, ParamExpr::ref(0));
+  const std::vector<double> params = {0.6};
+  const auto g = adjoint_gradient_z(c, params, 0);
+  EXPECT_NEAR(g[0], -2.0 * std::sin(1.2), 1e-10);
+}
+
+TEST(Adjoint, CoefficientChainRule) {
+  // RY(0.5 * p): d<Z>/dp = -0.5 sin(0.5 p).
+  Circuit c(1, 1);
+  c.ry(0, ParamExpr::ref(0, 0.5));
+  const std::vector<double> params = {1.4};
+  const auto g = adjoint_gradient_z(c, params, 0);
+  EXPECT_NEAR(g[0], -0.5 * std::sin(0.7), 1e-10);
+}
+
+TEST(Adjoint, ParamsTooShortThrows) {
+  Circuit c(1, 2);
+  c.ry(0, ParamExpr::ref(1));
+  const std::vector<double> params = {0.1};
+  EXPECT_THROW(adjoint_gradient_z(c, params, 0), std::invalid_argument);
+}
+
+struct AdjointCase {
+  const char* name;
+  int qubits;
+  bool use_crz;
+};
+
+class AdjointVsFiniteDifference
+    : public ::testing::TestWithParam<AdjointCase> {};
+
+Circuit random_model(const AdjointCase& ac, int params_count) {
+  Circuit c(ac.qubits, params_count);
+  int p = 0;
+  for (int layer = 0; layer < 2; ++layer) {
+    for (int q = 0; q < ac.qubits; ++q) {
+      c.ry(q, ParamExpr::ref(p++ % params_count));
+    }
+    for (int q = 0; q < ac.qubits; ++q) {
+      const int t = (q + 1) % ac.qubits;
+      if (ac.use_crz) {
+        c.crz(q, t, ParamExpr::ref(p++ % params_count));
+      } else {
+        c.crx(q, t, ParamExpr::ref(p++ % params_count));
+      }
+    }
+  }
+  return c;
+}
+
+TEST_P(AdjointVsFiniteDifference, NoiselessAgreement) {
+  const AdjointCase ac = GetParam();
+  const int n_params = 4 * ac.qubits;
+  const Circuit c = random_model(ac, n_params);
+  math::Rng rng(137);
+  std::vector<double> params(static_cast<std::size_t>(n_params));
+  for (double& v : params) v = rng.uniform(-1.5, 1.5);
+
+  StatevectorSimulator sim;
+  const auto adjoint = adjoint_gradient_z(c, params, 0);
+  const auto fd = fd_gradient_z(sim, c, params, 0);
+  ASSERT_EQ(adjoint.size(), fd.size());
+  for (std::size_t i = 0; i < fd.size(); ++i) {
+    EXPECT_NEAR(adjoint[i], fd[i], 1e-6) << ac.name << " param " << i;
+  }
+}
+
+TEST_P(AdjointVsFiniteDifference, NoisyAgreement) {
+  const AdjointCase ac = GetParam();
+  const int n_params = 4 * ac.qubits;
+  const Circuit c = random_model(ac, n_params);
+  math::Rng rng(139);
+  std::vector<double> params(static_cast<std::size_t>(n_params));
+  for (double& v : params) v = rng.uniform(-1.5, 1.5);
+
+  NoiseModel noise(ac.qubits);
+  for (int q = 0; q < ac.qubits; ++q) {
+    noise.set_depolarizing_1q(q, 0.01 + 0.002 * q);
+    noise.set_coherent_bias(q, 0.05 * (q + 1));
+  }
+  for (int q = 0; q < ac.qubits; ++q) {
+    noise.set_depolarizing_2q(q, (q + 1) % ac.qubits, 0.02);
+  }
+  StatevectorSimulator sim(noise);
+  const auto adjoint = adjoint_gradient_z(c, params, 0, &noise);
+  const auto fd = fd_gradient_z(sim, c, params, 0);
+  for (std::size_t i = 0; i < fd.size(); ++i) {
+    EXPECT_NEAR(adjoint[i], fd[i], 1e-6) << ac.name << " param " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Models, AdjointVsFiniteDifference,
+    ::testing::Values(AdjointCase{"crz2", 2, true},
+                      AdjointCase{"crx2", 2, false},
+                      AdjointCase{"crz3", 3, true},
+                      AdjointCase{"crx4", 4, false},
+                      AdjointCase{"crz5", 5, true}),
+    [](const ::testing::TestParamInfo<AdjointCase>& info) {
+      return info.param.name;
+    });
+
+TEST(Adjoint, U3AllThreeAnglesDifferentiated) {
+  Circuit c(2, 3);
+  c.u3(0, ParamExpr::ref(0), ParamExpr::ref(1), ParamExpr::ref(2));
+  c.cx(0, 1);
+  c.u3(1, ParamExpr::ref(1), ParamExpr::ref(2), ParamExpr::ref(0));
+  const std::vector<double> params = {0.5, -0.8, 1.1};
+  StatevectorSimulator sim;
+  const auto adjoint = adjoint_gradient_z(c, params, 1);
+  const auto fd = fd_gradient_z(sim, c, params, 1);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(adjoint[i], fd[i], 1e-6) << "u3 angle " << i;
+  }
+}
+
+}  // namespace
+}  // namespace arbiterq::sim

@@ -1,0 +1,107 @@
+#include "arbiterq/qnn/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "arbiterq/circuit/unitary.hpp"
+
+namespace arbiterq::qnn {
+namespace {
+
+TEST(MeyerWallach, ProductStateHasZeroQ) {
+  sim::Statevector sv(3);
+  sv.apply_mat2(circuit::matrix_ry(0.7), 0);
+  sv.apply_mat2(circuit::matrix_ry(-1.2), 1);
+  sv.apply_mat2(circuit::matrix_ry(2.1), 2);
+  EXPECT_NEAR(meyer_wallach_q(sv), 0.0, 1e-10);
+}
+
+TEST(MeyerWallach, BellStateHasUnitQ) {
+  sim::Statevector sv(2);
+  sv.apply_mat2(circuit::gate_matrix_1q(circuit::GateKind::kH, {}), 0);
+  sv.apply_mat4(circuit::gate_matrix_2q(circuit::GateKind::kCX, {}), 0, 1);
+  EXPECT_NEAR(meyer_wallach_q(sv), 1.0, 1e-10);
+}
+
+TEST(MeyerWallach, GhzStateHasUnitQ) {
+  sim::Statevector sv(4);
+  sv.apply_mat2(circuit::gate_matrix_1q(circuit::GateKind::kH, {}), 0);
+  for (int q = 0; q < 3; ++q) {
+    sv.apply_mat4(circuit::gate_matrix_2q(circuit::GateKind::kCX, {}), q,
+                  q + 1);
+  }
+  EXPECT_NEAR(meyer_wallach_q(sv), 1.0, 1e-10);
+}
+
+TEST(MeyerWallach, PartialEntanglementBetweenExtremes) {
+  sim::Statevector sv(2);
+  sv.apply_mat2(circuit::matrix_ry(0.6), 0);
+  sv.apply_mat4(
+      circuit::gate_matrix_2q(circuit::GateKind::kCRX, {0.9, 0, 0}), 0, 1);
+  const double q = meyer_wallach_q(sv);
+  EXPECT_GT(q, 0.001);
+  EXPECT_LT(q, 0.999);
+}
+
+TEST(EntanglingCapability, RingBackbonesEntangle) {
+  for (Backbone b : {Backbone::kCRz, Backbone::kCRx}) {
+    const QnnModel m(b, 4, 2);
+    const double q = entangling_capability(m, 60, math::Rng(5));
+    EXPECT_GT(q, 0.1) << backbone_name(b);
+    EXPECT_LE(q, 1.0) << backbone_name(b);
+  }
+}
+
+TEST(EntanglingCapability, MoreLayersEntangleAtLeastAsMuch) {
+  const QnnModel shallow(Backbone::kCRx, 3, 1);
+  const QnnModel deep(Backbone::kCRx, 3, 4);
+  const double qs = entangling_capability(shallow, 80, math::Rng(7));
+  const double qd = entangling_capability(deep, 80, math::Rng(7));
+  EXPECT_GE(qd, qs - 0.05);
+}
+
+TEST(EntanglingCapability, Validation) {
+  const QnnModel m(Backbone::kCRz, 2, 1);
+  EXPECT_THROW(entangling_capability(m, 0, math::Rng(1)),
+               std::invalid_argument);
+}
+
+TEST(Expressibility, DeterministicUnderSeed) {
+  const QnnModel m(Backbone::kCRz, 2, 2);
+  const auto a = expressibility(m, 100, 20, math::Rng(3));
+  const auto b = expressibility(m, 100, 20, math::Rng(3));
+  EXPECT_DOUBLE_EQ(a.kl_divergence, b.kl_divergence);
+}
+
+TEST(Expressibility, NonNegativeAndFinite) {
+  const QnnModel m(Backbone::kCRx, 3, 2);
+  const auto r = expressibility(m, 200, 20, math::Rng(9));
+  EXPECT_GE(r.kl_divergence, -1e-9);
+  EXPECT_LT(r.kl_divergence, 50.0);
+  EXPECT_EQ(r.samples, 200);
+  EXPECT_EQ(r.bins, 20);
+}
+
+TEST(Expressibility, DeeperCircuitMoreExpressive) {
+  // A 1-layer backbone covers less of state space than a 4-layer one:
+  // its fidelity histogram sits further from Haar (larger KL).
+  const QnnModel shallow(Backbone::kCRx, 2, 1);
+  const QnnModel deep(Backbone::kCRx, 2, 4);
+  const double kls =
+      expressibility(shallow, 600, 20, math::Rng(11)).kl_divergence;
+  const double kld =
+      expressibility(deep, 600, 20, math::Rng(11)).kl_divergence;
+  EXPECT_GT(kls, kld);
+}
+
+TEST(Expressibility, Validation) {
+  const QnnModel m(Backbone::kCRz, 2, 1);
+  EXPECT_THROW(expressibility(m, 1, 20, math::Rng(1)),
+               std::invalid_argument);
+  EXPECT_THROW(expressibility(m, 10, 1, math::Rng(1)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace arbiterq::qnn

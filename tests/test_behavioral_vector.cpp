@@ -1,0 +1,125 @@
+#include "arbiterq/core/behavioral_vector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "arbiterq/device/presets.hpp"
+#include "arbiterq/qnn/model.hpp"
+
+namespace arbiterq::core {
+namespace {
+
+using device::Qpu;
+using device::QpuSpec;
+using device::Topology;
+
+Qpu make_device(Topology topo, double infid_1q = 2e-4,
+                double infid_2q = 4e-3) {
+  QpuSpec s;
+  s.name = "dev";
+  s.topology = std::move(topo);
+  s.infidelity_1q = infid_1q;
+  s.infidelity_2q = infid_2q;
+  s.t1_us = 150.0;
+  s.t2_us = 60.0;
+  s.noise_seed = 11;
+  return Qpu(s);
+}
+
+BehavioralVector vectorize_on(const qnn::QnnModel& m, const Qpu& dev) {
+  const auto compiled = transpile::compile(m.circuit(), dev);
+  return vectorize(compiled, dev, m.circuit().size());
+}
+
+TEST(BehavioralVector, LengthsMatchLogicalCircuit) {
+  const qnn::QnnModel m(qnn::Backbone::kCRz, 3, 2);
+  const BehavioralVector bv =
+      vectorize_on(m, make_device(Topology::line(3)));
+  EXPECT_EQ(bv.length(), m.circuit().size());
+  EXPECT_EQ(bv.contextual.size(), bv.topological.size());
+  EXPECT_EQ(bv.concatenated().size(), 2 * bv.length());
+}
+
+TEST(BehavioralVector, AllElementsAreErrors) {
+  const qnn::QnnModel m(qnn::Backbone::kCRx, 4, 2);
+  const BehavioralVector bv =
+      vectorize_on(m, make_device(Topology::line(4)));
+  for (double v : bv.contextual) {
+    EXPECT_GT(v, 0.0);  // every logical gate decomposes to >= 1 basis gate
+    EXPECT_LT(v, 1.0);
+  }
+  for (double v : bv.topological) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(BehavioralVector, TopologicalZeroWithoutRouting) {
+  // Ring model on a ring topology: no SWAPs, so the topological part is
+  // all zeros.
+  const qnn::QnnModel m(qnn::Backbone::kCRz, 4, 1);
+  const BehavioralVector bv =
+      vectorize_on(m, make_device(Topology::ring(4)));
+  for (double v : bv.topological) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(BehavioralVector, TopologicalNonZeroExactlyForRoutedGates) {
+  // Ring model on a line: the wrap-around CRZ gates force SWAPs; their
+  // topological entries must be positive, the encoding RY entries zero.
+  const qnn::QnnModel m(qnn::Backbone::kCRz, 4, 1);
+  const BehavioralVector bv =
+      vectorize_on(m, make_device(Topology::line(4)));
+  double topo_total = 0.0;
+  for (double v : bv.topological) topo_total += v;
+  EXPECT_GT(topo_total, 0.0);
+  // Encoding gates (indices 0..3) are single-qubit: never routed.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(bv.topological[i], 0.0) << i;
+  }
+}
+
+TEST(BehavioralVector, NoisierDeviceHasLargerContextualEntries) {
+  const qnn::QnnModel m(qnn::Backbone::kCRz, 3, 2);
+  const BehavioralVector clean =
+      vectorize_on(m, make_device(Topology::line(3), 1e-4, 1e-3));
+  const BehavioralVector dirty =
+      vectorize_on(m, make_device(Topology::line(3), 8e-4, 9e-3));
+  double sum_clean = 0.0;
+  double sum_dirty = 0.0;
+  for (std::size_t i = 0; i < clean.length(); ++i) {
+    sum_clean += clean.contextual[i];
+    sum_dirty += dirty.contextual[i];
+  }
+  EXPECT_GT(sum_dirty, sum_clean);
+}
+
+TEST(BehavioralVector, TwoQubitGatesCostMoreThanOneQubit) {
+  const qnn::QnnModel m(qnn::Backbone::kCRz, 3, 1);
+  const BehavioralVector bv =
+      vectorize_on(m, make_device(Topology::fully_connected(3)));
+  // Index 0 is an encoding RY; index 3 (first learning RY) similar;
+  // index 6 is a CRZ whose error must dominate the RY's.
+  EXPECT_GT(bv.contextual[6], bv.contextual[0]);
+}
+
+TEST(BehavioralVector, ToStringShowsBothParts) {
+  const qnn::QnnModel m(qnn::Backbone::kCRz, 2, 1);
+  const BehavioralVector bv =
+      vectorize_on(m, make_device(Topology::line(2)));
+  const std::string s = bv.to_string();
+  EXPECT_NE(s.find("ctx"), std::string::npos);
+  EXPECT_NE(s.find("topo"), std::string::npos);
+}
+
+TEST(BehavioralVector, DifferentTopologiesGiveDifferentVectors) {
+  const qnn::QnnModel m(qnn::Backbone::kCRz, 4, 2);
+  const auto line = vectorize_on(m, make_device(Topology::line(4)));
+  const auto ring = vectorize_on(m, make_device(Topology::ring(4)));
+  double diff = 0.0;
+  const auto a = line.concatenated();
+  const auto b = ring.concatenated();
+  for (std::size_t i = 0; i < a.size(); ++i) diff += std::abs(a[i] - b[i]);
+  EXPECT_GT(diff, 1e-4);
+}
+
+}  // namespace
+}  // namespace arbiterq::core

@@ -1,0 +1,104 @@
+#include "arbiterq/circuit/circuit.hpp"
+
+#include <gtest/gtest.h>
+
+namespace arbiterq::circuit {
+namespace {
+
+TEST(Circuit, ConstructionValidation) {
+  EXPECT_THROW(Circuit(0), std::invalid_argument);
+  EXPECT_THROW(Circuit(2, -1), std::invalid_argument);
+  const Circuit c(3, 2);
+  EXPECT_EQ(c.num_qubits(), 3);
+  EXPECT_EQ(c.num_params(), 2);
+  EXPECT_TRUE(c.empty());
+}
+
+TEST(Circuit, BuildersAppendInOrder) {
+  Circuit c(2, 1);
+  c.h(0).cx(0, 1).ry(1, ParamExpr::ref(0));
+  ASSERT_EQ(c.size(), 3U);
+  EXPECT_EQ(c.gate(0).kind, GateKind::kH);
+  EXPECT_EQ(c.gate(1).kind, GateKind::kCX);
+  EXPECT_EQ(c.gate(2).kind, GateKind::kRY);
+}
+
+TEST(Circuit, QubitRangeChecked) {
+  Circuit c(2);
+  EXPECT_THROW(c.x(2), std::out_of_range);
+  EXPECT_THROW(c.x(-1), std::out_of_range);
+  EXPECT_THROW(c.cx(0, 2), std::out_of_range);
+}
+
+TEST(Circuit, TwoQubitGateOnSameQubitThrows) {
+  Circuit c(2);
+  EXPECT_THROW(c.cx(1, 1), std::invalid_argument);
+  EXPECT_THROW(c.swap(0, 0), std::invalid_argument);
+}
+
+TEST(Circuit, ParamRangeChecked) {
+  Circuit c(2, 2);
+  EXPECT_NO_THROW(c.rz(0, ParamExpr::ref(1)));
+  EXPECT_THROW(c.rz(0, ParamExpr::ref(2)), std::out_of_range);
+  EXPECT_NO_THROW(c.rz(0, ParamExpr::constant(9.0)));
+}
+
+TEST(Circuit, TwoQubitGateCount) {
+  Circuit c(3, 0);
+  c.h(0).cx(0, 1).cz(1, 2).x(2).swap(0, 2);
+  EXPECT_EQ(c.two_qubit_gate_count(), 3U);
+}
+
+TEST(Circuit, RoutingSwapCount) {
+  Circuit c(3);
+  Gate g;
+  g.kind = GateKind::kSwap;
+  g.qubits = {0, 1};
+  g.is_routing_swap = true;
+  c.add(g);
+  c.swap(1, 2);  // a user SWAP, not a routing one
+  EXPECT_EQ(c.routing_swap_count(), 1U);
+}
+
+TEST(Circuit, DepthSingleQubitChain) {
+  Circuit c(1);
+  c.x(0).x(0).x(0);
+  EXPECT_EQ(c.depth(), 3U);
+}
+
+TEST(Circuit, DepthParallelGates) {
+  Circuit c(2);
+  c.x(0).x(1);  // parallel
+  EXPECT_EQ(c.depth(), 1U);
+  c.cx(0, 1);  // synchronizes
+  EXPECT_EQ(c.depth(), 2U);
+  c.x(0);
+  EXPECT_EQ(c.depth(), 3U);
+}
+
+TEST(Circuit, AppendShiftsParamIndices) {
+  Circuit a(2, 1);
+  a.ry(0, ParamExpr::ref(0));
+  Circuit b(2, 3);
+  b.ry(1, ParamExpr::ref(0));
+  b.append(a, 2);
+  ASSERT_EQ(b.size(), 2U);
+  EXPECT_EQ(b.gate(1).params[0].index, 2);
+}
+
+TEST(Circuit, AppendQubitMismatchThrows) {
+  Circuit a(2);
+  Circuit b(3);
+  EXPECT_THROW(b.append(a), std::invalid_argument);
+}
+
+TEST(Circuit, ToStringListsGates) {
+  Circuit c(2, 1);
+  c.h(0).crz(0, 1, ParamExpr::ref(0));
+  const std::string s = c.to_string();
+  EXPECT_NE(s.find("h(q0)"), std::string::npos);
+  EXPECT_NE(s.find("crz"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace arbiterq::circuit

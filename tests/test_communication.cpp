@@ -1,0 +1,80 @@
+// Tests for the trainers' gradient-message accounting.
+
+#include <gtest/gtest.h>
+
+#include "arbiterq/core/trainers.hpp"
+#include "arbiterq/device/presets.hpp"
+
+namespace arbiterq::core {
+namespace {
+
+struct CommFixture {
+  CommFixture()
+      : model(qnn::Backbone::kCRz, 2, 2),
+        split(data::prepare_case({"iris", 2, 2})) {}
+
+  qnn::QnnModel model;
+  data::EncodedSplit split;
+};
+
+TEST(Communication, SingleNodeIsSilent) {
+  const CommFixture f;
+  TrainConfig cfg;
+  cfg.epochs = 5;
+  const DistributedTrainer t(f.model, device::table3_fleet_subset(4, 2),
+                             cfg);
+  EXPECT_EQ(t.train(Strategy::kSingleNode, f.split).gradient_messages, 0U);
+}
+
+TEST(Communication, CentralizedStrategiesPayTwoNPerEpoch) {
+  const CommFixture f;
+  TrainConfig cfg;
+  cfg.epochs = 5;
+  const DistributedTrainer t(f.model, device::table3_fleet_subset(4, 2),
+                             cfg);
+  for (Strategy s : {Strategy::kAllSharing, Strategy::kEqc}) {
+    EXPECT_EQ(t.train(s, f.split).gradient_messages, 5U * 2U * 4U)
+        << strategy_name(s);
+  }
+}
+
+TEST(Communication, ArbiterQPaysPeerLinksOnly) {
+  const CommFixture f;
+  TrainConfig cfg;
+  cfg.epochs = 5;
+  const DistributedTrainer t(f.model, device::table3_fleet_subset(6, 2),
+                             cfg);
+  std::size_t links = 0;
+  for (const auto& g : t.sharing_groups()) {
+    links += g.size() * (g.size() - 1);  // directed peer links
+  }
+  EXPECT_EQ(t.train(Strategy::kArbiterQ, f.split).gradient_messages,
+            5U * links);
+}
+
+TEST(Communication, IsolatedFleetCommunicatesNothingUnderArbiterQ) {
+  const CommFixture f;
+  TrainConfig cfg;
+  cfg.epochs = 4;
+  cfg.distance_threshold = 0.0;  // every node is its own group
+  const DistributedTrainer t(f.model, device::table3_fleet_subset(4, 2),
+                             cfg);
+  EXPECT_EQ(t.train(Strategy::kArbiterQ, f.split).gradient_messages, 0U);
+}
+
+TEST(Communication, ChurnReducesTraffic) {
+  const CommFixture f;
+  TrainConfig base;
+  base.epochs = 20;
+  TrainConfig churny = base;
+  churny.offline_probability = 0.5;
+  const DistributedTrainer a(f.model, device::table3_fleet_subset(6, 2),
+                             base);
+  const DistributedTrainer b(f.model, device::table3_fleet_subset(6, 2),
+                             churny);
+  EXPECT_LT(b.train(Strategy::kEqc, f.split).gradient_messages,
+            a.train(Strategy::kEqc, f.split).gradient_messages);
+}
+
+}  // namespace
+}  // namespace arbiterq::core

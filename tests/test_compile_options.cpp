@@ -1,0 +1,98 @@
+// Tests for the options-based compile pipeline: placement + lookahead
+// routing + peephole optimization composed, with layout bookkeeping
+// checked against simulation.
+
+#include <gtest/gtest.h>
+
+#include "arbiterq/device/presets.hpp"
+#include "arbiterq/math/rng.hpp"
+#include "arbiterq/qnn/model.hpp"
+#include "arbiterq/sim/statevector.hpp"
+#include "arbiterq/transpile/decompose.hpp"
+#include "arbiterq/transpile/transpiler.hpp"
+
+namespace arbiterq::transpile {
+namespace {
+
+double readout_z(const CompiledCircuit& cc, int device_qubits,
+                 const std::vector<double>& params) {
+  sim::Statevector sv(device_qubits);
+  for (const auto& g : cc.executable.gates()) sv.apply_gate(g, params);
+  return sv.expectation_z(cc.measure_qubit(0));
+}
+
+TEST(CompileOptions, DefaultMatchesPlainCompile) {
+  const qnn::QnnModel m(qnn::Backbone::kCRz, 3, 2);
+  const auto dev = device::table3_fleet(3)[0];
+  const auto plain = compile(m.circuit(), dev);
+  const auto with_defaults = compile(m.circuit(), dev, CompileOptions{});
+  EXPECT_EQ(plain.executable.size(), with_defaults.executable.size());
+  EXPECT_EQ(plain.final_layout, with_defaults.final_layout);
+}
+
+class CompilePipeline : public ::testing::TestWithParam<int> {};
+
+TEST_P(CompilePipeline, AllOptionCombinationsPreserveSemantics) {
+  const int idx = GetParam();
+  const qnn::QnnModel m(qnn::Backbone::kCRx, 3, 1);
+  const auto fleet = device::table3_fleet(3);
+  const auto& dev = fleet[static_cast<std::size_t>(idx) % fleet.size()];
+  std::vector<double> params(static_cast<std::size_t>(m.num_params()));
+  math::Rng rng(1700 + idx);
+  for (double& p : params) p = rng.uniform(-1.5, 1.5);
+
+  sim::Statevector ideal(m.num_qubits());
+  for (const auto& g : m.circuit().gates()) ideal.apply_gate(g, params);
+  const double z_ref = ideal.expectation_z(0);
+
+  for (bool layout : {false, true}) {
+    for (bool opt : {false, true}) {
+      for (auto routing : {RoutingOptions::Strategy::kGreedyPath,
+                           RoutingOptions::Strategy::kLookahead}) {
+        CompileOptions options;
+        options.select_layout = layout;
+        options.optimize = opt;
+        options.routing.strategy = routing;
+        const auto cc = compile(m.circuit(), dev, options);
+        EXPECT_TRUE(respects_topology(cc.executable, dev.topology()))
+            << dev.name();
+        for (const auto& g : cc.executable.gates()) {
+          EXPECT_TRUE(is_native(g.kind, dev.basis()));
+        }
+        EXPECT_NEAR(readout_z(cc, dev.num_qubits(), params), z_ref, 1e-9)
+            << dev.name() << " layout=" << layout << " opt=" << opt;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Devices, CompilePipeline, ::testing::Range(0, 6));
+
+TEST(CompileOptions, OptimizeShrinksExecutable) {
+  const qnn::QnnModel m(qnn::Backbone::kCRz, 4, 2);
+  const auto dev = device::table3_fleet(4)[0];
+  CompileOptions opt;
+  opt.optimize = true;
+  EXPECT_LT(compile(m.circuit(), dev, opt).executable.size(),
+            compile(m.circuit(), dev).executable.size());
+}
+
+TEST(CompileOptions, LayoutSelectionUsesDistinctPhysicalQubits) {
+  const qnn::QnnModel m(qnn::Backbone::kCRz, 4, 1);
+  for (const auto& dev : device::table3_fleet(6)) {
+    CompileOptions options;
+    options.select_layout = true;
+    const auto cc = compile(m.circuit(), dev, options);
+    std::vector<bool> seen(static_cast<std::size_t>(dev.num_qubits()),
+                           false);
+    for (int p : cc.final_layout) {
+      ASSERT_GE(p, 0);
+      ASSERT_LT(p, dev.num_qubits());
+      EXPECT_FALSE(seen[static_cast<std::size_t>(p)]) << dev.name();
+      seen[static_cast<std::size_t>(p)] = true;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace arbiterq::transpile

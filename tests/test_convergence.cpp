@@ -1,0 +1,103 @@
+#include "arbiterq/core/convergence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arbiterq/math/rng.hpp"
+
+namespace arbiterq::core {
+namespace {
+
+std::vector<double> exponential_curve(std::size_t n, double start,
+                                      double floor, double rate) {
+  std::vector<double> out(n);
+  for (std::size_t e = 0; e < n; ++e) {
+    out[e] = floor + (start - floor) * std::exp(-rate *
+                                                static_cast<double>(e));
+  }
+  return out;
+}
+
+TEST(Convergence, EmptyThrows) {
+  EXPECT_THROW(detect_convergence({}), std::invalid_argument);
+}
+
+TEST(Convergence, FastCurveConvergesEarly) {
+  const auto fast = exponential_curve(100, 0.5, 0.1, 0.5);
+  const auto slow = exponential_curve(100, 0.5, 0.1, 0.05);
+  const Convergence cf = detect_convergence(fast);
+  const Convergence cs = detect_convergence(slow);
+  EXPECT_LT(cf.epoch, cs.epoch);
+  EXPECT_NEAR(cf.loss, 0.1, 0.01);
+}
+
+TEST(Convergence, ConvergedLossIsTailMean) {
+  std::vector<double> curve(50, 0.3);
+  for (std::size_t i = 45; i < 50; ++i) curve[i] = 0.2;
+  const Convergence c = detect_convergence(curve);
+  EXPECT_NEAR(c.loss, 0.2, 1e-12);
+}
+
+TEST(Convergence, FlatCurveNeverConverges) {
+  const std::vector<double> flat(40, 0.4);
+  const Convergence c = detect_convergence(flat);
+  EXPECT_EQ(c.epoch, 40);
+}
+
+TEST(Convergence, DivergingCurveNeverConverges) {
+  std::vector<double> rising(60);
+  for (std::size_t e = 0; e < 60; ++e) {
+    rising[e] = 0.3 + 0.002 * static_cast<double>(e);
+  }
+  const Convergence c = detect_convergence(rising);
+  EXPECT_EQ(c.epoch, 60);
+}
+
+TEST(Convergence, BriefTransientIsForgiven) {
+  // A short excursion after the plateau is reached must not move the
+  // convergence epoch (sustain_fraction tolerates it).
+  const auto smooth = exponential_curve(120, 0.5, 0.1, 0.2);
+  auto transient = smooth;
+  for (std::size_t e = 80; e < 88; ++e) transient[e] += 0.15;
+  const Convergence cs = detect_convergence(smooth);
+  const Convergence ct = detect_convergence(transient);
+  EXPECT_LT(cs.epoch, 60);
+  EXPECT_LE(ct.epoch, cs.epoch + 5);
+}
+
+TEST(Convergence, SustainedExcursionDelaysConvergence) {
+  // A long stretch outside the band (a curve that has not really
+  // settled) must push the epoch past the excursion.
+  const auto smooth = exponential_curve(120, 0.5, 0.1, 0.2);
+  auto unsettled = smooth;
+  for (std::size_t e = 40; e < 90; ++e) unsettled[e] += 0.15;
+  const Convergence cu = detect_convergence(unsettled);
+  EXPECT_GT(cu.epoch, 80);
+}
+
+TEST(Convergence, EpochIsOneBasedAndBounded) {
+  const auto curve = exponential_curve(30, 1.0, 0.0, 3.0);
+  const Convergence c = detect_convergence(curve);
+  EXPECT_GE(c.epoch, 1);
+  EXPECT_LE(c.epoch, 30);
+}
+
+TEST(Convergence, TighterBandConvergesLater) {
+  const auto curve = exponential_curve(200, 0.6, 0.1, 0.05);
+  ConvergenceConfig loose;
+  loose.range_frac = 0.2;
+  ConvergenceConfig tight;
+  tight.range_frac = 0.02;
+  EXPECT_LT(detect_convergence(curve, loose).epoch,
+            detect_convergence(curve, tight).epoch);
+}
+
+TEST(Convergence, SingleEpochCurve) {
+  const Convergence c = detect_convergence({0.5});
+  EXPECT_EQ(c.epoch, 1);
+  EXPECT_DOUBLE_EQ(c.loss, 0.5);
+}
+
+}  // namespace
+}  // namespace arbiterq::core

@@ -1,0 +1,155 @@
+// Cross-engine property suite: for random parameterized circuits, the
+// dense unitary oracle, the state-vector engine (raw and gate-fused
+// paths), the density-matrix engine and the transpile/optimize pipeline
+// must all tell the same story.
+
+#include <gtest/gtest.h>
+
+#include "arbiterq/circuit/unitary.hpp"
+#include "arbiterq/device/presets.hpp"
+#include "arbiterq/math/rng.hpp"
+#include "arbiterq/sim/density_matrix.hpp"
+#include "arbiterq/sim/observables.hpp"
+#include "arbiterq/sim/simulator.hpp"
+#include "arbiterq/transpile/optimize.hpp"
+#include "arbiterq/transpile/transpiler.hpp"
+
+namespace arbiterq {
+namespace {
+
+using circuit::Circuit;
+using circuit::GateKind;
+using circuit::ParamExpr;
+
+Circuit random_circuit(int qubits, int gates, int params, math::Rng& rng) {
+  Circuit c(qubits, params);
+  for (int i = 0; i < gates; ++i) {
+    const int a = static_cast<int>(rng.uniform_int(qubits));
+    int b = static_cast<int>(rng.uniform_int(qubits));
+    if (b == a) b = (a + 1) % qubits;
+    switch (rng.uniform_int(7)) {
+      case 0:
+        c.h(a);
+        break;
+      case 1:
+        c.sx(a);
+        break;
+      case 2:
+        c.rx(a, ParamExpr::ref(static_cast<int>(rng.uniform_int(params))));
+        break;
+      case 3:
+        c.ry(a, ParamExpr::ref(static_cast<int>(rng.uniform_int(params)),
+                               rng.uniform(0.5, 1.5)));
+        break;
+      case 4:
+        c.cx(a, b);
+        break;
+      case 5:
+        c.crz(a, b,
+              ParamExpr::ref(static_cast<int>(rng.uniform_int(params))));
+        break;
+      default:
+        c.cz(a, b);
+        break;
+    }
+  }
+  return c;
+}
+
+std::vector<double> random_values(int n, math::Rng& rng) {
+  std::vector<double> p(static_cast<std::size_t>(n));
+  for (double& v : p) v = rng.uniform(-2.0, 2.0);
+  return p;
+}
+
+class CrossCheck : public ::testing::TestWithParam<int> {};
+
+TEST_P(CrossCheck, StatevectorMatchesUnitaryColumn) {
+  math::Rng rng(1000 + GetParam());
+  const Circuit c = random_circuit(3, 15, 4, rng);
+  const auto params = random_values(4, rng);
+  sim::StatevectorSimulator sim;
+  const auto sv = sim.run_ideal(c, params);
+  const auto u = circuit::circuit_unitary(c, params);
+  const std::size_t dim = sv.dim();
+  for (std::size_t i = 0; i < dim; ++i) {
+    EXPECT_NEAR(std::abs(sv.amplitudes()[i] - u[i * dim + 0]), 0.0, 1e-10);
+  }
+}
+
+TEST_P(CrossCheck, FusedForwardMatchesRawForward) {
+  math::Rng rng(2000 + GetParam());
+  const Circuit c = random_circuit(4, 25, 5, rng);
+  const auto params = random_values(5, rng);
+  sim::StatevectorSimulator sim;  // noiseless: fused path vs raw path
+  const auto raw = sim.run_ideal(c, params);
+  const auto fused = sim.run_biased(c, params);
+  for (std::size_t i = 0; i < raw.dim(); ++i) {
+    EXPECT_NEAR(std::abs(raw.amplitudes()[i] - fused.amplitudes()[i]), 0.0,
+                1e-10);
+  }
+}
+
+TEST_P(CrossCheck, DensityMatrixMatchesStatevectorObservables) {
+  math::Rng rng(3000 + GetParam());
+  const Circuit c = random_circuit(3, 12, 3, rng);
+  const auto params = random_values(3, rng);
+  sim::Statevector sv(3);
+  sim::DensityMatrix rho(3);
+  for (const auto& g : c.gates()) {
+    sv.apply_gate(g, params);
+    rho.apply_gate(g, params);
+  }
+  for (const char* obs : {"ZII", "IZI", "IIZ", "XXI", "ZYX"}) {
+    const auto p = circuit::PauliString::parse(obs);
+    EXPECT_NEAR(sim::expectation(sv, p), sim::expectation(rho, p), 1e-9)
+        << obs;
+  }
+}
+
+TEST_P(CrossCheck, CompileOptimizePipelinePreservesSemantics) {
+  math::Rng rng(4000 + GetParam());
+  const Circuit c = random_circuit(3, 14, 4, rng);
+  const auto params = random_values(4, rng);
+  const auto fleet = device::table3_fleet(3);
+  const auto& dev = fleet[static_cast<std::size_t>(GetParam()) %
+                          fleet.size()];
+  const auto compiled = transpile::compile(c, dev);
+  const auto optimized = transpile::optimize(compiled.executable);
+
+  // Readout comparison: <Z> on the measured qubit is permutation-aware,
+  // so simulate both native circuits and compare directly.
+  sim::StatevectorSimulator sim;
+  const int readout = compiled.measure_qubit(0);
+  const double z_exec =
+      sim.run_ideal(compiled.executable, params).expectation_z(readout);
+  const double z_opt =
+      sim.run_ideal(optimized, params).expectation_z(readout);
+  const double z_orig = sim.run_ideal(c, params).expectation_z(0);
+  EXPECT_NEAR(z_exec, z_orig, 1e-9);
+  EXPECT_NEAR(z_opt, z_orig, 1e-9);
+}
+
+TEST_P(CrossCheck, TrajectoriesWithoutErrorsMatchExact) {
+  math::Rng rng(5000 + GetParam());
+  const Circuit c = random_circuit(3, 10, 3, rng);
+  const auto params = random_values(3, rng);
+  // Noise model with only coherent biases: trajectories are then
+  // deterministic and must equal the exact biased run.
+  sim::NoiseModel noise(3);
+  for (int q = 0; q < 3; ++q) noise.set_coherent_bias(q, 0.1 * (q + 1));
+  sim::StatevectorSimulator sim(noise);
+  math::Rng shot_rng(9);
+  sim::ShotOptions opts;
+  opts.shots = 50000;
+  opts.trajectories = 1;
+  const double sampled =
+      sim.sampled_probability_of_one(c, params, 0, opts, shot_rng);
+  const double exact = sim.probability_of_one(c, params, 0);
+  EXPECT_NEAR(sampled, exact, 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrossCheck, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace arbiterq

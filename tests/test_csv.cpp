@@ -1,0 +1,68 @@
+#include "arbiterq/report/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace arbiterq::report {
+namespace {
+
+TEST(Csv, HeaderAndRows) {
+  CsvTable t({"a", "b"});
+  t.add_row({std::string("1"), std::string("2")});
+  t.add_row(std::vector<double>{3.5, -4.25});
+  EXPECT_EQ(t.num_rows(), 2U);
+  EXPECT_EQ(t.to_string(), "a,b\n1,2\n3.5,-4.25\n");
+}
+
+TEST(Csv, Validation) {
+  EXPECT_THROW(CsvTable({}), std::invalid_argument);
+  CsvTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({std::string("only-one")}),
+               std::invalid_argument);
+}
+
+TEST(Csv, QuotingSpecialCharacters) {
+  CsvTable t({"label"});
+  t.add_row({std::string("has,comma")});
+  t.add_row({std::string("has \"quote\"")});
+  t.add_row({std::string("line\nbreak")});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(s.find("\"has \"\"quote\"\"\""), std::string::npos);
+  EXPECT_NE(s.find("\"line\nbreak\""), std::string::npos);
+}
+
+TEST(Csv, WriteAndReadBack) {
+  CsvTable t({"x", "y"});
+  t.add_row(std::vector<double>{1.0, 2.0});
+  const std::string path = "/tmp/arbiterq_csv_test.csv";
+  t.write(path);
+  std::ifstream is(path);
+  std::string line;
+  std::getline(is, line);
+  EXPECT_EQ(line, "x,y");
+  std::getline(is, line);
+  EXPECT_EQ(line, "1,2");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, WriteToBadPathThrows) {
+  CsvTable t({"x"});
+  EXPECT_THROW(t.write("/nonexistent-dir/file.csv"), std::runtime_error);
+}
+
+TEST(Csv, LossCurvesTable) {
+  const auto t = loss_curves_table({{"ArbiterQ", {0.5, 0.3, 0.2}},
+                                    {"EQC", {0.6, 0.4}}});
+  EXPECT_EQ(t.num_columns(), 3U);
+  EXPECT_EQ(t.num_rows(), 3U);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("epoch,ArbiterQ,EQC"), std::string::npos);
+  EXPECT_NE(s.find("3,0.2,"), std::string::npos);  // padded short series
+  EXPECT_THROW(loss_curves_table({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace arbiterq::report

@@ -1,0 +1,116 @@
+#include "arbiterq/data/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace arbiterq::data {
+namespace {
+
+Dataset tiny() {
+  Dataset d;
+  d.name = "tiny";
+  for (int i = 0; i < 10; ++i) {
+    d.samples.push_back({static_cast<double>(i), 0.0});
+    d.labels.push_back(i % 2);
+  }
+  return d;
+}
+
+TEST(Dataset, ValidateCatchesProblems) {
+  Dataset d = tiny();
+  EXPECT_NO_THROW(d.validate());
+  d.labels[0] = 5;
+  EXPECT_THROW(d.validate(), std::invalid_argument);
+  d = tiny();
+  d.samples[3] = {1.0};
+  EXPECT_THROW(d.validate(), std::invalid_argument);
+  d = tiny();
+  d.labels.pop_back();
+  EXPECT_THROW(d.validate(), std::invalid_argument);
+}
+
+TEST(Dataset, SizeAccessors) {
+  const Dataset d = tiny();
+  EXPECT_EQ(d.size(), 10U);
+  EXPECT_EQ(d.num_features(), 2U);
+  EXPECT_EQ(Dataset{}.num_features(), 0U);
+}
+
+TEST(Split, ProportionsRespected) {
+  const Split s = train_test_split(tiny(), 0.8, math::Rng(1));
+  EXPECT_EQ(s.train.size(), 8U);
+  EXPECT_EQ(s.test.size(), 2U);
+}
+
+TEST(Split, EverySampleAppearsExactlyOnce) {
+  const Dataset d = tiny();
+  const Split s = train_test_split(d, 0.7, math::Rng(5));
+  std::multiset<double> seen;
+  for (const auto& r : s.train.samples) seen.insert(r[0]);
+  for (const auto& r : s.test.samples) seen.insert(r[0]);
+  EXPECT_EQ(seen.size(), 10U);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(seen.count(static_cast<double>(i)), 1U);
+  }
+}
+
+TEST(Split, DeterministicUnderSeed) {
+  const Dataset d = tiny();
+  const Split a = train_test_split(d, 0.8, math::Rng(9));
+  const Split b = train_test_split(d, 0.8, math::Rng(9));
+  EXPECT_EQ(a.train.samples, b.train.samples);
+  const Split c = train_test_split(d, 0.8, math::Rng(10));
+  EXPECT_NE(a.train.samples, c.train.samples);
+}
+
+TEST(Split, Validation) {
+  Dataset d = tiny();
+  EXPECT_THROW(train_test_split(d, 0.0, math::Rng(1)),
+               std::invalid_argument);
+  EXPECT_THROW(train_test_split(d, 1.0, math::Rng(1)),
+               std::invalid_argument);
+  Dataset one;
+  one.samples = {{1.0}};
+  one.labels = {0};
+  EXPECT_THROW(train_test_split(one, 0.8, math::Rng(1)),
+               std::invalid_argument);
+}
+
+TEST(Split, AlwaysLeavesBothSidesNonEmpty) {
+  Dataset d = tiny();
+  const Split hi = train_test_split(d, 0.99, math::Rng(2));
+  EXPECT_GE(hi.test.size(), 1U);
+  const Split lo = train_test_split(d, 0.01, math::Rng(2));
+  EXPECT_GE(lo.train.size(), 1U);
+}
+
+TEST(Minibatch, SizesAndBounds) {
+  const auto idx = minibatch_indices(10, 4, 0, math::Rng(3));
+  EXPECT_EQ(idx.size(), 4U);
+  for (auto i : idx) EXPECT_LT(i, 10U);
+}
+
+TEST(Minibatch, BatchLargerThanDatasetClamps) {
+  const auto idx = minibatch_indices(3, 10, 0, math::Rng(3));
+  EXPECT_EQ(idx.size(), 3U);
+}
+
+TEST(Minibatch, DifferentBatchIndexDifferentSamples) {
+  const auto a = minibatch_indices(100, 5, 0, math::Rng(7));
+  const auto b = minibatch_indices(100, 5, 1, math::Rng(7));
+  EXPECT_NE(a, b);
+}
+
+TEST(Minibatch, DeterministicUnderSeed) {
+  EXPECT_EQ(minibatch_indices(50, 8, 2, math::Rng(11)),
+            minibatch_indices(50, 8, 2, math::Rng(11)));
+  EXPECT_THROW(minibatch_indices(0, 8, 0, math::Rng(1)),
+               std::invalid_argument);
+  EXPECT_THROW(minibatch_indices(5, 0, 0, math::Rng(1)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace arbiterq::data

@@ -1,0 +1,179 @@
+#include "arbiterq/transpile/decompose.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "arbiterq/circuit/unitary.hpp"
+
+namespace arbiterq::transpile {
+namespace {
+
+using circuit::Circuit;
+using circuit::Gate;
+using circuit::GateKind;
+using circuit::ParamExpr;
+using device::BasisSet;
+
+struct DecomposeCase {
+  GateKind kind;
+  double angle;
+};
+
+std::string case_name(const ::testing::TestParamInfo<
+                      std::tuple<DecomposeCase, BasisSet>>& info) {
+  const auto& [dc, basis] = info.param;
+  std::string n = circuit::gate_name(dc.kind) + "_" +
+                  (basis == BasisSet::kIbm ? "ibm" : "origin") + "_" +
+                  std::to_string(info.index);
+  return n;
+}
+
+class DecomposeEquivalence
+    : public ::testing::TestWithParam<std::tuple<DecomposeCase, BasisSet>> {
+};
+
+TEST_P(DecomposeEquivalence, UnitaryPreservedUpToPhase) {
+  const auto& [dc, basis] = GetParam();
+  Circuit c(2, 1);
+  Gate g;
+  g.kind = dc.kind;
+  g.qubits = {0, circuit::gate_arity(dc.kind) == 2 ? 1 : 0};
+  if (circuit::gate_param_count(dc.kind) >= 1) {
+    g.params[0] = ParamExpr::ref(0);
+  }
+  if (dc.kind == GateKind::kU3) {
+    g.params[1] = ParamExpr::constant(0.8);
+    g.params[2] = ParamExpr::constant(-0.5);
+  }
+  c.add(g);
+
+  const Circuit native = decompose_to_basis(c, basis);
+  for (const Gate& ng : native.gates()) {
+    EXPECT_TRUE(is_native(ng.kind, basis))
+        << "non-native " << circuit::gate_name(ng.kind);
+  }
+  const std::vector<double> params = {dc.angle};
+  const auto original = circuit_unitary(c, params);
+  const auto rewritten = circuit_unitary(native, params);
+  EXPECT_LT(circuit::unitary_distance_up_to_phase(original, rewritten),
+            1e-9)
+      << circuit::gate_name(dc.kind) << " angle " << dc.angle;
+}
+
+constexpr double kPi = std::numbers::pi;
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGates, DecomposeEquivalence,
+    ::testing::Combine(
+        ::testing::Values(
+            DecomposeCase{GateKind::kI, 0.0}, DecomposeCase{GateKind::kX, 0.0},
+            DecomposeCase{GateKind::kY, 0.0}, DecomposeCase{GateKind::kZ, 0.0},
+            DecomposeCase{GateKind::kH, 0.0}, DecomposeCase{GateKind::kS, 0.0},
+            DecomposeCase{GateKind::kSdg, 0.0},
+            DecomposeCase{GateKind::kSX, 0.0},
+            DecomposeCase{GateKind::kRX, 0.7},
+            DecomposeCase{GateKind::kRX, -kPi / 3},
+            DecomposeCase{GateKind::kRY, 1.3},
+            DecomposeCase{GateKind::kRY, kPi},
+            DecomposeCase{GateKind::kRZ, 0.4},
+            DecomposeCase{GateKind::kRZ, -2.6},
+            DecomposeCase{GateKind::kU3, 0.9},
+            DecomposeCase{GateKind::kCX, 0.0},
+            DecomposeCase{GateKind::kCZ, 0.0},
+            DecomposeCase{GateKind::kCRX, 1.1},
+            DecomposeCase{GateKind::kCRX, -0.3},
+            DecomposeCase{GateKind::kCRY, 0.8},
+            DecomposeCase{GateKind::kCRZ, 2.2},
+            DecomposeCase{GateKind::kCRZ, -kPi / 2},
+            DecomposeCase{GateKind::kSwap, 0.0}),
+        ::testing::Values(BasisSet::kIbm, BasisSet::kOrigin)),
+    case_name);
+
+TEST(Decompose, ParameterReferencesSurviveRebinding) {
+  // Decompose once, bind twice: the rewritten circuit must track the
+  // original for any parameter value.
+  Circuit c(2, 2);
+  c.ry(0, ParamExpr::ref(0)).crz(0, 1, ParamExpr::ref(1));
+  const Circuit native = decompose_to_basis(c, BasisSet::kIbm);
+  for (const std::vector<double> params :
+       {std::vector<double>{0.3, -1.0}, std::vector<double>{2.0, 0.7}}) {
+    EXPECT_LT(circuit::unitary_distance_up_to_phase(
+                  circuit_unitary(c, params),
+                  circuit_unitary(native, params)),
+              1e-9);
+  }
+}
+
+TEST(Decompose, LogicalIdsAttributeBasisGates) {
+  Circuit c(2, 1);
+  c.h(0).crz(0, 1, ParamExpr::ref(0));
+  const Circuit native = decompose_to_basis(c, BasisSet::kIbm);
+  bool saw0 = false;
+  bool saw1 = false;
+  for (const Gate& g : native.gates()) {
+    ASSERT_GE(g.logical_id, 0);
+    ASSERT_LE(g.logical_id, 1);
+    saw0 |= g.logical_id == 0;
+    saw1 |= g.logical_id == 1;
+  }
+  EXPECT_TRUE(saw0);
+  EXPECT_TRUE(saw1);
+}
+
+TEST(Decompose, RoutingSwapFlagPropagates) {
+  Circuit c(2, 0);
+  Gate sw;
+  sw.kind = GateKind::kSwap;
+  sw.qubits = {0, 1};
+  sw.is_routing_swap = true;
+  sw.logical_id = 5;
+  c.add(sw);
+  for (BasisSet basis : {BasisSet::kIbm, BasisSet::kOrigin}) {
+    const Circuit native = decompose_to_basis(c, basis);
+    EXPECT_GE(native.size(), 3U);
+    for (const Gate& g : native.gates()) {
+      EXPECT_TRUE(g.is_routing_swap);
+      EXPECT_EQ(g.logical_id, 5);
+    }
+  }
+}
+
+TEST(Decompose, WholeModelCircuitEquivalence) {
+  Circuit c(3, 4);
+  c.ry(0, ParamExpr::ref(0))
+      .ry(1, ParamExpr::ref(1))
+      .crz(0, 1, ParamExpr::ref(2))
+      .crx(1, 2, ParamExpr::ref(3))
+      .h(2)
+      .cx(2, 0);
+  const std::vector<double> params = {0.3, -0.9, 1.7, 0.5};
+  for (BasisSet basis : {BasisSet::kIbm, BasisSet::kOrigin}) {
+    const Circuit native = decompose_to_basis(c, basis);
+    EXPECT_LT(circuit::unitary_distance_up_to_phase(
+                  circuit_unitary(c, params),
+                  circuit_unitary(native, params)),
+              1e-8);
+  }
+}
+
+TEST(Decompose, NativeGateCounts) {
+  EXPECT_EQ(native_gate_count(GateKind::kRZ, BasisSet::kIbm), 1);
+  EXPECT_EQ(native_gate_count(GateKind::kCX, BasisSet::kIbm), 1);
+  EXPECT_EQ(native_gate_count(GateKind::kRY, BasisSet::kOrigin), 1);
+  EXPECT_EQ(native_gate_count(GateKind::kCZ, BasisSet::kOrigin), 1);
+  EXPECT_GT(native_gate_count(GateKind::kCRZ, BasisSet::kIbm), 3);
+  EXPECT_GT(native_gate_count(GateKind::kSwap, BasisSet::kOrigin), 3);
+  EXPECT_EQ(native_gate_count(GateKind::kI, BasisSet::kIbm), 0);
+}
+
+TEST(Decompose, IsNative) {
+  EXPECT_TRUE(is_native(GateKind::kSX, BasisSet::kIbm));
+  EXPECT_FALSE(is_native(GateKind::kSX, BasisSet::kOrigin));
+  EXPECT_TRUE(is_native(GateKind::kU3, BasisSet::kOrigin));
+  EXPECT_FALSE(is_native(GateKind::kU3, BasisSet::kIbm));
+  EXPECT_FALSE(is_native(GateKind::kCRZ, BasisSet::kIbm));
+}
+
+}  // namespace
+}  // namespace arbiterq::transpile

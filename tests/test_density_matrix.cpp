@@ -1,0 +1,144 @@
+#include "arbiterq/sim/density_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arbiterq/math/rng.hpp"
+#include "arbiterq/sim/statevector.hpp"
+
+namespace arbiterq::sim {
+namespace {
+
+using circuit::Circuit;
+using circuit::GateKind;
+using circuit::ParamExpr;
+
+TEST(DensityMatrix, InitialState) {
+  DensityMatrix rho(2);
+  EXPECT_NEAR(rho.trace_real(), 1.0, 1e-15);
+  EXPECT_NEAR(rho.purity(), 1.0, 1e-15);
+  EXPECT_TRUE(rho.is_hermitian());
+  EXPECT_NEAR(rho.probability_of_one(0), 0.0, 1e-15);
+}
+
+TEST(DensityMatrix, InvalidSizesThrow) {
+  EXPECT_THROW(DensityMatrix(0), std::invalid_argument);
+  EXPECT_THROW(DensityMatrix(14), std::invalid_argument);
+}
+
+TEST(DensityMatrix, UnitaryEvolutionMatchesStatevector) {
+  Circuit c(3, 2);
+  c.h(0)
+      .ry(1, ParamExpr::ref(0))
+      .cx(0, 1)
+      .crz(1, 2, ParamExpr::ref(1))
+      .sx(2)
+      .cz(0, 2);
+  const std::vector<double> params = {0.7, -1.3};
+
+  DensityMatrix rho(3);
+  Statevector sv(3);
+  for (const auto& g : c.gates()) {
+    rho.apply_gate(g, params);
+    sv.apply_gate(g, params);
+  }
+  for (int q = 0; q < 3; ++q) {
+    EXPECT_NEAR(rho.expectation_z(q), sv.expectation_z(q), 1e-10);
+  }
+  EXPECT_NEAR(rho.purity(), 1.0, 1e-10);
+  EXPECT_TRUE(rho.is_hermitian());
+}
+
+TEST(DensityMatrix, DepolarizingDrivesToMaximallyMixed) {
+  DensityMatrix rho(1);
+  rho.apply_mat2(circuit::gate_matrix_1q(GateKind::kH, {}), 0);
+  // Full depolarizing: rho -> I/2 in the limit of repeated application.
+  for (int i = 0; i < 200; ++i) rho.depolarize_1q(0, 0.5);
+  EXPECT_NEAR(rho.probability_of_one(0), 0.5, 1e-6);
+  EXPECT_NEAR(rho.purity(), 0.5, 1e-6);
+  EXPECT_NEAR(rho.trace_real(), 1.0, 1e-9);
+}
+
+TEST(DensityMatrix, DepolarizingClosedFormOnZ) {
+  // After depolarize(p), <Z> scales by (1 - 4p/3) for the single-qubit
+  // channel (X,Y each flip Z's sign; Z preserves it).
+  DensityMatrix rho(1);  // |0>, <Z> = 1
+  const double p = 0.3;
+  rho.depolarize_1q(0, p);
+  EXPECT_NEAR(rho.expectation_z(0), 1.0 - 4.0 * p / 3.0, 1e-12);
+}
+
+TEST(DensityMatrix, TwoQubitDepolarizingPreservesTrace) {
+  DensityMatrix rho(2);
+  rho.apply_mat2(circuit::gate_matrix_1q(GateKind::kH, {}), 0);
+  rho.apply_mat4(circuit::gate_matrix_2q(GateKind::kCX, {}), 0, 1);
+  rho.depolarize_2q(0, 1, 0.2);
+  EXPECT_NEAR(rho.trace_real(), 1.0, 1e-10);
+  EXPECT_TRUE(rho.is_hermitian());
+  EXPECT_LT(rho.purity(), 1.0);
+}
+
+TEST(DensityMatrix, AmplitudeDampingDecaysExcitedState) {
+  DensityMatrix rho(1);
+  rho.apply_mat2(circuit::gate_matrix_1q(GateKind::kX, {}), 0);  // |1>
+  rho.amplitude_damp(0, 0.25);
+  EXPECT_NEAR(rho.probability_of_one(0), 0.75, 1e-12);
+  rho.amplitude_damp(0, 1.0);
+  EXPECT_NEAR(rho.probability_of_one(0), 0.0, 1e-12);
+  EXPECT_NEAR(rho.trace_real(), 1.0, 1e-12);
+}
+
+TEST(DensityMatrix, PhaseDampingKillsCoherenceKeepsPopulations) {
+  DensityMatrix rho(1);
+  rho.apply_mat2(circuit::gate_matrix_1q(GateKind::kH, {}), 0);
+  const double p1_before = rho.probability_of_one(0);
+  for (int i = 0; i < 100; ++i) rho.phase_damp(0, 0.5);
+  EXPECT_NEAR(rho.probability_of_one(0), p1_before, 1e-9);
+  // Fully dephased |+><+| becomes I/2.
+  EXPECT_NEAR(rho.purity(), 0.5, 1e-6);
+}
+
+TEST(DensityMatrix, ChannelsNoopAtZeroStrength) {
+  DensityMatrix rho(1);
+  rho.apply_mat2(circuit::gate_matrix_1q(GateKind::kH, {}), 0);
+  const double z = rho.expectation_z(0);
+  rho.depolarize_1q(0, 0.0);
+  rho.amplitude_damp(0, 0.0);
+  rho.phase_damp(0, 0.0);
+  EXPECT_DOUBLE_EQ(rho.expectation_z(0), z);
+  EXPECT_NEAR(rho.purity(), 1.0, 1e-12);
+}
+
+TEST(ReferenceExpectation, NoiselessMatchesStatevector) {
+  Circuit c(2, 1);
+  c.ry(0, ParamExpr::ref(0)).cx(0, 1).ry(1, ParamExpr::constant(0.4));
+  const std::vector<double> params = {1.1};
+  NoiseModel none;
+  Statevector sv(2);
+  for (const auto& g : c.gates()) sv.apply_gate(g, params);
+  EXPECT_NEAR(reference_expectation_z(c, params, none, 0),
+              sv.expectation_z(0), 1e-10);
+}
+
+TEST(ReferenceExpectation, ReadoutContractsZ) {
+  Circuit c(1);
+  c.x(0);  // <Z> = -1
+  NoiseModel m(1);
+  m.set_readout_error(0, 0.1, 0.2);
+  // <Z>' = (1 - 0.1 - 0.2)(-1) + (0.2 - 0.1) = -0.6.
+  EXPECT_NEAR(reference_expectation_z(c, {}, m, 0), -0.6, 1e-12);
+}
+
+TEST(ReferenceExpectation, DepolarizingReducesMagnitude) {
+  Circuit c(1);
+  c.x(0);
+  NoiseModel m(1);
+  m.set_depolarizing_1q(0, 0.1);
+  const double z = reference_expectation_z(c, {}, m, 0);
+  EXPECT_GT(z, -1.0);
+  EXPECT_LT(z, -0.5);
+}
+
+}  // namespace
+}  // namespace arbiterq::sim

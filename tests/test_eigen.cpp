@@ -1,0 +1,122 @@
+#include "arbiterq/math/eigen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arbiterq/math/rng.hpp"
+
+namespace arbiterq::math {
+namespace {
+
+Matrix random_symmetric(std::size_t n, Rng& rng) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      m(i, j) = m(j, i) = rng.uniform(-1.0, 1.0);
+    }
+  }
+  return m;
+}
+
+TEST(Eigen, DiagonalMatrix) {
+  Matrix d{{3.0, 0.0}, {0.0, -1.0}};
+  const EigenResult r = eigen_symmetric(d);
+  EXPECT_NEAR(r.values[0], 3.0, 1e-12);
+  EXPECT_NEAR(r.values[1], -1.0, 1e-12);
+}
+
+TEST(Eigen, Known2x2) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1.
+  Matrix m{{2.0, 1.0}, {1.0, 2.0}};
+  const EigenResult r = eigen_symmetric(m);
+  EXPECT_NEAR(r.values[0], 3.0, 1e-10);
+  EXPECT_NEAR(r.values[1], 1.0, 1e-10);
+  // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+  EXPECT_NEAR(std::abs(r.vectors(0, 0)), 1.0 / std::sqrt(2.0), 1e-8);
+  EXPECT_NEAR(std::abs(r.vectors(1, 0)), 1.0 / std::sqrt(2.0), 1e-8);
+}
+
+TEST(Eigen, ValuesSortedDescending) {
+  Rng rng(7);
+  const Matrix m = random_symmetric(8, rng);
+  const EigenResult r = eigen_symmetric(m);
+  for (std::size_t k = 1; k < r.values.size(); ++k) {
+    EXPECT_GE(r.values[k - 1], r.values[k] - 1e-12);
+  }
+}
+
+TEST(Eigen, NonSymmetricThrows) {
+  Matrix m{{1.0, 2.0}, {0.0, 1.0}};
+  EXPECT_THROW(eigen_symmetric(m), std::invalid_argument);
+}
+
+TEST(Eigen, TraceEqualsSumOfEigenvalues) {
+  Rng rng(11);
+  const Matrix m = random_symmetric(6, rng);
+  const EigenResult r = eigen_symmetric(m);
+  double trace = 0.0;
+  for (std::size_t i = 0; i < 6; ++i) trace += m(i, i);
+  double sum = 0.0;
+  for (double v : r.values) sum += v;
+  EXPECT_NEAR(trace, sum, 1e-9);
+}
+
+class EigenProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EigenProperty, EigenEquationHolds) {
+  Rng rng(100 + GetParam());
+  const std::size_t n = GetParam();
+  const Matrix m = random_symmetric(n, rng);
+  const EigenResult r = eigen_symmetric(m);
+  for (std::size_t k = 0; k < n; ++k) {
+    std::vector<double> v(n);
+    for (std::size_t i = 0; i < n; ++i) v[i] = r.vectors(i, k);
+    const auto mv = m.apply(v);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(mv[i], r.values[k] * v[i], 1e-8)
+          << "n=" << n << " k=" << k << " i=" << i;
+    }
+  }
+}
+
+TEST_P(EigenProperty, EigenvectorsOrthonormal) {
+  Rng rng(200 + GetParam());
+  const std::size_t n = GetParam();
+  const Matrix m = random_symmetric(n, rng);
+  const EigenResult r = eigen_symmetric(m);
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a; b < n; ++b) {
+      double dot = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        dot += r.vectors(i, a) * r.vectors(i, b);
+      }
+      EXPECT_NEAR(dot, a == b ? 1.0 : 0.0, 1e-9);
+    }
+  }
+}
+
+TEST_P(EigenProperty, ReconstructsMatrix) {
+  Rng rng(300 + GetParam());
+  const std::size_t n = GetParam();
+  const Matrix m = random_symmetric(n, rng);
+  const EigenResult r = eigen_symmetric(m);
+  // M = V diag(lambda) V^T.
+  Matrix reconstructed(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < n; ++k) {
+        acc += r.vectors(i, k) * r.values[k] * r.vectors(j, k);
+      }
+      reconstructed(i, j) = acc;
+    }
+  }
+  EXPECT_LT(Matrix::max_abs_diff(m, reconstructed), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EigenProperty,
+                         ::testing::Values<std::size_t>(2, 3, 5, 8, 12, 20));
+
+}  // namespace
+}  // namespace arbiterq::math

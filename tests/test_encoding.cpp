@@ -1,0 +1,51 @@
+#include "arbiterq/qnn/encoding.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+namespace arbiterq::qnn {
+namespace {
+
+TEST(FeatureScaler, MapsTrainingRangeToZeroPi) {
+  const FeatureScaler s({{0.0, -2.0}, {10.0, 2.0}, {5.0, 0.0}});
+  const auto lo = s.transform({0.0, -2.0});
+  EXPECT_DOUBLE_EQ(lo[0], 0.0);
+  EXPECT_DOUBLE_EQ(lo[1], 0.0);
+  const auto hi = s.transform({10.0, 2.0});
+  EXPECT_DOUBLE_EQ(hi[0], std::numbers::pi);
+  EXPECT_DOUBLE_EQ(hi[1], std::numbers::pi);
+  const auto mid = s.transform({5.0, 0.0});
+  EXPECT_NEAR(mid[0], std::numbers::pi / 2, 1e-12);
+  EXPECT_NEAR(mid[1], std::numbers::pi / 2, 1e-12);
+}
+
+TEST(FeatureScaler, ClampsOutOfRange) {
+  const FeatureScaler s({{0.0}, {1.0}});
+  EXPECT_DOUBLE_EQ(s.transform({-5.0})[0], 0.0);
+  EXPECT_DOUBLE_EQ(s.transform({9.0})[0], std::numbers::pi);
+}
+
+TEST(FeatureScaler, ConstantDimensionMapsToMidpoint) {
+  const FeatureScaler s({{3.0, 0.0}, {3.0, 1.0}});
+  EXPECT_NEAR(s.transform({3.0, 0.5})[0], std::numbers::pi / 2, 1e-12);
+}
+
+TEST(FeatureScaler, Validation) {
+  EXPECT_THROW(FeatureScaler({}), std::invalid_argument);
+  EXPECT_THROW(FeatureScaler({{1.0}, {1.0, 2.0}}), std::invalid_argument);
+  const FeatureScaler s({{0.0}, {1.0}});
+  EXPECT_THROW(s.transform({0.0, 1.0}), std::invalid_argument);
+}
+
+TEST(FeatureScaler, TransformAllAndDim) {
+  const FeatureScaler s({{0.0, 0.0}, {2.0, 4.0}});
+  EXPECT_EQ(s.dim(), 2U);
+  const auto all = s.transform_all({{1.0, 2.0}, {2.0, 0.0}});
+  ASSERT_EQ(all.size(), 2U);
+  EXPECT_NEAR(all[0][0], std::numbers::pi / 2, 1e-12);
+  EXPECT_DOUBLE_EQ(all[1][1], 0.0);
+}
+
+}  // namespace
+}  // namespace arbiterq::qnn

@@ -1,0 +1,151 @@
+#include "arbiterq/qnn/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arbiterq/device/presets.hpp"
+#include "arbiterq/qnn/gradient.hpp"
+
+namespace arbiterq::qnn {
+namespace {
+
+device::Qpu quiet_device(int n) {
+  device::QpuSpec s;
+  s.name = "quiet";
+  s.topology = device::Topology::line(n);
+  s.infidelity_1q = 0.0;
+  s.infidelity_2q = 0.0;
+  s.readout_error = 0.0;
+  s.coherent_bias_scale = 0.0;
+  s.t1_us = 1e9;  // effectively no decay
+  s.t2_us = 1e9;
+  s.noise_seed = 1;
+  return device::Qpu(s);
+}
+
+std::vector<double> small_weights(const QnnModel& m, double fill) {
+  return std::vector<double>(static_cast<std::size_t>(m.num_weights()),
+                             fill);
+}
+
+TEST(Executor, ProbabilityInUnitInterval) {
+  const QnnModel m(Backbone::kCRz, 2, 2);
+  for (const auto& dev : device::table3_fleet_subset(4, 2)) {
+    const QnnExecutor ex(m, dev);
+    const double p = ex.probability({0.3, 2.0}, small_weights(m, 0.5));
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(Executor, NoiselessDeviceMatchesIdealModel) {
+  const QnnModel m(Backbone::kCRz, 2, 1);
+  const QnnExecutor ex(m, quiet_device(2));
+  const std::vector<double> features = {1.0, 0.5};
+  const auto w = small_weights(m, 0.3);
+  // Reference: run the un-transpiled model circuit directly.
+  sim::StatevectorSimulator ideal;
+  const auto params = m.pack_params(features, w);
+  const double ref = ideal.probability_of_one(m.circuit(), params, 0);
+  EXPECT_NEAR(ex.probability(features, w), ref, 1e-9);
+}
+
+TEST(Executor, ReadoutQubitTracksLayout) {
+  const QnnModel m(Backbone::kCRz, 4, 1);  // ring entangler on a line
+  const QnnExecutor ex(m, device::table3_fleet_subset(1, 4).front());
+  EXPECT_EQ(ex.readout_qubit(), ex.compiled().measure_qubit(0));
+}
+
+TEST(Executor, DatasetLossAveragesPerSampleLosses) {
+  const QnnModel m(Backbone::kCRz, 2, 1);
+  const QnnExecutor ex(m, quiet_device(2));
+  const auto w = small_weights(m, 0.2);
+  const std::vector<std::vector<double>> feats = {{0.1, 0.2}, {2.0, 1.0}};
+  const std::vector<int> labels = {0, 1};
+  const double l0 = loss_value(LossKind::kMse,
+                               ex.probability(feats[0], w), 0);
+  const double l1 = loss_value(LossKind::kMse,
+                               ex.probability(feats[1], w), 1);
+  EXPECT_NEAR(ex.dataset_loss(LossKind::kMse, feats, labels, w),
+              0.5 * (l0 + l1), 1e-12);
+  EXPECT_THROW(ex.dataset_loss(LossKind::kMse, feats, {0}, w),
+               std::invalid_argument);
+}
+
+class ExecutorGradients
+    : public ::testing::TestWithParam<std::tuple<Backbone, int>> {};
+
+TEST_P(ExecutorGradients, AdjointMatchesParameterShift) {
+  const auto [backbone, device_index] = GetParam();
+  const QnnModel m(backbone, 2, 2);
+  const auto fleet = device::table3_fleet_subset(4, 2);
+  const QnnExecutor ex(m, fleet[static_cast<std::size_t>(device_index)]);
+  const std::vector<std::vector<double>> feats = {{0.4, 1.3}, {2.2, 0.6}};
+  const std::vector<int> labels = {1, 0};
+  std::vector<double> w(static_cast<std::size_t>(m.num_weights()));
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    w[i] = 0.1 * static_cast<double>(i) - 0.3;
+  }
+  const auto adjoint = ex.loss_gradient(LossKind::kMse, feats, labels, w);
+  const auto shift =
+      ex.loss_gradient_shift(LossKind::kMse, feats, labels, w);
+  ASSERT_EQ(adjoint.size(), shift.size());
+  for (std::size_t i = 0; i < adjoint.size(); ++i) {
+    EXPECT_NEAR(adjoint[i], shift[i], 1e-8) << "weight " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BackbonesAndDevices, ExecutorGradients,
+    ::testing::Combine(::testing::Values(Backbone::kCRz, Backbone::kCRx),
+                       ::testing::Values(0, 1, 3)));
+
+TEST(Executor, GradientDescentReducesLoss) {
+  const QnnModel m(Backbone::kCRx, 2, 2);
+  const QnnExecutor ex(m, device::table3_fleet_subset(2, 2)[1]);
+  const std::vector<std::vector<double>> feats = {{0.2, 0.3}, {2.5, 2.8},
+                                                  {0.4, 0.1}, {2.9, 2.6}};
+  const std::vector<int> labels = {0, 1, 0, 1};
+  auto w = small_weights(m, 0.1);
+  const double before = ex.dataset_loss(LossKind::kMse, feats, labels, w);
+  for (int it = 0; it < 25; ++it) {
+    const auto g = ex.loss_gradient(LossKind::kMse, feats, labels, w);
+    for (std::size_t i = 0; i < w.size(); ++i) w[i] -= 0.5 * g[i];
+  }
+  const double after = ex.dataset_loss(LossKind::kMse, feats, labels, w);
+  EXPECT_LT(after, before * 0.8);
+}
+
+TEST(Executor, SampledProbabilityConvergesToExact) {
+  const QnnModel m(Backbone::kCRz, 2, 1);
+  const QnnExecutor ex(m, device::table3_fleet_subset(1, 2).front());
+  const std::vector<double> features = {1.1, 2.0};
+  const auto w = small_weights(m, 0.4);
+  math::Rng rng(77);
+  const double sampled =
+      ex.sampled_probability(features, w, 60000, rng, 512);
+  // Exact mode approximates the channel; allow a modest tolerance.
+  EXPECT_NEAR(sampled, ex.probability(features, w), 0.03);
+}
+
+TEST(Executor, ShotRatesDifferAcrossFleet) {
+  const QnnModel m(Backbone::kCRz, 2, 1);
+  const auto fleet = device::table3_fleet_subset(3, 2);
+  const QnnExecutor a(m, fleet[0]);
+  const QnnExecutor b(m, fleet[2]);
+  EXPECT_GT(a.shot_latency_us(), 0.0);
+  EXPECT_NE(a.shot_rate(), b.shot_rate());
+}
+
+TEST(Executor, ShiftRulesForwarded) {
+  const QnnModel m(Backbone::kCRz, 2, 1);
+  const QnnExecutor ex(m, quiet_device(2));
+  const auto rules = ex.shift_rules();
+  ASSERT_EQ(rules.size(), 4U);
+  EXPECT_EQ(rules[0], ShiftRule::kTwoTerm);
+  EXPECT_EQ(rules[3], ShiftRule::kFourTerm);
+}
+
+}  // namespace
+}  // namespace arbiterq::qnn

@@ -1,0 +1,115 @@
+// Tests for the executor's depolarizing error mitigation option.
+
+#include <gtest/gtest.h>
+
+#include "arbiterq/device/presets.hpp"
+#include "arbiterq/qnn/executor.hpp"
+
+namespace arbiterq::qnn {
+namespace {
+
+QnnModel deep_model() { return QnnModel(Backbone::kCRz, 2, 8); }
+
+TEST(Mitigation, SurvivalExposedAndSmallForDeepCircuits) {
+  const QnnExecutor ex(deep_model(), device::table3_fleet_subset(1, 2)[0]);
+  EXPECT_GT(ex.survival(), 0.0);
+  EXPECT_LT(ex.survival(), 0.9);
+}
+
+TEST(Mitigation, RecoversExpectationScale) {
+  const auto dev = device::table3_fleet_subset(1, 2)[0];
+  const QnnModel m = deep_model();
+  const QnnExecutor plain(m, dev);
+  const QnnExecutor mitigated(m, dev, ExecutorOptions{true});
+  const std::vector<double> features = {0.9, 2.1};
+  const std::vector<double> weights(
+      static_cast<std::size_t>(m.num_weights()), 0.4);
+  const double p_plain = plain.probability(features, weights);
+  const double p_mit = mitigated.probability(features, weights);
+  // Attenuation pulls p toward 1/2; mitigation undoes it (readout
+  // contraction aside): |p_mit - 1/2| > |p_plain - 1/2|.
+  EXPECT_GT(std::abs(p_mit - 0.5), std::abs(p_plain - 0.5));
+}
+
+TEST(Mitigation, MitigatedZMatchesBiasedCircuit) {
+  // With mitigation, the recovered <Z> equals the coherent-biased pure
+  // state's expectation (before readout contraction).
+  const auto dev = device::table3_fleet_subset(1, 2)[0];
+  const QnnModel m = deep_model();
+  const QnnExecutor mitigated(m, dev, ExecutorOptions{true});
+  const std::vector<double> features = {0.9, 2.1};
+  const std::vector<double> weights(
+      static_cast<std::size_t>(m.num_weights()), 0.4);
+
+  sim::StatevectorSimulator sim(dev.make_noise_model());
+  const auto params = m.pack_params(features, weights);
+  const double zb =
+      sim.run_biased(mitigated.compiled().executable, params)
+          .expectation_z(mitigated.readout_qubit());
+  const double p01 = sim.noise().readout_p01(mitigated.readout_qubit());
+  const double p10 = sim.noise().readout_p10(mitigated.readout_qubit());
+  const double p_expect =
+      (0.5 * (1.0 - zb)) * (1.0 - p10) + (0.5 * (1.0 + zb)) * p01;
+  EXPECT_NEAR(mitigated.probability(features, weights), p_expect, 1e-10);
+}
+
+TEST(Mitigation, GradientConsistentWithObjective) {
+  // Adjoint gradient under mitigation must match finite differences of
+  // the mitigated loss.
+  const auto dev = device::table3_fleet_subset(1, 2)[0];
+  const QnnModel m(Backbone::kCRz, 2, 2);
+  const QnnExecutor ex(m, dev, ExecutorOptions{true});
+  const std::vector<std::vector<double>> feats = {{0.7, 1.9}};
+  const std::vector<int> labels = {1};
+  std::vector<double> w(static_cast<std::size_t>(m.num_weights()), 0.3);
+
+  const auto grad = ex.loss_gradient(LossKind::kMse, feats, labels, w);
+  const double h = 1e-6;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    const double w0 = w[i];
+    w[i] = w0 + h;
+    const double fp = ex.dataset_loss(LossKind::kMse, feats, labels, w);
+    w[i] = w0 - h;
+    const double fm = ex.dataset_loss(LossKind::kMse, feats, labels, w);
+    w[i] = w0;
+    EXPECT_NEAR(grad[i], (fp - fm) / (2.0 * h), 1e-5) << i;
+  }
+}
+
+TEST(Mitigation, SampledProbabilityClampsToPhysicalRange) {
+  const auto dev = device::table3_fleet_subset(1, 2)[0];
+  const QnnModel m = deep_model();
+  const QnnExecutor mitigated(m, dev, ExecutorOptions{true});
+  const std::vector<double> features = {0.9, 2.1};
+  const std::vector<double> weights(
+      static_cast<std::size_t>(m.num_weights()), 0.4);
+  math::Rng rng(5);
+  const double p =
+      mitigated.sampled_probability(features, weights, 200, rng, 8);
+  EXPECT_GE(p, 0.0);
+  EXPECT_LE(p, 1.0);
+}
+
+TEST(Mitigation, NoopOnNoiselessDevice) {
+  device::QpuSpec s;
+  s.name = "ideal";
+  s.topology = device::Topology::line(2);
+  s.infidelity_1q = 0.0;
+  s.infidelity_2q = 0.0;
+  s.readout_error = 0.0;
+  s.coherent_bias_scale = 0.0;
+  s.t1_us = 1e9;
+  s.t2_us = 1e9;
+  const device::Qpu dev(s);
+  const QnnModel m(Backbone::kCRz, 2, 2);
+  const QnnExecutor plain(m, dev);
+  const QnnExecutor mitigated(m, dev, ExecutorOptions{true});
+  const std::vector<double> features = {0.7, 1.1};
+  const std::vector<double> weights(
+      static_cast<std::size_t>(m.num_weights()), 0.2);
+  EXPECT_NEAR(plain.probability(features, weights),
+              mitigated.probability(features, weights), 1e-9);
+}
+
+}  // namespace
+}  // namespace arbiterq::qnn

@@ -1,0 +1,75 @@
+#include "arbiterq/circuit/gate.hpp"
+
+#include <gtest/gtest.h>
+
+namespace arbiterq::circuit {
+namespace {
+
+TEST(GateKindInfo, Arity) {
+  EXPECT_EQ(gate_arity(GateKind::kX), 1);
+  EXPECT_EQ(gate_arity(GateKind::kRY), 1);
+  EXPECT_EQ(gate_arity(GateKind::kU3), 1);
+  EXPECT_EQ(gate_arity(GateKind::kCX), 2);
+  EXPECT_EQ(gate_arity(GateKind::kCRZ), 2);
+  EXPECT_EQ(gate_arity(GateKind::kSwap), 2);
+}
+
+TEST(GateKindInfo, ParamCounts) {
+  EXPECT_EQ(gate_param_count(GateKind::kX), 0);
+  EXPECT_EQ(gate_param_count(GateKind::kRX), 1);
+  EXPECT_EQ(gate_param_count(GateKind::kU3), 3);
+  EXPECT_EQ(gate_param_count(GateKind::kCRX), 1);
+  EXPECT_EQ(gate_param_count(GateKind::kSwap), 0);
+}
+
+TEST(GateKindInfo, Names) {
+  EXPECT_EQ(gate_name(GateKind::kCRZ), "crz");
+  EXPECT_EQ(gate_name(GateKind::kSX), "sx");
+  EXPECT_EQ(gate_name(GateKind::kSwap), "swap");
+  EXPECT_EQ(gate_name(GateKind::kU3), "u3");
+}
+
+TEST(ParamExpr, ConstantBinding) {
+  const ParamExpr p = ParamExpr::constant(1.25);
+  EXPECT_TRUE(p.is_constant());
+  const std::vector<double> none;
+  EXPECT_DOUBLE_EQ(p.value(none), 1.25);
+}
+
+TEST(ParamExpr, ReferenceBinding) {
+  const ParamExpr p = ParamExpr::ref(2, 0.5, -1.0);
+  EXPECT_FALSE(p.is_constant());
+  const std::vector<double> params = {0.0, 0.0, 4.0};
+  EXPECT_DOUBLE_EQ(p.value(params), 1.0);  // 0.5 * 4 - 1
+}
+
+TEST(Gate, BoundParamsPicksRightSlots) {
+  Gate g;
+  g.kind = GateKind::kU3;
+  g.qubits = {0, 0};
+  g.params = {ParamExpr::ref(0), ParamExpr::constant(2.0),
+              ParamExpr::ref(1, 2.0)};
+  const std::vector<double> params = {0.5, 1.5};
+  const auto bound = g.bound_params(params);
+  EXPECT_DOUBLE_EQ(bound[0], 0.5);
+  EXPECT_DOUBLE_EQ(bound[1], 2.0);
+  EXPECT_DOUBLE_EQ(bound[2], 3.0);
+}
+
+TEST(Gate, ToStringMentionsEverything) {
+  Gate g;
+  g.kind = GateKind::kCRZ;
+  g.qubits = {1, 3};
+  g.params[0] = ParamExpr::ref(4, 0.5);
+  const std::string s = g.to_string();
+  EXPECT_NE(s.find("crz"), std::string::npos);
+  EXPECT_NE(s.find("q1"), std::string::npos);
+  EXPECT_NE(s.find("q3"), std::string::npos);
+  EXPECT_NE(s.find("p4"), std::string::npos);
+
+  g.is_routing_swap = true;
+  EXPECT_NE(g.to_string().find("[route]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace arbiterq::circuit

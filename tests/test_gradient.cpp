@@ -1,0 +1,118 @@
+#include "arbiterq/qnn/gradient.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arbiterq/circuit/unitary.hpp"
+#include "arbiterq/sim/simulator.hpp"
+
+namespace arbiterq::qnn {
+namespace {
+
+TEST(ParameterShift, TwoTermOnCosine) {
+  // f(w) = cos(w) has the spectrum of a single-qubit rotation
+  // expectation; the two-term rule is exact.
+  const ScalarFn f = [](const std::vector<double>& w) {
+    return std::cos(w[0]);
+  };
+  std::vector<double> w = {0.7};
+  const double g = parameter_shift_partial(f, w, 0, ShiftRule::kTwoTerm);
+  EXPECT_NEAR(g, -std::sin(0.7), 1e-12);
+  EXPECT_DOUBLE_EQ(w[0], 0.7);  // restored
+}
+
+TEST(ParameterShift, FourTermOnMixedSpectrum) {
+  // f(w) = a cos(w/2 + phi) + b cos(w + psi): exactly the controlled-
+  // rotation spectrum; only the four-term rule is exact here.
+  const double a = 0.8;
+  const double phi = 0.3;
+  const double b = -0.5;
+  const double psi = -1.1;
+  const ScalarFn f = [&](const std::vector<double>& w) {
+    return a * std::cos(w[0] / 2 + phi) + b * std::cos(w[0] + psi);
+  };
+  for (double w0 : {0.0, 0.9, -1.7, 2.4}) {
+    std::vector<double> w = {w0};
+    const double g = parameter_shift_partial(f, w, 0, ShiftRule::kFourTerm);
+    const double expect =
+        -a / 2 * std::sin(w0 / 2 + phi) - b * std::sin(w0 + psi);
+    EXPECT_NEAR(g, expect, 1e-10) << "w=" << w0;
+  }
+}
+
+TEST(ParameterShift, TwoTermFailsOnMixedSpectrumButFourTermWins) {
+  const ScalarFn f = [](const std::vector<double>& w) {
+    return std::cos(w[0] / 2.0);
+  };
+  std::vector<double> w = {1.3};
+  const double exact = -0.5 * std::sin(0.65);
+  const double two = parameter_shift_partial(f, w, 0, ShiftRule::kTwoTerm);
+  const double four = parameter_shift_partial(f, w, 0, ShiftRule::kFourTerm);
+  EXPECT_GT(std::abs(two - exact), 1e-3);
+  EXPECT_NEAR(four, exact, 1e-10);
+}
+
+TEST(ParameterShift, FullGradientAndValidation) {
+  const ScalarFn f = [](const std::vector<double>& w) {
+    return std::cos(w[0]) * std::cos(w[1] / 2.0);
+  };
+  const std::vector<ShiftRule> rules = {ShiftRule::kTwoTerm,
+                                        ShiftRule::kFourTerm};
+  const auto g = parameter_shift_gradient(f, {0.4, 1.2}, rules);
+  ASSERT_EQ(g.size(), 2U);
+  EXPECT_NEAR(g[0], -std::sin(0.4) * std::cos(0.6), 1e-10);
+  EXPECT_NEAR(g[1], -0.5 * std::cos(0.4) * std::sin(0.6), 1e-10);
+  EXPECT_THROW(parameter_shift_gradient(f, {0.4}, rules),
+               std::invalid_argument);
+}
+
+TEST(ParameterShift, IndexOutOfRangeThrows) {
+  const ScalarFn f = [](const std::vector<double>&) { return 0.0; };
+  std::vector<double> w = {0.0};
+  EXPECT_THROW(parameter_shift_partial(f, w, 1, ShiftRule::kTwoTerm),
+               std::out_of_range);
+}
+
+TEST(FiniteDifference, MatchesAnalytic) {
+  const ScalarFn f = [](const std::vector<double>& w) {
+    return w[0] * w[0] + 3.0 * w[1];
+  };
+  const auto g = finite_difference_gradient(f, {2.0, 5.0});
+  EXPECT_NEAR(g[0], 4.0, 1e-4);
+  EXPECT_NEAR(g[1], 3.0, 1e-6);
+  EXPECT_THROW(finite_difference_gradient(f, {0.0}, -1.0),
+               std::invalid_argument);
+}
+
+TEST(ParameterShift, ExactOnRealCrzCircuit) {
+  // End-to-end: the four-term rule on a genuine CRZ weight matches
+  // finite differences of the simulated expectation.
+  using circuit::Circuit;
+  using circuit::ParamExpr;
+  Circuit c(2, 2);
+  c.ry(0, ParamExpr::ref(0)).ry(1, ParamExpr::constant(0.9));
+  c.crz(0, 1, ParamExpr::ref(1));
+  c.ry(1, ParamExpr::constant(-0.4));
+  sim::StatevectorSimulator simulator;
+  const ScalarFn f = [&](const std::vector<double>& w) {
+    return simulator.expectation_z(c, w, 1);
+  };
+  const std::vector<ShiftRule> rules = {ShiftRule::kTwoTerm,
+                                        ShiftRule::kFourTerm};
+  const auto shift = parameter_shift_gradient(f, {0.6, 1.5}, rules);
+  const auto fd = finite_difference_gradient(f, {0.6, 1.5});
+  EXPECT_NEAR(shift[0], fd[0], 1e-5);
+  EXPECT_NEAR(shift[1], fd[1], 1e-5);
+}
+
+TEST(ShiftEvaluations, CountsCircuitExecutions) {
+  EXPECT_EQ(shift_evaluations({ShiftRule::kTwoTerm, ShiftRule::kTwoTerm}),
+            4U);
+  EXPECT_EQ(shift_evaluations({ShiftRule::kTwoTerm, ShiftRule::kFourTerm}),
+            6U);
+  EXPECT_EQ(shift_evaluations({}), 0U);
+}
+
+}  // namespace
+}  // namespace arbiterq::qnn

@@ -1,0 +1,103 @@
+// End-to-end integration: the full ArbiterQ pipeline — synthetic data,
+// PCA + angle encoding, per-device compilation, behavioral vectors,
+// similarity-aware training, torus construction and shot-oriented
+// inference — on a small fleet, asserting the cross-module invariants
+// hold together.
+
+#include <gtest/gtest.h>
+
+#include "arbiterq/core/scheduler.hpp"
+#include "arbiterq/core/torus.hpp"
+#include "arbiterq/core/trainers.hpp"
+#include "arbiterq/data/pipeline.hpp"
+#include "arbiterq/device/presets.hpp"
+
+namespace arbiterq {
+namespace {
+
+TEST(Integration, FullPipelineIrisOnFiveQpus) {
+  const data::EncodedSplit split = data::prepare_case({"iris", 2, 2});
+  const qnn::QnnModel model(qnn::Backbone::kCRx, 2, 2);
+
+  core::TrainConfig cfg;
+  cfg.epochs = 20;
+  const core::DistributedTrainer trainer(
+      model, device::table3_fleet_subset(5, 2), cfg);
+
+  // 1. Behavioral vectors exist for every device and have equal lengths.
+  const auto& bvs = trainer.behavioral_vectors();
+  ASSERT_EQ(bvs.size(), 5U);
+  for (const auto& bv : bvs) {
+    EXPECT_EQ(bv.length(), model.circuit().size());
+  }
+
+  // 2. Training converges and personalizes.
+  const core::TrainResult result =
+      trainer.train(core::Strategy::kArbiterQ, split);
+  EXPECT_LT(result.epoch_test_loss.back(), result.epoch_test_loss.front());
+
+  // 3. Torus partition covers the fleet.
+  const auto partition =
+      core::build_torus_partition(bvs, result.weights);
+  std::size_t covered = 0;
+  for (const auto& t : partition.tori) covered += t.size();
+  EXPECT_EQ(covered, 5U);
+
+  // 4. Shot-oriented inference runs and beats random guessing (MSE of a
+  //    coin flip on balanced labels = 0.25).
+  core::ScheduleConfig sc;
+  sc.shots_per_task = 128;
+  sc.warmup_shots = 16;
+  sc.trajectories = 8;
+  const core::ShotOrientedScheduler scheduler(
+      trainer.executors(), result.weights, partition, sc);
+  const auto tasks =
+      core::make_tasks(split.test_features, split.test_labels);
+  const auto report = scheduler.run(tasks);
+  EXPECT_LT(report.mean_loss, 0.25);
+
+  // 5. Workload is spread across devices.
+  int busy_devices = 0;
+  for (double b : report.qpu_busy_us) {
+    if (b > 0.0) ++busy_devices;
+  }
+  EXPECT_EQ(busy_devices, 5);
+}
+
+TEST(Integration, WukongTilesTrainFigure6Style) {
+  // Fig. 6 setting: a 2-qubit U3/CZ model on four tiles cut from the
+  // wukong-like chip.
+  const data::EncodedSplit split = data::prepare_case({"iris", 2, 2});
+  const qnn::QnnModel model(qnn::Backbone::kCRz, 2, 2);
+  core::TrainConfig cfg;
+  cfg.epochs = 40;
+  const core::DistributedTrainer trainer(model, device::wukong_tiles(),
+                                         cfg);
+  const core::TrainResult arbiter =
+      trainer.train(core::Strategy::kArbiterQ, split);
+  const core::TrainResult sharing =
+      trainer.train(core::Strategy::kAllSharing, split);
+  EXPECT_LT(arbiter.epoch_test_loss.back(),
+            arbiter.epoch_test_loss.front());
+  // Fig. 6 headline: personalized training ends clearly below the
+  // unified-weights baseline on the heterogeneous tiles.
+  EXPECT_LT(arbiter.convergence.loss, sharing.convergence.loss);
+}
+
+TEST(Integration, BackbonesBothSupportFullFlow) {
+  const data::EncodedSplit split = data::prepare_case({"wine", 4, 2});
+  for (qnn::Backbone b : {qnn::Backbone::kCRz, qnn::Backbone::kCRx}) {
+    const qnn::QnnModel model(b, 4, 2);
+    core::TrainConfig cfg;
+    cfg.epochs = 6;
+    const core::DistributedTrainer trainer(
+        model, device::table3_fleet_subset(3, 4), cfg);
+    const core::TrainResult r =
+        trainer.train(core::Strategy::kArbiterQ, split);
+    EXPECT_EQ(r.weights.size(), 3U);
+    EXPECT_EQ(r.epoch_test_loss.size(), 6U);
+  }
+}
+
+}  // namespace
+}  // namespace arbiterq

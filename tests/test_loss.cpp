@@ -1,0 +1,64 @@
+#include "arbiterq/qnn/loss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace arbiterq::qnn {
+namespace {
+
+TEST(Loss, MseValues) {
+  EXPECT_DOUBLE_EQ(loss_value(LossKind::kMse, 0.0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(loss_value(LossKind::kMse, 1.0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(loss_value(LossKind::kMse, 0.3, 1), 0.49);
+}
+
+TEST(Loss, CrossEntropyValues) {
+  EXPECT_NEAR(loss_value(LossKind::kCrossEntropy, 0.5, 1), std::log(2.0),
+              1e-12);
+  EXPECT_NEAR(loss_value(LossKind::kCrossEntropy, 0.9, 1), -std::log(0.9),
+              1e-12);
+  // Clamped: no infinity at the boundary.
+  EXPECT_LT(loss_value(LossKind::kCrossEntropy, 0.0, 1), 30.0);
+}
+
+TEST(Loss, InvalidLabelThrows) {
+  EXPECT_THROW(loss_value(LossKind::kMse, 0.5, 2), std::invalid_argument);
+  EXPECT_THROW(loss_derivative(LossKind::kMse, 0.5, -1),
+               std::invalid_argument);
+}
+
+class LossDerivative
+    : public ::testing::TestWithParam<std::tuple<LossKind, double, int>> {};
+
+TEST_P(LossDerivative, MatchesNumericDerivative) {
+  const auto [kind, p, label] = GetParam();
+  const double h = 1e-7;
+  const double numeric = (loss_value(kind, p + h, label) -
+                          loss_value(kind, p - h, label)) /
+                         (2.0 * h);
+  EXPECT_NEAR(loss_derivative(kind, p, label), numeric, 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, LossDerivative,
+    ::testing::Combine(::testing::Values(LossKind::kMse,
+                                         LossKind::kCrossEntropy),
+                       ::testing::Values(0.1, 0.35, 0.5, 0.77, 0.9),
+                       ::testing::Values(0, 1)));
+
+TEST(Loss, BatchLoss) {
+  EXPECT_NEAR(batch_loss(LossKind::kMse, {0.0, 1.0}, {0, 0}), 0.5, 1e-12);
+  EXPECT_THROW(batch_loss(LossKind::kMse, {0.5}, {0, 1}),
+               std::invalid_argument);
+  EXPECT_THROW(batch_loss(LossKind::kMse, {}, {}), std::invalid_argument);
+}
+
+TEST(Loss, BatchAccuracy) {
+  EXPECT_DOUBLE_EQ(batch_accuracy({0.9, 0.1, 0.6, 0.4}, {1, 0, 1, 1}), 0.75);
+  EXPECT_DOUBLE_EQ(batch_accuracy({0.5}, {1}), 1.0);  // 0.5 rounds to 1
+  EXPECT_THROW(batch_accuracy({}, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace arbiterq::qnn

@@ -1,0 +1,130 @@
+#include "arbiterq/math/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace arbiterq::math {
+namespace {
+
+TEST(Matrix, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_EQ(m.rows(), 0U);
+  EXPECT_EQ(m.cols(), 0U);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(Matrix, FillConstructor) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2U);
+  EXPECT_EQ(m.cols(), 3U);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(m(r, c), 1.5);
+  }
+}
+
+TEST(Matrix, InitializerList) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), std::invalid_argument);
+}
+
+TEST(Matrix, Identity) {
+  const Matrix id = Matrix::identity(3);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(id(r, c), r == c ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(Matrix, Transpose) {
+  Matrix m{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Matrix t = m.transpose();
+  EXPECT_EQ(t.rows(), 3U);
+  EXPECT_EQ(t.cols(), 2U);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+  EXPECT_DOUBLE_EQ(t(0, 0), 1.0);
+}
+
+TEST(Matrix, Multiply) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+  const Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, MultiplyShapeMismatchThrows) {
+  Matrix a(2, 3);
+  Matrix b(2, 3);
+  EXPECT_THROW(a * b, std::invalid_argument);
+}
+
+TEST(Matrix, MultiplyByIdentityIsNoop) {
+  Matrix a{{1.0, -2.0}, {0.5, 3.0}};
+  const Matrix c = a * Matrix::identity(2);
+  EXPECT_DOUBLE_EQ(Matrix::max_abs_diff(a, c), 0.0);
+}
+
+TEST(Matrix, AddSubtract) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b{{4.0, 3.0}, {2.0, 1.0}};
+  const Matrix s = a + b;
+  EXPECT_DOUBLE_EQ(s(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(s(1, 1), 5.0);
+  const Matrix d = s - b;
+  EXPECT_DOUBLE_EQ(Matrix::max_abs_diff(d, a), 0.0);
+}
+
+TEST(Matrix, ScalarScale) {
+  Matrix a{{1.0, -2.0}};
+  a *= -2.0;
+  EXPECT_DOUBLE_EQ(a(0, 0), -2.0);
+  EXPECT_DOUBLE_EQ(a(0, 1), 4.0);
+}
+
+TEST(Matrix, Apply) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const auto y = a.apply({1.0, 1.0});
+  ASSERT_EQ(y.size(), 2U);
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+}
+
+TEST(Matrix, ApplySizeMismatchThrows) {
+  Matrix a(2, 2);
+  EXPECT_THROW(a.apply({1.0, 2.0, 3.0}), std::invalid_argument);
+}
+
+TEST(Matrix, IsSymmetric) {
+  Matrix s{{1.0, 2.0}, {2.0, 5.0}};
+  EXPECT_TRUE(s.is_symmetric());
+  Matrix ns{{1.0, 2.0}, {2.1, 5.0}};
+  EXPECT_FALSE(ns.is_symmetric());
+  EXPECT_TRUE(ns.is_symmetric(0.2));
+  EXPECT_FALSE(Matrix(2, 3).is_symmetric());
+}
+
+TEST(Matrix, MaxAbsDiffShapeMismatchThrows) {
+  EXPECT_THROW(Matrix::max_abs_diff(Matrix(2, 2), Matrix(3, 3)),
+               std::invalid_argument);
+}
+
+TEST(Matrix, StreamOutput) {
+  Matrix m{{1.0, 2.0}};
+  std::ostringstream os;
+  os << m;
+  EXPECT_NE(os.str().find("1"), std::string::npos);
+  EXPECT_NE(os.str().find("2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace arbiterq::math

@@ -1,0 +1,115 @@
+#include "arbiterq/qnn/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "arbiterq/circuit/unitary.hpp"
+
+namespace arbiterq::qnn {
+namespace {
+
+TEST(QnnModel, Validation) {
+  EXPECT_THROW(QnnModel(Backbone::kCRz, 1, 2), std::invalid_argument);
+  EXPECT_THROW(QnnModel(Backbone::kCRz, 2, 0), std::invalid_argument);
+}
+
+TEST(QnnModel, BackboneNames) {
+  EXPECT_EQ(backbone_name(Backbone::kCRz), "Model-CRz");
+  EXPECT_EQ(backbone_name(Backbone::kCRx), "Model-CRx");
+}
+
+struct Table2Row {
+  const char* dataset;
+  int qubits;
+  int layers;
+  int weights;
+};
+
+class Table2WeightCounts : public ::testing::TestWithParam<Table2Row> {};
+
+TEST_P(Table2WeightCounts, MatchesPaper) {
+  const Table2Row row = GetParam();
+  for (Backbone b : {Backbone::kCRz, Backbone::kCRx}) {
+    const QnnModel m(b, row.qubits, row.layers);
+    EXPECT_EQ(m.num_weights(), row.weights) << row.dataset;
+    EXPECT_EQ(m.num_params(), row.weights + row.qubits);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperRows, Table2WeightCounts,
+    ::testing::Values(Table2Row{"iris", 2, 2, 8},
+                      Table2Row{"wine", 4, 2, 16},
+                      Table2Row{"mnist", 6, 2, 24},
+                      Table2Row{"hmdb51", 10, 10, 200}),
+    [](const ::testing::TestParamInfo<Table2Row>& info) {
+      return info.param.dataset;
+    });
+
+TEST(QnnModel, CircuitStructure) {
+  const QnnModel m(Backbone::kCRz, 3, 2);
+  const auto& c = m.circuit();
+  EXPECT_EQ(c.num_qubits(), 3);
+  // encoding (3 RY) + 2 layers * (3 RY + 3 CRZ) = 15 gates.
+  EXPECT_EQ(c.size(), 15U);
+  EXPECT_EQ(c.gate(0).kind, circuit::GateKind::kRY);
+  EXPECT_EQ(c.gate(6).kind, circuit::GateKind::kCRZ);
+  const QnnModel mx(Backbone::kCRx, 3, 2);
+  EXPECT_EQ(mx.circuit().gate(6).kind, circuit::GateKind::kCRX);
+}
+
+TEST(QnnModel, EncodingGatesReferenceFeatureParams) {
+  const QnnModel m(Backbone::kCRz, 2, 1);
+  const auto& c = m.circuit();
+  EXPECT_EQ(c.gate(0).params[0].index, 0);
+  EXPECT_EQ(c.gate(1).params[0].index, 1);
+  // First learning weight starts at index num_qubits.
+  EXPECT_EQ(c.gate(2).params[0].index, 2);
+  EXPECT_EQ(m.weight_param_index(0), 2);
+}
+
+TEST(QnnModel, ShiftRulesAlternateByLayerHalves) {
+  const QnnModel m(Backbone::kCRz, 3, 2);
+  // weights 0..2: RY (two-term); 3..5: CRZ (four-term); repeats.
+  for (int w = 0; w < 3; ++w) {
+    EXPECT_EQ(m.shift_rule(w), ShiftRule::kTwoTerm) << w;
+  }
+  for (int w = 3; w < 6; ++w) {
+    EXPECT_EQ(m.shift_rule(w), ShiftRule::kFourTerm) << w;
+  }
+  EXPECT_EQ(m.shift_rule(6), ShiftRule::kTwoTerm);
+  EXPECT_EQ(m.shift_rule(9), ShiftRule::kFourTerm);
+  EXPECT_THROW(m.shift_rule(-1), std::out_of_range);
+  EXPECT_THROW(m.shift_rule(12), std::out_of_range);
+}
+
+TEST(QnnModel, PackParams) {
+  const QnnModel m(Backbone::kCRz, 2, 1);
+  const auto packed = m.pack_params({0.1, 0.2}, {1.0, 2.0, 3.0, 4.0});
+  ASSERT_EQ(packed.size(), 6U);
+  EXPECT_DOUBLE_EQ(packed[0], 0.1);
+  EXPECT_DOUBLE_EQ(packed[2], 1.0);
+  EXPECT_DOUBLE_EQ(packed[5], 4.0);
+  EXPECT_THROW(m.pack_params({0.1}, {1.0, 2.0, 3.0, 4.0}),
+               std::invalid_argument);
+  EXPECT_THROW(m.pack_params({0.1, 0.2}, {1.0}), std::invalid_argument);
+}
+
+TEST(QnnModel, CircuitIsUnitaryUnderBinding) {
+  const QnnModel m(Backbone::kCRx, 2, 2);
+  std::vector<double> params(static_cast<std::size_t>(m.num_params()), 0.37);
+  const auto u = circuit::circuit_unitary(m.circuit(), params);
+  // Columns orthonormal.
+  const std::size_t dim = 4;
+  for (std::size_t a = 0; a < dim; ++a) {
+    for (std::size_t b = 0; b < dim; ++b) {
+      circuit::Complex acc{0.0, 0.0};
+      for (std::size_t r = 0; r < dim; ++r) {
+        acc += std::conj(u[r * dim + a]) * u[r * dim + b];
+      }
+      EXPECT_NEAR(std::abs(acc - (a == b ? 1.0 : 0.0)), 0.0, 1e-10);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace arbiterq::qnn

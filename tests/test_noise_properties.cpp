@@ -1,0 +1,126 @@
+// Noise-stack property grid: for a matrix of (1q, 2q, bias, readout)
+// noise levels, the cheap engines must track the density-matrix ground
+// truth and behave monotonically.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arbiterq/sim/density_matrix.hpp"
+#include "arbiterq/sim/simulator.hpp"
+
+namespace arbiterq::sim {
+namespace {
+
+using circuit::Circuit;
+using circuit::ParamExpr;
+
+struct NoiseGridCase {
+  double p1;
+  double p2;
+  double bias;
+  double readout;
+};
+
+Circuit probe_circuit() {
+  Circuit c(3, 2);
+  c.ry(0, ParamExpr::ref(0))
+      .cx(0, 1)
+      .crz(1, 2, ParamExpr::ref(1))
+      .ry(2, ParamExpr::constant(0.7))
+      .cz(0, 2);
+  return c;
+}
+
+NoiseModel build(const NoiseGridCase& g) {
+  NoiseModel m(3);
+  for (int q = 0; q < 3; ++q) {
+    m.set_depolarizing_1q(q, g.p1);
+    m.set_coherent_bias(q, g.bias * (q + 1));
+    m.set_readout_error(q, g.readout, g.readout);
+  }
+  m.set_depolarizing_2q(0, 1, g.p2);
+  m.set_depolarizing_2q(1, 2, g.p2);
+  m.set_depolarizing_2q(0, 2, g.p2);
+  return m;
+}
+
+class NoiseGrid : public ::testing::TestWithParam<NoiseGridCase> {};
+
+TEST_P(NoiseGrid, TrajectoriesTrackDensityMatrix) {
+  const NoiseModel noise = build(GetParam());
+  const Circuit c = probe_circuit();
+  const std::vector<double> params = {0.9, -1.2};
+  StatevectorSimulator sim(noise);
+  math::Rng rng(17);
+  ShotOptions opts;
+  opts.shots = 40000;
+  opts.trajectories = 2000;
+  const double sampled =
+      sim.sampled_probability_of_one(c, params, 0, opts, rng);
+  const double ref_z = reference_expectation_z(c, params, noise, 0);
+  EXPECT_NEAR(1.0 - 2.0 * sampled, ref_z, 0.03);
+}
+
+TEST_P(NoiseGrid, SurvivalShrinksWithNoise) {
+  const NoiseGridCase g = GetParam();
+  const Circuit c = probe_circuit();
+  const double s = build(g).survival_probability(c);
+  EXPECT_GT(s, 0.0);
+  EXPECT_LE(s, 1.0);
+  NoiseGridCase worse = g;
+  worse.p1 = std::min(1.0, g.p1 * 2.0 + 0.01);
+  worse.p2 = std::min(1.0, g.p2 * 2.0 + 0.01);
+  EXPECT_LT(build(worse).survival_probability(c), s);
+}
+
+TEST_P(NoiseGrid, ExactModeBoundedByIdealMagnitude) {
+  // Depolarizing attenuation can only shrink |<Z>| relative to the
+  // biased pure state (never amplify it).
+  const NoiseModel noise = build(GetParam());
+  const Circuit c = probe_circuit();
+  const std::vector<double> params = {0.9, -1.2};
+  StatevectorSimulator sim(noise);
+  const double z_noisy = sim.expectation_z(c, params, 0);
+  const double z_biased = sim.run_biased(c, params).expectation_z(0);
+  EXPECT_LE(std::abs(z_noisy), std::abs(z_biased) + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, NoiseGrid,
+    ::testing::Values(NoiseGridCase{0.0, 0.0, 0.05, 0.0},
+                      NoiseGridCase{0.002, 0.01, 0.0, 0.0},
+                      NoiseGridCase{0.005, 0.02, 0.05, 0.01},
+                      NoiseGridCase{0.01, 0.04, 0.1, 0.02},
+                      NoiseGridCase{0.02, 0.08, 0.2, 0.05}));
+
+TEST(NoiseMonotonicity, ReadoutContractionOrdering) {
+  // With symmetric readout error, |<Z>| shrinks monotonically in the
+  // flip probability.
+  Circuit c(1);
+  c.x(0);
+  double prev = 1.0;
+  for (double p : {0.0, 0.05, 0.1, 0.2, 0.4}) {
+    NoiseModel m(1);
+    m.set_readout_error(0, p, p);
+    const double z = std::abs(reference_expectation_z(c, {}, m, 0));
+    EXPECT_LE(z, prev + 1e-12) << p;
+    prev = z;
+  }
+}
+
+TEST(NoiseMonotonicity, DepolarizingShrinksPurity) {
+  DensityMatrix rho(2);
+  rho.apply_mat2(circuit::gate_matrix_1q(circuit::GateKind::kH, {}), 0);
+  rho.apply_mat4(circuit::gate_matrix_2q(circuit::GateKind::kCX, {}), 0, 1);
+  double prev = rho.purity();
+  for (int i = 0; i < 5; ++i) {
+    rho.depolarize_2q(0, 1, 0.1);
+    EXPECT_LT(rho.purity(), prev);
+    prev = rho.purity();
+  }
+  EXPECT_GE(prev, 0.25 - 1e-9);  // bounded below by the mixed state
+}
+
+}  // namespace
+}  // namespace arbiterq::sim

@@ -1,0 +1,167 @@
+#include "arbiterq/transpile/optimize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "arbiterq/circuit/unitary.hpp"
+#include "arbiterq/device/presets.hpp"
+#include "arbiterq/math/rng.hpp"
+#include "arbiterq/qnn/model.hpp"
+#include "arbiterq/transpile/transpiler.hpp"
+
+namespace arbiterq::transpile {
+namespace {
+
+using circuit::Circuit;
+using circuit::GateKind;
+using circuit::ParamExpr;
+
+void expect_equivalent(const Circuit& a, const Circuit& b,
+                       const std::vector<double>& params) {
+  EXPECT_LT(circuit::unitary_distance_up_to_phase(
+                circuit_unitary(a, params), circuit_unitary(b, params)),
+            1e-9);
+}
+
+TEST(Optimize, MergesConstantRotations) {
+  Circuit c(1);
+  c.rz(0, ParamExpr::constant(0.3)).rz(0, ParamExpr::constant(0.4));
+  OptimizeStats stats;
+  const Circuit out = optimize(c, &stats);
+  ASSERT_EQ(out.size(), 1U);
+  EXPECT_EQ(stats.rotations_merged, 1U);
+  EXPECT_NEAR(out.gate(0).params[0].offset, 0.7, 1e-12);
+  expect_equivalent(c, out, {});
+}
+
+TEST(Optimize, MergesSymbolicWithConstant) {
+  Circuit c(1, 1);
+  c.rz(0, ParamExpr::constant(std::numbers::pi / 2))
+      .rz(0, ParamExpr::ref(0, 0.5))
+      .rz(0, ParamExpr::constant(std::numbers::pi / 2));
+  const Circuit out = optimize(c);
+  ASSERT_EQ(out.size(), 1U);
+  EXPECT_EQ(out.gate(0).params[0].index, 0);
+  EXPECT_DOUBLE_EQ(out.gate(0).params[0].coeff, 0.5);
+  EXPECT_NEAR(out.gate(0).params[0].offset, std::numbers::pi, 1e-12);
+  expect_equivalent(c, out, {1.3});
+}
+
+TEST(Optimize, MergesSameParameterRefs) {
+  Circuit c(1, 1);
+  c.ry(0, ParamExpr::ref(0, 0.5)).ry(0, ParamExpr::ref(0, 0.5));
+  const Circuit out = optimize(c);
+  ASSERT_EQ(out.size(), 1U);
+  EXPECT_DOUBLE_EQ(out.gate(0).params[0].coeff, 1.0);
+  expect_equivalent(c, out, {0.9});
+}
+
+TEST(Optimize, DoesNotMergeDistinctParameters) {
+  Circuit c(1, 2);
+  c.rz(0, ParamExpr::ref(0)).rz(0, ParamExpr::ref(1));
+  const Circuit out = optimize(c);
+  EXPECT_EQ(out.size(), 2U);
+}
+
+TEST(Optimize, DoesNotMergeAcrossBlockingGate) {
+  Circuit c(2, 0);
+  c.rz(0, ParamExpr::constant(0.3))
+      .cx(0, 1)
+      .rz(0, ParamExpr::constant(0.4));
+  const Circuit out = optimize(c);
+  EXPECT_EQ(out.size(), 3U);
+}
+
+TEST(Optimize, MergesAcrossGateOnOtherQubit) {
+  Circuit c(2, 0);
+  c.rz(0, ParamExpr::constant(0.3))
+      .x(1)
+      .rz(0, ParamExpr::constant(0.4));
+  const Circuit out = optimize(c);
+  EXPECT_EQ(out.size(), 2U);
+  expect_equivalent(c, out, {});
+}
+
+TEST(Optimize, CancelsSelfInversePairs) {
+  Circuit c(2);
+  c.cx(0, 1).cx(0, 1).x(0).x(0).h(1).h(1);
+  OptimizeStats stats;
+  const Circuit out = optimize(c, &stats);
+  EXPECT_EQ(out.size(), 0U);
+  EXPECT_EQ(stats.pairs_cancelled, 3U);
+}
+
+TEST(Optimize, CzAndSwapCancelRegardlessOfOrientation) {
+  Circuit c(2);
+  c.cz(0, 1).cz(1, 0).swap(0, 1).swap(1, 0);
+  const Circuit out = optimize(c);
+  EXPECT_EQ(out.size(), 0U);
+}
+
+TEST(Optimize, CxOrientationMatters) {
+  Circuit c(2);
+  c.cx(0, 1).cx(1, 0);
+  const Circuit out = optimize(c);
+  EXPECT_EQ(out.size(), 2U);  // not inverses of each other
+}
+
+TEST(Optimize, DropsZeroRotations) {
+  Circuit c(1, 1);
+  c.rz(0, ParamExpr::constant(0.0))
+      .rx(0, ParamExpr::constant(2.0 * std::numbers::pi))
+      .ry(0, ParamExpr::ref(0));  // symbolic: must stay
+  OptimizeStats stats;
+  const Circuit out = optimize(c, &stats);
+  ASSERT_EQ(out.size(), 1U);
+  EXPECT_EQ(out.gate(0).kind, GateKind::kRY);
+  EXPECT_EQ(stats.identities_dropped, 2U);
+}
+
+TEST(Optimize, CascadingMergeThenCancel) {
+  // RZ(a) RZ(-a) merges to RZ(0) which then drops.
+  Circuit c(1, 0);
+  c.rz(0, ParamExpr::constant(0.8)).rz(0, ParamExpr::constant(-0.8));
+  const Circuit out = optimize(c);
+  EXPECT_EQ(out.size(), 0U);
+}
+
+class OptimizeEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(OptimizeEquivalence, TranspiledModelsStayEquivalent) {
+  // Optimize the compiled executable of a real QNN model on a real
+  // device and verify unitary equivalence under random bindings.
+  math::Rng rng(800 + GetParam());
+  const int qubits = 2 + GetParam() % 3;
+  const qnn::QnnModel m(GetParam() % 2 == 0 ? qnn::Backbone::kCRz
+                                            : qnn::Backbone::kCRx,
+                        qubits, 2);
+  const auto fleet = device::table3_fleet(qubits);
+  const auto compiled =
+      compile(m.circuit(), fleet[static_cast<std::size_t>(GetParam()) %
+                                 fleet.size()]);
+  OptimizeStats stats;
+  const Circuit out = optimize(compiled.executable, &stats);
+  EXPECT_LT(out.size(), compiled.executable.size());
+  EXPECT_GT(stats.total(), 0U);
+
+  std::vector<double> params(static_cast<std::size_t>(m.num_params()));
+  for (double& v : params) v = rng.uniform(-2.0, 2.0);
+  expect_equivalent(compiled.executable, out, params);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, OptimizeEquivalence,
+                         ::testing::Range(0, 10));
+
+TEST(Optimize, ReportsShrinkOnRealWorkload) {
+  const qnn::QnnModel m(qnn::Backbone::kCRz, 4, 2);
+  const auto fleet = device::table3_fleet(4);
+  const auto compiled = compile(m.circuit(), fleet[0]);
+  const Circuit out = optimize(compiled.executable);
+  // The RY decomposition alone guarantees a healthy reduction.
+  EXPECT_LT(static_cast<double>(out.size()),
+            0.8 * static_cast<double>(compiled.executable.size()));
+}
+
+}  // namespace
+}  // namespace arbiterq::transpile

@@ -1,0 +1,135 @@
+#include "arbiterq/circuit/pauli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arbiterq/sim/observables.hpp"
+
+namespace arbiterq::circuit {
+namespace {
+
+TEST(PauliString, ConstructionAndParse) {
+  EXPECT_THROW(PauliString(0), std::invalid_argument);
+  const PauliString id(3);
+  EXPECT_TRUE(id.is_identity());
+  EXPECT_EQ(id.to_string(), "III");
+
+  const PauliString p = PauliString::parse("ZxYi");
+  EXPECT_EQ(p.num_qubits(), 4);
+  EXPECT_EQ(p.op(0), PauliOp::kZ);
+  EXPECT_EQ(p.op(1), PauliOp::kX);
+  EXPECT_EQ(p.op(2), PauliOp::kY);
+  EXPECT_EQ(p.op(3), PauliOp::kI);
+  EXPECT_EQ(p.to_string(), "ZXYI");
+  EXPECT_EQ(p.weight(), 3);
+  EXPECT_THROW(PauliString::parse("ZQ"), std::invalid_argument);
+}
+
+TEST(PauliString, SetAndBounds) {
+  PauliString p(2);
+  p.set(1, PauliOp::kZ);
+  EXPECT_EQ(p.to_string(), "IZ");
+  EXPECT_THROW(p.set(2, PauliOp::kX), std::out_of_range);
+  EXPECT_THROW(p.op(-1), std::out_of_range);
+}
+
+TEST(PauliString, Commutation) {
+  // X and Z on the same qubit anticommute.
+  EXPECT_FALSE(
+      PauliString::parse("X").commutes_with(PauliString::parse("Z")));
+  // XX and ZZ commute (two anticommuting sites).
+  EXPECT_TRUE(
+      PauliString::parse("XX").commutes_with(PauliString::parse("ZZ")));
+  // XI and ZZ anticommute (one site).
+  EXPECT_FALSE(
+      PauliString::parse("XI").commutes_with(PauliString::parse("ZZ")));
+  // Identity commutes with everything.
+  EXPECT_TRUE(
+      PauliString::parse("II").commutes_with(PauliString::parse("XY")));
+  EXPECT_THROW(
+      PauliString::parse("X").commutes_with(PauliString::parse("XX")),
+      std::invalid_argument);
+}
+
+TEST(Observables, ZExpectationMatchesStatevector) {
+  sim::Statevector sv(2);
+  sv.apply_mat2(matrix_ry(0.9), 0);
+  sv.apply_mat2(matrix_ry(-1.7), 1);
+  EXPECT_NEAR(sim::expectation(sv, PauliString::parse("ZI")),
+              sv.expectation_z(0), 1e-12);
+  EXPECT_NEAR(sim::expectation(sv, PauliString::parse("IZ")),
+              sv.expectation_z(1), 1e-12);
+}
+
+TEST(Observables, IdentityExpectationIsOne) {
+  sim::Statevector sv(3);
+  sv.apply_mat2(gate_matrix_1q(GateKind::kH, {}), 1);
+  EXPECT_NEAR(sim::expectation(sv, PauliString(3)), 1.0, 1e-12);
+}
+
+TEST(Observables, XExpectationOnPlusState) {
+  sim::Statevector sv(1);
+  sv.apply_mat2(gate_matrix_1q(GateKind::kH, {}), 0);
+  EXPECT_NEAR(sim::expectation(sv, PauliString::parse("X")), 1.0, 1e-12);
+  EXPECT_NEAR(sim::expectation(sv, PauliString::parse("Z")), 0.0, 1e-12);
+  EXPECT_NEAR(sim::expectation(sv, PauliString::parse("Y")), 0.0, 1e-12);
+}
+
+TEST(Observables, BellStateCorrelations) {
+  sim::Statevector sv(2);
+  sv.apply_mat2(gate_matrix_1q(GateKind::kH, {}), 0);
+  sv.apply_mat4(gate_matrix_2q(GateKind::kCX, {}), 0, 1);
+  EXPECT_NEAR(sim::expectation(sv, PauliString::parse("ZZ")), 1.0, 1e-12);
+  EXPECT_NEAR(sim::expectation(sv, PauliString::parse("XX")), 1.0, 1e-12);
+  EXPECT_NEAR(sim::expectation(sv, PauliString::parse("YY")), -1.0, 1e-12);
+  EXPECT_NEAR(sim::expectation(sv, PauliString::parse("ZI")), 0.0, 1e-12);
+}
+
+TEST(Observables, DensityMatrixAgreesWithStatevector) {
+  Circuit c(3, 0);
+  c.h(0).cx(0, 1).ry(2, ParamExpr::constant(0.8)).cz(1, 2);
+  sim::Statevector sv(3);
+  sim::DensityMatrix rho(3);
+  for (const auto& g : c.gates()) {
+    sv.apply_gate(g, {});
+    rho.apply_gate(g, {});
+  }
+  for (const char* s : {"ZII", "IZI", "ZZI", "XXI", "YYZ", "XYZ"}) {
+    EXPECT_NEAR(sim::expectation(sv, PauliString::parse(s)),
+                sim::expectation(rho, PauliString::parse(s)), 1e-10)
+        << s;
+  }
+}
+
+TEST(Observables, MixedStateExpectationShrinks) {
+  sim::DensityMatrix rho(1);
+  rho.apply_mat2(gate_matrix_1q(GateKind::kX, {}), 0);  // <Z> = -1
+  rho.depolarize_1q(0, 0.3);
+  const double z = sim::expectation(rho, PauliString::parse("Z"));
+  EXPECT_NEAR(z, -(1.0 - 4.0 * 0.3 / 3.0), 1e-12);
+}
+
+TEST(Observables, PauliSum) {
+  sim::Statevector sv(2);
+  sv.apply_mat2(gate_matrix_1q(GateKind::kH, {}), 0);
+  sv.apply_mat4(gate_matrix_2q(GateKind::kCX, {}), 0, 1);
+  const std::vector<sim::PauliTerm> h = {
+      {0.5, PauliString::parse("ZZ")},
+      {-1.5, PauliString::parse("XX")},
+      {2.0, PauliString(2)},
+  };
+  EXPECT_NEAR(sim::expectation(sv, h), 0.5 - 1.5 + 2.0, 1e-12);
+}
+
+TEST(Observables, QubitMismatchThrows) {
+  sim::Statevector sv(2);
+  EXPECT_THROW(sim::expectation(sv, PauliString::parse("Z")),
+               std::invalid_argument);
+  sim::DensityMatrix rho(2);
+  EXPECT_THROW(sim::expectation(rho, PauliString::parse("ZZZ")),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace arbiterq::circuit

@@ -1,0 +1,104 @@
+#include "arbiterq/math/pca.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arbiterq/math/rng.hpp"
+#include "arbiterq/math/stats.hpp"
+
+namespace arbiterq::math {
+namespace {
+
+std::vector<std::vector<double>> anisotropic_cloud(std::size_t n, Rng& rng) {
+  // Dominant variance along (1,1,0)/sqrt(2), small noise elsewhere.
+  std::vector<std::vector<double>> pts;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = rng.normal(0.0, 3.0);
+    pts.push_back({t + rng.normal(0.0, 0.1), t + rng.normal(0.0, 0.1),
+                   rng.normal(0.0, 0.1)});
+  }
+  return pts;
+}
+
+TEST(Pca, DimensionsAndErrors) {
+  Rng rng(3);
+  const auto pts = anisotropic_cloud(50, rng);
+  const Pca pca(pts, 2);
+  EXPECT_EQ(pca.input_dim(), 3U);
+  EXPECT_EQ(pca.output_dim(), 2U);
+  EXPECT_THROW(Pca(pts, 0), std::invalid_argument);
+  EXPECT_THROW(Pca(pts, 4), std::invalid_argument);
+  EXPECT_THROW(Pca({}, 1), std::invalid_argument);
+  EXPECT_THROW(pca.transform({1.0}), std::invalid_argument);
+}
+
+TEST(Pca, FirstComponentCapturesDominantDirection) {
+  Rng rng(9);
+  const auto pts = anisotropic_cloud(200, rng);
+  const Pca pca(pts, 1);
+  // Projections onto PC1 must carry almost all the variance.
+  EXPECT_GT(pca.explained_variance_ratio(), 0.95);
+}
+
+TEST(Pca, TransformIsCentered) {
+  Rng rng(13);
+  const auto pts = anisotropic_cloud(100, rng);
+  const Pca pca(pts, 2);
+  const auto projected = pca.transform_all(pts);
+  // Projection of the (centered) cloud has ~zero mean.
+  std::vector<double> c0;
+  std::vector<double> c1;
+  for (const auto& p : projected) {
+    c0.push_back(p[0]);
+    c1.push_back(p[1]);
+  }
+  EXPECT_NEAR(mean(c0), 0.0, 1e-9);
+  EXPECT_NEAR(mean(c1), 0.0, 1e-9);
+}
+
+TEST(Pca, PreservesPairwiseStructureWhenFullRank) {
+  Rng rng(21);
+  std::vector<std::vector<double>> pts;
+  for (int i = 0; i < 20; ++i) {
+    pts.push_back({rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)});
+  }
+  const Pca pca(pts, 2);  // full rank: a rigid rotation
+  const auto proj = pca.transform_all(pts);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    for (std::size_t j = i + 1; j < pts.size(); ++j) {
+      EXPECT_NEAR(l2_distance(pts[i], pts[j]), l2_distance(proj[i], proj[j]),
+                  1e-9);
+    }
+  }
+}
+
+TEST(Pca, ExplainedVarianceMonotoneInComponents) {
+  Rng rng(27);
+  std::vector<std::vector<double>> pts;
+  for (int i = 0; i < 80; ++i) {
+    pts.push_back({rng.normal(0.0, 3.0), rng.normal(0.0, 2.0),
+                   rng.normal(0.0, 1.0), rng.normal(0.0, 0.5)});
+  }
+  double prev = 0.0;
+  for (std::size_t k = 1; k <= 4; ++k) {
+    const Pca pca(pts, k);
+    EXPECT_GE(pca.explained_variance_ratio(), prev - 1e-12);
+    prev = pca.explained_variance_ratio();
+  }
+  EXPECT_NEAR(prev, 1.0, 1e-9);
+}
+
+TEST(Pca, DeterministicForSameInput) {
+  Rng rng(31);
+  const auto pts = anisotropic_cloud(30, rng);
+  const Pca a(pts, 2);
+  const Pca b(pts, 2);
+  const auto pa = a.transform(pts[0]);
+  const auto pb = b.transform(pts[0]);
+  EXPECT_DOUBLE_EQ(pa[0], pb[0]);
+  EXPECT_DOUBLE_EQ(pa[1], pb[1]);
+}
+
+}  // namespace
+}  // namespace arbiterq::math

@@ -1,0 +1,91 @@
+#include "arbiterq/data/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+namespace arbiterq::data {
+namespace {
+
+TEST(Pipeline, PrepareShapes) {
+  const EncodedSplit s = prepare(wine_like(), 4);
+  EXPECT_EQ(s.num_qubits, 4);
+  EXPECT_EQ(s.train_features.size(), 91U);  // 80% of 114
+  EXPECT_EQ(s.test_features.size(), 23U);
+  EXPECT_EQ(s.train_labels.size(), s.train_features.size());
+  for (const auto& f : s.train_features) EXPECT_EQ(f.size(), 4U);
+  for (const auto& f : s.test_features) EXPECT_EQ(f.size(), 4U);
+}
+
+TEST(Pipeline, FeaturesAreAngles) {
+  const EncodedSplit s = prepare(iris_like(), 2);
+  for (const auto& feats : {s.train_features, s.test_features}) {
+    for (const auto& f : feats) {
+      for (double v : f) {
+        EXPECT_GE(v, 0.0);
+        EXPECT_LE(v, std::numbers::pi + 1e-12);
+      }
+    }
+  }
+}
+
+TEST(Pipeline, DeterministicUnderSeed) {
+  const EncodedSplit a = prepare(iris_like(), 2, 0.8, 99);
+  const EncodedSplit b = prepare(iris_like(), 2, 0.8, 99);
+  EXPECT_EQ(a.train_features, b.train_features);
+  const EncodedSplit c = prepare(iris_like(), 2, 0.8, 100);
+  EXPECT_NE(a.train_features, c.train_features);
+}
+
+TEST(Pipeline, Validation) {
+  EXPECT_THROW(prepare(iris_like(), 0), std::invalid_argument);
+  EXPECT_THROW(prepare(iris_like(), 5), std::invalid_argument);  // 4 feats
+}
+
+TEST(Pipeline, Table2CasesMatchPaper) {
+  const auto cases = table2_cases();
+  ASSERT_EQ(cases.size(), 4U);
+  EXPECT_EQ(cases[0].dataset, "iris");
+  EXPECT_EQ(cases[0].num_qubits, 2);
+  EXPECT_EQ(cases[3].dataset, "hmdb51");
+  EXPECT_EQ(cases[3].num_qubits, 10);
+  EXPECT_EQ(cases[3].num_layers, 10);
+  // Weight counts: 2 * qubits * layers must equal Table II.
+  const int expected[] = {8, 16, 24, 200};
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    EXPECT_EQ(2 * cases[i].num_qubits * cases[i].num_layers, expected[i]);
+  }
+}
+
+TEST(Pipeline, PrepareCaseWorksForEveryRow) {
+  for (const auto& bc : table2_cases()) {
+    const EncodedSplit s = prepare_case(bc);
+    EXPECT_EQ(s.num_qubits, bc.num_qubits) << bc.dataset;
+    EXPECT_GT(s.train_features.size(), 50U) << bc.dataset;
+    EXPECT_GT(s.test_features.size(), 10U) << bc.dataset;
+  }
+  EXPECT_THROW(prepare_case({"unknown", 2, 2}), std::invalid_argument);
+}
+
+TEST(Pipeline, ClassesRemainSeparableAfterCompression) {
+  // PCA to 2 dims of the iris-like set keeps the clusters apart: features
+  // of class 0 and class 1 should have distinct means on some dimension.
+  const EncodedSplit s = prepare(iris_like(), 2);
+  double m0 = 0.0;
+  double m1 = 0.0;
+  double n0 = 0.0;
+  double n1 = 0.0;
+  for (std::size_t i = 0; i < s.train_features.size(); ++i) {
+    if (s.train_labels[i] == 0) {
+      m0 += s.train_features[i][0];
+      n0 += 1.0;
+    } else {
+      m1 += s.train_features[i][0];
+      n1 += 1.0;
+    }
+  }
+  EXPECT_GT(std::abs(m0 / n0 - m1 / n1), 0.5);
+}
+
+}  // namespace
+}  // namespace arbiterq::data

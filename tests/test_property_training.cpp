@@ -1,0 +1,90 @@
+// Seed-sweep properties of the distributed trainers: invariants that
+// must hold for any RNG stream, not just the benchmark seed.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arbiterq/core/trainers.hpp"
+#include "arbiterq/device/presets.hpp"
+
+namespace arbiterq::core {
+namespace {
+
+class TrainingProperty : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  TrainingProperty()
+      : model_(qnn::Backbone::kCRz, 2, 2),
+        split_(data::prepare_case({"iris", 2, 2}, GetParam())) {}
+
+  TrainConfig config() const {
+    TrainConfig cfg;
+    cfg.epochs = 20;
+    cfg.seed = GetParam();
+    return cfg;
+  }
+
+  qnn::QnnModel model_;
+  data::EncodedSplit split_;
+};
+
+TEST_P(TrainingProperty, WeightsStayFinite) {
+  const DistributedTrainer trainer(
+      model_, device::table3_fleet_subset(4, 2), config());
+  for (Strategy s : {Strategy::kAllSharing, Strategy::kArbiterQ}) {
+    const auto r = trainer.train(s, split_);
+    for (const auto& node : r.weights) {
+      for (double w : node) EXPECT_TRUE(std::isfinite(w));
+    }
+    for (double l : r.epoch_test_loss) {
+      EXPECT_TRUE(std::isfinite(l));
+      EXPECT_GE(l, 0.0);
+    }
+  }
+}
+
+TEST_P(TrainingProperty, ArbiterQImprovesOverInit) {
+  const DistributedTrainer trainer(
+      model_, device::table3_fleet_subset(4, 2), config());
+  const auto r = trainer.train(Strategy::kArbiterQ, split_);
+  EXPECT_LT(r.epoch_test_loss.back(), r.epoch_test_loss.front());
+}
+
+TEST_P(TrainingProperty, ArbiterQNotWorseThanAllSharing) {
+  // On a heterogeneous fleet, personalized + similarity-shared training
+  // must not lose to the unified-weights straw man (small slack for
+  // stochastic ties).
+  TrainConfig cfg = config();
+  cfg.epochs = 35;
+  const DistributedTrainer trainer(
+      model_, device::table3_fleet_subset(6, 2), cfg);
+  const auto arbiter = trainer.train(Strategy::kArbiterQ, split_);
+  const auto sharing = trainer.train(Strategy::kAllSharing, split_);
+  EXPECT_LT(arbiter.convergence.loss, sharing.convergence.loss + 0.01);
+}
+
+TEST_P(TrainingProperty, ConvergenceEpochWithinRange) {
+  const DistributedTrainer trainer(
+      model_, device::table3_fleet_subset(4, 2), config());
+  for (Strategy s : {Strategy::kSingleNode, Strategy::kEqc}) {
+    const auto r = trainer.train(s, split_);
+    EXPECT_GE(r.convergence.epoch, 1);
+    EXPECT_LE(r.convergence.epoch, 20);
+  }
+}
+
+TEST_P(TrainingProperty, SharedWeightsIdenticalAcrossNodes) {
+  const DistributedTrainer trainer(
+      model_, device::table3_fleet_subset(5, 2), config());
+  const auto r = trainer.train(Strategy::kEqc, split_);
+  for (std::size_t i = 1; i < r.weights.size(); ++i) {
+    EXPECT_EQ(r.weights[0], r.weights[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrainingProperty,
+                         ::testing::Values<std::uint64_t>(1, 7, 13, 77,
+                                                          1234));
+
+}  // namespace
+}  // namespace arbiterq::core

@@ -1,0 +1,189 @@
+#include "arbiterq/device/qpu.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arbiterq/device/presets.hpp"
+
+namespace arbiterq::device {
+namespace {
+
+QpuSpec basic_spec() {
+  QpuSpec s;
+  s.name = "test-qpu";
+  s.id = 1;
+  s.topology = Topology::line(4);
+  s.infidelity_1q = 3e-4;
+  s.infidelity_2q = 5e-3;
+  s.t1_us = 150.0;
+  s.t2_us = 60.0;
+  s.noise_seed = 99;
+  return s;
+}
+
+TEST(Qpu, SpecValidation) {
+  QpuSpec bad = basic_spec();
+  bad.infidelity_1q = -0.1;
+  EXPECT_THROW(Qpu{bad}, std::invalid_argument);
+  bad = basic_spec();
+  bad.t1_us = 0.0;
+  EXPECT_THROW(Qpu{bad}, std::invalid_argument);
+  bad = basic_spec();
+  bad.infidelity_2q = 1.0;
+  EXPECT_THROW(Qpu{bad}, std::invalid_argument);
+}
+
+TEST(Qpu, CalibrationSpreadWithinBounds) {
+  const Qpu q(basic_spec());
+  for (int i = 0; i < q.num_qubits(); ++i) {
+    const double infid = 1.0 - q.fidelity_1q(i);
+    EXPECT_GE(infid, 3e-4 * 0.8 - 1e-12);
+    EXPECT_LE(infid, 3e-4 * 1.2 + 1e-12);
+    EXPECT_GE(q.readout_error(i), 0.0);
+    EXPECT_LE(q.readout_error(i), 0.5);
+  }
+  for (const auto& [a, b] : q.topology().edges()) {
+    const double infid = 1.0 - q.fidelity_2q(a, b);
+    EXPECT_GE(infid, 5e-3 * 0.8 - 1e-12);
+    EXPECT_LE(infid, 5e-3 * 1.2 + 1e-12);
+    EXPECT_DOUBLE_EQ(q.fidelity_2q(a, b), q.fidelity_2q(b, a));
+  }
+}
+
+TEST(Qpu, CalibrationDeterministicPerSeed) {
+  const Qpu a(basic_spec());
+  const Qpu b(basic_spec());
+  EXPECT_DOUBLE_EQ(a.fidelity_1q(2), b.fidelity_1q(2));
+  QpuSpec other = basic_spec();
+  other.noise_seed = 100;
+  const Qpu c(other);
+  EXPECT_NE(a.fidelity_1q(2), c.fidelity_1q(2));
+}
+
+TEST(Qpu, GateDurations) {
+  const Qpu q(basic_spec());
+  EXPECT_DOUBLE_EQ(q.gate_duration_ns(circuit::GateKind::kI), 0.0);
+  EXPECT_DOUBLE_EQ(q.gate_duration_ns(circuit::GateKind::kSX), 30.0);
+  EXPECT_DOUBLE_EQ(q.gate_duration_ns(circuit::GateKind::kCX), 200.0);
+  EXPECT_DOUBLE_EQ(q.gate_duration_ns(circuit::GateKind::kSwap), 600.0);
+}
+
+TEST(Qpu, GateErrorFormula) {
+  const Qpu q(basic_spec());
+  circuit::Gate g;
+  g.kind = circuit::GateKind::kRY;
+  g.qubits = {1, 0};
+  // e = 1 - exp(-t/T1) * f with t = 30ns = 0.03us.
+  const double expect =
+      1.0 - std::exp(-0.03 / 150.0) * q.fidelity_1q(1);
+  EXPECT_NEAR(q.gate_error(g), expect, 1e-12);
+
+  circuit::Gate cx;
+  cx.kind = circuit::GateKind::kCX;
+  cx.qubits = {1, 2};
+  const double e2 = 1.0 - std::exp(-0.2 / 60.0) * q.fidelity_2q(1, 2);
+  EXPECT_NEAR(q.gate_error(cx), e2, 1e-12);
+
+  circuit::Gate sw;
+  sw.kind = circuit::GateKind::kSwap;
+  sw.qubits = {1, 2};
+  EXPECT_NEAR(q.gate_error(sw), 1.0 - std::pow(1.0 - e2, 3.0), 1e-12);
+
+  circuit::Gate id;
+  id.kind = circuit::GateKind::kI;
+  id.qubits = {0, 0};
+  EXPECT_DOUBLE_EQ(q.gate_error(id), 0.0);
+}
+
+TEST(Qpu, ShotLatencyAndRate) {
+  const Qpu q(basic_spec());
+  const double lat = q.shot_latency_us(10);
+  EXPECT_GT(lat, q.spec().delay_us);
+  EXPECT_NEAR(q.shot_rate(10), 1e6 / lat, 1e-9);
+  EXPECT_GT(q.shot_latency_us(100), q.shot_latency_us(10));
+}
+
+TEST(Qpu, NoiseModelPopulatedOnEdges) {
+  const Qpu q(basic_spec());
+  const sim::NoiseModel m = q.make_noise_model();
+  EXPECT_TRUE(m.enabled());
+  EXPECT_GT(m.depolarizing_1q(0), 0.0);
+  EXPECT_GT(m.depolarizing_2q(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(m.depolarizing_2q(0, 2), 0.0);  // not an edge
+  EXPECT_GT(m.readout_p01(0), 0.0);
+}
+
+TEST(Qpu, SubdeviceInheritsCalibration) {
+  const Qpu q(basic_spec());
+  const Qpu sub = q.subdevice({1, 2}, "tile", 7);
+  EXPECT_EQ(sub.num_qubits(), 2);
+  EXPECT_EQ(sub.name(), "tile");
+  EXPECT_EQ(sub.id(), 7);
+  EXPECT_DOUBLE_EQ(sub.fidelity_1q(0), q.fidelity_1q(1));
+  EXPECT_DOUBLE_EQ(sub.fidelity_1q(1), q.fidelity_1q(2));
+  EXPECT_DOUBLE_EQ(sub.coherent_bias(0), q.coherent_bias(1));
+  EXPECT_DOUBLE_EQ(sub.fidelity_2q(0, 1), q.fidelity_2q(1, 2));
+  EXPECT_TRUE(sub.topology().connected(0, 1));
+}
+
+TEST(Qpu, AverageErrorPositiveAndOrdersDevices) {
+  QpuSpec clean = basic_spec();
+  clean.infidelity_1q = 1e-4;
+  clean.infidelity_2q = 1e-3;
+  QpuSpec dirty = basic_spec();
+  dirty.infidelity_1q = 9e-4;
+  dirty.infidelity_2q = 9e-3;
+  EXPECT_LT(Qpu(clean).average_error(), Qpu(dirty).average_error());
+}
+
+TEST(Presets, Table3FleetMatchesPaper) {
+  const auto fleet = table3_fleet(10);
+  ASSERT_EQ(fleet.size(), 10U);
+  // Spot-check the printed Table III values.
+  EXPECT_DOUBLE_EQ(fleet[0].spec().infidelity_1q, 2.36e-4);
+  EXPECT_DOUBLE_EQ(fleet[2].spec().infidelity_2q, 4.81e-3);
+  EXPECT_DOUBLE_EQ(fleet[2].spec().t1_us, 349.0);
+  EXPECT_DOUBLE_EQ(fleet[9].spec().t2_us, 38.6);
+  for (const auto& q : fleet) {
+    EXPECT_GE(q.num_qubits(), 10);
+    EXPECT_TRUE(q.topology().is_connected_graph());
+    EXPECT_EQ(q.basis(), BasisSet::kIbm);
+  }
+}
+
+TEST(Presets, Table3SubsetAndValidation) {
+  EXPECT_EQ(table3_fleet_subset(3, 4).size(), 3U);
+  EXPECT_THROW(table3_fleet_subset(0, 4), std::invalid_argument);
+  EXPECT_THROW(table3_fleet_subset(11, 4), std::invalid_argument);
+  EXPECT_THROW(table3_fleet_subset(3, 1), std::invalid_argument);
+}
+
+TEST(Presets, WukongChip) {
+  const Qpu w = origin_wukong();
+  EXPECT_EQ(w.num_qubits(), 72);
+  EXPECT_EQ(w.basis(), BasisSet::kOrigin);
+  EXPECT_NEAR(w.spec().infidelity_1q, 0.0028, 1e-10);
+  EXPECT_NEAR(w.spec().infidelity_2q, 0.0414, 1e-10);
+  EXPECT_TRUE(w.topology().is_connected_graph());
+}
+
+TEST(Presets, WukongTilesAreDisjointTwoQubitDevices) {
+  const auto tiles = wukong_tiles();
+  ASSERT_EQ(tiles.size(), 4U);
+  for (const auto& t : tiles) {
+    EXPECT_EQ(t.num_qubits(), 2);
+    EXPECT_TRUE(t.topology().connected(0, 1));
+    EXPECT_EQ(t.basis(), BasisSet::kOrigin);
+  }
+  // Tiles must differ in calibration (different chip regions).
+  EXPECT_NE(tiles[0].fidelity_1q(0), tiles[3].fidelity_1q(0));
+}
+
+TEST(Presets, BasisNames) {
+  EXPECT_EQ(basis_name(BasisSet::kIbm), "{rz,sx,x,cx}");
+  EXPECT_EQ(basis_name(BasisSet::kOrigin), "{u3,cz}");
+}
+
+}  // namespace
+}  // namespace arbiterq::device

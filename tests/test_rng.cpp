@@ -1,0 +1,118 @@
+#include "arbiterq/math/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "arbiterq/math/stats.hpp"
+
+namespace arbiterq::math {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, SplitIsDeterministicAndIndependent) {
+  Rng root(7);
+  Rng a = root.split("stream-a");
+  Rng a2 = Rng(7).split("stream-a");
+  Rng b = root.split("stream-b");
+  EXPECT_EQ(a.next_u64(), a2.next_u64());
+  // Different labels give different streams.
+  Rng a3 = Rng(7).split("stream-a");
+  EXPECT_NE(a3.next_u64(), b.next_u64());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespected) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(u, -2.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Rng rng(11);
+  std::vector<double> xs(20000);
+  for (double& x : xs) x = rng.uniform();
+  EXPECT_NEAR(mean(xs), 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntInRange) {
+  Rng rng(13);
+  std::vector<int> counts(7, 0);
+  for (int i = 0; i < 7000; ++i) {
+    const auto v = rng.uniform_int(7);
+    ASSERT_LT(v, 7U);
+    ++counts[static_cast<std::size_t>(v)];
+  }
+  for (int c : counts) EXPECT_GT(c, 700);  // roughly uniform
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(17);
+  std::vector<double> xs(40000);
+  for (double& x : xs) x = rng.normal();
+  EXPECT_NEAR(mean(xs), 0.0, 0.02);
+  EXPECT_NEAR(stddev(xs), 1.0, 0.02);
+}
+
+TEST(Rng, NormalShiftScale) {
+  Rng rng(19);
+  std::vector<double> xs(40000);
+  for (double& x : xs) x = rng.normal(5.0, 2.0);
+  EXPECT_NEAR(mean(xs), 5.0, 0.05);
+  EXPECT_NEAR(stddev(xs), 2.0, 0.05);
+}
+
+TEST(Rng, BernoulliEdges) {
+  Rng rng(23);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-0.5));
+    EXPECT_TRUE(rng.bernoulli(1.5));
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(29);
+  int hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.02);
+}
+
+TEST(Rng, NumericSplitMatchesRepeatedCall) {
+  Rng root(31);
+  EXPECT_EQ(root.split(99).next_u64(), Rng(31).split(99).next_u64());
+}
+
+}  // namespace
+}  // namespace arbiterq::math

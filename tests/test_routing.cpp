@@ -1,0 +1,173 @@
+#include "arbiterq/transpile/routing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "arbiterq/circuit/unitary.hpp"
+#include "arbiterq/math/rng.hpp"
+
+namespace arbiterq::transpile {
+namespace {
+
+using circuit::Circuit;
+using circuit::Gate;
+using circuit::GateKind;
+using circuit::ParamExpr;
+using device::Topology;
+
+/// Check routed ~ original: undo the final layout permutation and compare
+/// unitaries (device qubits == circuit qubits required).
+void expect_equivalent(const Circuit& original, const RoutedCircuit& routed,
+                       const std::vector<double>& params) {
+  const auto u_orig = circuit_unitary(original, params);
+  auto u_routed = circuit_unitary(routed.circuit, params);
+  // routed = P_final^{-1} ... ; applying P_final^{-1}? The routed circuit
+  // computes U' = P * U where P maps initial positions to final ones, so
+  // compare P^dagger * U' with U. P as permutation: out[final] = in[initial].
+  std::vector<int> perm(routed.final_layout.size());
+  for (std::size_t l = 0; l < routed.final_layout.size(); ++l) {
+    perm[l] = routed.final_layout[l];
+  }
+  const auto p = circuit::permutation_unitary(perm);
+  // P maps logical index q to physical final_layout[q]; the routed
+  // circuit ends with logical qubit q living on physical final_layout[q],
+  // i.e. U_routed = P U_orig. Undo it.
+  std::vector<circuit::Complex> p_dag(p.size());
+  const std::size_t dim = routed.final_layout.empty()
+                              ? 0
+                              : (std::size_t{1} << routed.final_layout.size());
+  for (std::size_t r = 0; r < dim; ++r) {
+    for (std::size_t c = 0; c < dim; ++c) {
+      p_dag[r * dim + c] = std::conj(p[c * dim + r]);
+    }
+  }
+  const auto undone = circuit::multiply_square(p_dag, u_routed);
+  EXPECT_LT(circuit::unitary_distance_up_to_phase(u_orig, undone), 1e-9);
+}
+
+TEST(Routing, AdjacentGatesUntouched) {
+  Circuit c(3, 0);
+  c.h(0).cx(0, 1).cx(1, 2);
+  const RoutedCircuit r = route(c, Topology::line(3));
+  EXPECT_EQ(r.circuit.size(), 3U);
+  EXPECT_EQ(r.circuit.routing_swap_count(), 0U);
+  EXPECT_EQ(r.final_layout, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Routing, InsertsSwapForDistantPair) {
+  Circuit c(3, 0);
+  c.cx(0, 2);
+  const RoutedCircuit r = route(c, Topology::line(3));
+  EXPECT_EQ(r.circuit.routing_swap_count(), 1U);
+  EXPECT_TRUE(respects_topology(r.circuit, Topology::line(3)));
+}
+
+TEST(Routing, SwapTaggingAndAttribution) {
+  Circuit c(4, 0);
+  c.h(0).cx(0, 3);
+  const RoutedCircuit r = route(c, Topology::line(4));
+  bool found_swap = false;
+  for (const Gate& g : r.circuit.gates()) {
+    if (g.is_routing_swap) {
+      found_swap = true;
+      EXPECT_EQ(g.kind, GateKind::kSwap);
+      EXPECT_EQ(g.logical_id, 1);  // the CX at index 1 caused it
+    }
+  }
+  EXPECT_TRUE(found_swap);
+}
+
+TEST(Routing, DeviceTooSmallThrows) {
+  Circuit c(4, 0);
+  c.cx(0, 3);
+  EXPECT_THROW(route(c, Topology::line(3)), std::invalid_argument);
+}
+
+TEST(Routing, DisconnectedTopologyThrows) {
+  Circuit c(2, 0);
+  c.cx(0, 1);
+  EXPECT_THROW(route(c, Topology(4, {{0, 1}, {2, 3}})),
+               std::invalid_argument);
+}
+
+TEST(Routing, RespectsTopologyPredicateDetectsViolation) {
+  Circuit c(3, 0);
+  c.cx(0, 2);
+  EXPECT_FALSE(respects_topology(c, Topology::line(3)));
+  EXPECT_TRUE(respects_topology(c, Topology::fully_connected(3)));
+}
+
+TEST(Routing, UnitaryEquivalenceOnLine) {
+  Circuit c(3, 2);
+  c.ry(0, ParamExpr::ref(0)).cx(0, 2).crz(2, 0, ParamExpr::ref(1)).h(1);
+  const RoutedCircuit r = route(c, Topology::line(3));
+  EXPECT_TRUE(respects_topology(r.circuit, Topology::line(3)));
+  expect_equivalent(c, r, {0.7, -1.1});
+}
+
+TEST(Routing, UnitaryEquivalenceOnStar) {
+  Circuit c(4, 1);
+  c.cx(1, 2).cx(2, 3).crx(3, 1, ParamExpr::ref(0)).h(0).cx(0, 3);
+  const device::Topology star = Topology::star(4);
+  const RoutedCircuit r = route(c, star);
+  EXPECT_TRUE(respects_topology(r.circuit, star));
+  expect_equivalent(c, r, {1.9});
+}
+
+class RandomRouting : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomRouting, RandomCircuitsStayEquivalent) {
+  math::Rng rng(500 + GetParam());
+  const int n = 4;
+  Circuit c(n, 3);
+  for (int i = 0; i < 12; ++i) {
+    const int a = static_cast<int>(rng.uniform_int(n));
+    int b = static_cast<int>(rng.uniform_int(n));
+    if (b == a) b = (a + 1) % n;
+    switch (rng.uniform_int(3)) {
+      case 0:
+        c.ry(a, ParamExpr::ref(static_cast<int>(rng.uniform_int(3))));
+        break;
+      case 1:
+        c.cx(a, b);
+        break;
+      default:
+        c.crz(a, b, ParamExpr::ref(static_cast<int>(rng.uniform_int(3))));
+        break;
+    }
+  }
+  for (const Topology& topo :
+       {Topology::line(n), Topology::ring(n), Topology::star(n),
+        Topology::grid(2, 2)}) {
+    const RoutedCircuit r = route(c, topo);
+    EXPECT_TRUE(respects_topology(r.circuit, topo));
+    expect_equivalent(c, r, {0.4, -0.8, 1.6});
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomRouting, ::testing::Range(0, 8));
+
+TEST(Routing, FinalLayoutTracksLogicalQubits) {
+  Circuit c(3, 0);
+  c.cx(0, 2);  // forces a swap on the line
+  const RoutedCircuit r = route(c, Topology::line(3));
+  // Whatever happened, each logical qubit maps to a distinct physical one.
+  std::vector<bool> used(3, false);
+  for (int p : r.final_layout) {
+    ASSERT_GE(p, 0);
+    ASSERT_LT(p, 3);
+    EXPECT_FALSE(used[static_cast<std::size_t>(p)]);
+    used[static_cast<std::size_t>(p)] = true;
+  }
+}
+
+TEST(Routing, LargerDeviceThanCircuit) {
+  Circuit c(2, 0);
+  c.cx(0, 1);
+  const RoutedCircuit r = route(c, Topology::grid(2, 3));
+  EXPECT_EQ(r.circuit.num_qubits(), 6);
+  EXPECT_TRUE(respects_topology(r.circuit, Topology::grid(2, 3)));
+  EXPECT_EQ(r.final_layout.size(), 2U);
+}
+
+}  // namespace
+}  // namespace arbiterq::transpile

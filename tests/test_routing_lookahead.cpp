@@ -1,0 +1,123 @@
+// Tests for the SABRE-style lookahead router (RoutingOptions::kLookahead):
+// correctness mirrors the greedy router's contract, plus quality checks.
+
+#include <gtest/gtest.h>
+
+#include "arbiterq/circuit/unitary.hpp"
+#include "arbiterq/math/rng.hpp"
+#include "arbiterq/transpile/routing.hpp"
+
+namespace arbiterq::transpile {
+namespace {
+
+using circuit::Circuit;
+using circuit::ParamExpr;
+using device::Topology;
+
+RoutingOptions lookahead() {
+  RoutingOptions o;
+  o.strategy = RoutingOptions::Strategy::kLookahead;
+  return o;
+}
+
+void expect_equivalent(const Circuit& original, const RoutedCircuit& routed,
+                       const std::vector<double>& params) {
+  const auto u_orig = circuit_unitary(original, params);
+  const auto u_routed = circuit_unitary(routed.circuit, params);
+  const auto p = circuit::permutation_unitary(routed.final_layout);
+  const std::size_t dim = std::size_t{1} << routed.final_layout.size();
+  std::vector<circuit::Complex> p_dag(p.size());
+  for (std::size_t r = 0; r < dim; ++r) {
+    for (std::size_t c = 0; c < dim; ++c) {
+      p_dag[r * dim + c] = std::conj(p[c * dim + r]);
+    }
+  }
+  EXPECT_LT(circuit::unitary_distance_up_to_phase(
+                u_orig, circuit::multiply_square(p_dag, u_routed)),
+            1e-9);
+}
+
+TEST(LookaheadRouting, AdjacentCircuitUntouched) {
+  Circuit c(3, 0);
+  c.h(0).cx(0, 1).cx(1, 2);
+  const RoutedCircuit r = route(c, Topology::line(3), lookahead());
+  EXPECT_EQ(r.circuit.routing_swap_count(), 0U);
+}
+
+TEST(LookaheadRouting, RespectsTopologyOnHardCircuits) {
+  Circuit c(4, 0);
+  c.cx(0, 3).cx(1, 2).cx(0, 2).cx(3, 1);
+  for (const Topology& topo :
+       {Topology::line(4), Topology::star(4), Topology::ring(4)}) {
+    const RoutedCircuit r = route(c, topo, lookahead());
+    EXPECT_TRUE(respects_topology(r.circuit, topo));
+  }
+}
+
+class LookaheadEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(LookaheadEquivalence, RandomCircuitsStayEquivalent) {
+  math::Rng rng(900 + GetParam());
+  const int n = 4;
+  Circuit c(n, 3);
+  for (int i = 0; i < 14; ++i) {
+    const int a = static_cast<int>(rng.uniform_int(n));
+    int b = static_cast<int>(rng.uniform_int(n));
+    if (b == a) b = (a + 1) % n;
+    if (rng.bernoulli(0.4)) {
+      c.ry(a, ParamExpr::ref(static_cast<int>(rng.uniform_int(3))));
+    } else {
+      c.crz(a, b, ParamExpr::ref(static_cast<int>(rng.uniform_int(3))));
+    }
+  }
+  for (const Topology& topo :
+       {Topology::line(n), Topology::star(n), Topology::grid(2, 2)}) {
+    const RoutedCircuit r = route(c, topo, lookahead());
+    EXPECT_TRUE(respects_topology(r.circuit, topo));
+    expect_equivalent(c, r, {0.5, -1.0, 1.4});
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LookaheadEquivalence,
+                         ::testing::Range(0, 8));
+
+TEST(LookaheadRouting, CompetitiveSwapCountOnRingWorkload) {
+  // Ring entangler over a line: the canonical congested pattern. The
+  // lookahead router must not be drastically worse than greedy, and on
+  // this workload it is typically at least as good.
+  Circuit c(6, 0);
+  for (int rep = 0; rep < 3; ++rep) {
+    for (int q = 0; q < 6; ++q) c.cx(q, (q + 1) % 6);
+  }
+  const auto greedy = route(c, Topology::line(6));
+  const auto smart = route(c, Topology::line(6), lookahead());
+  EXPECT_LE(smart.circuit.routing_swap_count(),
+            greedy.circuit.routing_swap_count() + 2);
+}
+
+TEST(LookaheadRouting, WindowAndDecayConfigurable) {
+  Circuit c(4, 0);
+  c.cx(0, 3).cx(1, 3).cx(0, 2);
+  RoutingOptions tight = lookahead();
+  tight.lookahead_window = 1;
+  tight.lookahead_decay = 0.1;
+  const RoutedCircuit r = route(c, Topology::line(4), tight);
+  EXPECT_TRUE(respects_topology(r.circuit, Topology::line(4)));
+  expect_equivalent(c, r, {});
+}
+
+TEST(LookaheadRouting, SwapTaggingPreserved) {
+  Circuit c(4, 0);
+  c.cx(0, 3);
+  const RoutedCircuit r = route(c, Topology::line(4), lookahead());
+  for (const auto& g : r.circuit.gates()) {
+    if (g.is_routing_swap) {
+      EXPECT_EQ(g.kind, circuit::GateKind::kSwap);
+      EXPECT_EQ(g.logical_id, 0);
+    }
+  }
+  EXPECT_GE(r.circuit.routing_swap_count(), 1U);
+}
+
+}  // namespace
+}  // namespace arbiterq::transpile

@@ -1,0 +1,115 @@
+// Tests for ensemble-weighted inference and the throughput/makespan
+// metrics added to InferenceReport.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "arbiterq/core/scheduler.hpp"
+#include "arbiterq/core/torus.hpp"
+#include "arbiterq/core/trainers.hpp"
+#include "arbiterq/device/presets.hpp"
+
+namespace arbiterq::core {
+namespace {
+
+class EnsembleFixture : public ::testing::Test {
+ protected:
+  EnsembleFixture()
+      : model_(qnn::Backbone::kCRz, 2, 2),
+        split_(data::prepare_case({"iris", 2, 2})) {
+    TrainConfig cfg;
+    cfg.epochs = 15;
+    trainer_ = std::make_unique<DistributedTrainer>(
+        model_, device::table3_fleet_subset(5, 2), cfg);
+    result_ = trainer_->train(Strategy::kArbiterQ, split_);
+    tasks_ = make_tasks(split_.test_features, split_.test_labels);
+    config_.shots_per_task = 96;
+    config_.warmup_shots = 8;
+    config_.trajectories = 8;
+  }
+
+  qnn::QnnModel model_;
+  data::EncodedSplit split_;
+  std::unique_ptr<DistributedTrainer> trainer_;
+  TrainResult result_;
+  std::vector<InferenceTask> tasks_;
+  ScheduleConfig config_;
+};
+
+TEST_F(EnsembleFixture, EveryQpuRunsEveryTask) {
+  const auto votes = trainer_->eqc_vote_weights();
+  const auto r = ensemble_weighted_inference(
+      trainer_->executors(), result_.weights, votes, tasks_, config_);
+  for (double s : r.qpu_shots) {
+    EXPECT_DOUBLE_EQ(s, static_cast<double>(tasks_.size()) *
+                            config_.shots_per_task);
+  }
+}
+
+TEST_F(EnsembleFixture, Validation) {
+  const std::vector<double> bad_votes = {1.0};
+  EXPECT_THROW(
+      ensemble_weighted_inference(trainer_->executors(), result_.weights,
+                                  bad_votes, tasks_, config_),
+      std::invalid_argument);
+  const std::vector<double> zero_votes(5, 0.0);
+  EXPECT_THROW(
+      ensemble_weighted_inference(trainer_->executors(), result_.weights,
+                                  zero_votes, tasks_, config_),
+      std::invalid_argument);
+  const std::vector<double> neg_votes = {1.0, 1.0, -1.0, 1.0, 1.0};
+  EXPECT_THROW(
+      ensemble_weighted_inference(trainer_->executors(), result_.weights,
+                                  neg_votes, tasks_, config_),
+      std::invalid_argument);
+  EXPECT_THROW(
+      ensemble_weighted_inference(trainer_->executors(), result_.weights,
+                                  trainer_->eqc_vote_weights(), {},
+                                  config_),
+      std::invalid_argument);
+}
+
+TEST_F(EnsembleFixture, EnsembleBeatsSingleDeviceBatch) {
+  // Averaging every device's prediction cancels per-device bias at least
+  // as well as a single randomly assigned device.
+  ScheduleConfig cfg = config_;
+  cfg.shots_per_task = 256;
+  const auto votes = trainer_->eqc_vote_weights();
+  const auto ensemble = ensemble_weighted_inference(
+      trainer_->executors(), result_.weights, votes, tasks_, cfg);
+  const auto batch = batch_based_inference(trainer_->executors(),
+                                           result_.weights, tasks_, cfg);
+  EXPECT_LE(ensemble.mean_loss, batch.mean_loss + 0.01);
+  EXPECT_LE(ensemble.loss_stddev, batch.loss_stddev + 0.01);
+}
+
+TEST_F(EnsembleFixture, EnsemblePaysInMakespan) {
+  const auto votes = trainer_->eqc_vote_weights();
+  const auto ensemble = ensemble_weighted_inference(
+      trainer_->executors(), result_.weights, votes, tasks_, config_);
+  const auto batch = batch_based_inference(trainer_->executors(),
+                                           result_.weights, tasks_, config_);
+  // Each QPU of the ensemble runs the full task set; batch splits it.
+  EXPECT_GT(ensemble.makespan_us, batch.makespan_us);
+  EXPECT_LT(ensemble.throughput_tasks_per_s,
+            batch.throughput_tasks_per_s);
+}
+
+TEST_F(EnsembleFixture, ThroughputFieldsConsistent) {
+  const auto partition = build_torus_partition(
+      trainer_->behavioral_vectors(), result_.weights);
+  const ShotOrientedScheduler sched(trainer_->executors(), result_.weights,
+                                    partition, config_);
+  const auto r = sched.run(tasks_);
+  EXPECT_GT(r.makespan_us, 0.0);
+  EXPECT_NEAR(r.throughput_tasks_per_s,
+              1e6 * static_cast<double>(tasks_.size()) / r.makespan_us,
+              1e-9);
+  double max_busy = 0.0;
+  for (double b : r.qpu_busy_us) max_busy = std::max(max_busy, b);
+  EXPECT_DOUBLE_EQ(r.makespan_us, max_busy);
+}
+
+}  // namespace
+}  // namespace arbiterq::core

@@ -1,0 +1,148 @@
+#include "arbiterq/circuit/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "arbiterq/circuit/unitary.hpp"
+#include "arbiterq/device/presets.hpp"
+#include "arbiterq/math/rng.hpp"
+#include "arbiterq/qnn/model.hpp"
+#include "arbiterq/transpile/transpiler.hpp"
+
+namespace arbiterq::circuit {
+namespace {
+
+void expect_roundtrip(const Circuit& c) {
+  const std::string text = serialize(c);
+  const Circuit back = deserialize(text);
+  ASSERT_EQ(back.num_qubits(), c.num_qubits());
+  ASSERT_EQ(back.num_params(), c.num_params());
+  ASSERT_EQ(back.size(), c.size());
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    const Gate& a = c.gate(i);
+    const Gate& b = back.gate(i);
+    EXPECT_EQ(a.kind, b.kind) << i;
+    EXPECT_EQ(a.qubits, b.qubits) << i;
+    EXPECT_EQ(a.is_routing_swap, b.is_routing_swap) << i;
+    for (int k = 0; k < a.param_count(); ++k) {
+      EXPECT_EQ(a.params[static_cast<std::size_t>(k)].index,
+                b.params[static_cast<std::size_t>(k)].index)
+          << i;
+      EXPECT_DOUBLE_EQ(a.params[static_cast<std::size_t>(k)].coeff,
+                       b.params[static_cast<std::size_t>(k)].coeff)
+          << i;
+      EXPECT_DOUBLE_EQ(a.params[static_cast<std::size_t>(k)].offset,
+                       b.params[static_cast<std::size_t>(k)].offset)
+          << i;
+    }
+  }
+}
+
+TEST(Serialize, SimpleCircuitRoundTrips) {
+  Circuit c(2, 1);
+  c.h(0).cx(0, 1).ry(1, ParamExpr::ref(0));
+  expect_roundtrip(c);
+}
+
+TEST(Serialize, SymbolicParamsRoundTrip) {
+  Circuit c(2, 3);
+  c.rz(0, ParamExpr::ref(2, 0.5, 1.25))
+      .rx(1, ParamExpr::ref(0, -2.0))
+      .crz(0, 1, ParamExpr::ref(1, 1.0, -0.75))
+      .u3(0, ParamExpr::ref(0), ParamExpr::constant(0.5),
+          ParamExpr::ref(2, -0.5, 0.125));
+  expect_roundtrip(c);
+}
+
+TEST(Serialize, ProvenanceTagsRoundTrip) {
+  Circuit c(3, 0);
+  Gate sw;
+  sw.kind = GateKind::kSwap;
+  sw.qubits = {0, 1};
+  sw.is_routing_swap = true;
+  sw.logical_id = 5;
+  c.add(sw);
+  Gate x;
+  x.kind = GateKind::kX;
+  x.qubits = {2, 0};
+  x.logical_id = 7;
+  c.add(x);
+  expect_roundtrip(c);
+  const Circuit back = deserialize(serialize(c));
+  EXPECT_TRUE(back.gate(0).is_routing_swap);
+  EXPECT_EQ(back.gate(0).logical_id, 5);
+  EXPECT_EQ(back.gate(1).logical_id, 7);
+}
+
+TEST(Serialize, TranspiledModelRoundTripsSemantically) {
+  const qnn::QnnModel m(qnn::Backbone::kCRx, 3, 2);
+  const auto dev = device::table3_fleet(3)[0];
+  const auto compiled = transpile::compile(m.circuit(), dev);
+  const Circuit back = deserialize(serialize(compiled.executable));
+  std::vector<double> params(static_cast<std::size_t>(m.num_params()));
+  math::Rng rng(5);
+  for (double& p : params) p = rng.uniform(-2.0, 2.0);
+  EXPECT_LT(unitary_distance_up_to_phase(
+                circuit_unitary(compiled.executable, params),
+                circuit_unitary(back, params)),
+            1e-12);
+}
+
+TEST(Serialize, CommentsAndBlankLinesIgnored) {
+  const Circuit c = deserialize(
+      "aqc 1\n"
+      "qubits 2\n"
+      "params 1\n"
+      "\n"
+      "# a comment\n"
+      "h q0   # trailing comment\n"
+      "crz q0 q1 p0*0.5\n");
+  EXPECT_EQ(c.size(), 2U);
+  EXPECT_EQ(c.gate(1).params[0].coeff, 0.5);
+}
+
+TEST(Serialize, MalformedInputsRejectedWithLineInfo) {
+  EXPECT_THROW(deserialize(""), std::invalid_argument);
+  EXPECT_THROW(deserialize("qasm 2\n"), std::invalid_argument);
+  EXPECT_THROW(deserialize("aqc 1\nqubits 2\n"), std::invalid_argument);
+  const std::string header = "aqc 1\nqubits 2\nparams 1\n";
+  EXPECT_THROW(deserialize(header + "foo q0\n"), std::invalid_argument);
+  EXPECT_THROW(deserialize(header + "cx q0\n"), std::invalid_argument);
+  EXPECT_THROW(deserialize(header + "ry q0\n"), std::invalid_argument);
+  EXPECT_THROW(deserialize(header + "ry q0 pX\n"), std::invalid_argument);
+  EXPECT_THROW(deserialize(header + "ry q0 p0 extra\n"),
+               std::invalid_argument);
+  EXPECT_THROW(deserialize(header + "ry q9 p0\n"), std::out_of_range);
+  EXPECT_THROW(deserialize(header + "ry q0 p7\n"), std::out_of_range);
+}
+
+TEST(Serialize, RandomCircuitsRoundTrip) {
+  math::Rng rng(99);
+  for (int trial = 0; trial < 10; ++trial) {
+    Circuit c(4, 5);
+    for (int i = 0; i < 20; ++i) {
+      const int a = static_cast<int>(rng.uniform_int(4));
+      int b = static_cast<int>(rng.uniform_int(4));
+      if (b == a) b = (a + 1) % 4;
+      switch (rng.uniform_int(4)) {
+        case 0:
+          c.sx(a);
+          break;
+        case 1:
+          c.rz(a, ParamExpr::ref(static_cast<int>(rng.uniform_int(5)),
+                                 rng.uniform(-2.0, 2.0),
+                                 rng.uniform(-3.0, 3.0)));
+          break;
+        case 2:
+          c.cx(a, b);
+          break;
+        default:
+          c.cry(a, b, ParamExpr::constant(rng.uniform(-3.0, 3.0)));
+          break;
+      }
+    }
+    expect_roundtrip(c);
+  }
+}
+
+}  // namespace
+}  // namespace arbiterq::circuit

@@ -1,0 +1,115 @@
+#include "arbiterq/core/similarity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace arbiterq::core {
+namespace {
+
+BehavioralVector bv(std::vector<double> ctx, std::vector<double> topo) {
+  BehavioralVector v;
+  v.contextual = std::move(ctx);
+  v.topological = std::move(topo);
+  return v;
+}
+
+TEST(BehavioralDistance, Eq1Definition) {
+  const auto a = bv({0.0, 0.0}, {0.0, 0.0});
+  const auto b = bv({3e-3, 0.0}, {4e-3, 0.0});
+  // ||a-b||_2 = 5e-3, length = 4, dist = 1.25e-3.
+  EXPECT_NEAR(behavioral_distance(a, b), 1.25e-3, 1e-12);
+  EXPECT_DOUBLE_EQ(behavioral_distance(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(behavioral_distance(a, b), behavioral_distance(b, a));
+}
+
+TEST(BehavioralDistance, LengthMismatchThrows) {
+  EXPECT_THROW(behavioral_distance(bv({0.1}, {0.0}),
+                                   bv({0.1, 0.2}, {0.0, 0.0})),
+               std::invalid_argument);
+}
+
+TEST(Similarity, ExponentialKernel) {
+  EXPECT_DOUBLE_EQ(similarity_from_distance(0.0, 2000.0), 1.0);
+  EXPECT_NEAR(similarity_from_distance(1e-3, 2000.0), std::exp(-2.0),
+              1e-12);
+  EXPECT_THROW(similarity_from_distance(-1.0, 2000.0),
+               std::invalid_argument);
+  EXPECT_THROW(similarity_from_distance(1.0, -2000.0),
+               std::invalid_argument);
+}
+
+TEST(Similarity, KappaSharpensKernel) {
+  const double d = 5e-4;
+  EXPECT_GT(similarity_from_distance(d, 100.0),
+            similarity_from_distance(d, 10000.0));
+}
+
+class SimilarityGraphTest : public ::testing::Test {
+ protected:
+  SimilarityGraphTest()
+      : vectors_({bv({0.00, 0.0}, {0.0, 0.0}),   // node 0
+                  bv({0.001, 0.0}, {0.0, 0.0}),  // node 1, close to 0
+                  bv({0.05, 0.0}, {0.0, 0.0}),   // node 2, far away
+                  bv({0.051, 0.0}, {0.0, 0.0})}),  // node 3, close to 2
+        graph_(vectors_, 2000.0) {}
+
+  std::vector<BehavioralVector> vectors_;
+  SimilarityGraph graph_;
+};
+
+TEST_F(SimilarityGraphTest, MatricesWellFormed) {
+  EXPECT_EQ(graph_.size(), 4U);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(graph_.distance(i, i), 0.0);
+    EXPECT_DOUBLE_EQ(graph_.similarity(i, i), 1.0);
+    for (std::size_t j = 0; j < 4; ++j) {
+      EXPECT_DOUBLE_EQ(graph_.distance(i, j), graph_.distance(j, i));
+      EXPECT_GE(graph_.similarity(i, j), 0.0);
+      EXPECT_LE(graph_.similarity(i, j), 1.0);
+    }
+  }
+}
+
+TEST_F(SimilarityGraphTest, GroupsAreConnectedComponents) {
+  const auto groups = graph_.groups(1e-3);
+  ASSERT_EQ(groups.size(), 2U);
+  EXPECT_EQ(groups[0], (std::vector<int>{0, 1}));
+  EXPECT_EQ(groups[1], (std::vector<int>{2, 3}));
+}
+
+TEST_F(SimilarityGraphTest, TinyThresholdIsolatesEverything) {
+  const auto groups = graph_.groups(1e-9);
+  EXPECT_EQ(groups.size(), 4U);
+}
+
+TEST_F(SimilarityGraphTest, HugeThresholdMergesEverything) {
+  const auto groups = graph_.groups(1.0);
+  ASSERT_EQ(groups.size(), 1U);
+  EXPECT_EQ(groups[0].size(), 4U);
+}
+
+TEST_F(SimilarityGraphTest, PeersExcludeSelf) {
+  const auto peers = graph_.peers(0, 1e-3);
+  ASSERT_EQ(peers.size(), 1U);
+  EXPECT_EQ(peers[0], 1);
+  EXPECT_TRUE(graph_.peers(0, 1e-9).empty());
+}
+
+TEST(SimilarityGraph, ChainedComponentsMerge) {
+  // a-b close, b-c close, a-c far: all three must land in one group.
+  std::vector<BehavioralVector> vs = {bv({0.000}, {0.0}),
+                                      bv({0.002}, {0.0}),
+                                      bv({0.004}, {0.0})};
+  const SimilarityGraph g(vs, 2000.0);
+  const auto groups = g.groups(1.1e-3);  // pairwise adjacent only
+  ASSERT_EQ(groups.size(), 1U);
+  EXPECT_EQ(groups[0].size(), 3U);
+}
+
+TEST(SimilarityGraph, EmptyInputThrows) {
+  EXPECT_THROW(SimilarityGraph({}, 2000.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace arbiterq::core

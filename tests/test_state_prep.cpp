@@ -1,0 +1,107 @@
+#include "arbiterq/transpile/state_prep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arbiterq/math/rng.hpp"
+#include "arbiterq/sim/statevector.hpp"
+
+namespace arbiterq::transpile {
+namespace {
+
+sim::Statevector run(const circuit::Circuit& c) {
+  sim::Statevector sv(c.num_qubits());
+  for (const auto& g : c.gates()) sv.apply_gate(g, {});
+  return sv;
+}
+
+void expect_prepares(const std::vector<double>& amplitudes) {
+  const circuit::Circuit c = prepare_real_state(amplitudes);
+  const sim::Statevector sv = run(c);
+  double norm = 0.0;
+  for (double a : amplitudes) norm += a * a;
+  const double inv = 1.0 / std::sqrt(norm);
+  for (std::size_t i = 0; i < amplitudes.size(); ++i) {
+    EXPECT_NEAR(sv.amplitudes()[i].real(), amplitudes[i] * inv, 1e-10)
+        << "index " << i;
+    EXPECT_NEAR(sv.amplitudes()[i].imag(), 0.0, 1e-10) << "index " << i;
+  }
+}
+
+TEST(StatePrep, Validation) {
+  EXPECT_THROW(prepare_real_state({1.0}), std::invalid_argument);
+  EXPECT_THROW(prepare_real_state({1.0, 0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(prepare_real_state({0.0, 0.0}), std::invalid_argument);
+}
+
+TEST(StatePrep, SingleQubitStates) {
+  expect_prepares({1.0, 0.0});
+  expect_prepares({0.0, 1.0});
+  expect_prepares({1.0, 1.0});
+  expect_prepares({0.6, -0.8});
+  expect_prepares({-0.28, 0.96});
+}
+
+TEST(StatePrep, UniformSuperpositions) {
+  expect_prepares({1.0, 1.0, 1.0, 1.0});
+  expect_prepares({1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0});
+}
+
+TEST(StatePrep, BasisStates) {
+  for (std::size_t i = 0; i < 8; ++i) {
+    std::vector<double> a(8, 0.0);
+    a[i] = 1.0;
+    expect_prepares(a);
+  }
+}
+
+TEST(StatePrep, SignedAndSparseStates) {
+  expect_prepares({0.5, -0.5, 0.5, -0.5});
+  expect_prepares({0.0, 0.6, 0.0, -0.8});
+  expect_prepares({0.9, 0.0, 0.0, 0.1, 0.0, 0.0, -0.3, 0.0});
+}
+
+class StatePrepRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(StatePrepRandom, RandomRealStates) {
+  math::Rng rng(1300 + GetParam());
+  const int n = 2 + GetParam() % 4;  // 2..5 qubits
+  std::vector<double> a(std::size_t{1} << n);
+  for (double& v : a) v = rng.uniform(-1.0, 1.0);
+  expect_prepares(a);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StatePrepRandom, ::testing::Range(0, 12));
+
+TEST(StatePrep, GateBudgetIsMultiplexorSized) {
+  // The recursive multiplexor at level k emits 2^k RY and 2^(k+1)-2 CX,
+  // so an n-qubit preparation uses exactly 3*2^n - 2n - 3 gates.
+  for (int n : {2, 3, 4, 5}) {
+    std::vector<double> a(std::size_t{1} << n, 1.0);
+    const auto c = prepare_real_state(a);
+    EXPECT_EQ(c.size(), 3U * (std::size_t{1} << n) -
+                            2U * static_cast<std::size_t>(n) - 3U)
+        << n << " qubits";
+  }
+}
+
+TEST(AmplitudeEncode, PadsAndNormalizes) {
+  const auto v = amplitude_encode({3.0, 4.0, 0.0});
+  ASSERT_EQ(v.size(), 4U);
+  EXPECT_NEAR(v[0], 0.6, 1e-12);
+  EXPECT_NEAR(v[1], 0.8, 1e-12);
+  EXPECT_DOUBLE_EQ(v[2], 0.0);
+  EXPECT_DOUBLE_EQ(v[3], 0.0);
+  EXPECT_THROW(amplitude_encode({}), std::invalid_argument);
+  EXPECT_THROW(amplitude_encode({0.0, 0.0}), std::invalid_argument);
+}
+
+TEST(AmplitudeEncode, EndToEndWithStatePrep) {
+  const auto v = amplitude_encode({1.0, 2.0, 3.0, 4.0, 5.0});
+  ASSERT_EQ(v.size(), 8U);
+  expect_prepares(v);
+}
+
+}  // namespace
+}  // namespace arbiterq::transpile

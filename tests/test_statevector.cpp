@@ -1,0 +1,125 @@
+#include "arbiterq/sim/statevector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace arbiterq::sim {
+namespace {
+
+using circuit::Circuit;
+using circuit::GateKind;
+using circuit::ParamExpr;
+
+TEST(Statevector, InitialState) {
+  Statevector sv(3);
+  EXPECT_EQ(sv.dim(), 8U);
+  EXPECT_NEAR(std::abs(sv.amplitudes()[0] - 1.0), 0.0, 1e-15);
+  EXPECT_NEAR(sv.norm(), 1.0, 1e-15);
+  EXPECT_NEAR(sv.probability_of_one(0), 0.0, 1e-15);
+}
+
+TEST(Statevector, InvalidSizesThrow) {
+  EXPECT_THROW(Statevector(0), std::invalid_argument);
+  EXPECT_THROW(Statevector(-1), std::invalid_argument);
+  EXPECT_THROW(Statevector(30), std::invalid_argument);
+}
+
+TEST(Statevector, XFlipsTarget) {
+  Statevector sv(2);
+  sv.apply_mat2(circuit::gate_matrix_1q(GateKind::kX, {}), 1);
+  EXPECT_NEAR(sv.probability_of_one(1), 1.0, 1e-15);
+  EXPECT_NEAR(sv.probability_of_one(0), 0.0, 1e-15);
+  EXPECT_NEAR(sv.expectation_z(1), -1.0, 1e-15);
+  EXPECT_NEAR(sv.expectation_z(0), 1.0, 1e-15);
+}
+
+TEST(Statevector, BellStateProbabilities) {
+  Statevector sv(2);
+  sv.apply_mat2(circuit::gate_matrix_1q(GateKind::kH, {}), 0);
+  sv.apply_mat4(circuit::gate_matrix_2q(GateKind::kCX, {}), 0, 1);
+  const auto p = sv.probabilities();
+  EXPECT_NEAR(p[0], 0.5, 1e-12);
+  EXPECT_NEAR(p[3], 0.5, 1e-12);
+  EXPECT_NEAR(p[1], 0.0, 1e-12);
+  EXPECT_NEAR(p[2], 0.0, 1e-12);
+}
+
+TEST(Statevector, RyRotatesProbabilitySmoothly) {
+  for (double theta : {0.0, 0.4, 1.1, std::numbers::pi}) {
+    Statevector sv(1);
+    sv.apply_mat2(circuit::matrix_ry(theta), 0);
+    EXPECT_NEAR(sv.probability_of_one(0), std::sin(theta / 2) *
+                                              std::sin(theta / 2),
+                1e-12);
+  }
+}
+
+TEST(Statevector, ApplyGateBindsParams) {
+  Circuit c(1, 1);
+  c.ry(0, ParamExpr::ref(0));
+  Statevector sv(1);
+  const std::vector<double> params = {std::numbers::pi};
+  sv.apply_gate(c.gate(0), params);
+  EXPECT_NEAR(sv.probability_of_one(0), 1.0, 1e-12);
+}
+
+TEST(Statevector, PauliApplication) {
+  Statevector sv(1);
+  sv.apply_pauli(1, 0);  // X
+  EXPECT_NEAR(sv.probability_of_one(0), 1.0, 1e-15);
+  sv.apply_pauli(3, 0);  // Z on |1> adds phase only
+  EXPECT_NEAR(sv.probability_of_one(0), 1.0, 1e-15);
+  sv.apply_pauli(2, 0);  // Y on |1> -> -i|0>
+  EXPECT_NEAR(sv.probability_of_one(0), 0.0, 1e-15);
+  EXPECT_THROW(sv.apply_pauli(0, 0), std::invalid_argument);
+  EXPECT_THROW(sv.apply_pauli(4, 0), std::invalid_argument);
+}
+
+TEST(Statevector, ResetRestoresGround) {
+  Statevector sv(2);
+  sv.apply_mat2(circuit::gate_matrix_1q(GateKind::kH, {}), 0);
+  sv.reset();
+  EXPECT_NEAR(std::abs(sv.amplitudes()[0] - 1.0), 0.0, 1e-15);
+  EXPECT_NEAR(sv.norm(), 1.0, 1e-15);
+}
+
+TEST(Statevector, NormPreservedByLongRandomCircuit) {
+  math::Rng rng(77);
+  Statevector sv(4);
+  for (int i = 0; i < 200; ++i) {
+    const int q = static_cast<int>(rng.uniform_int(4));
+    sv.apply_mat2(circuit::matrix_u3(rng.uniform(0, 3.0), rng.uniform(0, 3.0),
+                                     rng.uniform(0, 3.0)),
+                  q);
+    int q2 = static_cast<int>(rng.uniform_int(4));
+    if (q2 == q) q2 = (q + 1) % 4;
+    sv.apply_mat4(circuit::gate_matrix_2q(GateKind::kCX, {}), q, q2);
+  }
+  EXPECT_NEAR(sv.norm(), 1.0, 1e-9);
+}
+
+TEST(Statevector, SamplingMatchesBornRule) {
+  Statevector sv(1);
+  sv.apply_mat2(circuit::matrix_ry(1.0), 0);  // p1 = sin^2(0.5) ~ 0.2298
+  math::Rng rng(5);
+  int ones = 0;
+  const int shots = 20000;
+  for (int s = 0; s < shots; ++s) {
+    ones += static_cast<int>(sv.sample(rng) & 1U);
+  }
+  const double expected = std::sin(0.5) * std::sin(0.5);
+  EXPECT_NEAR(static_cast<double>(ones) / shots, expected, 0.01);
+}
+
+TEST(Statevector, SampleDeterministicUnderSeed) {
+  Statevector sv(2);
+  sv.apply_mat2(circuit::gate_matrix_1q(GateKind::kH, {}), 0);
+  math::Rng a(9);
+  math::Rng b(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(sv.sample(a), sv.sample(b));
+}
+
+}  // namespace
+}  // namespace arbiterq::sim

@@ -1,0 +1,67 @@
+#include "arbiterq/math/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace arbiterq::math {
+namespace {
+
+TEST(Stats, Mean) {
+  EXPECT_DOUBLE_EQ(mean({2.0, 4.0, 6.0}), 4.0);
+  EXPECT_THROW(mean({}), std::invalid_argument);
+}
+
+TEST(Stats, Stddev) {
+  EXPECT_DOUBLE_EQ(stddev({1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev({}), 0.0);
+  // Sample stddev of {2, 4} = sqrt(2).
+  EXPECT_NEAR(stddev({2.0, 4.0}), std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(stddev({5.0, 5.0, 5.0}), 0.0, 1e-12);
+}
+
+TEST(Stats, MinMax) {
+  EXPECT_DOUBLE_EQ(min_value({3.0, -1.0, 2.0}), -1.0);
+  EXPECT_DOUBLE_EQ(max_value({3.0, -1.0, 2.0}), 3.0);
+  EXPECT_THROW(min_value({}), std::invalid_argument);
+  EXPECT_THROW(max_value({}), std::invalid_argument);
+}
+
+TEST(Stats, MovingAverageWindowOne) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  const auto out = moving_average(xs, 1);
+  EXPECT_EQ(out, xs);
+}
+
+TEST(Stats, MovingAverageSmoothsAndPreservesConstant) {
+  const std::vector<double> flat(10, 2.5);
+  const auto out = moving_average(flat, 5);
+  for (double v : out) EXPECT_DOUBLE_EQ(v, 2.5);
+}
+
+TEST(Stats, MovingAverageCenteredValues) {
+  const std::vector<double> xs = {0.0, 3.0, 6.0, 9.0};
+  const auto out = moving_average(xs, 3);
+  // Edges clamp: out[0] = mean(0,3) = 1.5; out[1] = mean(0,3,6) = 3.
+  EXPECT_DOUBLE_EQ(out[0], 1.5);
+  EXPECT_DOUBLE_EQ(out[1], 3.0);
+  EXPECT_DOUBLE_EQ(out[2], 6.0);
+  EXPECT_DOUBLE_EQ(out[3], 7.5);
+}
+
+TEST(Stats, MovingAverageZeroWindowThrows) {
+  EXPECT_THROW(moving_average({1.0}, 0), std::invalid_argument);
+}
+
+TEST(Stats, L2Norm) {
+  EXPECT_DOUBLE_EQ(l2_norm({3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(l2_norm({}), 0.0);
+}
+
+TEST(Stats, L2Distance) {
+  EXPECT_DOUBLE_EQ(l2_distance({0.0, 0.0}, {3.0, 4.0}), 5.0);
+  EXPECT_THROW(l2_distance({1.0}, {1.0, 2.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace arbiterq::math

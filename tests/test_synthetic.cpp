@@ -1,0 +1,120 @@
+#include "arbiterq/data/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arbiterq/math/stats.hpp"
+
+namespace arbiterq::data {
+namespace {
+
+struct Shape {
+  const char* name;
+  Dataset (*make)(std::uint64_t);
+  std::size_t samples;
+  std::size_t features;
+};
+
+class Table2Shapes : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(Table2Shapes, MatchesPaperDimensions) {
+  const Shape s = GetParam();
+  const Dataset d = s.make(1);
+  EXPECT_EQ(d.size(), s.samples);
+  EXPECT_EQ(d.num_features(), s.features);
+  EXPECT_NO_THROW(d.validate());
+}
+
+TEST_P(Table2Shapes, BalancedClasses) {
+  const Shape s = GetParam();
+  const Dataset d = s.make(1);
+  std::size_t ones = 0;
+  for (int l : d.labels) ones += static_cast<std::size_t>(l);
+  EXPECT_NEAR(static_cast<double>(ones), d.size() / 2.0, 1.0);
+}
+
+TEST_P(Table2Shapes, DeterministicPerSeed) {
+  const Shape s = GetParam();
+  const Dataset a = s.make(3);
+  const Dataset b = s.make(3);
+  EXPECT_EQ(a.samples, b.samples);
+  const Dataset c = s.make(4);
+  EXPECT_NE(a.samples, c.samples);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperRows, Table2Shapes,
+    ::testing::Values(Shape{"iris", iris_like, 100, 4},
+                      Shape{"wine", wine_like, 114, 13},
+                      Shape{"mnist", mnist_like, 100, 64},
+                      Shape{"hmdb51", hmdb51_like, 100, 108}),
+    [](const ::testing::TestParamInfo<Shape>& info) {
+      return info.param.name;
+    });
+
+TEST(Synthetic, SpecValidation) {
+  SyntheticSpec bad;
+  bad.num_samples = 1;
+  EXPECT_THROW(make_synthetic(bad), std::invalid_argument);
+  bad = SyntheticSpec{};
+  bad.num_features = 0;
+  EXPECT_THROW(make_synthetic(bad), std::invalid_argument);
+}
+
+TEST(Synthetic, SeparationControlsClassDistance) {
+  SyntheticSpec close;
+  close.name = "close";
+  close.num_samples = 400;
+  close.num_features = 4;
+  close.separation = 0.2;
+  close.noise_dims_fraction = 0.0;
+  SyntheticSpec far = close;
+  far.name = "close";  // same name so the rng stream matches
+  far.separation = 4.0;
+
+  auto centroid_gap = [](const Dataset& d) {
+    std::vector<double> c0(d.num_features(), 0.0);
+    std::vector<double> c1(d.num_features(), 0.0);
+    double n0 = 0.0;
+    double n1 = 0.0;
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      auto& c = d.labels[i] == 0 ? c0 : c1;
+      (d.labels[i] == 0 ? n0 : n1) += 1.0;
+      for (std::size_t k = 0; k < d.num_features(); ++k) {
+        c[k] += d.samples[i][k];
+      }
+    }
+    for (auto& v : c0) v /= n0;
+    for (auto& v : c1) v /= n1;
+    return math::l2_distance(c0, c1);
+  };
+  EXPECT_GT(centroid_gap(make_synthetic(far)),
+            3.0 * centroid_gap(make_synthetic(close)));
+}
+
+TEST(Synthetic, NoiseDimensionsCarryNoSignal) {
+  SyntheticSpec spec;
+  spec.name = "noisy";
+  spec.num_samples = 1000;
+  spec.num_features = 4;
+  spec.separation = 3.0;
+  spec.noise_dims_fraction = 0.5;  // last 2 dims are noise
+  const Dataset d = make_synthetic(spec);
+  // Mean difference per class should be large on dim 0, ~zero on dim 3.
+  double m0[2] = {0.0, 0.0};
+  double m3[2] = {0.0, 0.0};
+  double n[2] = {0.0, 0.0};
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    const int l = d.labels[i];
+    m0[l] += d.samples[i][0];
+    m3[l] += d.samples[i][3];
+    n[l] += 1.0;
+  }
+  const double gap0 = std::abs(m0[0] / n[0] - m0[1] / n[1]);
+  const double gap3 = std::abs(m3[0] / n[0] - m3[1] / n[1]);
+  EXPECT_GT(gap0, 5.0 * gap3);
+}
+
+}  // namespace
+}  // namespace arbiterq::data

@@ -1,0 +1,126 @@
+#include "arbiterq/device/topology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace arbiterq::device {
+namespace {
+
+TEST(Topology, ConstructionValidation) {
+  EXPECT_THROW(Topology(0, {}), std::invalid_argument);
+  EXPECT_THROW(Topology(2, {{0, 2}}), std::out_of_range);
+  EXPECT_THROW(Topology(2, {{1, 1}}), std::invalid_argument);
+}
+
+TEST(Topology, DeduplicatesEdges) {
+  const Topology t(3, {{0, 1}, {1, 0}, {0, 1}, {1, 2}});
+  EXPECT_EQ(t.num_edges(), 2U);
+}
+
+TEST(Topology, LineStructure) {
+  const Topology t = Topology::line(4);
+  EXPECT_EQ(t.num_qubits(), 4);
+  EXPECT_EQ(t.num_edges(), 3U);
+  EXPECT_TRUE(t.connected(0, 1));
+  EXPECT_FALSE(t.connected(0, 2));
+  EXPECT_EQ(t.distance(0, 3), 3);
+}
+
+TEST(Topology, RingStructure) {
+  const Topology t = Topology::ring(6);
+  EXPECT_EQ(t.num_edges(), 6U);
+  EXPECT_TRUE(t.connected(5, 0));
+  EXPECT_EQ(t.distance(0, 3), 3);
+  EXPECT_EQ(t.distance(0, 5), 1);
+}
+
+TEST(Topology, SmallRingDegradesToLine) {
+  EXPECT_EQ(Topology::ring(2).num_edges(), 1U);
+}
+
+TEST(Topology, GridStructure) {
+  const Topology t = Topology::grid(2, 3);
+  EXPECT_EQ(t.num_qubits(), 6);
+  EXPECT_EQ(t.num_edges(), 7U);  // 2*2 horizontal + 3 vertical
+  EXPECT_TRUE(t.connected(0, 3));
+  EXPECT_TRUE(t.connected(0, 1));
+  EXPECT_FALSE(t.connected(0, 4));
+  EXPECT_EQ(t.distance(0, 5), 3);
+  EXPECT_THROW(Topology::grid(0, 3), std::invalid_argument);
+}
+
+TEST(Topology, StarStructure) {
+  const Topology t = Topology::star(5);
+  EXPECT_EQ(t.num_edges(), 4U);
+  EXPECT_EQ(t.distance(1, 2), 2);
+  EXPECT_EQ(t.distance(0, 4), 1);
+}
+
+TEST(Topology, FullyConnected) {
+  const Topology t = Topology::fully_connected(4);
+  EXPECT_EQ(t.num_edges(), 6U);
+  for (int a = 0; a < 4; ++a) {
+    for (int b = 0; b < 4; ++b) {
+      if (a != b) EXPECT_EQ(t.distance(a, b), 1);
+    }
+  }
+}
+
+TEST(Topology, ShortestPathEndpointsAndAdjacency) {
+  const Topology t = Topology::line(5);
+  const auto p = t.shortest_path(0, 4);
+  ASSERT_EQ(p.size(), 5U);
+  EXPECT_EQ(p.front(), 0);
+  EXPECT_EQ(p.back(), 4);
+  for (std::size_t i = 1; i < p.size(); ++i) {
+    EXPECT_TRUE(t.connected(p[i - 1], p[i]));
+  }
+}
+
+TEST(Topology, ShortestPathTrivial) {
+  const Topology t = Topology::line(3);
+  const auto p = t.shortest_path(1, 1);
+  ASSERT_EQ(p.size(), 1U);
+  EXPECT_EQ(p[0], 1);
+}
+
+TEST(Topology, DisconnectedGraphDetected) {
+  const Topology t(4, {{0, 1}, {2, 3}});
+  EXPECT_FALSE(t.is_connected_graph());
+  EXPECT_EQ(t.distance(0, 2), -1);
+  EXPECT_TRUE(t.shortest_path(0, 3).empty());
+  EXPECT_TRUE(Topology::line(4).is_connected_graph());
+}
+
+TEST(Topology, NeighborsSorted) {
+  const Topology t = Topology::star(4);
+  const auto& n0 = t.neighbors(0);
+  ASSERT_EQ(n0.size(), 3U);
+  EXPECT_EQ(n0[0], 1);
+  EXPECT_EQ(n0[2], 3);
+  EXPECT_THROW(t.neighbors(9), std::out_of_range);
+}
+
+TEST(Topology, InducedSubgraph) {
+  const Topology grid = Topology::grid(2, 3);
+  // Take qubits {0, 1, 4}: edges (0,1) survives, (1,4) survives.
+  const Topology sub = grid.induced({0, 1, 4});
+  EXPECT_EQ(sub.num_qubits(), 3);
+  EXPECT_TRUE(sub.connected(0, 1));
+  EXPECT_TRUE(sub.connected(1, 2));
+  EXPECT_FALSE(sub.connected(0, 2));
+}
+
+TEST(Topology, InducedValidation) {
+  const Topology t = Topology::line(3);
+  EXPECT_THROW(t.induced({0, 0}), std::invalid_argument);
+  EXPECT_THROW(t.induced({0, 7}), std::out_of_range);
+}
+
+TEST(Topology, DistanceBoundsChecked) {
+  const Topology t = Topology::line(3);
+  EXPECT_THROW(t.distance(-1, 0), std::out_of_range);
+  EXPECT_THROW(t.distance(0, 3), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace arbiterq::device

@@ -1,0 +1,145 @@
+// Tests for the trainer's extension knobs: gradient pruning (after QOC)
+// and device churn (the paper's "frequent online/offline" instability).
+
+#include <gtest/gtest.h>
+
+#include "arbiterq/core/trainers.hpp"
+#include "arbiterq/device/presets.hpp"
+
+namespace arbiterq::core {
+namespace {
+
+struct Fixture {
+  Fixture()
+      : model(qnn::Backbone::kCRz, 2, 2),
+        split(data::prepare_case({"iris", 2, 2})) {}
+
+  DistributedTrainer make(TrainConfig cfg, int fleet = 4) const {
+    return DistributedTrainer(model, device::table3_fleet_subset(fleet, 2),
+                              cfg);
+  }
+
+  qnn::QnnModel model;
+  data::EncodedSplit split;
+};
+
+TEST(TrainerPruning, ZeroRatioMatchesBaseline) {
+  const Fixture s;
+  TrainConfig base;
+  base.epochs = 6;
+  TrainConfig pruned = base;
+  pruned.gradient_prune_ratio = 0.0;
+  const auto a = s.make(base).train(Strategy::kArbiterQ, s.split);
+  const auto b = s.make(pruned).train(Strategy::kArbiterQ, s.split);
+  EXPECT_EQ(a.epoch_test_loss, b.epoch_test_loss);
+}
+
+TEST(TrainerPruning, PrunedRunStillLearns) {
+  const Fixture s;
+  TrainConfig cfg;
+  cfg.epochs = 25;
+  cfg.gradient_prune_ratio = 0.5;
+  const auto r = s.make(cfg).train(Strategy::kArbiterQ, s.split);
+  EXPECT_LT(r.epoch_test_loss.back(), r.epoch_test_loss.front() * 0.7);
+}
+
+TEST(TrainerPruning, HeavyPruningSlowsConvergence) {
+  const Fixture s;
+  TrainConfig none;
+  none.epochs = 30;
+  TrainConfig heavy = none;
+  heavy.gradient_prune_ratio = 0.9;  // keep only 10% of components
+  const auto full = s.make(none).train(Strategy::kArbiterQ, s.split);
+  const auto pruned = s.make(heavy).train(Strategy::kArbiterQ, s.split);
+  // Comparing areas under the curve: pruning must not speed things up.
+  double auc_full = 0.0;
+  double auc_pruned = 0.0;
+  for (int e = 0; e < none.epochs; ++e) {
+    auc_full += full.epoch_test_loss[static_cast<std::size_t>(e)];
+    auc_pruned += pruned.epoch_test_loss[static_cast<std::size_t>(e)];
+  }
+  EXPECT_GT(auc_pruned, auc_full * 0.95);
+}
+
+TEST(TrainerChurn, ZeroProbabilityMatchesBaseline) {
+  const Fixture s;
+  TrainConfig base;
+  base.epochs = 6;
+  TrainConfig churny = base;
+  churny.offline_probability = 0.0;
+  const auto a = s.make(base).train(Strategy::kEqc, s.split);
+  const auto b = s.make(churny).train(Strategy::kEqc, s.split);
+  EXPECT_EQ(a.epoch_test_loss, b.epoch_test_loss);
+}
+
+TEST(TrainerChurn, AllStrategiesSurviveHeavyChurn) {
+  const Fixture s;
+  TrainConfig cfg;
+  cfg.epochs = 12;
+  cfg.offline_probability = 0.5;
+  const auto trainer = s.make(cfg, 5);
+  for (Strategy st : {Strategy::kSingleNode, Strategy::kAllSharing,
+                      Strategy::kEqc, Strategy::kArbiterQ}) {
+    const auto r = trainer.train(st, s.split);
+    EXPECT_EQ(r.epoch_test_loss.size(), 12U) << strategy_name(st);
+    for (double l : r.epoch_test_loss) {
+      EXPECT_GE(l, 0.0);
+      EXPECT_LE(l, 1.5);
+    }
+  }
+}
+
+TEST(TrainerChurn, ChurnSlowsSingleNodeMoreThanFleet) {
+  // A lone device that is offline half the time loses half its epochs;
+  // a fleet almost always has someone online.
+  const Fixture s;
+  TrainConfig cfg;
+  cfg.epochs = 30;
+  cfg.offline_probability = 0.5;
+  const auto trainer = s.make(cfg, 5);
+  const auto single = trainer.train(Strategy::kSingleNode, s.split);
+  const auto arbiter = trainer.train(Strategy::kArbiterQ, s.split);
+  double auc_single = 0.0;
+  double auc_arbiter = 0.0;
+  for (int e = 0; e < cfg.epochs; ++e) {
+    auc_single += single.epoch_test_loss[static_cast<std::size_t>(e)];
+    auc_arbiter += arbiter.epoch_test_loss[static_cast<std::size_t>(e)];
+  }
+  EXPECT_LT(auc_arbiter, auc_single);
+}
+
+TEST(TrainerChurn, DeterministicUnderSeed) {
+  const Fixture s;
+  TrainConfig cfg;
+  cfg.epochs = 8;
+  cfg.offline_probability = 0.3;
+  const auto trainer = s.make(cfg);
+  const auto a = trainer.train(Strategy::kArbiterQ, s.split);
+  const auto b = trainer.train(Strategy::kArbiterQ, s.split);
+  EXPECT_EQ(a.epoch_test_loss, b.epoch_test_loss);
+}
+
+TEST(TrainerMitigation, MitigationChangesDeepCircuitTraining) {
+  // On a deliberately deep model, mitigation must recover signal.
+  const qnn::QnnModel deep(qnn::Backbone::kCRz, 2, 8);
+  const data::EncodedSplit split = data::prepare_case({"iris", 2, 2});
+  TrainConfig plain;
+  plain.epochs = 10;
+  TrainConfig mitigated = plain;
+  mitigated.error_mitigation = true;
+  const DistributedTrainer t_plain(deep, device::table3_fleet_subset(3, 2),
+                                   plain);
+  const DistributedTrainer t_mit(deep, device::table3_fleet_subset(3, 2),
+                                 mitigated);
+  const auto r_plain = t_plain.train(Strategy::kArbiterQ, split);
+  const auto r_mit = t_mit.train(Strategy::kArbiterQ, split);
+  // The mitigated run improves markedly more than the attenuated one.
+  const double gain_plain =
+      r_plain.epoch_test_loss.front() - r_plain.epoch_test_loss.back();
+  const double gain_mit =
+      r_mit.epoch_test_loss.front() - r_mit.epoch_test_loss.back();
+  EXPECT_GT(gain_mit, gain_plain + 0.01);
+}
+
+}  // namespace
+}  // namespace arbiterq::core

@@ -1,0 +1,150 @@
+#include "arbiterq/core/trainers.hpp"
+
+#include <gtest/gtest.h>
+
+#include "arbiterq/device/presets.hpp"
+
+namespace arbiterq::core {
+namespace {
+
+TrainConfig quick_config() {
+  TrainConfig cfg;
+  cfg.epochs = 8;
+  cfg.batch_size = 4;
+  return cfg;
+}
+
+class TrainerFixture : public ::testing::Test {
+ protected:
+  TrainerFixture()
+      : model_(qnn::Backbone::kCRz, 2, 2),
+        split_(data::prepare_case({"iris", 2, 2})),
+        trainer_(model_, device::table3_fleet_subset(4, 2),
+                 quick_config()) {}
+
+  qnn::QnnModel model_;
+  data::EncodedSplit split_;
+  DistributedTrainer trainer_;
+};
+
+TEST_F(TrainerFixture, SetupBuildsFleetArtifacts) {
+  EXPECT_EQ(trainer_.fleet_size(), 4U);
+  EXPECT_EQ(trainer_.behavioral_vectors().size(), 4U);
+  EXPECT_EQ(trainer_.similarity().size(), 4U);
+  std::size_t grouped = 0;
+  for (const auto& g : trainer_.sharing_groups()) grouped += g.size();
+  EXPECT_EQ(grouped, 4U);
+}
+
+TEST_F(TrainerFixture, EqcVotesNormalizedAndQualityOrdered) {
+  const auto votes = trainer_.eqc_vote_weights();
+  double total = 0.0;
+  for (double v : votes) {
+    EXPECT_GT(v, 0.0);
+    total += v;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  // Votes must order inversely to the devices' average error.
+  const auto& executors = trainer_.executors();
+  for (std::size_t i = 0; i < votes.size(); ++i) {
+    for (std::size_t j = 0; j < votes.size(); ++j) {
+      if (executors[i].qpu().average_error() <
+          executors[j].qpu().average_error()) {
+        EXPECT_GT(votes[i], votes[j]) << i << " vs " << j;
+      }
+    }
+  }
+}
+
+TEST_F(TrainerFixture, EveryStrategyProducesWellFormedResult) {
+  for (Strategy s : {Strategy::kSingleNode, Strategy::kAllSharing,
+                     Strategy::kEqc, Strategy::kArbiterQ}) {
+    const TrainResult r = trainer_.train(s, split_);
+    EXPECT_EQ(r.strategy, s);
+    EXPECT_EQ(r.epoch_test_loss.size(), 8U);
+    EXPECT_EQ(r.weights.size(), 4U);
+    for (const auto& w : r.weights) {
+      EXPECT_EQ(w.size(), static_cast<std::size_t>(model_.num_weights()));
+    }
+    EXPECT_GE(r.convergence.epoch, 1);
+    EXPECT_LE(r.convergence.epoch, 8);
+    for (double l : r.epoch_test_loss) {
+      EXPECT_GE(l, 0.0);
+      EXPECT_LE(l, 1.0);  // MSE of probabilities
+    }
+  }
+}
+
+TEST_F(TrainerFixture, SharedStrategiesKeepIdenticalWeights) {
+  for (Strategy s :
+       {Strategy::kSingleNode, Strategy::kAllSharing, Strategy::kEqc}) {
+    const TrainResult r = trainer_.train(s, split_);
+    for (std::size_t i = 1; i < r.weights.size(); ++i) {
+      EXPECT_EQ(r.weights[0], r.weights[i]) << strategy_name(s);
+    }
+  }
+}
+
+TEST_F(TrainerFixture, ArbiterQPersonalizesWeights) {
+  const TrainResult r = trainer_.train(Strategy::kArbiterQ, split_);
+  bool any_difference = false;
+  for (std::size_t i = 1; i < r.weights.size(); ++i) {
+    if (r.weights[i] != r.weights[0]) any_difference = true;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST_F(TrainerFixture, TrainingIsDeterministic) {
+  const TrainResult a = trainer_.train(Strategy::kArbiterQ, split_);
+  const TrainResult b = trainer_.train(Strategy::kArbiterQ, split_);
+  EXPECT_EQ(a.epoch_test_loss, b.epoch_test_loss);
+  EXPECT_EQ(a.weights, b.weights);
+}
+
+TEST_F(TrainerFixture, TrainingReducesLoss) {
+  TrainConfig cfg = quick_config();
+  cfg.epochs = 25;
+  const DistributedTrainer longer(model_,
+                                  device::table3_fleet_subset(4, 2), cfg);
+  const TrainResult r = longer.train(Strategy::kArbiterQ, split_);
+  EXPECT_LT(r.epoch_test_loss.back(), r.epoch_test_loss.front() * 0.8);
+}
+
+TEST_F(TrainerFixture, ShotNoiseZeroStillWorks) {
+  TrainConfig cfg = quick_config();
+  cfg.gradient_shot_noise = 0.0;
+  const DistributedTrainer exact(model_, device::table3_fleet_subset(4, 2),
+                                 cfg);
+  const TrainResult r = exact.train(Strategy::kAllSharing, split_);
+  EXPECT_EQ(r.epoch_test_loss.size(), 8U);
+}
+
+TEST(Trainer, ArbiterQBeatsAllSharingOnHeterogeneousFleet) {
+  // The paper's headline (Table I): with a long enough run, ArbiterQ's
+  // converged loss undercuts all-sharing's on a heterogeneous fleet.
+  const qnn::QnnModel model(qnn::Backbone::kCRz, 2, 2);
+  TrainConfig cfg;
+  cfg.epochs = 40;
+  const DistributedTrainer trainer(model, device::table3_fleet_subset(6, 2),
+                                   cfg);
+  const data::EncodedSplit split = data::prepare_case({"iris", 2, 2});
+  const TrainResult arbiter = trainer.train(Strategy::kArbiterQ, split);
+  const TrainResult sharing = trainer.train(Strategy::kAllSharing, split);
+  EXPECT_LT(arbiter.convergence.loss, sharing.convergence.loss);
+}
+
+TEST(Trainer, EmptyFleetThrows) {
+  const qnn::QnnModel model(qnn::Backbone::kCRz, 2, 1);
+  EXPECT_THROW(DistributedTrainer(model, {}, TrainConfig{}),
+               std::invalid_argument);
+}
+
+TEST(Trainer, StrategyNames) {
+  EXPECT_EQ(strategy_name(Strategy::kSingleNode), "single-node");
+  EXPECT_EQ(strategy_name(Strategy::kAllSharing), "all-sharing");
+  EXPECT_EQ(strategy_name(Strategy::kEqc), "EQC");
+  EXPECT_EQ(strategy_name(Strategy::kArbiterQ), "ArbiterQ");
+}
+
+}  // namespace
+}  // namespace arbiterq::core

@@ -1,0 +1,123 @@
+#include "arbiterq/transpile/transpiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "arbiterq/circuit/unitary.hpp"
+#include "arbiterq/device/presets.hpp"
+#include "arbiterq/transpile/decompose.hpp"
+
+namespace arbiterq::transpile {
+namespace {
+
+using circuit::Circuit;
+using circuit::Gate;
+using circuit::ParamExpr;
+using device::Qpu;
+using device::QpuSpec;
+using device::Topology;
+
+Qpu line_device(int n, device::BasisSet basis) {
+  QpuSpec s;
+  s.name = "line-dev";
+  s.topology = Topology::line(n);
+  s.basis = basis;
+  s.infidelity_1q = 2e-4;
+  s.infidelity_2q = 4e-3;
+  s.t1_us = 150.0;
+  s.t2_us = 50.0;
+  s.noise_seed = 7;
+  return Qpu(s);
+}
+
+Circuit sample_circuit() {
+  Circuit c(3, 2);
+  c.ry(0, ParamExpr::ref(0))
+      .crz(0, 2, ParamExpr::ref(1))  // needs routing on a line
+      .h(1)
+      .cx(1, 2);
+  return c;
+}
+
+TEST(Transpiler, ExecutableIsNativeAndRouted) {
+  for (device::BasisSet basis :
+       {device::BasisSet::kIbm, device::BasisSet::kOrigin}) {
+    const Qpu dev = line_device(3, basis);
+    const CompiledCircuit cc = compile(sample_circuit(), dev);
+    EXPECT_TRUE(respects_topology(cc.executable, dev.topology()));
+    for (const Gate& g : cc.executable.gates()) {
+      EXPECT_TRUE(is_native(g.kind, basis));
+    }
+  }
+}
+
+TEST(Transpiler, RoutedViewKeepsSourceAlphabetPlusSwaps) {
+  const Qpu dev = line_device(3, device::BasisSet::kIbm);
+  const CompiledCircuit cc = compile(sample_circuit(), dev);
+  EXPECT_GE(cc.routed.routing_swap_count(), 1U);
+  bool saw_crz = false;
+  for (const Gate& g : cc.routed.gates()) {
+    saw_crz |= g.kind == circuit::GateKind::kCRZ;
+  }
+  EXPECT_TRUE(saw_crz);  // not yet decomposed in the routed view
+}
+
+TEST(Transpiler, EndToEndUnitaryEquivalence) {
+  const Qpu dev = line_device(3, device::BasisSet::kIbm);
+  const Circuit c = sample_circuit();
+  const CompiledCircuit cc = compile(c, dev);
+  const std::vector<double> params = {0.8, -1.4};
+
+  const auto u_orig = circuit_unitary(c, params);
+  const auto u_exec = circuit_unitary(cc.executable, params);
+  const auto p = circuit::permutation_unitary(cc.final_layout);
+  const std::size_t dim = std::size_t{1} << 3;
+  std::vector<circuit::Complex> p_dag(p.size());
+  for (std::size_t r = 0; r < dim; ++r) {
+    for (std::size_t col = 0; col < dim; ++col) {
+      p_dag[r * dim + col] = std::conj(p[col * dim + r]);
+    }
+  }
+  const auto undone = circuit::multiply_square(p_dag, u_exec);
+  EXPECT_LT(circuit::unitary_distance_up_to_phase(u_orig, undone), 1e-8);
+}
+
+TEST(Transpiler, MeasureQubitFollowsLayout) {
+  const Qpu dev = line_device(3, device::BasisSet::kIbm);
+  const CompiledCircuit cc = compile(sample_circuit(), dev);
+  for (int q = 0; q < 3; ++q) {
+    EXPECT_EQ(cc.measure_qubit(q), cc.final_layout[static_cast<
+                                        std::size_t>(q)]);
+  }
+}
+
+TEST(Transpiler, Table3DevicesCompileTheRingModel) {
+  Circuit c(4, 8);
+  int p = 0;
+  for (int q = 0; q < 4; ++q) c.ry(q, ParamExpr::ref(p++));
+  for (int q = 0; q < 4; ++q) {
+    c.crz(q, (q + 1) % 4, ParamExpr::ref(p++));
+  }
+  for (const Qpu& dev : device::table3_fleet(4)) {
+    const CompiledCircuit cc = compile(c, dev);
+    EXPECT_TRUE(respects_topology(cc.executable, dev.topology()))
+        << dev.name();
+    EXPECT_GT(cc.executable.size(), c.size()) << dev.name();
+  }
+}
+
+TEST(Transpiler, WukongTileCompilesU3Cz) {
+  const auto tiles = device::wukong_tiles();
+  Circuit c(2, 4);
+  c.ry(0, ParamExpr::ref(0))
+      .ry(1, ParamExpr::ref(1))
+      .crz(0, 1, ParamExpr::ref(2))
+      .crz(1, 0, ParamExpr::ref(3));
+  const CompiledCircuit cc = compile(c, tiles[0]);
+  for (const Gate& g : cc.executable.gates()) {
+    EXPECT_TRUE(g.kind == circuit::GateKind::kU3 ||
+                g.kind == circuit::GateKind::kCZ);
+  }
+}
+
+}  // namespace
+}  // namespace arbiterq::transpile
