@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_torus.dir/bench_ablation_torus.cpp.o"
+  "CMakeFiles/bench_ablation_torus.dir/bench_ablation_torus.cpp.o.d"
+  "bench_ablation_torus"
+  "bench_ablation_torus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_torus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_backbones.cpp" "bench/CMakeFiles/bench_backbones.dir/bench_backbones.cpp.o" "gcc" "bench/CMakeFiles/bench_backbones.dir/bench_backbones.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/aq_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/aq_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/qnn/CMakeFiles/aq_qnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/transpile/CMakeFiles/aq_transpile.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/aq_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aq_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/aq_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/aq_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/aq_report.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arbiterq_cli.dir/arbiterq_cli.cpp.o"
+  "CMakeFiles/arbiterq_cli.dir/arbiterq_cli.cpp.o.d"
+  "arbiterq_cli"
+  "arbiterq_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arbiterq_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/behavioral_vectors.dir/behavioral_vectors.cpp.o"
+  "CMakeFiles/behavioral_vectors.dir/behavioral_vectors.cpp.o.d"
+  "behavioral_vectors"
+  "behavioral_vectors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/behavioral_vectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shot_inference.dir/shot_inference.cpp.o"
+  "CMakeFiles/shot_inference.dir/shot_inference.cpp.o.d"
+  "shot_inference"
+  "shot_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shot_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

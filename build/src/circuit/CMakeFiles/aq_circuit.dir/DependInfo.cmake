@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/circuit.cpp" "src/circuit/CMakeFiles/aq_circuit.dir/circuit.cpp.o" "gcc" "src/circuit/CMakeFiles/aq_circuit.dir/circuit.cpp.o.d"
+  "/root/repo/src/circuit/gate.cpp" "src/circuit/CMakeFiles/aq_circuit.dir/gate.cpp.o" "gcc" "src/circuit/CMakeFiles/aq_circuit.dir/gate.cpp.o.d"
+  "/root/repo/src/circuit/pauli.cpp" "src/circuit/CMakeFiles/aq_circuit.dir/pauli.cpp.o" "gcc" "src/circuit/CMakeFiles/aq_circuit.dir/pauli.cpp.o.d"
+  "/root/repo/src/circuit/serialize.cpp" "src/circuit/CMakeFiles/aq_circuit.dir/serialize.cpp.o" "gcc" "src/circuit/CMakeFiles/aq_circuit.dir/serialize.cpp.o.d"
+  "/root/repo/src/circuit/unitary.cpp" "src/circuit/CMakeFiles/aq_circuit.dir/unitary.cpp.o" "gcc" "src/circuit/CMakeFiles/aq_circuit.dir/unitary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/math/CMakeFiles/aq_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aq_circuit.dir/circuit.cpp.o"
+  "CMakeFiles/aq_circuit.dir/circuit.cpp.o.d"
+  "CMakeFiles/aq_circuit.dir/gate.cpp.o"
+  "CMakeFiles/aq_circuit.dir/gate.cpp.o.d"
+  "CMakeFiles/aq_circuit.dir/pauli.cpp.o"
+  "CMakeFiles/aq_circuit.dir/pauli.cpp.o.d"
+  "CMakeFiles/aq_circuit.dir/serialize.cpp.o"
+  "CMakeFiles/aq_circuit.dir/serialize.cpp.o.d"
+  "CMakeFiles/aq_circuit.dir/unitary.cpp.o"
+  "CMakeFiles/aq_circuit.dir/unitary.cpp.o.d"
+  "libaq_circuit.a"
+  "libaq_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aq_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aq_core.dir/behavioral_vector.cpp.o"
+  "CMakeFiles/aq_core.dir/behavioral_vector.cpp.o.d"
+  "CMakeFiles/aq_core.dir/convergence.cpp.o"
+  "CMakeFiles/aq_core.dir/convergence.cpp.o.d"
+  "CMakeFiles/aq_core.dir/scheduler.cpp.o"
+  "CMakeFiles/aq_core.dir/scheduler.cpp.o.d"
+  "CMakeFiles/aq_core.dir/similarity.cpp.o"
+  "CMakeFiles/aq_core.dir/similarity.cpp.o.d"
+  "CMakeFiles/aq_core.dir/torus.cpp.o"
+  "CMakeFiles/aq_core.dir/torus.cpp.o.d"
+  "CMakeFiles/aq_core.dir/trainers.cpp.o"
+  "CMakeFiles/aq_core.dir/trainers.cpp.o.d"
+  "libaq_core.a"
+  "libaq_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aq_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aq_data.dir/dataset.cpp.o"
+  "CMakeFiles/aq_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/aq_data.dir/pipeline.cpp.o"
+  "CMakeFiles/aq_data.dir/pipeline.cpp.o.d"
+  "CMakeFiles/aq_data.dir/synthetic.cpp.o"
+  "CMakeFiles/aq_data.dir/synthetic.cpp.o.d"
+  "libaq_data.a"
+  "libaq_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aq_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

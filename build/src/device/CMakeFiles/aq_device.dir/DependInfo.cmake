@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/device/presets.cpp" "src/device/CMakeFiles/aq_device.dir/presets.cpp.o" "gcc" "src/device/CMakeFiles/aq_device.dir/presets.cpp.o.d"
+  "/root/repo/src/device/qpu.cpp" "src/device/CMakeFiles/aq_device.dir/qpu.cpp.o" "gcc" "src/device/CMakeFiles/aq_device.dir/qpu.cpp.o.d"
+  "/root/repo/src/device/topology.cpp" "src/device/CMakeFiles/aq_device.dir/topology.cpp.o" "gcc" "src/device/CMakeFiles/aq_device.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/aq_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/aq_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/aq_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

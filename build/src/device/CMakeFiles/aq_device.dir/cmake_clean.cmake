@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aq_device.dir/presets.cpp.o"
+  "CMakeFiles/aq_device.dir/presets.cpp.o.d"
+  "CMakeFiles/aq_device.dir/qpu.cpp.o"
+  "CMakeFiles/aq_device.dir/qpu.cpp.o.d"
+  "CMakeFiles/aq_device.dir/topology.cpp.o"
+  "CMakeFiles/aq_device.dir/topology.cpp.o.d"
+  "libaq_device.a"
+  "libaq_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aq_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

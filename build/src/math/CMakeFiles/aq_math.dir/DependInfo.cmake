@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/math/dft.cpp" "src/math/CMakeFiles/aq_math.dir/dft.cpp.o" "gcc" "src/math/CMakeFiles/aq_math.dir/dft.cpp.o.d"
+  "/root/repo/src/math/eigen.cpp" "src/math/CMakeFiles/aq_math.dir/eigen.cpp.o" "gcc" "src/math/CMakeFiles/aq_math.dir/eigen.cpp.o.d"
+  "/root/repo/src/math/matrix.cpp" "src/math/CMakeFiles/aq_math.dir/matrix.cpp.o" "gcc" "src/math/CMakeFiles/aq_math.dir/matrix.cpp.o.d"
+  "/root/repo/src/math/mds.cpp" "src/math/CMakeFiles/aq_math.dir/mds.cpp.o" "gcc" "src/math/CMakeFiles/aq_math.dir/mds.cpp.o.d"
+  "/root/repo/src/math/pca.cpp" "src/math/CMakeFiles/aq_math.dir/pca.cpp.o" "gcc" "src/math/CMakeFiles/aq_math.dir/pca.cpp.o.d"
+  "/root/repo/src/math/rng.cpp" "src/math/CMakeFiles/aq_math.dir/rng.cpp.o" "gcc" "src/math/CMakeFiles/aq_math.dir/rng.cpp.o.d"
+  "/root/repo/src/math/stats.cpp" "src/math/CMakeFiles/aq_math.dir/stats.cpp.o" "gcc" "src/math/CMakeFiles/aq_math.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aq_math.dir/dft.cpp.o"
+  "CMakeFiles/aq_math.dir/dft.cpp.o.d"
+  "CMakeFiles/aq_math.dir/eigen.cpp.o"
+  "CMakeFiles/aq_math.dir/eigen.cpp.o.d"
+  "CMakeFiles/aq_math.dir/matrix.cpp.o"
+  "CMakeFiles/aq_math.dir/matrix.cpp.o.d"
+  "CMakeFiles/aq_math.dir/mds.cpp.o"
+  "CMakeFiles/aq_math.dir/mds.cpp.o.d"
+  "CMakeFiles/aq_math.dir/pca.cpp.o"
+  "CMakeFiles/aq_math.dir/pca.cpp.o.d"
+  "CMakeFiles/aq_math.dir/rng.cpp.o"
+  "CMakeFiles/aq_math.dir/rng.cpp.o.d"
+  "CMakeFiles/aq_math.dir/stats.cpp.o"
+  "CMakeFiles/aq_math.dir/stats.cpp.o.d"
+  "libaq_math.a"
+  "libaq_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aq_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

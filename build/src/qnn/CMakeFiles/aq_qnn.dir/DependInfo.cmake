@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qnn/analysis.cpp" "src/qnn/CMakeFiles/aq_qnn.dir/analysis.cpp.o" "gcc" "src/qnn/CMakeFiles/aq_qnn.dir/analysis.cpp.o.d"
+  "/root/repo/src/qnn/encoding.cpp" "src/qnn/CMakeFiles/aq_qnn.dir/encoding.cpp.o" "gcc" "src/qnn/CMakeFiles/aq_qnn.dir/encoding.cpp.o.d"
+  "/root/repo/src/qnn/executor.cpp" "src/qnn/CMakeFiles/aq_qnn.dir/executor.cpp.o" "gcc" "src/qnn/CMakeFiles/aq_qnn.dir/executor.cpp.o.d"
+  "/root/repo/src/qnn/gradient.cpp" "src/qnn/CMakeFiles/aq_qnn.dir/gradient.cpp.o" "gcc" "src/qnn/CMakeFiles/aq_qnn.dir/gradient.cpp.o.d"
+  "/root/repo/src/qnn/loss.cpp" "src/qnn/CMakeFiles/aq_qnn.dir/loss.cpp.o" "gcc" "src/qnn/CMakeFiles/aq_qnn.dir/loss.cpp.o.d"
+  "/root/repo/src/qnn/model.cpp" "src/qnn/CMakeFiles/aq_qnn.dir/model.cpp.o" "gcc" "src/qnn/CMakeFiles/aq_qnn.dir/model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/transpile/CMakeFiles/aq_transpile.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/aq_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aq_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/aq_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/aq_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aq_qnn.dir/analysis.cpp.o"
+  "CMakeFiles/aq_qnn.dir/analysis.cpp.o.d"
+  "CMakeFiles/aq_qnn.dir/encoding.cpp.o"
+  "CMakeFiles/aq_qnn.dir/encoding.cpp.o.d"
+  "CMakeFiles/aq_qnn.dir/executor.cpp.o"
+  "CMakeFiles/aq_qnn.dir/executor.cpp.o.d"
+  "CMakeFiles/aq_qnn.dir/gradient.cpp.o"
+  "CMakeFiles/aq_qnn.dir/gradient.cpp.o.d"
+  "CMakeFiles/aq_qnn.dir/loss.cpp.o"
+  "CMakeFiles/aq_qnn.dir/loss.cpp.o.d"
+  "CMakeFiles/aq_qnn.dir/model.cpp.o"
+  "CMakeFiles/aq_qnn.dir/model.cpp.o.d"
+  "libaq_qnn.a"
+  "libaq_qnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aq_qnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

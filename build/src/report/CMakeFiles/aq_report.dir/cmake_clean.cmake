@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aq_report.dir/csv.cpp.o"
+  "CMakeFiles/aq_report.dir/csv.cpp.o.d"
+  "libaq_report.a"
+  "libaq_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aq_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/adjoint.cpp" "src/sim/CMakeFiles/aq_sim.dir/adjoint.cpp.o" "gcc" "src/sim/CMakeFiles/aq_sim.dir/adjoint.cpp.o.d"
+  "/root/repo/src/sim/density_matrix.cpp" "src/sim/CMakeFiles/aq_sim.dir/density_matrix.cpp.o" "gcc" "src/sim/CMakeFiles/aq_sim.dir/density_matrix.cpp.o.d"
+  "/root/repo/src/sim/noise_model.cpp" "src/sim/CMakeFiles/aq_sim.dir/noise_model.cpp.o" "gcc" "src/sim/CMakeFiles/aq_sim.dir/noise_model.cpp.o.d"
+  "/root/repo/src/sim/observables.cpp" "src/sim/CMakeFiles/aq_sim.dir/observables.cpp.o" "gcc" "src/sim/CMakeFiles/aq_sim.dir/observables.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/aq_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/aq_sim.dir/simulator.cpp.o.d"
+  "/root/repo/src/sim/statevector.cpp" "src/sim/CMakeFiles/aq_sim.dir/statevector.cpp.o" "gcc" "src/sim/CMakeFiles/aq_sim.dir/statevector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/circuit/CMakeFiles/aq_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/aq_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aq_sim.dir/adjoint.cpp.o"
+  "CMakeFiles/aq_sim.dir/adjoint.cpp.o.d"
+  "CMakeFiles/aq_sim.dir/density_matrix.cpp.o"
+  "CMakeFiles/aq_sim.dir/density_matrix.cpp.o.d"
+  "CMakeFiles/aq_sim.dir/noise_model.cpp.o"
+  "CMakeFiles/aq_sim.dir/noise_model.cpp.o.d"
+  "CMakeFiles/aq_sim.dir/observables.cpp.o"
+  "CMakeFiles/aq_sim.dir/observables.cpp.o.d"
+  "CMakeFiles/aq_sim.dir/simulator.cpp.o"
+  "CMakeFiles/aq_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/aq_sim.dir/statevector.cpp.o"
+  "CMakeFiles/aq_sim.dir/statevector.cpp.o.d"
+  "libaq_sim.a"
+  "libaq_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aq_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

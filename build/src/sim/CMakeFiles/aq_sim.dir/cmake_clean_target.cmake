@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libaq_sim.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transpile/decompose.cpp" "src/transpile/CMakeFiles/aq_transpile.dir/decompose.cpp.o" "gcc" "src/transpile/CMakeFiles/aq_transpile.dir/decompose.cpp.o.d"
+  "/root/repo/src/transpile/layout.cpp" "src/transpile/CMakeFiles/aq_transpile.dir/layout.cpp.o" "gcc" "src/transpile/CMakeFiles/aq_transpile.dir/layout.cpp.o.d"
+  "/root/repo/src/transpile/optimize.cpp" "src/transpile/CMakeFiles/aq_transpile.dir/optimize.cpp.o" "gcc" "src/transpile/CMakeFiles/aq_transpile.dir/optimize.cpp.o.d"
+  "/root/repo/src/transpile/routing.cpp" "src/transpile/CMakeFiles/aq_transpile.dir/routing.cpp.o" "gcc" "src/transpile/CMakeFiles/aq_transpile.dir/routing.cpp.o.d"
+  "/root/repo/src/transpile/state_prep.cpp" "src/transpile/CMakeFiles/aq_transpile.dir/state_prep.cpp.o" "gcc" "src/transpile/CMakeFiles/aq_transpile.dir/state_prep.cpp.o.d"
+  "/root/repo/src/transpile/transpiler.cpp" "src/transpile/CMakeFiles/aq_transpile.dir/transpiler.cpp.o" "gcc" "src/transpile/CMakeFiles/aq_transpile.dir/transpiler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/device/CMakeFiles/aq_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/aq_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/aq_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aq_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aq_transpile.dir/decompose.cpp.o"
+  "CMakeFiles/aq_transpile.dir/decompose.cpp.o.d"
+  "CMakeFiles/aq_transpile.dir/layout.cpp.o"
+  "CMakeFiles/aq_transpile.dir/layout.cpp.o.d"
+  "CMakeFiles/aq_transpile.dir/optimize.cpp.o"
+  "CMakeFiles/aq_transpile.dir/optimize.cpp.o.d"
+  "CMakeFiles/aq_transpile.dir/routing.cpp.o"
+  "CMakeFiles/aq_transpile.dir/routing.cpp.o.d"
+  "CMakeFiles/aq_transpile.dir/state_prep.cpp.o"
+  "CMakeFiles/aq_transpile.dir/state_prep.cpp.o.d"
+  "CMakeFiles/aq_transpile.dir/transpiler.cpp.o"
+  "CMakeFiles/aq_transpile.dir/transpiler.cpp.o.d"
+  "libaq_transpile.a"
+  "libaq_transpile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aq_transpile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_adjoint.dir/test_adjoint.cpp.o"
+  "CMakeFiles/test_adjoint.dir/test_adjoint.cpp.o.d"
+  "test_adjoint"
+  "test_adjoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_adjoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

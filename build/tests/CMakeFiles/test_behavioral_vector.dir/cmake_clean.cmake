@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_behavioral_vector.dir/test_behavioral_vector.cpp.o"
+  "CMakeFiles/test_behavioral_vector.dir/test_behavioral_vector.cpp.o.d"
+  "test_behavioral_vector"
+  "test_behavioral_vector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_behavioral_vector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_communication.dir/test_communication.cpp.o"
+  "CMakeFiles/test_communication.dir/test_communication.cpp.o.d"
+  "test_communication"
+  "test_communication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_communication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_executor_mitigation.dir/test_executor_mitigation.cpp.o"
+  "CMakeFiles/test_executor_mitigation.dir/test_executor_mitigation.cpp.o.d"
+  "test_executor_mitigation"
+  "test_executor_mitigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_executor_mitigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

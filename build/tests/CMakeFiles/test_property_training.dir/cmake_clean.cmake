@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_training.dir/test_property_training.cpp.o"
+  "CMakeFiles/test_property_training.dir/test_property_training.cpp.o.d"
+  "test_property_training"
+  "test_property_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

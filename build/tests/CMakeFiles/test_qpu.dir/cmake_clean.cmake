@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qpu.dir/test_qpu.cpp.o"
+  "CMakeFiles/test_qpu.dir/test_qpu.cpp.o.d"
+  "test_qpu"
+  "test_qpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

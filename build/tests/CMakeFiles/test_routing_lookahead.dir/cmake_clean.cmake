@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_routing_lookahead.dir/test_routing_lookahead.cpp.o"
+  "CMakeFiles/test_routing_lookahead.dir/test_routing_lookahead.cpp.o.d"
+  "test_routing_lookahead"
+  "test_routing_lookahead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_routing_lookahead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

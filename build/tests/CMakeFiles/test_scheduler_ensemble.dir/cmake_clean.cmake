@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scheduler_ensemble.dir/test_scheduler_ensemble.cpp.o"
+  "CMakeFiles/test_scheduler_ensemble.dir/test_scheduler_ensemble.cpp.o.d"
+  "test_scheduler_ensemble"
+  "test_scheduler_ensemble.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scheduler_ensemble.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_state_prep.dir/test_state_prep.cpp.o"
+  "CMakeFiles/test_state_prep.dir/test_state_prep.cpp.o.d"
+  "test_state_prep"
+  "test_state_prep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_state_prep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transpiler.dir/test_transpiler.cpp.o"
+  "CMakeFiles/test_transpiler.dir/test_transpiler.cpp.o.d"
+  "test_transpiler"
+  "test_transpiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transpiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

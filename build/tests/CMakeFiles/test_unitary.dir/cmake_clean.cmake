@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_unitary.dir/test_unitary.cpp.o"
+  "CMakeFiles/test_unitary.dir/test_unitary.cpp.o.d"
+  "test_unitary"
+  "test_unitary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_unitary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
