@@ -33,9 +33,15 @@ int main() {
   cfg.epochs = 60;
   const core::DistributedTrainer trainer(model, fleet, cfg);
 
+  // Sink every per-epoch and per-assignment record alongside the CSVs
+  // when $ARBITERQ_CSV_DIR is configured.
+  const auto tel = bench::maybe_telemetry("fig2_telemetry.jsonl");
+
   std::printf("Fig. 2(a): loss vs epoch, 2-layer QNN on Wine, 3 QPUs\n");
-  const auto single = trainer.train(core::Strategy::kSingleNode, split);
-  const auto sharing = trainer.train(core::Strategy::kAllSharing, split);
+  const auto single =
+      trainer.train(core::Strategy::kSingleNode, split, tel.get());
+  const auto sharing =
+      trainer.train(core::Strategy::kAllSharing, split, tel.get());
   bench::print_series("single-node", single.epoch_test_loss, 4);
   bench::print_series("all-sharing", sharing.epoch_test_loss, 4);
   double single_mean = 0.0;
@@ -55,7 +61,8 @@ int main() {
 
   std::printf("Fig. 2(b): per-task loss spread under the two "
               "inference schedulings\n");
-  const auto arbiter = trainer.train(core::Strategy::kArbiterQ, split);
+  const auto arbiter =
+      trainer.train(core::Strategy::kArbiterQ, split, tel.get());
   const auto partition = core::build_torus_partition(
       trainer.behavioral_vectors(), arbiter.weights, 1);
   core::ScheduleConfig sc;
@@ -67,7 +74,7 @@ int main() {
                                               sc);
   const auto tasks = core::make_tasks(split.test_features,
                                       split.test_labels);
-  const auto shot = scheduler.run(tasks);
+  const auto shot = scheduler.run(tasks, tel.get());
   const auto batch = core::batch_based_inference(trainer.executors(),
                                                  arbiter.weights, tasks,
                                                  sc);
@@ -86,5 +93,12 @@ int main() {
               "tasks/s (reference: every QPU runs every task)\n",
               ensemble.mean_loss, ensemble.loss_stddev,
               ensemble.throughput_tasks_per_s);
+
+  if (tel) {
+    tel->write_global_state();
+    tel->close();
+    std::printf("(wrote fig2_telemetry.jsonl: %zu lines)\n",
+                tel->lines_written());
+  }
   return 0;
 }

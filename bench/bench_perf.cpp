@@ -6,7 +6,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
 #include "arbiterq/device/presets.hpp"
+#include "arbiterq/telemetry/export.hpp"
 #include "arbiterq/math/rng.hpp"
 #include "arbiterq/core/behavioral_vector.hpp"
 #include "arbiterq/qnn/executor.hpp"
@@ -165,4 +170,26 @@ BENCHMARK(BM_ForwardOptimizedVsRaw)->DenseRange(2, 10, 2);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN(): after the benchmarks run, the telemetry
+// accumulated across every iteration (simulator/transpiler counters and
+// the trace ring) is dumped as JSONL to $ARBITERQ_TELEMETRY_PATH, or
+// bench_perf_telemetry.jsonl by default.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  const char* env = std::getenv("ARBITERQ_TELEMETRY_PATH");
+  const std::string path = env ? env : "bench_perf_telemetry.jsonl";
+  try {
+    arbiterq::telemetry::JsonlExporter exporter(path);
+    exporter.write_global_state();
+    exporter.close();
+    std::printf("(wrote %s: %zu telemetry lines)\n", path.c_str(),
+                exporter.lines_written());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "telemetry dump failed: %s\n", e.what());
+  }
+  return 0;
+}

@@ -3,6 +3,7 @@
 // strategies on one benchmark case and collect the Table I metrics.
 
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -12,6 +13,7 @@
 #include "arbiterq/data/pipeline.hpp"
 #include "arbiterq/device/presets.hpp"
 #include "arbiterq/report/csv.hpp"
+#include "arbiterq/telemetry/export.hpp"
 
 namespace arbiterq::bench {
 
@@ -74,6 +76,18 @@ inline void maybe_write_curves(
                         o.result.epoch_test_loss);
   }
   maybe_write_csv(filename, report::loss_curves_table(series));
+}
+
+/// Open $ARBITERQ_CSV_DIR/<filename> as a JSONL telemetry sink when
+/// that directory is configured; nullptr otherwise. Pass the raw
+/// pointer to train()/run() — a null sink is a no-op there. Call
+/// write_global_state() + close() before dropping the handle.
+inline std::unique_ptr<telemetry::JsonlExporter> maybe_telemetry(
+    const std::string& filename) {
+  const char* dir = std::getenv("ARBITERQ_CSV_DIR");
+  if (dir == nullptr) return nullptr;
+  return std::make_unique<telemetry::JsonlExporter>(std::string(dir) + "/" +
+                                                    filename);
 }
 
 inline void print_series(const char* label,

@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "arbiterq/core/scheduler.hpp"
@@ -18,6 +19,7 @@
 #include "arbiterq/data/pipeline.hpp"
 #include "arbiterq/device/presets.hpp"
 #include "arbiterq/report/csv.hpp"
+#include "arbiterq/telemetry/export.hpp"
 
 namespace {
 
@@ -37,6 +39,7 @@ struct CliOptions {
   bool mitigate = false;
   bool infer = false;
   std::string csv;
+  std::string telemetry;
 };
 
 void usage() {
@@ -54,7 +57,9 @@ void usage() {
       "  --seed      RNG seed                            (default 42)\n"
       "  --mitigate  enable depolarizing error mitigation\n"
       "  --infer     run shot-oriented + batch inference afterwards\n"
-      "  --csv PATH  dump the loss curve as CSV\n");
+      "  --csv PATH  dump the loss curve as CSV\n"
+      "  --telemetry PATH  dump telemetry (epoch/assignment records,\n"
+      "              metric counters, trace spans) as JSONL\n");
 }
 
 bool parse(int argc, char** argv, CliOptions* opts) {
@@ -92,6 +97,8 @@ bool parse(int argc, char** argv, CliOptions* opts) {
       }
     } else if (flag == "--csv") {
       if (const char* v = next()) opts->csv = v;
+    } else if (flag == "--telemetry") {
+      if (const char* v = next()) opts->telemetry = v;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n\n", flag.c_str());
       return false;
@@ -158,8 +165,13 @@ int main(int argc, char** argv) {
   }
   std::printf("\n");
 
+  std::unique_ptr<telemetry::JsonlExporter> tel;
+  if (!opts.telemetry.empty()) {
+    tel = std::make_unique<telemetry::JsonlExporter>(opts.telemetry);
+  }
+
   const core::TrainResult r =
-      trainer.train(strategies.at(opts.strategy), split);
+      trainer.train(strategies.at(opts.strategy), split, tel.get());
   std::printf("converged: epoch %d, loss %.4f (final %.4f), "
               "%zu gradient messages\n",
               r.convergence.epoch, r.convergence.loss,
@@ -179,13 +191,20 @@ int main(int argc, char** argv) {
                                                 r.weights, partition, sc);
     const auto tasks =
         core::make_tasks(split.test_features, split.test_labels);
-    const auto shot = scheduler.run(tasks);
+    const auto shot = scheduler.run(tasks, tel.get());
     const auto batch = core::batch_based_inference(trainer.executors(),
                                                    r.weights, tasks, sc);
     std::printf("inference: shot-oriented loss %.4f (throughput %.1f/s) | "
                 "batch loss %.4f (throughput %.1f/s)\n",
                 shot.mean_loss, shot.throughput_tasks_per_s,
                 batch.mean_loss, batch.throughput_tasks_per_s);
+  }
+
+  if (tel) {
+    tel->write_global_state();
+    tel->close();
+    std::printf("wrote %s (%zu telemetry lines)\n", opts.telemetry.c_str(),
+                tel->lines_written());
   }
   return 0;
 }

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Build the tree with ARBITERQ_TELEMETRY=OFF and run the full test
+# suite against it. Guards the promise that every AQ_* macro call site
+# compiles to a no-op — the instrumented hot paths must build and the
+# tests must pass with the toggle off, not just with the default ON.
+#
+# Usage: scripts/check_telemetry_off.sh [build-dir]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build-telemetry-off}"
+
+cmake -B "${build_dir}" -S "${repo_root}" -DARBITERQ_TELEMETRY=OFF
+cmake --build "${build_dir}" -j "$(nproc)"
+ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)"
+
+echo "OK: ARBITERQ_TELEMETRY=OFF build passes the full suite"

@@ -20,6 +20,7 @@
 #include "arbiterq/core/torus.hpp"
 #include "arbiterq/math/rng.hpp"
 #include "arbiterq/qnn/executor.hpp"
+#include "arbiterq/telemetry/sink.hpp"
 
 namespace arbiterq::core {
 
@@ -73,12 +74,17 @@ class ShotOrientedScheduler {
     return torus_scores_;
   }
 
-  InferenceReport run(const std::vector<InferenceTask>& tasks) const;
+  /// `telemetry` (optional) receives one AssignmentRecord per task:
+  /// torus chosen, per-QPU shot split, the estimated torus score the
+  /// greedy assignment sorted on, and the realized loss.
+  InferenceReport run(const std::vector<InferenceTask>& tasks,
+                      telemetry::TrainingTelemetry* telemetry = nullptr) const;
 
  private:
-  double torus_probability(std::size_t torus, const InferenceTask& task,
-                           int shots, math::Rng& rng,
-                           InferenceReport* report) const;
+  double torus_probability(
+      std::size_t torus, const InferenceTask& task, int shots,
+      math::Rng& rng, InferenceReport* report,
+      std::vector<telemetry::QpuShotShare>* split = nullptr) const;
 
   const std::vector<qnn::QnnExecutor>& executors_;
   std::vector<std::vector<double>> weights_;

@@ -31,6 +31,7 @@
 #include "arbiterq/data/pipeline.hpp"
 #include "arbiterq/device/qpu.hpp"
 #include "arbiterq/qnn/executor.hpp"
+#include "arbiterq/telemetry/sink.hpp"
 
 namespace arbiterq::core {
 
@@ -121,8 +122,11 @@ class DistributedTrainer {
   /// Sharing groups under the configured threshold.
   std::vector<std::vector<int>> sharing_groups() const;
 
-  TrainResult train(Strategy strategy,
-                    const data::EncodedSplit& split) const;
+  /// `telemetry` (optional) receives one EpochQpuRecord per (epoch, QPU):
+  /// per-node test loss, gradient norm, similarity-group membership,
+  /// online/churn state and a parameter-shift shot estimate.
+  TrainResult train(Strategy strategy, const data::EncodedSplit& split,
+                    telemetry::TrainingTelemetry* telemetry = nullptr) const;
 
   /// EQC voting weights (normalized inverse average device error).
   std::vector<double> eqc_vote_weights() const;

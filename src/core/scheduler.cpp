@@ -6,6 +6,8 @@
 #include <stdexcept>
 
 #include "arbiterq/math/stats.hpp"
+#include "arbiterq/telemetry/metrics.hpp"
+#include "arbiterq/telemetry/trace.hpp"
 
 namespace arbiterq::core {
 
@@ -68,10 +70,10 @@ ShotOrientedScheduler::ShotOrientedScheduler(
   }
 }
 
-double ShotOrientedScheduler::torus_probability(std::size_t torus,
-                                                const InferenceTask& task,
-                                                int shots, math::Rng& rng,
-                                                InferenceReport* report) const {
+double ShotOrientedScheduler::torus_probability(
+    std::size_t torus, const InferenceTask& task, int shots, math::Rng& rng,
+    InferenceReport* report,
+    std::vector<telemetry::QpuShotShare>* split) const {
   const auto& members = partition_.tori[torus];
   // Split the shots proportionally to each member's shot rate.
   double total_rate = 0.0;
@@ -102,15 +104,21 @@ double ShotOrientedScheduler::torus_probability(std::size_t torus,
       report->qpu_busy_us[q] +=
           static_cast<double>(q_shots) * executors_[q].shot_latency_us();
     }
+    if (split != nullptr) {
+      split->push_back({static_cast<int>(q), q_shots});
+    }
   }
   return weight_sum > 0.0 ? p / weight_sum : 0.5;
 }
 
 InferenceReport ShotOrientedScheduler::run(
-    const std::vector<InferenceTask>& tasks) const {
+    const std::vector<InferenceTask>& tasks,
+    telemetry::TrainingTelemetry* telemetry) const {
   if (tasks.empty()) {
     throw std::invalid_argument("ShotOrientedScheduler::run: no tasks");
   }
+  AQ_TRACE_SPAN("core.infer.run");
+  AQ_COUNTER_ADD("core.infer.tasks", tasks.size());
   const std::size_t n_tori = partition_.tori.size();
   InferenceReport report;
   report.per_task_loss.resize(tasks.size());
@@ -122,63 +130,85 @@ InferenceReport ShotOrientedScheduler::run(
   // Warm-up: sketch task difficulty with a few shots round-robin across
   // tori (cheap, counted toward the workload).
   std::vector<double> difficulty(tasks.size());
-  for (std::size_t i = 0; i < tasks.size(); ++i) {
-    math::Rng rng = root.split("warmup").split(i);
-    const double p = torus_probability(i % n_tori, tasks[i],
-                                       config_.warmup_shots, rng, &report);
-    difficulty[i] = qnn::loss_value(config_.loss, p, tasks[i].label);
+  {
+    AQ_TRACE_SPAN("core.infer.warmup");
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      math::Rng rng = root.split("warmup").split(i);
+      const double p = torus_probability(i % n_tori, tasks[i],
+                                         config_.warmup_shots, rng, &report);
+      difficulty[i] = qnn::loss_value(config_.loss, p, tasks[i].label);
+    }
   }
 
   // Greedy assignment: hard tasks to accurate tori, under throughput-
   // proportional quotas.
-  std::vector<std::size_t> task_order(tasks.size());
-  std::iota(task_order.begin(), task_order.end(), 0);
-  std::sort(task_order.begin(), task_order.end(),
-            [&](std::size_t a, std::size_t b) {
-              return difficulty[a] > difficulty[b];
-            });
-  std::vector<std::size_t> torus_order(n_tori);
-  std::iota(torus_order.begin(), torus_order.end(), 0);
-  std::sort(torus_order.begin(), torus_order.end(),
-            [&](std::size_t a, std::size_t b) {
-              return torus_scores_[a] > torus_scores_[b];
-            });
-
-  const double total_rate =
-      std::accumulate(torus_rate_.begin(), torus_rate_.end(), 0.0);
-  std::vector<std::size_t> quota(n_tori);
-  std::size_t assigned = 0;
-  for (std::size_t k = 0; k < n_tori; ++k) {
-    const std::size_t t = torus_order[k];
-    quota[t] = k + 1 == n_tori
-                   ? tasks.size() - assigned
-                   : static_cast<std::size_t>(std::round(
-                         torus_rate_[t] / std::max(total_rate, 1e-12) *
-                         static_cast<double>(tasks.size())));
-    quota[t] = std::min(quota[t], tasks.size() - assigned);
-    assigned += quota[t];
-  }
-
   std::vector<std::size_t> task_torus(tasks.size());
-  std::size_t cursor = 0;
-  for (std::size_t k = 0; k < n_tori && cursor < tasks.size(); ++k) {
-    const std::size_t t = torus_order[k];
-    for (std::size_t c = 0; c < quota[t] && cursor < tasks.size(); ++c) {
-      task_torus[task_order[cursor++]] = t;
+  {
+    AQ_TRACE_SPAN("core.infer.assign");
+    std::vector<std::size_t> task_order(tasks.size());
+    std::iota(task_order.begin(), task_order.end(), 0);
+    std::sort(task_order.begin(), task_order.end(),
+              [&](std::size_t a, std::size_t b) {
+                return difficulty[a] > difficulty[b];
+              });
+    std::vector<std::size_t> torus_order(n_tori);
+    std::iota(torus_order.begin(), torus_order.end(), 0);
+    std::sort(torus_order.begin(), torus_order.end(),
+              [&](std::size_t a, std::size_t b) {
+                return torus_scores_[a] > torus_scores_[b];
+              });
+
+    const double total_rate =
+        std::accumulate(torus_rate_.begin(), torus_rate_.end(), 0.0);
+    std::vector<std::size_t> quota(n_tori);
+    std::size_t assigned = 0;
+    for (std::size_t k = 0; k < n_tori; ++k) {
+      const std::size_t t = torus_order[k];
+      quota[t] = k + 1 == n_tori
+                     ? tasks.size() - assigned
+                     : static_cast<std::size_t>(std::round(
+                           torus_rate_[t] / std::max(total_rate, 1e-12) *
+                           static_cast<double>(tasks.size())));
+      quota[t] = std::min(quota[t], tasks.size() - assigned);
+      assigned += quota[t];
     }
-  }
-  // Any rounding leftovers land on the fastest torus.
-  while (cursor < tasks.size()) {
-    task_torus[task_order[cursor++]] = torus_order[0];
+
+    std::size_t cursor = 0;
+    for (std::size_t k = 0; k < n_tori && cursor < tasks.size(); ++k) {
+      const std::size_t t = torus_order[k];
+      for (std::size_t c = 0; c < quota[t] && cursor < tasks.size(); ++c) {
+        task_torus[task_order[cursor++]] = t;
+      }
+    }
+    // Any rounding leftovers land on the fastest torus.
+    while (cursor < tasks.size()) {
+      task_torus[task_order[cursor++]] = torus_order[0];
+    }
   }
 
   // Execute.
-  for (std::size_t i = 0; i < tasks.size(); ++i) {
-    math::Rng rng = root.split("exec").split(i);
-    const double p = torus_probability(task_torus[i], tasks[i],
-                                       config_.shots_per_task, rng, &report);
-    report.per_task_loss[i] =
-        qnn::loss_value(config_.loss, p, tasks[i].label);
+  {
+    AQ_TRACE_SPAN("core.infer.execute");
+    std::vector<telemetry::QpuShotShare> split;
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      math::Rng rng = root.split("exec").split(i);
+      split.clear();
+      const double p = torus_probability(
+          task_torus[i], tasks[i], config_.shots_per_task, rng, &report,
+          telemetry != nullptr ? &split : nullptr);
+      report.per_task_loss[i] =
+          qnn::loss_value(config_.loss, p, tasks[i].label);
+      if (telemetry != nullptr) {
+        telemetry::AssignmentRecord rec;
+        rec.task = i;
+        rec.torus = static_cast<int>(task_torus[i]);
+        rec.estimated_score = torus_scores_[task_torus[i]];
+        rec.warmup_difficulty = difficulty[i];
+        rec.realized_loss = report.per_task_loss[i];
+        rec.shot_split = split;
+        telemetry->on_assignment(rec);
+      }
+    }
   }
 
   finalize_report(report);

@@ -7,6 +7,8 @@
 
 #include "arbiterq/math/dft.hpp"
 #include "arbiterq/math/mds.hpp"
+#include "arbiterq/telemetry/metrics.hpp"
+#include "arbiterq/telemetry/trace.hpp"
 
 namespace arbiterq::core {
 
@@ -34,6 +36,9 @@ TorusPartition build_torus_partition(
   if (static_cast<std::size_t>(num_tori) > n) {
     throw std::invalid_argument("build_torus_partition: more tori than QPUs");
   }
+  AQ_TRACE_SPAN("core.torus.partition");
+  AQ_COUNTER_ADD("core.torus.builds", 1);
+  AQ_GAUGE_SET("core.torus.count", static_cast<double>(num_tori));
 
   TorusPartition out;
 

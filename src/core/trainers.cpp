@@ -7,6 +7,8 @@
 #include <stdexcept>
 
 #include "arbiterq/data/dataset.hpp"
+#include "arbiterq/telemetry/metrics.hpp"
+#include "arbiterq/telemetry/trace.hpp"
 
 namespace arbiterq::core {
 
@@ -142,11 +144,13 @@ double DistributedTrainer::node_test_loss(
                                        split.test_labels, w);
 }
 
-TrainResult DistributedTrainer::train(Strategy strategy,
-                                      const data::EncodedSplit& split) const {
+TrainResult DistributedTrainer::train(
+    Strategy strategy, const data::EncodedSplit& split,
+    telemetry::TrainingTelemetry* telemetry) const {
   if (split.train_features.empty() || split.test_features.empty()) {
     throw std::invalid_argument("train: empty split");
   }
+  AQ_TRACE_SPAN("core.train.run");
   const std::size_t n = executors_.size();
   const auto w0 = initial_weights();
   std::vector<std::vector<double>> weights(n, w0);
@@ -160,6 +164,17 @@ TrainResult DistributedTrainer::train(Strategy strategy,
       for (int j : g) {
         if (i != j) peers[static_cast<std::size_t>(i)].push_back(j);
       }
+    }
+  }
+
+  // Node -> similarity-group index/size, for the telemetry records.
+  std::vector<int> group_of(n, -1);
+  std::vector<int> group_size(n, 1);
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    for (int i : groups[g]) {
+      group_of[static_cast<std::size_t>(i)] = static_cast<int>(g);
+      group_size[static_cast<std::size_t>(i)] =
+          static_cast<int>(groups[g].size());
     }
   }
 
@@ -184,8 +199,12 @@ TrainResult DistributedTrainer::train(Strategy strategy,
 
   std::vector<std::vector<double>> grads(n);
   std::vector<bool> online(n, true);
+  std::vector<bool> prev_online(n, true);
   const std::size_t w_total = w0.size();
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    AQ_TRACE_SPAN("core.train.epoch");
+    AQ_COUNTER_ADD("core.train.epochs", 1);
+    prev_online = online;
     if (drifting && epoch > 0 && epoch % config_.drift_interval == 0) {
       math::Rng drift_rng = root.split("drift").split(
           static_cast<std::uint64_t>(epoch));
@@ -319,10 +338,35 @@ TrainResult DistributedTrainer::train(Strategy strategy,
 
     double epoch_loss = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
-      epoch_loss += execs[i].dataset_loss(config_.loss, split.test_features,
-                                          split.test_labels, weights[i]);
+      const double node_loss = execs[i].dataset_loss(
+          config_.loss, split.test_features, split.test_labels, weights[i]);
+      epoch_loss += node_loss;
+      if (telemetry != nullptr) {
+        telemetry::EpochQpuRecord rec;
+        rec.strategy = strategy_name(strategy);
+        rec.epoch = epoch;
+        rec.qpu = static_cast<int>(i);
+        rec.online = online[i];
+        rec.churned = epoch > 0 && online[i] != prev_online[i];
+        rec.group = group_of[i];
+        rec.group_size = group_size[i];
+        rec.loss = node_loss;
+        double norm_sq = 0.0;
+        for (double g : grads[i]) norm_sq += g * g;
+        rec.grad_norm = std::sqrt(norm_sq);
+        // Parameter-shift accounting: a node that computed a gradient
+        // this epoch would have run 2 circuits per weight per sample.
+        const bool computed =
+            online[i] && (strategy != Strategy::kSingleNode || i == single);
+        rec.shots_estimate =
+            computed ? static_cast<std::uint64_t>(2 * w_total) *
+                           static_cast<std::uint64_t>(config_.batch_size)
+                     : 0;
+        telemetry->on_epoch(rec);
+      }
     }
     result.epoch_test_loss.push_back(epoch_loss / static_cast<double>(n));
+    AQ_GAUGE_SET("core.train.last_loss", result.epoch_test_loss.back());
   }
 
   result.weights = std::move(weights);

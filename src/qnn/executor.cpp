@@ -5,6 +5,8 @@
 
 #include "arbiterq/qnn/gradient.hpp"
 #include "arbiterq/sim/adjoint.hpp"
+#include "arbiterq/telemetry/metrics.hpp"
+#include "arbiterq/telemetry/trace.hpp"
 
 namespace arbiterq::qnn {
 
@@ -39,6 +41,7 @@ double QnnExecutor::readout_contract(double p_one) const {
 
 double QnnExecutor::probability(const std::vector<double>& features,
                                 const std::vector<double>& weights) const {
+  AQ_COUNTER_ADD("qnn.forward.calls", 1);
   const auto params = model_.pack_params(features, weights);
   double z = simulator_.expectation_z(compiled_.executable, params,
                                       readout_qubit_);
@@ -50,6 +53,7 @@ double QnnExecutor::sampled_probability(const std::vector<double>& features,
                                         const std::vector<double>& weights,
                                         int shots, math::Rng& rng,
                                         int trajectories) const {
+  AQ_TRACE_SPAN("qnn.sample.probability");
   const auto params = model_.pack_params(features, weights);
   sim::ShotOptions opts;
   opts.shots = shots;
@@ -70,6 +74,7 @@ double QnnExecutor::dataset_loss(
   if (features.size() != labels.size() || features.empty()) {
     throw std::invalid_argument("dataset_loss: bad dataset");
   }
+  AQ_TRACE_SPAN("qnn.loss.dataset");
   double total = 0.0;
   for (std::size_t i = 0; i < features.size(); ++i) {
     total += loss_value(kind, probability(features[i], weights), labels[i]);
@@ -84,6 +89,8 @@ std::vector<double> QnnExecutor::loss_gradient(
   if (features.size() != labels.size() || features.empty()) {
     throw std::invalid_argument("loss_gradient: bad dataset");
   }
+  AQ_TRACE_SPAN("qnn.grad.adjoint");
+  AQ_COUNTER_ADD("qnn.grad.calls", 1);
   const std::size_t w_count = weights.size();
   const std::size_t w_offset = static_cast<std::size_t>(model_.num_qubits());
   std::vector<double> grad(w_count, 0.0);
@@ -122,6 +129,8 @@ std::vector<double> QnnExecutor::loss_gradient_shift(
   if (features.size() != labels.size() || features.empty()) {
     throw std::invalid_argument("loss_gradient_shift: bad dataset");
   }
+  AQ_TRACE_SPAN("qnn.grad.shift");
+  AQ_COUNTER_ADD("qnn.grad.calls", 1);
   const auto rules = shift_rules();
   std::vector<double> grad(weights.size(), 0.0);
   std::vector<double> w = weights;

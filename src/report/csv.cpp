@@ -74,6 +74,9 @@ void CsvTable::write(const std::string& path) const {
     throw std::runtime_error("CsvTable::write: cannot open " + path);
   }
   os << to_string();
+  // flush() before the destructor so a full disk or yanked mount is
+  // reported here instead of swallowed by ~ofstream.
+  os.flush();
   if (!os) {
     throw std::runtime_error("CsvTable::write: write failed for " + path);
   }

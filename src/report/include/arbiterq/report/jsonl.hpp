@@ -1,0 +1,60 @@
+#pragma once
+// Minimal JSONL (one JSON object per line) emission and parsing, the
+// sibling of csv.hpp: every exporter shares the same escaping and
+// failure-reporting discipline. Deliberately small — flat objects whose
+// values are strings, numbers, booleans, null, or arrays of those; no
+// nested objects (nothing in the repo emits them).
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace arbiterq::report {
+
+/// RFC 8259 string escaping (quotes, backslash, control characters).
+std::string json_escape(std::string_view s);
+
+/// Builder for one flat JSON object, emitted as a single line.
+/// Usage: JsonLine().field("type", "span").field("dur_ns", 12).finish()
+class JsonLine {
+ public:
+  JsonLine& field(std::string_view key, std::string_view value);
+  JsonLine& field(std::string_view key, const char* value);
+  JsonLine& field(std::string_view key, double value);
+  JsonLine& field(std::string_view key, std::uint64_t value);
+  JsonLine& field(std::string_view key, std::int64_t value);
+  JsonLine& field(std::string_view key, int value);
+  JsonLine& field(std::string_view key, bool value);
+  JsonLine& field(std::string_view key, const std::vector<double>& values);
+  JsonLine& field(std::string_view key,
+                  const std::vector<std::uint64_t>& values);
+  JsonLine& field(std::string_view key, const std::vector<int>& values);
+
+  /// The finished object, `{...}` without a trailing newline.
+  std::string finish() const;
+
+ private:
+  JsonLine& raw(std::string_view key, std::string value);
+  std::string body_;
+};
+
+/// Parsed JSON scalar-or-array value.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;  ///< scalar elements only
+};
+
+using JsonObject = std::map<std::string, JsonValue>;
+
+/// Parse one flat JSON object line (the inverse of JsonLine). Returns
+/// nullopt on malformed input or unsupported shapes (nested objects).
+std::optional<JsonObject> parse_json_line(std::string_view line);
+
+}  // namespace arbiterq::report

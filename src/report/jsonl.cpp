@@ -1,0 +1,298 @@
+#include "arbiterq/report/jsonl.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace arbiterq::report {
+
+namespace {
+
+std::string format_number(double v) {
+  // JSON has no NaN/Inf; emit null so consumers see an explicit hole.
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+JsonLine& JsonLine::raw(std::string_view key, std::string value) {
+  if (!body_.empty()) body_ += ",";
+  body_ += "\"" + json_escape(key) + "\":" + value;
+  return *this;
+}
+
+JsonLine& JsonLine::field(std::string_view key, std::string_view value) {
+  return raw(key, "\"" + json_escape(value) + "\"");
+}
+
+JsonLine& JsonLine::field(std::string_view key, const char* value) {
+  return field(key, std::string_view(value));
+}
+
+JsonLine& JsonLine::field(std::string_view key, double value) {
+  return raw(key, format_number(value));
+}
+
+JsonLine& JsonLine::field(std::string_view key, std::uint64_t value) {
+  return raw(key, std::to_string(value));
+}
+
+JsonLine& JsonLine::field(std::string_view key, std::int64_t value) {
+  return raw(key, std::to_string(value));
+}
+
+JsonLine& JsonLine::field(std::string_view key, int value) {
+  return field(key, static_cast<std::int64_t>(value));
+}
+
+JsonLine& JsonLine::field(std::string_view key, bool value) {
+  return raw(key, value ? "true" : "false");
+}
+
+JsonLine& JsonLine::field(std::string_view key,
+                          const std::vector<double>& values) {
+  std::string arr = "[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) arr += ",";
+    arr += format_number(values[i]);
+  }
+  arr += "]";
+  return raw(key, std::move(arr));
+}
+
+JsonLine& JsonLine::field(std::string_view key,
+                          const std::vector<std::uint64_t>& values) {
+  std::string arr = "[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) arr += ",";
+    arr += std::to_string(values[i]);
+  }
+  arr += "]";
+  return raw(key, std::move(arr));
+}
+
+JsonLine& JsonLine::field(std::string_view key,
+                          const std::vector<int>& values) {
+  std::string arr = "[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) arr += ",";
+    arr += std::to_string(values[i]);
+  }
+  arr += "]";
+  return raw(key, std::move(arr));
+}
+
+std::string JsonLine::finish() const { return "{" + body_ + "}"; }
+
+namespace {
+
+struct Parser {
+  std::string_view s;
+  std::size_t pos = 0;
+
+  bool at_end() const { return pos >= s.size(); }
+  char peek() const { return s[pos]; }
+
+  void skip_ws() {
+    while (!at_end() && std::isspace(static_cast<unsigned char>(s[pos]))) {
+      ++pos;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (at_end() || s[pos] != c) return false;
+    ++pos;
+    return true;
+  }
+
+  bool literal(std::string_view word) {
+    if (s.substr(pos, word.size()) != word) return false;
+    pos += word.size();
+    return true;
+  }
+
+  bool parse_string(std::string* out) {
+    skip_ws();
+    if (at_end() || s[pos] != '"') return false;
+    ++pos;
+    out->clear();
+    while (!at_end()) {
+      char c = s[pos++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        *out += c;
+        continue;
+      }
+      if (at_end()) return false;
+      char esc = s[pos++];
+      switch (esc) {
+        case '"':
+          *out += '"';
+          break;
+        case '\\':
+          *out += '\\';
+          break;
+        case '/':
+          *out += '/';
+          break;
+        case 'b':
+          *out += '\b';
+          break;
+        case 'f':
+          *out += '\f';
+          break;
+        case 'n':
+          *out += '\n';
+          break;
+        case 'r':
+          *out += '\r';
+          break;
+        case 't':
+          *out += '\t';
+          break;
+        case 'u': {
+          if (pos + 4 > s.size()) return false;
+          char hex[5] = {s[pos], s[pos + 1], s[pos + 2], s[pos + 3], 0};
+          char* end = nullptr;
+          const long code = std::strtol(hex, &end, 16);
+          if (end != hex + 4) return false;
+          pos += 4;
+          // ASCII escapes only (all this repo ever emits); wider code
+          // points pass through as '?' rather than failing the line.
+          *out += code < 0x80 ? static_cast<char>(code) : '?';
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+    return false;
+  }
+
+  bool parse_number(double* out) {
+    skip_ws();
+    const char* begin = s.data() + pos;
+    char* end = nullptr;
+    const double v = std::strtod(begin, &end);
+    if (end == begin) return false;
+    pos += static_cast<std::size_t>(end - begin);
+    *out = v;
+    return true;
+  }
+
+  bool parse_scalar(JsonValue* out) {
+    skip_ws();
+    if (at_end()) return false;
+    if (s[pos] == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return parse_string(&out->string);
+    }
+    if (literal("true")) {
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = true;
+      return true;
+    }
+    if (literal("false")) {
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = false;
+      return true;
+    }
+    if (literal("null")) {
+      out->kind = JsonValue::Kind::kNull;
+      return true;
+    }
+    out->kind = JsonValue::Kind::kNumber;
+    return parse_number(&out->number);
+  }
+
+  bool parse_value(JsonValue* out) {
+    skip_ws();
+    if (at_end()) return false;
+    if (s[pos] != '[') return parse_scalar(out);
+    ++pos;
+    out->kind = JsonValue::Kind::kArray;
+    skip_ws();
+    if (consume(']')) return true;
+    while (true) {
+      JsonValue elem;
+      if (!parse_scalar(&elem)) return false;
+      out->array.push_back(std::move(elem));
+      if (consume(']')) return true;
+      if (!consume(',')) return false;
+    }
+  }
+};
+
+}  // namespace
+
+std::optional<JsonObject> parse_json_line(std::string_view line) {
+  Parser p{line};
+  if (!p.consume('{')) return std::nullopt;
+  JsonObject obj;
+  p.skip_ws();
+  if (p.consume('}')) {
+    p.skip_ws();
+    return p.at_end() ? std::optional<JsonObject>(std::move(obj))
+                      : std::nullopt;
+  }
+  while (true) {
+    std::string key;
+    if (!p.parse_string(&key)) return std::nullopt;
+    if (!p.consume(':')) return std::nullopt;
+    JsonValue value;
+    if (!p.parse_value(&value)) return std::nullopt;
+    obj[std::move(key)] = std::move(value);
+    if (p.consume('}')) break;
+    if (!p.consume(',')) return std::nullopt;
+  }
+  p.skip_ws();
+  if (!p.at_end()) return std::nullopt;
+  return obj;
+}
+
+}  // namespace arbiterq::report

@@ -5,6 +5,8 @@
 
 #include "arbiterq/circuit/unitary.hpp"
 #include "arbiterq/sim/statevector.hpp"
+#include "arbiterq/telemetry/metrics.hpp"
+#include "arbiterq/telemetry/trace.hpp"
 
 namespace arbiterq::sim {
 
@@ -96,6 +98,8 @@ std::vector<double> adjoint_gradient_z(const circuit::Circuit& c,
   if (static_cast<int>(params.size()) < c.num_params()) {
     throw std::invalid_argument("adjoint_gradient_z: params too short");
   }
+  AQ_TRACE_SPAN("sim.adjoint.gradient");
+  AQ_COUNTER_ADD("sim.adjoint.calls", 1);
   const bool noisy = noise != nullptr && noise->enabled();
 
   auto bound_of = [&](const Gate& g) {

@@ -3,6 +3,8 @@
 #include <stdexcept>
 
 #include "arbiterq/circuit/unitary.hpp"
+#include "arbiterq/telemetry/metrics.hpp"
+#include "arbiterq/telemetry/trace.hpp"
 
 namespace arbiterq::sim {
 
@@ -60,6 +62,8 @@ Statevector StatevectorSimulator::run_biased(
 double StatevectorSimulator::expectation_z(const circuit::Circuit& c,
                                            std::span<const double> params,
                                            int qubit) const {
+  AQ_TRACE_SPAN("sim.expect.z");
+  AQ_COUNTER_ADD("sim.expect.calls", 1);
   const Statevector sv = run_biased(c, params);
   const double survival =
       noise_.enabled() ? noise_.survival_probability(c) : 1.0;
@@ -104,6 +108,9 @@ std::vector<std::uint32_t> StatevectorSimulator::sample_counts(
   if (opts.shots <= 0 || opts.trajectories <= 0) {
     throw std::invalid_argument("sample_counts: shots/trajectories invalid");
   }
+  AQ_TRACE_SPAN("sim.sample.counts");
+  AQ_COUNTER_ADD("sim.sample.shots",
+                 static_cast<std::uint64_t>(opts.shots));
   std::vector<std::uint32_t> counts(std::size_t{1} << c.num_qubits(), 0);
   Statevector sv(c.num_qubits());
   const int n_traj = std::min(opts.trajectories, opts.shots);

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "arbiterq/telemetry/metrics.hpp"
+
 namespace arbiterq::sim {
 
 Statevector::Statevector(int num_qubits) : num_qubits_(num_qubits) {
@@ -19,6 +21,7 @@ void Statevector::reset() {
 }
 
 void Statevector::apply_mat2(const circuit::Mat2& m, int q) {
+  AQ_COUNTER_ADD("sim.apply.gate1q", 1);
   const std::size_t bit = std::size_t{1} << q;
   const std::size_t n = amps_.size();
   // Diagonal fast path (RZ/S/Z...): pure per-amplitude phases, no
@@ -39,6 +42,7 @@ void Statevector::apply_mat2(const circuit::Mat2& m, int q) {
 }
 
 void Statevector::apply_mat4(const circuit::Mat4& m, int qb, int qa) {
+  AQ_COUNTER_ADD("sim.apply.gate2q", 1);
   const std::size_t bit_b = std::size_t{1} << qb;
   const std::size_t bit_a = std::size_t{1} << qa;
   const std::size_t n = amps_.size();

@@ -1,0 +1,105 @@
+#pragma once
+// Scoped trace spans: `AQ_TRACE_SPAN("transpile.route");` opens an RAII
+// timer that records a TraceEvent into the process-wide ring buffer when
+// the scope exits. Spans nest — a thread-local stack links each span to
+// its parent, so exporters can reconstruct the call tree from
+// (id, parent_id, depth). Events land in *completion* order (children
+// before their parent), each carrying its start timestamp.
+//
+// The ring buffer is bounded (default 65536 events): under sustained load
+// the oldest events are overwritten and `dropped()` counts the loss —
+// telemetry never grows without bound and never throws on the hot path.
+//
+// With ARBITERQ_TELEMETRY=OFF the macro compiles to nothing; the classes
+// stay available so exporters and tests still link.
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "arbiterq/telemetry/metrics.hpp"  // ARBITERQ_TELEMETRY_ENABLED
+
+namespace arbiterq::telemetry {
+
+struct TraceEvent {
+  std::string name;           ///< span label, `subsystem.verb.noun`
+  std::uint64_t id = 0;       ///< unique per process, starts at 1
+  std::uint64_t parent_id = 0;  ///< 0 = root span
+  std::uint32_t depth = 0;    ///< 0 for roots, parent.depth + 1 otherwise
+  std::uint64_t start_ns = 0;  ///< steady-clock ns since process anchor
+  std::uint64_t duration_ns = 0;
+  std::uint64_t thread_id = 0;  ///< hashed std::thread::id
+};
+
+/// Monotonic nanoseconds since a fixed process-lifetime anchor.
+std::uint64_t trace_now_ns() noexcept;
+
+class TraceBuffer {
+ public:
+  /// The process-wide buffer AQ_TRACE_SPAN feeds.
+  static TraceBuffer& global();
+
+  explicit TraceBuffer(std::size_t capacity = 65536);
+  TraceBuffer(const TraceBuffer&) = delete;
+  TraceBuffer& operator=(const TraceBuffer&) = delete;
+
+  void record(TraceEvent e);
+  /// Oldest-first copy of the retained events.
+  std::vector<TraceEvent> snapshot() const;
+  std::size_t size() const;
+  std::size_t capacity() const;
+  /// Events recorded over the buffer's lifetime (cleared resets it).
+  std::uint64_t total_recorded() const;
+  /// Events lost to ring overwrite: total_recorded() - size().
+  std::uint64_t dropped() const;
+  /// Drops retained events and zeroes the lifetime counters.
+  void clear();
+  /// Clears and resizes; capacity 0 is rounded up to 1.
+  void set_capacity(std::size_t capacity);
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;
+  std::size_t capacity_;
+  std::size_t head_ = 0;  ///< next write slot once the ring is full
+  std::uint64_t total_ = 0;
+};
+
+/// RAII span. Construct on the stack (via AQ_TRACE_SPAN); destruction
+/// records the event into TraceBuffer::global() and pops the thread-local
+/// parent stack. Not movable: its address is the nesting invariant.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) noexcept;
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  std::uint64_t id() const noexcept { return id_; }
+  std::uint64_t parent_id() const noexcept { return parent_id_; }
+  std::uint32_t depth() const noexcept { return depth_; }
+
+ private:
+  const char* name_;
+  std::uint64_t id_;
+  std::uint64_t parent_id_;
+  std::uint32_t depth_;
+  std::uint64_t start_ns_;
+};
+
+}  // namespace arbiterq::telemetry
+
+#if ARBITERQ_TELEMETRY_ENABLED
+
+#define AQ_TELEMETRY_CONCAT_INNER(a, b) a##b
+#define AQ_TELEMETRY_CONCAT(a, b) AQ_TELEMETRY_CONCAT_INNER(a, b)
+#define AQ_TRACE_SPAN(name)                     \
+  ::arbiterq::telemetry::ScopedSpan AQ_TELEMETRY_CONCAT( \
+      aq_trace_span_, __LINE__)(name)
+
+#else  // ARBITERQ_TELEMETRY_ENABLED
+
+#define AQ_TRACE_SPAN(name) static_cast<void>(0)
+
+#endif  // ARBITERQ_TELEMETRY_ENABLED

@@ -1,0 +1,125 @@
+#include "arbiterq/telemetry/trace.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <thread>
+
+namespace arbiterq::telemetry {
+
+namespace {
+
+std::uint64_t this_thread_hash() noexcept {
+  return std::hash<std::thread::id>{}(std::this_thread::get_id());
+}
+
+std::atomic<std::uint64_t> g_next_span_id{1};
+
+// Per-thread nesting state (parent linkage for ScopedSpan).
+thread_local std::uint64_t tls_current_span = 0;
+thread_local std::uint32_t tls_depth = 0;
+
+}  // namespace
+
+std::uint64_t trace_now_ns() noexcept {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point anchor = clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                           anchor)
+          .count());
+}
+
+TraceBuffer& TraceBuffer::global() {
+  static TraceBuffer buffer;
+  return buffer;
+}
+
+TraceBuffer::TraceBuffer(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(std::min<std::size_t>(capacity_, 4096));
+}
+
+void TraceBuffer::record(TraceEvent e) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++total_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(e));
+    return;
+  }
+  ring_[head_] = std::move(e);
+  head_ = (head_ + 1) % capacity_;
+}
+
+std::vector<TraceEvent> TraceBuffer::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  // head_ is the oldest slot once the ring has wrapped.
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::size_t TraceBuffer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+std::size_t TraceBuffer::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+std::uint64_t TraceBuffer::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+std::uint64_t TraceBuffer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_ - ring_.size();
+}
+
+void TraceBuffer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  head_ = 0;
+  total_ = 0;
+}
+
+void TraceBuffer::set_capacity(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity == 0 ? 1 : capacity;
+  ring_.clear();
+  head_ = 0;
+  total_ = 0;
+}
+
+ScopedSpan::ScopedSpan(const char* name) noexcept
+    : name_(name),
+      id_(g_next_span_id.fetch_add(1, std::memory_order_relaxed)),
+      parent_id_(tls_current_span),
+      depth_(tls_depth),
+      start_ns_(trace_now_ns()) {
+  tls_current_span = id_;
+  ++tls_depth;
+}
+
+ScopedSpan::~ScopedSpan() {
+  const std::uint64_t end_ns = trace_now_ns();
+  tls_current_span = parent_id_;
+  --tls_depth;
+  TraceEvent e;
+  e.name = name_;
+  e.id = id_;
+  e.parent_id = parent_id_;
+  e.depth = depth_;
+  e.start_ns = start_ns_;
+  e.duration_ns = end_ns - start_ns_;
+  e.thread_id = this_thread_hash();
+  TraceBuffer::global().record(std::move(e));
+}
+
+}  // namespace arbiterq::telemetry

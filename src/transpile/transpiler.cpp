@@ -2,6 +2,8 @@
 
 #include <numeric>
 
+#include "arbiterq/telemetry/metrics.hpp"
+#include "arbiterq/telemetry/trace.hpp"
 #include "arbiterq/transpile/decompose.hpp"
 #include "arbiterq/transpile/layout.hpp"
 #include "arbiterq/transpile/optimize.hpp"
@@ -14,6 +16,8 @@ CompiledCircuit compile(const circuit::Circuit& c, const device::Qpu& qpu) {
 
 CompiledCircuit compile(const circuit::Circuit& c, const device::Qpu& qpu,
                         const CompileOptions& options) {
+  AQ_TRACE_SPAN("transpile.compile");
+  AQ_COUNTER_ADD("transpile.compile.calls", 1);
   CompiledCircuit out;
 
   // Placement. The routed circuit lives on physical qubits, so the
@@ -22,17 +26,30 @@ CompiledCircuit compile(const circuit::Circuit& c, const device::Qpu& qpu,
   RoutedCircuit routed = [&] {
     if (!options.select_layout) {
       std::iota(placement.begin(), placement.end(), 0);
+      AQ_TRACE_SPAN("transpile.route");
       return route(c, qpu.topology(), options.routing);
     }
-    const LayoutResult layout = select_layout(c, qpu);
+    const LayoutResult layout = [&] {
+      AQ_TRACE_SPAN("transpile.select.layout");
+      return select_layout(c, qpu);
+    }();
     placement = layout.assignment;
     const circuit::Circuit placed =
         apply_layout(c, layout.assignment, qpu.num_qubits());
+    AQ_TRACE_SPAN("transpile.route");
     return route(placed, qpu.topology(), options.routing);
   }();
 
-  out.executable = decompose_to_basis(routed.circuit, qpu.basis());
-  if (options.optimize) out.executable = optimize(out.executable);
+  {
+    AQ_TRACE_SPAN("transpile.decompose");
+    out.executable = decompose_to_basis(routed.circuit, qpu.basis());
+  }
+  if (options.optimize) {
+    AQ_TRACE_SPAN("transpile.optimize");
+    out.executable = optimize(out.executable);
+  }
+  AQ_GAUGE_SET("transpile.compiled.depth",
+               static_cast<double>(out.executable.depth()));
   out.routed = std::move(routed.circuit);
   // route()'s layouts are identity-based over the placed circuit; map
   // them back to the original logical qubits.
