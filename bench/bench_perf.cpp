@@ -3,22 +3,35 @@
 // vector evolution vs qubit count, exact vs trajectory execution,
 // adjoint gradient vs parameter shift, transpilation, and the
 // density-matrix reference.
+//
+// Thread-scaling mode: `bench_perf --threads N` skips the
+// google-benchmark suite and instead measures end-to-end fleet training
+// plus raw statevector kernels at 1, 2, 4, ... up to N worker threads,
+// verifies the parallel runs reproduce the serial loss curve exactly,
+// and emits a machine-readable BENCH_perf.json.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
-#include "arbiterq/device/presets.hpp"
-#include "arbiterq/telemetry/export.hpp"
-#include "arbiterq/math/rng.hpp"
+#include "arbiterq/circuit/unitary.hpp"
 #include "arbiterq/core/behavioral_vector.hpp"
+#include "arbiterq/core/trainers.hpp"
+#include "arbiterq/data/pipeline.hpp"
+#include "arbiterq/device/presets.hpp"
+#include "arbiterq/exec/parallel.hpp"
+#include "arbiterq/math/rng.hpp"
 #include "arbiterq/qnn/executor.hpp"
 #include "arbiterq/qnn/model.hpp"
 #include "arbiterq/sim/adjoint.hpp"
 #include "arbiterq/sim/density_matrix.hpp"
 #include "arbiterq/sim/simulator.hpp"
+#include "arbiterq/sim/statevector.hpp"
+#include "arbiterq/telemetry/export.hpp"
 #include "arbiterq/transpile/optimize.hpp"
 #include "arbiterq/transpile/transpiler.hpp"
 
@@ -168,17 +181,217 @@ void BM_ForwardOptimizedVsRaw(benchmark::State& state) {
 }
 BENCHMARK(BM_ForwardOptimizedVsRaw)->DenseRange(2, 10, 2);
 
+void BM_FleetEpochThreads(benchmark::State& state) {
+  // End-to-end distributed training epochs with the per-QPU work fanned
+  // across the pool (compare thread counts at the same workload).
+  const data::EncodedSplit split =
+      data::prepare_case({"iris", 2, 2}, 42);
+  const qnn::QnnModel m(qnn::Backbone::kCRz, 2, 2);
+  core::TrainConfig cfg;
+  cfg.epochs = 2;
+  cfg.exec.num_threads = static_cast<int>(state.range(0));
+  const core::DistributedTrainer trainer(m, device::table3_fleet_subset(4, 2),
+                                         cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        trainer.train(core::Strategy::kArbiterQ, split));
+  }
+}
+BENCHMARK(BM_FleetEpochThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// ---------------------------------------------------------------------------
+// Thread-scaling mode (`--threads N`): wall-clock the two workloads the
+// engine accelerates and dump BENCH_perf.json.
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct ScalingPoint {
+  int threads = 1;
+  double seconds = 0.0;
+  bool equivalent = true;  ///< results match the 1-thread run exactly
+};
+
+std::vector<int> thread_sweep(int max_threads) {
+  std::vector<int> sweep;
+  for (int t = 1; t < max_threads; t *= 2) sweep.push_back(t);
+  sweep.push_back(max_threads);
+  return sweep;
+}
+
+/// Fleet training: ArbiterQ strategy over `fleet_size` Table III QPUs.
+std::vector<ScalingPoint> scale_fleet_training(int max_threads,
+                                               int fleet_size, int epochs) {
+  const data::BenchmarkCase bc{"wine", 4, 2};
+  const data::EncodedSplit split = data::prepare_case(bc, 42);
+  const qnn::QnnModel m(qnn::Backbone::kCRz, bc.num_qubits, bc.num_layers);
+  std::vector<ScalingPoint> points;
+  std::vector<double> baseline_losses;
+  for (int t : thread_sweep(max_threads)) {
+    core::TrainConfig cfg;
+    cfg.epochs = epochs;
+    cfg.exec.num_threads = t;
+    const core::DistributedTrainer trainer(
+        m, device::table3_fleet_subset(fleet_size, bc.num_qubits), cfg);
+    const double t0 = now_seconds();
+    const core::TrainResult r =
+        trainer.train(core::Strategy::kArbiterQ, split);
+    ScalingPoint p;
+    p.threads = t;
+    p.seconds = now_seconds() - t0;
+    if (t == 1) {
+      baseline_losses = r.epoch_test_loss;
+    } else {
+      p.equivalent = r.epoch_test_loss == baseline_losses;
+    }
+    points.push_back(p);
+    std::printf("  fleet training  threads=%2d  %.3fs  speedup %.2fx  "
+                "equivalent=%s\n",
+                t, p.seconds, points.front().seconds / p.seconds,
+                p.equivalent ? "yes" : "NO");
+  }
+  return points;
+}
+
+/// Raw stride kernels: repeated 1q butterflies + diagonal 2q passes over
+/// a large register.
+std::vector<ScalingPoint> scale_statevector_kernels(int max_threads,
+                                                    int qubits, int sweeps) {
+  const circuit::Mat2 ry =
+      circuit::gate_matrix_1q(circuit::GateKind::kRY, {0.3, 0.0, 0.0});
+  const circuit::Mat4 crz =
+      circuit::gate_matrix_2q(circuit::GateKind::kCRZ, {0.7, 0.0, 0.0});
+  std::vector<ScalingPoint> points;
+  std::vector<sim::Complex> baseline;
+  for (int t : thread_sweep(max_threads)) {
+    sim::Statevector sv(qubits);
+    exec::ExecPolicy policy;
+    policy.num_threads = t;
+    sv.set_exec_policy(policy);
+    const double t0 = now_seconds();
+    for (int s = 0; s < sweeps; ++s) {
+      for (int q = 0; q < qubits; ++q) sv.apply_mat2(ry, q);
+      for (int q = 0; q + 1 < qubits; ++q) sv.apply_mat4(crz, q + 1, q);
+    }
+    ScalingPoint p;
+    p.threads = t;
+    p.seconds = now_seconds() - t0;
+    if (t == 1) {
+      baseline = sv.amplitudes();
+    } else {
+      p.equivalent = sv.amplitudes() == baseline;
+    }
+    points.push_back(p);
+    std::printf("  sv kernels      threads=%2d  %.3fs  speedup %.2fx  "
+                "equivalent=%s\n",
+                t, p.seconds, points.front().seconds / p.seconds,
+                p.equivalent ? "yes" : "NO");
+  }
+  return points;
+}
+
+void write_points(std::FILE* f, const std::vector<ScalingPoint>& points) {
+  std::fprintf(f, "[");
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    std::fprintf(f,
+                 "%s{\"threads\": %d, \"seconds\": %.6f, "
+                 "\"speedup\": %.4f, \"equivalent\": %s}",
+                 i ? ", " : "", points[i].threads, points[i].seconds,
+                 points.front().seconds / points[i].seconds,
+                 points[i].equivalent ? "true" : "false");
+  }
+  std::fprintf(f, "]");
+}
+
+int run_scaling_mode(int max_threads, int fleet_size, int epochs,
+                     const std::string& out_path) {
+  std::printf("thread-scaling mode: up to %d threads "
+              "(fleet %d, %d epochs)\n",
+              max_threads, fleet_size, epochs);
+  const auto fleet = scale_fleet_training(max_threads, fleet_size, epochs);
+  const int sv_qubits = 18;
+  const auto kernels =
+      scale_statevector_kernels(max_threads, sv_qubits, /*sweeps=*/20);
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"mode\": \"thread-scaling\",\n");
+  std::fprintf(f, "  \"max_threads\": %d,\n", max_threads);
+  std::fprintf(f, "  \"hardware_concurrency\": %d,\n",
+               exec::resolve_threads(0));
+  std::fprintf(f,
+               "  \"fleet_training\": {\"dataset\": \"wine\", "
+               "\"fleet\": %d, \"epochs\": %d, \"strategy\": \"arbiterq\", "
+               "\"results\": ",
+               fleet_size, epochs);
+  write_points(f, fleet);
+  std::fprintf(f, "},\n");
+  std::fprintf(f,
+               "  \"statevector_kernels\": {\"qubits\": %d, "
+               "\"results\": ",
+               sv_qubits);
+  write_points(f, kernels);
+  std::fprintf(f, "}\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  bool all_equivalent = true;
+  for (const auto& p : fleet) all_equivalent &= p.equivalent;
+  for (const auto& p : kernels) all_equivalent &= p.equivalent;
+  return all_equivalent ? 0 : 2;
+}
+
 }  // namespace
 
-// Expanded BENCHMARK_MAIN(): after the benchmarks run, the telemetry
-// accumulated across every iteration (simulator/transpiler counters and
-// the trace ring) is dumped as JSONL to $ARBITERQ_TELEMETRY_PATH, or
-// bench_perf_telemetry.jsonl by default.
+// Expanded BENCHMARK_MAIN(): `--threads N` switches to the thread-scaling
+// mode above; otherwise the google-benchmark suite runs. Either way the
+// telemetry accumulated across every iteration (simulator/transpiler
+// counters and the trace ring) is dumped as JSONL to
+// $ARBITERQ_TELEMETRY_PATH, or bench_perf_telemetry.jsonl by default.
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
+  int scaling_threads = 0;
+  int scaling_fleet = 8;
+  int scaling_epochs = 4;
+  std::string scaling_out = "BENCH_perf.json";
+  // Strip our flags before google-benchmark sees (and rejects) them.
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (flag == "--threads") {
+      if (const char* v = next()) scaling_threads = std::atoi(v);
+    } else if (flag == "--scaling-fleet") {
+      if (const char* v = next()) scaling_fleet = std::atoi(v);
+    } else if (flag == "--scaling-epochs") {
+      if (const char* v = next()) scaling_epochs = std::atoi(v);
+    } else if (flag == "--scaling-out") {
+      if (const char* v = next()) scaling_out = v;
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  int rc = 0;
+  if (scaling_threads != 0) {
+    rc = run_scaling_mode(arbiterq::exec::resolve_threads(scaling_threads),
+                          scaling_fleet, scaling_epochs, scaling_out);
+  } else {
+    int bench_argc = static_cast<int>(passthrough.size());
+    benchmark::Initialize(&bench_argc, passthrough.data());
+    if (benchmark::ReportUnrecognizedArguments(bench_argc,
+                                               passthrough.data())) {
+      return 1;
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
 
   const char* env = std::getenv("ARBITERQ_TELEMETRY_PATH");
   const std::string path = env ? env : "bench_perf_telemetry.jsonl";
@@ -191,5 +404,5 @@ int main(int argc, char** argv) {
   } catch (const std::exception& e) {
     std::fprintf(stderr, "telemetry dump failed: %s\n", e.what());
   }
-  return 0;
+  return rc;
 }

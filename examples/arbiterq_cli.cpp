@@ -18,6 +18,7 @@
 #include "arbiterq/core/trainers.hpp"
 #include "arbiterq/data/pipeline.hpp"
 #include "arbiterq/device/presets.hpp"
+#include "arbiterq/exec/parallel.hpp"
 #include "arbiterq/report/csv.hpp"
 #include "arbiterq/telemetry/export.hpp"
 
@@ -36,6 +37,7 @@ struct CliOptions {
   double kappa = 2000.0;
   double threshold = 1.2e-3;
   std::uint64_t seed = 42;
+  int threads = 0;
   bool mitigate = false;
   bool infer = false;
   std::string csv;
@@ -55,6 +57,9 @@ void usage() {
       "  --kappa     similarity sharpness                (default 2000)\n"
       "  --threshold grouping distance threshold         (default 1.2e-3)\n"
       "  --seed      RNG seed                            (default 42)\n"
+      "  --threads   worker threads for fleet/gradient fan-out;\n"
+      "              0 = auto: ARBITERQ_THREADS env var, else\n"
+      "              hardware_concurrency                (default 0)\n"
       "  --mitigate  enable depolarizing error mitigation\n"
       "  --infer     run shot-oriented + batch inference afterwards\n"
       "  --csv PATH  dump the loss curve as CSV\n"
@@ -95,6 +100,8 @@ bool parse(int argc, char** argv, CliOptions* opts) {
       if (const char* v = next()) {
         opts->seed = static_cast<std::uint64_t>(std::atoll(v));
       }
+    } else if (flag == "--threads") {
+      if (const char* v = next()) opts->threads = std::atoi(v);
     } else if (flag == "--csv") {
       if (const char* v = next()) opts->csv = v;
     } else if (flag == "--telemetry") {
@@ -148,10 +155,13 @@ int main(int argc, char** argv) {
   cfg.distance_threshold = opts.threshold;
   cfg.seed = opts.seed;
   cfg.error_mitigation = opts.mitigate;
+  cfg.exec.num_threads = opts.threads;
 
-  std::printf("dataset %s | %s | %d QPUs | strategy %s | %d epochs\n",
+  std::printf("dataset %s | %s | %d QPUs | strategy %s | %d epochs | "
+              "%d threads\n",
               bc.dataset.c_str(), qnn::backbone_name(model.backbone()).c_str(),
-              opts.fleet, opts.strategy.c_str(), opts.epochs);
+              opts.fleet, opts.strategy.c_str(), opts.epochs,
+              exec::resolve_threads(opts.threads));
 
   const core::DistributedTrainer trainer(
       model, device::table3_fleet_subset(opts.fleet, bc.num_qubits), cfg);

@@ -28,6 +28,7 @@
 #include "arbiterq/core/behavioral_vector.hpp"
 #include "arbiterq/core/convergence.hpp"
 #include "arbiterq/core/similarity.hpp"
+#include "arbiterq/exec/parallel.hpp"
 #include "arbiterq/data/pipeline.hpp"
 #include "arbiterq/device/qpu.hpp"
 #include "arbiterq/qnn/executor.hpp"
@@ -86,6 +87,15 @@ struct TrainConfig {
   double drift_sigma = 0.0;
   int drift_interval = 0;
   std::uint64_t seed = 42;
+  /// Parallel execution policy for the per-QPU epoch work: minibatch
+  /// gradient evaluation and the per-node test-loss sweep fan out across
+  /// the shared thread pool (each node already owns its executor, batch
+  /// and split RNG stream), while the similarity-weighted gradient merge
+  /// and the weight updates stay behind a serial barrier — epoch results
+  /// are bit-identical to the sequential schedule for any thread count.
+  /// num_threads: 1 = serial (default), 0 = auto (ARBITERQ_THREADS env
+  /// var, else hardware_concurrency), N = cap at N-way.
+  exec::ExecPolicy exec = {};
 };
 
 struct TrainResult {

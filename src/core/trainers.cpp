@@ -4,6 +4,7 @@
 #include <cmath>
 #include <functional>
 #include <numbers>
+#include <optional>
 #include <stdexcept>
 
 #include "arbiterq/data/dataset.hpp"
@@ -16,13 +17,23 @@ namespace {
 
 std::vector<qnn::QnnExecutor> build_executors(
     const qnn::QnnModel& model, const std::vector<device::Qpu>& fleet,
-    const qnn::ExecutorOptions& options) {
+    const qnn::ExecutorOptions& options, const exec::ExecPolicy& policy) {
   if (fleet.empty()) {
     throw std::invalid_argument("DistributedTrainer: empty fleet");
   }
+  // Compiling the model for every device (routing + basis translation +
+  // noise derivation) is embarrassingly parallel; build into slots so
+  // each task constructs its executor in place.
+  std::vector<std::optional<qnn::QnnExecutor>> slots(fleet.size());
+  exec::parallel_for(policy, 0, fleet.size(),
+                     [&](std::size_t lo, std::size_t hi) {
+                       for (std::size_t i = lo; i < hi; ++i) {
+                         slots[i].emplace(model, fleet[i], options);
+                       }
+                     });
   std::vector<qnn::QnnExecutor> out;
   out.reserve(fleet.size());
-  for (const device::Qpu& q : fleet) out.emplace_back(model, q, options);
+  for (auto& s : slots) out.push_back(std::move(*s));
   return out;
 }
 
@@ -97,7 +108,8 @@ DistributedTrainer::DistributedTrainer(const qnn::QnnModel& model,
     : config_(config),
       executors_(build_executors(
           model, fleet,
-          qnn::ExecutorOptions{config.error_mitigation})),
+          qnn::ExecutorOptions{config.error_mitigation, config.exec},
+          config.exec)),
       behavioral_(build_behavioral(executors_)),
       similarity_(behavioral_, config.kappa) {}
 
@@ -198,6 +210,7 @@ TrainResult DistributedTrainer::train(
       drifting ? drifted : executors_;
 
   std::vector<std::vector<double>> grads(n);
+  std::vector<double> node_losses(n);
   std::vector<bool> online(n, true);
   std::vector<bool> prev_online(n, true);
   const std::size_t w_total = w0.size();
@@ -223,12 +236,14 @@ TrainResult DistributedTrainer::train(
       }
       if (!any_online) online[0] = true;  // the fleet never fully vanishes
     }
-    // Per-node gradients on per-node minibatches.
-    for (std::size_t i = 0; i < n; ++i) {
-      if (strategy == Strategy::kSingleNode && i != single) continue;
+    // Per-node gradients on per-node minibatches. Every node owns its
+    // executor, its grads[i] slot, and RNG streams split by (epoch, i),
+    // so the fleet fans out across the pool; results are bit-identical
+    // to the serial node order for any thread count.
+    auto node_gradient = [&](std::size_t i) {
       if (!online[i]) {
         grads[i].assign(w_total, 0.0);
-        continue;
+        return;
       }
       const Batch b = draw_batch(
           split, config_.batch_size,
@@ -246,6 +261,19 @@ TrainResult DistributedTrainer::train(
         for (double& g : grads[i]) g += noise_rng.normal(0.0, sigma);
       }
       prune_gradient(grads[i], 1.0 - config_.gradient_prune_ratio);
+    };
+    if (strategy == Strategy::kSingleNode) {
+      // One active node: run it on the caller so the executor's own
+      // per-sample parallelism (options().exec) can engage instead.
+      node_gradient(single);
+    } else {
+      AQ_TRACE_SPAN("core.train.gradient_fanout");
+      exec::parallel_for(config_.exec, 0, n,
+                         [&](std::size_t lo, std::size_t hi) {
+                           for (std::size_t i = lo; i < hi; ++i) {
+                             node_gradient(i);
+                           }
+                         });
     }
 
     const std::size_t w_len = weights[0].size();
@@ -336,10 +364,23 @@ TrainResult DistributedTrainer::train(
       }
     }
 
+    // Per-node test evaluation fans out like the gradients; telemetry
+    // emission and the loss sum stay serial (ordered) behind the barrier.
+    {
+      AQ_TRACE_SPAN("core.train.eval_fanout");
+      exec::parallel_for(
+          config_.exec, 0, n, [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t i = lo; i < hi; ++i) {
+              node_losses[i] = execs[i].dataset_loss(config_.loss,
+                                                     split.test_features,
+                                                     split.test_labels,
+                                                     weights[i]);
+            }
+          });
+    }
     double epoch_loss = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
-      const double node_loss = execs[i].dataset_loss(
-          config_.loss, split.test_features, split.test_labels, weights[i]);
+      const double node_loss = node_losses[i];
       epoch_loss += node_loss;
       if (telemetry != nullptr) {
         telemetry::EpochQpuRecord rec;

@@ -1,0 +1,101 @@
+#pragma once
+// Deterministic data-parallel helpers over the shared ThreadPool.
+//
+// Determinism contract: chunk boundaries depend only on (range length,
+// resolved thread count, grain) — never on scheduling — and every chunk
+// writes disjoint outputs, so a parallel_for produces bit-identical
+// results for any pool size and any interleaving. Callers that need a
+// reduction accumulate per-item (or per-chunk) partials and fold them in
+// index order *after* the region: that serial barrier is what keeps
+// trainer/gradient results bit-identical to the sequential schedule.
+//
+// Nested regions run inline (serially) on the calling thread — a worker
+// blocking on sub-tasks of its own pool would deadlock, and inline
+// nesting keeps the chunk math, and therefore the numerics, unchanged.
+//
+// Per-task randomness: split a deterministic stream off the caller's
+// root Rng by item index (`task_rng(root, i)`) instead of sharing one
+// generator across chunks.
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "arbiterq/exec/thread_pool.hpp"
+#include "arbiterq/math/rng.hpp"
+
+namespace arbiterq::exec {
+
+/// Execution knobs threaded through the public APIs.
+///
+///  * num_threads: 1 = serial (the default — callers opt in to
+///    parallelism), 0 = auto (ARBITERQ_THREADS env var when set,
+///    otherwise hardware_concurrency), N > 1 = at most N-way chunking.
+///  * grain: minimum items per task; 0 = auto (1 for item-sized work;
+///    the statevector kernels substitute a cache-friendly default).
+struct ExecPolicy {
+  int num_threads = 1;
+  std::size_t grain = 0;
+};
+
+/// Resolve a requested thread count: > 0 is returned as-is; 0 consults
+/// the ARBITERQ_THREADS environment variable, then
+/// std::thread::hardware_concurrency. Always >= 1.
+int resolve_threads(int requested) noexcept;
+
+/// Deterministic per-task stream: an independent Rng for item `index`.
+inline math::Rng task_rng(const math::Rng& root, std::size_t index) {
+  return root.split(static_cast<std::uint64_t>(index));
+}
+
+namespace detail {
+
+/// Executes fn over [begin, end) split into `chunks` even pieces on the
+/// shared pool (caller participates). Blocks until every chunk finished;
+/// rethrows the lowest-chunk-index exception, if any.
+void run_parallel(std::size_t begin, std::size_t end, std::size_t chunks,
+                  const std::function<void(std::size_t, std::size_t)>& fn);
+
+}  // namespace detail
+
+/// Invoke fn(lo, hi) over disjoint sub-ranges covering [begin, end).
+/// Serial (one inline fn(begin, end) call) when the policy resolves to
+/// one thread, the range is smaller than two grains, or the caller is
+/// already inside a parallel region.
+template <typename Fn>
+void parallel_for(const ExecPolicy& policy, std::size_t begin,
+                  std::size_t end, Fn&& fn) {
+  if (end <= begin) return;
+  const std::size_t count = end - begin;
+  const std::size_t grain = std::max<std::size_t>(policy.grain, 1);
+  const auto threads =
+      static_cast<std::size_t>(resolve_threads(policy.num_threads));
+  const std::size_t chunks = std::min(threads, (count + grain - 1) / grain);
+  if (chunks <= 1 || ThreadPool::in_parallel_region()) {
+    fn(begin, end);
+    return;
+  }
+  detail::run_parallel(begin, end, chunks,
+                       std::function<void(std::size_t, std::size_t)>(
+                           std::forward<Fn>(fn)));
+}
+
+/// Map fn(item, index) over a vector; out[i] is written by exactly one
+/// task, so the result is identical to the serial map.
+template <typename T, typename Fn>
+auto parallel_map(const ExecPolicy& policy, const std::vector<T>& items,
+                  Fn&& fn)
+    -> std::vector<std::decay_t<decltype(fn(items[0], std::size_t{0}))>> {
+  std::vector<std::decay_t<decltype(fn(items[0], std::size_t{0}))>> out(
+      items.size());
+  parallel_for(policy, 0, items.size(),
+               [&](std::size_t lo, std::size_t hi) {
+                 for (std::size_t i = lo; i < hi; ++i) out[i] = fn(items[i], i);
+               });
+  return out;
+}
+
+}  // namespace arbiterq::exec

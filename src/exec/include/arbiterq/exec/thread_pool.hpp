@@ -1,0 +1,71 @@
+#pragma once
+// Fixed-size worker pool behind the parallel execution engine. Workers
+// pull std::function tasks off a condition-variable-guarded queue; the
+// pool never grows, never steals, and never drops work — `parallel_for`
+// (parallel.hpp) layers deterministic chunking, caller participation and
+// exception propagation on top of it.
+//
+// A process-wide pool (`ThreadPool::shared()`) is created lazily at
+// first use, sized by `resolve_threads(0)` — the ARBITERQ_THREADS
+// environment variable when set, otherwise std::thread::hardware_concurrency.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace arbiterq::exec {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const noexcept { return static_cast<int>(workers_.size()); }
+
+  /// Enqueue a task. Tasks must not throw — a throwing task is caught,
+  /// counted (`exec.pool.task_errors`) and swallowed to keep the worker
+  /// alive; parallel_for wraps its chunks so user exceptions surface at
+  /// the call site instead.
+  void submit(std::function<void()> task);
+
+  /// The lazily-created process-wide pool (see header comment).
+  static ThreadPool& shared();
+
+  /// True on a pool worker thread, or while the current thread is
+  /// executing a parallel_for region. parallel_for uses this to run
+  /// nested regions inline instead of deadlocking on its own pool.
+  static bool in_parallel_region() noexcept;
+
+ private:
+  friend class RegionGuard;
+  void worker_main();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// RAII marker: flags the current thread as inside a parallel region for
+/// the guard's lifetime (restores the previous state on destruction).
+class RegionGuard {
+ public:
+  RegionGuard() noexcept;
+  ~RegionGuard();
+  RegionGuard(const RegionGuard&) = delete;
+  RegionGuard& operator=(const RegionGuard&) = delete;
+
+ private:
+  bool previous_;
+};
+
+}  // namespace arbiterq::exec

@@ -1,0 +1,84 @@
+#include "arbiterq/exec/parallel.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <mutex>
+
+#include "arbiterq/telemetry/metrics.hpp"
+#include "arbiterq/telemetry/trace.hpp"
+
+namespace arbiterq::exec {
+
+int resolve_threads(int requested) noexcept {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("ARBITERQ_THREADS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+namespace detail {
+
+void run_parallel(std::size_t begin, std::size_t end, std::size_t chunks,
+                  const std::function<void(std::size_t, std::size_t)>& fn) {
+  AQ_TRACE_SPAN("exec.parallel.region");
+  AQ_COUNTER_ADD("exec.parallel.regions", 1);
+  AQ_COUNTER_ADD("exec.parallel.chunks", chunks);
+  const std::size_t count = end - begin;
+
+  struct State {
+    std::atomic<std::size_t> next{0};
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t done = 0;
+    std::vector<std::exception_ptr> errors;
+  };
+  auto st = std::make_shared<State>();
+  st->errors.resize(chunks);
+
+  // Chunk k covers [begin + k*count/chunks, begin + (k+1)*count/chunks):
+  // boundaries are a pure function of (count, chunks), never of timing.
+  auto drain = [st, begin, count, chunks, &fn] {
+    for (;;) {
+      const std::size_t k = st->next.fetch_add(1, std::memory_order_relaxed);
+      if (k >= chunks) return;
+      const std::size_t lo = begin + (count * k) / chunks;
+      const std::size_t hi = begin + (count * (k + 1)) / chunks;
+      try {
+        fn(lo, hi);
+      } catch (...) {
+        st->errors[k] = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(st->mu);
+      if (++st->done == chunks) st->cv.notify_all();
+    }
+  };
+
+  // Caller participates: helpers only cover the chunks it can't reach.
+  // `fn` outlives the region because we block below until done == chunks.
+  ThreadPool& pool = ThreadPool::shared();
+  const std::size_t helpers =
+      std::min(chunks - 1, static_cast<std::size_t>(pool.size()));
+  for (std::size_t h = 0; h < helpers; ++h) pool.submit(drain);
+  {
+    RegionGuard guard;  // nested parallel_for inside fn runs inline
+    drain();
+  }
+  {
+    std::unique_lock<std::mutex> lock(st->mu);
+    st->cv.wait(lock, [&] { return st->done == chunks; });
+  }
+  // Lowest-index failure wins, deterministically.
+  for (std::size_t k = 0; k < chunks; ++k) {
+    if (st->errors[k]) std::rethrow_exception(st->errors[k]);
+  }
+}
+
+}  // namespace detail
+
+}  // namespace arbiterq::exec

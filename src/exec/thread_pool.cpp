@@ -1,0 +1,73 @@
+#include "arbiterq/exec/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "arbiterq/exec/parallel.hpp"
+#include "arbiterq/telemetry/metrics.hpp"
+
+namespace arbiterq::exec {
+
+namespace {
+thread_local bool t_in_region = false;
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int n = std::max(num_threads, 1);
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_main(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_main() {
+  t_in_region = true;  // nested parallel_for on a worker runs inline
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    AQ_COUNTER_ADD("exec.pool.tasks", 1);
+    try {
+      task();
+    } catch (...) {
+      AQ_COUNTER_ADD("exec.pool.task_errors", 1);
+    }
+  }
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool(resolve_threads(0));
+  return pool;
+}
+
+bool ThreadPool::in_parallel_region() noexcept { return t_in_region; }
+
+RegionGuard::RegionGuard() noexcept : previous_(t_in_region) {
+  t_in_region = true;
+}
+
+RegionGuard::~RegionGuard() { t_in_region = previous_; }
+
+}  // namespace arbiterq::exec

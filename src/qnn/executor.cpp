@@ -19,7 +19,9 @@ QnnExecutor::QnnExecutor(QnnModel model, device::Qpu qpu,
       simulator_(qpu_.make_noise_model()),
       readout_qubit_(compiled_.measure_qubit(0)),
       survival_(simulator_.noise().survival_probability(
-          compiled_.executable)) {}
+          compiled_.executable)) {
+  simulator_.set_exec_policy(options_.exec);
+}
 
 void QnnExecutor::recalibrate(double bias_drift_sigma, math::Rng& rng) {
   sim::NoiseModel drifted = simulator_.noise();
@@ -29,6 +31,7 @@ void QnnExecutor::recalibrate(double bias_drift_sigma, math::Rng& rng) {
         q, drifted.coherent_bias(q) + rng.normal(0.0, bias_drift_sigma));
   }
   simulator_ = sim::StatevectorSimulator(std::move(drifted));
+  simulator_.set_exec_policy(options_.exec);
 }
 
 double QnnExecutor::readout_contract(double p_one) const {
@@ -75,10 +78,20 @@ double QnnExecutor::dataset_loss(
     throw std::invalid_argument("dataset_loss: bad dataset");
   }
   AQ_TRACE_SPAN("qnn.loss.dataset");
+  // Independent circuit evaluations fan out across the pool (each run
+  // owns its scratch Statevector); the sum stays a serial, index-ordered
+  // barrier so the result is bit-identical to the sequential loop.
+  std::vector<double> per_sample(features.size());
+  exec::parallel_for(options_.exec, 0, features.size(),
+                     [&](std::size_t lo, std::size_t hi) {
+                       for (std::size_t i = lo; i < hi; ++i) {
+                         per_sample[i] = loss_value(
+                             kind, probability(features[i], weights),
+                             labels[i]);
+                       }
+                     });
   double total = 0.0;
-  for (std::size_t i = 0; i < features.size(); ++i) {
-    total += loss_value(kind, probability(features[i], weights), labels[i]);
-  }
+  for (double l : per_sample) total += l;
   return total / static_cast<double>(features.size());
 }
 
@@ -104,18 +117,33 @@ std::vector<double> QnnExecutor::loss_gradient(
   if (options_.mitigate_depolarizing && survival_ > 0.0) {
     contraction /= survival_;
   }
-  for (std::size_t i = 0; i < features.size(); ++i) {
-    const auto params = model_.pack_params(features[i], weights);
-    // Same (possibly mitigated) objective the loss reports.
-    const double p = probability(features[i], weights);
-    const double dl_dp = loss_derivative(kind, p, labels[i]);
-    const auto dz = sim::adjoint_gradient_z(compiled_.executable, params,
-                                            readout_qubit_, noise_ptr);
-    // p_raw = (1 - <Z>)/2, then the readout contraction scales dp/dw.
-    const double chain = dl_dp * contraction * -0.5;
-    for (std::size_t w = 0; w < w_count; ++w) {
-      grad[w] += chain * dz[w_offset + w];
-    }
+  // Per-sample adjoint runs are independent; each writes its own partial
+  // vector, and the accumulation below folds them in sample order — the
+  // same floating-point association as the serial loop, so gradients are
+  // bit-identical for every thread count.
+  std::vector<std::vector<double>> per_sample(features.size());
+  exec::parallel_for(
+      options_.exec, 0, features.size(),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          const auto params = model_.pack_params(features[i], weights);
+          // Same (possibly mitigated) objective the loss reports.
+          const double p = probability(features[i], weights);
+          const double dl_dp = loss_derivative(kind, p, labels[i]);
+          const auto dz = sim::adjoint_gradient_z(
+              compiled_.executable, params, readout_qubit_, noise_ptr);
+          // p_raw = (1 - <Z>)/2, then the readout contraction scales
+          // dp/dw.
+          const double chain = dl_dp * contraction * -0.5;
+          std::vector<double> contrib(w_count);
+          for (std::size_t w = 0; w < w_count; ++w) {
+            contrib[w] = chain * dz[w_offset + w];
+          }
+          per_sample[i] = std::move(contrib);
+        }
+      });
+  for (const auto& contrib : per_sample) {
+    for (std::size_t w = 0; w < w_count; ++w) grad[w] += contrib[w];
   }
   const double inv_n = 1.0 / static_cast<double>(features.size());
   for (double& g : grad) g *= inv_n;
@@ -133,16 +161,30 @@ std::vector<double> QnnExecutor::loss_gradient_shift(
   AQ_COUNTER_ADD("qnn.grad.calls", 1);
   const auto rules = shift_rules();
   std::vector<double> grad(weights.size(), 0.0);
-  std::vector<double> w = weights;
-  for (std::size_t i = 0; i < features.size(); ++i) {
-    const double p = probability(features[i], w);
-    const double dl_dp = loss_derivative(kind, p, labels[i]);
-    ScalarFn prob = [&](const std::vector<double>& wv) {
-      return probability(features[i], wv);
-    };
-    for (std::size_t j = 0; j < w.size(); ++j) {
-      grad[j] += dl_dp * parameter_shift_partial(prob, w, j, rules[j]);
-    }
+  // Every (sample, weight) shift circuit is independent: fan samples out
+  // across the pool, each chunk shifting a private weight copy, then
+  // fold the per-sample vectors in sample order (bit-identical to the
+  // serial schedule).
+  std::vector<std::vector<double>> per_sample(features.size());
+  exec::parallel_for(
+      options_.exec, 0, features.size(),
+      [&](std::size_t lo, std::size_t hi) {
+        std::vector<double> w = weights;
+        for (std::size_t i = lo; i < hi; ++i) {
+          const double p = probability(features[i], w);
+          const double dl_dp = loss_derivative(kind, p, labels[i]);
+          ScalarFn prob = [&](const std::vector<double>& wv) {
+            return probability(features[i], wv);
+          };
+          std::vector<double> contrib(w.size());
+          for (std::size_t j = 0; j < w.size(); ++j) {
+            contrib[j] = dl_dp * parameter_shift_partial(prob, w, j, rules[j]);
+          }
+          per_sample[i] = std::move(contrib);
+        }
+      });
+  for (const auto& contrib : per_sample) {
+    for (std::size_t j = 0; j < grad.size(); ++j) grad[j] += contrib[j];
   }
   const double inv_n = 1.0 / static_cast<double>(features.size());
   for (double& g : grad) g *= inv_n;

@@ -42,14 +42,21 @@ double parameter_shift_partial(const ScalarFn& f,
 
 std::vector<double> parameter_shift_gradient(
     const ScalarFn& f, std::vector<double> weights,
-    const std::vector<ShiftRule>& rules) {
+    const std::vector<ShiftRule>& rules, const exec::ExecPolicy& policy) {
   if (rules.size() != weights.size()) {
     throw std::invalid_argument("parameter_shift_gradient: rules mismatch");
   }
   std::vector<double> grad(weights.size());
-  for (std::size_t i = 0; i < weights.size(); ++i) {
-    grad[i] = parameter_shift_partial(f, weights, i, rules[i]);
-  }
+  // Each chunk shifts a private copy of the weights, so the independent
+  // per-weight circuit evaluations can run concurrently; every partial
+  // starts from the same base vector as the serial schedule.
+  exec::parallel_for(policy, 0, weights.size(),
+                     [&](std::size_t lo, std::size_t hi) {
+                       std::vector<double> w = weights;
+                       for (std::size_t i = lo; i < hi; ++i) {
+                         grad[i] = parameter_shift_partial(f, w, i, rules[i]);
+                       }
+                     });
   return grad;
 }
 

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "arbiterq/device/qpu.hpp"
+#include "arbiterq/exec/parallel.hpp"
 #include "arbiterq/math/rng.hpp"
 #include "arbiterq/qnn/loss.hpp"
 #include "arbiterq/qnn/model.hpp"
@@ -34,6 +35,13 @@ struct ExecutorOptions {
   /// by 1/S, as it does on real hardware. Needed to train circuits whose
   /// depth exceeds the fleet's coherence budget (the HMDB51 model).
   bool mitigate_depolarizing = false;
+  /// Parallel execution policy: batched forward evaluations and the
+  /// per-sample/per-weight gradient circuits dispatch to the shared
+  /// thread pool, each on its own scratch Statevector. Per-sample
+  /// partials are folded in index order behind a serial barrier, so
+  /// losses and gradients are bit-identical to the serial schedule for
+  /// every thread count. Default: serial.
+  exec::ExecPolicy exec = {};
 };
 
 class QnnExecutor {

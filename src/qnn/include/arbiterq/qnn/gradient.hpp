@@ -13,6 +13,7 @@
 #include <functional>
 #include <vector>
 
+#include "arbiterq/exec/parallel.hpp"
 #include "arbiterq/qnn/model.hpp"
 
 namespace arbiterq::qnn {
@@ -27,9 +28,14 @@ double parameter_shift_partial(const ScalarFn& f,
                                ShiftRule rule);
 
 /// Full parameter-shift gradient; rules.size() must equal weights.size().
+/// The per-weight shift circuits are independent, so a parallel policy
+/// fans them out across the pool (each task works on a private copy of
+/// the weight vector). `f` must then be safe to call concurrently. The
+/// result is bit-identical for every thread count.
 std::vector<double> parameter_shift_gradient(
     const ScalarFn& f, std::vector<double> weights,
-    const std::vector<ShiftRule>& rules);
+    const std::vector<ShiftRule>& rules,
+    const exec::ExecPolicy& policy = {});
 
 /// Central finite differences (validation oracle).
 std::vector<double> finite_difference_gradient(const ScalarFn& f,

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "arbiterq/circuit/circuit.hpp"
+#include "arbiterq/exec/parallel.hpp"
 #include "arbiterq/math/rng.hpp"
 #include "arbiterq/sim/noise_model.hpp"
 #include "arbiterq/sim/statevector.hpp"
@@ -39,6 +40,14 @@ class StatevectorSimulator {
   explicit StatevectorSimulator(NoiseModel noise);
 
   const NoiseModel& noise() const noexcept { return noise_; }
+
+  /// Kernel-splitting policy stamped onto every Statevector this engine
+  /// evolves (default: serial). Large registers split their butterfly
+  /// passes across the shared pool; results stay bit-identical.
+  void set_exec_policy(const exec::ExecPolicy& policy) noexcept {
+    exec_ = policy;
+  }
+  const exec::ExecPolicy& exec_policy() const noexcept { return exec_; }
 
   /// Evolve |0..0> through the circuit with no noise at all.
   Statevector run_ideal(const circuit::Circuit& c,
@@ -76,6 +85,7 @@ class StatevectorSimulator {
                       math::Rng& rng) const;
 
   NoiseModel noise_;
+  exec::ExecPolicy exec_{};
 };
 
 }  // namespace arbiterq::sim

@@ -2,6 +2,13 @@
 // Pure state-vector register: the workhorse behind both the exact QNN
 // executor (training) and the stochastic-trajectory shot sampler
 // (inference). Qubit 0 is the least significant bit of a basis index.
+//
+// Gate kernels enumerate exactly the dim/2 (1q) or dim/4 (2q) butterfly
+// groups by stride arithmetic — no skipped indices — with diagonal fast
+// paths for phase-type gates. Above a size threshold the index space is
+// split across the shared thread pool (see set_exec_policy); every task
+// writes a disjoint slice, so results are bit-identical to the serial
+// schedule for any thread count.
 
 #include <complex>
 #include <cstddef>
@@ -10,6 +17,7 @@
 
 #include "arbiterq/circuit/circuit.hpp"
 #include "arbiterq/circuit/unitary.hpp"
+#include "arbiterq/exec/parallel.hpp"
 #include "arbiterq/math/rng.hpp"
 
 namespace arbiterq::sim {
@@ -18,12 +26,25 @@ using circuit::Complex;
 
 class Statevector {
  public:
+  /// Hard cap on register width: 2^26 amplitudes = 1 GiB of
+  /// complex<double>, the largest state a commodity host comfortably
+  /// holds. The constructor rejects anything outside [1, kMaxQubits].
+  static constexpr int kMaxQubits = 26;
+
   /// Initialized to |0...0>.
   explicit Statevector(int num_qubits);
 
   int num_qubits() const noexcept { return num_qubits_; }
   std::size_t dim() const noexcept { return amps_.size(); }
   const std::vector<Complex>& amplitudes() const noexcept { return amps_; }
+
+  /// Kernel-splitting policy for apply_mat2/apply_mat4 (default: serial).
+  /// A grain of 0 selects a cache-friendly minimum chunk so small states
+  /// never pay dispatch overhead.
+  void set_exec_policy(const exec::ExecPolicy& policy) noexcept {
+    exec_ = policy;
+  }
+  const exec::ExecPolicy& exec_policy() const noexcept { return exec_; }
 
   /// Back to |0...0>.
   void reset();
@@ -48,11 +69,21 @@ class Statevector {
   /// Sample one basis-state index from the Born distribution.
   std::size_t sample(math::Rng& rng) const;
 
+  /// Draw `count` samples: builds the cumulative-probability vector once
+  /// (O(2^n)) and then answers every draw with a binary search (O(n)),
+  /// instead of sample()'s O(2^n) linear scan per shot.
+  std::vector<std::size_t> sample_many(std::size_t count,
+                                       math::Rng& rng) const;
+
   double norm() const;
 
  private:
+  template <typename Body>
+  void dispatch(std::size_t items, const Body& body);
+
   int num_qubits_;
   std::vector<Complex> amps_;
+  exec::ExecPolicy exec_{};
 };
 
 }  // namespace arbiterq::sim

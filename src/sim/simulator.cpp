@@ -14,6 +14,7 @@ StatevectorSimulator::StatevectorSimulator(NoiseModel noise)
 Statevector StatevectorSimulator::run_ideal(
     const circuit::Circuit& c, std::span<const double> params) const {
   Statevector sv(c.num_qubits());
+  sv.set_exec_policy(exec_);
   for (const circuit::Gate& g : c.gates()) sv.apply_gate(g, params);
   return sv;
 }
@@ -25,6 +26,7 @@ Statevector StatevectorSimulator::run_biased(
   // per-qubit product until a 2q gate (or the end) touches that qubit is
   // exact and cuts most of the basis-gate stream's butterfly passes.
   Statevector sv(c.num_qubits());
+  sv.set_exec_policy(exec_);
   const bool noisy = noise_.enabled();
   std::vector<circuit::Mat2> pending(
       static_cast<std::size_t>(c.num_qubits()),
@@ -113,14 +115,18 @@ std::vector<std::uint32_t> StatevectorSimulator::sample_counts(
                  static_cast<std::uint64_t>(opts.shots));
   std::vector<std::uint32_t> counts(std::size_t{1} << c.num_qubits(), 0);
   Statevector sv(c.num_qubits());
+  sv.set_exec_policy(exec_);
   const int n_traj = std::min(opts.trajectories, opts.shots);
   int remaining = opts.shots;
   for (int t = 0; t < n_traj; ++t) {
     const int this_shots = remaining / (n_traj - t);
     remaining -= this_shots;
     run_trajectory(c, params, sv, rng);
-    for (int s = 0; s < this_shots; ++s) {
-      std::size_t outcome = sv.sample(rng);
+    // One cumulative-distribution build per trajectory; every shot is
+    // then a binary search instead of an O(2^n) scan.
+    const auto outcomes =
+        sv.sample_many(static_cast<std::size_t>(this_shots), rng);
+    for (std::size_t outcome : outcomes) {
       if (noise_.enabled()) {
         for (int q = 0; q < c.num_qubits(); ++q) {
           const bool one = (outcome >> q) & 1U;

@@ -1,15 +1,46 @@
 #include "arbiterq/sim/statevector.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "arbiterq/telemetry/metrics.hpp"
 
 namespace arbiterq::sim {
 
+namespace {
+
+/// Spread `p` over the basis indices whose bit `q` is clear: bits at and
+/// above q shift up one position, bits below stay. Enumerating
+/// p = 0..dim/2 this way visits every butterfly group exactly once.
+inline std::size_t insert_zero_bit(std::size_t p, int q) noexcept {
+  const std::size_t low = (std::size_t{1} << q) - 1;
+  return ((p & ~low) << 1) | (p & low);
+}
+
+/// Minimum items per pool task for the kernels: below this, memory
+/// bandwidth beats dispatch and the stride loop runs inline.
+constexpr std::size_t kKernelGrain = std::size_t{1} << 12;
+
+inline bool is_zero(const Complex& c) noexcept {
+  return c.real() == 0.0 && c.imag() == 0.0;
+}
+
+}  // namespace
+
+template <typename Body>
+void Statevector::dispatch(std::size_t items, const Body& body) {
+  exec::ExecPolicy p = exec_;
+  if (p.grain == 0) p.grain = kKernelGrain;
+  exec::parallel_for(p, 0, items, body);
+}
+
 Statevector::Statevector(int num_qubits) : num_qubits_(num_qubits) {
-  if (num_qubits <= 0 || num_qubits > 26) {
-    throw std::invalid_argument("Statevector: unsupported qubit count");
+  if (num_qubits <= 0 || num_qubits > kMaxQubits) {
+    throw std::invalid_argument(
+        "Statevector: unsupported qubit count " + std::to_string(num_qubits) +
+        " (supported: 1.." + std::to_string(kMaxQubits) + ")");
   }
   amps_.assign(std::size_t{1} << num_qubits, Complex{0.0, 0.0});
   amps_[0] = 1.0;
@@ -24,21 +55,28 @@ void Statevector::apply_mat2(const circuit::Mat2& m, int q) {
   AQ_COUNTER_ADD("sim.apply.gate1q", 1);
   const std::size_t bit = std::size_t{1} << q;
   const std::size_t n = amps_.size();
+  Complex* const amps = amps_.data();
   // Diagonal fast path (RZ/S/Z...): pure per-amplitude phases, no
   // butterfly — these dominate basis-gate streams after transpilation.
-  if (m[1] == Complex{0.0, 0.0} && m[2] == Complex{0.0, 0.0}) {
-    for (std::size_t i = 0; i < n; ++i) {
-      amps_[i] *= (i & bit) ? m[3] : m[0];
-    }
+  if (is_zero(m[1]) && is_zero(m[2])) {
+    const Complex d0 = m[0];
+    const Complex d1 = m[3];
+    dispatch(n, [=](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) amps[i] *= (i & bit) ? d1 : d0;
+    });
     return;
   }
-  for (std::size_t i = 0; i < n; ++i) {
-    if (i & bit) continue;
-    const Complex a0 = amps_[i];
-    const Complex a1 = amps_[i | bit];
-    amps_[i] = m[0] * a0 + m[1] * a1;
-    amps_[i | bit] = m[2] * a0 + m[3] * a1;
-  }
+  const Complex m0 = m[0], m1 = m[1], m2 = m[2], m3 = m[3];
+  dispatch(n >> 1, [=](std::size_t lo, std::size_t hi) {
+    for (std::size_t p = lo; p < hi; ++p) {
+      const std::size_t i0 = insert_zero_bit(p, q);
+      const std::size_t i1 = i0 | bit;
+      const Complex a0 = amps[i0];
+      const Complex a1 = amps[i1];
+      amps[i0] = m0 * a0 + m1 * a1;
+      amps[i1] = m2 * a0 + m3 * a1;
+    }
+  });
 }
 
 void Statevector::apply_mat4(const circuit::Mat4& m, int qb, int qa) {
@@ -46,21 +84,47 @@ void Statevector::apply_mat4(const circuit::Mat4& m, int qb, int qa) {
   const std::size_t bit_b = std::size_t{1} << qb;
   const std::size_t bit_a = std::size_t{1} << qa;
   const std::size_t n = amps_.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    if ((i & bit_b) || (i & bit_a)) continue;
-    const std::size_t i00 = i;
-    const std::size_t i01 = i | bit_a;
-    const std::size_t i10 = i | bit_b;
-    const std::size_t i11 = i | bit_b | bit_a;
-    const Complex a00 = amps_[i00];
-    const Complex a01 = amps_[i01];
-    const Complex a10 = amps_[i10];
-    const Complex a11 = amps_[i11];
-    amps_[i00] = m[0] * a00 + m[1] * a01 + m[2] * a10 + m[3] * a11;
-    amps_[i01] = m[4] * a00 + m[5] * a01 + m[6] * a10 + m[7] * a11;
-    amps_[i10] = m[8] * a00 + m[9] * a01 + m[10] * a10 + m[11] * a11;
-    amps_[i11] = m[12] * a00 + m[13] * a01 + m[14] * a10 + m[15] * a11;
+  Complex* const amps = amps_.data();
+  bool diagonal = true;
+  for (int r = 0; r < 4 && diagonal; ++r) {
+    for (int c = 0; c < 4; ++c) {
+      if (r != c && !is_zero(m[static_cast<std::size_t>(4 * r + c)])) {
+        diagonal = false;
+        break;
+      }
+    }
   }
+  // Diagonal fast path (CZ/CRZ/CPhase): one multiply per amplitude,
+  // selected by the two qubit bits — no butterfly gathering at all.
+  if (diagonal) {
+    const Complex d[4] = {m[0], m[5], m[10], m[15]};
+    dispatch(n, [=](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        const unsigned sel = ((i & bit_b) ? 2U : 0U) | ((i & bit_a) ? 1U : 0U);
+        amps[i] *= d[sel];
+      }
+    });
+    return;
+  }
+  const int q_lo = qb < qa ? qb : qa;
+  const int q_hi = qb < qa ? qa : qb;
+  dispatch(n >> 2, [=](std::size_t lo, std::size_t hi) {
+    for (std::size_t g = lo; g < hi; ++g) {
+      const std::size_t i00 =
+          insert_zero_bit(insert_zero_bit(g, q_lo), q_hi);
+      const std::size_t i01 = i00 | bit_a;
+      const std::size_t i10 = i00 | bit_b;
+      const std::size_t i11 = i00 | bit_b | bit_a;
+      const Complex a00 = amps[i00];
+      const Complex a01 = amps[i01];
+      const Complex a10 = amps[i10];
+      const Complex a11 = amps[i11];
+      amps[i00] = m[0] * a00 + m[1] * a01 + m[2] * a10 + m[3] * a11;
+      amps[i01] = m[4] * a00 + m[5] * a01 + m[6] * a10 + m[7] * a11;
+      amps[i10] = m[8] * a00 + m[9] * a01 + m[10] * a10 + m[11] * a11;
+      amps[i11] = m[12] * a00 + m[13] * a01 + m[14] * a10 + m[15] * a11;
+    }
+  });
 }
 
 void Statevector::apply_gate(const circuit::Gate& g,
@@ -90,6 +154,10 @@ void Statevector::apply_pauli(int pauli, int q) {
   }
 }
 
+// The reductions below stay serial on purpose: a chunked sum would change
+// the floating-point association and break the bit-for-bit determinism
+// contract across thread counts (see DESIGN.md, execution engine).
+
 double Statevector::probability_of_one(int q) const {
   const std::size_t bit = std::size_t{1} << q;
   double p = 0.0;
@@ -116,6 +184,29 @@ std::size_t Statevector::sample(math::Rng& rng) const {
     if (r <= 0.0) return i;
   }
   return amps_.size() - 1;  // numerical slack: land on the last state
+}
+
+std::vector<std::size_t> Statevector::sample_many(std::size_t count,
+                                                  math::Rng& rng) const {
+  std::vector<std::size_t> out;
+  out.reserve(count);
+  if (count == 0) return out;
+  // Cumulative Born distribution, built once per call (gate application
+  // would invalidate any longer-lived cache).
+  std::vector<double> cum(amps_.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < amps_.size(); ++i) {
+    acc += std::norm(amps_[i]);
+    cum[i] = acc;
+  }
+  for (std::size_t s = 0; s < count; ++s) {
+    const double r = rng.uniform();
+    const auto it = std::lower_bound(cum.begin(), cum.end(), r);
+    out.push_back(it == cum.end()
+                      ? amps_.size() - 1  // numerical slack, as in sample()
+                      : static_cast<std::size_t>(it - cum.begin()));
+  }
+  return out;
 }
 
 double Statevector::norm() const {

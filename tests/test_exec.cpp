@@ -1,0 +1,201 @@
+#include "arbiterq/exec/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "arbiterq/exec/thread_pool.hpp"
+#include "arbiterq/math/rng.hpp"
+
+namespace arbiterq::exec {
+namespace {
+
+ExecPolicy threads(int n, std::size_t grain = 1) {
+  ExecPolicy p;
+  p.num_threads = n;
+  p.grain = grain;
+  return p;
+}
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::atomic<int> done{0};
+  constexpr int kTasks = 64;
+  for (int i = 0; i < kTasks; ++i) {
+    pool.submit([&done] { done.fetch_add(1); });
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (done.load() < kTasks &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(done.load(), kTasks);
+}
+
+TEST(ThreadPool, SurvivesThrowingTaskAndKeepsWorking) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("worker must swallow this"); });
+  std::atomic<bool> ran{false};
+  pool.submit([&ran] { ran.store(true); });
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (!ran.load() && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPool, ClampsToAtLeastOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1);
+}
+
+TEST(ParallelFor, CoversRangeExactlyOnce) {
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  parallel_for(threads(8), 0, kN, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, SerialPolicyRunsInlineInOneCall) {
+  int calls = 0;
+  std::thread::id seen;
+  parallel_for(threads(1), 3, 40, [&](std::size_t lo, std::size_t hi) {
+    ++calls;
+    seen = std::this_thread::get_id();
+    EXPECT_EQ(lo, 3U);
+    EXPECT_EQ(hi, 40U);
+  });
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(seen, std::this_thread::get_id());
+}
+
+TEST(ParallelFor, EmptyRangeIsANoop) {
+  int calls = 0;
+  parallel_for(threads(8), 5, 5, [&](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelFor, GrainLimitsChunkCount) {
+  // 10 items with grain 6 -> at most 2 chunks regardless of threads.
+  std::atomic<int> chunks{0};
+  parallel_for(threads(8, 6), 0, 10, [&](std::size_t, std::size_t) {
+    chunks.fetch_add(1);
+  });
+  EXPECT_LE(chunks.load(), 2);
+  EXPECT_GE(chunks.load(), 1);
+}
+
+TEST(ParallelFor, PropagatesLowestChunkException) {
+  // Every chunk throws its own lo; the deterministic winner is chunk 0.
+  try {
+    parallel_for(threads(8), 0, 8, [&](std::size_t lo, std::size_t) {
+      throw std::runtime_error(std::to_string(lo));
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "0");
+  }
+}
+
+TEST(ParallelFor, UsableAgainAfterAnException) {
+  EXPECT_THROW(
+      parallel_for(threads(8), 0, 8,
+                   [](std::size_t, std::size_t) {
+                     throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+  std::vector<std::atomic<int>> hits(64);
+  parallel_for(threads(8), 0, hits.size(),
+               [&](std::size_t lo, std::size_t hi) {
+                 for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+               });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, NestedRegionsRunInlineWithoutDeadlock) {
+  constexpr std::size_t kOuter = 16;
+  constexpr std::size_t kInner = 16;
+  std::vector<std::atomic<int>> hits(kOuter * kInner);
+  parallel_for(threads(8), 0, kOuter, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t o = lo; o < hi; ++o) {
+      EXPECT_TRUE(ThreadPool::in_parallel_region() || hi - lo == kOuter);
+      parallel_for(threads(8), 0, kInner,
+                   [&](std::size_t ilo, std::size_t ihi) {
+                     for (std::size_t i = ilo; i < ihi; ++i) {
+                       hits[o * kInner + i].fetch_add(1);
+                     }
+                   });
+    }
+  });
+  for (auto& h : hits) ASSERT_EQ(h.load(), 1);
+}
+
+TEST(ParallelMap, MatchesSerialMapInOrder) {
+  std::vector<int> items(257);
+  std::iota(items.begin(), items.end(), 0);
+  const auto doubled =
+      parallel_map(threads(8), items,
+                   [](int v, std::size_t) { return v * 2; });
+  ASSERT_EQ(doubled.size(), items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    EXPECT_EQ(doubled[i], items[i] * 2);
+  }
+}
+
+TEST(ResolveThreads, ExplicitRequestWinsUnchanged) {
+  EXPECT_EQ(resolve_threads(1), 1);
+  EXPECT_EQ(resolve_threads(3), 3);
+  EXPECT_EQ(resolve_threads(16), 16);
+}
+
+TEST(ResolveThreads, AutoConsultsEnvThenHardware) {
+  ::setenv("ARBITERQ_THREADS", "5", 1);
+  EXPECT_EQ(resolve_threads(0), 5);
+  ::setenv("ARBITERQ_THREADS", "0", 1);  // invalid -> hardware fallback
+  EXPECT_GE(resolve_threads(0), 1);
+  ::unsetenv("ARBITERQ_THREADS");
+  EXPECT_GE(resolve_threads(0), 1);
+}
+
+TEST(TaskRng, SplitsAreDeterministicAndIndexDistinct) {
+  const math::Rng root(123);
+  math::Rng a1 = task_rng(root, 7);
+  math::Rng a2 = task_rng(root, 7);
+  math::Rng b = task_rng(root, 8);
+  const double va1 = a1.uniform(0.0, 1.0);
+  const double va2 = a2.uniform(0.0, 1.0);
+  const double vb = b.uniform(0.0, 1.0);
+  EXPECT_EQ(va1, va2);
+  EXPECT_NE(va1, vb);
+}
+
+TEST(RegionGuard, MarksAndRestoresTheFlag) {
+  EXPECT_FALSE(ThreadPool::in_parallel_region());
+  {
+    RegionGuard guard;
+    EXPECT_TRUE(ThreadPool::in_parallel_region());
+    {
+      RegionGuard nested;
+      EXPECT_TRUE(ThreadPool::in_parallel_region());
+    }
+    EXPECT_TRUE(ThreadPool::in_parallel_region());
+  }
+  EXPECT_FALSE(ThreadPool::in_parallel_region());
+}
+
+}  // namespace
+}  // namespace arbiterq::exec
