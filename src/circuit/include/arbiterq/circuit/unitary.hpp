@@ -27,6 +27,8 @@ using Mat4 = std::array<Complex, 16>;
 
 Mat2 mat2_multiply(const Mat2& a, const Mat2& b) noexcept;
 Mat2 mat2_adjoint(const Mat2& a) noexcept;
+/// Conjugate transpose of a 4x4.
+Mat4 mat4_adjoint(const Mat4& a) noexcept;
 bool mat2_is_unitary(const Mat2& a, double tol = 1e-10) noexcept;
 bool mat4_is_unitary(const Mat4& a, double tol = 1e-10) noexcept;
 
@@ -34,6 +36,15 @@ bool mat4_is_unitary(const Mat4& a, double tol = 1e-10) noexcept;
 Mat2 gate_matrix_1q(GateKind kind, const std::array<double, 3>& params);
 /// Unitary of a two-qubit gate with bound parameter values.
 Mat4 gate_matrix_2q(GateKind kind, const std::array<double, 3>& params);
+
+/// Derivative of a parameterized 1q gate matrix with respect to
+/// parameter slot `slot` (RX/RY/RZ slot 0; U3 slots 0..2). Throws
+/// std::logic_error for non-parameterized kinds.
+Mat2 d_gate_matrix_1q(GateKind kind, const std::array<double, 3>& params,
+                      int slot);
+/// Derivative of a controlled-rotation 4x4 (zero on the control=0 block,
+/// the inner rotation's derivative on the control=1 block).
+Mat4 d_gate_matrix_2q(GateKind kind, const std::array<double, 3>& params);
 
 /// Named constructors used across the transpiler.
 Mat2 matrix_rx(double theta) noexcept;

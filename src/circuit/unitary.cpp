@@ -42,6 +42,17 @@ Mat2 mat2_adjoint(const Mat2& a) noexcept {
   return {std::conj(a[0]), std::conj(a[2]), std::conj(a[1]), std::conj(a[3])};
 }
 
+Mat4 mat4_adjoint(const Mat4& a) noexcept {
+  Mat4 md{};
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 4; ++c) {
+      md[static_cast<std::size_t>(r * 4 + c)] =
+          std::conj(a[static_cast<std::size_t>(c * 4 + r)]);
+    }
+  }
+  return md;
+}
+
 bool mat2_is_unitary(const Mat2& a, double tol) noexcept {
   const Mat2 p = mat2_multiply(mat2_adjoint(a), a);
   return std::abs(p[0] - 1.0) < tol && std::abs(p[3] - 1.0) < tol &&
@@ -143,6 +154,66 @@ Mat4 gate_matrix_2q(GateKind kind, const std::array<double, 3>& p) {
     default:
       throw std::invalid_argument("gate_matrix_2q: not a two-qubit gate");
   }
+}
+
+Mat2 d_gate_matrix_1q(GateKind kind, const std::array<double, 3>& p,
+                      int slot) {
+  const double c = std::cos(p[0] / 2.0);
+  const double s = std::sin(p[0] / 2.0);
+  switch (kind) {
+    case GateKind::kRX:
+      return {Complex{-s / 2, 0}, -kI * (c / 2), -kI * (c / 2),
+              Complex{-s / 2, 0}};
+    case GateKind::kRY:
+      return {Complex{-s / 2, 0}, Complex{-c / 2, 0}, Complex{c / 2, 0},
+              Complex{-s / 2, 0}};
+    case GateKind::kRZ:
+      return {-kI * 0.5 * std::exp(-kI * (p[0] / 2.0)), Complex{0, 0},
+              Complex{0, 0}, kI * 0.5 * std::exp(kI * (p[0] / 2.0))};
+    case GateKind::kU3: {
+      const Complex el = std::exp(kI * p[2]);
+      const Complex ep = std::exp(kI * p[1]);
+      const Complex epl = std::exp(kI * (p[1] + p[2]));
+      switch (slot) {
+        case 0:
+          return {Complex{-s / 2, 0}, -el * (c / 2), ep * (c / 2),
+                  -epl * (s / 2)};
+        case 1:
+          return {Complex{0, 0}, Complex{0, 0}, kI * ep * s, kI * epl * c};
+        case 2:
+          return {Complex{0, 0}, -kI * el * s, Complex{0, 0}, kI * epl * c};
+        default:
+          break;
+      }
+      throw std::logic_error("d_gate_matrix_1q: bad U3 slot");
+    }
+    default:
+      throw std::logic_error("d_gate_matrix_1q: gate is not parameterized");
+  }
+}
+
+Mat4 d_gate_matrix_2q(GateKind kind, const std::array<double, 3>& p) {
+  GateKind inner;
+  switch (kind) {
+    case GateKind::kCRX:
+      inner = GateKind::kRX;
+      break;
+    case GateKind::kCRY:
+      inner = GateKind::kRY;
+      break;
+    case GateKind::kCRZ:
+      inner = GateKind::kRZ;
+      break;
+    default:
+      throw std::logic_error("d_gate_matrix_2q: gate is not parameterized");
+  }
+  const Mat2 d = d_gate_matrix_1q(inner, p, 0);
+  Mat4 m{};
+  m[2 * 4 + 2] = d[0];
+  m[2 * 4 + 3] = d[1];
+  m[3 * 4 + 2] = d[2];
+  m[3 * 4 + 3] = d[3];
+  return m;
 }
 
 std::vector<Complex> circuit_unitary(const Circuit& c,

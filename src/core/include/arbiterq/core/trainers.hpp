@@ -96,6 +96,11 @@ struct TrainConfig {
   /// num_threads: 1 = serial (default), 0 = auto (ARBITERQ_THREADS env
   /// var, else hardware_concurrency), N = cap at N-way.
   exec::ExecPolicy exec = {};
+  /// Execute every node through a compiled ExecPlan (see
+  /// qnn::ExecutorOptions::use_plan). Bit-identical to the naive path —
+  /// training curves do not change, only wall-clock. Default on; exposed
+  /// for A/B benchmarking.
+  bool use_exec_plans = true;
 };
 
 struct TrainResult {

@@ -108,7 +108,8 @@ DistributedTrainer::DistributedTrainer(const qnn::QnnModel& model,
     : config_(config),
       executors_(build_executors(
           model, fleet,
-          qnn::ExecutorOptions{config.error_mitigation, config.exec},
+          qnn::ExecutorOptions{config.error_mitigation, config.exec,
+                               config.use_exec_plans},
           config.exec)),
       behavioral_(build_behavioral(executors_)),
       similarity_(behavioral_, config.kappa) {}

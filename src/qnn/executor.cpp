@@ -19,8 +19,20 @@ QnnExecutor::QnnExecutor(QnnModel model, device::Qpu qpu,
       simulator_(qpu_.make_noise_model()),
       readout_qubit_(compiled_.measure_qubit(0)),
       survival_(simulator_.noise().survival_probability(
-          compiled_.executable)) {
+          compiled_.executable)),
+      depth_(compiled_.executable.depth()) {
   simulator_.set_exec_policy(options_.exec);
+  rebuild_plan();
+}
+
+void QnnExecutor::rebuild_plan() {
+  if (!options_.use_plan) {
+    plan_ = nullptr;
+    return;
+  }
+  AQ_COUNTER_ADD("qnn.plan.cache_misses", 1);
+  plan_ = std::make_shared<const sim::ExecPlan>(
+      simulator_.make_plan(compiled_.executable));
 }
 
 void QnnExecutor::recalibrate(double bias_drift_sigma, math::Rng& rng) {
@@ -32,6 +44,9 @@ void QnnExecutor::recalibrate(double bias_drift_sigma, math::Rng& rng) {
   }
   simulator_ = sim::StatevectorSimulator(std::move(drifted));
   simulator_.set_exec_policy(options_.exec);
+  // The plan baked the old biases into its fused constants and slot
+  // specs — it is stale the moment the noise model changes.
+  rebuild_plan();
 }
 
 double QnnExecutor::readout_contract(double p_one) const {
@@ -45,9 +60,17 @@ double QnnExecutor::readout_contract(double p_one) const {
 double QnnExecutor::probability(const std::vector<double>& features,
                                 const std::vector<double>& weights) const {
   AQ_COUNTER_ADD("qnn.forward.calls", 1);
-  const auto params = model_.pack_params(features, weights);
-  double z = simulator_.expectation_z(compiled_.executable, params,
-                                      readout_qubit_);
+  double z;
+  if (plan_ != nullptr) {
+    AQ_COUNTER_ADD("qnn.plan.cache_hits", 1);
+    auto ws = workspaces_.acquire();
+    model_.pack_params_into(features, weights, ws->params);
+    z = plan_->expectation_z(ws->params, readout_qubit_, *ws);
+  } else {
+    const auto params = model_.pack_params(features, weights);
+    z = simulator_.expectation_z(compiled_.executable, params, readout_qubit_,
+                                 survival_);
+  }
   if (options_.mitigate_depolarizing && survival_ > 0.0) z /= survival_;
   return readout_contract(0.5 * (1.0 - z));
 }
@@ -125,13 +148,41 @@ std::vector<double> QnnExecutor::loss_gradient(
   exec::parallel_for(
       options_.exec, 0, features.size(),
       [&](std::size_t lo, std::size_t hi) {
+        if (plan_ != nullptr) {
+          auto ws = workspaces_.acquire();
+          ws->grad.resize(static_cast<std::size_t>(plan_->num_params()));
+          for (std::size_t i = lo; i < hi; ++i) {
+            // Same (possibly mitigated) objective the loss reports —
+            // probability() inlined against this chunk's workspace so the
+            // params are packed once for the forward and adjoint runs.
+            AQ_COUNTER_ADD("qnn.forward.calls", 1);
+            AQ_COUNTER_ADD("qnn.plan.cache_hits", 1);
+            model_.pack_params_into(features[i], weights, ws->params);
+            double z = plan_->expectation_z(ws->params, readout_qubit_, *ws);
+            if (options_.mitigate_depolarizing && survival_ > 0.0) {
+              z /= survival_;
+            }
+            const double p = readout_contract(0.5 * (1.0 - z));
+            const double dl_dp = loss_derivative(kind, p, labels[i]);
+            sim::adjoint_gradient_z(*plan_, ws->params, readout_qubit_, *ws,
+                                    ws->grad);
+            const double chain = dl_dp * contraction * -0.5;
+            std::vector<double> contrib(w_count);
+            for (std::size_t w = 0; w < w_count; ++w) {
+              contrib[w] = chain * ws->grad[w_offset + w];
+            }
+            per_sample[i] = std::move(contrib);
+          }
+          return;
+        }
         for (std::size_t i = lo; i < hi; ++i) {
           const auto params = model_.pack_params(features[i], weights);
           // Same (possibly mitigated) objective the loss reports.
           const double p = probability(features[i], weights);
           const double dl_dp = loss_derivative(kind, p, labels[i]);
           const auto dz = sim::adjoint_gradient_z(
-              compiled_.executable, params, readout_qubit_, noise_ptr);
+              compiled_.executable, params, readout_qubit_, noise_ptr,
+              survival_);
           // p_raw = (1 - <Z>)/2, then the readout contraction scales
           // dp/dw.
           const double chain = dl_dp * contraction * -0.5;
@@ -200,11 +251,11 @@ std::vector<ShiftRule> QnnExecutor::shift_rules() const {
 }
 
 double QnnExecutor::shot_latency_us() const {
-  return qpu_.shot_latency_us(compiled_.executable.depth());
+  // depth() walks the dependency chain of the whole gate list — cached
+  // once at construction (it is constant per compiled circuit).
+  return qpu_.shot_latency_us(depth_);
 }
 
-double QnnExecutor::shot_rate() const {
-  return qpu_.shot_rate(compiled_.executable.depth());
-}
+double QnnExecutor::shot_rate() const { return qpu_.shot_rate(depth_); }
 
 }  // namespace arbiterq::qnn

@@ -42,6 +42,12 @@ struct ExecutorOptions {
   /// losses and gradients are bit-identical to the serial schedule for
   /// every thread count. Default: serial.
   exec::ExecPolicy exec = {};
+  /// Execute through a compiled ExecPlan (static gates pre-fused, bind
+  /// recomputes only parameter-dependent matrices, statevectors reused
+  /// from a workspace pool). Bit-identical to the naive path; the plan
+  /// is rebuilt whenever recalibrate() swaps the noise model. Disable to
+  /// A/B against the per-call circuit walk.
+  bool use_plan = true;
 };
 
 class QnnExecutor {
@@ -61,6 +67,10 @@ class QnnExecutor {
   const ExecutorOptions& options() const noexcept { return options_; }
   /// Circuit survival probability under the device's stochastic errors.
   double survival() const noexcept { return survival_; }
+
+  /// The compiled execution plan, or nullptr when options().use_plan is
+  /// false. Rebuilt by recalibrate().
+  const sim::ExecPlan* plan() const noexcept { return plan_.get(); }
 
   /// Temporal calibration drift (paper §II-B, "spatial and temporal"
   /// noise biases): perturb every qubit's coherent bias by
@@ -105,6 +115,8 @@ class QnnExecutor {
 
  private:
   double readout_contract(double p_one) const;
+  /// (Re)compile the plan against the simulator's current noise model.
+  void rebuild_plan();
 
   QnnModel model_;
   device::Qpu qpu_;
@@ -113,6 +125,15 @@ class QnnExecutor {
   sim::StatevectorSimulator simulator_;
   int readout_qubit_;
   double survival_ = 1.0;
+  std::size_t depth_ = 0;
+  /// Shared, immutable once built; copies of the executor (e.g. the
+  /// drift path cloning a fleet) share the same plan until one of them
+  /// recalibrates.
+  std::shared_ptr<const sim::ExecPlan> plan_;
+  /// Per-executor pool of reusable evaluation scratch (statevectors,
+  /// bound matrices, packed params). Mutable: forward/gradient methods
+  /// are logically const. Copies start with a fresh pool.
+  mutable sim::WorkspacePool workspaces_;
 };
 
 }  // namespace arbiterq::qnn

@@ -53,6 +53,13 @@ class QnnModel {
   std::vector<double> pack_params(const std::vector<double>& features,
                                   const std::vector<double>& weights) const;
 
+  /// Same, writing into a caller-owned buffer: `out` is cleared and
+  /// refilled, so a reused buffer (e.g. workspace scratch on the
+  /// training hot path) packs without allocating.
+  void pack_params_into(const std::vector<double>& features,
+                        const std::vector<double>& weights,
+                        std::vector<double>& out) const;
+
  private:
   circuit::Circuit build() const;
 

@@ -66,17 +66,24 @@ ShiftRule QnnModel::shift_rule(int w) const {
 std::vector<double> QnnModel::pack_params(
     const std::vector<double>& features,
     const std::vector<double>& weights) const {
+  std::vector<double> p;
+  pack_params_into(features, weights, p);
+  return p;
+}
+
+void QnnModel::pack_params_into(const std::vector<double>& features,
+                                const std::vector<double>& weights,
+                                std::vector<double>& out) const {
   if (static_cast<int>(features.size()) != num_qubits_) {
     throw std::invalid_argument("pack_params: feature size mismatch");
   }
   if (static_cast<int>(weights.size()) != num_weights()) {
     throw std::invalid_argument("pack_params: weight size mismatch");
   }
-  std::vector<double> p;
-  p.reserve(features.size() + weights.size());
-  p.insert(p.end(), features.begin(), features.end());
-  p.insert(p.end(), weights.begin(), weights.end());
-  return p;
+  out.clear();
+  out.reserve(features.size() + weights.size());
+  out.insert(out.end(), features.begin(), features.end());
+  out.insert(out.end(), weights.begin(), weights.end());
 }
 
 }  // namespace arbiterq::qnn

@@ -1,0 +1,377 @@
+#include "arbiterq/sim/exec_plan.hpp"
+
+#include <atomic>
+#include <stdexcept>
+#include <utility>
+
+#include "arbiterq/telemetry/metrics.hpp"
+#include "arbiterq/telemetry/trace.hpp"
+
+namespace arbiterq::sim {
+
+namespace {
+
+using circuit::Complex;
+using circuit::Gate;
+using circuit::Mat2;
+using circuit::Mat4;
+
+constexpr Mat2 kIdentity2{Complex{1, 0}, Complex{0, 0}, Complex{0, 0},
+                          Complex{1, 0}};
+
+bool gate_is_static(const Gate& g) {
+  for (int i = 0; i < g.param_count(); ++i) {
+    if (!g.params[static_cast<std::size_t>(i)].is_constant()) return false;
+  }
+  return true;
+}
+
+/// Ids start at 1 so a zero-initialized Workspace stamp is always cold.
+std::uint64_t next_plan_id() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Workspace
+
+Statevector& Workspace::reuse(std::optional<Statevector>& slot, int num_qubits,
+                              const exec::ExecPolicy& policy) {
+  if (!slot.has_value() || slot->num_qubits() != num_qubits) {
+    slot.emplace(num_qubits);
+  }
+  slot->set_exec_policy(policy);
+  return *slot;
+}
+
+Statevector& Workspace::state(int num_qubits, const exec::ExecPolicy& policy) {
+  Statevector& sv = reuse(state_, num_qubits, policy);
+  sv.reset();
+  return sv;
+}
+
+Statevector& Workspace::lambda(int num_qubits, const exec::ExecPolicy& policy) {
+  return reuse(lambda_, num_qubits, policy);
+}
+
+Statevector& Workspace::mu(int num_qubits, const exec::ExecPolicy& policy) {
+  return reuse(mu_, num_qubits, policy);
+}
+
+// ---------------------------------------------------------------------------
+// WorkspacePool
+
+WorkspacePool::Lease WorkspacePool::acquire() {
+  std::unique_ptr<Workspace> ws;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (!free_.empty()) {
+      ws = std::move(free_.back());
+      free_.pop_back();
+    }
+  }
+  if (ws == nullptr) ws = std::make_unique<Workspace>();
+  return Lease(this, std::move(ws));
+}
+
+void WorkspacePool::release(std::unique_ptr<Workspace> ws) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  free_.push_back(std::move(ws));
+}
+
+// ---------------------------------------------------------------------------
+// ExecPlan
+
+ExecPlan::ExecPlan(const circuit::Circuit& c, const NoiseModel& noise,
+                   const exec::ExecPolicy& policy)
+    : num_qubits_(c.num_qubits()),
+      num_params_(c.num_params()),
+      noisy_(noise.enabled()),
+      depth_(c.depth()),
+      plan_id_(next_plan_id()),
+      policy_(policy) {
+  AQ_TRACE_SPAN("sim.plan.compile");
+  survival_ = noisy_ ? noise.survival_probability(c) : 1.0;
+
+  // Angle spec of one gate, with the target qubit's coherent bias
+  // captured so bind replays NoiseModel::biased_params exactly.
+  auto make_spec = [&](const Gate& g) {
+    FoldOp op;
+    op.dynamic = !gate_is_static(g);
+    op.kind = g.kind;
+    op.param_count = g.param_count();
+    op.params = g.params;
+    if (noisy_ && noise.num_qubits() > 0 && g.param_count() > 0) {
+      const int target = g.arity() == 1 ? g.qubits[0] : g.qubits[1];
+      op.bias = noise.coherent_bias(target);
+    }
+    return op;
+  };
+  // Static gates have their matrix built once, here, by the same calls
+  // the naive path makes per evaluation.
+  auto static_bound = [&](const Gate& g) {
+    std::array<double, 3> bound{{0.0, 0.0, 0.0}};
+    for (int i = 0; i < g.param_count(); ++i) {
+      bound[static_cast<std::size_t>(i)] =
+          g.params[static_cast<std::size_t>(i)].offset;
+    }
+    if (noisy_ && noise.num_qubits() > 0 && g.param_count() > 0) {
+      const int target = g.arity() == 1 ? g.qubits[0] : g.qubits[1];
+      bound[0] += noise.coherent_bias(target);
+    }
+    return bound;
+  };
+
+  // Symbolic replay of run_biased's per-qubit 1q-run fusion. The prefix
+  // fold below performs the identical mat2_multiply(m, acc) sequence
+  // run_biased performs at evaluation time, so the pre-folded constants
+  // are bitwise the matrices it would have applied.
+  struct PendingRun {
+    Mat2 prefix = kIdentity2;
+    std::vector<FoldOp> tail;
+    bool any = false;
+    std::size_t static_count = 0;
+  };
+  std::vector<PendingRun> pending(static_cast<std::size_t>(num_qubits_));
+
+  auto flush = [&](int q) {
+    auto& run = pending[static_cast<std::size_t>(q)];
+    if (!run.any) return;
+    if (run.tail.empty()) {
+      stream_.push_back({StreamOp::Kind::kConst1q, q, 0,
+                         static_cast<int>(const1q_.size())});
+      const1q_.push_back(run.prefix);
+    } else {
+      stream_.push_back({StreamOp::Kind::kBound1q, q, 0,
+                         static_cast<int>(bound1q_.size())});
+      Bound1qSlot slot{run.prefix, std::move(run.tail), q, n_slot_dyn1q_};
+      for (const FoldOp& op : slot.tail) {
+        if (op.dynamic) ++n_slot_dyn1q_;
+      }
+      bound1q_.push_back(std::move(slot));
+    }
+    fused_gates_ += run.static_count;
+    run = PendingRun{};
+  };
+
+  int n_dyn = 0;
+  for (const Gate& g : c.gates()) {
+    // Gate-table entry (per-gate view for adjoint/trajectory walks).
+    GateEntry entry;
+    entry.kind = g.kind;
+    entry.q0 = g.qubits[0];
+    entry.q1 = g.qubits[1];
+    entry.arity = g.arity();
+    entry.dynamic = !gate_is_static(g);
+    entry.error = noisy_ ? noise.gate_error(g) : 0.0;
+    if (entry.dynamic) {
+      entry.spec = make_spec(g);
+      entry.bound_index = n_dyn++;
+      for (int slot = 0; slot < g.param_count(); ++slot) {
+        const circuit::ParamExpr& pe = g.params[static_cast<std::size_t>(slot)];
+        if (pe.is_constant()) continue;
+        entry.grads.push_back({slot, pe.index, pe.coeff,
+                               g.arity() == 1 ? n_grad1q_++ : n_grad2q_++});
+      }
+    }
+
+    if (g.arity() == 1) {
+      auto& run = pending[static_cast<std::size_t>(g.qubits[0])];
+      run.any = true;
+      if (entry.dynamic) {
+        entry.index = n_dyn1q_++;
+        run.tail.push_back(make_spec(g));
+      } else {
+        const Mat2 m = circuit::gate_matrix_1q(g.kind, static_bound(g));
+        entry.index = static_cast<int>(table1q_.size());
+        table1q_.push_back(m);
+        table1q_adj_.push_back(circuit::mat2_adjoint(m));
+        ++run.static_count;
+        if (run.tail.empty()) {
+          run.prefix = circuit::mat2_multiply(m, run.prefix);
+        } else {
+          FoldOp op;
+          op.constant = m;
+          run.tail.push_back(op);
+        }
+      }
+    } else {
+      flush(g.qubits[0]);
+      flush(g.qubits[1]);
+      if (entry.dynamic) {
+        entry.index = n_dyn2q_++;
+        stream_.push_back({StreamOp::Kind::kBound2q, g.qubits[0], g.qubits[1],
+                           static_cast<int>(bound2q_.size())});
+        bound2q_.push_back({make_spec(g)});
+      } else {
+        const Mat4 m = circuit::gate_matrix_2q(g.kind, static_bound(g));
+        entry.index = static_cast<int>(table2q_.size());
+        table2q_.push_back(m);
+        table2q_adj_.push_back(circuit::mat4_adjoint(m));
+        stream_.push_back({StreamOp::Kind::kConst2q, g.qubits[0], g.qubits[1],
+                           static_cast<int>(const2q_.size())});
+        const2q_.push_back(m);
+        ++fused_gates_;
+      }
+    }
+    table_.push_back(std::move(entry));
+  }
+  for (int q = 0; q < num_qubits_; ++q) flush(q);
+  n_dyn_ = n_dyn;
+
+  AQ_COUNTER_ADD("sim.plan.builds", 1);
+  AQ_COUNTER_ADD("sim.plan.gates", static_cast<std::uint64_t>(table_.size()));
+  AQ_COUNTER_ADD("sim.plan.fused_gates",
+                 static_cast<std::uint64_t>(fused_gates_));
+  AQ_COUNTER_ADD("sim.plan.stream_ops",
+                 static_cast<std::uint64_t>(stream_.size()));
+}
+
+void ExecPlan::check_params(std::span<const double> params) const {
+  if (static_cast<int>(params.size()) < num_params_) {
+    throw std::invalid_argument("ExecPlan: params too short");
+  }
+}
+
+void ExecPlan::bind(std::span<const double> params, Workspace& ws) const {
+  check_params(params);
+  AQ_COUNTER_ADD("sim.plan.binds", 1);
+  // Memoized rebinding: a slot whose dynamic angles all match the
+  // previous bind on this workspace keeps its folded matrix — it was
+  // computed from identical inputs, so reuse is bit-exact. The stamp
+  // ties the memo to this plan instance (ids are process-unique, so a
+  // recalibration-rebuilt plan can never inherit stale matrices).
+  const bool warm = ws.bound_plan_id == plan_id_;
+  if (!warm) {
+    ws.bound1q.resize(bound1q_.size());
+    ws.bound2q.resize(bound2q_.size());
+    ws.memo1q.resize(n_slot_dyn1q_);
+    ws.memo2q.resize(bound2q_.size());
+    ws.bound_plan_id = plan_id_;
+  }
+  std::uint64_t hits = 0;
+  for (std::size_t i = 0; i < bound1q_.size(); ++i) {
+    const Bound1qSlot& slot = bound1q_[i];
+    bool dirty = !warm;
+    std::size_t mo = slot.memo_offset;
+    for (const FoldOp& op : slot.tail) {
+      if (!op.dynamic) continue;
+      const std::array<double, 3> b = op.bound(params, noisy_);
+      if (dirty || b != ws.memo1q[mo]) {
+        ws.memo1q[mo] = b;
+        dirty = true;
+      }
+      ++mo;
+    }
+    if (!dirty) {
+      ++hits;
+      continue;
+    }
+    Mat2 acc = slot.prefix;
+    mo = slot.memo_offset;
+    for (const FoldOp& op : slot.tail) {
+      const Mat2 m = op.dynamic
+                         ? circuit::gate_matrix_1q(op.kind, ws.memo1q[mo++])
+                         : op.constant;
+      acc = circuit::mat2_multiply(m, acc);
+    }
+    ws.bound1q[i] = acc;
+  }
+  for (std::size_t i = 0; i < bound2q_.size(); ++i) {
+    const FoldOp& spec = bound2q_[i].spec;
+    const std::array<double, 3> b = spec.bound(params, noisy_);
+    if (warm && b == ws.memo2q[i]) {
+      ++hits;
+      continue;
+    }
+    ws.memo2q[i] = b;
+    ws.bound2q[i] = circuit::gate_matrix_2q(spec.kind, b);
+  }
+  AQ_COUNTER_ADD("sim.plan.bind.memo_hits", hits);
+}
+
+Statevector& ExecPlan::run(std::span<const double> params,
+                           Workspace& ws) const {
+  AQ_COUNTER_ADD("sim.plan.runs", 1);
+  bind(params, ws);
+  Statevector& sv = ws.state(num_qubits_, policy_);
+  for (const StreamOp& op : stream_) {
+    switch (op.kind) {
+      case StreamOp::Kind::kConst1q:
+        sv.apply_mat2(const1q_[static_cast<std::size_t>(op.index)], op.q0);
+        break;
+      case StreamOp::Kind::kBound1q:
+        sv.apply_mat2(ws.bound1q[static_cast<std::size_t>(op.index)], op.q0);
+        break;
+      case StreamOp::Kind::kConst2q:
+        sv.apply_mat4(const2q_[static_cast<std::size_t>(op.index)], op.q0,
+                      op.q1);
+        break;
+      case StreamOp::Kind::kBound2q:
+        sv.apply_mat4(ws.bound2q[static_cast<std::size_t>(op.index)], op.q0,
+                      op.q1);
+        break;
+    }
+  }
+  return sv;
+}
+
+double ExecPlan::expectation_z(std::span<const double> params, int qubit,
+                               Workspace& ws) const {
+  const Statevector& sv = run(params, ws);
+  return survival_ * sv.expectation_z(qubit);
+}
+
+void ExecPlan::bind_gates(std::span<const double> params,
+                          Workspace& ws) const {
+  check_params(params);
+  // dyn_bound doubles as the memo: an entry whose angles are unchanged
+  // since the previous bind_gates on this workspace keeps its matrix
+  // (same inputs, so the retained matrix is bit-exact).
+  const bool warm = ws.gates_plan_id == plan_id_;
+  if (!warm) {
+    ws.dyn1q.resize(static_cast<std::size_t>(n_dyn1q_));
+    ws.dyn2q.resize(static_cast<std::size_t>(n_dyn2q_));
+    ws.dyn_bound.resize(static_cast<std::size_t>(n_dyn_));
+    ws.dyn1q_adj.resize(static_cast<std::size_t>(n_dyn1q_));
+    ws.dyn2q_adj.resize(static_cast<std::size_t>(n_dyn2q_));
+    ws.dgrad1q.resize(static_cast<std::size_t>(n_grad1q_));
+    ws.dgrad2q.resize(static_cast<std::size_t>(n_grad2q_));
+    ws.gates_plan_id = plan_id_;
+  }
+  std::uint64_t hits = 0;
+  for (const GateEntry& e : table_) {
+    if (!e.dynamic) continue;
+    const auto bound = e.spec.bound(params, noisy_);
+    auto& memo = ws.dyn_bound[static_cast<std::size_t>(e.bound_index)];
+    if (warm && bound == memo) {
+      ++hits;
+      continue;
+    }
+    memo = bound;
+    if (e.arity == 1) {
+      const Mat2 m = circuit::gate_matrix_1q(e.kind, bound);
+      ws.dyn1q[static_cast<std::size_t>(e.index)] = m;
+      ws.dyn1q_adj[static_cast<std::size_t>(e.index)] =
+          circuit::mat2_adjoint(m);
+      for (const GateEntry::GradTerm& t : e.grads) {
+        ws.dgrad1q[static_cast<std::size_t>(t.dindex)] =
+            circuit::d_gate_matrix_1q(e.kind, bound, t.slot);
+      }
+    } else {
+      const Mat4 m = circuit::gate_matrix_2q(e.kind, bound);
+      ws.dyn2q[static_cast<std::size_t>(e.index)] = m;
+      ws.dyn2q_adj[static_cast<std::size_t>(e.index)] =
+          circuit::mat4_adjoint(m);
+      for (const GateEntry::GradTerm& t : e.grads) {
+        ws.dgrad2q[static_cast<std::size_t>(t.dindex)] =
+            circuit::d_gate_matrix_2q(e.kind, bound);
+      }
+    }
+  }
+  AQ_COUNTER_ADD("sim.plan.bind.memo_hits", hits);
+}
+
+}  // namespace arbiterq::sim

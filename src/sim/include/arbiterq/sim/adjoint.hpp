@@ -15,11 +15,16 @@
 //     psi    <- G_k^dagger psi            (state before gate k)
 //     grad_p += 2 Re <lambda| dG_k/dp |psi>   for each bound parameter
 //     lambda <- G_k^dagger lambda
+//
+// Two entry points: the naive path re-walks the circuit per call; the
+// ExecPlan path reuses precompiled matrices and workspace registers and
+// is bit-identical to it (tests/test_exec_plan.cpp).
 
 #include <span>
 #include <vector>
 
 #include "arbiterq/circuit/circuit.hpp"
+#include "arbiterq/sim/exec_plan.hpp"
 #include "arbiterq/sim/noise_model.hpp"
 
 namespace arbiterq::sim {
@@ -32,5 +37,24 @@ std::vector<double> adjoint_gradient_z(const circuit::Circuit& c,
                                        std::span<const double> params,
                                        int qubit,
                                        const NoiseModel* noise = nullptr);
+
+/// Same, with the circuit's survival probability precomputed by the
+/// caller (it is constant per circuit; see ExecPlan::survival). Only
+/// used when `noise` is non-null and enabled.
+std::vector<double> adjoint_gradient_z(const circuit::Circuit& c,
+                                       std::span<const double> params,
+                                       int qubit, const NoiseModel* noise,
+                                       double survival);
+
+/// Plan-based gradient into a caller-provided span (>= num_params).
+/// Zero heap allocations after the workspace is warm. Bit-identical to
+/// the naive path above.
+void adjoint_gradient_z(const ExecPlan& plan, std::span<const double> params,
+                        int qubit, Workspace& ws, std::span<double> grad);
+
+/// Allocating convenience wrapper around the span variant.
+std::vector<double> adjoint_gradient_z(const ExecPlan& plan,
+                                       std::span<const double> params,
+                                       int qubit, Workspace& ws);
 
 }  // namespace arbiterq::sim

@@ -1,0 +1,307 @@
+#pragma once
+// Compiled execution plans: the per-(circuit, noise model) work that
+// `StatevectorSimulator::run_biased` and the adjoint engine redo on every
+// call — walking the gate list, folding coherent biases into angles,
+// rebuilding static gate matrices, fusing 1q runs, recomputing the
+// survival probability — hoisted into a one-time compile step.
+//
+// An ExecPlan is immutable after construction and safe to share across
+// threads. All per-evaluation mutable state (the statevector register,
+// bound matrices for parameterized slots, adjoint scratch registers)
+// lives in a Workspace, so steady-state evaluation performs zero heap
+// allocations and a pool of workspaces serves concurrent callers.
+//
+// Determinism contract: a plan's output is bit-identical to the naive
+// path. The fused-run fold replicates run_biased's exact left-multiply
+// order (`pending = M_k * pending`, starting from identity), static
+// matrices are precomputed by the same gate_matrix_* calls the naive
+// path makes per evaluation, and only the *leading* static segment of a
+// run is pre-folded — a static matrix that follows a parameterized gate
+// is applied as its own fold step, because re-associating the product
+// would change the floating-point result.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "arbiterq/circuit/circuit.hpp"
+#include "arbiterq/circuit/unitary.hpp"
+#include "arbiterq/exec/parallel.hpp"
+#include "arbiterq/sim/noise_model.hpp"
+#include "arbiterq/sim/statevector.hpp"
+
+namespace arbiterq::sim {
+
+class ExecPlan;
+
+/// Reusable per-evaluation scratch: statevector registers and the bound
+/// matrices a plan's parameterized slots are rebuilt into. One Workspace
+/// serves one evaluation at a time; use a WorkspacePool to serve
+/// concurrent callers. Buffers grow on first use and are reused
+/// thereafter (zero steady-state allocations for a fixed plan).
+class Workspace {
+ public:
+  Workspace() = default;
+
+  /// The main register, reset to |0...0> with the given policy stamped.
+  Statevector& state(int num_qubits, const exec::ExecPolicy& policy);
+  /// Adjoint scratch registers. Not reset — callers overwrite them by
+  /// assignment (which reuses the existing allocation).
+  Statevector& lambda(int num_qubits, const exec::ExecPolicy& policy);
+  Statevector& mu(int num_qubits, const exec::ExecPolicy& policy);
+
+  /// Bound matrices for the plan's parameterized stream slots.
+  std::vector<circuit::Mat2> bound1q;
+  std::vector<circuit::Mat4> bound2q;
+  /// Bound matrices + angle values for the plan's gate table (adjoint /
+  /// trajectory walks, which need per-gate rather than fused matrices).
+  std::vector<circuit::Mat2> dyn1q;
+  std::vector<circuit::Mat4> dyn2q;
+  std::vector<std::array<double, 3>> dyn_bound;
+  /// Adjoint-walk companions built by bind_gates alongside dyn1q/dyn2q:
+  /// each dynamic matrix's adjoint and each gradient term's derivative
+  /// matrix, memoized under the same angle-change detection (the trig in
+  /// the derivative builders dominates small-register adjoint calls).
+  std::vector<circuit::Mat2> dyn1q_adj;
+  std::vector<circuit::Mat4> dyn2q_adj;
+  std::vector<circuit::Mat2> dgrad1q;
+  std::vector<circuit::Mat4> dgrad2q;
+  /// General caller scratch (e.g. packed circuit parameters).
+  std::vector<double> params;
+  std::vector<double> grad;
+  /// Memoized bind state: the id of the plan the bound matrices above
+  /// were last built against (0 = cold), plus each dynamic op's last
+  /// bound angles. bind()/bind_gates() skip the trig + matrix rebuild
+  /// for ops whose angles are unchanged since the previous bind — the
+  /// retained matrices were computed from identical inputs, so results
+  /// stay bit-identical. In training this is most of the circuit: the
+  /// weight gates rebind once per epoch while only the encoding gates
+  /// change per sample.
+  std::uint64_t bound_plan_id = 0;
+  std::uint64_t gates_plan_id = 0;
+  std::vector<std::array<double, 3>> memo1q;
+  std::vector<std::array<double, 3>> memo2q;
+
+ private:
+  static Statevector& reuse(std::optional<Statevector>& slot, int num_qubits,
+                            const exec::ExecPolicy& policy);
+
+  std::optional<Statevector> state_;
+  std::optional<Statevector> lambda_;
+  std::optional<Statevector> mu_;
+};
+
+/// Mutex-guarded free list of Workspaces. acquire() hands out a lease
+/// that returns the workspace on destruction; after warm-up the pool
+/// holds one workspace per peak-concurrent caller and recycles them
+/// without allocating. Copying a pool yields a fresh, empty pool (leases
+/// are tied to the pool they came from).
+class WorkspacePool {
+ public:
+  WorkspacePool() = default;
+  WorkspacePool(const WorkspacePool&) noexcept {}
+  WorkspacePool& operator=(const WorkspacePool&) noexcept { return *this; }
+
+  class Lease {
+   public:
+    Lease(WorkspacePool* pool, std::unique_ptr<Workspace> ws) noexcept
+        : pool_(pool), ws_(std::move(ws)) {}
+    ~Lease() {
+      if (ws_ != nullptr) pool_->release(std::move(ws_));
+    }
+    Lease(Lease&& other) noexcept
+        : pool_(other.pool_), ws_(std::move(other.ws_)) {}
+    Lease& operator=(Lease&&) = delete;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+
+    Workspace& operator*() noexcept { return *ws_; }
+    Workspace* operator->() noexcept { return ws_.get(); }
+
+   private:
+    WorkspacePool* pool_;
+    std::unique_ptr<Workspace> ws_;
+  };
+
+  Lease acquire();
+
+ private:
+  friend class Lease;
+  void release(std::unique_ptr<Workspace> ws);
+
+  std::mutex mu_;
+  std::vector<std::unique_ptr<Workspace>> free_;
+};
+
+/// One step of a fused 1q run's left-multiply fold: either a constant
+/// matrix (a static gate that sits after a parameterized one) or a
+/// parameterized gate whose matrix is rebuilt at bind time.
+struct FoldOp {
+  bool dynamic = false;
+  circuit::Mat2 constant{};
+  circuit::GateKind kind = circuit::GateKind::kI;
+  int param_count = 0;
+  std::array<circuit::ParamExpr, 3> params{};
+  /// Coherent calibration offset of the target qubit, added to the polar
+  /// angle at bind time when the plan is noisy (exactly mirroring
+  /// NoiseModel::biased_params).
+  double bias = 0.0;
+
+  std::array<double, 3> bound(std::span<const double> p, bool noisy) const {
+    std::array<double, 3> out{{0.0, 0.0, 0.0}};
+    for (int i = 0; i < param_count; ++i) {
+      out[static_cast<std::size_t>(i)] =
+          params[static_cast<std::size_t>(i)].value(p);
+    }
+    if (noisy) out[0] += bias;
+    return out;
+  }
+};
+
+/// A fused 1q run containing at least one parameterized gate: the static
+/// prefix is pre-folded into one constant; the tail replays the
+/// remaining fold steps at bind time in the original order.
+struct Bound1qSlot {
+  circuit::Mat2 prefix{};  ///< identity if the run starts parameterized
+  std::vector<FoldOp> tail;
+  int qubit = 0;
+  /// First index of this slot's dynamic tail ops in Workspace::memo1q.
+  std::size_t memo_offset = 0;
+};
+
+/// A parameterized 2q gate slot (CRX/CRY/CRZ with a live parameter).
+struct Bound2qSlot {
+  FoldOp spec;  ///< dynamic == true; constant unused
+};
+
+/// The compiled op-stream: each op applies one matrix to the register.
+struct StreamOp {
+  enum class Kind : std::uint8_t { kConst1q, kBound1q, kConst2q, kBound2q };
+  Kind kind = Kind::kConst1q;
+  int q0 = 0;
+  int q1 = 0;
+  int index = 0;  ///< into the const pools or the workspace bound slots
+};
+
+/// Gate-table entry: the unfused per-gate view used by walks that need
+/// every gate individually (adjoint differentiation, trajectories).
+struct GateEntry {
+  circuit::GateKind kind = circuit::GateKind::kI;
+  int q0 = 0;
+  int q1 = 0;
+  int arity = 1;
+  bool dynamic = false;
+  /// Static: index into the plan's const pools (matrix + its adjoint).
+  /// Dynamic: index into the workspace dyn1q/dyn2q arrays.
+  int index = 0;
+  /// Dynamic only: index into Workspace::dyn_bound (the bound angles,
+  /// needed for derivative matrices).
+  int bound_index = 0;
+  FoldOp spec;  ///< dynamic only
+  /// Non-constant parameter slots, for gradient accumulation.
+  struct GradTerm {
+    int slot = 0;
+    int param_index = 0;
+    double coeff = 1.0;
+    /// Index into Workspace::dgrad1q (arity 1) or dgrad2q (arity 2).
+    int dindex = 0;
+  };
+  std::vector<GradTerm> grads;
+  /// Cached NoiseModel::gate_error(g) for trajectory walks.
+  double error = 0.0;
+};
+
+/// A circuit compiled against one noise model (and one kernel policy):
+/// static gates pre-fused and pre-folded, parameterized gates reduced to
+/// bind slots, survival probability and depth cached.
+class ExecPlan {
+ public:
+  ExecPlan(const circuit::Circuit& c, const NoiseModel& noise,
+           const exec::ExecPolicy& policy = {});
+
+  int num_qubits() const noexcept { return num_qubits_; }
+  int num_params() const noexcept { return num_params_; }
+  bool noisy() const noexcept { return noisy_; }
+  /// Cached circuit-wide constants.
+  double survival() const noexcept { return survival_; }
+  std::size_t depth() const noexcept { return depth_; }
+  const exec::ExecPolicy& policy() const noexcept { return policy_; }
+  /// Process-unique id stamped into workspaces by bind()/bind_gates() so
+  /// memoized matrices are never carried across plans (pointer identity
+  /// would be ABA-unsafe after recalibration rebuilds a plan).
+  std::uint64_t plan_id() const noexcept { return plan_id_; }
+
+  /// Compile statistics (for telemetry and tests).
+  std::size_t gate_count() const noexcept { return table_.size(); }
+  std::size_t stream_op_count() const noexcept { return stream_.size(); }
+  /// Gates whose matrix work was fully hoisted to compile time.
+  std::size_t fused_gate_count() const noexcept { return fused_gates_; }
+  std::size_t bound_slot_count() const noexcept {
+    return bound1q_.size() + bound2q_.size();
+  }
+
+  /// Rebuild only the parameter-dependent stream matrices into `ws`.
+  void bind(std::span<const double> params, Workspace& ws) const;
+  /// bind() + evolve |0...0> through the stream; returns ws's register.
+  /// Bit-identical to StatevectorSimulator::run_biased.
+  Statevector& run(std::span<const double> params, Workspace& ws) const;
+  /// survival() * <Z_qubit> of run(); bit-identical to
+  /// StatevectorSimulator::expectation_z.
+  double expectation_z(std::span<const double> params, int qubit,
+                       Workspace& ws) const;
+
+  /// Rebuild the gate table's dynamic matrices + bound angles into `ws`
+  /// (for the adjoint walk in adjoint.hpp).
+  void bind_gates(std::span<const double> params, Workspace& ws) const;
+
+  const std::vector<GateEntry>& gate_table() const noexcept { return table_; }
+  const circuit::Mat2& table_mat2(int i) const {
+    return table1q_[static_cast<std::size_t>(i)];
+  }
+  const circuit::Mat2& table_mat2_adjoint(int i) const {
+    return table1q_adj_[static_cast<std::size_t>(i)];
+  }
+  const circuit::Mat4& table_mat4(int i) const {
+    return table2q_[static_cast<std::size_t>(i)];
+  }
+  const circuit::Mat4& table_mat4_adjoint(int i) const {
+    return table2q_adj_[static_cast<std::size_t>(i)];
+  }
+
+ private:
+  void check_params(std::span<const double> params) const;
+
+  int num_qubits_ = 0;
+  int num_params_ = 0;
+  bool noisy_ = false;
+  double survival_ = 1.0;
+  std::size_t depth_ = 0;
+  std::size_t fused_gates_ = 0;
+  std::uint64_t plan_id_ = 0;
+  std::size_t n_slot_dyn1q_ = 0;  ///< dynamic ops across bound1q tails
+  int n_grad1q_ = 0;              ///< gradient terms on 1q gates
+  int n_grad2q_ = 0;              ///< gradient terms on 2q gates
+  int n_dyn1q_ = 0;
+  int n_dyn2q_ = 0;
+  int n_dyn_ = 0;
+  exec::ExecPolicy policy_{};
+
+  std::vector<StreamOp> stream_;
+  std::vector<circuit::Mat2> const1q_;  ///< fully static fused runs
+  std::vector<circuit::Mat4> const2q_;  ///< static 2q gates
+  std::vector<Bound1qSlot> bound1q_;
+  std::vector<Bound2qSlot> bound2q_;
+
+  std::vector<GateEntry> table_;
+  std::vector<circuit::Mat2> table1q_;
+  std::vector<circuit::Mat2> table1q_adj_;
+  std::vector<circuit::Mat4> table2q_;
+  std::vector<circuit::Mat4> table2q_adj_;
+};
+
+}  // namespace arbiterq::sim

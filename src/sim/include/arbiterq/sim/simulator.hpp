@@ -21,6 +21,7 @@
 #include "arbiterq/circuit/circuit.hpp"
 #include "arbiterq/exec/parallel.hpp"
 #include "arbiterq/math/rng.hpp"
+#include "arbiterq/sim/exec_plan.hpp"
 #include "arbiterq/sim/noise_model.hpp"
 #include "arbiterq/sim/statevector.hpp"
 
@@ -62,6 +63,27 @@ class StatevectorSimulator {
   double expectation_z(const circuit::Circuit& c,
                        std::span<const double> params, int qubit) const;
 
+  /// Same, with the circuit's survival probability precomputed by the
+  /// caller (it is constant per circuit — recomputing it per call walks
+  /// the whole gate list for nothing).
+  double expectation_z(const circuit::Circuit& c,
+                       std::span<const double> params, int qubit,
+                       double survival) const;
+
+  /// Compile `c` against this engine's noise model and kernel policy.
+  /// The plan is bit-identical to run_biased/expectation_z and must be
+  /// rebuilt if the noise model changes (e.g. on recalibration).
+  ExecPlan make_plan(const circuit::Circuit& c) const {
+    return ExecPlan(c, noise_, exec_);
+  }
+
+  /// Plan-based exact-mode expectation (zero allocations once `ws` is
+  /// warm). Bit-identical to the circuit-walking overload above.
+  double expectation_z(const ExecPlan& plan, std::span<const double> params,
+                       int qubit, Workspace& ws) const {
+    return plan.expectation_z(params, qubit, ws);
+  }
+
   /// Exact-mode probability of measuring `qubit` = 1.
   double probability_of_one(const circuit::Circuit& c,
                             std::span<const double> params, int qubit) const;
@@ -73,7 +95,16 @@ class StatevectorSimulator {
                                            const ShotOptions& opts,
                                            math::Rng& rng) const;
 
-  /// Fraction of sampled shots with `qubit` = 1.
+  /// Trajectory-mode count of shots that read `qubit` as 1, sampled from
+  /// the single-qubit marginal: O(1) memory per shot instead of
+  /// sample_counts' 2^n histogram (1 GiB of counters at the 26-qubit
+  /// cap). Readout error is applied to the target qubit only.
+  std::uint64_t sample_marginal_ones(const circuit::Circuit& c,
+                                     std::span<const double> params, int qubit,
+                                     const ShotOptions& opts,
+                                     math::Rng& rng) const;
+
+  /// Fraction of sampled shots with `qubit` = 1 (marginal path).
   double sampled_probability_of_one(const circuit::Circuit& c,
                                     std::span<const double> params, int qubit,
                                     const ShotOptions& opts,

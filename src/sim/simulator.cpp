@@ -64,11 +64,17 @@ Statevector StatevectorSimulator::run_biased(
 double StatevectorSimulator::expectation_z(const circuit::Circuit& c,
                                            std::span<const double> params,
                                            int qubit) const {
+  const double survival =
+      noise_.enabled() ? noise_.survival_probability(c) : 1.0;
+  return expectation_z(c, params, qubit, survival);
+}
+
+double StatevectorSimulator::expectation_z(const circuit::Circuit& c,
+                                           std::span<const double> params,
+                                           int qubit, double survival) const {
   AQ_TRACE_SPAN("sim.expect.z");
   AQ_COUNTER_ADD("sim.expect.calls", 1);
   const Statevector sv = run_biased(c, params);
-  const double survival =
-      noise_.enabled() ? noise_.survival_probability(c) : 1.0;
   return survival * sv.expectation_z(qubit);
 }
 
@@ -143,18 +149,47 @@ std::vector<std::uint32_t> StatevectorSimulator::sample_counts(
   return counts;
 }
 
+std::uint64_t StatevectorSimulator::sample_marginal_ones(
+    const circuit::Circuit& c, std::span<const double> params, int qubit,
+    const ShotOptions& opts, math::Rng& rng) const {
+  if (opts.shots <= 0 || opts.trajectories <= 0) {
+    throw std::invalid_argument(
+        "sample_marginal_ones: shots/trajectories invalid");
+  }
+  AQ_TRACE_SPAN("sim.sample.marginal");
+  AQ_COUNTER_ADD("sim.sample.shots",
+                 static_cast<std::uint64_t>(opts.shots));
+  Statevector sv(c.num_qubits());
+  sv.set_exec_policy(exec_);
+  std::uint64_t ones = 0;
+  const int n_traj = std::min(opts.trajectories, opts.shots);
+  int remaining = opts.shots;
+  for (int t = 0; t < n_traj; ++t) {
+    const int this_shots = remaining / (n_traj - t);
+    remaining -= this_shots;
+    run_trajectory(c, params, sv, rng);
+    // The Born marginal of the readout qubit: each shot is one uniform
+    // draw against it, plus (under noise) one readout flip on that
+    // qubit alone — the full 2^n histogram never materializes.
+    const double p1 = sv.probability_of_one(qubit);
+    for (int s = 0; s < this_shots; ++s) {
+      bool one = rng.uniform() < p1;
+      if (noise_.enabled()) {
+        const double flip =
+            one ? noise_.readout_p10(qubit) : noise_.readout_p01(qubit);
+        if (flip > 0.0 && rng.bernoulli(flip)) one = !one;
+      }
+      if (one) ++ones;
+    }
+  }
+  return ones;
+}
+
 double StatevectorSimulator::sampled_probability_of_one(
     const circuit::Circuit& c, std::span<const double> params, int qubit,
     const ShotOptions& opts, math::Rng& rng) const {
-  const auto counts = sample_counts(c, params, opts, rng);
-  std::uint64_t ones = 0;
-  std::uint64_t total = 0;
-  for (std::size_t i = 0; i < counts.size(); ++i) {
-    total += counts[i];
-    if ((i >> qubit) & 1U) ones += counts[i];
-  }
-  return total == 0 ? 0.0
-                    : static_cast<double>(ones) / static_cast<double>(total);
+  const std::uint64_t ones = sample_marginal_ones(c, params, qubit, opts, rng);
+  return static_cast<double>(ones) / static_cast<double>(opts.shots);
 }
 
 }  // namespace arbiterq::sim
