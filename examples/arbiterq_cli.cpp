@@ -19,8 +19,13 @@
 #include "arbiterq/data/pipeline.hpp"
 #include "arbiterq/device/presets.hpp"
 #include "arbiterq/exec/parallel.hpp"
+#include "arbiterq/monitor/health.hpp"
 #include "arbiterq/report/csv.hpp"
 #include "arbiterq/telemetry/export.hpp"
+#include "arbiterq/telemetry/metrics.hpp"
+#include "arbiterq/telemetry/profile.hpp"
+#include "arbiterq/telemetry/prometheus.hpp"
+#include "arbiterq/telemetry/trace.hpp"
 
 namespace {
 
@@ -42,6 +47,9 @@ struct CliOptions {
   bool infer = false;
   std::string csv;
   std::string telemetry;
+  std::string health;
+  std::string trace_out;
+  std::string prom_out;
 };
 
 void usage() {
@@ -64,7 +72,13 @@ void usage() {
       "  --infer     run shot-oriented + batch inference afterwards\n"
       "  --csv PATH  dump the loss curve as CSV\n"
       "  --telemetry PATH  dump telemetry (epoch/assignment records,\n"
-      "              metric counters, trace spans) as JSONL\n");
+      "              metric counters, trace spans) as JSONL\n"
+      "  --health PATH  ride a FleetHealthMonitor on the run: print the\n"
+      "              per-QPU health table and write the report as JSONL\n"
+      "  --trace-out PATH  export recorded spans as Chrome trace-event\n"
+      "              JSON (load in Perfetto / chrome://tracing)\n"
+      "  --prom-out PATH  export the metrics registry in Prometheus\n"
+      "              text exposition format\n");
 }
 
 bool parse(int argc, char** argv, CliOptions* opts) {
@@ -106,6 +120,12 @@ bool parse(int argc, char** argv, CliOptions* opts) {
       if (const char* v = next()) opts->csv = v;
     } else if (flag == "--telemetry") {
       if (const char* v = next()) opts->telemetry = v;
+    } else if (flag == "--health") {
+      if (const char* v = next()) opts->health = v;
+    } else if (flag == "--trace-out") {
+      if (const char* v = next()) opts->trace_out = v;
+    } else if (flag == "--prom-out") {
+      if (const char* v = next()) opts->prom_out = v;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n\n", flag.c_str());
       return false;
@@ -157,6 +177,13 @@ int main(int argc, char** argv) {
   cfg.error_mitigation = opts.mitigate;
   cfg.exec.num_threads = opts.threads;
 
+  std::unique_ptr<monitor::FleetHealthMonitor> mon;
+  if (!opts.health.empty()) {
+    mon = std::make_unique<monitor::FleetHealthMonitor>(
+        static_cast<std::size_t>(opts.fleet));
+    cfg.monitor = mon.get();
+  }
+
   std::printf("dataset %s | %s | %d QPUs | strategy %s | %d epochs | "
               "%d threads\n",
               bc.dataset.c_str(), qnn::backbone_name(model.backbone()).c_str(),
@@ -165,6 +192,10 @@ int main(int argc, char** argv) {
 
   const core::DistributedTrainer trainer(
       model, device::table3_fleet_subset(opts.fleet, bc.num_qubits), cfg);
+  if (mon) {
+    mon->set_baseline(trainer.behavioral_vectors());
+    mon->observe_similarity(trainer.similarity(), opts.threshold);
+  }
   std::printf("sharing groups:");
   for (const auto& g : trainer.sharing_groups()) {
     std::printf(" {");
@@ -215,6 +246,30 @@ int main(int argc, char** argv) {
     tel->close();
     std::printf("wrote %s (%zu telemetry lines)\n", opts.telemetry.c_str(),
                 tel->lines_written());
+  }
+
+  if (mon) {
+    const monitor::FleetHealthReport rep = mon->report();
+    std::printf("%s", rep.to_table_string().c_str());
+    std::FILE* f = std::fopen(opts.health.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", opts.health.c_str());
+      return 1;
+    }
+    const std::string jsonl = rep.to_jsonl();
+    std::fwrite(jsonl.data(), 1, jsonl.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", opts.health.c_str());
+  }
+  if (!opts.trace_out.empty()) {
+    telemetry::write_chrome_trace(opts.trace_out,
+                                  telemetry::TraceBuffer::global().snapshot());
+    std::printf("wrote %s\n", opts.trace_out.c_str());
+  }
+  if (!opts.prom_out.empty()) {
+    telemetry::write_prometheus(
+        opts.prom_out, telemetry::MetricsRegistry::global().snapshot());
+    std::printf("wrote %s\n", opts.prom_out.c_str());
   }
   return 0;
 }

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# The one-command CI entry: tier-1 build + full ctest in the default
+# configuration, then the three hardening passes — ThreadSanitizer over
+# the parallel engine, AddressSanitizer over the full suite, and the
+# ARBITERQ_TELEMETRY=OFF build. Each pass uses its own build directory,
+# so a warm default build is never poisoned by sanitizer or option
+# flags.
+#
+# Usage: scripts/check_all.sh [build-dir]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+
+echo "==> tier 1: default build + full test suite"
+cmake -B "${build_dir}" -S "${repo_root}"
+cmake --build "${build_dir}" -j "$(nproc)"
+ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)"
+
+echo "==> tier 2: ThreadSanitizer"
+"${repo_root}/scripts/check_tsan.sh"
+
+echo "==> tier 2: AddressSanitizer"
+"${repo_root}/scripts/check_asan.sh"
+
+echo "==> tier 2: ARBITERQ_TELEMETRY=OFF"
+"${repo_root}/scripts/check_telemetry_off.sh"
+
+echo "OK: all checks passed"

@@ -101,6 +101,13 @@ struct TrainConfig {
   /// training curves do not change, only wall-clock. Default on; exposed
   /// for A/B benchmarking.
   bool use_exec_plans = true;
+  /// Optional health hook (non-owning; must outlive train()): receives
+  /// the same per-(epoch, QPU) record stream as train()'s telemetry
+  /// argument, in the same serial order. Lets a standing observer — e.g.
+  /// monitor::FleetHealthMonitor — ride along on every train() call
+  /// without threading a second sink through each call site. Purely
+  /// observational: training results are identical with or without it.
+  telemetry::TrainingTelemetry* monitor = nullptr;
 };
 
 struct TrainResult {

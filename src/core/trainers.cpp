@@ -383,7 +383,7 @@ TrainResult DistributedTrainer::train(
     for (std::size_t i = 0; i < n; ++i) {
       const double node_loss = node_losses[i];
       epoch_loss += node_loss;
-      if (telemetry != nullptr) {
+      if (telemetry != nullptr || config_.monitor != nullptr) {
         telemetry::EpochQpuRecord rec;
         rec.strategy = strategy_name(strategy);
         rec.epoch = epoch;
@@ -404,7 +404,8 @@ TrainResult DistributedTrainer::train(
             computed ? static_cast<std::uint64_t>(2 * w_total) *
                            static_cast<std::uint64_t>(config_.batch_size)
                      : 0;
-        telemetry->on_epoch(rec);
+        if (telemetry != nullptr) telemetry->on_epoch(rec);
+        if (config_.monitor != nullptr) config_.monitor->on_epoch(rec);
       }
     }
     result.epoch_test_loss.push_back(epoch_loss / static_cast<double>(n));

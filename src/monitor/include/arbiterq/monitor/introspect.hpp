@@ -1,0 +1,47 @@
+#pragma once
+// Similarity-graph introspection for fleet health: which QPUs have
+// sharing partners, which are isolated, and how the edge set churns
+// when behavioral vectors are rebuilt after a recalibration. The paper's
+// premise (§III-A/B) is that these neighborhoods drift over time — this
+// is the lens that makes the drift visible.
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "arbiterq/core/similarity.hpp"
+
+namespace arbiterq::monitor {
+
+/// Structure of one thresholded similarity graph.
+struct SimilarityView {
+  std::size_t n = 0;
+  double threshold = 0.0;
+  /// Undirected edges (i < j) with dist(i,j) <= threshold.
+  std::vector<std::pair<int, int>> edges;
+  std::vector<int> degree;      ///< neighbors under the threshold
+  std::vector<int> group;       ///< connected-component index
+  std::vector<int> group_size;  ///< members of that component
+  std::vector<int> isolated;    ///< nodes with degree 0
+};
+
+SimilarityView introspect(const core::SimilarityGraph& graph,
+                          double threshold);
+
+/// Edge-set difference between two thresholded graphs (before → after a
+/// recalibration): the neighborhood-churn signal.
+struct EdgeChurn {
+  std::vector<std::pair<int, int>> added;
+  std::vector<std::pair<int, int>> removed;
+  std::size_t kept = 0;
+
+  std::size_t total_changed() const noexcept {
+    return added.size() + removed.size();
+  }
+};
+
+/// Both edge lists must be (i < j) pairs; order need not be sorted.
+EdgeChurn edge_churn(const std::vector<std::pair<int, int>>& before,
+                     const std::vector<std::pair<int, int>>& after);
+
+}  // namespace arbiterq::monitor

@@ -1,0 +1,56 @@
+#include "arbiterq/monitor/introspect.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace arbiterq::monitor {
+
+SimilarityView introspect(const core::SimilarityGraph& graph,
+                          double threshold) {
+  SimilarityView view;
+  view.n = graph.size();
+  view.threshold = threshold;
+  view.degree.assign(view.n, 0);
+  view.group.assign(view.n, -1);
+  view.group_size.assign(view.n, 1);
+
+  for (std::size_t i = 0; i < view.n; ++i) {
+    for (std::size_t j = i + 1; j < view.n; ++j) {
+      if (graph.distance(i, j) <= threshold) {
+        view.edges.emplace_back(static_cast<int>(i), static_cast<int>(j));
+        ++view.degree[i];
+        ++view.degree[j];
+      }
+    }
+  }
+  for (std::size_t i = 0; i < view.n; ++i) {
+    if (view.degree[i] == 0) view.isolated.push_back(static_cast<int>(i));
+  }
+
+  const auto groups = graph.groups(threshold);
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    for (int member : groups[g]) {
+      view.group[static_cast<std::size_t>(member)] = static_cast<int>(g);
+      view.group_size[static_cast<std::size_t>(member)] =
+          static_cast<int>(groups[g].size());
+    }
+  }
+  return view;
+}
+
+EdgeChurn edge_churn(const std::vector<std::pair<int, int>>& before,
+                     const std::vector<std::pair<int, int>>& after) {
+  const std::set<std::pair<int, int>> old_set(before.begin(), before.end());
+  const std::set<std::pair<int, int>> new_set(after.begin(), after.end());
+  EdgeChurn churn;
+  for (const auto& e : new_set) {
+    if (old_set.count(e)) ++churn.kept;
+    else churn.added.push_back(e);
+  }
+  for (const auto& e : old_set) {
+    if (!new_set.count(e)) churn.removed.push_back(e);
+  }
+  return churn;
+}
+
+}  // namespace arbiterq::monitor

@@ -82,6 +82,75 @@ void CsvTable::write(const std::string& path) const {
   }
 }
 
+std::optional<std::vector<std::vector<std::string>>> parse_csv(
+    std::string_view text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool quoted_field = false;  // current field was opened with a quote
+  bool in_quotes = false;
+  bool field_started = false;
+
+  const auto end_field = [&] {
+    row.push_back(std::move(field));
+    field.clear();
+    quoted_field = false;
+    field_started = false;
+  };
+  const auto end_row = [&] {
+    end_field();
+    rows.push_back(std::move(row));
+    row.clear();
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+      continue;
+    }
+    if (c == '"') {
+      // A quote is only legal as the very first character of a field or
+      // doubled inside a quoted one (handled above).
+      if (field_started) return std::nullopt;
+      quoted_field = true;
+      field_started = true;
+      in_quotes = true;
+      continue;
+    }
+    if (c == ',') {
+      end_field();
+      continue;
+    }
+    if (c == '\n' || c == '\r') {
+      if (c == '\r') {
+        if (i + 1 >= text.size() || text[i + 1] != '\n') {
+          return std::nullopt;  // lone \r: to_string never emits it bare
+        }
+        ++i;
+      }
+      end_row();
+      continue;
+    }
+    if (quoted_field) return std::nullopt;  // text after a closing quote
+    field += c;
+    field_started = true;
+  }
+  if (in_quotes) return std::nullopt;  // unterminated quoted field
+  // Final record without a trailing newline.
+  if (field_started || !row.empty()) end_row();
+  return rows;
+}
+
 CsvTable loss_curves_table(
     const std::vector<std::pair<std::string, std::vector<double>>>& series) {
   if (series.empty()) {

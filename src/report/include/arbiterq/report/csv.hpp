@@ -2,7 +2,9 @@
 // Minimal CSV emission (RFC 4180 quoting) so every experiment binary can
 // dump plot-ready data next to its console table. No third-party I/O.
 
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace arbiterq::report {
@@ -34,5 +36,14 @@ class CsvTable {
 /// series may have different lengths (short ones pad with empty cells).
 CsvTable loss_curves_table(
     const std::vector<std::pair<std::string, std::vector<double>>>& series);
+
+/// Parse a full RFC 4180 document back into rows of fields — the inverse
+/// of CsvTable::to_string, so telemetry exports whose span/metric names
+/// carry commas, quotes or newlines round-trip exactly. Accepts \n and
+/// \r\n record separators and an optional missing final newline; a bare
+/// quote inside an unquoted field, or characters trailing a closing
+/// quote, return nullopt (malformed). Empty input parses to zero rows.
+std::optional<std::vector<std::vector<std::string>>> parse_csv(
+    std::string_view text);
 
 }  // namespace arbiterq::report

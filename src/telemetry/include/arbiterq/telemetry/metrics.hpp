@@ -31,6 +31,31 @@
 
 namespace arbiterq::telemetry {
 
+namespace detail {
+/// -1 = uninitialized (read ARBITERQ_TELEMETRY env var on first use),
+/// 0 = disabled, 1 = enabled.
+extern std::atomic<signed char> g_runtime_state;
+bool runtime_enabled_slow() noexcept;
+}  // namespace detail
+
+/// Runtime master switch for the AQ_* macros and ScopedSpan recording.
+/// First use reads the ARBITERQ_TELEMETRY environment variable — "0",
+/// "off" or "false" (any case) disable, anything else (or unset)
+/// enables. The compile-time option of the same name removes the call
+/// sites entirely; this flag is the runtime kill-switch for builds that
+/// keep them (and the lever bench_perf --telemetry-ab flips to measure
+/// instrumentation overhead in-process). Explicit TraceBuffer::record /
+/// Counter::add calls are NOT gated — only the ambient macro sites.
+inline bool telemetry_runtime_enabled() noexcept {
+  const signed char s =
+      detail::g_runtime_state.load(std::memory_order_relaxed);
+  return s >= 0 ? s != 0 : detail::runtime_enabled_slow();
+}
+
+/// Override the environment-derived state (takes effect immediately on
+/// every thread; pending spans opened while enabled still record).
+void set_telemetry_runtime_enabled(bool enabled) noexcept;
+
 class Counter {
  public:
   void add(std::uint64_t delta = 1) noexcept {
@@ -105,6 +130,20 @@ struct HistogramSnapshot {
   std::vector<std::uint64_t> bucket_counts;  ///< bounds + overflow
   std::uint64_t count = 0;
   double sum = 0.0;
+
+  /// Quantile estimate by linear interpolation inside the target bucket
+  /// (the Prometheus histogram_quantile rule): the rank q*count lands in
+  /// some bucket; the estimate interpolates between that bucket's lower
+  /// and upper bound assuming uniform density. The first bucket's lower
+  /// bound is taken as 0 when its top is positive (latency-style
+  /// histograms), otherwise as the top itself (no interpolation).
+  /// Observations in the overflow bucket clamp to the highest finite
+  /// bound — a known, documented bias of bucketed quantiles. Returns NaN
+  /// when the histogram is empty; q is clamped to [0, 1].
+  double quantile(double q) const;
+  double p50() const { return quantile(0.50); }
+  double p90() const { return quantile(0.90); }
+  double p99() const { return quantile(0.99); }
 };
 
 /// Point-in-time copy of the whole registry, name-sorted within each kind.
@@ -156,24 +195,30 @@ const std::vector<double>& latency_buckets_us();
 
 #define AQ_COUNTER_ADD(name, delta)                                        \
   do {                                                                     \
-    static ::arbiterq::telemetry::Counter& aq_telemetry_ctr =              \
-        ::arbiterq::telemetry::MetricsRegistry::global().counter(name);    \
-    aq_telemetry_ctr.add(delta);                                           \
+    if (::arbiterq::telemetry::telemetry_runtime_enabled()) {              \
+      static ::arbiterq::telemetry::Counter& aq_telemetry_ctr =            \
+          ::arbiterq::telemetry::MetricsRegistry::global().counter(name);  \
+      aq_telemetry_ctr.add(delta);                                         \
+    }                                                                      \
   } while (0)
 
 #define AQ_GAUGE_SET(name, value)                                          \
   do {                                                                     \
-    static ::arbiterq::telemetry::Gauge& aq_telemetry_gauge =              \
-        ::arbiterq::telemetry::MetricsRegistry::global().gauge(name);      \
-    aq_telemetry_gauge.set(value);                                         \
+    if (::arbiterq::telemetry::telemetry_runtime_enabled()) {              \
+      static ::arbiterq::telemetry::Gauge& aq_telemetry_gauge =            \
+          ::arbiterq::telemetry::MetricsRegistry::global().gauge(name);    \
+      aq_telemetry_gauge.set(value);                                       \
+    }                                                                      \
   } while (0)
 
 #define AQ_HISTOGRAM_OBSERVE(name, upper_bounds, value)                    \
   do {                                                                     \
-    static ::arbiterq::telemetry::Histogram& aq_telemetry_histo =          \
-        ::arbiterq::telemetry::MetricsRegistry::global().histogram(        \
-            name, upper_bounds);                                           \
-    aq_telemetry_histo.observe(value);                                     \
+    if (::arbiterq::telemetry::telemetry_runtime_enabled()) {              \
+      static ::arbiterq::telemetry::Histogram& aq_telemetry_histo =        \
+          ::arbiterq::telemetry::MetricsRegistry::global().histogram(      \
+              name, upper_bounds);                                         \
+      aq_telemetry_histo.observe(value);                                   \
+    }                                                                      \
   } while (0)
 
 #else  // ARBITERQ_TELEMETRY_ENABLED

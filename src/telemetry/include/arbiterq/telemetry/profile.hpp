@@ -1,0 +1,82 @@
+#pragma once
+// Span profiler + Perfetto export over the TraceBuffer ring.
+//
+// TraceProfile rolls raw TraceEvents up into per-span-name aggregates:
+// call count, total (inclusive) time, self time, min/max/mean. Self
+// time is inclusive time minus the inclusive time of *direct* children,
+// reconstructed from the (id, parent_id) linkage the spans record.
+//
+// Completion-order invariant both consumers lean on: a span records its
+// event when it *closes*, and children close before their parent, so a
+// parent's event is always recorded after all of its children's. The
+// ring buffer drops oldest-first, therefore a child present in a
+// snapshot implies its (closed) parent is present too — the only
+// missing parents are spans still open at snapshot time, or roots.
+// Self-time subtraction simply skips children whose parent is absent;
+// the Chrome exporter needs no tree at all (complete "X" events carry
+// their own timestamps).
+//
+// chrome_trace_json() emits the Chrome trace-event JSON format
+// (catapult), loadable in Perfetto / chrome://tracing: one complete
+// ("ph":"X") event per span with microsecond timestamps, pid 1, and a
+// small ordinal tid per distinct recording thread (hashed thread ids
+// are remapped in order of first appearance so lanes stay coherent and
+// stable across exports of the same snapshot).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arbiterq/report/csv.hpp"
+#include "arbiterq/telemetry/trace.hpp"
+
+namespace arbiterq::telemetry {
+
+/// Aggregate over every recorded span sharing one name.
+struct SpanStats {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;  ///< inclusive (sum of durations)
+  std::uint64_t self_ns = 0;   ///< total minus direct children's totals
+  std::uint64_t min_ns = 0;
+  std::uint64_t max_ns = 0;
+
+  double mean_ns() const noexcept {
+    return count == 0 ? 0.0
+                      : static_cast<double>(total_ns) /
+                            static_cast<double>(count);
+  }
+};
+
+class TraceProfile {
+ public:
+  /// Aggregate a snapshot (e.g. TraceBuffer::global().snapshot()).
+  static TraceProfile from_events(const std::vector<TraceEvent>& events);
+
+  /// Rows sorted by total_ns descending (the hot names first).
+  const std::vector<SpanStats>& rows() const noexcept { return rows_; }
+  std::size_t total_events() const noexcept { return total_events_; }
+
+  /// Fixed-width human-readable table (name, count, total/self/mean ms,
+  /// min/max).
+  std::string to_table_string() const;
+
+ private:
+  std::vector<SpanStats> rows_;
+  std::size_t total_events_ = 0;
+};
+
+/// Columns: name,count,total_ns,self_ns,mean_ns,min_ns,max_ns.
+report::CsvTable profile_csv(const TraceProfile& profile);
+
+/// Chrome trace-event JSON ("traceEvents" array of complete X events
+/// plus thread_name metadata). Timestamps are microseconds since the
+/// process trace anchor.
+std::string chrome_trace_json(const std::vector<TraceEvent>& events);
+
+/// Write chrome_trace_json to `path`; throws std::runtime_error on I/O
+/// failure.
+void write_chrome_trace(const std::string& path,
+                        const std::vector<TraceEvent>& events);
+
+}  // namespace arbiterq::telemetry

@@ -1,0 +1,37 @@
+#pragma once
+// Prometheus text-exposition (format version 0.0.4) rendering of a
+// MetricsSnapshot, so any run can drop a scrape-ready file next to its
+// JSONL dump (node_exporter textfile-collector style).
+//
+// Mapping:
+//  * internal `subsystem.verb.noun` names are sanitized ([^a-zA-Z0-9_:]
+//    → '_') and prefixed `arbiterq_`; two internal names that collide
+//    after sanitization share one family (callers own name hygiene);
+//  * counters render as `<name>_total <value>` with TYPE counter;
+//  * gauges render as-is with TYPE gauge;
+//  * histograms render the full family: cumulative `_bucket{le="..."}`
+//    samples (our per-bucket counts are summed into the cumulative form
+//    the format requires, ending in le="+Inf"), then `_sum` and
+//    `_count`.
+// Every family gets `# HELP` / `# TYPE` comment lines.
+
+#include <string>
+
+#include "arbiterq/telemetry/metrics.hpp"
+
+namespace arbiterq::telemetry {
+
+/// `arbiterq_` + name with every character outside [a-zA-Z0-9_:]
+/// replaced by '_'.
+std::string prometheus_name(const std::string& name);
+
+/// The full exposition document (ends with a newline; empty snapshot
+/// renders an empty string).
+std::string prometheus_text(const MetricsSnapshot& snapshot);
+
+/// Write prometheus_text to `path`; throws std::runtime_error on I/O
+/// failure.
+void write_prometheus(const std::string& path,
+                      const MetricsSnapshot& snapshot);
+
+}  // namespace arbiterq::telemetry

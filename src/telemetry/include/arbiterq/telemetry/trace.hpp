@@ -69,6 +69,8 @@ class TraceBuffer {
 /// RAII span. Construct on the stack (via AQ_TRACE_SPAN); destruction
 /// records the event into TraceBuffer::global() and pops the thread-local
 /// parent stack. Not movable: its address is the nesting invariant.
+/// When telemetry_runtime_enabled() is false at construction the span is
+/// inert (id() == 0): nothing is pushed, timed, or recorded.
 class ScopedSpan {
  public:
   explicit ScopedSpan(const char* name) noexcept;

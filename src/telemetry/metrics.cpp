@@ -1,9 +1,39 @@
 #include "arbiterq/telemetry/metrics.hpp"
 
 #include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
 #include <stdexcept>
 
 namespace arbiterq::telemetry {
+
+namespace detail {
+
+std::atomic<signed char> g_runtime_state{-1};
+
+bool runtime_enabled_slow() noexcept {
+  bool enabled = true;
+  if (const char* env = std::getenv("ARBITERQ_TELEMETRY")) {
+    std::string v(env);
+    for (char& c : v) {
+      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+    if (v == "0" || v == "off" || v == "false") enabled = false;
+  }
+  // Racing first calls all derive the same answer from the environment,
+  // so the double store is benign.
+  g_runtime_state.store(enabled ? 1 : 0, std::memory_order_relaxed);
+  return enabled;
+}
+
+}  // namespace detail
+
+void set_telemetry_runtime_enabled(bool enabled) noexcept {
+  detail::g_runtime_state.store(enabled ? 1 : 0,
+                                std::memory_order_relaxed);
+}
 
 Histogram::Histogram(std::vector<double> upper_bounds)
     : bounds_(std::move(upper_bounds)) {
@@ -44,6 +74,30 @@ void Histogram::reset() noexcept {
   }
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0.0, std::memory_order_relaxed);
+}
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0 || bucket_counts.empty() || upper_bounds.empty()) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < bucket_counts.size(); ++b) {
+    const std::uint64_t prev = cumulative;
+    cumulative += bucket_counts[b];
+    if (static_cast<double>(cumulative) < rank) continue;
+    if (b >= upper_bounds.size()) return upper_bounds.back();  // overflow
+    const double upper = upper_bounds[b];
+    const double lower =
+        b == 0 ? (upper > 0.0 ? 0.0 : upper) : upper_bounds[b - 1];
+    if (bucket_counts[b] == 0 || lower == upper) return upper;
+    const double within =
+        (rank - static_cast<double>(prev)) /
+        static_cast<double>(bucket_counts[b]);
+    return lower + (upper - lower) * within;
+  }
+  return upper_bounds.back();
 }
 
 MetricsRegistry& MetricsRegistry::global() {

@@ -1,0 +1,175 @@
+#include "arbiterq/telemetry/profile.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "arbiterq/report/jsonl.hpp"
+
+namespace arbiterq::telemetry {
+
+TraceProfile TraceProfile::from_events(
+    const std::vector<TraceEvent>& events) {
+  TraceProfile profile;
+  profile.total_events_ = events.size();
+
+  // Self time: start every span at its inclusive duration, then walk the
+  // events once subtracting each child's duration from its parent. The
+  // ring may have evicted a child while keeping the (later-recorded)
+  // parent, in which case the parent's self time stays conservatively
+  // high; a surviving child always finds its parent (completion-order
+  // invariant) unless that parent never closed before the snapshot.
+  std::unordered_map<std::uint64_t, std::size_t> index;
+  index.reserve(events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    index.emplace(events[i].id, i);
+  }
+  std::vector<std::int64_t> self(events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    self[i] = static_cast<std::int64_t>(events[i].duration_ns);
+  }
+  for (const TraceEvent& e : events) {
+    if (e.parent_id == 0) continue;
+    const auto it = index.find(e.parent_id);
+    if (it == index.end()) continue;  // parent dropped or still open
+    self[it->second] -= static_cast<std::int64_t>(e.duration_ns);
+  }
+
+  std::map<std::string, SpanStats> by_name;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    SpanStats& s = by_name[e.name];
+    if (s.count == 0) {
+      s.name = e.name;
+      s.min_ns = e.duration_ns;
+      s.max_ns = e.duration_ns;
+    }
+    ++s.count;
+    s.total_ns += e.duration_ns;
+    // A clock-granularity child can nominally outlast its parent; clamp
+    // instead of wrapping the unsigned accumulator.
+    s.self_ns += static_cast<std::uint64_t>(std::max<std::int64_t>(
+        self[i], 0));
+    s.min_ns = std::min(s.min_ns, e.duration_ns);
+    s.max_ns = std::max(s.max_ns, e.duration_ns);
+  }
+
+  profile.rows_.reserve(by_name.size());
+  for (auto& [name, stats] : by_name) profile.rows_.push_back(stats);
+  std::sort(profile.rows_.begin(), profile.rows_.end(),
+            [](const SpanStats& a, const SpanStats& b) {
+              if (a.total_ns != b.total_ns) return a.total_ns > b.total_ns;
+              return a.name < b.name;
+            });
+  return profile;
+}
+
+std::string TraceProfile::to_table_string() const {
+  std::size_t name_width = 4;
+  for (const SpanStats& s : rows_) {
+    name_width = std::max(name_width, s.name.size());
+  }
+  const auto ms = [](std::uint64_t ns) {
+    return static_cast<double>(ns) / 1e6;
+  };
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "%-*s %8s %12s %12s %12s %12s %12s\n",
+                static_cast<int>(name_width), "span", "count", "total_ms",
+                "self_ms", "mean_ms", "min_ms", "max_ms");
+  out += buf;
+  for (const SpanStats& s : rows_) {
+    std::snprintf(buf, sizeof buf,
+                  "%-*s %8llu %12.3f %12.3f %12.3f %12.3f %12.3f\n",
+                  static_cast<int>(name_width), s.name.c_str(),
+                  static_cast<unsigned long long>(s.count), ms(s.total_ns),
+                  ms(s.self_ns), s.mean_ns() / 1e6, ms(s.min_ns),
+                  ms(s.max_ns));
+    out += buf;
+  }
+  return out;
+}
+
+report::CsvTable profile_csv(const TraceProfile& profile) {
+  report::CsvTable table({"name", "count", "total_ns", "self_ns",
+                          "mean_ns", "min_ns", "max_ns"});
+  char buf[32];
+  for (const SpanStats& s : profile.rows()) {
+    std::snprintf(buf, sizeof buf, "%.10g", s.mean_ns());
+    table.add_row({s.name, std::to_string(s.count),
+                   std::to_string(s.total_ns), std::to_string(s.self_ns),
+                   std::string(buf), std::to_string(s.min_ns),
+                   std::to_string(s.max_ns)});
+  }
+  return table;
+}
+
+std::string chrome_trace_json(const std::vector<TraceEvent>& events) {
+  // Hashed 64-bit thread ids → small ordinal lanes, assigned in order of
+  // first appearance so the mapping is a pure function of the snapshot.
+  std::unordered_map<std::uint64_t, int> tid_of;
+  std::vector<std::uint64_t> thread_order;
+  for (const TraceEvent& e : events) {
+    if (tid_of.emplace(e.thread_id, static_cast<int>(thread_order.size()))
+            .second) {
+      thread_order.push_back(e.thread_id);
+    }
+  }
+
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  char buf[128];
+  bool first = true;
+  const auto comma = [&] {
+    if (!first) out += ",";
+    first = false;
+    out += "\n";
+  };
+  for (std::size_t t = 0; t < thread_order.size(); ++t) {
+    comma();
+    std::snprintf(buf, sizeof buf,
+                  "{\"ph\":\"M\",\"pid\":1,\"tid\":%d,"
+                  "\"name\":\"thread_name\",\"args\":{\"name\":"
+                  "\"thread-%zu\"}}",
+                  static_cast<int>(t), t);
+    out += buf;
+  }
+  for (const TraceEvent& e : events) {
+    comma();
+    out += "{\"name\":\"";
+    out += report::json_escape(e.name);
+    out += "\",\"ph\":\"X\",\"pid\":1";
+    std::snprintf(buf, sizeof buf,
+                  ",\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f",
+                  tid_of.at(e.thread_id),
+                  static_cast<double>(e.start_ns) / 1e3,
+                  static_cast<double>(e.duration_ns) / 1e3);
+    out += buf;
+    std::snprintf(buf, sizeof buf,
+                  ",\"args\":{\"id\":%llu,\"parent\":%llu,\"depth\":%u}}",
+                  static_cast<unsigned long long>(e.id),
+                  static_cast<unsigned long long>(e.parent_id), e.depth);
+    out += buf;
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+void write_chrome_trace(const std::string& path,
+                        const std::vector<TraceEvent>& events) {
+  std::ofstream os(path);
+  if (!os) {
+    throw std::runtime_error("write_chrome_trace: cannot open " + path);
+  }
+  os << chrome_trace_json(events);
+  os.flush();
+  if (!os) {
+    throw std::runtime_error("write_chrome_trace: write failed for " +
+                             path);
+  }
+}
+
+}  // namespace arbiterq::telemetry

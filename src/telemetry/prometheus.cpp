@@ -1,0 +1,94 @@
+#include "arbiterq/telemetry/prometheus.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace arbiterq::telemetry {
+
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  return buf;
+}
+
+bool valid_name_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == ':';
+}
+
+/// HELP text may not contain raw newlines or backslashes (0.0.4 escaping
+/// rules); internal names are tame but escape anyway.
+std::string help_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '\n') out += "\\n";
+    else out += c;
+  }
+  return out;
+}
+
+void family_header(std::string& out, const std::string& prom_name,
+                   const char* type, const std::string& original) {
+  out += "# HELP " + prom_name + " ArbiterQ " + std::string(type) +
+         " '" + help_escape(original) + "'\n";
+  out += "# TYPE " + prom_name + " " + type + "\n";
+}
+
+}  // namespace
+
+std::string prometheus_name(const std::string& name) {
+  std::string out = "arbiterq_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) out += valid_name_char(c) ? c : '_';
+  return out;
+}
+
+std::string prometheus_text(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& c : snapshot.counters) {
+    const std::string n = prometheus_name(c.name) + "_total";
+    family_header(out, n, "counter", c.name);
+    out += n + " " + std::to_string(c.value) + "\n";
+  }
+  for (const auto& g : snapshot.gauges) {
+    const std::string n = prometheus_name(g.name);
+    family_header(out, n, "gauge", g.name);
+    out += n + " " + fmt_double(g.value) + "\n";
+  }
+  for (const auto& h : snapshot.histograms) {
+    const std::string n = prometheus_name(h.name);
+    family_header(out, n, "histogram", h.name);
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < h.bucket_counts.size(); ++b) {
+      cumulative += h.bucket_counts[b];
+      const std::string le = b < h.upper_bounds.size()
+                                 ? fmt_double(h.upper_bounds[b])
+                                 : std::string("+Inf");
+      out += n + "_bucket{le=\"" + le + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += n + "_sum " + fmt_double(h.sum) + "\n";
+    out += n + "_count " + std::to_string(h.count) + "\n";
+  }
+  return out;
+}
+
+void write_prometheus(const std::string& path,
+                      const MetricsSnapshot& snapshot) {
+  std::ofstream os(path);
+  if (!os) {
+    throw std::runtime_error("write_prometheus: cannot open " + path);
+  }
+  os << prometheus_text(snapshot);
+  os.flush();
+  if (!os) {
+    throw std::runtime_error("write_prometheus: write failed for " + path);
+  }
+}
+
+}  // namespace arbiterq::telemetry

@@ -98,16 +98,21 @@ void TraceBuffer::set_capacity(std::size_t capacity) {
 }
 
 ScopedSpan::ScopedSpan(const char* name) noexcept
-    : name_(name),
-      id_(g_next_span_id.fetch_add(1, std::memory_order_relaxed)),
-      parent_id_(tls_current_span),
-      depth_(tls_depth),
-      start_ns_(trace_now_ns()) {
+    : name_(name), id_(0), parent_id_(0), depth_(0), start_ns_(0) {
+  // The runtime kill-switch is sampled once at open: a disabled span
+  // never touches the thread-local nesting stack, so toggling the
+  // switch mid-span cannot unbalance parent linkage.
+  if (!telemetry_runtime_enabled()) return;
+  id_ = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  parent_id_ = tls_current_span;
+  depth_ = tls_depth;
+  start_ns_ = trace_now_ns();
   tls_current_span = id_;
   ++tls_depth;
 }
 
 ScopedSpan::~ScopedSpan() {
+  if (id_ == 0) return;  // opened while the runtime switch was off
   const std::uint64_t end_ns = trace_now_ns();
   tls_current_span = parent_id_;
   --tls_depth;

@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 
 namespace arbiterq::report {
 namespace {
@@ -51,6 +52,69 @@ TEST(Csv, WriteAndReadBack) {
 TEST(Csv, WriteToBadPathThrows) {
   CsvTable t({"x"});
   EXPECT_THROW(t.write("/nonexistent-dir/file.csv"), std::runtime_error);
+}
+
+TEST(Csv, ParseRoundTripsNastyFields) {
+  CsvTable t({"name", "value"});
+  t.add_row({std::string("plain"), std::string("1")});
+  t.add_row({std::string("has,comma"), std::string("a,b,c")});
+  t.add_row({std::string("has \"quote\""), std::string("\"\"")});
+  t.add_row({std::string("line\nbreak"), std::string("tail\n\nlines")});
+  t.add_row({std::string(""), std::string("empty-left")});
+  const auto parsed = parse_csv(t.to_string());
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), 6U);  // header + 5 rows
+  EXPECT_EQ((*parsed)[0], (std::vector<std::string>{"name", "value"}));
+  EXPECT_EQ((*parsed)[2],
+            (std::vector<std::string>{"has,comma", "a,b,c"}));
+  EXPECT_EQ((*parsed)[3],
+            (std::vector<std::string>{"has \"quote\"", "\"\""}));
+  EXPECT_EQ((*parsed)[4],
+            (std::vector<std::string>{"line\nbreak", "tail\n\nlines"}));
+  EXPECT_EQ((*parsed)[5], (std::vector<std::string>{"", "empty-left"}));
+}
+
+TEST(Csv, ParseAcceptsCrlfAndMissingFinalNewline) {
+  const auto crlf = parse_csv("a,b\r\n1,2\r\n");
+  ASSERT_TRUE(crlf.has_value());
+  ASSERT_EQ(crlf->size(), 2U);
+  EXPECT_EQ((*crlf)[1], (std::vector<std::string>{"1", "2"}));
+
+  const auto unterminated = parse_csv("a,b\n1,2");
+  ASSERT_TRUE(unterminated.has_value());
+  EXPECT_EQ((*unterminated)[1], (std::vector<std::string>{"1", "2"}));
+
+  const auto empty = parse_csv("");
+  ASSERT_TRUE(empty.has_value());
+  EXPECT_TRUE(empty->empty());
+}
+
+TEST(Csv, ParseRejectsMalformedInput) {
+  // Unterminated quoted field.
+  EXPECT_FALSE(parse_csv("a\n\"unclosed").has_value());
+  // Text after the closing quote.
+  EXPECT_FALSE(parse_csv("\"x\"y\n").has_value());
+  // Quote opening mid-field.
+  EXPECT_FALSE(parse_csv("ab\"c\"\n").has_value());
+  // A lone carriage return is neither CRLF nor data.
+  EXPECT_FALSE(parse_csv("a\rb\n").has_value());
+}
+
+TEST(Csv, WriteParseRoundTripThroughDisk) {
+  CsvTable t({"span,name", "total"});
+  t.add_row({std::string("core.train\n\"epoch\""), std::string("42")});
+  const std::string path = "/tmp/arbiterq_csv_roundtrip_test.csv";
+  t.write(path);
+  std::ifstream is(path);
+  std::string content((std::istreambuf_iterator<char>(is)),
+                      std::istreambuf_iterator<char>());
+  std::remove(path.c_str());
+  const auto parsed = parse_csv(content);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), 2U);
+  EXPECT_EQ((*parsed)[0][0], "span,name");
+  EXPECT_EQ((*parsed)[1][0], "core.train\n\"epoch\"");
+  EXPECT_EQ((*parsed)[1][1], "42");
 }
 
 TEST(Csv, LossCurvesTable) {

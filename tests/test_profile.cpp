@@ -1,0 +1,190 @@
+// TraceProfile aggregation (count / total / self / min / max), the
+// completion-order tolerance for missing parents, and the Chrome
+// trace-event exporter's structural guarantees (one X event per span,
+// per-thread lanes assigned by first appearance, metadata events, JSON
+// escaping).
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "arbiterq/telemetry/profile.hpp"
+#include "arbiterq/telemetry/trace.hpp"
+
+namespace {
+
+using namespace arbiterq;
+
+telemetry::TraceEvent make_event(const char* name, std::uint64_t id,
+                                 std::uint64_t parent, std::uint32_t depth,
+                                 std::uint64_t start, std::uint64_t dur,
+                                 std::uint64_t thread = 1) {
+  telemetry::TraceEvent e;
+  e.name = name;
+  e.id = id;
+  e.parent_id = parent;
+  e.depth = depth;
+  e.start_ns = start;
+  e.duration_ns = dur;
+  e.thread_id = thread;
+  return e;
+}
+
+std::size_t count_occurrences(const std::string& haystack,
+                              const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+TEST(Profile, AggregatesWithSelfTime) {
+  // Completion order: the two children close before the root.
+  const std::vector<telemetry::TraceEvent> events = {
+      make_event("child", 2, 1, 1, 10, 30),
+      make_event("child", 3, 1, 1, 50, 20),
+      make_event("root", 1, 0, 0, 0, 100),
+  };
+  const auto profile = telemetry::TraceProfile::from_events(events);
+  EXPECT_EQ(profile.total_events(), 3u);
+  ASSERT_EQ(profile.rows().size(), 2u);
+
+  // Sorted by total descending: root (100) before child (50).
+  const telemetry::SpanStats& root = profile.rows()[0];
+  EXPECT_EQ(root.name, "root");
+  EXPECT_EQ(root.count, 1u);
+  EXPECT_EQ(root.total_ns, 100u);
+  EXPECT_EQ(root.self_ns, 50u);  // 100 - 30 - 20
+  EXPECT_EQ(root.min_ns, 100u);
+  EXPECT_EQ(root.max_ns, 100u);
+
+  const telemetry::SpanStats& child = profile.rows()[1];
+  EXPECT_EQ(child.count, 2u);
+  EXPECT_EQ(child.total_ns, 50u);
+  EXPECT_EQ(child.self_ns, 50u);  // leaves keep their inclusive time
+  EXPECT_EQ(child.min_ns, 20u);
+  EXPECT_EQ(child.max_ns, 30u);
+  EXPECT_DOUBLE_EQ(child.mean_ns(), 25.0);
+}
+
+TEST(Profile, ToleratesMissingParents) {
+  // The ring evicted the parent of id=5 (or it never closed): the child
+  // still aggregates, nothing crashes, nothing goes negative.
+  const std::vector<telemetry::TraceEvent> events = {
+      make_event("orphan", 5, 999, 3, 0, 40),
+  };
+  const auto profile = telemetry::TraceProfile::from_events(events);
+  ASSERT_EQ(profile.rows().size(), 1u);
+  EXPECT_EQ(profile.rows()[0].self_ns, 40u);
+}
+
+TEST(Profile, SelfTimeClampsAtZero) {
+  // Clock granularity can make children nominally outlast the parent;
+  // the parent's self time clamps at 0 instead of wrapping.
+  const std::vector<telemetry::TraceEvent> events = {
+      make_event("child", 2, 1, 1, 0, 70),
+      make_event("child", 3, 1, 1, 0, 70),
+      make_event("root", 1, 0, 0, 0, 100),
+  };
+  const auto profile = telemetry::TraceProfile::from_events(events);
+  for (const auto& row : profile.rows()) {
+    if (row.name == "root") EXPECT_EQ(row.self_ns, 0u);
+  }
+}
+
+TEST(Profile, TableAndCsvCoverRows) {
+  const std::vector<telemetry::TraceEvent> events = {
+      make_event("sim.apply", 1, 0, 0, 0, 1000),
+  };
+  const auto profile = telemetry::TraceProfile::from_events(events);
+  EXPECT_NE(profile.to_table_string().find("sim.apply"), std::string::npos);
+  const auto csv = telemetry::profile_csv(profile);
+  EXPECT_EQ(csv.num_rows(), 1u);
+  EXPECT_NE(csv.to_string().find("name,count,total_ns,self_ns"),
+            std::string::npos);
+}
+
+TEST(ChromeTrace, OneCompleteEventPerSpanPlusThreadMetadata) {
+  const std::vector<telemetry::TraceEvent> events = {
+      make_event("a", 1, 0, 0, 0, 2000, /*thread=*/77),
+      make_event("b", 2, 0, 0, 500, 1000, /*thread=*/88),
+      make_event("c", 3, 0, 0, 3000, 500, /*thread=*/77),
+  };
+  const std::string json = telemetry::chrome_trace_json(events);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"X\""), 3u);
+  // Two distinct recording threads -> two thread_name metadata events.
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"M\""), 2u);
+  EXPECT_EQ(count_occurrences(json, "\"name\":\"thread_name\""), 2u);
+  // Lanes by first appearance: thread 77 -> tid 0, thread 88 -> tid 1,
+  // and the third event rejoins lane 0.
+  EXPECT_EQ(count_occurrences(json, "\"tid\":0"), 3u);  // metadata + a + c
+  EXPECT_EQ(count_occurrences(json, "\"tid\":1"), 2u);  // metadata + b
+  // Microsecond timestamps: 2000 ns -> 2.000 us.
+  EXPECT_NE(json.find("\"ts\":0.000,\"dur\":2.000"), std::string::npos);
+  // Linkage rides along in args.
+  EXPECT_NE(json.find("\"args\":{\"id\":1,\"parent\":0,\"depth\":0}"),
+            std::string::npos);
+}
+
+TEST(ChromeTrace, LaneMappingIsStableAcrossExports) {
+  const std::vector<telemetry::TraceEvent> events = {
+      make_event("x", 1, 0, 0, 0, 10, 123456789ull),
+      make_event("y", 2, 0, 0, 0, 10, 42ull),
+  };
+  EXPECT_EQ(telemetry::chrome_trace_json(events),
+            telemetry::chrome_trace_json(events));
+}
+
+TEST(ChromeTrace, EscapesSpanNames) {
+  const std::vector<telemetry::TraceEvent> events = {
+      make_event("nasty \"quote\"\nname", 1, 0, 0, 0, 10),
+  };
+  const std::string json = telemetry::chrome_trace_json(events);
+  EXPECT_NE(json.find("nasty \\\"quote\\\"\\nname"), std::string::npos);
+  EXPECT_EQ(json.find("\nname"), std::string::npos)
+      << "raw newline leaked into a JSON string";
+}
+
+TEST(ChromeTrace, WriteRoundTripAndBadPath) {
+  const std::string path = testing::TempDir() + "arbiterq_trace.json";
+  const std::vector<telemetry::TraceEvent> events = {
+      make_event("w", 1, 0, 0, 0, 10),
+  };
+  telemetry::write_chrome_trace(path, events);
+  std::ifstream is(path);
+  ASSERT_TRUE(is.good());
+  std::string content((std::istreambuf_iterator<char>(is)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, telemetry::chrome_trace_json(events));
+  std::remove(path.c_str());
+  EXPECT_THROW(
+      telemetry::write_chrome_trace("/nonexistent-dir/x/t.json", events),
+      std::runtime_error);
+}
+
+TEST(ChromeTrace, RealSpansExportCleanly) {
+  telemetry::set_telemetry_runtime_enabled(true);
+  telemetry::TraceBuffer& buf = telemetry::TraceBuffer::global();
+  buf.clear();
+  {
+    telemetry::ScopedSpan outer("t.profile.outer");
+    telemetry::ScopedSpan inner("t.profile.inner");
+  }
+  const auto events = buf.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  const std::string json = telemetry::chrome_trace_json(events);
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"X\""), 2u);
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"M\""), 1u);  // one thread
+  const auto profile = telemetry::TraceProfile::from_events(events);
+  ASSERT_EQ(profile.rows().size(), 2u);
+  buf.clear();
+}
+
+}  // namespace

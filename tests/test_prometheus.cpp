@@ -1,0 +1,249 @@
+// Prometheus text-exposition rendering (0.0.4): a small format parser
+// validates the structural rules (HELP/TYPE headers, sample line shape,
+// legal metric names, cumulative le buckets, _count == +Inf bucket), plus
+// the HistogramSnapshot quantile helpers against known distributions.
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "arbiterq/telemetry/metrics.hpp"
+#include "arbiterq/telemetry/prometheus.hpp"
+
+namespace {
+
+using namespace arbiterq;
+
+bool valid_metric_name(const std::string& name) {
+  if (name.empty()) return false;
+  if (std::isdigit(static_cast<unsigned char>(name[0]))) return false;
+  for (char c : name) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+          c == ':')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// One parsed sample: base name (labels stripped), optional le label,
+/// numeric value.
+struct Sample {
+  std::string name;
+  std::string le;  ///< empty when no {le="..."} label
+  double value = 0.0;
+};
+
+/// Minimal 0.0.4 parser for the subset we emit. Returns false (with a
+/// diagnostic) on any structural violation.
+bool parse_exposition(const std::string& text,
+                      std::map<std::string, std::string>* types,
+                      std::vector<Sample>* samples, std::string* error) {
+  std::istringstream is(text);
+  std::string line;
+  std::map<std::string, bool> helped;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    if (line.rfind("# HELP ", 0) == 0) {
+      const std::string rest = line.substr(7);
+      const std::size_t sp = rest.find(' ');
+      if (sp == std::string::npos) {
+        *error = "HELP without text: " + line;
+        return false;
+      }
+      helped[rest.substr(0, sp)] = true;
+      continue;
+    }
+    if (line.rfind("# TYPE ", 0) == 0) {
+      const std::string rest = line.substr(7);
+      const std::size_t sp = rest.find(' ');
+      if (sp == std::string::npos) {
+        *error = "TYPE without kind: " + line;
+        return false;
+      }
+      const std::string name = rest.substr(0, sp);
+      const std::string kind = rest.substr(sp + 1);
+      if (kind != "counter" && kind != "gauge" && kind != "histogram") {
+        *error = "unknown TYPE kind: " + line;
+        return false;
+      }
+      if (!helped.count(name)) {
+        *error = "TYPE before HELP: " + line;
+        return false;
+      }
+      (*types)[name] = kind;
+      continue;
+    }
+    if (line[0] == '#') {
+      *error = "unknown comment form: " + line;
+      return false;
+    }
+    // Sample: name[{labels}] value
+    Sample s;
+    std::size_t pos = line.find('{');
+    const std::size_t sp = line.rfind(' ');
+    if (sp == std::string::npos) {
+      *error = "sample without value: " + line;
+      return false;
+    }
+    if (pos != std::string::npos && pos < sp) {
+      s.name = line.substr(0, pos);
+      const std::size_t close = line.find('}', pos);
+      if (close == std::string::npos || close > sp) {
+        *error = "unterminated label set: " + line;
+        return false;
+      }
+      const std::string labels = line.substr(pos + 1, close - pos - 1);
+      if (labels.rfind("le=\"", 0) != 0 || labels.back() != '"') {
+        *error = "unexpected label set: " + line;
+        return false;
+      }
+      s.le = labels.substr(4, labels.size() - 5);
+    } else {
+      s.name = line.substr(0, sp);
+    }
+    if (!valid_metric_name(s.name)) {
+      *error = "illegal metric name: " + s.name;
+      return false;
+    }
+    char* end = nullptr;
+    s.value = std::strtod(line.c_str() + sp + 1, &end);
+    if (end == line.c_str() + sp + 1) {
+      *error = "unparsable value: " + line;
+      return false;
+    }
+    samples->push_back(s);
+  }
+  return true;
+}
+
+TEST(Prometheus, NameSanitization) {
+  EXPECT_EQ(telemetry::prometheus_name("sim.apply.gate1q"),
+            "arbiterq_sim_apply_gate1q");
+  EXPECT_EQ(telemetry::prometheus_name("weird name+x"),
+            "arbiterq_weird_name_x");
+  EXPECT_TRUE(valid_metric_name(telemetry::prometheus_name("a,b\"c\nd")));
+}
+
+TEST(Prometheus, RenderedSnapshotPassesFormatValidation) {
+  telemetry::MetricsRegistry reg;
+  reg.counter("core.train.epochs").add(12);
+  reg.gauge("exec.pool.threads").set(8.0);
+  telemetry::Histogram& h =
+      reg.histogram("sim.apply.latency_us", {1.0, 10.0, 100.0});
+  h.observe(0.5);
+  h.observe(5.0);
+  h.observe(50.0);
+  h.observe(1e6);  // overflow
+  // A name needing sanitization end to end.
+  reg.counter("nasty name,with\"stuff").add(1);
+
+  const std::string text = telemetry::prometheus_text(reg.snapshot());
+  std::map<std::string, std::string> types;
+  std::vector<Sample> samples;
+  std::string error;
+  ASSERT_TRUE(parse_exposition(text, &types, &samples, &error)) << error;
+
+  EXPECT_EQ(types.at("arbiterq_core_train_epochs_total"), "counter");
+  EXPECT_EQ(types.at("arbiterq_exec_pool_threads"), "gauge");
+  EXPECT_EQ(types.at("arbiterq_sim_apply_latency_us"), "histogram");
+  EXPECT_EQ(types.at("arbiterq_nasty_name_with_stuff_total"), "counter");
+
+  double count_value = -1.0, inf_bucket = -1.0, sum_value = -1.0;
+  double prev_bucket = -1.0;
+  int buckets = 0;
+  for (const Sample& s : samples) {
+    if (s.name == "arbiterq_core_train_epochs_total") {
+      EXPECT_DOUBLE_EQ(s.value, 12.0);
+    } else if (s.name == "arbiterq_exec_pool_threads") {
+      EXPECT_DOUBLE_EQ(s.value, 8.0);
+    } else if (s.name == "arbiterq_sim_apply_latency_us_bucket") {
+      ++buckets;
+      EXPECT_GE(s.value, prev_bucket) << "le buckets must be cumulative";
+      prev_bucket = s.value;
+      if (s.le == "+Inf") inf_bucket = s.value;
+    } else if (s.name == "arbiterq_sim_apply_latency_us_count") {
+      count_value = s.value;
+    } else if (s.name == "arbiterq_sim_apply_latency_us_sum") {
+      sum_value = s.value;
+    }
+  }
+  EXPECT_EQ(buckets, 4);  // 3 bounds + +Inf
+  EXPECT_DOUBLE_EQ(inf_bucket, 4.0);
+  EXPECT_DOUBLE_EQ(count_value, inf_bucket);
+  EXPECT_DOUBLE_EQ(sum_value, 0.5 + 5.0 + 50.0 + 1e6);
+}
+
+TEST(Prometheus, WriteRoundTripAndBadPath) {
+  telemetry::MetricsRegistry reg;
+  reg.counter("t.prom.file").add(3);
+  const auto snap = reg.snapshot();
+  const std::string path = testing::TempDir() + "arbiterq_metrics.prom";
+  telemetry::write_prometheus(path, snap);
+  std::ifstream is(path);
+  ASSERT_TRUE(is.good());
+  std::string content((std::istreambuf_iterator<char>(is)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, telemetry::prometheus_text(snap));
+  std::remove(path.c_str());
+  EXPECT_THROW(telemetry::write_prometheus("/nonexistent-dir/x/m.prom", snap),
+               std::runtime_error);
+}
+
+TEST(Quantile, LinearInterpolationOnKnownDistribution) {
+  // 1..100, one observation each, decade buckets: every quantile is
+  // exactly recoverable under the uniform-within-bucket assumption.
+  telemetry::Histogram h({10, 20, 30, 40, 50, 60, 70, 80, 90, 100});
+  for (int v = 1; v <= 100; ++v) h.observe(static_cast<double>(v));
+  telemetry::HistogramSnapshot snap;
+  snap.upper_bounds = h.upper_bounds();
+  snap.bucket_counts = h.bucket_counts();
+  snap.count = h.count();
+  snap.sum = h.sum();
+
+  EXPECT_DOUBLE_EQ(snap.p50(), 50.0);
+  EXPECT_DOUBLE_EQ(snap.p90(), 90.0);
+  EXPECT_DOUBLE_EQ(snap.p99(), 99.0);
+  EXPECT_DOUBLE_EQ(snap.quantile(0.25), 25.0);
+  EXPECT_DOUBLE_EQ(snap.quantile(1.0), 100.0);
+  // q clamps into [0, 1].
+  EXPECT_DOUBLE_EQ(snap.quantile(2.0), snap.quantile(1.0));
+}
+
+TEST(Quantile, FirstBucketInterpolatesFromZero) {
+  telemetry::Histogram h({10.0});
+  h.observe(3.0);
+  telemetry::HistogramSnapshot snap;
+  snap.upper_bounds = h.upper_bounds();
+  snap.bucket_counts = h.bucket_counts();
+  snap.count = h.count();
+  // rank 0.5 of 1 observation, bucket (0, 10] -> 5.0.
+  EXPECT_DOUBLE_EQ(snap.quantile(0.5), 5.0);
+}
+
+TEST(Quantile, OverflowClampsToHighestFiniteBound) {
+  telemetry::Histogram h({1.0, 2.0});
+  h.observe(100.0);
+  h.observe(200.0);
+  telemetry::HistogramSnapshot snap;
+  snap.upper_bounds = h.upper_bounds();
+  snap.bucket_counts = h.bucket_counts();
+  snap.count = h.count();
+  EXPECT_DOUBLE_EQ(snap.p99(), 2.0);
+}
+
+TEST(Quantile, EmptyHistogramIsNaN) {
+  telemetry::HistogramSnapshot snap;
+  snap.upper_bounds = {1.0};
+  snap.bucket_counts = {0, 0};
+  EXPECT_TRUE(std::isnan(snap.quantile(0.5)));
+}
+
+}  // namespace

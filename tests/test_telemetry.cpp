@@ -7,6 +7,7 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -19,9 +20,11 @@
 #include "arbiterq/core/trainers.hpp"
 #include "arbiterq/data/pipeline.hpp"
 #include "arbiterq/device/presets.hpp"
+#include "arbiterq/exec/parallel.hpp"
 #include "arbiterq/report/jsonl.hpp"
 #include "arbiterq/telemetry/export.hpp"
 #include "arbiterq/telemetry/metrics.hpp"
+#include "arbiterq/telemetry/profile.hpp"
 #include "arbiterq/telemetry/sink.hpp"
 #include "arbiterq/telemetry/trace.hpp"
 
@@ -161,6 +164,106 @@ TEST(Trace, SpanNestingOrderAndLinkage) {
   EXPECT_GE(events[0].start_ns, events[2].start_ns);
   EXPECT_LE(events[0].start_ns + events[0].duration_ns,
             events[2].start_ns + events[2].duration_ns);
+  buf.clear();
+}
+
+TEST(Trace, CrossThreadSpansAreRootsInTheirOwnLane) {
+  // The parent stack is thread-local: work fanned out to pool workers
+  // opens spans with no parent (fresh TLS), while the chunk the caller
+  // runs itself nests under the caller's open span. The Perfetto export
+  // keeps one lane per recording thread either way.
+  telemetry::set_telemetry_runtime_enabled(true);
+  telemetry::TraceBuffer& buf = telemetry::TraceBuffer::global();
+  buf.clear();
+  std::uint64_t outer_id = 0;
+  {
+    telemetry::ScopedSpan outer("t.cross.outer");
+    outer_id = outer.id();
+    exec::ExecPolicy policy;
+    policy.num_threads = 4;
+    policy.grain = 1;
+    exec::parallel_for(policy, 0, 8, [](std::size_t, std::size_t) {
+      telemetry::ScopedSpan chunk("t.cross.chunk");
+      // A nested span must link to its same-thread chunk parent.
+      telemetry::ScopedSpan nested("t.cross.nested");
+      EXPECT_EQ(nested.parent_id(), chunk.id());
+    });
+  }
+  const auto events = buf.snapshot();
+  std::uint64_t main_thread = 0;
+  for (const auto& e : events) {
+    if (e.name == "t.cross.outer") main_thread = e.thread_id;
+  }
+  // parallel_for wraps the fan-out in its own AQ_TRACE_SPAN on the
+  // caller thread — present only when the macros are compiled in.
+  std::uint64_t region_id = 0;
+  for (const auto& e : events) {
+    if (e.name == "exec.parallel.region") {
+      region_id = e.id;
+      EXPECT_EQ(e.parent_id, outer_id);
+      EXPECT_EQ(e.thread_id, main_thread);
+    }
+  }
+  const std::uint64_t caller_parent = region_id ? region_id : outer_id;
+  const std::uint32_t caller_depth = region_id ? 2u : 1u;
+  std::size_t chunks = 0;
+  std::set<std::uint64_t> threads;
+  for (const auto& e : events) {
+    threads.insert(e.thread_id);
+    if (e.name != "t.cross.chunk") continue;
+    ++chunks;
+    if (e.thread_id == main_thread) {
+      // Caller-participation chunk: nests under the caller's open spans.
+      EXPECT_EQ(e.parent_id, caller_parent);
+      EXPECT_EQ(e.depth, caller_depth);
+    } else {
+      // Pool-worker chunk: fresh TLS, comes out as a root.
+      EXPECT_EQ(e.parent_id, 0u);
+      EXPECT_EQ(e.depth, 0u);
+    }
+  }
+  EXPECT_GE(chunks, 1u);
+
+  // One thread_name metadata event per distinct recording thread, and
+  // every X event's tid stays inside [0, threads).
+  const std::string json = telemetry::chrome_trace_json(events);
+  std::size_t metadata = 0;
+  for (std::size_t pos = json.find("\"ph\":\"M\""); pos != std::string::npos;
+       pos = json.find("\"ph\":\"M\"", pos + 1)) {
+    ++metadata;
+  }
+  EXPECT_EQ(metadata, threads.size());
+  for (std::size_t t = 0; t < threads.size(); ++t) {
+    EXPECT_NE(json.find("\"tid\":" + std::to_string(t)), std::string::npos);
+  }
+  EXPECT_EQ(json.find("\"tid\":" + std::to_string(threads.size())),
+            std::string::npos);
+  buf.clear();
+}
+
+TEST(Trace, RuntimeSwitchMakesSpansAndMacrosInert) {
+  telemetry::TraceBuffer& buf = telemetry::TraceBuffer::global();
+  buf.clear();
+  telemetry::Counter& c =
+      telemetry::MetricsRegistry::global().counter("t.switch.counter");
+  const std::uint64_t before = c.value();
+
+  telemetry::set_telemetry_runtime_enabled(false);
+  {
+    telemetry::ScopedSpan span("t.switch.span");
+    EXPECT_EQ(span.id(), 0u);  // inert: no TLS push, nothing recorded
+    AQ_COUNTER_ADD("t.switch.counter", 5);
+    AQ_TRACE_SPAN("t.switch.macro");
+  }
+  EXPECT_EQ(buf.size(), 0u);
+  EXPECT_EQ(c.value(), before);
+
+  telemetry::set_telemetry_runtime_enabled(true);
+  {
+    telemetry::ScopedSpan span("t.switch.span");
+    EXPECT_NE(span.id(), 0u);
+  }
+  EXPECT_EQ(buf.size(), 1u);
   buf.clear();
 }
 
