@@ -36,6 +36,7 @@
 #include "arbiterq/math/rng.hpp"
 #include "arbiterq/qnn/executor.hpp"
 #include "arbiterq/qnn/model.hpp"
+#include "arbiterq/serve/runtime.hpp"
 #include "arbiterq/sim/adjoint.hpp"
 #include "arbiterq/sim/density_matrix.hpp"
 #include "arbiterq/sim/simulator.hpp"
@@ -664,6 +665,139 @@ int run_telemetry_ab_mode(const std::string& out_path) {
   return equivalent ? 0 : 2;
 }
 
+// ---------------------------------------------------------------------------
+// Serving mode (`--serving`): wall-clock the fleet serving runtime under
+// fault injection — async job queue, per-QPU workers, retry re-routing and
+// a mid-run QPU dropout with torus repartitioning — and record throughput
+// plus the latency histogram's p50/p99 in BENCH_perf.json. The workload
+// runs twice with the same seed; per-job outputs must be bit-identical
+// (exit code 2 otherwise), the serving determinism guarantee.
+
+int run_serving_mode(const std::string& out_path) {
+  std::printf("serving mode: fleet runtime under fault injection\n");
+  const data::BenchmarkCase bc{"iris", 2, 2};
+  const data::EncodedSplit split = data::prepare_case(bc, 42);
+  const qnn::QnnModel m(qnn::Backbone::kCRz, bc.num_qubits, bc.num_layers);
+  const int fleet_size = 6;
+  core::TrainConfig tcfg;
+  const core::DistributedTrainer trainer(
+      m, device::table3_fleet_subset(fleet_size, bc.num_qubits), tcfg);
+
+  // Per-QPU personalized weights (deterministic draws; the bench
+  // measures serving mechanics, not model quality).
+  math::Rng wrng(42);
+  std::vector<std::vector<double>> weights;
+  for (int q = 0; q < fleet_size; ++q) {
+    std::vector<double> w(static_cast<std::size_t>(m.num_weights()));
+    math::Rng qrng = wrng.split(static_cast<std::uint64_t>(q));
+    for (double& x : w) x = qrng.normal(0.0, 0.3);
+    weights.push_back(std::move(w));
+  }
+
+  const std::size_t n_jobs = 400;
+  const std::string fault_spec = "kill:1@120,transient:0.02,lag:8";
+  serve::FaultConfig fcfg = serve::FaultInjector::parse(fault_spec);
+  const serve::FaultInjector faults(static_cast<std::size_t>(fleet_size),
+                                    fcfg);
+
+  struct ServingRun {
+    std::vector<serve::JobResult> results;
+    serve::ServingReport report;
+    std::size_t epochs = 0;
+  };
+  const auto run_once = [&]() {
+    serve::ServeConfig sc;
+    sc.shots_per_job = 128;
+    sc.trajectories = 8;
+    sc.backoff_base_us = 5.0;  // keep the bench snappy
+    sc.backoff_max_us = 100.0;
+    // Size the queue for the whole workload: admission rejects depend on
+    // live occupancy and would break the run-to-run determinism check.
+    sc.queue_capacity = n_jobs * static_cast<std::size_t>(fleet_size);
+    serve::ServingRuntime runtime(trainer.executors(), weights,
+                                  trainer.behavioral_vectors(), sc,
+                                  &faults);
+    for (std::size_t i = 0; i < n_jobs; ++i) {
+      serve::JobSpec spec;
+      spec.features = split.test_features[i % split.test_features.size()];
+      spec.label = split.test_labels[i % split.test_labels.size()];
+      runtime.submit(spec);
+    }
+    runtime.drain();
+    ServingRun out;
+    out.results = runtime.results();
+    out.report = runtime.report();
+    out.epochs = runtime.epochs();
+    return out;
+  };
+
+  telemetry::MetricsRegistry::global().reset_values();
+  const ServingRun a = run_once();
+  double p50 = 0.0, p99 = 0.0, vp50 = 0.0, vp99 = 0.0;
+  for (const auto& h :
+       telemetry::MetricsRegistry::global().snapshot().histograms) {
+    if (h.name == "serve.job.latency_us") {
+      p50 = h.p50();
+      p99 = h.p99();
+    } else if (h.name == "serve.job.virtual_latency_us") {
+      vp50 = h.p50();
+      vp99 = h.p99();
+    }
+  }
+
+  // Determinism check: same seed, fresh runtime, bit-identical jobs.
+  const ServingRun b = run_once();
+  bool deterministic = a.results.size() == b.results.size();
+  if (deterministic) {
+    for (std::size_t i = 0; i < a.results.size(); ++i) {
+      deterministic &= a.results[i].status == b.results[i].status &&
+                       a.results[i].probability == b.results[i].probability &&
+                       a.results[i].retries == b.results[i].retries &&
+                       a.results[i].virtual_latency_us ==
+                           b.results[i].virtual_latency_us;
+    }
+  }
+
+  const serve::ServingReport& rep = a.report;
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"mode\": \"serving\",\n");
+  std::fprintf(f, "  \"fleet\": %d,\n  \"jobs\": %zu,\n", fleet_size,
+               n_jobs);
+  std::fprintf(f, "  \"shots_per_job\": 128,\n");
+  std::fprintf(f, "  \"faults\": \"%s\",\n", fault_spec.c_str());
+  std::fprintf(f, "  \"completed\": %zu,\n  \"rejected\": %zu,\n",
+               rep.completed, rep.rejected);
+  std::fprintf(f, "  \"expired\": %zu,\n  \"failed\": %zu,\n", rep.expired,
+               rep.failed);
+  std::fprintf(f, "  \"retries\": %llu,\n",
+               static_cast<unsigned long long>(rep.retries));
+  std::fprintf(f, "  \"dropouts_detected\": %zu,\n", rep.dropouts_detected);
+  std::fprintf(f, "  \"repartitions\": %zu,\n  \"epochs\": %zu,\n",
+               rep.repartitions, a.epochs);
+  std::fprintf(f, "  \"wall_seconds\": %.6f,\n", rep.wall_seconds);
+  std::fprintf(f, "  \"throughput_jobs_per_s\": %.2f,\n",
+               rep.throughput_jobs_per_s);
+  std::fprintf(f,
+               "  \"latency_us\": {\"wall_p50\": %.2f, \"wall_p99\": %.2f, "
+               "\"virtual_p50\": %.2f, \"virtual_p99\": %.2f},\n",
+               p50, p99, vp50, vp99);
+  std::fprintf(f, "  \"deterministic\": %s\n}\n",
+               deterministic ? "true" : "false");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  std::printf("serving: %zu jobs ok, %llu retries, %zu dropouts, "
+              "%.1f jobs/s, p50 %.1fus p99 %.1fus, deterministic=%s\n",
+              rep.completed,
+              static_cast<unsigned long long>(rep.retries),
+              rep.dropouts_detected, rep.throughput_jobs_per_s, p50, p99,
+              deterministic ? "yes" : "NO");
+  return deterministic ? 0 : 2;
+}
+
 }  // namespace
 
 // Expanded BENCHMARK_MAIN(): `--threads N` switches to the thread-scaling
@@ -677,6 +811,7 @@ int main(int argc, char** argv) {
   int scaling_epochs = 4;
   bool plan_ab = false;
   bool telemetry_ab = false;
+  bool serving = false;
   std::string scaling_out = "BENCH_perf.json";
   // Strip our flags before google-benchmark sees (and rejects) them.
   std::vector<char*> passthrough;
@@ -692,6 +827,8 @@ int main(int argc, char** argv) {
       plan_ab = true;
     } else if (flag == "--telemetry-ab") {
       telemetry_ab = true;
+    } else if (flag == "--serving") {
+      serving = true;
     } else if (flag == "--scaling-fleet") {
       if (const char* v = next()) scaling_fleet = std::atoi(v);
     } else if (flag == "--scaling-epochs") {
@@ -705,6 +842,8 @@ int main(int argc, char** argv) {
   int rc = 0;
   if (plan_ab) {
     rc = run_plan_ab_mode(scaling_out);
+  } else if (serving) {
+    rc = run_serving_mode(scaling_out);
   } else if (telemetry_ab) {
     rc = run_telemetry_ab_mode(scaling_out);
   } else if (scaling_threads != 0) {

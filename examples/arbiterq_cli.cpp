@@ -21,6 +21,7 @@
 #include "arbiterq/exec/parallel.hpp"
 #include "arbiterq/monitor/health.hpp"
 #include "arbiterq/report/csv.hpp"
+#include "arbiterq/serve/runtime.hpp"
 #include "arbiterq/telemetry/export.hpp"
 #include "arbiterq/telemetry/metrics.hpp"
 #include "arbiterq/telemetry/profile.hpp"
@@ -45,6 +46,11 @@ struct CliOptions {
   int threads = 0;
   bool mitigate = false;
   bool infer = false;
+  bool serve = false;
+  std::string faults;
+  int jobs = 0;
+  double deadline_us = 0.0;
+  int queue_cap = 1024;
   std::string csv;
   std::string telemetry;
   std::string health;
@@ -70,6 +76,17 @@ void usage() {
       "              hardware_concurrency                (default 0)\n"
       "  --mitigate  enable depolarizing error mitigation\n"
       "  --infer     run shot-oriented + batch inference afterwards\n"
+      "  --serve     run the fleet serving runtime afterwards: test-set\n"
+      "              jobs through the async queue + per-QPU workers\n"
+      "  --faults SPEC  fault injection for --serve; comma-separated\n"
+      "              kill:<qpu>@<job>, drop:<p>[@<horizon>],\n"
+      "              transient:<p>, spike:<p>x<mult>, lag:<jobs>,\n"
+      "              seed:<n>   e.g. \"kill:3@40,transient:0.05\"\n"
+      "  --jobs N    serving jobs to submit (default: test-set size)\n"
+      "  --deadline-us X  per-job modeled-time deadline for --serve\n"
+      "              (default 0 = none)\n"
+      "  --queue-cap N  serving admission bound in shot-batches\n"
+      "              (default 1024)\n"
       "  --csv PATH  dump the loss curve as CSV\n"
       "  --telemetry PATH  dump telemetry (epoch/assignment records,\n"
       "              metric counters, trace spans) as JSONL\n"
@@ -92,6 +109,16 @@ bool parse(int argc, char** argv, CliOptions* opts) {
       opts->mitigate = true;
     } else if (flag == "--infer") {
       opts->infer = true;
+    } else if (flag == "--serve") {
+      opts->serve = true;
+    } else if (flag == "--faults") {
+      if (const char* v = next()) opts->faults = v;
+    } else if (flag == "--jobs") {
+      if (const char* v = next()) opts->jobs = std::atoi(v);
+    } else if (flag == "--deadline-us") {
+      if (const char* v = next()) opts->deadline_us = std::atof(v);
+    } else if (flag == "--queue-cap") {
+      if (const char* v = next()) opts->queue_cap = std::atoi(v);
     } else if (flag == "--dataset") {
       if (const char* v = next()) opts->dataset = v;
     } else if (flag == "--backbone") {
@@ -239,6 +266,51 @@ int main(int argc, char** argv) {
                 "batch loss %.4f (throughput %.1f/s)\n",
                 shot.mean_loss, shot.throughput_tasks_per_s,
                 batch.mean_loss, batch.throughput_tasks_per_s);
+  }
+
+  if (opts.serve) {
+    serve::ServeConfig sc;
+    sc.queue_capacity = static_cast<std::size_t>(
+        opts.queue_cap > 0 ? opts.queue_cap : 1024);
+    sc.deadline_us = opts.deadline_us;
+    sc.seed = opts.seed;
+    std::unique_ptr<serve::FaultInjector> faults;
+    if (!opts.faults.empty()) {
+      faults = std::make_unique<serve::FaultInjector>(
+          static_cast<std::size_t>(opts.fleet),
+          serve::FaultInjector::parse(opts.faults));
+    }
+    serve::ServingRuntime runtime(trainer.executors(), r.weights,
+                                  trainer.behavioral_vectors(), sc,
+                                  faults.get(), mon.get());
+    const std::size_t n_jobs =
+        opts.jobs > 0 ? static_cast<std::size_t>(opts.jobs)
+                      : split.test_features.size();
+    for (std::size_t i = 0; i < n_jobs; ++i) {
+      serve::JobSpec spec;
+      spec.features = split.test_features[i % split.test_features.size()];
+      spec.label = split.test_labels[i % split.test_labels.size()];
+      runtime.submit(spec);
+    }
+    runtime.drain();
+    const serve::ServingReport sr = runtime.report();
+    std::printf(
+        "serving: %zu jobs (%zu ok, %zu rejected, %zu expired, %zu "
+        "failed) | %llu retries | %zu dropouts, %zu repartitions, "
+        "%zu epochs | %.1f jobs/s\n",
+        sr.submitted, sr.completed, sr.rejected, sr.expired, sr.failed,
+        static_cast<unsigned long long>(sr.retries), sr.dropouts_detected,
+        sr.repartitions, runtime.epochs(), sr.throughput_jobs_per_s);
+    const telemetry::MetricsSnapshot snap =
+        telemetry::MetricsRegistry::global().snapshot();
+    for (const telemetry::HistogramSnapshot& h : snap.histograms) {
+      if (h.name == "serve.job.latency_us" && h.count > 0) {
+        std::printf("serving latency: p50 %.1fus p99 %.1fus (wall, "
+                    "%llu jobs)\n",
+                    h.p50(), h.p99(),
+                    static_cast<unsigned long long>(h.count));
+      }
+    }
   }
 
   if (tel) {

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # The one-command CI entry: tier-1 build + full ctest in the default
-# configuration, then the three hardening passes — ThreadSanitizer over
-# the parallel engine, AddressSanitizer over the full suite, and the
+# configuration, then the hardening passes — ThreadSanitizer over the
+# parallel engine and serving runtime, AddressSanitizer over the
+# exec-plan hot path, UBSan over the full suite, and the
 # ARBITERQ_TELEMETRY=OFF build. Each pass uses its own build directory,
 # so a warm default build is never poisoned by sanitizer or option
 # flags.
@@ -22,6 +23,9 @@ echo "==> tier 2: ThreadSanitizer"
 
 echo "==> tier 2: AddressSanitizer"
 "${repo_root}/scripts/check_asan.sh"
+
+echo "==> tier 2: UndefinedBehaviorSanitizer (full suite)"
+"${repo_root}/scripts/check_ubsan.sh"
 
 echo "==> tier 2: ARBITERQ_TELEMETRY=OFF"
 "${repo_root}/scripts/check_telemetry_off.sh"

@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Build the tree with ThreadSanitizer and run the tests that exercise
 # the parallel execution engine: the ThreadPool/parallel_for unit tests,
-# the parallel-vs-serial equivalence suite, the statevector kernels and
-# the distributed trainers. Guards the engine's data-race freedom — the
-# determinism contract in arbiterq/exec/parallel.hpp is only meaningful
-# if the disjoint-write claims actually hold under TSan.
+# the parallel-vs-serial equivalence suite, the statevector kernels,
+# the distributed trainers, and the fleet serving runtime (queue,
+# workers, retry re-routing). Guards data-race freedom — the determinism
+# contracts in arbiterq/exec/parallel.hpp and arbiterq/serve/runtime.hpp
+# are only meaningful if the disjoint-write claims actually hold under
+# TSan.
 #
 # Usage: scripts/check_tsan.sh [build-dir]
 set -euo pipefail
@@ -18,7 +20,7 @@ cmake -B "${build_dir}" -S "${repo_root}" \
   -DCMAKE_CXX_FLAGS="${tsan_flags}" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
 
-targets=(test_exec test_parallel_equivalence test_statevector test_trainers)
+targets=(test_exec test_parallel_equivalence test_statevector test_trainers test_serve)
 cmake --build "${build_dir}" -j "$(nproc)" --target "${targets[@]}"
 
 # Force the parallel code paths even on single-core CI hosts.
@@ -27,4 +29,4 @@ for t in "${targets[@]}"; do
   ctest --test-dir "${build_dir}" --output-on-failure -R "^${t}\$"
 done
 
-echo "OK: parallel execution engine is TSan-clean (${targets[*]})"
+echo "OK: parallel engine and serving runtime are TSan-clean (${targets[*]})"

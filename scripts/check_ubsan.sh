@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Build the tree with UndefinedBehaviorSanitizer alone (no ASan) and run
+# the full test suite. The ASan pass (check_asan.sh) bundles UBSan but
+# only over the exec-plan hot-path targets; this pass sweeps everything —
+# including the integer-heavy serving runtime (job-id epoch arithmetic,
+# shot splits, backoff shifts) and the fault injector's RNG salting —
+# with trap-on-error semantics so silent wraparound or bad shifts fail
+# the run instead of folding into a plausible number.
+#
+# Usage: scripts/check_ubsan.sh [build-dir]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build-ubsan}"
+
+ubsan_flags="-fsanitize=undefined -fno-sanitize-recover=undefined -fno-omit-frame-pointer -g -O1"
+cmake -B "${build_dir}" -S "${repo_root}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="${ubsan_flags}" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=undefined"
+
+cmake --build "${build_dir}" -j "$(nproc)"
+
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)"
+
+echo "OK: full test suite is UBSan-clean"

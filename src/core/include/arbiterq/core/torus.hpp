@@ -51,4 +51,17 @@ TorusPartition build_torus_partition(
     const std::vector<BehavioralVector>& behavioral,
     const std::vector<std::vector<double>>& model_vectors, int num_tori = 0);
 
+/// Degradation-time rebuild: partition only the surviving fleet subset
+/// (`alive` holds global QPU indices into `behavioral`/`model_vectors`,
+/// ascending). The returned partition's `tori` contain *global* QPU
+/// indices again, so schedulers keep addressing the full fleet; the
+/// coordinate/phase fields are indexed by position in `alive`.
+/// num_tori <= 0 selects default_torus_count(alive.size()); an explicit
+/// request is clamped to the survivor count. Throws when `alive` is
+/// empty or names an unknown QPU.
+TorusPartition repartition_alive(
+    const std::vector<BehavioralVector>& behavioral,
+    const std::vector<std::vector<double>>& model_vectors,
+    const std::vector<int>& alive, int num_tori = 0);
+
 }  // namespace arbiterq::core

@@ -95,4 +95,36 @@ TorusPartition build_torus_partition(
   return out;
 }
 
+TorusPartition repartition_alive(
+    const std::vector<BehavioralVector>& behavioral,
+    const std::vector<std::vector<double>>& model_vectors,
+    const std::vector<int>& alive, int num_tori) {
+  if (alive.empty()) {
+    throw std::invalid_argument("repartition_alive: no survivors");
+  }
+  if (behavioral.size() != model_vectors.size()) {
+    throw std::invalid_argument("repartition_alive: input mismatch");
+  }
+  std::vector<BehavioralVector> sub_b;
+  std::vector<std::vector<double>> sub_m;
+  sub_b.reserve(alive.size());
+  sub_m.reserve(alive.size());
+  for (int q : alive) {
+    if (q < 0 || static_cast<std::size_t>(q) >= behavioral.size()) {
+      throw std::invalid_argument("repartition_alive: unknown QPU");
+    }
+    sub_b.push_back(behavioral[static_cast<std::size_t>(q)]);
+    sub_m.push_back(model_vectors[static_cast<std::size_t>(q)]);
+  }
+  if (num_tori <= 0) num_tori = default_torus_count(alive.size());
+  num_tori = std::min<int>(num_tori, static_cast<int>(alive.size()));
+  AQ_COUNTER_ADD("core.torus.repartitions", 1);
+  TorusPartition out = build_torus_partition(sub_b, sub_m, num_tori);
+  // Map the subset indices back to global QPU ids.
+  for (auto& torus : out.tori) {
+    for (int& q : torus) q = alive[static_cast<std::size_t>(q)];
+  }
+  return out;
+}
+
 }  // namespace arbiterq::core

@@ -89,6 +89,15 @@ void FleetHealthMonitor::on_epoch(const telemetry::EpochQpuRecord& record) {
   have_online_[i] = true;
 }
 
+void FleetHealthMonitor::observe_membership(int qpu, bool online) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (qpu < 0 || static_cast<std::size_t>(qpu) >= online_.size()) return;
+  const auto i = static_cast<std::size_t>(qpu);
+  if (have_online_[i] && online_[i] != online) ++churn_flips_[i];
+  online_[i] = online;
+  have_online_[i] = true;
+}
+
 void FleetHealthMonitor::on_assignment(
     const telemetry::AssignmentRecord& record) {
   (void)record;

@@ -145,6 +145,11 @@ class FleetHealthMonitor final : public telemetry::TrainingTelemetry {
   void on_epoch(const telemetry::EpochQpuRecord& record) override;
   /// Inference assignments carry no health signal (yet); counted only.
   void on_assignment(const telemetry::AssignmentRecord& record) override;
+  /// Membership-change event outside a training epoch (the serving
+  /// runtime's dropout detection): updates the online/churn tally only,
+  /// leaving the convergence tracker untouched. Out-of-range QPUs are
+  /// ignored, like on_epoch.
+  void observe_membership(int qpu, bool online);
 
   /// Calibration baseline the drift distances are measured against.
   void set_baseline(const std::vector<core::BehavioralVector>& vectors);

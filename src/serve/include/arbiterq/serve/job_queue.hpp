@@ -1,0 +1,111 @@
+#pragma once
+// Bounded, priority-aware shot-batch queue behind the fleet serving
+// runtime. The queue is laned: every QPU worker pops only the lane that
+// targets its device, so a batch routed (or re-routed) to QPU q is
+// executed by q's worker and nobody else.
+//
+// Admission control: try_push enforces a global capacity across all
+// lanes and fails (backpressure) when the runtime is saturated — the
+// caller turns that into a rejected job. Retries and re-routes of
+// *already admitted* work go through push_retry, which bypasses the
+// bound: admitted work is never dropped because the fleet is busy.
+//
+// Graceful drain: close() stops admissions; workers keep popping until
+// every lane is empty AND no popped batch is still in flight (a worker
+// holding a batch may yet re-route it into another lane), then every
+// blocked pop returns false and the workers exit. The in-flight count
+// is maintained by the pop/task_done pairing.
+
+#include <cstdint>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+namespace arbiterq::serve {
+
+enum class JobPriority { kLow = 0, kNormal = 1, kHigh = 2 };
+
+/// One unit of queued work: a slice of a job's shot budget bound for a
+/// specific QPU. `slot` is the batch's fixed aggregation index within
+/// its job (results fold in slot order, independent of completion
+/// order); `excluded` accumulates the QPUs that already failed this
+/// batch so the retry policy never routes back to them.
+struct ShotBatch {
+  std::uint64_t job = 0;
+  std::size_t slot = 0;
+  int qpu = 0;
+  int shots = 0;
+  int attempt = 0;
+  JobPriority priority = JobPriority::kNormal;
+  std::vector<int> excluded;
+};
+
+class JobQueue {
+ public:
+  /// `num_lanes` = fleet size; `capacity` bounds the *admitted* batches
+  /// resident across all lanes (retries ride above the bound).
+  JobQueue(std::size_t num_lanes, std::size_t capacity);
+
+  JobQueue(const JobQueue&) = delete;
+  JobQueue& operator=(const JobQueue&) = delete;
+
+  /// Admission path. False when the queue is full or closed.
+  bool try_push(ShotBatch batch);
+  /// Atomic job admission: either every batch is enqueued or none is
+  /// (false when the batches don't all fit, or the queue is closed).
+  bool try_push_all(std::vector<ShotBatch> batches);
+  /// Retry/re-route path for already-admitted work: always accepted,
+  /// even above capacity or after close().
+  void push_retry(ShotBatch batch);
+
+  /// Block until a batch is available in `lane`, the queue has fully
+  /// drained after close() (returns false), or abort() was called.
+  /// A successful pop marks the batch in flight; the worker must call
+  /// task_done() exactly once after the batch reaches a terminal state
+  /// (executed, expired, failed) or was re-routed via push_retry.
+  bool pop(std::size_t lane, ShotBatch* out);
+  /// Balance a successful pop once the popped batch is finished with.
+  void task_done();
+
+  /// Stop admitting; pending work still drains.
+  void close();
+  /// Emergency stop: wake every popper immediately (pending batches are
+  /// abandoned). Used by the runtime destructor.
+  void abort();
+
+  bool closed() const;
+  /// Batches resident across all lanes right now.
+  std::size_t depth() const;
+  std::size_t lane_depth(std::size_t lane) const;
+  std::size_t rejected() const;
+
+ private:
+  // One FIFO per (lane, priority); pop scans high -> low priority.
+  static constexpr int kPriorities = 3;
+
+  /// Queue entry: only admission-path batches count against capacity
+  /// while resident; retries ride above the bound.
+  struct Entry {
+    bool admitted = false;
+    ShotBatch batch;
+  };
+
+  bool drained_locked() const {
+    return closed_ && total_depth_ == 0 && in_flight_ == 0;
+  }
+  void note_depth_locked();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::deque<Entry>> lanes_;  ///< num_lanes * kPriorities
+  std::size_t capacity_;
+  std::size_t admitted_depth_ = 0;  ///< try_push batches still resident
+  std::size_t total_depth_ = 0;
+  std::size_t in_flight_ = 0;
+  std::size_t rejected_ = 0;
+  bool closed_ = false;
+  bool aborted_ = false;
+};
+
+}  // namespace arbiterq::serve

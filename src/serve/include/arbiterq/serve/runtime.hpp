@@ -1,0 +1,272 @@
+#pragma once
+// ServingRuntime: the long-running fleet serving loop layered on the
+// torus scheduler. Where core::ShotOrientedScheduler answers one
+// synchronous batch of tasks, the runtime admits jobs continuously,
+// executes them on per-QPU worker threads, retries around failures and
+// degrades gracefully when QPUs drop out of the fleet.
+//
+// Lifecycle: construct (workers start unless config.autostart is
+// false) -> submit() jobs -> drain() (stops admissions, finishes every
+// admitted job, joins the workers) -> results()/report().
+//
+// Data path per job:
+//  1. submit() routes the job to a torus — weighted round-robin over
+//     the tori of the job's *routing-epoch* partition, proportional to
+//     torus throughput — and splits its shot budget across the torus
+//     members by shot rate (exactly the §IV split), one ShotBatch per
+//     member.
+//  2. The batches are admitted atomically into the bounded JobQueue
+//     (all-or-nothing backpressure: a saturated queue rejects the whole
+//     job) and each QPU worker pops its own lane.
+//  3. A worker executes a batch through the QnnExecutor / ExecPlan path
+//     (sampled_probability), or hits an injected fault: a transient
+//     failure or a dead QPU re-routes the batch to another torus member
+//     with exponential backoff + deterministic jitter, excluding every
+//     QPU that already failed it. Dead-QPU detection feeds the
+//     FleetHealthMonitor and triggers a torus repartition of the
+//     surviving fleet (core::repartition_alive) for later jobs.
+//  4. The last finishing batch folds the job's slot results *in slot
+//     order* (shot-weighted average — the §IV noise-compensation step),
+//     computes the loss, and records latency histograms.
+//
+// Determinism: every execution RNG, fault decision, re-route target and
+// backoff amount is a pure function of (seed, job id, slot, attempt),
+// and per-job aggregation folds fixed slots in index order — so per-job
+// results are bit-identical across runs and thread schedules. Two
+// clocks exist: *modeled* hardware time (shots x shot latency x spike
+// multiplier + backoff), which is deterministic and is what deadlines
+// meter, and wall-clock time, which only feeds the latency histograms.
+// Admission rejects are the one real-time effect: they depend on live
+// queue occupancy, so determinism is guaranteed for the admitted
+// sequence (size the queue for the workload when reproducibility
+// matters).
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "arbiterq/core/torus.hpp"
+#include "arbiterq/math/rng.hpp"
+#include "arbiterq/monitor/health.hpp"
+#include "arbiterq/qnn/executor.hpp"
+#include "arbiterq/serve/fault_injector.hpp"
+#include "arbiterq/serve/job_queue.hpp"
+
+namespace arbiterq::serve {
+
+struct ServeConfig {
+  int shots_per_job = 256;
+  int trajectories = 16;
+  qnn::LossKind loss = qnn::LossKind::kMse;
+  /// Admission bound on resident shot-batches across the fleet.
+  std::size_t queue_capacity = 1024;
+  /// Re-routes allowed per shot-batch before it counts as failed.
+  int max_retries = 4;
+  /// Default per-job deadline on *modeled* hardware time (us); 0 = no
+  /// deadline. JobSpec::deadline_us >= 0 overrides.
+  double deadline_us = 0.0;
+  /// Exponential backoff for retried batches: attempt k sleeps
+  /// base * 2^k * jitter (jitter uniform in [0.5, 1.5), seeded), capped.
+  /// The amount is charged to the batch's modeled time and slept for
+  /// real (capped by backoff_max_us) on the worker.
+  double backoff_base_us = 50.0;
+  double backoff_max_us = 5000.0;
+  /// Tori per partition; 0 = core::default_torus_count of the
+  /// surviving fleet.
+  int num_tori = 0;
+  std::uint64_t seed = 99;
+  /// Spawn the workers in the constructor. Disable to stage a
+  /// backpressure scenario (submit before start()).
+  bool autostart = true;
+};
+
+enum class JobStatus { kPending, kOk, kRejected, kExpired, kFailed };
+
+std::string job_status_name(JobStatus status);
+
+struct JobSpec {
+  std::vector<double> features;  ///< encoded, radians
+  int label = 0;
+  JobPriority priority = JobPriority::kNormal;
+  /// Modeled-time deadline override; < 0 uses ServeConfig::deadline_us.
+  double deadline_us = -1.0;
+};
+
+struct JobResult {
+  std::uint64_t id = 0;
+  JobStatus status = JobStatus::kPending;
+  /// Shot-weighted torus-averaged P(readout = 1) over succeeded slots.
+  double probability = 0.5;
+  double loss = 0.0;
+  int retries = 0;       ///< re-routes across all of the job's batches
+  int batches = 0;       ///< shot-batch slots the job was split into
+  /// Modeled hardware latency: max over the job's batch chains (the
+  /// batches run on different QPUs in parallel).
+  double virtual_latency_us = 0.0;
+  /// Measured submit-to-finalize wall time (not deterministic).
+  double wall_latency_us = 0.0;
+  std::size_t torus = 0;  ///< torus within the routing epoch's partition
+  std::size_t epoch = 0;  ///< membership epoch the job was routed under
+};
+
+/// Aggregate accounting after drain().
+struct ServingReport {
+  std::size_t submitted = 0;
+  std::size_t admitted = 0;
+  std::size_t rejected = 0;
+  std::size_t completed = 0;  ///< status == kOk
+  std::size_t expired = 0;
+  std::size_t failed = 0;
+  std::uint64_t retries = 0;
+  std::size_t dropouts_detected = 0;
+  std::size_t repartitions = 0;
+  std::vector<double> qpu_shots;    ///< executed shots per QPU
+  std::vector<double> qpu_busy_us;  ///< modeled busy time per QPU
+  double wall_seconds = 0.0;        ///< first submit -> drain complete
+  double throughput_jobs_per_s = 0.0;
+};
+
+class ServingRuntime {
+ public:
+  /// `executors` must outlive the runtime. `weights[i]` is the model
+  /// QPU i deploys; `behavioral` are the calibration-time behavioral
+  /// vectors (both are what degradation-time repartitions rebuild
+  /// from). `faults`/`monitor` are optional, non-owning, and must
+  /// outlive the runtime.
+  ServingRuntime(const std::vector<qnn::QnnExecutor>& executors,
+                 std::vector<std::vector<double>> weights,
+                 std::vector<core::BehavioralVector> behavioral,
+                 ServeConfig config,
+                 const FaultInjector* faults = nullptr,
+                 monitor::FleetHealthMonitor* monitor = nullptr);
+  ~ServingRuntime();
+
+  ServingRuntime(const ServingRuntime&) = delete;
+  ServingRuntime& operator=(const ServingRuntime&) = delete;
+
+  /// Spawn the per-QPU workers (idempotent; no-op after drain()).
+  void start();
+  /// Route + admit one job. Returns the job id, or std::nullopt when
+  /// admission control rejected it (the rejection still occupies a
+  /// results() row). Thread-safe.
+  std::optional<std::uint64_t> submit(const JobSpec& spec);
+  /// Stop admissions, finish every admitted job, join the workers.
+  /// Idempotent.
+  void drain();
+
+  const ServeConfig& config() const noexcept { return config_; }
+  std::size_t fleet_size() const noexcept { return executors_.size(); }
+  /// Jobs in submission order (rejected ones included); call after
+  /// drain().
+  std::vector<JobResult> results() const;
+  ServingReport report() const;
+  /// Membership epochs materialized so far (>= 1; epoch 0 is the full
+  /// fleet).
+  std::size_t epochs() const;
+  /// Torus partition of `epoch`; throws when that epoch was never
+  /// materialized.
+  core::TorusPartition partition(std::size_t epoch) const;
+  /// Queue introspection (live).
+  std::size_t queue_depth() const { return queue_.depth(); }
+
+ private:
+  /// Per-batch slot: written by at most one worker at a time (batch
+  /// ownership hands over through the queue), read by the finalizer
+  /// after the pending count hits zero.
+  struct BatchSlot {
+    enum class Outcome { kPending, kOk, kFailed, kExpired };
+    Outcome outcome = Outcome::kPending;
+    int qpu = -1;          ///< QPU that finished (or last failed) it
+    double probability = 0.0;
+    int shots = 0;
+    double chain_us = 0.0;  ///< modeled time of the whole retry chain
+  };
+
+  struct JobState {
+    std::uint64_t id = 0;
+    std::vector<double> features;
+    int label = 0;
+    JobPriority priority = JobPriority::kNormal;
+    double deadline_us = 0.0;  ///< resolved; 0 = none
+    std::size_t epoch = 0;
+    std::size_t torus = 0;
+    JobStatus status = JobStatus::kPending;
+    std::vector<BatchSlot> slots;
+    std::atomic<int> pending{0};
+    std::atomic<int> retries{0};
+    double submit_wall_us = 0.0;
+    // Finalize-time outputs (published by the release decrement of
+    // `pending`, read after drain()).
+    double probability = 0.5;
+    double loss = 0.0;
+    double virtual_latency_us = 0.0;
+    double wall_latency_us = 0.0;
+  };
+
+  void worker_main(int qpu);
+  void process_batch(int qpu, ShotBatch batch);
+  /// Re-route or fail a batch after `qpu` failed it. `backoff` charges
+  /// and sleeps the exponential-backoff amount (dropouts re-route
+  /// immediately).
+  void reroute(JobState& job, ShotBatch batch, int failed_qpu,
+               bool backoff);
+  void complete_slot(JobState& job);
+  void finalize(JobState& job);
+  /// Record a detected dropout once (counter + monitor event).
+  void note_dropout(int qpu);
+  /// Materialize partitions/credits up to `epoch` (routing lock held).
+  void ensure_epoch_locked(std::size_t epoch);
+  /// Copy of a torus's member list (takes the routing lock).
+  std::vector<int> partition_members_locked_copy(std::size_t epoch,
+                                                 std::size_t torus) const;
+  JobState* job_ptr(std::uint64_t id);
+  bool dead(int qpu, std::uint64_t job) const {
+    return faults_ != nullptr && faults_->dropped(qpu, job);
+  }
+
+  const std::vector<qnn::QnnExecutor>& executors_;
+  std::vector<std::vector<double>> weights_;
+  std::vector<core::BehavioralVector> behavioral_;
+  ServeConfig config_;
+  const FaultInjector* faults_;
+  monitor::FleetHealthMonitor* monitor_;
+  math::Rng root_;
+  JobQueue queue_;
+
+  // Routing state (submission order defines all of it).
+  mutable std::mutex route_mu_;
+  std::uint64_t next_job_ = 0;
+  std::vector<core::TorusPartition> partitions_;  ///< by epoch
+  std::vector<std::vector<double>> torus_rate_;   ///< by epoch
+  std::vector<std::vector<double>> credit_;       ///< by epoch
+  double first_submit_wall_us_ = 0.0;
+
+  // Job store: deque gives stable element addresses; guarded only for
+  // push/index, the elements synchronize through their atomics.
+  mutable std::mutex jobs_mu_;
+  std::deque<JobState> jobs_;
+
+  // Dropout bookkeeping.
+  mutable std::mutex state_mu_;
+  std::vector<bool> dropout_noted_;
+  std::size_t dropouts_detected_ = 0;
+  std::size_t repartitions_ = 0;
+
+  // Per-QPU accounting: written only by that QPU's worker, read after
+  // the workers are joined.
+  std::vector<double> qpu_shots_;
+  std::vector<double> qpu_busy_us_;
+
+  std::vector<std::thread> workers_;
+  bool started_ = false;
+  bool drained_ = false;
+  double drain_wall_us_ = 0.0;
+};
+
+}  // namespace arbiterq::serve

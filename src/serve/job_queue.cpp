@@ -1,0 +1,152 @@
+#include "arbiterq/serve/job_queue.hpp"
+
+#include <stdexcept>
+
+#include "arbiterq/telemetry/metrics.hpp"
+
+namespace arbiterq::serve {
+
+JobQueue::JobQueue(std::size_t num_lanes, std::size_t capacity)
+    : lanes_(num_lanes * kPriorities), capacity_(capacity) {
+  if (num_lanes == 0) {
+    throw std::invalid_argument("JobQueue: no lanes");
+  }
+  if (capacity_ == 0) {
+    throw std::invalid_argument("JobQueue: zero capacity");
+  }
+}
+
+void JobQueue::note_depth_locked() {
+  AQ_GAUGE_SET("serve.queue.depth", static_cast<double>(total_depth_));
+}
+
+bool JobQueue::try_push(ShotBatch batch) {
+  const std::size_t lane = static_cast<std::size_t>(batch.qpu);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (lane * kPriorities >= lanes_.size()) {
+    throw std::out_of_range("JobQueue::try_push: bad lane");
+  }
+  if (closed_ || admitted_depth_ >= capacity_) {
+    ++rejected_;
+    AQ_COUNTER_ADD("serve.queue.rejected", 1);
+    return false;
+  }
+  const int pri = static_cast<int>(batch.priority);
+  lanes_[lane * kPriorities + static_cast<std::size_t>(pri)].push_back(
+      Entry{true, std::move(batch)});
+  ++admitted_depth_;
+  ++total_depth_;
+  note_depth_locked();
+  cv_.notify_all();
+  return true;
+}
+
+bool JobQueue::try_push_all(std::vector<ShotBatch> batches) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (closed_ || admitted_depth_ + batches.size() > capacity_) {
+    rejected_ += batches.size();
+    AQ_COUNTER_ADD("serve.queue.rejected", batches.size());
+    return false;
+  }
+  for (ShotBatch& batch : batches) {
+    const std::size_t lane = static_cast<std::size_t>(batch.qpu);
+    if (lane * kPriorities >= lanes_.size()) {
+      throw std::out_of_range("JobQueue::try_push_all: bad lane");
+    }
+    const int pri = static_cast<int>(batch.priority);
+    lanes_[lane * kPriorities + static_cast<std::size_t>(pri)].push_back(
+        Entry{true, std::move(batch)});
+    ++admitted_depth_;
+    ++total_depth_;
+  }
+  note_depth_locked();
+  cv_.notify_all();
+  return true;
+}
+
+void JobQueue::push_retry(ShotBatch batch) {
+  const std::size_t lane = static_cast<std::size_t>(batch.qpu);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (lane * kPriorities >= lanes_.size()) {
+    throw std::out_of_range("JobQueue::push_retry: bad lane");
+  }
+  const int pri = static_cast<int>(batch.priority);
+  lanes_[lane * kPriorities + static_cast<std::size_t>(pri)].push_back(
+      Entry{false, std::move(batch)});
+  ++total_depth_;
+  note_depth_locked();
+  cv_.notify_all();
+}
+
+bool JobQueue::pop(std::size_t lane, ShotBatch* out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (lane * kPriorities >= lanes_.size()) {
+    throw std::out_of_range("JobQueue::pop: bad lane");
+  }
+  for (;;) {
+    if (aborted_) return false;
+    for (int pri = kPriorities - 1; pri >= 0; --pri) {
+      auto& q = lanes_[lane * kPriorities + static_cast<std::size_t>(pri)];
+      if (!q.empty()) {
+        Entry e = std::move(q.front());
+        q.pop_front();
+        *out = std::move(e.batch);
+        --total_depth_;
+        if (e.admitted) --admitted_depth_;
+        ++in_flight_;
+        note_depth_locked();
+        return true;
+      }
+    }
+    if (drained_locked()) return false;
+    cv_.wait(lock);
+  }
+}
+
+void JobQueue::task_done() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (in_flight_ == 0) {
+    throw std::logic_error("JobQueue::task_done: nothing in flight");
+  }
+  --in_flight_;
+  if (drained_locked()) cv_.notify_all();
+}
+
+void JobQueue::close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
+  cv_.notify_all();
+}
+
+void JobQueue::abort() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
+  aborted_ = true;
+  cv_.notify_all();
+}
+
+bool JobQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+std::size_t JobQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_depth_;
+}
+
+std::size_t JobQueue::lane_depth(std::size_t lane) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t d = 0;
+  for (int pri = 0; pri < kPriorities; ++pri) {
+    d += lanes_[lane * kPriorities + static_cast<std::size_t>(pri)].size();
+  }
+  return d;
+}
+
+std::size_t JobQueue::rejected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rejected_;
+}
+
+}  // namespace arbiterq::serve

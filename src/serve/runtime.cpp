@@ -1,0 +1,545 @@
+#include "arbiterq/serve/runtime.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+
+#include "arbiterq/telemetry/metrics.hpp"
+#include "arbiterq/telemetry/trace.hpp"
+
+namespace arbiterq::serve {
+namespace {
+
+double wall_now_us() {
+  const auto t = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration<double, std::micro>(t).count();
+}
+
+}  // namespace
+
+std::string job_status_name(JobStatus status) {
+  switch (status) {
+    case JobStatus::kPending:
+      return "pending";
+    case JobStatus::kOk:
+      return "ok";
+    case JobStatus::kRejected:
+      return "rejected";
+    case JobStatus::kExpired:
+      return "expired";
+    case JobStatus::kFailed:
+      return "failed";
+  }
+  throw std::logic_error("job_status_name: unknown status");
+}
+
+ServingRuntime::ServingRuntime(
+    const std::vector<qnn::QnnExecutor>& executors,
+    std::vector<std::vector<double>> weights,
+    std::vector<core::BehavioralVector> behavioral, ServeConfig config,
+    const FaultInjector* faults, monitor::FleetHealthMonitor* monitor)
+    : executors_(executors),
+      weights_(std::move(weights)),
+      behavioral_(std::move(behavioral)),
+      config_(config),
+      faults_(faults),
+      monitor_(monitor),
+      root_(config.seed),
+      queue_(executors.empty() ? 1 : executors.size(),
+             config.queue_capacity == 0 ? 1 : config.queue_capacity),
+      dropout_noted_(executors.size(), false),
+      qpu_shots_(executors.size(), 0.0),
+      qpu_busy_us_(executors.size(), 0.0) {
+  if (executors_.empty()) {
+    throw std::invalid_argument("ServingRuntime: empty fleet");
+  }
+  if (weights_.size() != executors_.size() ||
+      behavioral_.size() != executors_.size()) {
+    throw std::invalid_argument(
+        "ServingRuntime: weights/behavioral size mismatch");
+  }
+  if (config_.shots_per_job <= 0) {
+    throw std::invalid_argument("ServingRuntime: shots_per_job must be > 0");
+  }
+  // Epoch 0: the full fleet's partition, built eagerly so routing never
+  // races with lazy construction elsewhere.
+  std::vector<int> all(executors_.size());
+  for (std::size_t q = 0; q < all.size(); ++q) all[q] = static_cast<int>(q);
+  partitions_.push_back(core::repartition_alive(behavioral_, weights_, all,
+                                                config_.num_tori));
+  torus_rate_.emplace_back();
+  credit_.emplace_back();
+  for (const auto& torus : partitions_[0].tori) {
+    double rate = 0.0;
+    for (int q : torus) rate += executors_[static_cast<std::size_t>(q)]
+                                    .shot_rate();
+    torus_rate_[0].push_back(rate);
+    credit_[0].push_back(0.0);
+  }
+  AQ_GAUGE_SET("serve.fleet.alive", static_cast<double>(executors_.size()));
+  if (config_.autostart) start();
+}
+
+ServingRuntime::~ServingRuntime() {
+  if (started_ && !drained_) {
+    queue_.abort();
+    for (std::thread& t : workers_) {
+      if (t.joinable()) t.join();
+    }
+    drained_ = true;
+  }
+}
+
+void ServingRuntime::start() {
+  if (started_ || drained_) return;
+  started_ = true;
+  workers_.reserve(executors_.size());
+  for (std::size_t q = 0; q < executors_.size(); ++q) {
+    workers_.emplace_back(&ServingRuntime::worker_main, this,
+                          static_cast<int>(q));
+  }
+}
+
+std::optional<std::uint64_t> ServingRuntime::submit(const JobSpec& spec) {
+  std::unique_lock<std::mutex> route(route_mu_);
+  const std::uint64_t id = next_job_++;
+  if (first_submit_wall_us_ == 0.0) first_submit_wall_us_ = wall_now_us();
+
+  const std::size_t epoch =
+      faults_ != nullptr ? faults_->routing_epoch(id) : 0;
+  ensure_epoch_locked(epoch);
+  const core::TorusPartition& part = partitions_[epoch];
+
+  // Torus choice: credit-based largest-remainder weighted round-robin,
+  // proportional to torus shot throughput (the scheduler's
+  // batch_based_inference discipline, lifted to the serving plane).
+  std::vector<double>& credit = credit_[epoch];
+  const std::vector<double>& rate = torus_rate_[epoch];
+  double total_rate = 0.0;
+  for (double r : rate) total_rate += r;
+  std::size_t pick = 0;
+  if (total_rate > 0.0 && !rate.empty()) {
+    for (std::size_t t = 0; t < rate.size(); ++t) {
+      credit[t] += rate[t] / total_rate;
+    }
+    for (std::size_t t = 1; t < credit.size(); ++t) {
+      if (credit[t] > credit[pick]) pick = t;
+    }
+    credit[pick] -= 1.0;
+  }
+  const std::vector<int>& members = part.tori[pick];
+
+  // Shot split across the torus by shot-rate share (§IV): round, last
+  // member absorbs the remainder, zero-shot members are skipped.
+  double member_rate = 0.0;
+  for (int q : members) {
+    member_rate += executors_[static_cast<std::size_t>(q)].shot_rate();
+  }
+  std::vector<std::pair<int, int>> split;  // (qpu, shots)
+  int remaining = config_.shots_per_job;
+  for (std::size_t i = 0; i < members.size() && remaining > 0; ++i) {
+    const int q = members[i];
+    int shots;
+    if (i + 1 == members.size()) {
+      shots = remaining;
+    } else {
+      const double share =
+          member_rate > 0.0
+              ? executors_[static_cast<std::size_t>(q)].shot_rate() /
+                    member_rate
+              : 1.0 / static_cast<double>(members.size());
+      shots = static_cast<int>(
+          std::lround(share * config_.shots_per_job));
+      shots = std::clamp(shots, 0, remaining);
+    }
+    if (shots <= 0) continue;
+    remaining -= shots;
+    split.emplace_back(q, shots);
+  }
+  if (split.empty()) {
+    split.emplace_back(members.front(), config_.shots_per_job);
+  }
+
+  // Create the job row before admission so a rejection still records.
+  JobState* job;
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    jobs_.emplace_back();
+    job = &jobs_.back();
+  }
+  job->id = id;
+  job->features = spec.features;
+  job->label = spec.label;
+  job->priority = spec.priority;
+  job->deadline_us =
+      spec.deadline_us >= 0.0 ? spec.deadline_us : config_.deadline_us;
+  job->epoch = epoch;
+  job->torus = pick;
+  job->slots.resize(split.size());
+  job->pending.store(static_cast<int>(split.size()),
+                     std::memory_order_release);
+  job->submit_wall_us = wall_now_us();
+
+  std::vector<ShotBatch> batches;
+  batches.reserve(split.size());
+  for (std::size_t s = 0; s < split.size(); ++s) {
+    ShotBatch b;
+    b.job = id;
+    b.slot = s;
+    b.qpu = split[s].first;
+    b.shots = split[s].second;
+    b.attempt = 0;
+    b.priority = spec.priority;
+    batches.push_back(std::move(b));
+  }
+  route.unlock();
+
+  if (!queue_.try_push_all(std::move(batches))) {
+    job->status = JobStatus::kRejected;
+    job->pending.store(0, std::memory_order_release);
+    AQ_COUNTER_ADD("serve.jobs.rejected", 1);
+    return std::nullopt;
+  }
+  AQ_COUNTER_ADD("serve.jobs.admitted", 1);
+  return id;
+}
+
+void ServingRuntime::ensure_epoch_locked(std::size_t epoch) {
+  while (partitions_.size() <= epoch) {
+    const std::size_t next = partitions_.size();
+    const std::vector<int> alive = faults_->alive_at_epoch(next);
+    // The dropouts that define this epoch are now router-visible:
+    // record them (monitor + counters) exactly once.
+    for (std::size_t i = 0; i < next && i < faults_->dropouts().size();
+         ++i) {
+      note_dropout(faults_->dropouts()[i].qpu);
+    }
+    partitions_.push_back(core::repartition_alive(behavioral_, weights_,
+                                                  alive, config_.num_tori));
+    torus_rate_.emplace_back();
+    credit_.emplace_back();
+    for (const auto& torus : partitions_[next].tori) {
+      double rate = 0.0;
+      for (int q : torus) {
+        rate += executors_[static_cast<std::size_t>(q)].shot_rate();
+      }
+      torus_rate_[next].push_back(rate);
+      credit_[next].push_back(0.0);
+    }
+    {
+      std::lock_guard<std::mutex> lock(state_mu_);
+      ++repartitions_;
+    }
+    AQ_COUNTER_ADD("serve.repartitions", 1);
+    AQ_GAUGE_SET("serve.fleet.alive", static_cast<double>(alive.size()));
+  }
+}
+
+void ServingRuntime::note_dropout(int qpu) {
+  bool fresh = false;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    const auto i = static_cast<std::size_t>(qpu);
+    if (i < dropout_noted_.size() && !dropout_noted_[i]) {
+      dropout_noted_[i] = true;
+      ++dropouts_detected_;
+      fresh = true;
+    }
+  }
+  if (!fresh) return;
+  AQ_COUNTER_ADD("serve.qpu.dropouts", 1);
+  if (monitor_ != nullptr) monitor_->observe_membership(qpu, false);
+}
+
+ServingRuntime::JobState* ServingRuntime::job_ptr(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(jobs_mu_);
+  return &jobs_[static_cast<std::size_t>(id)];
+}
+
+void ServingRuntime::worker_main(int qpu) {
+  ShotBatch batch;
+  while (queue_.pop(static_cast<std::size_t>(qpu), &batch)) {
+    process_batch(qpu, std::move(batch));
+    queue_.task_done();
+  }
+}
+
+void ServingRuntime::process_batch(int qpu, ShotBatch batch) {
+  AQ_TRACE_SPAN("serve.worker.execute");
+  JobState& job = *job_ptr(batch.job);
+  BatchSlot& slot = job.slots[batch.slot];
+  const auto uq = static_cast<std::size_t>(qpu);
+
+  // Dead device: the batch landed inside the detection window (or was
+  // already queued when the QPU died). Detect, then re-route with no
+  // backoff — a dropout is recognized immediately, unlike a transient.
+  if (dead(qpu, job.id)) {
+    note_dropout(qpu);
+    AQ_COUNTER_ADD("serve.batches.failed", 1);
+    reroute(job, std::move(batch), qpu, /*backoff=*/false);
+    return;
+  }
+
+  if (faults_ != nullptr &&
+      faults_->transient_failure(job.id, qpu, batch.attempt)) {
+    AQ_COUNTER_ADD("serve.batches.failed", 1);
+    reroute(job, std::move(batch), qpu, /*backoff=*/true);
+    return;
+  }
+
+  // Modeled hardware time for this execution.
+  const qnn::QnnExecutor& exec = executors_[uq];
+  double mult = 1.0;
+  if (faults_ != nullptr) {
+    mult = faults_->latency_multiplier(job.id, qpu, batch.attempt);
+  }
+  const double exec_us =
+      static_cast<double>(batch.shots) * exec.shot_latency_us() * mult;
+  slot.chain_us += exec_us;
+  qpu_busy_us_[uq] += exec_us;
+
+  // Deadline check on the chain's modeled time *before* burning the
+  // execution: an expired batch is dropped, not retried.
+  if (job.deadline_us > 0.0 && slot.chain_us > job.deadline_us) {
+    slot.outcome = BatchSlot::Outcome::kExpired;
+    slot.qpu = qpu;
+    slot.shots = batch.shots;
+    AQ_COUNTER_ADD("serve.batches.expired", 1);
+    complete_slot(job);
+    return;
+  }
+
+  math::Rng rng = root_.split("serve").split(job.id).split(
+      static_cast<std::uint64_t>(batch.slot) * 97ULL +
+      static_cast<std::uint64_t>(batch.attempt));
+  const double p = exec.sampled_probability(job.features, weights_[uq],
+                                            batch.shots, rng,
+                                            config_.trajectories);
+  qpu_shots_[uq] += static_cast<double>(batch.shots);
+
+  slot.outcome = BatchSlot::Outcome::kOk;
+  slot.qpu = qpu;
+  slot.probability = p;
+  slot.shots = batch.shots;
+  AQ_COUNTER_ADD("serve.batches.executed", 1);
+  complete_slot(job);
+}
+
+void ServingRuntime::reroute(JobState& job, ShotBatch batch, int failed_qpu,
+                             bool backoff) {
+  BatchSlot& slot = job.slots[batch.slot];
+  batch.excluded.push_back(failed_qpu);
+
+  if (batch.attempt >= config_.max_retries) {
+    slot.outcome = BatchSlot::Outcome::kFailed;
+    slot.qpu = failed_qpu;
+    slot.shots = batch.shots;
+    complete_slot(job);
+    return;
+  }
+
+  // Candidates: the job's torus members, minus every QPU that already
+  // failed this batch, minus devices dead for this job; fall back to
+  // the whole fleet under the same filters when the torus is exhausted.
+  const std::vector<int>& members =
+      partition_members_locked_copy(job.epoch, job.torus);
+  auto viable = [&](int q) {
+    if (dead(q, job.id)) return false;
+    for (int e : batch.excluded) {
+      if (e == q) return false;
+    }
+    return true;
+  };
+  std::vector<int> candidates;
+  for (int q : members) {
+    if (viable(q)) candidates.push_back(q);
+  }
+  if (candidates.empty()) {
+    for (int q = 0; q < static_cast<int>(executors_.size()); ++q) {
+      if (viable(q)) candidates.push_back(q);
+    }
+  }
+  if (candidates.empty()) {
+    slot.outcome = BatchSlot::Outcome::kFailed;
+    slot.qpu = failed_qpu;
+    slot.shots = batch.shots;
+    complete_slot(job);
+    return;
+  }
+
+  // Deterministic target: the first candidate cyclically after the
+  // failed QPU (candidates are ascending).
+  int target = candidates.front();
+  for (int q : candidates) {
+    if (q > failed_qpu) {
+      target = q;
+      break;
+    }
+  }
+
+  if (backoff) {
+    // Exponential backoff with deterministic jitter, charged to the
+    // batch's modeled chain and slept for real on this worker.
+    math::Rng rng = root_.split("backoff").split(job.id).split(
+        static_cast<std::uint64_t>(batch.slot) * 97ULL +
+        static_cast<std::uint64_t>(batch.attempt));
+    const double jitter = rng.uniform(0.5, 1.5);
+    const double wait = std::min(
+        config_.backoff_base_us * std::ldexp(jitter, batch.attempt),
+        config_.backoff_max_us);
+    slot.chain_us += wait;
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::micro>(wait));
+  }
+
+  ++batch.attempt;
+  batch.qpu = target;
+  job.retries.fetch_add(1, std::memory_order_relaxed);
+  AQ_COUNTER_ADD("serve.retries", 1);
+  queue_.push_retry(std::move(batch));
+}
+
+std::vector<int> ServingRuntime::partition_members_locked_copy(
+    std::size_t epoch, std::size_t torus) const {
+  std::lock_guard<std::mutex> lock(route_mu_);
+  return partitions_[epoch].tori[torus];
+}
+
+void ServingRuntime::complete_slot(JobState& job) {
+  if (job.pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    finalize(job);
+  }
+}
+
+void ServingRuntime::finalize(JobState& job) {
+  // Fold slots in index order: completion order never touches the FP
+  // reduction, so the probability is schedule-independent.
+  double weighted = 0.0;
+  double total_shots = 0.0;
+  bool any_failed = false;
+  bool any_expired = false;
+  double vlat = 0.0;
+  for (const BatchSlot& slot : job.slots) {
+    switch (slot.outcome) {
+      case BatchSlot::Outcome::kOk:
+        weighted += slot.probability * static_cast<double>(slot.shots);
+        total_shots += static_cast<double>(slot.shots);
+        break;
+      case BatchSlot::Outcome::kFailed:
+        any_failed = true;
+        break;
+      case BatchSlot::Outcome::kExpired:
+        any_expired = true;
+        break;
+      case BatchSlot::Outcome::kPending:
+        any_failed = true;  // unreachable; defensive
+        break;
+    }
+    vlat = std::max(vlat, slot.chain_us);
+  }
+  job.probability = total_shots > 0.0 ? weighted / total_shots : 0.5;
+  job.loss = qnn::loss_value(config_.loss, job.probability, job.label);
+  job.virtual_latency_us = vlat;
+  job.wall_latency_us = wall_now_us() - job.submit_wall_us;
+
+  if (any_failed) {
+    job.status = JobStatus::kFailed;
+    AQ_COUNTER_ADD("serve.jobs.failed", 1);
+  } else if (any_expired ||
+             (job.deadline_us > 0.0 && vlat > job.deadline_us)) {
+    job.status = JobStatus::kExpired;
+    AQ_COUNTER_ADD("serve.jobs.expired", 1);
+  } else {
+    job.status = JobStatus::kOk;
+    AQ_COUNTER_ADD("serve.jobs.completed", 1);
+  }
+  AQ_HISTOGRAM_OBSERVE("serve.job.latency_us",
+                       telemetry::latency_buckets_us(),
+                       job.wall_latency_us);
+  AQ_HISTOGRAM_OBSERVE("serve.job.virtual_latency_us",
+                       telemetry::latency_buckets_us(),
+                       job.virtual_latency_us);
+}
+
+void ServingRuntime::drain() {
+  if (drained_) return;
+  if (!started_) start();
+  queue_.close();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  drained_ = true;
+  drain_wall_us_ = wall_now_us();
+}
+
+std::vector<JobResult> ServingRuntime::results() const {
+  std::lock_guard<std::mutex> lock(jobs_mu_);
+  std::vector<JobResult> out;
+  out.reserve(jobs_.size());
+  for (const JobState& job : jobs_) {
+    JobResult r;
+    r.id = job.id;
+    r.status = job.status;
+    r.probability = job.probability;
+    r.loss = job.loss;
+    r.retries = job.retries.load(std::memory_order_relaxed);
+    r.batches = static_cast<int>(job.slots.size());
+    r.virtual_latency_us = job.virtual_latency_us;
+    r.wall_latency_us = job.wall_latency_us;
+    r.torus = job.torus;
+    r.epoch = job.epoch;
+    out.push_back(r);
+  }
+  return out;
+}
+
+ServingReport ServingRuntime::report() const {
+  ServingReport rep;
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    rep.submitted = jobs_.size();
+    for (const JobState& job : jobs_) {
+      switch (job.status) {
+        case JobStatus::kOk: ++rep.completed; break;
+        case JobStatus::kRejected: ++rep.rejected; break;
+        case JobStatus::kExpired: ++rep.expired; break;
+        case JobStatus::kFailed: ++rep.failed; break;
+        case JobStatus::kPending: break;
+      }
+      rep.retries += static_cast<std::uint64_t>(
+          job.retries.load(std::memory_order_relaxed));
+    }
+  }
+  rep.admitted = rep.submitted - rep.rejected;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    rep.dropouts_detected = dropouts_detected_;
+    rep.repartitions = repartitions_;
+  }
+  rep.qpu_shots = qpu_shots_;
+  rep.qpu_busy_us = qpu_busy_us_;
+  if (drained_ && first_submit_wall_us_ > 0.0) {
+    rep.wall_seconds = (drain_wall_us_ - first_submit_wall_us_) * 1e-6;
+    if (rep.wall_seconds > 0.0) {
+      rep.throughput_jobs_per_s =
+          static_cast<double>(rep.admitted) / rep.wall_seconds;
+    }
+  }
+  return rep;
+}
+
+std::size_t ServingRuntime::epochs() const {
+  std::lock_guard<std::mutex> lock(route_mu_);
+  return partitions_.size();
+}
+
+core::TorusPartition ServingRuntime::partition(std::size_t epoch) const {
+  std::lock_guard<std::mutex> lock(route_mu_);
+  if (epoch >= partitions_.size()) {
+    throw std::out_of_range("ServingRuntime::partition: epoch not built");
+  }
+  return partitions_[epoch];
+}
+
+}  // namespace arbiterq::serve

@@ -1,0 +1,152 @@
+// Scheduler edge cases: empty fleets, single-QPU tori, zero tasks, and
+// shot budgets smaller than the torus size — the degenerate corners a
+// serving runtime can steer the scheduler into during fleet degradation.
+
+#include "arbiterq/core/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "arbiterq/core/trainers.hpp"
+#include "arbiterq/device/presets.hpp"
+
+namespace arbiterq::core {
+namespace {
+
+class SchedulerEdgeFixture : public ::testing::Test {
+ protected:
+  SchedulerEdgeFixture()
+      : model_(qnn::Backbone::kCRz, 2, 2),
+        split_(data::prepare_case({"iris", 2, 2})) {
+    TrainConfig cfg;
+    trainer_ = std::make_unique<DistributedTrainer>(
+        model_, device::table3_fleet_subset(3, 2), cfg);
+    // Calibration only — these tests exercise scheduling, not training.
+    math::Rng rng(7);
+    for (std::size_t q = 0; q < trainer_->fleet_size(); ++q) {
+      std::vector<double> w(
+          static_cast<std::size_t>(model_.num_weights()));
+      math::Rng qrng = rng.split(q);
+      for (double& x : w) x = qrng.normal(0.0, 0.3);
+      weights_.push_back(std::move(w));
+    }
+    partition_ = build_torus_partition(trainer_->behavioral_vectors(),
+                                       weights_);
+    tasks_ = make_tasks(split_.test_features, split_.test_labels);
+  }
+
+  qnn::QnnModel model_;
+  data::EncodedSplit split_;
+  std::unique_ptr<DistributedTrainer> trainer_;
+  std::vector<std::vector<double>> weights_;
+  TorusPartition partition_;
+  std::vector<InferenceTask> tasks_;
+};
+
+TEST_F(SchedulerEdgeFixture, EmptyFleetIsRejected) {
+  const std::vector<qnn::QnnExecutor> no_executors;
+  const std::vector<std::vector<double>> no_weights;
+  ScheduleConfig cfg;
+  EXPECT_THROW(
+      ShotOrientedScheduler(no_executors, no_weights, partition_, cfg),
+      std::invalid_argument);
+  EXPECT_THROW(batch_based_inference(no_executors, no_weights, tasks_, cfg),
+               std::invalid_argument);
+  EXPECT_THROW(ensemble_weighted_inference(no_executors, no_weights, {},
+                                           tasks_, cfg),
+               std::invalid_argument);
+  EXPECT_THROW(build_torus_partition({}, {}), std::invalid_argument);
+  EXPECT_THROW(repartition_alive(trainer_->behavioral_vectors(), weights_,
+                                 {}),
+               std::invalid_argument);
+}
+
+TEST_F(SchedulerEdgeFixture, ZeroTasksAreRejected) {
+  ScheduleConfig cfg;
+  const ShotOrientedScheduler sched(trainer_->executors(), weights_,
+                                    partition_, cfg);
+  EXPECT_THROW(sched.run({}), std::invalid_argument);
+  EXPECT_THROW(batch_based_inference(trainer_->executors(), weights_, {},
+                                     cfg),
+               std::invalid_argument);
+  EXPECT_THROW(make_tasks({{0.0}}, {}), std::invalid_argument);
+}
+
+TEST_F(SchedulerEdgeFixture, SingleQpuToriStillServeEveryTask) {
+  // num_tori == fleet size degenerates every torus to one member: the
+  // shot split collapses onto that device and nothing is averaged.
+  const TorusPartition singles = build_torus_partition(
+      trainer_->behavioral_vectors(), weights_, 3);
+  for (const auto& torus : singles.tori) EXPECT_EQ(torus.size(), 1U);
+  ScheduleConfig cfg;
+  cfg.shots_per_task = 16;
+  cfg.warmup_shots = 4;
+  cfg.trajectories = 2;
+  const ShotOrientedScheduler sched(trainer_->executors(), weights_,
+                                    singles, cfg);
+  const InferenceReport r = sched.run(tasks_);
+  EXPECT_EQ(r.per_task_loss.size(), tasks_.size());
+  const double total =
+      std::accumulate(r.qpu_shots.begin(), r.qpu_shots.end(), 0.0);
+  EXPECT_NEAR(total,
+              static_cast<double>(tasks_.size()) *
+                  (cfg.shots_per_task + cfg.warmup_shots),
+              1e-9);
+  for (double l : r.per_task_loss) EXPECT_GE(l, 0.0);
+}
+
+TEST_F(SchedulerEdgeFixture, ShotBudgetSmallerThanTorus) {
+  // One shot against a 3-member torus: the rate-proportional rounding
+  // zeroes out some members, the last member absorbs the remainder, and
+  // every shot is still accounted for.
+  const TorusPartition one_torus = build_torus_partition(
+      trainer_->behavioral_vectors(), weights_, 1);
+  ASSERT_EQ(one_torus.tori[0].size(), 3U);
+  ScheduleConfig cfg;
+  cfg.shots_per_task = 1;
+  cfg.warmup_shots = 1;
+  cfg.trajectories = 2;
+  const ShotOrientedScheduler sched(trainer_->executors(), weights_,
+                                    one_torus, cfg);
+  const InferenceReport r = sched.run(tasks_);
+  EXPECT_EQ(r.per_task_loss.size(), tasks_.size());
+  const double total =
+      std::accumulate(r.qpu_shots.begin(), r.qpu_shots.end(), 0.0);
+  EXPECT_NEAR(total, static_cast<double>(tasks_.size()) * 2.0, 1e-9);
+  for (double l : r.per_task_loss) {
+    EXPECT_GE(l, 0.0);
+    EXPECT_TRUE(std::isfinite(l));
+  }
+}
+
+TEST_F(SchedulerEdgeFixture, RepartitionSingleSurvivor) {
+  // The degenerate end of fleet degradation: one QPU left. The partition
+  // collapses to a single one-member torus carrying the global id.
+  const TorusPartition p = repartition_alive(
+      trainer_->behavioral_vectors(), weights_, {2});
+  ASSERT_EQ(p.tori.size(), 1U);
+  ASSERT_EQ(p.tori[0].size(), 1U);
+  EXPECT_EQ(p.tori[0][0], 2);
+}
+
+TEST_F(SchedulerEdgeFixture, RepartitionKeepsGlobalIds) {
+  const TorusPartition p = repartition_alive(
+      trainer_->behavioral_vectors(), weights_, {0, 2});
+  std::set<int> members;
+  for (const auto& torus : p.tori) {
+    members.insert(torus.begin(), torus.end());
+  }
+  EXPECT_EQ(members, (std::set<int>{0, 2}));
+  // An explicit torus request larger than the survivor count clamps.
+  const TorusPartition clamped = repartition_alive(
+      trainer_->behavioral_vectors(), weights_, {0, 2}, 5);
+  EXPECT_EQ(clamped.tori.size(), 2U);
+  EXPECT_THROW(repartition_alive(trainer_->behavioral_vectors(), weights_,
+                                 {0, 7}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace arbiterq::core

@@ -1,0 +1,464 @@
+#include "arbiterq/serve/runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+
+#include "arbiterq/core/trainers.hpp"
+#include "arbiterq/device/presets.hpp"
+#include "arbiterq/serve/fault_injector.hpp"
+#include "arbiterq/serve/job_queue.hpp"
+#include "arbiterq/telemetry/metrics.hpp"
+#include "arbiterq/telemetry/prometheus.hpp"
+
+namespace arbiterq::serve {
+namespace {
+
+// ---------------------------------------------------------------- JobQueue
+
+TEST(JobQueue, Validation) {
+  EXPECT_THROW(JobQueue(0, 4), std::invalid_argument);
+  EXPECT_THROW(JobQueue(2, 0), std::invalid_argument);
+}
+
+TEST(JobQueue, PriorityOrderWithinLane) {
+  JobQueue q(1, 8);
+  ShotBatch low;
+  low.job = 1;
+  low.priority = JobPriority::kLow;
+  ShotBatch high;
+  high.job = 2;
+  high.priority = JobPriority::kHigh;
+  ShotBatch normal;
+  normal.job = 3;
+  normal.priority = JobPriority::kNormal;
+  ASSERT_TRUE(q.try_push(low));
+  ASSERT_TRUE(q.try_push(normal));
+  ASSERT_TRUE(q.try_push(high));
+  ShotBatch out;
+  ASSERT_TRUE(q.pop(0, &out));
+  EXPECT_EQ(out.job, 2U);  // high first
+  q.task_done();
+  ASSERT_TRUE(q.pop(0, &out));
+  EXPECT_EQ(out.job, 3U);
+  q.task_done();
+  ASSERT_TRUE(q.pop(0, &out));
+  EXPECT_EQ(out.job, 1U);
+  q.task_done();
+}
+
+TEST(JobQueue, CapacityBackpressureAndRetryBypass) {
+  JobQueue q(1, 2);
+  ASSERT_TRUE(q.try_push({}));
+  ASSERT_TRUE(q.try_push({}));
+  EXPECT_FALSE(q.try_push({}));  // admission bound hit
+  EXPECT_EQ(q.rejected(), 1U);
+  q.push_retry({});  // retries ride above the bound
+  EXPECT_EQ(q.depth(), 3U);
+}
+
+TEST(JobQueue, TryPushAllIsAtomic) {
+  JobQueue q(2, 3);
+  std::vector<ShotBatch> four(4);
+  four[1].qpu = 1;
+  EXPECT_FALSE(q.try_push_all(four));  // 4 > capacity: nothing enqueued
+  EXPECT_EQ(q.depth(), 0U);
+  EXPECT_EQ(q.rejected(), 4U);
+  std::vector<ShotBatch> three(3);
+  three[2].qpu = 1;
+  EXPECT_TRUE(q.try_push_all(three));
+  EXPECT_EQ(q.depth(), 3U);
+  EXPECT_EQ(q.lane_depth(0), 2U);
+  EXPECT_EQ(q.lane_depth(1), 1U);
+}
+
+TEST(JobQueue, CloseStopsAdmissionThenDrains) {
+  JobQueue q(1, 4);
+  ASSERT_TRUE(q.try_push({}));
+  q.close();
+  EXPECT_FALSE(q.try_push({}));
+  ShotBatch out;
+  ASSERT_TRUE(q.pop(0, &out));  // pending work still pops after close
+  q.task_done();
+  EXPECT_FALSE(q.pop(0, &out));  // fully drained
+}
+
+TEST(JobQueue, TaskDoneWithoutPopThrows) {
+  JobQueue q(1, 4);
+  EXPECT_THROW(q.task_done(), std::logic_error);
+}
+
+// ------------------------------------------------------------ FaultInjector
+
+TEST(FaultInjector, ScriptedDropoutTimeline) {
+  FaultConfig cfg;
+  cfg.dropouts = {{2, 10}};
+  cfg.detection_lag_jobs = 4;
+  const FaultInjector faults(6, cfg);
+  EXPECT_FALSE(faults.dropped(2, 9));
+  EXPECT_TRUE(faults.dropped(2, 10));
+  EXPECT_TRUE(faults.dropped(2, 999));
+  EXPECT_FALSE(faults.dropped(3, 999));
+  // Detection lag: router learns at job 14.
+  EXPECT_EQ(faults.routing_epoch(13), 0U);
+  EXPECT_EQ(faults.routing_epoch(14), 1U);
+  const std::vector<int> alive = faults.alive_at_epoch(1);
+  EXPECT_EQ(alive.size(), 5U);
+  EXPECT_EQ(std::count(alive.begin(), alive.end(), 2), 0);
+}
+
+TEST(FaultInjector, DecisionsAreDeterministic) {
+  FaultConfig cfg;
+  cfg.transient_probability = 0.3;
+  cfg.latency_spike_probability = 0.3;
+  cfg.seed = 7;
+  const FaultInjector a(4, cfg);
+  const FaultInjector b(4, cfg);
+  for (std::uint64_t job = 0; job < 50; ++job) {
+    for (int qpu = 0; qpu < 4; ++qpu) {
+      EXPECT_EQ(a.transient_failure(job, qpu, 0),
+                b.transient_failure(job, qpu, 0));
+      EXPECT_EQ(a.latency_multiplier(job, qpu, 1),
+                b.latency_multiplier(job, qpu, 1));
+    }
+  }
+}
+
+TEST(FaultInjector, RejectsKillingWholeFleet) {
+  FaultConfig cfg;
+  cfg.dropouts = {{0, 1}, {1, 2}};
+  EXPECT_THROW(FaultInjector(2, cfg), std::invalid_argument);
+}
+
+TEST(FaultInjector, ParseSpec) {
+  const FaultConfig cfg = FaultInjector::parse(
+      "kill:3@40,transient:0.05,spike:0.1x8,lag:6,seed:11");
+  ASSERT_EQ(cfg.dropouts.size(), 1U);
+  EXPECT_EQ(cfg.dropouts[0].qpu, 3);
+  EXPECT_EQ(cfg.dropouts[0].at_job, 40U);
+  EXPECT_DOUBLE_EQ(cfg.transient_probability, 0.05);
+  EXPECT_DOUBLE_EQ(cfg.latency_spike_probability, 0.1);
+  EXPECT_DOUBLE_EQ(cfg.latency_spike_multiplier, 8.0);
+  EXPECT_EQ(cfg.detection_lag_jobs, 6U);
+  EXPECT_EQ(cfg.seed, 11U);
+  EXPECT_THROW(FaultInjector::parse("bogus:1"), std::invalid_argument);
+  EXPECT_THROW(FaultInjector::parse("kill:3"), std::invalid_argument);
+}
+
+// ----------------------------------------------------------- ServingRuntime
+
+class ServeFixture : public ::testing::Test {
+ protected:
+  ServeFixture()
+      : model_(qnn::Backbone::kCRz, 2, 2),
+        split_(data::prepare_case({"iris", 2, 2})) {
+    core::TrainConfig cfg;
+    trainer_ = std::make_unique<core::DistributedTrainer>(
+        model_, device::table3_fleet_subset(6, 2), cfg);
+    // Per-QPU personalized weights: small deterministic perturbations of
+    // a shared draw (training is not what these tests exercise).
+    math::Rng rng(42);
+    std::vector<double> base(
+        static_cast<std::size_t>(model_.num_weights()));
+    for (double& w : base) w = rng.normal(0.0, 0.3);
+    for (std::size_t q = 0; q < trainer_->fleet_size(); ++q) {
+      std::vector<double> w = base;
+      math::Rng qrng = rng.split(q);
+      for (double& x : w) x += qrng.normal(0.0, 0.05);
+      weights_.push_back(std::move(w));
+    }
+  }
+
+  std::vector<JobSpec> make_jobs(std::size_t n) const {
+    std::vector<JobSpec> jobs;
+    for (std::size_t i = 0; i < n; ++i) {
+      JobSpec spec;
+      spec.features = split_.test_features[i % split_.test_features.size()];
+      spec.label = split_.test_labels[i % split_.test_labels.size()];
+      jobs.push_back(std::move(spec));
+    }
+    return jobs;
+  }
+
+  std::vector<JobResult> run(const ServeConfig& cfg,
+                             const std::vector<JobSpec>& jobs,
+                             const FaultInjector* faults = nullptr,
+                             monitor::FleetHealthMonitor* monitor = nullptr,
+                             ServingReport* report = nullptr,
+                             std::size_t* epochs = nullptr) const {
+    ServingRuntime runtime(trainer_->executors(), weights_,
+                           trainer_->behavioral_vectors(), cfg, faults,
+                           monitor);
+    for (const JobSpec& spec : jobs) runtime.submit(spec);
+    runtime.drain();
+    if (report != nullptr) *report = runtime.report();
+    if (epochs != nullptr) *epochs = runtime.epochs();
+    return runtime.results();
+  }
+
+  qnn::QnnModel model_;
+  data::EncodedSplit split_;
+  std::unique_ptr<core::DistributedTrainer> trainer_;
+  std::vector<std::vector<double>> weights_;
+};
+
+TEST_F(ServeFixture, ConstructorValidation) {
+  ServeConfig cfg;
+  std::vector<std::vector<double>> bad_weights(2);
+  EXPECT_THROW(ServingRuntime(trainer_->executors(), bad_weights,
+                              trainer_->behavioral_vectors(), cfg),
+               std::invalid_argument);
+  cfg.shots_per_job = 0;
+  EXPECT_THROW(ServingRuntime(trainer_->executors(), weights_,
+                              trainer_->behavioral_vectors(), cfg),
+               std::invalid_argument);
+}
+
+TEST_F(ServeFixture, FaultFreeRunCompletesEveryJob) {
+  ServeConfig cfg;
+  cfg.shots_per_job = 64;
+  cfg.trajectories = 4;
+  ServingReport rep;
+  const std::vector<JobResult> results =
+      run(cfg, make_jobs(12), nullptr, nullptr, &rep);
+  ASSERT_EQ(results.size(), 12U);
+  for (const JobResult& r : results) {
+    EXPECT_EQ(r.status, JobStatus::kOk) << "job " << r.id;
+    EXPECT_GE(r.probability, 0.0);
+    EXPECT_LE(r.probability, 1.0);
+    EXPECT_EQ(r.retries, 0);
+    EXPECT_GT(r.batches, 0);
+    EXPECT_GT(r.virtual_latency_us, 0.0);
+    EXPECT_EQ(r.epoch, 0U);
+  }
+  EXPECT_EQ(rep.submitted, 12U);
+  EXPECT_EQ(rep.completed, 12U);
+  EXPECT_EQ(rep.rejected, 0U);
+  EXPECT_EQ(rep.retries, 0U);
+  EXPECT_GT(rep.throughput_jobs_per_s, 0.0);
+}
+
+TEST_F(ServeFixture, DeterministicAcrossRunsAndSchedules) {
+  ServeConfig cfg;
+  cfg.shots_per_job = 48;
+  cfg.trajectories = 4;
+  cfg.seed = 123;
+  const std::vector<JobSpec> jobs = make_jobs(10);
+  const std::vector<JobResult> a = run(cfg, jobs);
+  const std::vector<JobResult> b = run(cfg, jobs);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].status, b[i].status);
+    EXPECT_EQ(a[i].probability, b[i].probability);  // bit-identical
+    EXPECT_EQ(a[i].loss, b[i].loss);
+    EXPECT_EQ(a[i].virtual_latency_us, b[i].virtual_latency_us);
+    EXPECT_EQ(a[i].torus, b[i].torus);
+  }
+}
+
+TEST_F(ServeFixture, SeedChangesResults) {
+  ServeConfig cfg;
+  cfg.shots_per_job = 48;
+  cfg.trajectories = 4;
+  const std::vector<JobSpec> jobs = make_jobs(8);
+  cfg.seed = 1;
+  const std::vector<JobResult> a = run(cfg, jobs);
+  cfg.seed = 2;
+  const std::vector<JobResult> b = run(cfg, jobs);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].probability != b[i].probability) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+// The ISSUE acceptance scenario: a seeded FaultInjector kills a QPU
+// mid-run; the runtime completes every admitted job, re-routes the
+// victim's shot-batches (retry counters > 0), repartitions the
+// surviving fleet, and two same-seed runs agree bit-for-bit.
+TEST_F(ServeFixture, DropoutMidRunRecoversDeterministically) {
+  ServeConfig cfg;
+  cfg.shots_per_job = 48;
+  cfg.trajectories = 4;
+  cfg.seed = 99;
+  FaultConfig fcfg;
+  fcfg.dropouts = {{1, 8}};
+  fcfg.detection_lag_jobs = 8;
+  const FaultInjector faults(6, fcfg);
+  const std::vector<JobSpec> jobs = make_jobs(30);
+
+  monitor::FleetHealthMonitor monitor(6);
+  ServingReport rep;
+  std::size_t epochs = 0;
+  const std::vector<JobResult> a =
+      run(cfg, jobs, &faults, &monitor, &rep, &epochs);
+
+  ASSERT_EQ(a.size(), 30U);
+  std::uint64_t total_retries = 0;
+  for (const JobResult& r : a) {
+    EXPECT_NE(r.status, JobStatus::kPending) << "job " << r.id;
+    EXPECT_EQ(r.status, JobStatus::kOk) << "job " << r.id;
+    total_retries += static_cast<std::uint64_t>(r.retries);
+  }
+  // Jobs routed to the dying QPU inside the detection window were
+  // rescued by the retry path.
+  EXPECT_GT(total_retries, 0U);
+  EXPECT_EQ(rep.retries, total_retries);
+  EXPECT_EQ(rep.dropouts_detected, 1U);
+  EXPECT_GE(rep.repartitions, 1U);
+  EXPECT_GE(epochs, 2U);
+  // Late jobs were routed under the degraded epoch.
+  EXPECT_GE(a.back().epoch, 1U);
+  // No shots executed on the victim after its death is possible to
+  // check only via the survivors: the victim keeps whatever it ran
+  // before job 8, every later batch went elsewhere.
+  const monitor::FleetHealthReport health = monitor.report();
+  EXPECT_FALSE(health.qpus[1].online);
+
+  // Same seed, second run: per-job results are bit-identical.
+  const std::vector<JobResult> b = run(cfg, jobs, &faults);
+  ASSERT_EQ(b.size(), a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].status, b[i].status) << "job " << i;
+    EXPECT_EQ(a[i].probability, b[i].probability) << "job " << i;
+    EXPECT_EQ(a[i].loss, b[i].loss) << "job " << i;
+    EXPECT_EQ(a[i].retries, b[i].retries) << "job " << i;
+    EXPECT_EQ(a[i].virtual_latency_us, b[i].virtual_latency_us)
+        << "job " << i;
+    EXPECT_EQ(a[i].epoch, b[i].epoch) << "job " << i;
+    EXPECT_EQ(a[i].torus, b[i].torus) << "job " << i;
+  }
+}
+
+TEST_F(ServeFixture, DegradedPartitionExcludesVictim) {
+  ServeConfig cfg;
+  cfg.shots_per_job = 32;
+  cfg.trajectories = 2;
+  FaultConfig fcfg;
+  fcfg.dropouts = {{4, 3}};
+  fcfg.detection_lag_jobs = 2;
+  const FaultInjector faults(6, fcfg);
+  ServingRuntime runtime(trainer_->executors(), weights_,
+                         trainer_->behavioral_vectors(), cfg, &faults);
+  for (const JobSpec& spec : make_jobs(12)) runtime.submit(spec);
+  runtime.drain();
+  ASSERT_GE(runtime.epochs(), 2U);
+  const core::TorusPartition degraded = runtime.partition(1);
+  std::set<int> members;
+  for (const auto& torus : degraded.tori) {
+    members.insert(torus.begin(), torus.end());
+  }
+  EXPECT_EQ(members.count(4), 0U);
+  EXPECT_EQ(members.size(), 5U);  // global ids, victim excluded
+  EXPECT_THROW(runtime.partition(99), std::out_of_range);
+}
+
+TEST_F(ServeFixture, TransientFailuresRetryAndComplete) {
+  ServeConfig cfg;
+  cfg.shots_per_job = 32;
+  cfg.trajectories = 2;
+  cfg.max_retries = 6;
+  cfg.backoff_base_us = 1.0;  // keep the test fast
+  cfg.backoff_max_us = 10.0;
+  FaultConfig fcfg;
+  fcfg.transient_probability = 0.25;
+  fcfg.seed = 5;
+  const FaultInjector faults(6, fcfg);
+  ServingReport rep;
+  const std::vector<JobResult> results =
+      run(cfg, make_jobs(16), &faults, nullptr, &rep);
+  EXPECT_GT(rep.retries, 0U);
+  for (const JobResult& r : results) {
+    EXPECT_EQ(r.status, JobStatus::kOk) << "job " << r.id;
+  }
+}
+
+TEST_F(ServeFixture, DeadlineExpiresSlowJobs) {
+  ServeConfig cfg;
+  cfg.shots_per_job = 64;
+  cfg.trajectories = 2;
+  cfg.deadline_us = 1e-3;  // far below one shot's modeled latency
+  ServingReport rep;
+  const std::vector<JobResult> results =
+      run(cfg, make_jobs(6), nullptr, nullptr, &rep);
+  for (const JobResult& r : results) {
+    EXPECT_EQ(r.status, JobStatus::kExpired) << "job " << r.id;
+  }
+  EXPECT_EQ(rep.expired, 6U);
+  // A generous per-job override rescues a job from the tight default.
+  JobSpec spec;
+  spec.features = split_.test_features[0];
+  spec.label = split_.test_labels[0];
+  spec.deadline_us = 1e9;
+  ServingRuntime runtime(trainer_->executors(), weights_,
+                         trainer_->behavioral_vectors(), cfg);
+  runtime.submit(spec);
+  runtime.drain();
+  EXPECT_EQ(runtime.results()[0].status, JobStatus::kOk);
+}
+
+TEST_F(ServeFixture, BackpressureRejectsWhenSaturated) {
+  ServeConfig cfg;
+  cfg.shots_per_job = 32;
+  cfg.trajectories = 2;
+  cfg.queue_capacity = 4;  // a couple of jobs' worth of batches
+  cfg.autostart = false;   // nothing drains while we submit
+  ServingRuntime runtime(trainer_->executors(), weights_,
+                         trainer_->behavioral_vectors(), cfg);
+  const std::vector<JobSpec> jobs = make_jobs(20);
+  std::size_t admitted = 0;
+  for (const JobSpec& spec : jobs) {
+    if (runtime.submit(spec).has_value()) ++admitted;
+  }
+  EXPECT_GT(admitted, 0U);
+  EXPECT_LT(admitted, jobs.size());
+  runtime.start();
+  runtime.drain();
+  const ServingReport rep = runtime.report();
+  EXPECT_EQ(rep.admitted, admitted);
+  EXPECT_EQ(rep.rejected, jobs.size() - admitted);
+  EXPECT_EQ(rep.completed, admitted);
+  for (const JobResult& r : runtime.results()) {
+    EXPECT_TRUE(r.status == JobStatus::kOk ||
+                r.status == JobStatus::kRejected);
+  }
+}
+
+TEST_F(ServeFixture, ServingMetricsReachPrometheusExport) {
+  telemetry::MetricsRegistry::global().reset_values();
+  ServeConfig cfg;
+  cfg.shots_per_job = 32;
+  cfg.trajectories = 2;
+  run(cfg, make_jobs(5));
+  const telemetry::MetricsSnapshot snap =
+      telemetry::MetricsRegistry::global().snapshot();
+  const std::string text = telemetry::prometheus_text(snap);
+  EXPECT_NE(text.find("arbiterq_serve_job_latency_us_bucket"),
+            std::string::npos);
+  EXPECT_NE(text.find("arbiterq_serve_job_latency_us_count"),
+            std::string::npos);
+  EXPECT_NE(text.find("arbiterq_serve_queue_depth"), std::string::npos);
+  EXPECT_NE(text.find("arbiterq_serve_jobs_admitted_total"),
+            std::string::npos);
+  // The histogram snapshot yields finite latency quantiles.
+  for (const telemetry::HistogramSnapshot& h : snap.histograms) {
+    if (h.name == "serve.job.latency_us") {
+      EXPECT_EQ(h.count, 5U);
+      EXPECT_GT(h.p50(), 0.0);
+      EXPECT_GE(h.p99(), h.p50());
+    }
+  }
+}
+
+TEST(JobStatusName, CoversAllStates) {
+  EXPECT_EQ(job_status_name(JobStatus::kOk), "ok");
+  EXPECT_EQ(job_status_name(JobStatus::kRejected), "rejected");
+  EXPECT_EQ(job_status_name(JobStatus::kExpired), "expired");
+  EXPECT_EQ(job_status_name(JobStatus::kFailed), "failed");
+  EXPECT_EQ(job_status_name(JobStatus::kPending), "pending");
+}
+
+}  // namespace
+}  // namespace arbiterq::serve
