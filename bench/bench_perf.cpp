@@ -24,6 +24,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -36,6 +37,7 @@
 #include "arbiterq/math/rng.hpp"
 #include "arbiterq/qnn/executor.hpp"
 #include "arbiterq/qnn/model.hpp"
+#include "arbiterq/serve/flight_recorder.hpp"
 #include "arbiterq/serve/runtime.hpp"
 #include "arbiterq/sim/adjoint.hpp"
 #include "arbiterq/sim/density_matrix.hpp"
@@ -43,6 +45,7 @@
 #include "arbiterq/sim/statevector.hpp"
 #include "arbiterq/telemetry/export.hpp"
 #include "arbiterq/telemetry/metrics.hpp"
+#include "arbiterq/telemetry/trace.hpp"
 #include "arbiterq/transpile/optimize.hpp"
 #include "arbiterq/transpile/transpiler.hpp"
 
@@ -673,28 +676,42 @@ int run_telemetry_ab_mode(const std::string& out_path) {
 // runs twice with the same seed; per-job outputs must be bit-identical
 // (exit code 2 otherwise), the serving determinism guarantee.
 
-int run_serving_mode(const std::string& out_path) {
-  std::printf("serving mode: fleet runtime under fault injection\n");
-  const data::BenchmarkCase bc{"iris", 2, 2};
-  const data::EncodedSplit split = data::prepare_case(bc, 42);
-  const qnn::QnnModel m(qnn::Backbone::kCRz, bc.num_qubits, bc.num_layers);
-  const int fleet_size = 6;
-  core::TrainConfig tcfg;
-  const core::DistributedTrainer trainer(
-      m, device::table3_fleet_subset(fleet_size, bc.num_qubits), tcfg);
-
-  // Per-QPU personalized weights (deterministic draws; the bench
-  // measures serving mechanics, not model quality).
-  math::Rng wrng(42);
+// Shared serving workload: 6-QPU fleet, iris 2q2l, per-QPU personalized
+// weights from deterministic draws (the benches measure serving
+// mechanics, not model quality). Used by --serving and --serving-obs.
+struct ServingWorkload {
+  data::EncodedSplit split;
+  std::unique_ptr<core::DistributedTrainer> trainer;
   std::vector<std::vector<double>> weights;
-  for (int q = 0; q < fleet_size; ++q) {
-    std::vector<double> w(static_cast<std::size_t>(m.num_weights()));
-    math::Rng qrng = wrng.split(static_cast<std::uint64_t>(q));
-    for (double& x : w) x = qrng.normal(0.0, 0.3);
-    weights.push_back(std::move(w));
-  }
+  int fleet_size = 6;
+};
 
-  const std::size_t n_jobs = 400;
+ServingWorkload make_serving_workload() {
+  ServingWorkload w;
+  const data::BenchmarkCase bc{"iris", 2, 2};
+  w.split = data::prepare_case(bc, 42);
+  const qnn::QnnModel m(qnn::Backbone::kCRz, bc.num_qubits, bc.num_layers);
+  core::TrainConfig tcfg;
+  w.trainer = std::make_unique<core::DistributedTrainer>(
+      m, device::table3_fleet_subset(w.fleet_size, bc.num_qubits), tcfg);
+  math::Rng wrng(42);
+  for (int q = 0; q < w.fleet_size; ++q) {
+    std::vector<double> wq(static_cast<std::size_t>(m.num_weights()));
+    math::Rng qrng = wrng.split(static_cast<std::uint64_t>(q));
+    for (double& x : wq) x = qrng.normal(0.0, 0.3);
+    w.weights.push_back(std::move(wq));
+  }
+  return w;
+}
+
+int run_serving_mode(const std::string& out_path, std::size_t n_jobs) {
+  std::printf("serving mode: fleet runtime under fault injection "
+              "(%zu jobs)\n", n_jobs);
+  const ServingWorkload w = make_serving_workload();
+  const int fleet_size = w.fleet_size;
+  const data::EncodedSplit& split = w.split;
+  const core::DistributedTrainer& trainer = *w.trainer;
+
   const std::string fault_spec = "kill:1@120,transient:0.02,lag:8";
   serve::FaultConfig fcfg = serve::FaultInjector::parse(fault_spec);
   const serve::FaultInjector faults(static_cast<std::size_t>(fleet_size),
@@ -704,6 +721,8 @@ int run_serving_mode(const std::string& out_path) {
     std::vector<serve::JobResult> results;
     serve::ServingReport report;
     std::size_t epochs = 0;
+    std::vector<serve::FlightRecord> flight;
+    std::string flight_jsonl;
   };
   const auto run_once = [&]() {
     serve::ServeConfig sc;
@@ -714,13 +733,18 @@ int run_serving_mode(const std::string& out_path) {
     // Size the queue for the whole workload: admission rejects depend on
     // live occupancy and would break the run-to-run determinism check.
     sc.queue_capacity = n_jobs * static_cast<std::size_t>(fleet_size);
-    serve::ServingRuntime runtime(trainer.executors(), weights,
+    serve::FlightRecorder flight(n_jobs + 1);
+    serve::ServingRuntime runtime(trainer.executors(), w.weights,
                                   trainer.behavioral_vectors(), sc,
-                                  &faults);
+                                  &faults, nullptr, &flight);
     for (std::size_t i = 0; i < n_jobs; ++i) {
       serve::JobSpec spec;
       spec.features = split.test_features[i % split.test_features.size()];
       spec.label = split.test_labels[i % split.test_labels.size()];
+      // Every 8th job carries an unmeetable modeled-time deadline, so
+      // the dropout scenario deterministically produces deadline-missed
+      // jobs for the flight-recorder coverage check below.
+      if (i % 8 == 0) spec.deadline_us = 1e-3;
       runtime.submit(spec);
     }
     runtime.drain();
@@ -728,6 +752,8 @@ int run_serving_mode(const std::string& out_path) {
     out.results = runtime.results();
     out.report = runtime.report();
     out.epochs = runtime.epochs();
+    out.flight = flight.snapshot();
+    out.flight_jsonl = flight.to_jsonl();
     return out;
   };
 
@@ -758,6 +784,23 @@ int run_serving_mode(const std::string& out_path) {
     }
   }
 
+  // Flight-recorder coverage: every dropped, deadline-missed, or
+  // retry-exhausted job must have left a postmortem record, and the
+  // record dump (modeled quantities only) must reproduce byte-for-byte.
+  std::size_t bad_jobs = 0, covered = 0;
+  for (const serve::JobResult& jr : a.results) {
+    if (jr.status == serve::JobStatus::kOk) continue;
+    ++bad_jobs;
+    for (const serve::FlightRecord& fr : a.flight) {
+      if (fr.job == jr.id) {
+        ++covered;
+        break;
+      }
+    }
+  }
+  const bool flight_covered = covered == bad_jobs;
+  const bool flight_deterministic = a.flight_jsonl == b.flight_jsonl;
+
   const serve::ServingReport& rep = a.report;
   std::FILE* f = std::fopen(out_path.c_str(), "w");
   if (f == nullptr) {
@@ -785,17 +828,152 @@ int run_serving_mode(const std::string& out_path) {
                "  \"latency_us\": {\"wall_p50\": %.2f, \"wall_p99\": %.2f, "
                "\"virtual_p50\": %.2f, \"virtual_p99\": %.2f},\n",
                p50, p99, vp50, vp99);
+  std::fprintf(f, "  \"flight_records\": %zu,\n", a.flight.size());
+  std::fprintf(f, "  \"flight_coverage\": \"%zu/%zu\",\n", covered,
+               bad_jobs);
+  std::fprintf(f, "  \"flight_covered\": %s,\n",
+               flight_covered ? "true" : "false");
+  std::fprintf(f, "  \"flight_deterministic\": %s,\n",
+               flight_deterministic ? "true" : "false");
   std::fprintf(f, "  \"deterministic\": %s\n}\n",
                deterministic ? "true" : "false");
   std::fclose(f);
   std::printf("wrote %s\n", out_path.c_str());
   std::printf("serving: %zu jobs ok, %llu retries, %zu dropouts, "
-              "%.1f jobs/s, p50 %.1fus p99 %.1fus, deterministic=%s\n",
+              "%.1f jobs/s, p50 %.1fus p99 %.1fus, deterministic=%s, "
+              "flight %zu/%zu (dump deterministic=%s)\n",
               rep.completed,
               static_cast<unsigned long long>(rep.retries),
               rep.dropouts_detected, rep.throughput_jobs_per_s, p50, p99,
-              deterministic ? "yes" : "NO");
-  return deterministic ? 0 : 2;
+              deterministic ? "yes" : "NO", covered, bad_jobs,
+              flight_deterministic ? "yes" : "NO");
+  return deterministic && flight_covered && flight_deterministic ? 0 : 2;
+}
+
+// ---------------------------------------------------------------------------
+// Serving observability A/B mode (`--serving-obs`): the serving workload
+// clocked under three tracing regimes — off, sampled (every 8th job), and
+// full per-job tracing — in adjacent triples so each triple sees the same
+// machine conditions (median-of-ratios, like --telemetry-ab). Per-job
+// outputs must be bit-identical across all three regimes (tracing is
+// observational only; exit code 2 otherwise). The full-tracing overhead
+// ratio is targeted at < 5% and recorded, not enforced: CI machines are
+// noisy.
+
+int run_serving_obs_mode(const std::string& out_path, std::size_t n_jobs) {
+  std::printf("serving observability A/B: tracing off / sampled / full "
+              "(%zu jobs)\n", n_jobs);
+  const ServingWorkload w = make_serving_workload();
+  const data::EncodedSplit& split = w.split;
+  const core::DistributedTrainer& trainer = *w.trainer;
+  const std::string fault_spec = "kill:1@120,transient:0.02,lag:8";
+  const serve::FaultInjector faults(
+      static_cast<std::size_t>(w.fleet_size),
+      serve::FaultInjector::parse(fault_spec));
+
+  struct ObsRun {
+    std::vector<serve::JobResult> results;
+    double seconds = 0.0;
+  };
+  const auto run_once = [&](int sample_every) {
+    telemetry::TraceBuffer::global().clear();
+    serve::ServeConfig sc;
+    sc.shots_per_job = 128;
+    sc.trajectories = 8;
+    sc.backoff_base_us = 5.0;
+    sc.backoff_max_us = 100.0;
+    sc.queue_capacity = n_jobs * static_cast<std::size_t>(w.fleet_size);
+    sc.trace_sample_every = sample_every;
+    ObsRun out;
+    const double t0 = now_seconds();
+    {
+      serve::ServingRuntime runtime(trainer.executors(), w.weights,
+                                    trainer.behavioral_vectors(), sc,
+                                    &faults);
+      for (std::size_t i = 0; i < n_jobs; ++i) {
+        serve::JobSpec spec;
+        spec.features = split.test_features[i % split.test_features.size()];
+        spec.label = split.test_labels[i % split.test_labels.size()];
+        runtime.submit(spec);
+      }
+      runtime.drain();
+      out.results = runtime.results();
+    }
+    out.seconds = now_seconds() - t0;
+    return out;
+  };
+
+  telemetry::set_telemetry_runtime_enabled(true);
+  (void)run_once(0);  // warm-up eats one-time init costs
+
+  double off_s = 1e300, sampled_s = 1e300, full_s = 1e300;
+  std::vector<double> sampled_ratios, full_ratios;
+  std::vector<serve::JobResult> res_off, res_sampled, res_full;
+  for (int rep = 0; rep < 5; ++rep) {
+    const ObsRun off = run_once(0);
+    const ObsRun sampled = run_once(8);
+    const ObsRun full = run_once(1);
+    off_s = std::min(off_s, off.seconds);
+    sampled_s = std::min(sampled_s, sampled.seconds);
+    full_s = std::min(full_s, full.seconds);
+    sampled_ratios.push_back(sampled.seconds / off.seconds);
+    full_ratios.push_back(full.seconds / off.seconds);
+    if (rep == 0) {
+      res_off = off.results;
+      res_sampled = sampled.results;
+      res_full = full.results;
+    }
+  }
+  std::sort(sampled_ratios.begin(), sampled_ratios.end());
+  std::sort(full_ratios.begin(), full_ratios.end());
+  const double sampled_ratio = sampled_ratios[sampled_ratios.size() / 2];
+  const double full_ratio = full_ratios[full_ratios.size() / 2];
+
+  // Admitted-set bit-identity across all three tracing regimes.
+  const auto same = [](const std::vector<serve::JobResult>& x,
+                       const std::vector<serve::JobResult>& y) {
+    if (x.size() != y.size()) return false;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      if (x[i].status != y[i].status ||
+          x[i].probability != y[i].probability ||
+          x[i].retries != y[i].retries ||
+          x[i].virtual_latency_us != y[i].virtual_latency_us) {
+        return false;
+      }
+    }
+    return true;
+  };
+  const bool identical =
+      same(res_off, res_sampled) && same(res_off, res_full);
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"mode\": \"serving-obs\",\n");
+  std::fprintf(f, "  \"fleet\": %d,\n  \"jobs\": %zu,\n", w.fleet_size,
+               n_jobs);
+  std::fprintf(f, "  \"faults\": \"%s\",\n", fault_spec.c_str());
+  std::fprintf(f,
+               "  \"timing\": \"median of 5 off/sampled/full triples; "
+               "seconds are per-arm minima\",\n");
+  std::fprintf(f, "  \"trace_off_seconds\": %.6f,\n", off_s);
+  std::fprintf(f, "  \"trace_sampled_seconds\": %.6f,\n", sampled_s);
+  std::fprintf(f, "  \"trace_full_seconds\": %.6f,\n", full_s);
+  std::fprintf(f, "  \"sampled_overhead_ratio\": %.4f,\n", sampled_ratio);
+  std::fprintf(f, "  \"full_overhead_ratio\": %.4f,\n", full_ratio);
+  std::fprintf(f, "  \"full_overhead_percent\": %.2f,\n",
+               100.0 * (full_ratio - 1.0));
+  std::fprintf(f, "  \"overhead_target_percent\": 5.0,\n");
+  std::fprintf(f, "  \"identical\": %s\n}\n", identical ? "true" : "false");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  std::printf("serving-obs: off %.3fs  sampled %.3fs (%+.2f%%)  "
+              "full %.3fs (%+.2f%%)  identical=%s\n",
+              off_s, sampled_s, 100.0 * (sampled_ratio - 1.0), full_s,
+              100.0 * (full_ratio - 1.0), identical ? "yes" : "NO");
+  return identical ? 0 : 2;
 }
 
 }  // namespace
@@ -812,6 +990,8 @@ int main(int argc, char** argv) {
   bool plan_ab = false;
   bool telemetry_ab = false;
   bool serving = false;
+  bool serving_obs = false;
+  int serving_jobs = 400;
   std::string scaling_out = "BENCH_perf.json";
   // Strip our flags before google-benchmark sees (and rejects) them.
   std::vector<char*> passthrough;
@@ -829,6 +1009,10 @@ int main(int argc, char** argv) {
       telemetry_ab = true;
     } else if (flag == "--serving") {
       serving = true;
+    } else if (flag == "--serving-obs") {
+      serving_obs = true;
+    } else if (flag == "--serving-jobs") {
+      if (const char* v = next()) serving_jobs = std::atoi(v);
     } else if (flag == "--scaling-fleet") {
       if (const char* v = next()) scaling_fleet = std::atoi(v);
     } else if (flag == "--scaling-epochs") {
@@ -839,11 +1023,15 @@ int main(int argc, char** argv) {
       passthrough.push_back(argv[i]);
     }
   }
+  const std::size_t n_serving_jobs =
+      serving_jobs > 0 ? static_cast<std::size_t>(serving_jobs) : 400;
   int rc = 0;
   if (plan_ab) {
     rc = run_plan_ab_mode(scaling_out);
   } else if (serving) {
-    rc = run_serving_mode(scaling_out);
+    rc = run_serving_mode(scaling_out, n_serving_jobs);
+  } else if (serving_obs) {
+    rc = run_serving_obs_mode(scaling_out, n_serving_jobs);
   } else if (telemetry_ab) {
     rc = run_telemetry_ab_mode(scaling_out);
   } else if (scaling_threads != 0) {

@@ -7,11 +7,13 @@
 //
 // Run with --help for the full flag list.
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "arbiterq/core/scheduler.hpp"
 #include "arbiterq/core/torus.hpp"
@@ -20,9 +22,12 @@
 #include "arbiterq/device/presets.hpp"
 #include "arbiterq/exec/parallel.hpp"
 #include "arbiterq/monitor/health.hpp"
+#include "arbiterq/monitor/slo.hpp"
 #include "arbiterq/report/csv.hpp"
+#include "arbiterq/serve/flight_recorder.hpp"
 #include "arbiterq/serve/runtime.hpp"
 #include "arbiterq/telemetry/export.hpp"
+#include "arbiterq/telemetry/http.hpp"
 #include "arbiterq/telemetry/metrics.hpp"
 #include "arbiterq/telemetry/profile.hpp"
 #include "arbiterq/telemetry/prometheus.hpp"
@@ -51,6 +56,11 @@ struct CliOptions {
   int jobs = 0;
   double deadline_us = 0.0;
   int queue_cap = 1024;
+  int listen = -1;       ///< scrape port; -1 = off, 0 = ephemeral
+  int trace_sample = 0;  ///< per-job tracing: 0 off, 1 full, N sampled
+  int linger_ms = 0;     ///< keep the scrape endpoint up after drain
+  std::string tenant;
+  std::string flight_out;
   std::string csv;
   std::string telemetry;
   std::string health;
@@ -87,6 +97,18 @@ void usage() {
       "              (default 0 = none)\n"
       "  --queue-cap N  serving admission bound in shot-batches\n"
       "              (default 1024)\n"
+      "  --listen PORT  serve a live scrape endpoint on 127.0.0.1:PORT\n"
+      "              during --serve: /metrics (Prometheus text),\n"
+      "              /healthz (fleet health JSON), /slo (SLO report)\n"
+      "              (0 = kernel-assigned port)\n"
+      "  --trace-sample N  per-job causal tracing for --serve: 0 = off,\n"
+      "              1 = every job, N = every Nth job (default 0)\n"
+      "  --tenant NAME  tenant label stamped on serving jobs (traces,\n"
+      "              flight records, per-tenant counters)\n"
+      "  --flight-out PATH  dump the flight recorder (postmortems of\n"
+      "              rejected/expired/failed jobs) as JSONL\n"
+      "  --linger-ms N  keep the scrape endpoint up N ms after drain\n"
+      "              so a scraper can read the final state (default 0)\n"
       "  --csv PATH  dump the loss curve as CSV\n"
       "  --telemetry PATH  dump telemetry (epoch/assignment records,\n"
       "              metric counters, trace spans) as JSONL\n"
@@ -119,6 +141,16 @@ bool parse(int argc, char** argv, CliOptions* opts) {
       if (const char* v = next()) opts->deadline_us = std::atof(v);
     } else if (flag == "--queue-cap") {
       if (const char* v = next()) opts->queue_cap = std::atoi(v);
+    } else if (flag == "--listen") {
+      if (const char* v = next()) opts->listen = std::atoi(v);
+    } else if (flag == "--trace-sample") {
+      if (const char* v = next()) opts->trace_sample = std::atoi(v);
+    } else if (flag == "--tenant") {
+      if (const char* v = next()) opts->tenant = v;
+    } else if (flag == "--flight-out") {
+      if (const char* v = next()) opts->flight_out = v;
+    } else if (flag == "--linger-ms") {
+      if (const char* v = next()) opts->linger_ms = std::atoi(v);
     } else if (flag == "--dataset") {
       if (const char* v = next()) opts->dataset = v;
     } else if (flag == "--backbone") {
@@ -274,15 +306,49 @@ int main(int argc, char** argv) {
         opts.queue_cap > 0 ? opts.queue_cap : 1024);
     sc.deadline_us = opts.deadline_us;
     sc.seed = opts.seed;
+    sc.trace_sample_every = opts.trace_sample;
     std::unique_ptr<serve::FaultInjector> faults;
     if (!opts.faults.empty()) {
       faults = std::make_unique<serve::FaultInjector>(
           static_cast<std::size_t>(opts.fleet),
           serve::FaultInjector::parse(opts.faults));
     }
+    // The scrape endpoint needs a health monitor behind /healthz even
+    // when --health wasn't requested.
+    std::unique_ptr<monitor::FleetHealthMonitor> serve_mon;
+    monitor::FleetHealthMonitor* mon_ptr = mon.get();
+    if (mon_ptr == nullptr && opts.listen >= 0) {
+      serve_mon = std::make_unique<monitor::FleetHealthMonitor>(
+          static_cast<std::size_t>(opts.fleet));
+      mon_ptr = serve_mon.get();
+    }
+    serve::FlightRecorder flight;
+    monitor::SloEngine slo(monitor::SloPolicy::defaults(), mon_ptr);
     serve::ServingRuntime runtime(trainer.executors(), r.weights,
                                   trainer.behavioral_vectors(), sc,
-                                  faults.get(), mon.get());
+                                  faults.get(), mon_ptr, &flight, &slo);
+
+    telemetry::ScrapeServer scrape;
+    if (opts.listen >= 0) {
+      scrape.handle_text("/metrics", telemetry::prometheus_content_type(),
+                         [] {
+                           return telemetry::prometheus_text(
+                               telemetry::MetricsRegistry::global()
+                                   .snapshot());
+                         });
+      scrape.handle_text("/healthz", "application/json", [mon_ptr] {
+        return mon_ptr->report().to_jsonl();
+      });
+      scrape.handle_text("/slo", "application/json",
+                         [&slo] { return slo.report().to_jsonl(); });
+      if (scrape.start(static_cast<std::uint16_t>(opts.listen))) {
+        std::printf("scrape endpoint: http://127.0.0.1:%u/metrics\n",
+                    static_cast<unsigned>(scrape.port()));
+      } else {
+        std::fprintf(stderr, "cannot bind scrape port %d\n", opts.listen);
+      }
+    }
+
     const std::size_t n_jobs =
         opts.jobs > 0 ? static_cast<std::size_t>(opts.jobs)
                       : split.test_features.size();
@@ -290,6 +356,7 @@ int main(int argc, char** argv) {
       serve::JobSpec spec;
       spec.features = split.test_features[i % split.test_features.size()];
       spec.label = split.test_labels[i % split.test_labels.size()];
+      spec.tenant = opts.tenant;
       runtime.submit(spec);
     }
     runtime.drain();
@@ -311,6 +378,18 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(h.count));
       }
     }
+    std::printf("%s", slo.report().to_table_string().c_str());
+    if (!opts.flight_out.empty()) {
+      flight.write_jsonl(opts.flight_out);
+      std::printf("wrote %s (%zu flight records, %zu dropped)\n",
+                  opts.flight_out.c_str(), flight.size(), flight.dropped());
+    }
+    if (scrape.running() && opts.linger_ms > 0) {
+      std::printf("scrape endpoint lingering %d ms...\n", opts.linger_ms);
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(opts.linger_ms));
+    }
+    scrape.stop();
   }
 
   if (tel) {

@@ -98,6 +98,14 @@ void FleetHealthMonitor::observe_membership(int qpu, bool online) {
   have_online_[i] = true;
 }
 
+void FleetHealthMonitor::observe_slo_breach(const std::string& slo_class,
+                                            double burn_rate) {
+  (void)slo_class;  // per-class detail lives in the SloReport itself
+  std::lock_guard<std::mutex> lock(mu_);
+  ++slo_breaches_;
+  slo_worst_burn_ = std::max(slo_worst_burn_, burn_rate);
+}
+
 void FleetHealthMonitor::on_assignment(
     const telemetry::AssignmentRecord& record) {
   (void)record;
@@ -146,6 +154,8 @@ FleetHealthReport FleetHealthMonitor::report() const {
   std::lock_guard<std::mutex> lock(mu_);
   FleetHealthReport rep;
   rep.churn = churn_;
+  rep.slo_breaches = slo_breaches_;
+  rep.slo_worst_burn = slo_worst_burn_;
   rep.qpus.reserve(trackers_.size());
   for (std::size_t i = 0; i < trackers_.size(); ++i) {
     const ConvergenceTracker& t = trackers_[i];
@@ -204,9 +214,11 @@ std::string FleetHealthReport::to_table_string() const {
   }
   std::snprintf(buf, sizeof buf,
                 "fleet: %zu healthy, %zu drifting, %zu stalled, "
-                "%zu isolated | edge churn +%zu -%zu (kept %zu)\n",
+                "%zu isolated | edge churn +%zu -%zu (kept %zu)"
+                " | slo breaches %zu (worst burn %.2f)\n",
                 healthy, drifting, stalled, isolated, churn.added.size(),
-                churn.removed.size(), churn.kept);
+                churn.removed.size(), churn.kept, slo_breaches,
+                slo_worst_burn);
   out += buf;
   return out;
 }
@@ -245,6 +257,8 @@ std::string FleetHealthReport::to_jsonl() const {
              .field("edges_removed",
                     static_cast<std::uint64_t>(churn.removed.size()))
              .field("edges_kept", static_cast<std::uint64_t>(churn.kept))
+             .field("slo_breaches", static_cast<std::uint64_t>(slo_breaches))
+             .field("slo_worst_burn", slo_worst_burn)
              .finish() +
          "\n";
   return out;

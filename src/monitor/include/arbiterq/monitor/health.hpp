@@ -125,6 +125,10 @@ struct FleetHealthReport {
   /// Edge churn between the two most recent observe_similarity calls
   /// (empty until the graph has been observed twice).
   EdgeChurn churn;
+  /// SLO breach windows forwarded by an attached SloEngine.
+  std::size_t slo_breaches = 0;
+  /// Highest burn rate among forwarded breaches (0 when none).
+  double slo_worst_burn = 0.0;
 
   /// Fixed-width human-readable table plus a one-line summary.
   std::string to_table_string() const;
@@ -150,6 +154,9 @@ class FleetHealthMonitor final : public telemetry::TrainingTelemetry {
   /// leaving the convergence tracker untouched. Out-of-range QPUs are
   /// ignored, like on_epoch.
   void observe_membership(int qpu, bool online);
+  /// SLO breach forwarded by an SloEngine: tallies the breach and keeps
+  /// the worst burn rate seen, surfaced in the report summary.
+  void observe_slo_breach(const std::string& slo_class, double burn_rate);
 
   /// Calibration baseline the drift distances are measured against.
   void set_baseline(const std::vector<core::BehavioralVector>& vectors);
@@ -179,6 +186,8 @@ class FleetHealthMonitor final : public telemetry::TrainingTelemetry {
   bool have_similarity_ = false;
   EdgeChurn churn_;
   std::size_t assignments_ = 0;
+  std::size_t slo_breaches_ = 0;
+  double slo_worst_burn_ = 0.0;
 };
 
 }  // namespace arbiterq::monitor

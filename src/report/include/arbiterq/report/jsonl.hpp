@@ -32,6 +32,8 @@ class JsonLine {
   JsonLine& field(std::string_view key,
                   const std::vector<std::uint64_t>& values);
   JsonLine& field(std::string_view key, const std::vector<int>& values);
+  JsonLine& field(std::string_view key,
+                  const std::vector<std::string>& values);
 
   /// The finished object, `{...}` without a trailing newline.
   std::string finish() const;

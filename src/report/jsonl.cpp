@@ -126,6 +126,17 @@ JsonLine& JsonLine::field(std::string_view key,
   return raw(key, std::move(arr));
 }
 
+JsonLine& JsonLine::field(std::string_view key,
+                          const std::vector<std::string>& values) {
+  std::string arr = "[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) arr += ",";
+    arr += "\"" + json_escape(values[i]) + "\"";
+  }
+  arr += "]";
+  return raw(key, std::move(arr));
+}
+
 std::string JsonLine::finish() const { return "{" + body_ + "}"; }
 
 namespace {

@@ -1,0 +1,135 @@
+#include "arbiterq/serve/flight_recorder.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+#include "arbiterq/report/jsonl.hpp"
+
+namespace arbiterq::serve {
+
+std::string flight_event_kind_name(FlightEventKind kind) {
+  switch (kind) {
+    case FlightEventKind::kRoute:
+      return "route";
+    case FlightEventKind::kReject:
+      return "reject";
+    case FlightEventKind::kExecute:
+      return "execute";
+    case FlightEventKind::kDropoutFault:
+      return "dropout_fault";
+    case FlightEventKind::kTransientFault:
+      return "transient_fault";
+    case FlightEventKind::kLatencySpike:
+      return "latency_spike";
+    case FlightEventKind::kBackoff:
+      return "backoff";
+    case FlightEventKind::kReroute:
+      return "reroute";
+    case FlightEventKind::kExpire:
+      return "expire";
+    case FlightEventKind::kRetriesExhausted:
+      return "retries_exhausted";
+  }
+  throw std::logic_error("flight_event_kind_name: unknown kind");
+}
+
+FlightRecorder::FlightRecorder(std::size_t capacity) : capacity_(capacity) {
+  if (capacity_ == 0) {
+    throw std::invalid_argument("FlightRecorder: capacity must be > 0");
+  }
+}
+
+void FlightRecorder::record(FlightRecord rec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() == capacity_) {
+    ring_.erase(ring_.begin());
+  }
+  ring_.push_back(std::move(rec));
+  ++total_;
+}
+
+std::size_t FlightRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+std::size_t FlightRecorder::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+std::size_t FlightRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_ - ring_.size();
+}
+
+std::vector<FlightRecord> FlightRecorder::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_;
+}
+
+std::string FlightRecorder::to_jsonl() const {
+  std::vector<FlightRecord> records = snapshot();
+  // Records arrive in job *completion* order, which is schedule-
+  // dependent; the dump sorts by job id so a seeded run reproduces
+  // byte-for-byte (as long as the ring never evicted).
+  std::sort(records.begin(), records.end(),
+            [](const FlightRecord& x, const FlightRecord& y) {
+              return x.job < y.job;
+            });
+  std::string out;
+  for (const FlightRecord& r : records) {
+    std::vector<std::string> kinds;
+    std::vector<int> slots, attempts, qpus;
+    std::vector<double> vus, values;
+    kinds.reserve(r.events.size());
+    slots.reserve(r.events.size());
+    attempts.reserve(r.events.size());
+    qpus.reserve(r.events.size());
+    vus.reserve(r.events.size());
+    values.reserve(r.events.size());
+    for (const FlightEvent& e : r.events) {
+      kinds.push_back(flight_event_kind_name(e.kind));
+      slots.push_back(e.slot);
+      attempts.push_back(e.attempt);
+      qpus.push_back(e.qpu);
+      vus.push_back(e.virtual_us);
+      values.push_back(e.value);
+    }
+    out += report::JsonLine()
+               .field("type", "flight")
+               .field("job", r.job)
+               .field("tenant", r.tenant)
+               .field("slo_class", r.slo_class)
+               .field("status", r.status)
+               .field("epoch", static_cast<std::uint64_t>(r.epoch))
+               .field("torus", static_cast<std::uint64_t>(r.torus))
+               .field("shots", r.shots)
+               .field("retries", r.retries)
+               .field("virtual_latency_us", r.virtual_latency_us)
+               .field("ev_kind", kinds)
+               .field("ev_slot", slots)
+               .field("ev_attempt", attempts)
+               .field("ev_qpu", qpus)
+               .field("ev_vus", vus)
+               .field("ev_value", values)
+               .finish() +
+           "\n";
+  }
+  return out;
+}
+
+void FlightRecorder::write_jsonl(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) {
+    throw std::runtime_error("FlightRecorder: cannot open " + path);
+  }
+  os << to_jsonl();
+  os.flush();
+  if (!os) {
+    throw std::runtime_error("FlightRecorder: write failed for " + path);
+  }
+}
+
+}  // namespace arbiterq::serve

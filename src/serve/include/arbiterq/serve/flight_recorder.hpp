@@ -1,0 +1,109 @@
+#pragma once
+// Flight recorder for the serving runtime: a bounded ring of full
+// per-job event sequences, captured only for jobs that ended badly —
+// dropped at admission, deadline-missed, or retry-exhausted. A healthy
+// job costs nothing beyond the per-slot event vectors it would have
+// discarded; a failed one leaves a complete postmortem: every route
+// choice, fault decision, backoff amount, retry target, and the final
+// disposition, reconstructible without re-running the workload.
+//
+// Determinism: the record stores only *modeled* quantities — virtual
+// timestamps, seeded fault/backoff outcomes, slot indices — so the
+// JSONL dump of a seeded run is byte-identical across runs and thread
+// schedules for the admitted set (admission rejects additionally record
+// the queue depth that caused them, which is real-time state; their
+// event sequence is still just the route decision).
+//
+// The ring is mutex-guarded and drops the *oldest* record when full;
+// total_recorded/dropped expose the loss so a postmortem knows whether
+// it is looking at the whole story.
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace arbiterq::serve {
+
+enum class FlightEventKind {
+  kRoute,             ///< torus chosen at submit (value = torus)
+  kReject,            ///< admission refused (value = queue depth seen)
+  kExecute,           ///< slot executed ok (value = exec virtual us)
+  kDropoutFault,      ///< slot hit a dead QPU
+  kTransientFault,    ///< slot hit an injected transient failure
+  kLatencySpike,      ///< slot executed under a spike (value = multiplier)
+  kBackoff,           ///< retry backoff charged (value = backoff us)
+  kReroute,           ///< slot re-routed (value = new target QPU)
+  kExpire,            ///< slot crossed the modeled deadline
+  kRetriesExhausted,  ///< slot failed with no retries left
+};
+
+std::string flight_event_kind_name(FlightEventKind kind);
+
+/// One step of a job's life. `virtual_us` is the slot's modeled chain
+/// time when the event fired (0 for submit-time events); `value` is the
+/// kind-specific payload documented on FlightEventKind.
+struct FlightEvent {
+  FlightEventKind kind = FlightEventKind::kRoute;
+  int slot = -1;  ///< -1 = whole-job event (route/reject)
+  int attempt = 0;
+  int qpu = -1;
+  double virtual_us = 0.0;
+  double value = 0.0;
+};
+
+/// Full postmortem for one failed job.
+struct FlightRecord {
+  std::uint64_t job = 0;
+  std::string tenant;
+  std::string slo_class;
+  std::string status;  ///< job_status_name of the final disposition
+  std::size_t epoch = 0;
+  std::size_t torus = 0;
+  int shots = 0;
+  int retries = 0;
+  double virtual_latency_us = 0.0;
+  std::vector<FlightEvent> events;  ///< slot-major, per-slot in order
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(std::size_t capacity = 256);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Append one record, evicting the oldest when the ring is full.
+  /// Thread-safe.
+  void record(FlightRecord rec);
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t size() const;
+  /// Records accepted over the recorder's lifetime (>= size()).
+  std::size_t total_recorded() const;
+  /// Records evicted to make room (total_recorded - size).
+  std::size_t dropped() const;
+
+  /// Resident records, oldest first.
+  std::vector<FlightRecord> snapshot() const;
+
+  /// One {"type":"flight",...} line per resident record, sorted by job
+  /// id (completion order is schedule-dependent; the sort makes the
+  /// dump of a seeded run byte-identical whenever the ring held every
+  /// record — size the capacity for the workload when reproducibility
+  /// matters, exactly like the admission queue). Events are emitted as
+  /// parallel arrays (ev_kind/ev_slot/ev_attempt/ev_qpu/ev_vus/
+  /// ev_value) so each record stays one flat JSONL line.
+  std::string to_jsonl() const;
+  /// to_jsonl() to a file; throws on I/O failure.
+  void write_jsonl(const std::string& path) const;
+
+ private:
+  std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<FlightRecord> ring_;  ///< oldest first
+  std::size_t total_ = 0;
+};
+
+}  // namespace arbiterq::serve

@@ -39,6 +39,10 @@ struct ShotBatch {
   int attempt = 0;
   JobPriority priority = JobPriority::kNormal;
   std::vector<int> excluded;
+  /// Trace clock at (re-)enqueue, for queue-wait spans of traced jobs;
+  /// 0 when the owning job is untraced (the common case — the clock
+  /// read is skipped entirely).
+  std::uint64_t enqueue_ns = 0;
 };
 
 class JobQueue {

@@ -54,8 +54,10 @@
 #include "arbiterq/core/torus.hpp"
 #include "arbiterq/math/rng.hpp"
 #include "arbiterq/monitor/health.hpp"
+#include "arbiterq/monitor/slo.hpp"
 #include "arbiterq/qnn/executor.hpp"
 #include "arbiterq/serve/fault_injector.hpp"
+#include "arbiterq/serve/flight_recorder.hpp"
 #include "arbiterq/serve/job_queue.hpp"
 
 namespace arbiterq::serve {
@@ -84,6 +86,17 @@ struct ServeConfig {
   /// Spawn the workers in the constructor. Disable to stage a
   /// backpressure scenario (submit before start()).
   bool autostart = true;
+  /// Per-job causal tracing: 0 = off, 1 = trace every job, N = trace
+  /// every Nth job (id % N == 0). A traced job emits a stitched span
+  /// tree (route decision, queue waits, per-slot executions, backoffs,
+  /// fault events) into TraceBuffer::global(), flow-keyed by job id so
+  /// chrome_trace_json renders one lane per job. Sampling keeps the
+  /// non-traced path to a handful of branches.
+  int trace_sample_every = 0;
+  /// Cadence, in *modeled* (virtual) microseconds of fleet execution
+  /// time, at which serve.queue.depth.sampled and the per-QPU
+  /// serve.qpu.inflight.q<i> gauges are refreshed. 0 disables sampling.
+  double gauge_cadence_us = 1000.0;
 };
 
 enum class JobStatus { kPending, kOk, kRejected, kExpired, kFailed };
@@ -96,6 +109,11 @@ struct JobSpec {
   JobPriority priority = JobPriority::kNormal;
   /// Modeled-time deadline override; < 0 uses ServeConfig::deadline_us.
   double deadline_us = -1.0;
+  /// Free-form tenant label for traces, flight records, and per-tenant
+  /// counters. Sanitized (safe_label) before reaching any exporter.
+  std::string tenant;
+  /// Service class the attached SloEngine judges this job under.
+  monitor::SloClass slo_class = monitor::SloClass::kBestEffort;
 };
 
 struct JobResult {
@@ -144,7 +162,9 @@ class ServingRuntime {
                  std::vector<core::BehavioralVector> behavioral,
                  ServeConfig config,
                  const FaultInjector* faults = nullptr,
-                 monitor::FleetHealthMonitor* monitor = nullptr);
+                 monitor::FleetHealthMonitor* monitor = nullptr,
+                 FlightRecorder* flight = nullptr,
+                 monitor::SloEngine* slo = nullptr);
   ~ServingRuntime();
 
   ServingRuntime(const ServingRuntime&) = delete;
@@ -186,6 +206,10 @@ class ServingRuntime {
     double probability = 0.0;
     int shots = 0;
     double chain_us = 0.0;  ///< modeled time of the whole retry chain
+    /// Flight-recorder event sequence for this slot (collected only
+    /// when a recorder is attached; single-writer like the rest of the
+    /// slot, published by the release decrement of `pending`).
+    std::vector<FlightEvent> flight;
   };
 
   struct JobState {
@@ -201,6 +225,16 @@ class ServingRuntime {
     std::atomic<int> pending{0};
     std::atomic<int> retries{0};
     double submit_wall_us = 0.0;
+    std::string tenant;
+    monitor::SloClass slo_class = monitor::SloClass::kBestEffort;
+    /// Tracing state, fixed at submit() before any batch is enqueued.
+    bool traced = false;
+    std::uint64_t root_span = 0;   ///< pre-allocated root span id
+    std::uint64_t submit_ns = 0;   ///< trace clock at submit
+    std::string flow_label;        ///< sanitized flow-lane label
+    /// Submit-time flight events (route decision / rejection); written
+    /// before admission, read at finalize.
+    std::vector<FlightEvent> route_events;
     // Finalize-time outputs (published by the release decrement of
     // `pending`, read after drain()).
     double probability = 0.5;
@@ -229,6 +263,22 @@ class ServingRuntime {
   bool dead(int qpu, std::uint64_t job) const {
     return faults_ != nullptr && faults_->dropped(qpu, job);
   }
+  /// Record one child span of a traced job's tree (caller checks
+  /// job.traced). `end_ns` >= `start_ns`; both from trace_now_ns().
+  void trace_child(const JobState& job, const char* name,
+                   std::uint64_t start_ns, std::uint64_t end_ns) const;
+  /// Close a traced job: emit the root "serve.job" span.
+  void trace_root(const JobState& job) const;
+  /// Append a flight event to a slot's sequence (no-op when no
+  /// recorder is attached).
+  void flight_note(BatchSlot& slot, FlightEventKind kind, int slot_index,
+                   int attempt, int qpu, double virtual_us, double value);
+  /// Assemble and store the job's flight record (only called for
+  /// non-ok dispositions, and only when a recorder is attached).
+  void flight_dump(const JobState& job);
+  /// Advance the modeled-time gauge clock by `us` of execution time and
+  /// refresh the sampled gauges when a cadence boundary is crossed.
+  void advance_virtual_time(double us);
 
   const std::vector<qnn::QnnExecutor>& executors_;
   std::vector<std::vector<double>> weights_;
@@ -236,6 +286,8 @@ class ServingRuntime {
   ServeConfig config_;
   const FaultInjector* faults_;
   monitor::FleetHealthMonitor* monitor_;
+  FlightRecorder* flight_;
+  monitor::SloEngine* slo_;
   math::Rng root_;
   JobQueue queue_;
 
@@ -262,6 +314,13 @@ class ServingRuntime {
   // the workers are joined.
   std::vector<double> qpu_shots_;
   std::vector<double> qpu_busy_us_;
+
+  // Virtual-time gauge sampling: workers accumulate modeled execution
+  // microseconds; whichever worker crosses the next cadence boundary
+  // wins the CAS and publishes the gauges.
+  std::unique_ptr<std::atomic<int>[]> inflight_;  ///< per QPU
+  std::atomic<std::uint64_t> virtual_us_acc_{0};
+  std::atomic<std::uint64_t> gauge_next_us_{0};
 
   std::vector<std::thread> workers_;
   bool started_ = false;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <functional>
 #include <stdexcept>
 
 #include "arbiterq/telemetry/metrics.hpp"
@@ -14,6 +15,10 @@ namespace {
 double wall_now_us() {
   const auto t = std::chrono::steady_clock::now().time_since_epoch();
   return std::chrono::duration<double, std::micro>(t).count();
+}
+
+std::uint64_t trace_thread_hash() {
+  return std::hash<std::thread::id>{}(std::this_thread::get_id());
 }
 
 }  // namespace
@@ -38,13 +43,16 @@ ServingRuntime::ServingRuntime(
     const std::vector<qnn::QnnExecutor>& executors,
     std::vector<std::vector<double>> weights,
     std::vector<core::BehavioralVector> behavioral, ServeConfig config,
-    const FaultInjector* faults, monitor::FleetHealthMonitor* monitor)
+    const FaultInjector* faults, monitor::FleetHealthMonitor* monitor,
+    FlightRecorder* flight, monitor::SloEngine* slo)
     : executors_(executors),
       weights_(std::move(weights)),
       behavioral_(std::move(behavioral)),
       config_(config),
       faults_(faults),
       monitor_(monitor),
+      flight_(flight),
+      slo_(slo),
       root_(config.seed),
       queue_(executors.empty() ? 1 : executors.size(),
              config.queue_capacity == 0 ? 1 : config.queue_capacity),
@@ -77,6 +85,15 @@ ServingRuntime::ServingRuntime(
     torus_rate_[0].push_back(rate);
     credit_[0].push_back(0.0);
   }
+  inflight_ = std::make_unique<std::atomic<int>[]>(executors_.size());
+  for (std::size_t q = 0; q < executors_.size(); ++q) {
+    inflight_[q].store(0, std::memory_order_relaxed);
+  }
+  if (config_.gauge_cadence_us > 0.0) {
+    gauge_next_us_.store(
+        static_cast<std::uint64_t>(config_.gauge_cadence_us),
+        std::memory_order_relaxed);
+  }
   AQ_GAUGE_SET("serve.fleet.alive", static_cast<double>(executors_.size()));
   if (config_.autostart) start();
 }
@@ -104,6 +121,12 @@ void ServingRuntime::start() {
 std::optional<std::uint64_t> ServingRuntime::submit(const JobSpec& spec) {
   std::unique_lock<std::mutex> route(route_mu_);
   const std::uint64_t id = next_job_++;
+  const bool traced =
+      telemetry::telemetry_runtime_enabled() &&
+      config_.trace_sample_every > 0 &&
+      id % static_cast<std::uint64_t>(config_.trace_sample_every) == 0;
+  const std::uint64_t route_start_ns =
+      traced ? telemetry::trace_now_ns() : 0;
   if (first_submit_wall_us_ == 0.0) first_submit_wall_us_ = wall_now_us();
 
   const std::size_t epoch =
@@ -176,6 +199,22 @@ std::optional<std::uint64_t> ServingRuntime::submit(const JobSpec& spec) {
       spec.deadline_us >= 0.0 ? spec.deadline_us : config_.deadline_us;
   job->epoch = epoch;
   job->torus = pick;
+  job->tenant = spec.tenant;
+  job->slo_class = spec.slo_class;
+  job->traced = traced;
+  if (traced) {
+    job->root_span = telemetry::allocate_span_id();
+    job->submit_ns = route_start_ns;
+    job->flow_label = telemetry::safe_label(
+        "job-" + std::to_string(id) +
+        (spec.tenant.empty() ? std::string() : " tenant=" + spec.tenant));
+  }
+  if (flight_ != nullptr) {
+    FlightEvent ev;
+    ev.kind = FlightEventKind::kRoute;
+    ev.value = static_cast<double>(pick);
+    job->route_events.push_back(ev);
+  }
   job->slots.resize(split.size());
   job->pending.store(static_cast<int>(split.size()),
                      std::memory_order_release);
@@ -195,10 +234,25 @@ std::optional<std::uint64_t> ServingRuntime::submit(const JobSpec& spec) {
   }
   route.unlock();
 
+  if (traced) {
+    const std::uint64_t now = telemetry::trace_now_ns();
+    trace_child(*job, "serve.job.route", route_start_ns, now);
+    for (ShotBatch& b : batches) b.enqueue_ns = now;
+  }
+
   if (!queue_.try_push_all(std::move(batches))) {
     job->status = JobStatus::kRejected;
     job->pending.store(0, std::memory_order_release);
     AQ_COUNTER_ADD("serve.jobs.rejected", 1);
+    if (flight_ != nullptr) {
+      FlightEvent ev;
+      ev.kind = FlightEventKind::kReject;
+      ev.value = static_cast<double>(queue_.depth());
+      job->route_events.push_back(ev);
+      flight_dump(*job);
+    }
+    if (slo_ != nullptr) slo_->observe_job(job->slo_class, 0.0, false);
+    if (traced) trace_root(*job);
     return std::nullopt;
   }
   AQ_COUNTER_ADD("serve.jobs.admitted", 1);
@@ -259,8 +313,11 @@ ServingRuntime::JobState* ServingRuntime::job_ptr(std::uint64_t id) {
 
 void ServingRuntime::worker_main(int qpu) {
   ShotBatch batch;
+  std::atomic<int>& inflight = inflight_[static_cast<std::size_t>(qpu)];
   while (queue_.pop(static_cast<std::size_t>(qpu), &batch)) {
+    inflight.fetch_add(1, std::memory_order_relaxed);
     process_batch(qpu, std::move(batch));
+    inflight.fetch_sub(1, std::memory_order_relaxed);
     queue_.task_done();
   }
 }
@@ -270,6 +327,16 @@ void ServingRuntime::process_batch(int qpu, ShotBatch batch) {
   JobState& job = *job_ptr(batch.job);
   BatchSlot& slot = job.slots[batch.slot];
   const auto uq = static_cast<std::size_t>(qpu);
+  const int si = static_cast<int>(batch.slot);
+
+  // Queue-wait span for traced jobs: enqueue -> this pop.
+  std::uint64_t now_ns = 0;
+  if (job.traced) {
+    now_ns = telemetry::trace_now_ns();
+    if (batch.enqueue_ns != 0) {
+      trace_child(job, "serve.batch.wait", batch.enqueue_ns, now_ns);
+    }
+  }
 
   // Dead device: the batch landed inside the detection window (or was
   // already queued when the QPU died). Detect, then re-route with no
@@ -277,6 +344,12 @@ void ServingRuntime::process_batch(int qpu, ShotBatch batch) {
   if (dead(qpu, job.id)) {
     note_dropout(qpu);
     AQ_COUNTER_ADD("serve.batches.failed", 1);
+    flight_note(slot, FlightEventKind::kDropoutFault, si, batch.attempt,
+                qpu, slot.chain_us, 0.0);
+    if (job.traced) {
+      trace_child(job, "serve.batch.fault.dropout", now_ns,
+                  telemetry::trace_now_ns());
+    }
     reroute(job, std::move(batch), qpu, /*backoff=*/false);
     return;
   }
@@ -284,6 +357,12 @@ void ServingRuntime::process_batch(int qpu, ShotBatch batch) {
   if (faults_ != nullptr &&
       faults_->transient_failure(job.id, qpu, batch.attempt)) {
     AQ_COUNTER_ADD("serve.batches.failed", 1);
+    flight_note(slot, FlightEventKind::kTransientFault, si, batch.attempt,
+                qpu, slot.chain_us, 0.0);
+    if (job.traced) {
+      trace_child(job, "serve.batch.fault.transient", now_ns,
+                  telemetry::trace_now_ns());
+    }
     reroute(job, std::move(batch), qpu, /*backoff=*/true);
     return;
   }
@@ -298,6 +377,11 @@ void ServingRuntime::process_batch(int qpu, ShotBatch batch) {
       static_cast<double>(batch.shots) * exec.shot_latency_us() * mult;
   slot.chain_us += exec_us;
   qpu_busy_us_[uq] += exec_us;
+  if (mult > 1.0) {
+    flight_note(slot, FlightEventKind::kLatencySpike, si, batch.attempt,
+                qpu, slot.chain_us, mult);
+  }
+  advance_virtual_time(exec_us);
 
   // Deadline check on the chain's modeled time *before* burning the
   // execution: an expired batch is dropped, not retried.
@@ -306,6 +390,12 @@ void ServingRuntime::process_batch(int qpu, ShotBatch batch) {
     slot.qpu = qpu;
     slot.shots = batch.shots;
     AQ_COUNTER_ADD("serve.batches.expired", 1);
+    flight_note(slot, FlightEventKind::kExpire, si, batch.attempt, qpu,
+                slot.chain_us, job.deadline_us);
+    if (job.traced) {
+      trace_child(job, "serve.batch.expire", now_ns,
+                  telemetry::trace_now_ns());
+    }
     complete_slot(job);
     return;
   }
@@ -323,18 +413,26 @@ void ServingRuntime::process_batch(int qpu, ShotBatch batch) {
   slot.probability = p;
   slot.shots = batch.shots;
   AQ_COUNTER_ADD("serve.batches.executed", 1);
+  flight_note(slot, FlightEventKind::kExecute, si, batch.attempt, qpu,
+              slot.chain_us, exec_us);
+  if (job.traced) {
+    trace_child(job, "serve.batch.exec", now_ns, telemetry::trace_now_ns());
+  }
   complete_slot(job);
 }
 
 void ServingRuntime::reroute(JobState& job, ShotBatch batch, int failed_qpu,
                              bool backoff) {
   BatchSlot& slot = job.slots[batch.slot];
+  const int si = static_cast<int>(batch.slot);
   batch.excluded.push_back(failed_qpu);
 
   if (batch.attempt >= config_.max_retries) {
     slot.outcome = BatchSlot::Outcome::kFailed;
     slot.qpu = failed_qpu;
     slot.shots = batch.shots;
+    flight_note(slot, FlightEventKind::kRetriesExhausted, si, batch.attempt,
+                failed_qpu, slot.chain_us, 0.0);
     complete_slot(job);
     return;
   }
@@ -364,6 +462,8 @@ void ServingRuntime::reroute(JobState& job, ShotBatch batch, int failed_qpu,
     slot.outcome = BatchSlot::Outcome::kFailed;
     slot.qpu = failed_qpu;
     slot.shots = batch.shots;
+    flight_note(slot, FlightEventKind::kRetriesExhausted, si, batch.attempt,
+                failed_qpu, slot.chain_us, 0.0);
     complete_slot(job);
     return;
   }
@@ -389,14 +489,25 @@ void ServingRuntime::reroute(JobState& job, ShotBatch batch, int failed_qpu,
         config_.backoff_base_us * std::ldexp(jitter, batch.attempt),
         config_.backoff_max_us);
     slot.chain_us += wait;
+    flight_note(slot, FlightEventKind::kBackoff, si, batch.attempt,
+                failed_qpu, slot.chain_us, wait);
+    const std::uint64_t backoff_start_ns =
+        job.traced ? telemetry::trace_now_ns() : 0;
     std::this_thread::sleep_for(
         std::chrono::duration<double, std::micro>(wait));
+    if (job.traced) {
+      trace_child(job, "serve.batch.backoff", backoff_start_ns,
+                  telemetry::trace_now_ns());
+    }
   }
 
   ++batch.attempt;
   batch.qpu = target;
+  flight_note(slot, FlightEventKind::kReroute, si, batch.attempt,
+              failed_qpu, slot.chain_us, static_cast<double>(target));
   job.retries.fetch_add(1, std::memory_order_relaxed);
   AQ_COUNTER_ADD("serve.retries", 1);
+  if (job.traced) batch.enqueue_ns = telemetry::trace_now_ns();
   queue_.push_retry(std::move(batch));
 }
 
@@ -460,6 +571,122 @@ void ServingRuntime::finalize(JobState& job) {
   AQ_HISTOGRAM_OBSERVE("serve.job.virtual_latency_us",
                        telemetry::latency_buckets_us(),
                        job.virtual_latency_us);
+  if (telemetry::telemetry_runtime_enabled()) {
+    // Names vary at runtime (per class / per tenant), so these bypass
+    // the static-caching AQ_* macros and hit the registry directly.
+    auto& reg = telemetry::MetricsRegistry::global();
+    reg.histogram("serve.job.virtual_latency_us." +
+                      monitor::slo_class_name(job.slo_class),
+                  telemetry::latency_buckets_us())
+        .observe(job.virtual_latency_us);
+    if (!job.tenant.empty()) {
+      reg.counter("serve.tenant.jobs." +
+                  telemetry::safe_label(job.tenant, 64))
+          .add(1);
+    }
+  }
+  if (slo_ != nullptr) {
+    slo_->observe_job(job.slo_class, job.virtual_latency_us,
+                      job.status == JobStatus::kOk);
+  }
+  if (flight_ != nullptr && job.status != JobStatus::kOk) {
+    flight_dump(job);
+  }
+  if (job.traced) trace_root(job);
+}
+
+void ServingRuntime::trace_child(const JobState& job, const char* name,
+                                 std::uint64_t start_ns,
+                                 std::uint64_t end_ns) const {
+  telemetry::TraceEvent e;
+  e.name = name;
+  e.id = telemetry::allocate_span_id();
+  e.parent_id = job.root_span;
+  e.depth = 1;
+  e.start_ns = start_ns;
+  e.duration_ns = end_ns > start_ns ? end_ns - start_ns : 0;
+  e.thread_id = trace_thread_hash();
+  e.flow_id = job.id + 1;
+  e.flow_label = job.flow_label;
+  telemetry::TraceBuffer::global().record(std::move(e));
+}
+
+void ServingRuntime::trace_root(const JobState& job) const {
+  // Children were recorded as they completed, so emitting the root
+  // last preserves the buffer's completion-order invariant.
+  telemetry::TraceEvent e;
+  e.name = "serve.job";
+  e.id = job.root_span;
+  e.parent_id = 0;
+  e.depth = 0;
+  e.start_ns = job.submit_ns;
+  const std::uint64_t now = telemetry::trace_now_ns();
+  e.duration_ns = now > job.submit_ns ? now - job.submit_ns : 0;
+  e.thread_id = trace_thread_hash();
+  e.flow_id = job.id + 1;
+  e.flow_label = job.flow_label;
+  telemetry::TraceBuffer::global().record(std::move(e));
+}
+
+void ServingRuntime::flight_note(BatchSlot& slot, FlightEventKind kind,
+                                 int slot_index, int attempt, int qpu,
+                                 double virtual_us, double value) {
+  if (flight_ == nullptr) return;
+  FlightEvent ev;
+  ev.kind = kind;
+  ev.slot = slot_index;
+  ev.attempt = attempt;
+  ev.qpu = qpu;
+  ev.virtual_us = virtual_us;
+  ev.value = value;
+  slot.flight.push_back(ev);
+}
+
+void ServingRuntime::flight_dump(const JobState& job) {
+  FlightRecord rec;
+  rec.job = job.id;
+  rec.tenant = telemetry::safe_label(job.tenant, 64);
+  rec.slo_class = monitor::slo_class_name(job.slo_class);
+  rec.status = job_status_name(job.status);
+  rec.epoch = job.epoch;
+  rec.torus = job.torus;
+  rec.shots = config_.shots_per_job;
+  rec.retries = job.retries.load(std::memory_order_relaxed);
+  rec.virtual_latency_us = job.virtual_latency_us;
+  rec.events = job.route_events;
+  for (const BatchSlot& slot : job.slots) {
+    rec.events.insert(rec.events.end(), slot.flight.begin(),
+                      slot.flight.end());
+  }
+  flight_->record(std::move(rec));
+}
+
+void ServingRuntime::advance_virtual_time(double us) {
+  if (config_.gauge_cadence_us <= 0.0 || us <= 0.0) return;
+  if (!telemetry::telemetry_runtime_enabled()) return;
+  const auto inc = static_cast<std::uint64_t>(us);
+  const std::uint64_t total =
+      virtual_us_acc_.fetch_add(inc, std::memory_order_relaxed) + inc;
+  std::uint64_t next = gauge_next_us_.load(std::memory_order_relaxed);
+  if (total < next) return;
+  // One worker wins the crossing and publishes; losers carry on.
+  if (!gauge_next_us_.compare_exchange_strong(
+          next,
+          total + static_cast<std::uint64_t>(config_.gauge_cadence_us),
+          std::memory_order_relaxed)) {
+    return;
+  }
+  auto& reg = telemetry::MetricsRegistry::global();
+  reg.gauge("serve.virtual_time_us").set(static_cast<double>(total));
+  reg.gauge("serve.queue.depth.sampled")
+      .set(static_cast<double>(queue_.depth()));
+  for (std::size_t q = 0; q < executors_.size(); ++q) {
+    // Per-QPU names vary at runtime: registry lookup, not AQ_GAUGE_SET.
+    reg.gauge("serve.qpu.inflight.q" + std::to_string(q))
+        .set(static_cast<double>(
+            inflight_[q].load(std::memory_order_relaxed)));
+  }
+  AQ_COUNTER_ADD("serve.gauge.samples", 1);
 }
 
 void ServingRuntime::drain() {

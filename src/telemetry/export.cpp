@@ -148,16 +148,19 @@ void JsonlExporter::write_metrics(const MetricsSnapshot& snapshot) {
 
 void JsonlExporter::write_spans(const std::vector<TraceEvent>& events) {
   for (const TraceEvent& e : events) {
-    line(report::JsonLine()
-             .field("type", "span")
-             .field("name", e.name)
-             .field("id", e.id)
-             .field("parent", e.parent_id)
-             .field("depth", static_cast<std::uint64_t>(e.depth))
-             .field("start_ns", e.start_ns)
-             .field("dur_ns", e.duration_ns)
-             .field("thread", e.thread_id)
-             .finish());
+    report::JsonLine l;
+    l.field("type", "span")
+        .field("name", e.name)
+        .field("id", e.id)
+        .field("parent", e.parent_id)
+        .field("depth", static_cast<std::uint64_t>(e.depth))
+        .field("start_ns", e.start_ns)
+        .field("dur_ns", e.duration_ns)
+        .field("thread", e.thread_id);
+    if (e.flow_id != 0) {
+      l.field("flow", e.flow_id).field("flow_label", e.flow_label);
+    }
+    line(l.finish());
   }
 }
 

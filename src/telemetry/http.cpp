@@ -1,0 +1,192 @@
+#include "arbiterq/telemetry/http.hpp"
+
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace arbiterq::telemetry {
+
+namespace {
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    default: return "Internal Server Error";
+  }
+}
+
+std::string render(const ScrapeResponse& r, bool head_only) {
+  std::string out = "HTTP/1.0 " + std::to_string(r.status) + " " +
+                    status_text(r.status) + "\r\n";
+  out += "Content-Type: " + r.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(r.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  if (!head_only) out += r.body;
+  return out;
+}
+
+}  // namespace
+
+const char* prometheus_content_type() {
+  return "text/plain; version=0.0.4; charset=utf-8";
+}
+
+ScrapeServer::~ScrapeServer() { stop(); }
+
+void ScrapeServer::handle(const std::string& path, Handler handler) {
+  std::lock_guard<std::mutex> lock(mu_);
+  handlers_[path] = std::move(handler);
+}
+
+void ScrapeServer::handle_text(const std::string& path,
+                               std::string content_type,
+                               std::function<std::string()> body) {
+  handle(path, [content_type = std::move(content_type),
+                body = std::move(body)]() {
+    ScrapeResponse r;
+    r.content_type = content_type;
+    r.body = body();
+    return r;
+  });
+}
+
+std::string ScrapeServer::dispatch(const std::string& request) const {
+  // Request line: METHOD SP PATH SP VERSION. Everything after the first
+  // line (headers) is irrelevant to a scrape.
+  const std::size_t eol = request.find("\r\n");
+  const std::string line =
+      eol == std::string::npos ? request : request.substr(0, eol);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos : line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    ScrapeResponse r;
+    r.status = 400;
+    r.body = "bad request\n";
+    return render(r, false);
+  }
+  const std::string method = line.substr(0, sp1);
+  std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::size_t query = path.find('?');
+  if (query != std::string::npos) path.resize(query);
+
+  const bool head = method == "HEAD";
+  if (method != "GET" && !head) {
+    ScrapeResponse r;
+    r.status = 405;
+    r.body = "only GET is served here\n";
+    return render(r, head);
+  }
+
+  Handler handler;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = handlers_.find(path);
+    if (it != handlers_.end()) handler = it->second;
+  }
+  if (!handler) {
+    ScrapeResponse r;
+    r.status = 404;
+    std::string known;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (const auto& [p, h] : handlers_) known += "  " + p + "\n";
+    }
+    r.body = "not found; registered paths:\n" + known;
+    return render(r, head);
+  }
+  return render(handler(), head);
+}
+
+bool ScrapeServer::start(std::uint16_t port) {
+  if (running_.load()) {
+    throw std::logic_error("ScrapeServer::start: already running");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+          0 ||
+      ::listen(fd, 16) != 0) {
+    ::close(fd);
+    return false;
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd);
+    return false;
+  }
+  port_ = ntohs(addr.sin_port);
+  listen_fd_ = fd;
+  stop_requested_.store(false);
+  running_.store(true);
+  thread_ = std::thread(&ScrapeServer::serve_loop, this);
+  return true;
+}
+
+void ScrapeServer::serve_loop() {
+  while (!stop_requested_.load()) {
+    pollfd p{};
+    p.fd = listen_fd_;
+    p.events = POLLIN;
+    const int n = ::poll(&p, 1, /*timeout_ms=*/100);
+    if (n <= 0 || (p.revents & POLLIN) == 0) continue;
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+
+    // One bounded read is enough: scrape requests are a request line
+    // plus a few headers. A client that trickles bytes gets cut off by
+    // the receive timeout rather than wedging the loop.
+    timeval tv{};
+    tv.tv_sec = 2;
+    ::setsockopt(client, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    char buf[4096];
+    std::string request;
+    while (request.find("\r\n\r\n") == std::string::npos &&
+           request.size() < 16384) {
+      const ssize_t got = ::recv(client, buf, sizeof buf, 0);
+      if (got <= 0) break;
+      request.append(buf, static_cast<std::size_t>(got));
+    }
+    if (!request.empty()) {
+      const std::string response = dispatch(request);
+      std::size_t sent = 0;
+      while (sent < response.size()) {
+        const ssize_t put = ::send(client, response.data() + sent,
+                                   response.size() - sent, MSG_NOSIGNAL);
+        if (put <= 0) break;
+        sent += static_cast<std::size_t>(put);
+      }
+      requests_.fetch_add(1);
+    }
+    ::close(client);
+  }
+}
+
+void ScrapeServer::stop() {
+  if (!running_.load()) return;
+  stop_requested_.store(true);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  running_.store(false);
+}
+
+}  // namespace arbiterq::telemetry

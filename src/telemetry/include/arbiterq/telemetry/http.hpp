@@ -1,0 +1,88 @@
+#pragma once
+// ScrapeServer: a minimal embedded HTTP endpoint for live observability
+// scrapes — `/metrics` (Prometheus text exposition), `/healthz`,
+// `/slo`, or anything else a caller registers. Plain POSIX sockets, one
+// background thread, no third-party dependencies: it exists so a
+// long-running `arbiterq_cli --serve --listen <port>` run can be
+// scraped by curl or a Prometheus agent while jobs are in flight.
+//
+// Scope is deliberately tiny: GET/HEAD only, one request per
+// connection (`Connection: close`), bodies rendered by the registered
+// handler at request time, requests answered serially on the accept
+// thread. That is exactly what a scrape loop needs and nothing more —
+// this is not a web server.
+//
+// Handlers run on the server thread while jobs execute elsewhere, so
+// they must only touch thread-safe state (MetricsRegistry::global()
+// snapshots, FleetHealthMonitor::report(), SloEngine::report() all
+// qualify). Registration is mutex-guarded and allowed while running.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace arbiterq::telemetry {
+
+struct ScrapeResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// Content type for /metrics (Prometheus text exposition 0.0.4).
+const char* prometheus_content_type();
+
+class ScrapeServer {
+ public:
+  using Handler = std::function<ScrapeResponse()>;
+
+  ScrapeServer() = default;
+  /// Joins the server thread and closes the socket.
+  ~ScrapeServer();
+
+  ScrapeServer(const ScrapeServer&) = delete;
+  ScrapeServer& operator=(const ScrapeServer&) = delete;
+
+  /// Register (or replace) the handler for an exact path, e.g.
+  /// "/metrics". Query strings are stripped before lookup.
+  void handle(const std::string& path, Handler handler);
+  /// Convenience: a 200 handler with a fixed content type whose body is
+  /// rendered per request.
+  void handle_text(const std::string& path, std::string content_type,
+                   std::function<std::string()> body);
+
+  /// Bind 127.0.0.1:`port` (0 = kernel-assigned, see port()) and start
+  /// the accept loop. False when the socket can't be created or bound
+  /// (e.g. the port is taken); throws std::logic_error if already
+  /// running.
+  bool start(std::uint16_t port);
+  /// Stop accepting, close the socket, join the thread. Idempotent.
+  void stop();
+
+  bool running() const noexcept { return running_.load(); }
+  /// The bound port (resolved after start() with port 0).
+  std::uint16_t port() const noexcept { return port_; }
+  std::uint64_t requests_served() const noexcept { return requests_.load(); }
+
+  /// Testable core: map one raw HTTP request to the full response
+  /// bytes (status line + headers + body).
+  std::string dispatch(const std::string& request) const;
+
+ private:
+  void serve_loop();
+
+  mutable std::mutex mu_;
+  std::map<std::string, Handler> handlers_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<std::uint64_t> requests_{0};
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+};
+
+}  // namespace arbiterq::telemetry

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "arbiterq/telemetry/metrics.hpp"  // ARBITERQ_TELEMETRY_ENABLED
@@ -30,10 +31,31 @@ struct TraceEvent {
   std::uint64_t start_ns = 0;  ///< steady-clock ns since process anchor
   std::uint64_t duration_ns = 0;
   std::uint64_t thread_id = 0;  ///< hashed std::thread::id
+  /// Causal-flow lane key for events that belong to a logical unit of
+  /// work crossing threads (a serving job): exporters group same-flow
+  /// events into one lane instead of per-thread lanes. 0 = none (the
+  /// serving tracer stores job_id + 1 so job 0 is representable).
+  std::uint64_t flow_id = 0;
+  /// Human label for the flow lane (e.g. "job-17 tenant=acme"). Pass it
+  /// through safe_label() before recording: exporters escape, but only
+  /// sanitization makes hostile tenants harmless in every format.
+  std::string flow_label;
 };
 
 /// Monotonic nanoseconds since a fixed process-lifetime anchor.
 std::uint64_t trace_now_ns() noexcept;
+
+/// Draw a fresh span id from the same process-wide sequence ScopedSpan
+/// uses. For manually-stitched cross-thread span trees (the serving
+/// runtime's per-job traces) where RAII nesting can't express parentage.
+std::uint64_t allocate_span_id() noexcept;
+
+/// Sanitize a user-supplied label (tenant, job name) for embedding in
+/// span names, flow labels, and metric names: control characters and
+/// invalid UTF-8 byte sequences become '_', and the result is truncated
+/// to `max_len` bytes on a UTF-8 boundary. Quotes and backslashes are
+/// kept — each exporter escapes them for its own format.
+std::string safe_label(std::string_view s, std::size_t max_len = 128);
 
 class TraceBuffer {
  public:

@@ -111,14 +111,28 @@ report::CsvTable profile_csv(const TraceProfile& profile) {
 std::string chrome_trace_json(const std::vector<TraceEvent>& events) {
   // Hashed 64-bit thread ids → small ordinal lanes, assigned in order of
   // first appearance so the mapping is a pure function of the snapshot.
+  // Flow-scoped events (flow_id != 0, the serving runtime's per-job
+  // traces) get their own lanes after the thread lanes: every span of
+  // one job lands in one named lane whatever thread recorded it.
   std::unordered_map<std::uint64_t, int> tid_of;
   std::vector<std::uint64_t> thread_order;
+  std::unordered_map<std::uint64_t, int> flow_lane_of;
+  std::vector<const TraceEvent*> flow_order;  ///< first event per flow
   for (const TraceEvent& e : events) {
+    if (e.flow_id != 0) {
+      if (flow_lane_of.emplace(e.flow_id,
+                               static_cast<int>(flow_order.size()))
+              .second) {
+        flow_order.push_back(&e);
+      }
+      continue;
+    }
     if (tid_of.emplace(e.thread_id, static_cast<int>(thread_order.size()))
             .second) {
       thread_order.push_back(e.thread_id);
     }
   }
+  const int flow_base = static_cast<int>(thread_order.size());
 
   std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   char buf[128];
@@ -137,14 +151,31 @@ std::string chrome_trace_json(const std::vector<TraceEvent>& events) {
                   static_cast<int>(t), t);
     out += buf;
   }
+  for (std::size_t f = 0; f < flow_order.size(); ++f) {
+    comma();
+    std::snprintf(buf, sizeof buf,
+                  "{\"ph\":\"M\",\"pid\":1,\"tid\":%d,"
+                  "\"name\":\"thread_name\",\"args\":{\"name\":\"",
+                  flow_base + static_cast<int>(f));
+    out += buf;
+    // Belt and braces: the producer should have run safe_label already,
+    // but a hostile flow_label must not be able to break the JSON.
+    std::string label = safe_label(flow_order[f]->flow_label);
+    if (label.empty()) {
+      label = "flow-" + std::to_string(flow_order[f]->flow_id);
+    }
+    out += report::json_escape(label);
+    out += "\"}}";
+  }
   for (const TraceEvent& e : events) {
     comma();
     out += "{\"name\":\"";
-    out += report::json_escape(e.name);
+    out += report::json_escape(safe_label(e.name));
     out += "\",\"ph\":\"X\",\"pid\":1";
+    const int tid = e.flow_id != 0 ? flow_base + flow_lane_of.at(e.flow_id)
+                                   : tid_of.at(e.thread_id);
     std::snprintf(buf, sizeof buf,
-                  ",\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f",
-                  tid_of.at(e.thread_id),
+                  ",\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f", tid,
                   static_cast<double>(e.start_ns) / 1e3,
                   static_cast<double>(e.duration_ns) / 1e3);
     out += buf;

@@ -4,6 +4,8 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "arbiterq/telemetry/trace.hpp"  // safe_label
+
 namespace arbiterq::telemetry {
 
 namespace {
@@ -20,13 +22,16 @@ bool valid_name_char(char c) {
 }
 
 /// HELP text may not contain raw newlines or backslashes (0.0.4 escaping
-/// rules); internal names are tame but escape anyway.
+/// rules). Internal names are tame, but metric names can embed
+/// user-supplied labels (serving tenants), so run the full sanitizer:
+/// control characters and invalid UTF-8 become '_' (safe_label), then
+/// the two characters the exposition format escapes get their sequences.
 std::string help_escape(const std::string& s) {
+  const std::string clean = safe_label(s);
   std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
+  out.reserve(clean.size());
+  for (char c : clean) {
     if (c == '\\') out += "\\\\";
-    else if (c == '\n') out += "\\n";
     else out += c;
   }
   return out;

@@ -1,5 +1,6 @@
 #include "arbiterq/telemetry/trace.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <functional>
@@ -20,6 +21,55 @@ thread_local std::uint64_t tls_current_span = 0;
 thread_local std::uint32_t tls_depth = 0;
 
 }  // namespace
+
+std::uint64_t allocate_span_id() noexcept {
+  return g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::string safe_label(std::string_view s, std::size_t max_len) {
+  std::string out;
+  out.reserve(std::min(s.size(), max_len));
+  std::size_t i = 0;
+  while (i < s.size() && out.size() < max_len) {
+    const auto b0 = static_cast<unsigned char>(s[i]);
+    if (b0 < 0x20 || b0 == 0x7f) {  // control characters
+      out += '_';
+      ++i;
+      continue;
+    }
+    if (b0 < 0x80) {  // printable ASCII (quotes/backslash kept)
+      out += static_cast<char>(b0);
+      ++i;
+      continue;
+    }
+    // Multi-byte UTF-8: validate length, continuation bytes, and the
+    // lead-byte ranges that exclude overlongs and surrogates (RFC 3629).
+    std::size_t len = 0;
+    if (b0 >= 0xc2 && b0 <= 0xdf) len = 2;
+    else if (b0 >= 0xe0 && b0 <= 0xef) len = 3;
+    else if (b0 >= 0xf0 && b0 <= 0xf4) len = 4;
+    bool ok = len != 0 && i + len <= s.size() &&
+              out.size() + len <= max_len;
+    for (std::size_t k = 1; ok && k < len; ++k) {
+      const auto bk = static_cast<unsigned char>(s[i + k]);
+      ok = bk >= 0x80 && bk <= 0xbf;
+      if (ok && k == 1) {
+        if (b0 == 0xe0) ok = bk >= 0xa0;        // overlong 3-byte
+        else if (b0 == 0xed) ok = bk <= 0x9f;   // surrogates
+        else if (b0 == 0xf0) ok = bk >= 0x90;   // overlong 4-byte
+        else if (b0 == 0xf4) ok = bk <= 0x8f;   // > U+10FFFF
+      }
+    }
+    if (!ok) {
+      out += '_';
+      ++i;
+      continue;
+    }
+    out.append(s.substr(i, len));
+    i += len;
+  }
+  return out;
+}
 
 std::uint64_t trace_now_ns() noexcept {
   using clock = std::chrono::steady_clock;

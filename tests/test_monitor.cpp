@@ -184,6 +184,61 @@ TEST(FleetHealth, CountsOnlineChurnFlips) {
   EXPECT_FALSE(rep.qpus[0].online);
 }
 
+TEST(FleetHealth, ObserveMembershipTracksServingTransitions) {
+  monitor::FleetHealthMonitor mon(2);
+  // First observation sets the state without counting a flip.
+  mon.observe_membership(0, true);
+  auto rep = mon.report();
+  EXPECT_TRUE(rep.qpus[0].online);
+  EXPECT_EQ(rep.qpus[0].churn_flips, 0);
+
+  // online -> offline -> online: two flips; repeating a state is free.
+  mon.observe_membership(0, false);
+  mon.observe_membership(0, false);
+  mon.observe_membership(0, true);
+  rep = mon.report();
+  EXPECT_TRUE(rep.qpus[0].online);
+  EXPECT_EQ(rep.qpus[0].churn_flips, 2);
+
+  // A serving-side dropout flips a QPU the trainer never touched, and
+  // mixes with on_epoch's own churn accounting.
+  mon.observe_membership(1, false);
+  mon.on_epoch(epoch_record(0, 1, 0.5, true));
+  rep = mon.report();
+  EXPECT_TRUE(rep.qpus[1].online);
+  EXPECT_EQ(rep.qpus[1].churn_flips, 1);
+
+  // Out-of-range QPUs are ignored, like on_epoch.
+  mon.observe_membership(7, false);
+  mon.observe_membership(-1, false);
+  EXPECT_EQ(mon.report().qpus.size(), 2U);
+}
+
+TEST(FleetHealth, SloBreachesRollUpIntoTheSummary) {
+  monitor::FleetHealthMonitor mon(2);
+  EXPECT_EQ(mon.report().slo_breaches, 0U);
+  mon.observe_slo_breach("latency_bound", 2.5);
+  mon.observe_slo_breach("best_effort", 1.25);
+  const auto rep = mon.report();
+  EXPECT_EQ(rep.slo_breaches, 2U);
+  EXPECT_DOUBLE_EQ(rep.slo_worst_burn, 2.5);
+  EXPECT_NE(rep.to_table_string().find("slo breaches 2 (worst burn 2.50)"),
+            std::string::npos);
+  std::istringstream is(rep.to_jsonl());
+  std::string line;
+  bool saw_summary = false;
+  while (std::getline(is, line)) {
+    const auto obj = report::parse_json_line(line);
+    ASSERT_TRUE(obj.has_value()) << line;
+    if (obj->at("type").string == "health_summary") {
+      saw_summary = true;
+      EXPECT_DOUBLE_EQ(obj->at("slo_breaches").number, 2.0);
+      EXPECT_DOUBLE_EQ(obj->at("slo_worst_burn").number, 2.5);
+    }
+  }
+  EXPECT_TRUE(saw_summary);
+}
+
 TEST(FleetHealth, TableAndJsonlCarryTheReport) {
   monitor::FleetHealthMonitor mon(2);
   for (int e = 0; e < 12; ++e) {

@@ -4,6 +4,7 @@
 // per-thread lanes assigned by first appearance, metadata events, JSON
 // escaping).
 
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -143,13 +144,84 @@ TEST(ChromeTrace, LaneMappingIsStableAcrossExports) {
 }
 
 TEST(ChromeTrace, EscapesSpanNames) {
+  // Quotes are kept (JSON-escaped); the newline is sanitized to '_' by
+  // safe_label before escaping ever sees it.
   const std::vector<telemetry::TraceEvent> events = {
       make_event("nasty \"quote\"\nname", 1, 0, 0, 0, 10),
   };
   const std::string json = telemetry::chrome_trace_json(events);
-  EXPECT_NE(json.find("nasty \\\"quote\\\"\\nname"), std::string::npos);
+  EXPECT_NE(json.find("nasty \\\"quote\\\"_name"), std::string::npos);
   EXPECT_EQ(json.find("\nname"), std::string::npos)
       << "raw newline leaked into a JSON string";
+}
+
+TEST(ChromeTrace, FlowEventsGetNamedLanesAfterThreadLanes) {
+  std::vector<telemetry::TraceEvent> events = {
+      make_event("plain", 1, 0, 0, 0, 10, /*thread=*/77),
+      make_event("serve.job", 2, 0, 0, 0, 50, /*thread=*/77),
+      make_event("serve.batch.exec", 3, 2, 1, 5, 20, /*thread=*/88),
+      make_event("serve.job", 4, 0, 0, 60, 50, /*thread=*/88),
+  };
+  events[1].flow_id = 8;
+  events[1].flow_label = "job-7 tenant=acme";
+  events[2].flow_id = 8;  // same job, recorded on another thread
+  events[2].flow_label = "job-7 tenant=acme";
+  events[3].flow_id = 9;
+  // No label on flow 9: the exporter synthesizes one from the id.
+  const std::string json = telemetry::chrome_trace_json(events);
+
+  // Lane 0 = the one recording thread; lanes 1 and 2 = the two flows.
+  EXPECT_NE(json.find("\"tid\":1,\"name\":\"thread_name\",\"args\":"
+                      "{\"name\":\"job-7 tenant=acme\"}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"flow-9\"}"), std::string::npos);
+  // Both spans of flow 8 share lane 1 despite different threads.
+  EXPECT_EQ(count_occurrences(json, "\"tid\":1,\"ts\""), 2u);
+  // The flow-less event stays in its thread lane.
+  EXPECT_EQ(count_occurrences(json, "\"tid\":0,\"ts\""), 1u);
+}
+
+TEST(SafeLabel, FuzzedLabelsNeverLeakControlBytesIntoTheJson) {
+  // Deterministic byte soup, heavy on quotes / newlines / broken UTF-8.
+  std::uint64_t state = 0xDEADBEEFCAFEF00Dull;
+  for (int round = 0; round < 200; ++round) {
+    std::string nasty;
+    const int len = 1 + static_cast<int>(state % 40);
+    for (int i = 0; i < len; ++i) {
+      state = state * 6364136223846793005ull + 1442695040888963407ull;
+      nasty.push_back(static_cast<char>(state >> 56));
+    }
+    const std::string label = telemetry::safe_label(nasty);
+    for (const unsigned char c : label) {
+      EXPECT_GE(c, 0x20) << "control byte survived in round " << round;
+    }
+    // The sanitized label renders into structurally sound JSON: feed it
+    // through the exporter as both span name and flow label.
+    telemetry::TraceEvent e = make_event("x", 1, 0, 0, 0, 10);
+    e.name = nasty;  // exporter sanitizes internally too
+    e.flow_id = 1;
+    e.flow_label = nasty;
+    const std::string json = telemetry::chrome_trace_json({e});
+    EXPECT_EQ(json.find('\r'), std::string::npos);
+    for (std::size_t i = 0; i + 1 < json.size(); ++i) {
+      EXPECT_FALSE(static_cast<unsigned char>(json[i]) < 0x20 &&
+                   json[i] != '\n')
+          << "raw control byte in JSON, round " << round;
+    }
+  }
+  // Multibyte truncation never splits a sequence: a char that cannot
+  // fit whole is replaced by '_', so the first 32 bytes stay 16 intact
+  // two-byte pairs.
+  const std::string two_byte = "\xC3\xA9";  // é
+  std::string long_label;
+  for (int i = 0; i < 100; ++i) long_label += two_byte;
+  const std::string cut = telemetry::safe_label(long_label, 33);
+  ASSERT_EQ(cut.size(), 33u);
+  EXPECT_EQ(cut.back(), '_');
+  for (std::size_t i = 0; i < 32; i += 2) {
+    EXPECT_EQ(static_cast<unsigned char>(cut[i]), 0xC3u) << i;
+    EXPECT_EQ(static_cast<unsigned char>(cut[i + 1]), 0xA9u) << i;
+  }
 }
 
 TEST(ChromeTrace, WriteRoundTripAndBadPath) {

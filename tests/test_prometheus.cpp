@@ -5,6 +5,7 @@
 
 #include <cctype>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <map>
@@ -244,6 +245,53 @@ TEST(Quantile, EmptyHistogramIsNaN) {
   snap.upper_bounds = {1.0};
   snap.bucket_counts = {0, 0};
   EXPECT_TRUE(std::isnan(snap.quantile(0.5)));
+  // A snapshot with no buckets at all is equally NaN, not a crash.
+  telemetry::HistogramSnapshot bare;
+  bare.count = 3;
+  EXPECT_TRUE(std::isnan(bare.quantile(0.5)));
+}
+
+TEST(Quantile, SingleBucketInterpolatesAcrossItsWholeRange) {
+  telemetry::HistogramSnapshot snap;
+  snap.upper_bounds = {8.0};
+  snap.bucket_counts = {4, 0};
+  snap.count = 4;
+  EXPECT_DOUBLE_EQ(snap.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(snap.quantile(0.5), 4.0);
+  EXPECT_DOUBLE_EQ(snap.quantile(1.0), 8.0);
+}
+
+TEST(Quantile, AllObservationsInOverflowClampEveryQuantile) {
+  telemetry::HistogramSnapshot snap;
+  snap.upper_bounds = {1.0, 2.0};
+  snap.bucket_counts = {0, 0, 5};  // nothing under any finite bound
+  snap.count = 5;
+  EXPECT_DOUBLE_EQ(snap.quantile(0.01), 2.0);
+  EXPECT_DOUBLE_EQ(snap.quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(snap.quantile(1.0), 2.0);
+}
+
+TEST(Prometheus, FuzzedNamesAlwaysSanitizeToLegalMetricNames) {
+  // Deterministic byte soup: quotes, newlines, control characters, and
+  // invalid UTF-8 lead bytes — everything a hostile tenant label could
+  // smuggle toward the exposition format.
+  std::uint64_t state = 0x9E3779B97F4A7C15ull;
+  for (int round = 0; round < 200; ++round) {
+    std::string nasty;
+    for (int i = 0; i < 24; ++i) {
+      state = state * 6364136223846793005ull + 1442695040888963407ull;
+      nasty.push_back(static_cast<char>(state >> 56));
+    }
+    const std::string name = telemetry::prometheus_name(nasty);
+    EXPECT_TRUE(valid_metric_name(name)) << "round " << round;
+  }
+  // Targeted classics on top of the soup.
+  for (const char* evil :
+       {"\"", "\n", "\r\n", "a{b=\"c\"}", "\xff\xfe", "#\x00HELP",
+        "le=\"+Inf\"", "../../etc"}) {
+    EXPECT_TRUE(valid_metric_name(telemetry::prometheus_name(evil)))
+        << evil;
+  }
 }
 
 }  // namespace

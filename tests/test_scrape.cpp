@@ -1,0 +1,163 @@
+// ScrapeServer: request parsing and routing through dispatch(), and the
+// real loopback path — an ephemeral-port server answering GET /metrics
+// with valid Prometheus text over an actual socket.
+
+#include "arbiterq/telemetry/http.hpp"
+
+#include <cstring>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "arbiterq/telemetry/metrics.hpp"
+#include "arbiterq/telemetry/prometheus.hpp"
+
+namespace {
+
+using namespace arbiterq;
+
+void add_handlers(telemetry::ScrapeServer& server) {
+  server.handle_text("/metrics", telemetry::prometheus_content_type(),
+                     [] { return std::string("scrape_ok 1\n"); });
+  server.handle_text("/healthz", "application/json",
+                     [] { return std::string("{\"ok\":true}\n"); });
+}
+
+/// One full HTTP exchange over a real loopback socket.
+std::string http_get(std::uint16_t port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof addr) != 0) {
+    ::close(fd);
+    ADD_FAILURE() << "connect failed: " << std::strerror(errno);
+    return {};
+  }
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t put =
+        ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (put <= 0) break;
+    sent += static_cast<std::size_t>(put);
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t got = ::recv(fd, buf, sizeof buf, 0);
+    if (got <= 0) break;
+    response.append(buf, static_cast<std::size_t>(got));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(ScrapeDispatch, ServesRegisteredPaths) {
+  telemetry::ScrapeServer server;
+  add_handlers(server);
+  const std::string r =
+      server.dispatch("GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(r.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(r.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos);
+  EXPECT_NE(r.find("scrape_ok 1\n"), std::string::npos);
+}
+
+TEST(ScrapeDispatch, StripsQueryStrings) {
+  telemetry::ScrapeServer server;
+  add_handlers(server);
+  const std::string r =
+      server.dispatch("GET /healthz?verbose=1 HTTP/1.1\r\n\r\n");
+  EXPECT_NE(r.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(r.find("{\"ok\":true}"), std::string::npos);
+}
+
+TEST(ScrapeDispatch, HeadOmitsTheBodyButKeepsLength) {
+  telemetry::ScrapeServer server;
+  add_handlers(server);
+  const std::string r = server.dispatch("HEAD /healthz HTTP/1.1\r\n\r\n");
+  EXPECT_NE(r.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(r.find("Content-Length: 12"), std::string::npos);
+  EXPECT_EQ(r.find("{\"ok\":true}"), std::string::npos);
+}
+
+TEST(ScrapeDispatch, UnknownPathListsRegisteredOnes) {
+  telemetry::ScrapeServer server;
+  add_handlers(server);
+  const std::string r = server.dispatch("GET /nope HTTP/1.1\r\n\r\n");
+  EXPECT_NE(r.find("HTTP/1.0 404 Not Found"), std::string::npos);
+  EXPECT_NE(r.find("/metrics"), std::string::npos);
+  EXPECT_NE(r.find("/healthz"), std::string::npos);
+}
+
+TEST(ScrapeDispatch, RejectsNonGetMethodsAndGarbage) {
+  telemetry::ScrapeServer server;
+  add_handlers(server);
+  EXPECT_NE(server.dispatch("POST /metrics HTTP/1.1\r\n\r\n")
+                .find("HTTP/1.0 405"),
+            std::string::npos);
+  EXPECT_NE(server.dispatch("garbage").find("HTTP/1.0 400"),
+            std::string::npos);
+}
+
+TEST(ScrapeServer, ServesRealSocketsOnAnEphemeralPort) {
+  telemetry::ScrapeServer server;
+  telemetry::MetricsRegistry registry;
+  registry.counter("scrape.test.hits").add(3);
+  server.handle_text("/metrics", telemetry::prometheus_content_type(),
+                     [&registry] {
+                       return telemetry::prometheus_text(
+                           registry.snapshot());
+                     });
+  ASSERT_TRUE(server.start(0));
+  EXPECT_TRUE(server.running());
+  EXPECT_GT(server.port(), 0);
+
+  const std::string ok =
+      http_get(server.port(), "GET /metrics HTTP/1.1\r\nHost: l\r\n\r\n");
+  EXPECT_NE(ok.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(ok.find("# TYPE arbiterq_scrape_test_hits_total counter"),
+            std::string::npos);
+  EXPECT_NE(ok.find("arbiterq_scrape_test_hits_total 3"),
+            std::string::npos);
+
+  const std::string missing =
+      http_get(server.port(), "GET /missing HTTP/1.1\r\n\r\n");
+  EXPECT_NE(missing.find("HTTP/1.0 404"), std::string::npos);
+
+  EXPECT_EQ(server.requests_served(), 2U);
+  server.stop();
+  EXPECT_FALSE(server.running());
+}
+
+TEST(ScrapeServer, StartWhileRunningThrowsAndStopIsIdempotent) {
+  telemetry::ScrapeServer server;
+  add_handlers(server);
+  ASSERT_TRUE(server.start(0));
+  EXPECT_THROW(server.start(0), std::logic_error);
+  server.stop();
+  server.stop();  // no-op
+  EXPECT_FALSE(server.running());
+}
+
+TEST(ScrapeServer, HandlerValuesAreLiveNotCached) {
+  telemetry::ScrapeServer server;
+  int calls = 0;
+  server.handle_text("/n", "text/plain", [&calls] {
+    return std::to_string(++calls) + "\n";
+  });
+  EXPECT_NE(server.dispatch("GET /n HTTP/1.1\r\n\r\n").find("1\n"),
+            std::string::npos);
+  EXPECT_NE(server.dispatch("GET /n HTTP/1.1\r\n\r\n").find("2\n"),
+            std::string::npos);
+}
+
+}  // namespace

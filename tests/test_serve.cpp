@@ -3,15 +3,18 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <map>
 #include <memory>
 #include <set>
 
 #include "arbiterq/core/trainers.hpp"
 #include "arbiterq/device/presets.hpp"
+#include "arbiterq/monitor/slo.hpp"
 #include "arbiterq/serve/fault_injector.hpp"
 #include "arbiterq/serve/job_queue.hpp"
 #include "arbiterq/telemetry/metrics.hpp"
 #include "arbiterq/telemetry/prometheus.hpp"
+#include "arbiterq/telemetry/trace.hpp"
 
 namespace arbiterq::serve {
 namespace {
@@ -435,13 +438,16 @@ TEST_F(ServeFixture, ServingMetricsReachPrometheusExport) {
   const telemetry::MetricsSnapshot snap =
       telemetry::MetricsRegistry::global().snapshot();
   const std::string text = telemetry::prometheus_text(snap);
+  EXPECT_NE(text.find("arbiterq_serve_queue_depth"), std::string::npos);
+#if ARBITERQ_TELEMETRY_ENABLED
+  // These series come from AQ_* macro sites, compiled away when OFF.
   EXPECT_NE(text.find("arbiterq_serve_job_latency_us_bucket"),
             std::string::npos);
   EXPECT_NE(text.find("arbiterq_serve_job_latency_us_count"),
             std::string::npos);
-  EXPECT_NE(text.find("arbiterq_serve_queue_depth"), std::string::npos);
   EXPECT_NE(text.find("arbiterq_serve_jobs_admitted_total"),
             std::string::npos);
+#endif
   // The histogram snapshot yields finite latency quantiles.
   for (const telemetry::HistogramSnapshot& h : snap.histograms) {
     if (h.name == "serve.job.latency_us") {
@@ -450,6 +456,165 @@ TEST_F(ServeFixture, ServingMetricsReachPrometheusExport) {
       EXPECT_GE(h.p99(), h.p50());
     }
   }
+}
+
+TEST_F(ServeFixture, TracedJobsEmitStitchedSpanTrees) {
+  telemetry::set_telemetry_runtime_enabled(true);
+  telemetry::TraceBuffer::global().clear();
+  ServeConfig cfg;
+  cfg.shots_per_job = 32;
+  cfg.trajectories = 2;
+  cfg.trace_sample_every = 1;  // every job
+  run(cfg, make_jobs(4));
+  const std::vector<telemetry::TraceEvent> events =
+      telemetry::TraceBuffer::global().snapshot();
+
+  // One root per job, flow-keyed by job id + 1, with a labelled lane.
+  std::map<std::uint64_t, const telemetry::TraceEvent*> roots;
+  for (const telemetry::TraceEvent& e : events) {
+    if (e.name == "serve.job") {
+      EXPECT_GT(e.flow_id, 0U);
+      EXPECT_EQ(e.parent_id, 0U);
+      EXPECT_NE(e.flow_label.find("job-"), std::string::npos);
+      roots[e.flow_id] = &e;
+    }
+  }
+  EXPECT_EQ(roots.size(), 4U);
+
+  // Every flow-keyed child span carries its job's flow and hangs off
+  // that root (ambient spans like serve.worker.execute keep flow 0).
+  std::size_t route = 0, wait = 0, exec = 0;
+  for (const telemetry::TraceEvent& e : events) {
+    if (e.name == "serve.job" || e.flow_id == 0) continue;
+    ASSERT_EQ(roots.count(e.flow_id), 1U) << e.name;
+    EXPECT_EQ(e.parent_id, roots[e.flow_id]->id) << e.name;
+    if (e.name == "serve.job.route") ++route;
+    if (e.name == "serve.batch.wait") ++wait;
+    if (e.name == "serve.batch.exec") ++exec;
+  }
+  EXPECT_EQ(route, 4U);           // one route decision per job
+  EXPECT_GE(wait, 4U);            // at least one queue wait per job
+  EXPECT_EQ(exec, wait);          // fault-free: every pop executed
+  telemetry::TraceBuffer::global().clear();
+}
+
+TEST_F(ServeFixture, TraceSamplingSelectsEveryNthJob) {
+  telemetry::set_telemetry_runtime_enabled(true);
+  telemetry::TraceBuffer::global().clear();
+  ServeConfig cfg;
+  cfg.shots_per_job = 32;
+  cfg.trajectories = 2;
+  cfg.trace_sample_every = 2;  // job ids 0, 2, 4, ...
+  run(cfg, make_jobs(6));
+  std::set<std::uint64_t> flows;
+  for (const telemetry::TraceEvent& e :
+       telemetry::TraceBuffer::global().snapshot()) {
+    if (e.name == "serve.job") flows.insert(e.flow_id);
+  }
+  // flow_id = job id + 1: even ids 0/2/4 -> flows 1/3/5.
+  EXPECT_EQ(flows, (std::set<std::uint64_t>{1, 3, 5}));
+  telemetry::TraceBuffer::global().clear();
+}
+
+TEST_F(ServeFixture, TracingOffLeavesTheBufferUntouched) {
+  telemetry::set_telemetry_runtime_enabled(true);
+  telemetry::TraceBuffer::global().clear();
+  ServeConfig cfg;
+  cfg.shots_per_job = 32;
+  cfg.trajectories = 2;
+  cfg.trace_sample_every = 0;
+  run(cfg, make_jobs(3));
+  // Ambient worker spans still record; no *per-job* (flow-keyed) span
+  // may appear.
+  for (const telemetry::TraceEvent& e :
+       telemetry::TraceBuffer::global().snapshot()) {
+    EXPECT_EQ(e.flow_id, 0U) << e.name;
+    EXPECT_NE(e.name, "serve.job");
+  }
+}
+
+TEST_F(ServeFixture, SloEngineJudgesJobsByClass) {
+  monitor::SloPolicy policy;
+  policy.objectives[0] = {1e-6, 0.5};  // unmeetable latency target
+  policy.objectives[2] = {0.0, 0.5};   // success-only
+  policy.window_jobs = 4;
+  monitor::SloEngine slo(policy);
+  ServeConfig cfg;
+  cfg.shots_per_job = 32;
+  cfg.trajectories = 2;
+  ServingRuntime runtime(trainer_->executors(), weights_,
+                         trainer_->behavioral_vectors(), cfg, nullptr,
+                         nullptr, nullptr, &slo);
+  std::vector<JobSpec> jobs = make_jobs(8);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    jobs[i].slo_class = i < 4 ? monitor::SloClass::kLatencyBound
+                              : monitor::SloClass::kBestEffort;
+  }
+  for (const JobSpec& spec : jobs) runtime.submit(spec);
+  runtime.drain();
+  const monitor::SloReport rep = slo.report();
+  // Latency-bound: every job beat 1e-6us is impossible -> all violate,
+  // closing one fully-burned window.
+  EXPECT_EQ(rep.classes[0].jobs, 4U);
+  EXPECT_EQ(rep.classes[0].violations, 4U);
+  EXPECT_EQ(rep.classes[0].breaches, 1U);
+  // Best-effort jobs completed ok -> compliant.
+  EXPECT_EQ(rep.classes[2].jobs, 4U);
+  EXPECT_EQ(rep.classes[2].violations, 0U);
+}
+
+TEST_F(ServeFixture, VirtualTimeGaugesSampleOnCadence) {
+  telemetry::set_telemetry_runtime_enabled(true);
+  telemetry::MetricsRegistry::global().reset_values();
+  ServeConfig cfg;
+  cfg.shots_per_job = 64;
+  cfg.trajectories = 2;
+  cfg.gauge_cadence_us = 100.0;  // well below one job's modeled time
+  run(cfg, make_jobs(6));
+  const telemetry::MetricsSnapshot snap =
+      telemetry::MetricsRegistry::global().snapshot();
+  double samples = 0.0;
+  bool saw_depth = false, saw_inflight = false, saw_vt = false;
+  for (const telemetry::CounterSnapshot& c : snap.counters) {
+    if (c.name == "serve.gauge.samples") samples = c.value;
+  }
+  for (const telemetry::GaugeSnapshot& g : snap.gauges) {
+    if (g.name == "serve.queue.depth.sampled") saw_depth = true;
+    if (g.name.rfind("serve.qpu.inflight.q", 0) == 0) saw_inflight = true;
+    if (g.name == "serve.virtual_time_us") {
+      saw_vt = true;
+      EXPECT_GT(g.value, 0.0);
+    }
+  }
+#if ARBITERQ_TELEMETRY_ENABLED
+  EXPECT_GT(samples, 0.0);  // AQ_COUNTER_ADD site, compiled away if OFF
+#else
+  (void)samples;
+#endif
+  EXPECT_TRUE(saw_depth);
+  EXPECT_TRUE(saw_inflight);
+  EXPECT_TRUE(saw_vt);
+}
+
+TEST_F(ServeFixture, TenantCountersAreSanitized) {
+  telemetry::set_telemetry_runtime_enabled(true);
+  telemetry::MetricsRegistry::global().reset_values();
+  ServeConfig cfg;
+  cfg.shots_per_job = 32;
+  cfg.trajectories = 2;
+  std::vector<JobSpec> jobs = make_jobs(3);
+  for (JobSpec& spec : jobs) spec.tenant = "evil\ntenant";
+  ServingRuntime runtime(trainer_->executors(), weights_,
+                         trainer_->behavioral_vectors(), cfg);
+  for (const JobSpec& spec : jobs) runtime.submit(spec);
+  runtime.drain();
+  double tenant_jobs = -1.0;
+  for (const telemetry::CounterSnapshot& c :
+       telemetry::MetricsRegistry::global().snapshot().counters) {
+    EXPECT_EQ(c.name.find('\n'), std::string::npos) << c.name;
+    if (c.name == "serve.tenant.jobs.evil_tenant") tenant_jobs = c.value;
+  }
+  EXPECT_DOUBLE_EQ(tenant_jobs, 3.0);
 }
 
 TEST(JobStatusName, CoversAllStates) {
