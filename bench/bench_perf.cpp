@@ -41,6 +41,7 @@
 #include "arbiterq/serve/runtime.hpp"
 #include "arbiterq/sim/adjoint.hpp"
 #include "arbiterq/sim/density_matrix.hpp"
+#include "arbiterq/sim/kernels.hpp"
 #include "arbiterq/sim/simulator.hpp"
 #include "arbiterq/sim/statevector.hpp"
 #include "arbiterq/telemetry/export.hpp"
@@ -312,7 +313,7 @@ std::vector<ScalingPoint> scale_statevector_kernels(int max_threads,
   const circuit::Mat4 crz =
       circuit::gate_matrix_2q(circuit::GateKind::kCRZ, {0.7, 0.0, 0.0});
   std::vector<ScalingPoint> points;
-  std::vector<sim::Complex> baseline;
+  sim::AmpVector baseline;
   for (int t : thread_sweep(max_threads)) {
     sim::Statevector sv(qubits);
     exec::ExecPolicy policy;
@@ -394,37 +395,64 @@ int run_scaling_mode(int max_threads, int fleet_size, int epochs,
 }
 
 // ---------------------------------------------------------------------------
-// Plan A/B mode (`--plan-ab`): compiled ExecPlan executor vs the naive
-// per-call circuit walk on the default benchmark circuits, with every
-// output verified bit-identical before the clocks count.
+// Plan A/B mode (`--plan-ab`): the kernel A/B matrix. For each benchmark
+// circuit size the compiled-plan executor runs under all four
+// {scalar, SIMD} x {unbatched, batched} arms, plus the naive per-call
+// circuit walk as context, with every output verified bit-identical
+// across arms before the clocks count (default strict-reproducibility
+// arm; exit code 2 on any divergence). Each arm reports the median of
+// `kAbReps` timed repetitions together with its iteration counts, and
+// the headline combined speedup pits SIMD+batched against
+// scalar+unbatched.
+
+constexpr int kAbReps = 5;
+constexpr int kAbBatch = 8;  ///< samples per dataset call (mini-GEMM width)
+
+struct ArmTiming {
+  bool simd = false;
+  bool batched = false;
+  double forward_median_s = 0.0;
+  double gradient_median_s = 0.0;
+};
 
 struct PlanAbPoint {
   int qubits = 0;
   std::size_t gates = 0;
   std::size_t fused_gates = 0;
   std::size_t stream_ops = 0;
-  double naive_forward_s = 0.0;
-  double plan_forward_s = 0.0;
+  int forward_iters = 0;   ///< dataset_loss calls per rep (x kAbBatch samples)
+  int gradient_iters = 0;  ///< loss_gradient calls per rep
+  ArmTiming arms[4];       ///< [simd*2 + batched]
+  double naive_forward_s = 0.0;   // per-call circuit walk, SIMD on
   double naive_gradient_s = 0.0;
-  double plan_gradient_s = 0.0;
   bool identical = true;
 };
 
-/// One circuit size: build a naive and a planned executor on the same
-/// Table III device, check probability / dataset loss / adjoint gradient
-/// bitwise, then wall-clock repeated forward and gradient evaluations.
-PlanAbPoint measure_plan_ab(int qubits, int forward_reps, int gradient_reps) {
+double median_of(std::vector<double> xs) {
+  std::sort(xs.begin(), xs.end());
+  return xs[xs.size() / 2];
+}
+
+/// One circuit size: build the naive walker plus planned executors with
+/// the sample-batched forward off/on, check losses and adjoint gradients
+/// bitwise across the naive path and all four kernel arms, then clock
+/// each arm.
+PlanAbPoint measure_plan_ab(int qubits, int forward_iters,
+                            int gradient_iters) {
   const qnn::QnnModel m = model_for(qubits);
   const device::Qpu dev = device::table3_fleet(qubits)[0];
   qnn::ExecutorOptions naive_opts;
   naive_opts.use_plan = false;
   const qnn::QnnExecutor naive(m, dev, naive_opts);
-  const qnn::QnnExecutor planned(m, dev);
+  qnn::ExecutorOptions unbatched_opts;
+  unbatched_opts.batched_forward = false;
+  const qnn::QnnExecutor plan_unbatched(m, dev, unbatched_opts);
+  const qnn::QnnExecutor plan_batched(m, dev);
 
   math::Rng rng(17u + static_cast<std::uint64_t>(qubits));
   std::vector<std::vector<double>> feats;
   std::vector<int> labels;
-  for (int s = 0; s < 8; ++s) {
+  for (int s = 0; s < kAbBatch; ++s) {
     std::vector<double> row(static_cast<std::size_t>(qubits));
     for (double& v : row) v = rng.uniform(0.0, 1.0);
     feats.push_back(std::move(row));
@@ -435,69 +463,86 @@ PlanAbPoint measure_plan_ab(int qubits, int forward_reps, int gradient_reps) {
 
   PlanAbPoint p;
   p.qubits = qubits;
-  if (const sim::ExecPlan* plan = planned.plan()) {
+  p.forward_iters = forward_iters;
+  p.gradient_iters = gradient_iters;
+  if (const sim::ExecPlan* plan = plan_batched.plan()) {
     p.gates = plan->gate_count();
     p.fused_gates = plan->fused_gate_count();
     p.stream_ops = plan->stream_op_count();
   }
 
-  // Bitwise verification first (also warms the plan's workspace pool).
-  for (const auto& f : feats) {
-    p.identical &= naive.probability(f, weights) ==
-                   planned.probability(f, weights);
-  }
-  p.identical &= naive.dataset_loss(qnn::LossKind::kMse, feats, labels,
-                                    weights) ==
-                 planned.dataset_loss(qnn::LossKind::kMse, feats, labels,
-                                      weights);
-  p.identical &= naive.loss_gradient(qnn::LossKind::kMse, feats, labels,
-                                     weights) ==
-                 planned.loss_gradient(qnn::LossKind::kMse, feats, labels,
-                                       weights);
+  const bool simd_was = sim::kernels::simd_runtime_enabled();
+  const auto loss_of = [&](const qnn::QnnExecutor& ex) {
+    return ex.dataset_loss(qnn::LossKind::kMse, feats, labels, weights);
+  };
+  const auto grad_of = [&](const qnn::QnnExecutor& ex) {
+    return ex.loss_gradient(qnn::LossKind::kMse, feats, labels, weights);
+  };
 
-  // Best-of-3 wall clocks (standard noise suppression: scheduler and
-  // frequency jitter only ever add time).
-  double sink = 0.0;
-  const auto best_of = [&](const auto& once) {
-    double best = 1e300;
-    for (int rep = 0; rep < 3; ++rep) {
-      const double t0 = now_seconds();
-      once();
-      best = std::min(best, now_seconds() - t0);
+  // Bitwise verification across the naive walk and all four kernel arms
+  // (also warms every workspace pool the clocks touch).
+  sim::kernels::set_simd_runtime_enabled(false);
+  const double ref_loss = loss_of(naive);
+  const std::vector<double> ref_grad = grad_of(naive);
+  for (bool simd : {false, true}) {
+    sim::kernels::set_simd_runtime_enabled(simd);
+    for (const qnn::QnnExecutor* ex : {&plan_unbatched, &plan_batched}) {
+      p.identical &= loss_of(*ex) == ref_loss;
+      p.identical &= grad_of(*ex) == ref_grad;
+      for (const auto& f : feats) {
+        p.identical &=
+            ex->probability(f, weights) == naive.probability(f, weights);
+      }
     }
-    return best;
+  }
+
+  // Median-of-kAbReps wall clocks per arm.
+  double sink = 0.0;
+  const auto clock_arm = [&](const qnn::QnnExecutor& ex, bool simd,
+                             double* fwd, double* grd) {
+    sim::kernels::set_simd_runtime_enabled(simd);
+    std::vector<double> fwd_reps, grd_reps;
+    for (int rep = 0; rep < kAbReps; ++rep) {
+      double t0 = now_seconds();
+      for (int r = 0; r < forward_iters; ++r) sink += loss_of(ex);
+      fwd_reps.push_back(now_seconds() - t0);
+      t0 = now_seconds();
+      for (int r = 0; r < gradient_iters; ++r) sink += grad_of(ex)[0];
+      grd_reps.push_back(now_seconds() - t0);
+    }
+    *fwd = median_of(fwd_reps);
+    *grd = median_of(grd_reps);
   };
-  const auto time_forward = [&](const qnn::QnnExecutor& ex) {
-    return best_of([&] {
-      for (int r = 0; r < forward_reps; ++r) {
-        for (const auto& f : feats) sink += ex.probability(f, weights);
-      }
-    });
-  };
-  const auto time_gradient = [&](const qnn::QnnExecutor& ex) {
-    return best_of([&] {
-      for (int r = 0; r < gradient_reps; ++r) {
-        sink += ex.loss_gradient(qnn::LossKind::kMse, feats, labels,
-                                 weights)[0];
-      }
-    });
-  };
-  p.naive_forward_s = time_forward(naive);
-  p.plan_forward_s = time_forward(planned);
-  p.naive_gradient_s = time_gradient(naive);
-  p.plan_gradient_s = time_gradient(planned);
+  for (int simd = 0; simd < 2; ++simd) {
+    for (int batched = 0; batched < 2; ++batched) {
+      ArmTiming& arm = p.arms[2 * simd + batched];
+      arm.simd = simd != 0;
+      arm.batched = batched != 0;
+      clock_arm(batched ? plan_batched : plan_unbatched, arm.simd,
+                &arm.forward_median_s, &arm.gradient_median_s);
+    }
+  }
+  clock_arm(naive, true, &p.naive_forward_s, &p.naive_gradient_s);
+  sim::kernels::set_simd_runtime_enabled(simd_was);
   benchmark::DoNotOptimize(sink);
 
-  std::printf("  plan-ab q=%d  forward %.2fx  gradient %.2fx  "
-              "identical=%s\n",
-              qubits, p.naive_forward_s / p.plan_forward_s,
-              p.naive_gradient_s / p.plan_gradient_s,
+  const ArmTiming& base = p.arms[0];  // scalar + unbatched
+  const ArmTiming& best = p.arms[3];  // SIMD + batched
+  std::printf("  plan-ab q=%d  forward %.2fx  gradient %.2fx  combined "
+              "%.2fx  identical=%s\n",
+              qubits, base.forward_median_s / best.forward_median_s,
+              base.gradient_median_s / best.gradient_median_s,
+              (base.forward_median_s + base.gradient_median_s) /
+                  (best.forward_median_s + best.gradient_median_s),
               p.identical ? "yes" : "NO");
   return p;
 }
 
 int run_plan_ab_mode(const std::string& out_path) {
-  std::printf("plan A/B mode: compiled ExecPlan vs naive circuit walk\n");
+  std::printf("plan A/B mode: kernel matrix scalar/SIMD x "
+              "unbatched/batched (arch %s, strict=%s)\n",
+              sim::kernels::arch_name(sim::kernels::active_arch()),
+              sim::kernels::strict_reproducibility() ? "on" : "off");
   // The default set mirrors the training workloads the plan accelerates:
   // the paper's Table I models are 2-qubit (iris) and 4-qubit (wine/
   // breast-cancer) backbones; 6 qubits adds headroom beyond them.
@@ -505,34 +550,32 @@ int run_plan_ab_mode(const std::string& out_path) {
   std::vector<PlanAbPoint> points;
   for (int q : qubit_set) {
     points.push_back(
-        measure_plan_ab(q, /*forward_reps=*/600, /*gradient_reps=*/120));
+        measure_plan_ab(q, /*forward_iters=*/120, /*gradient_iters=*/60));
   }
 
   // Suite aggregates are geometric means over the benchmark circuits, so
   // each circuit counts once (the standard suite metric); a total-time
-  // ratio would just re-measure the largest register, whose per-call cost
-  // is ~16x the smallest. The raw total-time ratio is still recorded
-  // below as total_time_speedup.
-  double naive_fwd = 0.0, plan_fwd = 0.0, naive_grad = 0.0, plan_grad = 0.0;
+  // ratio would just re-measure the largest register, whose per-call
+  // cost dwarfs the smallest.
   double log_fwd = 0.0, log_grad = 0.0, log_combined = 0.0;
+  double combined_6q = 0.0;
   bool identical = true;
   for (const auto& p : points) {
-    naive_fwd += p.naive_forward_s;
-    plan_fwd += p.plan_forward_s;
-    naive_grad += p.naive_gradient_s;
-    plan_grad += p.plan_gradient_s;
-    log_fwd += std::log(p.naive_forward_s / p.plan_forward_s);
-    log_grad += std::log(p.naive_gradient_s / p.plan_gradient_s);
-    log_combined += std::log((p.naive_forward_s + p.naive_gradient_s) /
-                             (p.plan_forward_s + p.plan_gradient_s));
+    const ArmTiming& base = p.arms[0];
+    const ArmTiming& best = p.arms[3];
+    log_fwd += std::log(base.forward_median_s / best.forward_median_s);
+    log_grad += std::log(base.gradient_median_s / best.gradient_median_s);
+    const double combined =
+        (base.forward_median_s + base.gradient_median_s) /
+        (best.forward_median_s + best.gradient_median_s);
+    log_combined += std::log(combined);
+    if (p.qubits == 6) combined_6q = combined;
     identical &= p.identical;
   }
   const double n = static_cast<double>(points.size());
   const double forward_speedup = std::exp(log_fwd / n);
   const double gradient_speedup = std::exp(log_grad / n);
   const double combined_speedup = std::exp(log_combined / n);
-  const double total_time_speedup =
-      (naive_fwd + naive_grad) / (plan_fwd + plan_grad);
 
   std::FILE* f = std::fopen(out_path.c_str(), "w");
   if (f == nullptr) {
@@ -541,38 +584,67 @@ int run_plan_ab_mode(const std::string& out_path) {
   }
   std::fprintf(f, "{\n  \"mode\": \"plan-ab\",\n");
   std::fprintf(f, "  \"identical\": %s,\n", identical ? "true" : "false");
+  std::fprintf(f, "  \"kernel_arch\": \"%s\",\n",
+               sim::kernels::arch_name(sim::kernels::active_arch()));
+  std::fprintf(f, "  \"strict_reproducibility\": %s,\n",
+               sim::kernels::strict_reproducibility() ? "true" : "false");
+  std::fprintf(f,
+               "  \"baseline_arm\": \"scalar unbatched plan\", "
+               "\"speedup_arm\": \"simd batched plan\",\n");
+  std::fprintf(f,
+               "  \"timing\": \"median of %d reps per arm; iterations "
+               "are calls per rep, forward calls cover %d samples "
+               "each\",\n",
+               kAbReps, kAbBatch);
   std::fprintf(f, "  \"aggregate\": \"geometric mean over circuits\",\n");
   std::fprintf(f, "  \"forward_speedup\": %.4f,\n", forward_speedup);
   std::fprintf(f, "  \"gradient_speedup\": %.4f,\n", gradient_speedup);
   std::fprintf(f, "  \"combined_speedup\": %.4f,\n", combined_speedup);
-  std::fprintf(f, "  \"total_time_speedup\": %.4f,\n", total_time_speedup);
+  std::fprintf(f, "  \"combined_speedup_6q\": %.4f,\n", combined_6q);
+  std::fprintf(f, "  \"target_combined_speedup_6q\": 3.0,\n");
   std::fprintf(f, "  \"circuits\": [");
   for (std::size_t i = 0; i < points.size(); ++i) {
     const PlanAbPoint& p = points[i];
+    const ArmTiming& base = p.arms[0];
+    const ArmTiming& best = p.arms[3];
     std::fprintf(
         f,
         "%s\n    {\"qubits\": %d, \"layers\": 2, \"gates\": %zu, "
-        "\"fused_gates\": %zu, \"stream_ops\": %zu, "
-        "\"forward\": {\"naive_seconds\": %.6f, \"plan_seconds\": %.6f, "
-        "\"speedup\": %.4f}, "
-        "\"gradient\": {\"naive_seconds\": %.6f, \"plan_seconds\": %.6f, "
-        "\"speedup\": %.4f}, \"combined_speedup\": %.4f, "
-        "\"identical\": %s}",
+        "\"fused_gates\": %zu, \"stream_ops\": %zu, \"batch\": %d, "
+        "\"reps\": %d, \"forward_iterations\": %d, "
+        "\"gradient_iterations\": %d,\n     \"arms\": [",
         i ? "," : "", p.qubits, p.gates, p.fused_gates, p.stream_ops,
-        p.naive_forward_s, p.plan_forward_s,
-        p.naive_forward_s / p.plan_forward_s, p.naive_gradient_s,
-        p.plan_gradient_s, p.naive_gradient_s / p.plan_gradient_s,
-        (p.naive_forward_s + p.naive_gradient_s) /
-            (p.plan_forward_s + p.plan_gradient_s),
+        kAbBatch, kAbReps, p.forward_iters, p.gradient_iters);
+    for (int a = 0; a < 4; ++a) {
+      const ArmTiming& arm = p.arms[a];
+      std::fprintf(f,
+                   "%s\n      {\"kernels\": \"%s\", \"batched\": %s, "
+                   "\"forward_median_seconds\": %.6f, "
+                   "\"gradient_median_seconds\": %.6f}",
+                   a ? "," : "", arm.simd ? "simd" : "scalar",
+                   arm.batched ? "true" : "false", arm.forward_median_s,
+                   arm.gradient_median_s);
+    }
+    std::fprintf(
+        f,
+        "],\n     \"naive\": {\"forward_median_seconds\": %.6f, "
+        "\"gradient_median_seconds\": %.6f},\n"
+        "     \"forward_speedup\": %.4f, \"gradient_speedup\": %.4f, "
+        "\"combined_speedup\": %.4f, \"identical\": %s}",
+        p.naive_forward_s, p.naive_gradient_s,
+        base.forward_median_s / best.forward_median_s,
+        base.gradient_median_s / best.gradient_median_s,
+        (base.forward_median_s + base.gradient_median_s) /
+            (best.forward_median_s + best.gradient_median_s),
         p.identical ? "true" : "false");
   }
   std::fprintf(f, "\n  ]\n}\n");
   std::fclose(f);
   std::printf("wrote %s\n", out_path.c_str());
-  std::printf("forward %.2fx  gradient %.2fx  combined %.2fx "
-              "(geomean; total-time %.2fx)  identical=%s\n",
+  std::printf("forward %.2fx  gradient %.2fx  combined %.2fx (geomean; "
+              "6q combined %.2fx)  identical=%s\n",
               forward_speedup, gradient_speedup, combined_speedup,
-              total_time_speedup, identical ? "yes" : "NO");
+              combined_6q, identical ? "yes" : "NO");
   return identical ? 0 : 2;
 }
 
@@ -1005,6 +1077,12 @@ int main(int argc, char** argv) {
       if (const char* v = next()) scaling_threads = std::atoi(v);
     } else if (flag == "--plan-ab") {
       plan_ab = true;
+    } else if (flag == "--no-simd") {
+      // Force the portable scalar kernels for every mode (same effect
+      // as ARBITERQ_SIMD=OFF). --plan-ab still clocks its scalar arms
+      // but dispatches SIMD arms to scalar, so the matrix degenerates
+      // to a batched-vs-unbatched comparison.
+      arbiterq::sim::kernels::set_simd_runtime_enabled(false);
     } else if (flag == "--telemetry-ab") {
       telemetry_ab = true;
     } else if (flag == "--serving") {

@@ -24,6 +24,7 @@
 #include "arbiterq/monitor/health.hpp"
 #include "arbiterq/monitor/slo.hpp"
 #include "arbiterq/report/csv.hpp"
+#include "arbiterq/sim/kernels.hpp"
 #include "arbiterq/serve/flight_recorder.hpp"
 #include "arbiterq/serve/runtime.hpp"
 #include "arbiterq/telemetry/export.hpp"
@@ -84,6 +85,8 @@ void usage() {
       "  --threads   worker threads for fleet/gradient fan-out;\n"
       "              0 = auto: ARBITERQ_THREADS env var, else\n"
       "              hardware_concurrency                (default 0)\n"
+      "  --no-simd   force the portable scalar gate kernels (same as\n"
+      "              ARBITERQ_SIMD=OFF)\n"
       "  --mitigate  enable depolarizing error mitigation\n"
       "  --infer     run shot-oriented + batch inference afterwards\n"
       "  --serve     run the fleet serving runtime afterwards: test-set\n"
@@ -175,6 +178,8 @@ bool parse(int argc, char** argv, CliOptions* opts) {
       }
     } else if (flag == "--threads") {
       if (const char* v = next()) opts->threads = std::atoi(v);
+    } else if (flag == "--no-simd") {
+      sim::kernels::set_simd_runtime_enabled(false);
     } else if (flag == "--csv") {
       if (const char* v = next()) opts->csv = v;
     } else if (flag == "--telemetry") {
@@ -244,10 +249,11 @@ int main(int argc, char** argv) {
   }
 
   std::printf("dataset %s | %s | %d QPUs | strategy %s | %d epochs | "
-              "%d threads\n",
+              "%d threads | kernels %s\n",
               bc.dataset.c_str(), qnn::backbone_name(model.backbone()).c_str(),
               opts.fleet, opts.strategy.c_str(), opts.epochs,
-              exec::resolve_threads(opts.threads));
+              exec::resolve_threads(opts.threads),
+              sim::kernels::arch_name(sim::kernels::active_arch()));
 
   const core::DistributedTrainer trainer(
       model, device::table3_fleet_subset(opts.fleet, bc.num_qubits), cfg);

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Build the tree with ThreadSanitizer and run the tests that exercise
 # the parallel execution engine: the ThreadPool/parallel_for unit tests,
-# the parallel-vs-serial equivalence suite, the statevector kernels,
+# the parallel-vs-serial equivalence suite, the statevector kernels
+# (including the SIMD dispatch state and the sample-batched register),
 # the distributed trainers, and the fleet serving runtime (queue,
 # workers, retry re-routing). Guards data-race freedom — the determinism
 # contracts in arbiterq/exec/parallel.hpp and arbiterq/serve/runtime.hpp
@@ -20,7 +21,8 @@ cmake -B "${build_dir}" -S "${repo_root}" \
   -DCMAKE_CXX_FLAGS="${tsan_flags}" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
 
-targets=(test_exec test_parallel_equivalence test_statevector test_trainers test_serve)
+targets=(test_exec test_parallel_equivalence test_statevector test_kernels
+  test_batched test_trainers test_serve)
 cmake --build "${build_dir}" -j "$(nproc)" --target "${targets[@]}"
 
 # Force the parallel code paths even on single-core CI hosts.

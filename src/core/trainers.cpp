@@ -109,7 +109,8 @@ DistributedTrainer::DistributedTrainer(const qnn::QnnModel& model,
       executors_(build_executors(
           model, fleet,
           qnn::ExecutorOptions{config.error_mitigation, config.exec,
-                               config.use_exec_plans},
+                               config.use_exec_plans,
+                               config.batched_forward},
           config.exec)),
       behavioral_(build_behavioral(executors_)),
       similarity_(behavioral_, config.kappa) {}

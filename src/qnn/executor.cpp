@@ -1,6 +1,7 @@
 #include "arbiterq/qnn/executor.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <stdexcept>
 
 #include "arbiterq/qnn/gradient.hpp"
@@ -57,6 +58,41 @@ double QnnExecutor::readout_contract(double p_one) const {
   return p_one * (1.0 - p10) + (1.0 - p_one) * p01;
 }
 
+void QnnExecutor::batched_probabilities(
+    const std::vector<std::vector<double>>& features,
+    const std::vector<double>& weights, std::size_t lo, std::size_t hi,
+    sim::BatchedWorkspace& ws, double* out) const {
+  const auto np = static_cast<std::size_t>(plan_->num_params());
+  const auto nq = static_cast<std::size_t>(model_.num_qubits());
+  for (std::size_t b0 = lo; b0 < hi; b0 += sim::kBatchBlock) {
+    const std::size_t count = std::min(sim::kBatchBlock, hi - b0);
+    ws.params.resize(count * np);
+    for (std::size_t b = 0; b < count; ++b) {
+      const std::vector<double>& f = features[b0 + b];
+      if (f.size() != nq || weights.size() != np - nq) {
+        throw std::invalid_argument("batched_probabilities: size mismatch");
+      }
+      // pack_params_into's layout: [features | weights], one binding per
+      // column at stride np.
+      double* const dst = ws.params.data() + b * np;
+      std::copy(f.begin(), f.end(), dst);
+      std::copy(weights.begin(), weights.end(), dst + nq);
+    }
+    ws.values.resize(count);
+    AQ_COUNTER_ADD("qnn.forward.calls",
+                   static_cast<std::uint64_t>(count));
+    AQ_COUNTER_ADD("qnn.plan.cache_hits",
+                   static_cast<std::uint64_t>(count));
+    plan_->expectation_z_batched(ws.params.data(), np, count, readout_qubit_,
+                                 ws, ws.values.data());
+    for (std::size_t b = 0; b < count; ++b) {
+      double z = ws.values[b];
+      if (options_.mitigate_depolarizing && survival_ > 0.0) z /= survival_;
+      out[b0 - lo + b] = readout_contract(0.5 * (1.0 - z));
+    }
+  }
+}
+
 double QnnExecutor::probability(const std::vector<double>& features,
                                 const std::vector<double>& weights) const {
   AQ_COUNTER_ADD("qnn.forward.calls", 1);
@@ -84,9 +120,18 @@ double QnnExecutor::sampled_probability(const std::vector<double>& features,
   sim::ShotOptions opts;
   opts.shots = shots;
   opts.trajectories = trajectories;
-  // Readout flips are already applied per shot inside sample_counts.
-  const double p = simulator_.sampled_probability_of_one(
-      compiled_.executable, params, readout_qubit_, opts, rng);
+  // Readout flips are applied per shot inside the samplers.
+  double p;
+  if (plan_ != nullptr && options_.batched_forward) {
+    // Trajectory-batched sampler: evolves trajectory blocks through one
+    // BatchedStatevector with a batch-invariant pre-drawn RNG schedule.
+    auto ws = batched_workspaces_.acquire();
+    p = simulator_.sampled_probability_of_one(*plan_, params, readout_qubit_,
+                                              opts, rng, *ws);
+  } else {
+    p = simulator_.sampled_probability_of_one(compiled_.executable, params,
+                                              readout_qubit_, opts, rng);
+  }
   if (!options_.mitigate_depolarizing || survival_ <= 0.0) return p;
   // Post-measurement rescaling: z -> z / S, clamped to physical range.
   const double z = std::clamp((1.0 - 2.0 * p) / survival_, -1.0, 1.0);
@@ -105,14 +150,25 @@ double QnnExecutor::dataset_loss(
   // owns its scratch Statevector); the sum stays a serial, index-ordered
   // barrier so the result is bit-identical to the sequential loop.
   std::vector<double> per_sample(features.size());
-  exec::parallel_for(options_.exec, 0, features.size(),
-                     [&](std::size_t lo, std::size_t hi) {
-                       for (std::size_t i = lo; i < hi; ++i) {
-                         per_sample[i] = loss_value(
-                             kind, probability(features[i], weights),
-                             labels[i]);
-                       }
-                     });
+  exec::parallel_for(
+      options_.exec, 0, features.size(), [&](std::size_t lo, std::size_t hi) {
+        if (plan_ != nullptr && options_.batched_forward) {
+          // Sample-batched forward: one register sweep serves a whole
+          // block of samples (per-column arithmetic identical to the
+          // unbatched plan path).
+          auto ws = batched_workspaces_.acquire();
+          std::vector<double> probs(hi - lo);
+          batched_probabilities(features, weights, lo, hi, *ws, probs.data());
+          for (std::size_t i = lo; i < hi; ++i) {
+            per_sample[i] = loss_value(kind, probs[i - lo], labels[i]);
+          }
+          return;
+        }
+        for (std::size_t i = lo; i < hi; ++i) {
+          per_sample[i] =
+              loss_value(kind, probability(features[i], weights), labels[i]);
+        }
+      });
   double total = 0.0;
   for (double l : per_sample) total += l;
   return total / static_cast<double>(features.size());
@@ -148,6 +204,45 @@ std::vector<double> QnnExecutor::loss_gradient(
   exec::parallel_for(
       options_.exec, 0, features.size(),
       [&](std::size_t lo, std::size_t hi) {
+        if (plan_ != nullptr && options_.batched_forward) {
+          // Both halves sample-batched: the fused forward stream yields
+          // p for the loss derivative (same stream the loss reports),
+          // and the adjoint's gate-table forward runs as one batched
+          // sweep per block with a per-column reverse sweep.
+          auto bws = batched_workspaces_.acquire();
+          std::vector<double> probs(hi - lo);
+          batched_probabilities(features, weights, lo, hi, *bws, probs.data());
+          const auto np = static_cast<std::size_t>(plan_->num_params());
+          const auto nq = static_cast<std::size_t>(model_.num_qubits());
+          std::vector<double> grads;
+          for (std::size_t b0 = lo; b0 < hi; b0 += sim::kBatchBlock) {
+            const std::size_t count = std::min(sim::kBatchBlock, hi - b0);
+            bws->params.resize(count * np);
+            for (std::size_t b = 0; b < count; ++b) {
+              const std::vector<double>& f = features[b0 + b];
+              double* const dst = bws->params.data() + b * np;
+              std::copy(f.begin(), f.end(), dst);
+              std::copy(weights.begin(), weights.end(), dst + nq);
+            }
+            grads.resize(count * np);
+            sim::adjoint_gradient_z_batched(*plan_, bws->params.data(), np,
+                                            count, readout_qubit_, *bws,
+                                            grads.data());
+            for (std::size_t b = 0; b < count; ++b) {
+              const std::size_t i = b0 + b;
+              const double dl_dp =
+                  loss_derivative(kind, probs[i - lo], labels[i]);
+              const double chain = dl_dp * contraction * -0.5;
+              const double* const g = grads.data() + b * np;
+              std::vector<double> contrib(w_count);
+              for (std::size_t w = 0; w < w_count; ++w) {
+                contrib[w] = chain * g[w_offset + w];
+              }
+              per_sample[i] = std::move(contrib);
+            }
+          }
+          return;
+        }
         if (plan_ != nullptr) {
           auto ws = workspaces_.acquire();
           ws->grad.resize(static_cast<std::size_t>(plan_->num_params()));

@@ -22,6 +22,7 @@
 #include "arbiterq/math/rng.hpp"
 #include "arbiterq/qnn/loss.hpp"
 #include "arbiterq/qnn/model.hpp"
+#include "arbiterq/sim/batched.hpp"
 #include "arbiterq/sim/simulator.hpp"
 #include "arbiterq/transpile/transpiler.hpp"
 
@@ -48,6 +49,14 @@ struct ExecutorOptions {
   /// is rebuilt whenever recalibrate() swaps the noise model. Disable to
   /// A/B against the per-call circuit walk.
   bool use_plan = true;
+  /// Route multi-sample plan work through the sample-batched forward
+  /// (sim/batched.hpp): dataset losses and adjoint gradients evaluate
+  /// kBatchBlock samples per register sweep, and sampled_probability
+  /// evolves trajectory blocks through one BatchedStatevector. Under
+  /// strict reproducibility results are bit-identical to the unbatched
+  /// plan path (the trajectory sampler has its own — batch-invariant —
+  /// RNG schedule). No effect when use_plan is false.
+  bool batched_forward = true;
 };
 
 class QnnExecutor {
@@ -117,6 +126,14 @@ class QnnExecutor {
   double readout_contract(double p_one) const;
   /// (Re)compile the plan against the simulator's current noise model.
   void rebuild_plan();
+  /// Batched forward over samples [lo, hi): packs each sample's params
+  /// into `ws`, runs the plan's sample-batched expectation in
+  /// kBatchBlock blocks and writes P(readout = 1) — mitigation and
+  /// readout contraction applied — to out[i - lo]. Requires plan_.
+  void batched_probabilities(const std::vector<std::vector<double>>& features,
+                             const std::vector<double>& weights,
+                             std::size_t lo, std::size_t hi,
+                             sim::BatchedWorkspace& ws, double* out) const;
 
   QnnModel model_;
   device::Qpu qpu_;
@@ -134,6 +151,8 @@ class QnnExecutor {
   /// bound matrices, packed params). Mutable: forward/gradient methods
   /// are logically const. Copies start with a fresh pool.
   mutable sim::WorkspacePool workspaces_;
+  /// Pool of sample-batched scratch for the batched_forward paths.
+  mutable sim::BatchedWorkspacePool batched_workspaces_;
 };
 
 }  // namespace arbiterq::qnn

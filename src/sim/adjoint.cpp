@@ -4,6 +4,8 @@
 #include <stdexcept>
 
 #include "arbiterq/circuit/unitary.hpp"
+#include "arbiterq/sim/batched.hpp"
+#include "arbiterq/sim/kernels.hpp"
 #include "arbiterq/sim/statevector.hpp"
 #include "arbiterq/telemetry/metrics.hpp"
 #include "arbiterq/telemetry/trace.hpp"
@@ -31,80 +33,74 @@ Mat4 d_matrix_2q(GateKind kind, const std::array<double, 3>& p) {
   return d_gate_matrix_2q(kind, p);
 }
 
-Complex inner_product(const std::vector<Complex>& a,
-                      const std::vector<Complex>& b) {
-  Complex acc{0.0, 0.0};
-  for (std::size_t i = 0; i < a.size(); ++i) acc += std::conj(a[i]) * b[i];
-  return acc;
+// The bracket reductions — the exact arithmetic of
+//   mu = psi; mu.apply_mat(M, ...); inner_product(lambda, mu)
+// fused into one pass, including the apply kernels' diagonal dispatch —
+// live in kernels.cpp so the naive and plan-based gradients below go
+// through the same dispatch arm and stay mutually bit-identical in
+// every mode (scalar, AVX2 strict, AVX2+FMA fast).
+
+/// <lambda| M |psi> over whole registers.
+Complex bracket_1q(const Statevector& lambda, const Statevector& psi,
+                   const Mat2& m, int q) {
+  return kernels::bracket_1q(lambda.amplitudes().data(),
+                             psi.amplitudes().data(), psi.dim(), m, q);
 }
 
-inline bool is_zero(const Complex& c) noexcept {
-  return c.real() == 0.0 && c.imag() == 0.0;
+Complex bracket_2q(const Statevector& lambda, const Statevector& psi,
+                   const Mat4& m, int qb, int qa) {
+  return kernels::bracket_2q(lambda.amplitudes().data(),
+                             psi.amplitudes().data(), psi.dim(), m, qb, qa);
 }
 
-/// <lambda| M |psi> for a 1q matrix, accumulated in amplitude index
-/// order. This is the exact arithmetic of
-///   mu = psi; mu.apply_mat2(M, q); inner_product(lambda, mu)
-/// — including apply_mat2's diagonal dispatch — fused into one pass, so
-/// the gradient term needs no scratch register and a third of the memory
-/// traffic while staying bit-identical to the naive path.
-Complex bracket_1q(const std::vector<Complex>& lam,
-                   const std::vector<Complex>& psi, const Mat2& m, int q) {
-  const std::size_t bit = std::size_t{1} << q;
-  Complex acc{0.0, 0.0};
-  if (is_zero(m[1]) && is_zero(m[2])) {
-    const Complex d0 = m[0], d1 = m[3];
-    for (std::size_t i = 0; i < psi.size(); ++i) {
-      acc += std::conj(lam[i]) * (psi[i] * ((i & bit) ? d1 : d0));
-    }
-    return acc;
-  }
-  const Complex m0 = m[0], m1 = m[1], m2 = m[2], m3 = m[3];
-  for (std::size_t i = 0; i < psi.size(); ++i) {
-    const Complex mu = (i & bit) ? m2 * psi[i & ~bit] + m3 * psi[i]
-                                 : m0 * psi[i] + m1 * psi[i | bit];
-    acc += std::conj(lam[i]) * mu;
-  }
-  return acc;
-}
+/// The reverse half of the plan adjoint: psi holds U|0>, ws holds the
+/// matrices bind_gates built for this binding. Writes num_params
+/// gradient entries to `grad`. Shared by the unbatched and batched
+/// entry points so their per-sample arithmetic is the same code.
+void reverse_sweep(const ExecPlan& plan, Workspace& ws, Statevector& psi,
+                   int qubit, double* grad) {
+  const auto np = static_cast<std::size_t>(plan.num_params());
+  const exec::ExecPolicy serial{};
+  Statevector& lambda = ws.lambda(plan.num_qubits(), serial);
+  lambda = psi;
+  lambda.apply_pauli(3, qubit);
 
-/// 2q analogue of bracket_1q, mirroring apply_mat4's diagonal dispatch.
-Complex bracket_2q(const std::vector<Complex>& lam,
-                   const std::vector<Complex>& psi, const Mat4& m, int qb,
-                   int qa) {
-  const std::size_t bit_b = std::size_t{1} << qb;
-  const std::size_t bit_a = std::size_t{1} << qa;
-  bool diagonal = true;
-  for (int r = 0; r < 4 && diagonal; ++r) {
-    for (int c = 0; c < 4; ++c) {
-      if (r != c && !is_zero(m[static_cast<std::size_t>(4 * r + c)])) {
-        diagonal = false;
-        break;
+  for (std::size_t i = 0; i < np; ++i) grad[i] = 0.0;
+
+  const std::vector<GateEntry>& table = plan.gate_table();
+  for (std::size_t k = table.size(); k-- > 0;) {
+    const GateEntry& e = table[k];
+    if (e.arity == 1) {
+      const Mat2& md = e.dynamic
+                           ? ws.dyn1q_adj[static_cast<std::size_t>(e.index)]
+                           : plan.table_mat2_adjoint(e.index);
+      psi.apply_mat2(md, e.q0);
+      for (const GateEntry::GradTerm& t : e.grads) {
+        const Complex ip = bracket_1q(
+            lambda, psi, ws.dgrad1q[static_cast<std::size_t>(t.dindex)], e.q0);
+        grad[static_cast<std::size_t>(t.param_index)] +=
+            2.0 * t.coeff * ip.real();
       }
+      lambda.apply_mat2(md, e.q0);
+    } else {
+      const Mat4& md = e.dynamic
+                           ? ws.dyn2q_adj[static_cast<std::size_t>(e.index)]
+                           : plan.table_mat4_adjoint(e.index);
+      psi.apply_mat4(md, e.q0, e.q1);
+      for (const GateEntry::GradTerm& t : e.grads) {
+        const Complex ip = bracket_2q(
+            lambda, psi, ws.dgrad2q[static_cast<std::size_t>(t.dindex)], e.q0,
+            e.q1);
+        grad[static_cast<std::size_t>(t.param_index)] +=
+            2.0 * t.coeff * ip.real();
+      }
+      lambda.apply_mat4(md, e.q0, e.q1);
     }
   }
-  Complex acc{0.0, 0.0};
-  if (diagonal) {
-    const Complex d[4] = {m[0], m[5], m[10], m[15]};
-    for (std::size_t i = 0; i < psi.size(); ++i) {
-      const unsigned sel = ((i & bit_b) ? 2U : 0U) | ((i & bit_a) ? 1U : 0U);
-      acc += std::conj(lam[i]) * (psi[i] * d[sel]);
-    }
-    return acc;
+
+  if (plan.noisy()) {
+    for (std::size_t i = 0; i < np; ++i) grad[i] *= plan.survival();
   }
-  const std::size_t mask = bit_b | bit_a;
-  for (std::size_t i = 0; i < psi.size(); ++i) {
-    const std::size_t base = i & ~mask;
-    const Complex a00 = psi[base];
-    const Complex a01 = psi[base | bit_a];
-    const Complex a10 = psi[base | bit_b];
-    const Complex a11 = psi[base | bit_b | bit_a];
-    const unsigned sel = ((i & bit_b) ? 2U : 0U) | ((i & bit_a) ? 1U : 0U);
-    const Complex* row = &m[static_cast<std::size_t>(4 * sel)];
-    acc += std::conj(lam[i]) * (row[0] * a00 + row[1] * a01 + row[2] * a10 +
-                                row[3] * a11);
-  }
-  return acc;
 }
 
 }  // namespace
@@ -149,7 +145,6 @@ std::vector<double> adjoint_gradient_z(const circuit::Circuit& c,
   lambda.apply_pauli(3, qubit);
 
   std::vector<double> grad(static_cast<std::size_t>(c.num_params()), 0.0);
-  Statevector mu(c.num_qubits());  // scratch register
 
   const auto& gates = c.gates();
   for (std::size_t k = gates.size(); k-- > 0;) {
@@ -163,10 +158,9 @@ std::vector<double> adjoint_gradient_z(const circuit::Circuit& c,
         const circuit::ParamExpr& pe =
             g.params[static_cast<std::size_t>(slot)];
         if (pe.is_constant()) continue;
-        mu = psi;
-        mu.apply_mat2(d_matrix_1q(g.kind, bound, slot), g.qubits[0]);
-        const Complex ip = inner_product(lambda.amplitudes(),
-                                         mu.amplitudes());
+        const Complex ip = bracket_1q(lambda, psi,
+                                      d_matrix_1q(g.kind, bound, slot),
+                                      g.qubits[0]);
         grad[static_cast<std::size_t>(pe.index)] +=
             2.0 * pe.coeff * ip.real();
       }
@@ -176,10 +170,8 @@ std::vector<double> adjoint_gradient_z(const circuit::Circuit& c,
       const Mat4 md = circuit::mat4_adjoint(m);
       psi.apply_mat4(md, g.qubits[0], g.qubits[1]);
       if (g.param_count() > 0 && !g.params[0].is_constant()) {
-        mu = psi;
-        mu.apply_mat4(d_matrix_2q(g.kind, bound), g.qubits[0], g.qubits[1]);
-        const Complex ip = inner_product(lambda.amplitudes(),
-                                         mu.amplitudes());
+        const Complex ip = bracket_2q(lambda, psi, d_matrix_2q(g.kind, bound),
+                                      g.qubits[0], g.qubits[1]);
         grad[static_cast<std::size_t>(g.params[0].index)] +=
             2.0 * g.params[0].coeff * ip.real();
       }
@@ -224,46 +216,90 @@ void adjoint_gradient_z(const ExecPlan& plan, std::span<const double> params,
     }
   }
 
-  Statevector& lambda = ws.lambda(plan.num_qubits(), serial);
-  lambda = psi;
-  lambda.apply_pauli(3, qubit);
+  reverse_sweep(plan, ws, psi, qubit, grad.data());
+}
 
-  for (std::size_t i = 0; i < np; ++i) grad[i] = 0.0;
+void adjoint_gradient_z_batched(const ExecPlan& plan, const double* params,
+                                std::size_t stride, std::size_t batch,
+                                int qubit, BatchedWorkspace& ws,
+                                double* grads) {
+  const auto np = static_cast<std::size_t>(plan.num_params());
+  if (stride < np) {
+    throw std::invalid_argument("adjoint_gradient_z_batched: stride < params");
+  }
+  if (batch == 0) return;
+  AQ_COUNTER_ADD("sim.adjoint.calls", static_cast<std::uint64_t>(batch));
+  AQ_COUNTER_ADD("sim.plan.adjoint.batched_calls", 1);
 
-  for (std::size_t k = table.size(); k-- > 0;) {
-    const GateEntry& e = table[k];
+  // One gate-table binding per column. Each column keeps its own
+  // workspace so the angle memo sees a consistent sample stream and the
+  // weight gates skip their trig rebuild after warm-up, as unbatched.
+  if (ws.col_gates.size() < batch) {
+    ws.col_gates.reserve(batch);
+    while (ws.col_gates.size() < batch) {
+      ws.col_gates.push_back(std::make_unique<Workspace>());
+    }
+  }
+  for (std::size_t b = 0; b < batch; ++b) {
+    plan.bind_gates(std::span<const double>(params + b * stride, np),
+                    *ws.col_gates[b]);
+  }
+
+  // Batched forward over the unfused gate table: static entries
+  // broadcast one matrix across the block, dynamic entries gather each
+  // column's bound matrix — unless every column bound the same angles
+  // (weight gates), which takes the broadcast kernel too.
+  BatchedStatevector& st = ws.state();
+  st.configure(plan.num_qubits(), batch);
+  const std::vector<GateEntry>& table = plan.gate_table();
+  for (const GateEntry& e : table) {
+    bool uniform = !e.dynamic;
+    if (e.dynamic) {
+      const auto bi = static_cast<std::size_t>(e.bound_index);
+      uniform = true;
+      for (std::size_t b = 1; b < batch; ++b) {
+        if (ws.col_gates[b]->dyn_bound[bi] != ws.col_gates[0]->dyn_bound[bi]) {
+          uniform = false;
+          break;
+        }
+      }
+    }
+    const auto ei = static_cast<std::size_t>(e.index);
     if (e.arity == 1) {
-      const Mat2& md = e.dynamic
-                           ? ws.dyn1q_adj[static_cast<std::size_t>(e.index)]
-                           : plan.table_mat2_adjoint(e.index);
-      psi.apply_mat2(md, e.q0);
-      for (const GateEntry::GradTerm& t : e.grads) {
-        const Complex ip =
-            bracket_1q(lambda.amplitudes(), psi.amplitudes(),
-                       ws.dgrad1q[static_cast<std::size_t>(t.dindex)], e.q0);
-        grad[static_cast<std::size_t>(t.param_index)] +=
-            2.0 * t.coeff * ip.real();
+      if (uniform) {
+        st.apply_mat2_all(
+            e.dynamic ? ws.col_gates[0]->dyn1q[ei] : plan.table_mat2(e.index),
+            e.q0);
+      } else {
+        if (ws.mat2_scratch.size() < batch) ws.mat2_scratch.resize(batch);
+        for (std::size_t b = 0; b < batch; ++b) {
+          ws.mat2_scratch[b] = ws.col_gates[b]->dyn1q[ei];
+        }
+        st.apply_mat2_each(ws.mat2_scratch.data(), e.q0);
       }
-      lambda.apply_mat2(md, e.q0);
     } else {
-      const Mat4& md = e.dynamic
-                           ? ws.dyn2q_adj[static_cast<std::size_t>(e.index)]
-                           : plan.table_mat4_adjoint(e.index);
-      psi.apply_mat4(md, e.q0, e.q1);
-      for (const GateEntry::GradTerm& t : e.grads) {
-        const Complex ip =
-            bracket_2q(lambda.amplitudes(), psi.amplitudes(),
-                       ws.dgrad2q[static_cast<std::size_t>(t.dindex)], e.q0,
-                       e.q1);
-        grad[static_cast<std::size_t>(t.param_index)] +=
-            2.0 * t.coeff * ip.real();
+      if (uniform) {
+        st.apply_mat4_all(
+            e.dynamic ? ws.col_gates[0]->dyn2q[ei] : plan.table_mat4(e.index),
+            e.q0, e.q1);
+      } else {
+        if (ws.mat4_scratch.size() < batch) ws.mat4_scratch.resize(batch);
+        for (std::size_t b = 0; b < batch; ++b) {
+          ws.mat4_scratch[b] = ws.col_gates[b]->dyn2q[ei];
+        }
+        st.apply_mat4_each(ws.mat4_scratch.data(), e.q0, e.q1);
       }
-      lambda.apply_mat4(md, e.q0, e.q1);
     }
   }
 
-  if (plan.noisy()) {
-    for (std::size_t i = 0; i < np; ++i) grad[i] *= plan.survival();
+  // Reverse half per column: peel the column into that column's
+  // unbatched register and run the shared sweep against its matrices.
+  const exec::ExecPolicy serial{};
+  for (std::size_t b = 0; b < batch; ++b) {
+    Workspace& cw = *ws.col_gates[b];
+    Statevector& psi = cw.state(plan.num_qubits(), serial);
+    psi.load_strided(st.row(0) + b, batch);
+    reverse_sweep(plan, cw, psi, qubit, grads + b * np);
   }
 }
 

@@ -1,0 +1,523 @@
+// Sample-batched forward execution (batched.hpp) plus the plan-based,
+// trajectory-batched marginal sampler. The ExecPlan batched entry
+// points live here as member functions so the stream/slot internals
+// stay private to the plan.
+
+#include "arbiterq/sim/batched.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <utility>
+
+#include "arbiterq/circuit/unitary.hpp"
+#include "arbiterq/sim/kernels.hpp"
+#include "arbiterq/sim/simulator.hpp"
+#include "arbiterq/telemetry/metrics.hpp"
+#include "arbiterq/telemetry/trace.hpp"
+#include "kernels_impl.hpp"
+
+namespace arbiterq::sim {
+
+namespace {
+
+using circuit::Mat2;
+using circuit::Mat4;
+using kernels::detail::insert_zero_bit;
+
+inline bool is_zero(const Complex& c) noexcept {
+  return c.real() == 0.0 && c.imag() == 0.0;
+}
+
+inline bool is_diag2(const Mat2& m) noexcept {
+  return is_zero(m[1]) && is_zero(m[2]);
+}
+
+inline bool is_diag4(const Mat4& m) noexcept {
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 4; ++c) {
+      if (r != c && !is_zero(m[static_cast<std::size_t>(4 * r + c)])) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// BatchedStatevector
+
+void BatchedStatevector::configure(int num_qubits, std::size_t batch) {
+  if (num_qubits <= 0 || num_qubits > Statevector::kMaxQubits) {
+    throw std::invalid_argument("BatchedStatevector: unsupported qubit count");
+  }
+  if (batch == 0) {
+    throw std::invalid_argument("BatchedStatevector: batch must be > 0");
+  }
+  num_qubits_ = num_qubits;
+  dim_ = std::size_t{1} << num_qubits;
+  batch_ = batch;
+  amps_.assign(dim_ * batch_, Complex{0.0, 0.0});
+  for (std::size_t b = 0; b < batch_; ++b) amps_[b] = 1.0;
+  assert(reinterpret_cast<std::uintptr_t>(amps_.data()) % kAmpAlignment == 0 &&
+         "amplitude storage must honor kAmpAlignment");
+}
+
+void BatchedStatevector::apply_mat2_all(const Mat2& m, int q) {
+  const std::size_t bit = std::size_t{1} << q;
+  if (is_diag2(m)) {
+    const Complex d0 = m[0];
+    const Complex d1 = m[3];
+    for (std::size_t i = 0; i < dim_; ++i) {
+      kernels::batched_scale(row(i), (i & bit) ? d1 : d0, batch_);
+    }
+    return;
+  }
+  for (std::size_t p = 0; p < dim_ >> 1; ++p) {
+    const std::size_t i0 = insert_zero_bit(p, q);
+    kernels::batched_mat2(row(i0), row(i0 | bit), m, batch_);
+  }
+}
+
+void BatchedStatevector::apply_mat4_all(const Mat4& m, int qb, int qa) {
+  const std::size_t bit_b = std::size_t{1} << qb;
+  const std::size_t bit_a = std::size_t{1} << qa;
+  if (is_diag4(m)) {
+    const Complex d[4] = {m[0], m[5], m[10], m[15]};
+    for (std::size_t i = 0; i < dim_; ++i) {
+      const unsigned sel = ((i & bit_b) ? 2U : 0U) | ((i & bit_a) ? 1U : 0U);
+      kernels::batched_scale(row(i), d[sel], batch_);
+    }
+    return;
+  }
+  const int q_lo = qb < qa ? qb : qa;
+  const int q_hi = qb < qa ? qa : qb;
+  for (std::size_t g = 0; g < dim_ >> 2; ++g) {
+    const std::size_t i00 = insert_zero_bit(insert_zero_bit(g, q_lo), q_hi);
+    kernels::batched_mat4(row(i00), row(i00 | bit_a), row(i00 | bit_b),
+                          row(i00 | bit_b | bit_a), m, batch_);
+  }
+}
+
+void BatchedStatevector::apply_mat2_each(const Mat2* mats, int q) {
+  const std::size_t bit = std::size_t{1} << q;
+  diag_scratch_.resize(2 * batch_);
+  // Diagonal dispatch is per-matrix (an RZ column sits next to an RX
+  // column): partition the batch into maximal runs of equal dispatch so
+  // every column takes exactly the kernel it would take unbatched.
+  std::size_t b = 0;
+  while (b < batch_) {
+    const bool diag = is_diag2(mats[b]);
+    std::size_t e = b + 1;
+    while (e < batch_ && is_diag2(mats[e]) == diag) ++e;
+    const std::size_t count = e - b;
+    if (diag) {
+      Complex* const d0s = diag_scratch_.data();
+      Complex* const d1s = diag_scratch_.data() + batch_;
+      for (std::size_t k = 0; k < count; ++k) {
+        d0s[k] = mats[b + k][0];
+        d1s[k] = mats[b + k][3];
+      }
+      for (std::size_t i = 0; i < dim_; ++i) {
+        kernels::batched_scale_each(row(i) + b, (i & bit) ? d1s : d0s, count);
+      }
+    } else {
+      for (std::size_t p = 0; p < dim_ >> 1; ++p) {
+        const std::size_t i0 = insert_zero_bit(p, q);
+        kernels::batched_mat2_each(row(i0) + b, row(i0 | bit) + b, mats + b,
+                                   count);
+      }
+    }
+    b = e;
+  }
+}
+
+void BatchedStatevector::apply_mat4_each(const Mat4* mats, int qb, int qa) {
+  const std::size_t bit_b = std::size_t{1} << qb;
+  const std::size_t bit_a = std::size_t{1} << qa;
+  const int q_lo = qb < qa ? qb : qa;
+  const int q_hi = qb < qa ? qa : qb;
+  diag_scratch_.resize(4 * batch_);
+  std::size_t b = 0;
+  while (b < batch_) {
+    const bool diag = is_diag4(mats[b]);
+    std::size_t e = b + 1;
+    while (e < batch_ && is_diag4(mats[e]) == diag) ++e;
+    const std::size_t count = e - b;
+    if (diag) {
+      Complex* ds[4];
+      for (unsigned s = 0; s < 4; ++s) {
+        ds[s] = diag_scratch_.data() + s * batch_;
+      }
+      for (std::size_t k = 0; k < count; ++k) {
+        const Mat4& m = mats[b + k];
+        ds[0][k] = m[0];
+        ds[1][k] = m[5];
+        ds[2][k] = m[10];
+        ds[3][k] = m[15];
+      }
+      for (std::size_t i = 0; i < dim_; ++i) {
+        const unsigned sel = ((i & bit_b) ? 2U : 0U) | ((i & bit_a) ? 1U : 0U);
+        kernels::batched_scale_each(row(i) + b, ds[sel], count);
+      }
+    } else {
+      for (std::size_t g = 0; g < dim_ >> 2; ++g) {
+        const std::size_t i00 =
+            insert_zero_bit(insert_zero_bit(g, q_lo), q_hi);
+        kernels::batched_mat4_each(row(i00) + b, row(i00 | bit_a) + b,
+                                   row(i00 | bit_b) + b,
+                                   row(i00 | bit_b | bit_a) + b, mats + b,
+                                   count);
+      }
+    }
+    b = e;
+  }
+}
+
+void BatchedStatevector::apply_mat2_col(const Mat2& m, int q,
+                                        std::size_t col) {
+  const std::size_t bit = std::size_t{1} << q;
+  if (is_diag2(m)) {
+    const Complex d0 = m[0];
+    const Complex d1 = m[3];
+    for (std::size_t i = 0; i < dim_; ++i) {
+      row(i)[col] *= (i & bit) ? d1 : d0;
+    }
+    return;
+  }
+  for (std::size_t p = 0; p < dim_ >> 1; ++p) {
+    const std::size_t i0 = insert_zero_bit(p, q);
+    const std::size_t i1 = i0 | bit;
+    const Complex a0 = row(i0)[col];
+    const Complex a1 = row(i1)[col];
+    row(i0)[col] = m[0] * a0 + m[1] * a1;
+    row(i1)[col] = m[2] * a0 + m[3] * a1;
+  }
+}
+
+void BatchedStatevector::apply_pauli_col(int pauli, int q, std::size_t col) {
+  switch (pauli) {
+    case 1:
+      apply_mat2_col(circuit::gate_matrix_1q(circuit::GateKind::kX, {}), q,
+                     col);
+      break;
+    case 2:
+      apply_mat2_col(circuit::gate_matrix_1q(circuit::GateKind::kY, {}), q,
+                     col);
+      break;
+    case 3:
+      apply_mat2_col(circuit::gate_matrix_1q(circuit::GateKind::kZ, {}), q,
+                     col);
+      break;
+    default:
+      throw std::invalid_argument("apply_pauli_col: pauli must be 1, 2 or 3");
+  }
+}
+
+void BatchedStatevector::probability_of_one_all(int q, double* out) const {
+  const std::size_t bit = std::size_t{1} << q;
+  for (std::size_t b = 0; b < batch_; ++b) out[b] = 0.0;
+  // Basis index outer, sample inner: every column accumulates in the
+  // exact index order of Statevector::probability_of_one.
+  for (std::size_t i = 0; i < dim_; ++i) {
+    if (!(i & bit)) continue;
+    const Complex* const r = row(i);
+    for (std::size_t b = 0; b < batch_; ++b) out[b] += std::norm(r[b]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// BatchedWorkspacePool
+
+BatchedWorkspacePool::Lease BatchedWorkspacePool::acquire() {
+  std::unique_ptr<BatchedWorkspace> ws;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (!free_.empty()) {
+      ws = std::move(free_.back());
+      free_.pop_back();
+    }
+  }
+  if (ws == nullptr) ws = std::make_unique<BatchedWorkspace>();
+  return Lease(this, std::move(ws));
+}
+
+void BatchedWorkspacePool::release(std::unique_ptr<BatchedWorkspace> ws) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  free_.push_back(std::move(ws));
+}
+
+// ---------------------------------------------------------------------------
+// ExecPlan batched execution
+
+void ExecPlan::bind_batched(const double* params, std::size_t stride,
+                            std::size_t batch, BatchedWorkspace& ws) const {
+  if (batch == 0) {
+    throw std::invalid_argument("bind_batched: batch must be > 0");
+  }
+  if (stride < static_cast<std::size_t>(num_params_)) {
+    throw std::invalid_argument("bind_batched: stride < num_params");
+  }
+  AQ_COUNTER_ADD("sim.plan.batched_binds", 1);
+  if (ws.plan_id != plan_id_ || ws.batch != batch) {
+    ws.bound1q_cols.resize(bound1q_.size() * batch);
+    ws.bound2q_cols.resize(bound2q_.size() * batch);
+    ws.uniform1q.resize(bound1q_.size());
+    ws.uniform2q.resize(bound2q_.size());
+    ws.plan_id = plan_id_;
+    ws.batch = batch;
+  }
+  const auto np = static_cast<std::size_t>(num_params_);
+  auto col_params = [&](std::size_t b) {
+    return std::span<const double>(params + b * stride, np);
+  };
+  // Per column this replays bind()'s fold with that column's params —
+  // the same gate_matrix / mat2_multiply sequence, so each column's
+  // matrix is bitwise the one the unbatched bind would produce. A column
+  // whose dynamic angles match its predecessor reuses the predecessor's
+  // matrix (weight-only slots therefore fold once per batch), and a slot
+  // where every column matched is flagged uniform so run_batched can
+  // stream the broadcast kernel.
+  for (std::size_t i = 0; i < bound1q_.size(); ++i) {
+    const Bound1qSlot& slot = bound1q_[i];
+    std::size_t n_dyn = 0;
+    for (const FoldOp& op : slot.tail) {
+      if (op.dynamic) ++n_dyn;
+    }
+    ws.angles_prev.resize(n_dyn);
+    ws.angles_cur.resize(n_dyn);
+    Mat2* const cols = ws.bound1q_cols.data() + i * batch;
+    bool uniform = true;
+    for (std::size_t b = 0; b < batch; ++b) {
+      const auto p = col_params(b);
+      bool same = b > 0;
+      std::size_t j = 0;
+      for (const FoldOp& op : slot.tail) {
+        if (!op.dynamic) continue;
+        ws.angles_cur[j] = op.bound(p, noisy_);
+        if (b == 0 || ws.angles_cur[j] != ws.angles_prev[j]) same = false;
+        ++j;
+      }
+      if (same) {
+        cols[b] = cols[b - 1];
+      } else {
+        if (b > 0) uniform = false;
+        Mat2 acc = slot.prefix;
+        j = 0;
+        for (const FoldOp& op : slot.tail) {
+          const Mat2 m =
+              op.dynamic ? circuit::gate_matrix_1q(op.kind, ws.angles_cur[j++])
+                         : op.constant;
+          acc = circuit::mat2_multiply(m, acc);
+        }
+        cols[b] = acc;
+      }
+      std::swap(ws.angles_prev, ws.angles_cur);
+    }
+    ws.uniform1q[i] = uniform ? 1 : 0;
+  }
+  for (std::size_t i = 0; i < bound2q_.size(); ++i) {
+    const FoldOp& spec = bound2q_[i].spec;
+    Mat4* const cols = ws.bound2q_cols.data() + i * batch;
+    std::array<double, 3> prev{};
+    bool uniform = true;
+    for (std::size_t b = 0; b < batch; ++b) {
+      const std::array<double, 3> bound = spec.bound(col_params(b), noisy_);
+      if (b > 0 && bound == prev) {
+        cols[b] = cols[b - 1];
+      } else {
+        if (b > 0) uniform = false;
+        cols[b] = circuit::gate_matrix_2q(spec.kind, bound);
+      }
+      prev = bound;
+    }
+    ws.uniform2q[i] = uniform ? 1 : 0;
+  }
+}
+
+BatchedStatevector& ExecPlan::run_batched(const double* params,
+                                          std::size_t stride,
+                                          std::size_t batch,
+                                          BatchedWorkspace& ws) const {
+  AQ_COUNTER_ADD("sim.plan.batched_runs", 1);
+  AQ_COUNTER_ADD("sim.plan.batched_columns",
+                 static_cast<std::uint64_t>(batch));
+  bind_batched(params, stride, batch, ws);
+  BatchedStatevector& st = ws.state();
+  st.configure(num_qubits_, batch);
+  for (const StreamOp& op : stream_) {
+    const auto idx = static_cast<std::size_t>(op.index);
+    switch (op.kind) {
+      case StreamOp::Kind::kConst1q:
+        st.apply_mat2_all(const1q_[idx], op.q0);
+        break;
+      case StreamOp::Kind::kBound1q:
+        if (ws.uniform1q[idx] != 0) {
+          st.apply_mat2_all(ws.bound1q_cols[idx * batch], op.q0);
+        } else {
+          st.apply_mat2_each(ws.bound1q_cols.data() + idx * batch, op.q0);
+        }
+        break;
+      case StreamOp::Kind::kConst2q:
+        st.apply_mat4_all(const2q_[idx], op.q0, op.q1);
+        break;
+      case StreamOp::Kind::kBound2q:
+        if (ws.uniform2q[idx] != 0) {
+          st.apply_mat4_all(ws.bound2q_cols[idx * batch], op.q0, op.q1);
+        } else {
+          st.apply_mat4_each(ws.bound2q_cols.data() + idx * batch, op.q0,
+                             op.q1);
+        }
+        break;
+    }
+  }
+  return st;
+}
+
+void ExecPlan::expectation_z_batched(const double* params, std::size_t stride,
+                                     std::size_t batch, int qubit,
+                                     BatchedWorkspace& ws,
+                                     double* out) const {
+  const BatchedStatevector& st = run_batched(params, stride, batch, ws);
+  st.probability_of_one_all(qubit, out);
+  for (std::size_t b = 0; b < batch; ++b) {
+    out[b] = survival_ * (1.0 - 2.0 * out[b]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Plan-based, trajectory-batched marginal sampler
+
+std::uint64_t StatevectorSimulator::sample_marginal_ones(
+    const ExecPlan& plan, std::span<const double> params, int qubit,
+    const ShotOptions& opts, math::Rng& rng, BatchedWorkspace& ws) const {
+  if (opts.shots <= 0 || opts.trajectories <= 0) {
+    throw std::invalid_argument(
+        "sample_marginal_ones: shots/trajectories invalid");
+  }
+  AQ_TRACE_SPAN("sim.sample.marginal");
+  AQ_COUNTER_ADD("sim.sample.shots", static_cast<std::uint64_t>(opts.shots));
+  const auto n_traj =
+      static_cast<std::size_t>(std::min(opts.trajectories, opts.shots));
+  const auto& table = plan.gate_table();
+  const bool noisy = noise_.enabled();
+
+  // Shot allotment per trajectory: the circuit-walking sampler's
+  // deterministic remaining / (n - t) spread.
+  std::vector<int> shots_of(n_traj);
+  int remaining = opts.shots;
+  for (std::size_t t = 0; t < n_traj; ++t) {
+    shots_of[t] = remaining / static_cast<int>(n_traj - t);
+    remaining -= shots_of[t];
+  }
+
+  // Noise sites: one per (gate with depolarizing error, involved qubit),
+  // in gate order — the exact draw order of run_trajectory.
+  struct Site {
+    std::size_t gate;
+    int qubit;
+    double error;
+  };
+  std::vector<Site> sites;
+  if (noisy) {
+    for (std::size_t k = 0; k < table.size(); ++k) {
+      const GateEntry& e = table[k];
+      if (e.error <= 0.0) continue;
+      sites.push_back({k, e.q0, e.error});
+      if (e.arity == 2) sites.push_back({k, e.q1, e.error});
+    }
+  }
+  const double p01 = noisy ? noise_.readout_p01(qubit) : 0.0;
+  const double p10 = noisy ? noise_.readout_p10(qubit) : 0.0;
+  const bool flips = noisy && (p01 > 0.0 || p10 > 0.0);
+
+  // Every random decision is pre-drawn here, trajectory by trajectory,
+  // so the RNG stream — and therefore every outcome — is independent of
+  // how trajectories are later grouped into evolution blocks. Pauli
+  // decisions use run_trajectory's per-site bernoulli-then-choice
+  // consumption; shot draws consume one readout-flip uniform per shot
+  // whenever readout noise is configured, a value-independent schedule
+  // (the circuit-walking sampler draws the flip conditionally on the
+  // outcome, which would tie the stream to amplitude values).
+  std::vector<std::uint8_t> decision(n_traj * sites.size(), 0);
+  std::vector<double> u_out(static_cast<std::size_t>(opts.shots));
+  std::vector<double> u_flip(flips ? u_out.size() : 0);
+  {
+    std::size_t si = 0;
+    for (std::size_t t = 0; t < n_traj; ++t) {
+      for (std::size_t s = 0; s < sites.size(); ++s) {
+        if (rng.bernoulli(sites[s].error)) {
+          decision[t * sites.size() + s] =
+              static_cast<std::uint8_t>(1 + rng.uniform_int(3));
+        }
+      }
+      for (int s = 0; s < shots_of[t]; ++s, ++si) {
+        u_out[si] = rng.uniform();
+        if (flips) u_flip[si] = rng.uniform();
+      }
+    }
+  }
+
+  // One bind serves every trajectory: gate matrices depend only on the
+  // shared params; trajectories differ only in their Pauli insertions.
+  plan.bind_gates(params, ws.gates);
+
+  std::uint64_t ones = 0;
+  std::vector<double> p1(kBatchBlock);
+  std::size_t si = 0;
+  for (std::size_t t0 = 0; t0 < n_traj; t0 += kBatchBlock) {
+    const std::size_t cur = std::min(kBatchBlock, n_traj - t0);
+    BatchedStatevector& st = ws.state();
+    st.configure(plan.num_qubits(), cur);
+    std::size_t site_idx = 0;
+    for (std::size_t k = 0; k < table.size(); ++k) {
+      const GateEntry& e = table[k];
+      const auto idx = static_cast<std::size_t>(e.index);
+      if (e.arity == 1) {
+        st.apply_mat2_all(
+            e.dynamic ? ws.gates.dyn1q[idx] : plan.table_mat2(e.index), e.q0);
+      } else {
+        st.apply_mat4_all(
+            e.dynamic ? ws.gates.dyn2q[idx] : plan.table_mat4(e.index), e.q0,
+            e.q1);
+      }
+      // Sparse per-trajectory Pauli insertions: a site fires on a few
+      // percent of columns, so the fired columns take a scalar
+      // single-column walk instead of dragging the whole block through
+      // a per-sample kernel. (Per-column application also keeps -0.0
+      // signs exact — a broadcast identity multiply on non-fired
+      // columns would not.)
+      for (; site_idx < sites.size() && sites[site_idx].gate == k;
+           ++site_idx) {
+        const Site& site = sites[site_idx];
+        for (std::size_t c = 0; c < cur; ++c) {
+          const std::uint8_t d = decision[(t0 + c) * sites.size() + site_idx];
+          if (d != 0) st.apply_pauli_col(d, site.qubit, c);
+        }
+      }
+    }
+    st.probability_of_one_all(qubit, p1.data());
+    for (std::size_t c = 0; c < cur; ++c) {
+      for (int s = 0; s < shots_of[t0 + c]; ++s, ++si) {
+        bool one = u_out[si] < p1[c];
+        if (flips && u_flip[si] < (one ? p10 : p01)) one = !one;
+        if (one) ++ones;
+      }
+    }
+  }
+  return ones;
+}
+
+double StatevectorSimulator::sampled_probability_of_one(
+    const ExecPlan& plan, std::span<const double> params, int qubit,
+    const ShotOptions& opts, math::Rng& rng, BatchedWorkspace& ws) const {
+  const std::uint64_t ones =
+      sample_marginal_ones(plan, params, qubit, opts, rng, ws);
+  return static_cast<double>(ones) / static_cast<double>(opts.shots);
+}
+
+}  // namespace arbiterq::sim

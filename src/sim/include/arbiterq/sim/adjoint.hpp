@@ -57,4 +57,17 @@ std::vector<double> adjoint_gradient_z(const ExecPlan& plan,
                                        std::span<const double> params,
                                        int qubit, Workspace& ws);
 
+/// Sample-batched plan gradient: sample b's parameter binding starts at
+/// params + b * stride (stride >= num_params) and its gradient is
+/// written to grads + b * num_params. The forward walk over the
+/// unfused gate table runs as one batched mini-GEMM sweep; the reverse
+/// sweep then runs per column against that column's bound matrices, so
+/// every sample's gradient is bit-identical to the unbatched plan
+/// overload above (under strict reproducibility; the opt-in fast arm
+/// is ULP-equivalent, matching the batched forward contract).
+void adjoint_gradient_z_batched(const ExecPlan& plan, const double* params,
+                                std::size_t stride, std::size_t batch,
+                                int qubit, BatchedWorkspace& ws,
+                                double* grads);
+
 }  // namespace arbiterq::sim

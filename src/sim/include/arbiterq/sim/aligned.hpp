@@ -1,0 +1,50 @@
+#pragma once
+// Cache-line-aligned storage for amplitude arrays. The SIMD kernels in
+// kernels.hpp issue 32-byte vector loads against amplitude memory; a
+// 64-byte base alignment guarantees those loads never split a cache
+// line, and keeps the batched structure-of-arrays rows from sharing
+// lines across thread-chunk boundaries.
+
+#include <cstddef>
+#include <new>
+
+namespace arbiterq::sim {
+
+/// Alignment of every amplitude allocation (one x86 cache line; also a
+/// multiple of the 32-byte AVX2 vector width).
+inline constexpr std::size_t kAmpAlignment = 64;
+
+/// Minimal aligned allocator: std::vector storage with a guaranteed
+/// base alignment. Stateless, so all instances compare equal and
+/// vectors with different value types can exchange memory semantics
+/// freely (rebind is the defaulted template form).
+template <typename T, std::size_t Align = kAmpAlignment>
+struct AlignedAllocator {
+  using value_type = T;
+  static_assert(Align >= alignof(T), "alignment below type requirement");
+  static_assert((Align & (Align - 1)) == 0, "alignment must be a power of 2");
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Align}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Align});
+  }
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+};
+
+}  // namespace arbiterq::sim

@@ -1,0 +1,178 @@
+#pragma once
+// Sample-batched forward execution: evaluate one compiled ExecPlan
+// against B parameter bindings in a single pass over the register.
+//
+// A BatchedStatevector stores amplitudes structure-of-arrays: basis
+// index i holds a contiguous row of B complex values, one per sample.
+// Applying a fused gate then becomes a cache-blocked mini-GEMM — the
+// butterfly walks rows once and the kernels stream B-wide down each
+// row — instead of B separate sweeps of the full register. This
+// amortizes everything that is per-sweep in the unbatched path
+// (dispatch, counters, workspace traffic, matrix reloads) across the
+// batch, which dominates at QNN register sizes (dim 16..64).
+//
+// Reproducibility contract: per-column arithmetic is identical to the
+// unbatched kernels (kernels.hpp), the batched bind replays bind()'s
+// fold per column, and the Z-expectation accumulates in the same basis
+// order per sample — so batched results are bit-identical across batch
+// sizes, and under strict reproducibility also bit-identical to the
+// unbatched path. (In the opt-in fast arm an odd trailing column runs
+// the scalar tail loop and may differ from the FMA lanes by ULPs.)
+//
+// Callers block samples into groups of kBatchBlock columns: at the
+// 6-qubit QNN register (64 rows) a 32-wide block is 32 KiB of
+// amplitudes — resident in L1 while the whole gate stream replays.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "arbiterq/circuit/unitary.hpp"
+#include "arbiterq/sim/exec_plan.hpp"
+#include "arbiterq/sim/statevector.hpp"
+
+namespace arbiterq::sim {
+
+/// Preferred number of sample columns per batched evolution.
+inline constexpr std::size_t kBatchBlock = 32;
+
+/// Structure-of-arrays register: dim rows x batch columns, row i
+/// starting at amplitudes()[i * batch]. Column b evolves exactly as an
+/// unbatched Statevector would.
+class BatchedStatevector {
+ public:
+  BatchedStatevector() = default;
+
+  /// Shape the register to `num_qubits` x `batch` and reset every
+  /// column to |0...0>. Reuses the existing allocation when possible.
+  void configure(int num_qubits, std::size_t batch);
+
+  int num_qubits() const noexcept { return num_qubits_; }
+  std::size_t dim() const noexcept { return dim_; }
+  std::size_t batch() const noexcept { return batch_; }
+
+  Complex* row(std::size_t i) noexcept { return amps_.data() + i * batch_; }
+  const Complex* row(std::size_t i) const noexcept {
+    return amps_.data() + i * batch_;
+  }
+
+  /// Apply one matrix to every column (broadcast mini-GEMM), with the
+  /// same diagonal fast path as Statevector::apply_mat2/apply_mat4.
+  void apply_mat2_all(const circuit::Mat2& m, int q);
+  void apply_mat4_all(const circuit::Mat4& m, int qb, int qa);
+
+  /// Apply mats[b] to column b. The diagonal dispatch is per-matrix, so
+  /// columns are partitioned into maximal runs of equal dispatch and
+  /// each run takes the kernel its matrices would take unbatched.
+  void apply_mat2_each(const circuit::Mat2* mats, int q);
+  void apply_mat4_each(const circuit::Mat4* mats, int qb, int qa);
+
+  /// Apply one matrix to a single column (scalar walk; used for sparse
+  /// per-trajectory Pauli insertions).
+  void apply_mat2_col(const circuit::Mat2& m, int q, std::size_t col);
+  void apply_pauli_col(int pauli, int q, std::size_t col);
+
+  /// out[b] = P(qubit q reads 1) for column b, accumulated in basis
+  /// order — the exact association of Statevector::probability_of_one.
+  void probability_of_one_all(int q, double* out) const;
+
+ private:
+  int num_qubits_ = 0;
+  std::size_t dim_ = 0;
+  std::size_t batch_ = 0;
+  AmpVector amps_;
+  /// Scratch for per-sample diagonal factors in the _each paths.
+  std::vector<Complex> diag_scratch_;
+};
+
+/// Per-evaluation scratch for batched plan execution, the batched
+/// sibling of Workspace. Fields follow the same convention: grown on
+/// first bind against a plan, reused thereafter (zero steady-state
+/// allocations for a fixed plan and block size).
+class BatchedWorkspace {
+ public:
+  BatchedWorkspace() = default;
+
+  BatchedStatevector& state() noexcept { return state_; }
+
+  /// Caller scratch: packed per-sample parameters (sample b's binding
+  /// at [b * stride, b * stride + num_params)) and per-sample outputs.
+  std::vector<double> params;
+  std::vector<double> values;
+
+  /// Filled by ExecPlan::bind_batched — slot-major bound matrices
+  /// (slot s, column b at [s * batch + b]) plus a per-slot flag telling
+  /// run_batched the whole batch shares one matrix (broadcast kernel).
+  std::vector<circuit::Mat2> bound1q_cols;
+  std::vector<circuit::Mat4> bound2q_cols;
+  std::vector<std::uint8_t> uniform1q;
+  std::vector<std::uint8_t> uniform2q;
+  /// Bind-time angle scratch (previous/current column per dynamic op).
+  std::vector<std::array<double, 3>> angles_prev;
+  std::vector<std::array<double, 3>> angles_cur;
+  /// Shape stamp: plan identity and batch width the buffers were last
+  /// sized for.
+  std::uint64_t plan_id = 0;
+  std::size_t batch = 0;
+
+  /// Unbatched workspace for walks that bind the per-gate table
+  /// (batched trajectory sampling reuses bind_gates' matrices).
+  Workspace gates;
+
+  /// Batched-adjoint scratch: one gate-table workspace per sample
+  /// column (each keeps its own bind_gates memo, so the weight-gate
+  /// rebind skip works exactly as in the unbatched path and the
+  /// reverse sweep runs against that column's bound matrices), plus
+  /// column-gathered dynamic matrices for the batched forward walk.
+  std::vector<std::unique_ptr<Workspace>> col_gates;
+  std::vector<circuit::Mat2> mat2_scratch;
+  std::vector<circuit::Mat4> mat4_scratch;
+
+ private:
+  BatchedStatevector state_;
+};
+
+/// Mutex-guarded free list of BatchedWorkspaces, mirroring
+/// WorkspacePool (copying yields a fresh pool).
+class BatchedWorkspacePool {
+ public:
+  BatchedWorkspacePool() = default;
+  BatchedWorkspacePool(const BatchedWorkspacePool&) noexcept {}
+  BatchedWorkspacePool& operator=(const BatchedWorkspacePool&) noexcept {
+    return *this;
+  }
+
+  class Lease {
+   public:
+    Lease(BatchedWorkspacePool* pool,
+          std::unique_ptr<BatchedWorkspace> ws) noexcept
+        : pool_(pool), ws_(std::move(ws)) {}
+    ~Lease() {
+      if (ws_ != nullptr) pool_->release(std::move(ws_));
+    }
+    Lease(Lease&& other) noexcept
+        : pool_(other.pool_), ws_(std::move(other.ws_)) {}
+    Lease& operator=(Lease&&) = delete;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+
+    BatchedWorkspace& operator*() noexcept { return *ws_; }
+    BatchedWorkspace* operator->() noexcept { return ws_.get(); }
+
+   private:
+    BatchedWorkspacePool* pool_;
+    std::unique_ptr<BatchedWorkspace> ws_;
+  };
+
+  Lease acquire();
+
+ private:
+  void release(std::unique_ptr<BatchedWorkspace> ws);
+
+  std::mutex mu_;
+  std::vector<std::unique_ptr<BatchedWorkspace>> free_;
+};
+
+}  // namespace arbiterq::sim

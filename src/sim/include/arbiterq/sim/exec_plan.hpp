@@ -38,6 +38,8 @@
 namespace arbiterq::sim {
 
 class ExecPlan;
+class BatchedStatevector;
+class BatchedWorkspace;
 
 /// Reusable per-evaluation scratch: statevector registers and the bound
 /// matrices a plan's parameterized slots are rebuilt into. One Workspace
@@ -258,6 +260,22 @@ class ExecPlan {
   /// Rebuild the gate table's dynamic matrices + bound angles into `ws`
   /// (for the adjoint walk in adjoint.hpp).
   void bind_gates(std::span<const double> params, Workspace& ws) const;
+
+  /// Sample-batched forward (batched.hpp / batched.cpp). `params` holds
+  /// `batch` parameter bindings, sample b's at [b * stride, + num
+  /// params). Per column, bind_batched replays bind()'s fold exactly, so
+  /// results are bit-identical across batch sizes; a slot whose bound
+  /// matrices coincide across the batch is flagged uniform and
+  /// run_batched streams it through the broadcast mini-GEMM kernel.
+  void bind_batched(const double* params, std::size_t stride,
+                    std::size_t batch, BatchedWorkspace& ws) const;
+  BatchedStatevector& run_batched(const double* params, std::size_t stride,
+                                  std::size_t batch,
+                                  BatchedWorkspace& ws) const;
+  /// out[b] = survival() * <Z_qubit> of column b.
+  void expectation_z_batched(const double* params, std::size_t stride,
+                             std::size_t batch, int qubit,
+                             BatchedWorkspace& ws, double* out) const;
 
   const std::vector<GateEntry>& gate_table() const noexcept { return table_; }
   const circuit::Mat2& table_mat2(int i) const {

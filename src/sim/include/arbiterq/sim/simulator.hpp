@@ -110,6 +110,23 @@ class StatevectorSimulator {
                                     const ShotOptions& opts,
                                     math::Rng& rng) const;
 
+  /// Plan-based, trajectory-batched marginal sampler (batched.cpp):
+  /// trajectories evolve kBatchBlock at a time through a
+  /// BatchedStatevector, with every random decision pre-drawn in
+  /// trajectory order so results are bit-identical for every block
+  /// size. The draw schedule is value-independent (one flip uniform per
+  /// shot whenever readout noise is configured), so it differs from the
+  /// circuit-walking sampler's stream — same distribution, different
+  /// bits for a given seed.
+  std::uint64_t sample_marginal_ones(const ExecPlan& plan,
+                                     std::span<const double> params, int qubit,
+                                     const ShotOptions& opts, math::Rng& rng,
+                                     BatchedWorkspace& ws) const;
+  double sampled_probability_of_one(const ExecPlan& plan,
+                                    std::span<const double> params, int qubit,
+                                    const ShotOptions& opts, math::Rng& rng,
+                                    BatchedWorkspace& ws) const;
+
  private:
   void run_trajectory(const circuit::Circuit& c,
                       std::span<const double> params, Statevector& sv,

@@ -19,10 +19,15 @@
 #include "arbiterq/circuit/unitary.hpp"
 #include "arbiterq/exec/parallel.hpp"
 #include "arbiterq/math/rng.hpp"
+#include "arbiterq/sim/aligned.hpp"
 
 namespace arbiterq::sim {
 
 using circuit::Complex;
+
+/// Amplitude storage: 64-byte-aligned so the SIMD kernels' 32-byte
+/// vector loads never split a cache line (see aligned.hpp).
+using AmpVector = std::vector<Complex, AlignedAllocator<Complex>>;
 
 class Statevector {
  public:
@@ -36,7 +41,7 @@ class Statevector {
 
   int num_qubits() const noexcept { return num_qubits_; }
   std::size_t dim() const noexcept { return amps_.size(); }
-  const std::vector<Complex>& amplitudes() const noexcept { return amps_; }
+  const AmpVector& amplitudes() const noexcept { return amps_; }
 
   /// Kernel-splitting policy for apply_mat2/apply_mat4 (default: serial).
   /// A grain of 0 selects a cache-friendly minimum chunk so small states
@@ -48,6 +53,12 @@ class Statevector {
 
   /// Back to |0...0>.
   void reset();
+
+  /// Overwrite the register from a strided source: amps[i] =
+  /// src[i * stride]. The batched adjoint uses this to peel one sample
+  /// column out of a BatchedStatevector (src = row(0) + column,
+  /// stride = batch). The source must hold dim() strided elements.
+  void load_strided(const Complex* src, std::size_t stride);
 
   void apply_mat2(const circuit::Mat2& m, int q);
   /// qb is the bit matching the matrix's high index (gate.qubits[0]),
@@ -82,7 +93,7 @@ class Statevector {
   void dispatch(std::size_t items, const Body& body);
 
   int num_qubits_;
-  std::vector<Complex> amps_;
+  AmpVector amps_;
   exec::ExecPolicy exec_{};
 };
 

@@ -1,0 +1,389 @@
+#include "arbiterq/sim/kernels.hpp"
+
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
+#include <string>
+
+#include "kernels_impl.hpp"
+
+namespace arbiterq::sim::kernels {
+
+namespace {
+
+using detail::insert_zero_bit;
+
+// ---------------------------------------------------------------------------
+// Dispatch state. Both switches follow the telemetry kill-switch shape:
+// a tri-state atomic (-1 = consult the environment on first use) that a
+// setter can override at any time.
+
+std::atomic<signed char> g_simd_state{-1};
+std::atomic<signed char> g_strict_state{-1};
+
+bool env_flag(const char* name, bool fallback) noexcept {
+  bool value = fallback;
+  if (const char* env = std::getenv(name)) {
+    std::string v(env);
+    for (char& c : v) {
+      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+    if (v == "0" || v == "off" || v == "false") value = false;
+    if (v == "1" || v == "on" || v == "true") value = true;
+  }
+  return value;
+}
+
+bool flag_slow(std::atomic<signed char>& state, const char* env,
+               bool fallback) noexcept {
+  const bool value = env_flag(env, fallback);
+  // Racing first calls all derive the same answer from the environment,
+  // so the double store is benign.
+  state.store(value ? 1 : 0, std::memory_order_relaxed);
+  return value;
+}
+
+inline bool is_zero(const Complex& c) noexcept {
+  return c.real() == 0.0 && c.imag() == 0.0;
+}
+
+// ---------------------------------------------------------------------------
+// Scalar reference kernels: the exact loops statevector.cpp and
+// adjoint.cpp ran before the dispatch layer existed. Every other arm is
+// validated against these (test_kernels.cpp).
+
+void mat2_range_scalar(Complex* amps, const Mat2& m, int q, std::size_t lo,
+                       std::size_t hi) {
+  const std::size_t bit = std::size_t{1} << q;
+  const Complex m0 = m[0], m1 = m[1], m2 = m[2], m3 = m[3];
+  for (std::size_t p = lo; p < hi; ++p) {
+    const std::size_t i0 = insert_zero_bit(p, q);
+    const std::size_t i1 = i0 | bit;
+    const Complex a0 = amps[i0];
+    const Complex a1 = amps[i1];
+    amps[i0] = m0 * a0 + m1 * a1;
+    amps[i1] = m2 * a0 + m3 * a1;
+  }
+}
+
+void diag2_range_scalar(Complex* amps, Complex d0, Complex d1,
+                        std::size_t bit, std::size_t lo, std::size_t hi) {
+  for (std::size_t i = lo; i < hi; ++i) amps[i] *= (i & bit) ? d1 : d0;
+}
+
+void mat4_range_scalar(Complex* amps, const Mat4& m, int qb, int qa,
+                       std::size_t lo, std::size_t hi) {
+  const std::size_t bit_b = std::size_t{1} << qb;
+  const std::size_t bit_a = std::size_t{1} << qa;
+  const int q_lo = qb < qa ? qb : qa;
+  const int q_hi = qb < qa ? qa : qb;
+  for (std::size_t g = lo; g < hi; ++g) {
+    const std::size_t i00 = insert_zero_bit(insert_zero_bit(g, q_lo), q_hi);
+    const std::size_t i01 = i00 | bit_a;
+    const std::size_t i10 = i00 | bit_b;
+    const std::size_t i11 = i00 | bit_b | bit_a;
+    const Complex a00 = amps[i00];
+    const Complex a01 = amps[i01];
+    const Complex a10 = amps[i10];
+    const Complex a11 = amps[i11];
+    amps[i00] = m[0] * a00 + m[1] * a01 + m[2] * a10 + m[3] * a11;
+    amps[i01] = m[4] * a00 + m[5] * a01 + m[6] * a10 + m[7] * a11;
+    amps[i10] = m[8] * a00 + m[9] * a01 + m[10] * a10 + m[11] * a11;
+    amps[i11] = m[12] * a00 + m[13] * a01 + m[14] * a10 + m[15] * a11;
+  }
+}
+
+void diag4_range_scalar(Complex* amps, const Complex* d, std::size_t bit_b,
+                        std::size_t bit_a, std::size_t lo, std::size_t hi) {
+  for (std::size_t i = lo; i < hi; ++i) {
+    const unsigned sel = ((i & bit_b) ? 2U : 0U) | ((i & bit_a) ? 1U : 0U);
+    amps[i] *= d[sel];
+  }
+}
+
+Complex bracket_1q_scalar(const Complex* lam, const Complex* psi,
+                          std::size_t n, const Mat2& m, int q) {
+  const std::size_t bit = std::size_t{1} << q;
+  Complex acc{0.0, 0.0};
+  if (is_zero(m[1]) && is_zero(m[2])) {
+    const Complex d0 = m[0], d1 = m[3];
+    for (std::size_t i = 0; i < n; ++i) {
+      acc += std::conj(lam[i]) * (psi[i] * ((i & bit) ? d1 : d0));
+    }
+    return acc;
+  }
+  const Complex m0 = m[0], m1 = m[1], m2 = m[2], m3 = m[3];
+  for (std::size_t i = 0; i < n; ++i) {
+    const Complex mu = (i & bit) ? m2 * psi[i & ~bit] + m3 * psi[i]
+                                 : m0 * psi[i] + m1 * psi[i | bit];
+    acc += std::conj(lam[i]) * mu;
+  }
+  return acc;
+}
+
+Complex bracket_2q_scalar(const Complex* lam, const Complex* psi,
+                          std::size_t n, const Mat4& m, int qb, int qa) {
+  const std::size_t bit_b = std::size_t{1} << qb;
+  const std::size_t bit_a = std::size_t{1} << qa;
+  bool diagonal = true;
+  for (int r = 0; r < 4 && diagonal; ++r) {
+    for (int c = 0; c < 4; ++c) {
+      if (r != c && !is_zero(m[static_cast<std::size_t>(4 * r + c)])) {
+        diagonal = false;
+        break;
+      }
+    }
+  }
+  Complex acc{0.0, 0.0};
+  if (diagonal) {
+    const Complex d[4] = {m[0], m[5], m[10], m[15]};
+    for (std::size_t i = 0; i < n; ++i) {
+      const unsigned sel = ((i & bit_b) ? 2U : 0U) | ((i & bit_a) ? 1U : 0U);
+      acc += std::conj(lam[i]) * (psi[i] * d[sel]);
+    }
+    return acc;
+  }
+  const std::size_t mask = bit_b | bit_a;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t base = i & ~mask;
+    const Complex a00 = psi[base];
+    const Complex a01 = psi[base | bit_a];
+    const Complex a10 = psi[base | bit_b];
+    const Complex a11 = psi[base | bit_b | bit_a];
+    const unsigned sel = ((i & bit_b) ? 2U : 0U) | ((i & bit_a) ? 1U : 0U);
+    const Complex* row = &m[static_cast<std::size_t>(4 * sel)];
+    acc += std::conj(lam[i]) * (row[0] * a00 + row[1] * a01 + row[2] * a10 +
+                                row[3] * a11);
+  }
+  return acc;
+}
+
+// ---------------------------------------------------------------------------
+// Scalar batched row kernels: per-column arithmetic identical to the
+// unbatched loops above.
+
+void batched_mat2_scalar(Complex* r0, Complex* r1, const Mat2& m,
+                         std::size_t count) {
+  const Complex m0 = m[0], m1 = m[1], m2 = m[2], m3 = m[3];
+  for (std::size_t b = 0; b < count; ++b) {
+    const Complex a0 = r0[b];
+    const Complex a1 = r1[b];
+    r0[b] = m0 * a0 + m1 * a1;
+    r1[b] = m2 * a0 + m3 * a1;
+  }
+}
+
+void batched_mat2_each_scalar(Complex* r0, Complex* r1, const Mat2* mats,
+                              std::size_t count) {
+  for (std::size_t b = 0; b < count; ++b) {
+    const Mat2& m = mats[b];
+    const Complex a0 = r0[b];
+    const Complex a1 = r1[b];
+    r0[b] = m[0] * a0 + m[1] * a1;
+    r1[b] = m[2] * a0 + m[3] * a1;
+  }
+}
+
+void batched_scale_scalar(Complex* row, Complex d, std::size_t count) {
+  for (std::size_t b = 0; b < count; ++b) row[b] *= d;
+}
+
+void batched_scale_each_scalar(Complex* row, const Complex* ds,
+                               std::size_t count) {
+  for (std::size_t b = 0; b < count; ++b) row[b] *= ds[b];
+}
+
+void batched_mat4_scalar(Complex* r00, Complex* r01, Complex* r10,
+                         Complex* r11, const Mat4& m, std::size_t count) {
+  for (std::size_t b = 0; b < count; ++b) {
+    const Complex a00 = r00[b];
+    const Complex a01 = r01[b];
+    const Complex a10 = r10[b];
+    const Complex a11 = r11[b];
+    r00[b] = m[0] * a00 + m[1] * a01 + m[2] * a10 + m[3] * a11;
+    r01[b] = m[4] * a00 + m[5] * a01 + m[6] * a10 + m[7] * a11;
+    r10[b] = m[8] * a00 + m[9] * a01 + m[10] * a10 + m[11] * a11;
+    r11[b] = m[12] * a00 + m[13] * a01 + m[14] * a10 + m[15] * a11;
+  }
+}
+
+void batched_mat4_each_scalar(Complex* r00, Complex* r01, Complex* r10,
+                              Complex* r11, const Mat4* mats,
+                              std::size_t count) {
+  for (std::size_t b = 0; b < count; ++b) {
+    const Mat4& m = mats[b];
+    const Complex a00 = r00[b];
+    const Complex a01 = r01[b];
+    const Complex a10 = r10[b];
+    const Complex a11 = r11[b];
+    r00[b] = m[0] * a00 + m[1] * a01 + m[2] * a10 + m[3] * a11;
+    r01[b] = m[4] * a00 + m[5] * a01 + m[6] * a10 + m[7] * a11;
+    r10[b] = m[8] * a00 + m[9] * a01 + m[10] * a10 + m[11] * a11;
+    r11[b] = m[12] * a00 + m[13] * a01 + m[14] * a10 + m[15] * a11;
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Dispatch control
+
+bool simd_compiled() noexcept {
+#if defined(ARBITERQ_SIMD_AVX2)
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool simd_supported() noexcept {
+#if defined(ARBITERQ_SIMD_AVX2) && \
+    (defined(__x86_64__) || defined(__i386__)) && defined(__GNUC__)
+  static const bool supported =
+      __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  return supported;
+#else
+  return false;
+#endif
+}
+
+bool simd_runtime_enabled() noexcept {
+  const signed char s = g_simd_state.load(std::memory_order_relaxed);
+  if (s >= 0) return s != 0;
+  return flag_slow(g_simd_state, "ARBITERQ_SIMD", true);
+}
+
+void set_simd_runtime_enabled(bool enabled) noexcept {
+  g_simd_state.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+bool strict_reproducibility() noexcept {
+  const signed char s = g_strict_state.load(std::memory_order_relaxed);
+  if (s >= 0) return s != 0;
+  return flag_slow(g_strict_state, "ARBITERQ_STRICT_REPRO", true);
+}
+
+void set_strict_reproducibility(bool strict) noexcept {
+  g_strict_state.store(strict ? 1 : 0, std::memory_order_relaxed);
+}
+
+KernelArch active_arch() noexcept {
+  if (!simd_supported() || !simd_runtime_enabled()) return KernelArch::kScalar;
+  return strict_reproducibility() ? KernelArch::kAvx2 : KernelArch::kAvx2Fma;
+}
+
+const char* arch_name(KernelArch arch) noexcept {
+  switch (arch) {
+    case KernelArch::kScalar:
+      return "scalar";
+    case KernelArch::kAvx2:
+      return "avx2";
+    case KernelArch::kAvx2Fma:
+      return "avx2_fma";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------------------
+// Dispatchers. The arch is re-read per call (two relaxed atomic loads);
+// against thousands of amplitude operations per kernel call this is
+// noise, and it keeps the kill-switch effective mid-process.
+
+#if defined(ARBITERQ_SIMD_AVX2)
+#define AQ_DISPATCH(fn_avx2, fn_scalar, ...)          \
+  do {                                                \
+    switch (active_arch()) {                          \
+      case KernelArch::kAvx2:                         \
+        detail::fn_avx2<false>(__VA_ARGS__);          \
+        return;                                       \
+      case KernelArch::kAvx2Fma:                      \
+        detail::fn_avx2<true>(__VA_ARGS__);           \
+        return;                                       \
+      case KernelArch::kScalar:                       \
+        break;                                        \
+    }                                                 \
+    fn_scalar(__VA_ARGS__);                           \
+  } while (0)
+#else
+#define AQ_DISPATCH(fn_avx2, fn_scalar, ...) fn_scalar(__VA_ARGS__)
+#endif
+
+void apply_mat2_range(Complex* amps, const Mat2& m, int q, std::size_t lo,
+                      std::size_t hi) {
+  AQ_DISPATCH(mat2_range_avx2, mat2_range_scalar, amps, m, q, lo, hi);
+}
+
+void apply_diag2_range(Complex* amps, Complex d0, Complex d1, std::size_t bit,
+                       std::size_t lo, std::size_t hi) {
+  AQ_DISPATCH(diag2_range_avx2, diag2_range_scalar, amps, d0, d1, bit, lo,
+              hi);
+}
+
+void apply_mat4_range(Complex* amps, const Mat4& m, int qb, int qa,
+                      std::size_t lo, std::size_t hi) {
+  AQ_DISPATCH(mat4_range_avx2, mat4_range_scalar, amps, m, qb, qa, lo, hi);
+}
+
+void apply_diag4_range(Complex* amps, const Complex* d, std::size_t bit_b,
+                       std::size_t bit_a, std::size_t lo, std::size_t hi) {
+  AQ_DISPATCH(diag4_range_avx2, diag4_range_scalar, amps, d, bit_b, bit_a, lo,
+              hi);
+}
+
+// Brackets are reductions: the strict arm stays scalar (a vector
+// accumulator would reassociate the sum), the fast arm vectorizes.
+Complex bracket_1q(const Complex* lam, const Complex* psi, std::size_t n,
+                   const Mat2& m, int q) {
+#if defined(ARBITERQ_SIMD_AVX2)
+  if (active_arch() == KernelArch::kAvx2Fma) {
+    return detail::bracket_1q_avx2(lam, psi, n, m, q);
+  }
+#endif
+  return bracket_1q_scalar(lam, psi, n, m, q);
+}
+
+Complex bracket_2q(const Complex* lam, const Complex* psi, std::size_t n,
+                   const Mat4& m, int qb, int qa) {
+#if defined(ARBITERQ_SIMD_AVX2)
+  if (active_arch() == KernelArch::kAvx2Fma) {
+    return detail::bracket_2q_avx2(lam, psi, n, m, qb, qa);
+  }
+#endif
+  return bracket_2q_scalar(lam, psi, n, m, qb, qa);
+}
+
+void batched_mat2(Complex* r0, Complex* r1, const Mat2& m,
+                  std::size_t count) {
+  AQ_DISPATCH(batched_mat2_avx2, batched_mat2_scalar, r0, r1, m, count);
+}
+
+void batched_mat2_each(Complex* r0, Complex* r1, const Mat2* mats,
+                       std::size_t count) {
+  AQ_DISPATCH(batched_mat2_each_avx2, batched_mat2_each_scalar, r0, r1, mats,
+              count);
+}
+
+void batched_scale(Complex* row, Complex d, std::size_t count) {
+  AQ_DISPATCH(batched_scale_avx2, batched_scale_scalar, row, d, count);
+}
+
+void batched_scale_each(Complex* row, const Complex* ds, std::size_t count) {
+  AQ_DISPATCH(batched_scale_each_avx2, batched_scale_each_scalar, row, ds,
+              count);
+}
+
+void batched_mat4(Complex* r00, Complex* r01, Complex* r10, Complex* r11,
+                  const Mat4& m, std::size_t count) {
+  AQ_DISPATCH(batched_mat4_avx2, batched_mat4_scalar, r00, r01, r10, r11, m,
+              count);
+}
+
+void batched_mat4_each(Complex* r00, Complex* r01, Complex* r10, Complex* r11,
+                       const Mat4* mats, std::size_t count) {
+  AQ_DISPATCH(batched_mat4_each_avx2, batched_mat4_each_scalar, r00, r01, r10,
+              r11, mats, count);
+}
+
+#undef AQ_DISPATCH
+
+}  // namespace arbiterq::sim::kernels

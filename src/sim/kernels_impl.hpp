@@ -1,0 +1,63 @@
+#pragma once
+// Private bridge between the kernel dispatcher (kernels.cpp) and the
+// AVX2 translation unit (kernels_avx2.cpp, compiled with -mavx2 -mfma
+// -ffp-contract=off and only when the toolchain targets x86). The
+// templates are explicitly instantiated there for Fma = false (the
+// strict, bit-identical arm) and Fma = true (the fast arm).
+
+#include <cstddef>
+
+#include "arbiterq/sim/kernels.hpp"
+
+namespace arbiterq::sim::kernels::detail {
+
+/// Spread `p` over the basis indices whose bit `q` is clear (the same
+/// butterfly-group enumeration statevector.cpp has always used).
+inline std::size_t insert_zero_bit(std::size_t p, int q) noexcept {
+  const std::size_t low = (std::size_t{1} << q) - 1;
+  return ((p & ~low) << 1) | (p & low);
+}
+
+#if defined(ARBITERQ_SIMD_AVX2)
+
+template <bool Fma>
+void mat2_range_avx2(Complex* amps, const Mat2& m, int q, std::size_t lo,
+                     std::size_t hi);
+template <bool Fma>
+void diag2_range_avx2(Complex* amps, Complex d0, Complex d1, std::size_t bit,
+                      std::size_t lo, std::size_t hi);
+template <bool Fma>
+void mat4_range_avx2(Complex* amps, const Mat4& m, int qb, int qa,
+                     std::size_t lo, std::size_t hi);
+template <bool Fma>
+void diag4_range_avx2(Complex* amps, const Complex* d, std::size_t bit_b,
+                      std::size_t bit_a, std::size_t lo, std::size_t hi);
+
+/// Fast-arm only: lane accumulators reassociate the reduction, so the
+/// strict arm never calls these (it takes the scalar bracket instead).
+Complex bracket_1q_avx2(const Complex* lam, const Complex* psi, std::size_t n,
+                        const Mat2& m, int q);
+Complex bracket_2q_avx2(const Complex* lam, const Complex* psi, std::size_t n,
+                        const Mat4& m, int qb, int qa);
+
+template <bool Fma>
+void batched_mat2_avx2(Complex* r0, Complex* r1, const Mat2& m,
+                       std::size_t count);
+template <bool Fma>
+void batched_mat2_each_avx2(Complex* r0, Complex* r1, const Mat2* mats,
+                            std::size_t count);
+template <bool Fma>
+void batched_scale_avx2(Complex* row, Complex d, std::size_t count);
+template <bool Fma>
+void batched_scale_each_avx2(Complex* row, const Complex* ds,
+                             std::size_t count);
+template <bool Fma>
+void batched_mat4_avx2(Complex* r00, Complex* r01, Complex* r10, Complex* r11,
+                       const Mat4& m, std::size_t count);
+template <bool Fma>
+void batched_mat4_each_avx2(Complex* r00, Complex* r01, Complex* r10,
+                            Complex* r11, const Mat4* mats, std::size_t count);
+
+#endif  // ARBITERQ_SIMD_AVX2
+
+}  // namespace arbiterq::sim::kernels::detail

@@ -1,23 +1,18 @@
 #include "arbiterq/sim/statevector.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 
+#include "arbiterq/sim/kernels.hpp"
 #include "arbiterq/telemetry/metrics.hpp"
 
 namespace arbiterq::sim {
 
 namespace {
-
-/// Spread `p` over the basis indices whose bit `q` is clear: bits at and
-/// above q shift up one position, bits below stay. Enumerating
-/// p = 0..dim/2 this way visits every butterfly group exactly once.
-inline std::size_t insert_zero_bit(std::size_t p, int q) noexcept {
-  const std::size_t low = (std::size_t{1} << q) - 1;
-  return ((p & ~low) << 1) | (p & low);
-}
 
 /// Minimum items per pool task for the kernels: below this, memory
 /// bandwidth beats dispatch and the stride loop runs inline.
@@ -44,11 +39,18 @@ Statevector::Statevector(int num_qubits) : num_qubits_(num_qubits) {
   }
   amps_.assign(std::size_t{1} << num_qubits, Complex{0.0, 0.0});
   amps_[0] = 1.0;
+  assert(reinterpret_cast<std::uintptr_t>(amps_.data()) % kAmpAlignment == 0 &&
+         "amplitude storage must honor kAmpAlignment");
 }
 
 void Statevector::reset() {
   std::fill(amps_.begin(), amps_.end(), Complex{0.0, 0.0});
   amps_[0] = 1.0;
+}
+
+void Statevector::load_strided(const Complex* src, std::size_t stride) {
+  const std::size_t n = amps_.size();
+  for (std::size_t i = 0; i < n; ++i) amps_[i] = src[i * stride];
 }
 
 void Statevector::apply_mat2(const circuit::Mat2& m, int q) {
@@ -62,20 +64,12 @@ void Statevector::apply_mat2(const circuit::Mat2& m, int q) {
     const Complex d0 = m[0];
     const Complex d1 = m[3];
     dispatch(n, [=](std::size_t lo, std::size_t hi) {
-      for (std::size_t i = lo; i < hi; ++i) amps[i] *= (i & bit) ? d1 : d0;
+      kernels::apply_diag2_range(amps, d0, d1, bit, lo, hi);
     });
     return;
   }
-  const Complex m0 = m[0], m1 = m[1], m2 = m[2], m3 = m[3];
-  dispatch(n >> 1, [=](std::size_t lo, std::size_t hi) {
-    for (std::size_t p = lo; p < hi; ++p) {
-      const std::size_t i0 = insert_zero_bit(p, q);
-      const std::size_t i1 = i0 | bit;
-      const Complex a0 = amps[i0];
-      const Complex a1 = amps[i1];
-      amps[i0] = m0 * a0 + m1 * a1;
-      amps[i1] = m2 * a0 + m3 * a1;
-    }
+  dispatch(n >> 1, [=, &m](std::size_t lo, std::size_t hi) {
+    kernels::apply_mat2_range(amps, m, q, lo, hi);
   });
 }
 
@@ -99,31 +93,12 @@ void Statevector::apply_mat4(const circuit::Mat4& m, int qb, int qa) {
   if (diagonal) {
     const Complex d[4] = {m[0], m[5], m[10], m[15]};
     dispatch(n, [=](std::size_t lo, std::size_t hi) {
-      for (std::size_t i = lo; i < hi; ++i) {
-        const unsigned sel = ((i & bit_b) ? 2U : 0U) | ((i & bit_a) ? 1U : 0U);
-        amps[i] *= d[sel];
-      }
+      kernels::apply_diag4_range(amps, d, bit_b, bit_a, lo, hi);
     });
     return;
   }
-  const int q_lo = qb < qa ? qb : qa;
-  const int q_hi = qb < qa ? qa : qb;
-  dispatch(n >> 2, [=](std::size_t lo, std::size_t hi) {
-    for (std::size_t g = lo; g < hi; ++g) {
-      const std::size_t i00 =
-          insert_zero_bit(insert_zero_bit(g, q_lo), q_hi);
-      const std::size_t i01 = i00 | bit_a;
-      const std::size_t i10 = i00 | bit_b;
-      const std::size_t i11 = i00 | bit_b | bit_a;
-      const Complex a00 = amps[i00];
-      const Complex a01 = amps[i01];
-      const Complex a10 = amps[i10];
-      const Complex a11 = amps[i11];
-      amps[i00] = m[0] * a00 + m[1] * a01 + m[2] * a10 + m[3] * a11;
-      amps[i01] = m[4] * a00 + m[5] * a01 + m[6] * a10 + m[7] * a11;
-      amps[i10] = m[8] * a00 + m[9] * a01 + m[10] * a10 + m[11] * a11;
-      amps[i11] = m[12] * a00 + m[13] * a01 + m[14] * a10 + m[15] * a11;
-    }
+  dispatch(n >> 2, [=, &m](std::size_t lo, std::size_t hi) {
+    kernels::apply_mat4_range(amps, m, qb, qa, lo, hi);
   });
 }
 

@@ -1,0 +1,386 @@
+// Sample-batched forward equivalence: BatchedStatevector column
+// evolution vs the unbatched plan path (bitwise under the default
+// strict-reproducibility arm, for batch sizes 1 / 2 / odd / wider than
+// kBatchBlock), the plan-based trajectory-batched sampler (same-seed
+// determinism, noiseless bitwise agreement with the circuit-walking
+// sampler, statistical agreement under noise), executor-level
+// batched-on/off equivalence, and trainer plumbing.
+
+#include "arbiterq/sim/batched.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "arbiterq/core/trainers.hpp"
+#include "arbiterq/data/pipeline.hpp"
+#include "arbiterq/device/presets.hpp"
+#include "arbiterq/math/rng.hpp"
+#include "arbiterq/qnn/executor.hpp"
+#include "arbiterq/qnn/model.hpp"
+#include "arbiterq/sim/adjoint.hpp"
+#include "arbiterq/sim/exec_plan.hpp"
+#include "arbiterq/sim/simulator.hpp"
+
+namespace arbiterq::sim {
+namespace {
+
+using circuit::Circuit;
+using circuit::GateKind;
+using circuit::ParamExpr;
+
+NoiseModel rich_noise(int nq) {
+  NoiseModel m(nq);
+  for (int q = 0; q < nq; ++q) {
+    m.set_depolarizing_1q(q, 0.004 + 0.002 * q);
+    m.set_coherent_bias(q, 0.06 - 0.03 * q);
+    m.set_readout_error(q, 0.01 + 0.005 * q, 0.02);
+  }
+  for (int q = 0; q + 1 < nq; ++q) m.set_depolarizing_2q(q, q + 1, 0.02);
+  return m;
+}
+
+/// The fusion-stress circuit from test_exec_plan: every gate kind,
+/// static prefixes, statics after dynamics, constant rotations, dynamic
+/// controlled rotations.
+Circuit full_gate_circuit() {
+  Circuit c(3, 5);
+  c.h(0).s(0).x(1).sdg(1).sx(2).y(2).z(0);
+  c.add({GateKind::kI, {1, 0}, {}});
+  c.rx(0, ParamExpr::constant(0.37));
+  c.rx(0, ParamExpr::ref(0));
+  c.h(0);
+  c.ry(1, ParamExpr::ref(1, 0.5, 0.11));
+  c.rz(2, ParamExpr::ref(2, -1.25, -0.4));
+  c.cx(0, 1);
+  c.u3(1, ParamExpr::ref(3), ParamExpr::constant(0.3),
+       ParamExpr::ref(1, -0.7, 0.2));
+  c.u3(2, ParamExpr::constant(0.9), ParamExpr::constant(-0.2),
+       ParamExpr::constant(0.5));
+  c.cz(1, 2);
+  c.crx(0, 1, ParamExpr::ref(4));
+  c.cry(1, 2, ParamExpr::constant(0.6));
+  c.crz(2, 0, ParamExpr::ref(0, 0.5));
+  c.swap(0, 2);
+  c.ry(2, ParamExpr::ref(3, 2.0, -0.05));
+  c.sdg(2);
+  return c;
+}
+
+std::vector<double> batch_params(int np, std::size_t batch, math::Rng& rng,
+                                 bool repeat_weights = false) {
+  std::vector<double> p(static_cast<std::size_t>(np) * batch);
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (int j = 0; j < np; ++j) {
+      const std::size_t i = b * static_cast<std::size_t>(np) +
+                            static_cast<std::size_t>(j);
+      // repeat_weights makes the trailing params identical across the
+      // batch — the training shape (shared weights, per-sample
+      // features) that must hit the prev-column bind memo.
+      if (repeat_weights && j >= np / 2 && b > 0) {
+        p[i] = p[static_cast<std::size_t>(j)];
+      } else {
+        p[i] = rng.uniform(-1.5, 1.5);
+      }
+    }
+  }
+  return p;
+}
+
+class BatchedPlan : public ::testing::TestWithParam<bool> {
+ protected:
+  StatevectorSimulator make_sim() const {
+    return GetParam() ? StatevectorSimulator(rich_noise(3))
+                      : StatevectorSimulator();
+  }
+};
+
+TEST_P(BatchedPlan, RunMatchesUnbatchedPerColumnBitwise) {
+  const Circuit c = full_gate_circuit();
+  const StatevectorSimulator sim = make_sim();
+  const ExecPlan plan = sim.make_plan(c);
+  const auto np = static_cast<std::size_t>(c.num_params());
+  Workspace ws;
+  BatchedWorkspace bws;
+  math::Rng rng(21);
+  for (const std::size_t batch :
+       {std::size_t{1}, std::size_t{2}, std::size_t{5}, std::size_t{40}}) {
+    for (const bool repeat : {false, true}) {
+      const auto params = batch_params(c.num_params(), batch, rng, repeat);
+      BatchedStatevector& st =
+          plan.run_batched(params.data(), np, batch, bws);
+      ASSERT_EQ(st.batch(), batch);
+      std::vector<double> zs(batch);
+      plan.expectation_z_batched(params.data(), np, batch, 1, bws,
+                                 zs.data());
+      for (std::size_t b = 0; b < batch; ++b) {
+        const std::span<const double> col(params.data() + b * np, np);
+        const Statevector& ref = plan.run(col, ws);
+        for (std::size_t i = 0; i < ref.dim(); ++i) {
+          EXPECT_EQ(st.row(i)[b], ref.amplitudes()[i])
+              << "batch " << batch << " col " << b << " amp " << i;
+        }
+        EXPECT_EQ(zs[b], plan.expectation_z(col, 1, ws))
+            << "batch " << batch << " col " << b;
+      }
+    }
+  }
+}
+
+TEST_P(BatchedPlan, ColumnsInvariantAcrossBatchSizes) {
+  // The same binding must produce the same bits whether it rides in a
+  // batch of 1, shares a block with others, or lands in a 40-wide batch.
+  const Circuit c = full_gate_circuit();
+  const StatevectorSimulator sim = make_sim();
+  const ExecPlan plan = sim.make_plan(c);
+  const auto np = static_cast<std::size_t>(c.num_params());
+  BatchedWorkspace bws;
+  math::Rng rng(22);
+  const auto params = batch_params(c.num_params(), 40, rng);
+  std::vector<double> wide(40);
+  plan.expectation_z_batched(params.data(), np, 40, 0, bws, wide.data());
+  for (const std::size_t batch : {std::size_t{1}, std::size_t{7}}) {
+    for (std::size_t start = 0; start + batch <= 40; start += 13) {
+      std::vector<double> zs(batch);
+      plan.expectation_z_batched(params.data() + start * np, np, batch, 0,
+                                 bws, zs.data());
+      for (std::size_t b = 0; b < batch; ++b) {
+        EXPECT_EQ(zs[b], wide[start + b]) << "batch " << batch << " col "
+                                          << start + b;
+      }
+    }
+  }
+}
+
+TEST_P(BatchedPlan, AdjointGradientMatchesUnbatchedBitwise) {
+  // The batched adjoint's forward walk runs the whole block as one
+  // mini-GEMM sweep; each column's gradient must still carry the exact
+  // bits of the per-sample plan adjoint.
+  const Circuit c = full_gate_circuit();
+  const StatevectorSimulator sim = make_sim();
+  const ExecPlan plan = sim.make_plan(c);
+  const auto np = static_cast<std::size_t>(c.num_params());
+  Workspace ws;
+  BatchedWorkspace bws;
+  math::Rng rng(23);
+  for (const std::size_t batch :
+       {std::size_t{1}, std::size_t{3}, std::size_t{40}}) {
+    for (const bool repeat : {false, true}) {
+      const auto params = batch_params(c.num_params(), batch, rng, repeat);
+      std::vector<double> grads(batch * np);
+      adjoint_gradient_z_batched(plan, params.data(), np, batch, 1, bws,
+                                 grads.data());
+      for (std::size_t b = 0; b < batch; ++b) {
+        const std::span<const double> col(params.data() + b * np, np);
+        const auto ref = adjoint_gradient_z(plan, col, 1, ws);
+        for (std::size_t j = 0; j < np; ++j) {
+          EXPECT_EQ(grads[b * np + j], ref[j])
+              << "batch " << batch << " col " << b << " param " << j;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(NoiseOnOff, BatchedPlan, ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "noisy" : "ideal";
+                         });
+
+TEST(BatchedStatevectorTest, ConfigureResetsAllColumns) {
+  BatchedStatevector st;
+  st.configure(2, 3);
+  st.apply_mat2_all(circuit::gate_matrix_1q(GateKind::kH, {}), 0);
+  st.configure(2, 3);
+  for (std::size_t i = 0; i < st.dim(); ++i) {
+    for (std::size_t b = 0; b < st.batch(); ++b) {
+      EXPECT_EQ(st.row(i)[b], (i == 0 ? Complex{1.0, 0.0} : Complex{0.0, 0.0}));
+    }
+  }
+  EXPECT_THROW(st.configure(0, 3), std::invalid_argument);
+  EXPECT_THROW(st.configure(2, 0), std::invalid_argument);
+  EXPECT_THROW(st.apply_pauli_col(0, 0, 0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Trajectory-batched sampler
+
+TEST(BatchedSampler, DeterministicGivenRngState) {
+  const Circuit c = full_gate_circuit();
+  math::Rng prng(61);
+  std::vector<double> params(static_cast<std::size_t>(c.num_params()));
+  for (double& v : params) v = prng.uniform(-1.5, 1.5);
+  const StatevectorSimulator sim(rich_noise(3));
+  const ExecPlan plan = sim.make_plan(c);
+  BatchedWorkspace wsa;
+  BatchedWorkspace wsb;
+  ShotOptions opts;
+  opts.shots = 500;
+  // More trajectories than one kBatchBlock, and not a multiple of it.
+  opts.trajectories = 50;
+  math::Rng a(7);
+  math::Rng b(7);
+  EXPECT_EQ(sim.sample_marginal_ones(plan, params, 1, opts, a, wsa),
+            sim.sample_marginal_ones(plan, params, 1, opts, b, wsb));
+}
+
+TEST(BatchedSampler, NoiselessMatchesCircuitWalkingSamplerBitwise) {
+  // Without noise the batched sampler's pre-drawn schedule collapses to
+  // the legacy one-uniform-per-shot stream, and per-column evolution is
+  // bit-identical under the default strict arm — so the two samplers
+  // must agree on every shot.
+  const Circuit c = full_gate_circuit();
+  math::Rng prng(31);
+  std::vector<double> params(static_cast<std::size_t>(c.num_params()));
+  for (double& v : params) v = prng.uniform(-1.5, 1.5);
+  const StatevectorSimulator sim;
+  const ExecPlan plan = sim.make_plan(c);
+  BatchedWorkspace ws;
+  ShotOptions opts;
+  opts.shots = 400;
+  opts.trajectories = 40;  // spills past one kBatchBlock
+  math::Rng a(13);
+  math::Rng b(13);
+  EXPECT_EQ(sim.sample_marginal_ones(plan, params, 2, opts, a, ws),
+            sim.sample_marginal_ones(c, params, 2, opts, b));
+}
+
+TEST(BatchedSampler, NoisyAgreesStatisticallyWithCircuitWalkingSampler) {
+  const Circuit c = full_gate_circuit();
+  math::Rng prng(37);
+  std::vector<double> params(static_cast<std::size_t>(c.num_params()));
+  for (double& v : params) v = prng.uniform(-1.5, 1.5);
+  const StatevectorSimulator sim(rich_noise(3));
+  const ExecPlan plan = sim.make_plan(c);
+  BatchedWorkspace ws;
+  ShotOptions opts;
+  opts.shots = 20000;
+  opts.trajectories = 64;
+  math::Rng a(17);
+  math::Rng b(17);
+  const double p_plan =
+      sim.sampled_probability_of_one(plan, params, 1, opts, a, ws);
+  const double p_naive =
+      sim.sampled_probability_of_one(c, params, 1, opts, b);
+  // Two independent 20k-shot estimates of the same marginal: the
+  // difference is bounded by a few combined standard errors (~0.007).
+  EXPECT_NEAR(p_plan, p_naive, 0.02);
+}
+
+TEST(BatchedSampler, InvalidOptionsThrow) {
+  const Circuit c = full_gate_circuit();
+  const StatevectorSimulator sim;
+  const ExecPlan plan = sim.make_plan(c);
+  BatchedWorkspace ws;
+  const std::vector<double> params(
+      static_cast<std::size_t>(c.num_params()), 0.1);
+  math::Rng rng(1);
+  ShotOptions opts;
+  opts.shots = 0;
+  EXPECT_THROW(sim.sample_marginal_ones(plan, params, 0, opts, rng, ws),
+               std::invalid_argument);
+}
+
+TEST(BatchedWorkspacePoolTest, RecyclesAndCopiesStartFresh) {
+  BatchedWorkspacePool pool;
+  BatchedWorkspace* first = nullptr;
+  {
+    auto lease = pool.acquire();
+    first = &*lease;
+    lease->params.assign(8, 1.0);
+  }
+  {
+    auto lease = pool.acquire();
+    EXPECT_EQ(&*lease, first);
+    EXPECT_EQ(lease->params.size(), 8U);
+  }
+  const BatchedWorkspacePool copy = pool;
+  (void)copy;
+}
+
+}  // namespace
+}  // namespace arbiterq::sim
+
+// ---------------------------------------------------------------------------
+// Executor + trainer integration
+
+namespace arbiterq {
+namespace {
+
+class BatchedExecutor : public ::testing::Test {
+ protected:
+  BatchedExecutor()
+      : model_(qnn::Backbone::kCRz, 2, 2),
+        split_(data::prepare_case({"iris", 2, 2})) {
+    weights_.assign(static_cast<std::size_t>(model_.num_weights()), 0.0);
+    math::Rng rng(7);
+    for (double& w : weights_) w = rng.uniform(-1.0, 1.0);
+  }
+
+  qnn::QnnExecutor make(bool batched, bool mitigate = false) const {
+    qnn::ExecutorOptions opts;
+    opts.use_plan = true;
+    opts.batched_forward = batched;
+    opts.mitigate_depolarizing = mitigate;
+    return qnn::QnnExecutor(model_, device::table3_fleet_subset(1, 2)[0],
+                            opts);
+  }
+
+  qnn::QnnModel model_;
+  data::EncodedSplit split_;
+  std::vector<double> weights_;
+};
+
+TEST_F(BatchedExecutor, LossAndGradientMatchUnbatchedBitwise) {
+  for (const bool mitigate : {false, true}) {
+    const qnn::QnnExecutor unbatched = make(false, mitigate);
+    const qnn::QnnExecutor batched = make(true, mitigate);
+    EXPECT_EQ(batched.dataset_loss(qnn::LossKind::kMse, split_.test_features,
+                                   split_.test_labels, weights_),
+              unbatched.dataset_loss(qnn::LossKind::kMse, split_.test_features,
+                                     split_.test_labels, weights_));
+    EXPECT_EQ(
+        batched.loss_gradient(qnn::LossKind::kMse, split_.train_features,
+                              split_.train_labels, weights_),
+        unbatched.loss_gradient(qnn::LossKind::kMse, split_.train_features,
+                                split_.train_labels, weights_));
+  }
+}
+
+TEST_F(BatchedExecutor, SampledProbabilityDeterministicAndCalibrated) {
+  const qnn::QnnExecutor ex = make(true);
+  const auto& f = split_.test_features.front();
+  math::Rng a(5);
+  math::Rng b(5);
+  const double pa = ex.sampled_probability(f, weights_, 4000, a, 48);
+  const double pb = ex.sampled_probability(f, weights_, 4000, b, 48);
+  EXPECT_EQ(pa, pb);
+  // The sampled estimate tracks the exact forward within shot noise.
+  EXPECT_NEAR(pa, ex.probability(f, weights_), 0.05);
+}
+
+TEST_F(BatchedExecutor, TrainerConfigRoutesThroughBatchedForward) {
+  core::TrainConfig cfg;
+  cfg.epochs = 2;
+  cfg.gradient_shot_noise = 0.0;
+  core::TrainConfig cfg_off = cfg;
+  cfg_off.batched_forward = false;
+  const core::DistributedTrainer on(model_, device::table3_fleet_subset(2, 2),
+                                    cfg);
+  const core::DistributedTrainer off(model_,
+                                     device::table3_fleet_subset(2, 2),
+                                     cfg_off);
+  EXPECT_TRUE(on.executors().front().options().batched_forward);
+  EXPECT_FALSE(off.executors().front().options().batched_forward);
+  const auto ra = on.train(core::Strategy::kArbiterQ, split_);
+  const auto rb = off.train(core::Strategy::kArbiterQ, split_);
+  EXPECT_EQ(ra.epoch_test_loss, rb.epoch_test_loss);
+  EXPECT_EQ(ra.weights, rb.weights);
+}
+
+}  // namespace
+}  // namespace arbiterq

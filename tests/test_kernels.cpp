@@ -1,0 +1,431 @@
+// Randomized kernel-equivalence suite for the CPU-dispatch layer
+// (sim/kernels.hpp): every SIMD arm against the scalar reference, over
+// the full gate set (including noise-biased angles and fully random
+// matrices), adjoint brackets, 1..8-qubit registers, partial dispatch
+// ranges, and the sample-batched row kernels at batch sizes
+// 1 / 2 / odd / wider than a cache block. Under strict reproducibility
+// (the default) the comparison is bitwise; with strict relaxed the FMA
+// arm is held to a tight ULP-scale bound.
+
+#include "arbiterq/sim/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "arbiterq/circuit/unitary.hpp"
+#include "arbiterq/math/rng.hpp"
+#include "arbiterq/sim/statevector.hpp"
+
+namespace arbiterq::sim {
+namespace {
+
+using circuit::GateKind;
+using circuit::Mat2;
+using circuit::Mat4;
+
+/// Restores the dispatch flags on scope exit so one test's overrides
+/// never leak into another (or into a different test binary ordering).
+class FlagGuard {
+ public:
+  FlagGuard()
+      : simd_(kernels::simd_runtime_enabled()),
+        strict_(kernels::strict_reproducibility()) {}
+  ~FlagGuard() {
+    kernels::set_simd_runtime_enabled(simd_);
+    kernels::set_strict_reproducibility(strict_);
+  }
+
+ private:
+  bool simd_;
+  bool strict_;
+};
+
+AmpVector random_state(int nq, math::Rng& rng) {
+  AmpVector v(std::size_t{1} << nq);
+  for (Complex& a : v) a = {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+  return v;
+}
+
+std::array<double, 3> random_angles(math::Rng& rng) {
+  // A coherent calibration bias folded into the polar angle — the shape
+  // noisy plans feed the kernels — is just another random angle here.
+  return {rng.uniform(-3.0, 3.0) + rng.uniform(-0.1, 0.1),
+          rng.uniform(-3.0, 3.0), rng.uniform(-3.0, 3.0)};
+}
+
+std::vector<Mat2> all_mat2(math::Rng& rng) {
+  std::vector<Mat2> ms;
+  for (GateKind k :
+       {GateKind::kI, GateKind::kX, GateKind::kY, GateKind::kZ, GateKind::kH,
+        GateKind::kS, GateKind::kSdg, GateKind::kSX, GateKind::kRX,
+        GateKind::kRY, GateKind::kRZ, GateKind::kU3}) {
+    ms.push_back(circuit::gate_matrix_1q(k, random_angles(rng)));
+  }
+  Mat2 r;
+  for (Complex& c : r) c = {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+  ms.push_back(r);  // non-unitary: the kernels must not assume unitarity
+  return ms;
+}
+
+std::vector<Mat4> all_mat4(math::Rng& rng) {
+  std::vector<Mat4> ms;
+  for (GateKind k : {GateKind::kCX, GateKind::kCZ, GateKind::kCRX,
+                     GateKind::kCRY, GateKind::kCRZ, GateKind::kSwap}) {
+    ms.push_back(circuit::gate_matrix_2q(k, random_angles(rng)));
+  }
+  Mat4 r;
+  for (Complex& c : r) c = {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+  ms.push_back(r);
+  return ms;
+}
+
+void expect_bitwise(const AmpVector& got, const AmpVector& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i], want[i]) << "amp " << i;
+  }
+}
+
+void expect_ulp_close(const AmpVector& got, const AmpVector& want,
+                      double tol) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_NEAR(std::abs(got[i] - want[i]), 0.0, tol) << "amp " << i;
+  }
+}
+
+/// Applies `apply` to a copy of `init` under (a) forced scalar, (b) the
+/// active dispatch arm, and checks bitwise equality when `strict`.
+template <typename Apply>
+void compare_arms(const AmpVector& init, bool strict, double tol,
+                  const Apply& apply) {
+  AmpVector ref = init;
+  kernels::set_simd_runtime_enabled(false);
+  apply(ref.data());
+  AmpVector got = init;
+  kernels::set_simd_runtime_enabled(true);
+  apply(got.data());
+  if (strict) {
+    expect_bitwise(got, ref);
+  } else {
+    expect_ulp_close(got, ref, tol);
+  }
+}
+
+TEST(KernelDispatch, KillSwitchForcesScalar) {
+  FlagGuard guard;
+  kernels::set_simd_runtime_enabled(false);
+  EXPECT_EQ(kernels::active_arch(), kernels::KernelArch::kScalar);
+  kernels::set_simd_runtime_enabled(true);
+  if (kernels::simd_compiled() && kernels::simd_supported()) {
+    EXPECT_NE(kernels::active_arch(), kernels::KernelArch::kScalar);
+  } else {
+    EXPECT_EQ(kernels::active_arch(), kernels::KernelArch::kScalar);
+  }
+}
+
+TEST(KernelDispatch, StrictModeNeverSelectsFma) {
+  FlagGuard guard;
+  kernels::set_simd_runtime_enabled(true);
+  kernels::set_strict_reproducibility(true);
+  EXPECT_NE(kernels::active_arch(), kernels::KernelArch::kAvx2Fma);
+  kernels::set_strict_reproducibility(false);
+  if (kernels::simd_compiled() && kernels::simd_supported()) {
+    EXPECT_EQ(kernels::active_arch(), kernels::KernelArch::kAvx2Fma);
+  }
+}
+
+TEST(KernelDispatch, ArchNamesAreStable) {
+  EXPECT_STREQ(kernels::arch_name(kernels::KernelArch::kScalar), "scalar");
+}
+
+class KernelEquivalence : public ::testing::TestWithParam<bool> {
+ protected:
+  void SetUp() override {
+    kernels::set_simd_runtime_enabled(true);
+    kernels::set_strict_reproducibility(GetParam());
+  }
+  bool strict() const { return GetParam(); }
+  /// Tolerance for the FMA arm: a handful of ULPs per arithmetic step
+  /// on O(1) amplitudes.
+  static constexpr double kTol = 1e-13;
+
+  FlagGuard guard_;
+};
+
+TEST_P(KernelEquivalence, Mat2AllQubitsAndKinds) {
+  math::Rng rng(101);
+  for (int nq = 1; nq <= 8; ++nq) {
+    const AmpVector init = random_state(nq, rng);
+    const std::size_t groups = init.size() >> 1;
+    for (int q = 0; q < nq; ++q) {
+      for (const Mat2& m : all_mat2(rng)) {
+        compare_arms(init, strict(), kTol, [&](Complex* amps) {
+          kernels::apply_mat2_range(amps, m, q, 0, groups);
+        });
+      }
+    }
+  }
+}
+
+TEST_P(KernelEquivalence, Diag2AllBits) {
+  math::Rng rng(102);
+  for (int nq = 1; nq <= 8; ++nq) {
+    const AmpVector init = random_state(nq, rng);
+    for (int q = 0; q < nq; ++q) {
+      const Complex d0{rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+      const Complex d1{rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+      compare_arms(init, strict(), kTol, [&](Complex* amps) {
+        kernels::apply_diag2_range(amps, d0, d1, std::size_t{1} << q, 0,
+                                   init.size());
+      });
+    }
+  }
+}
+
+TEST_P(KernelEquivalence, Mat4AllQubitPairsAndKinds) {
+  math::Rng rng(103);
+  for (int nq = 2; nq <= 8; ++nq) {
+    const AmpVector init = random_state(nq, rng);
+    const std::size_t groups = init.size() >> 2;
+    for (int qb = 0; qb < nq; ++qb) {
+      for (int qa = 0; qa < nq; ++qa) {
+        if (qa == qb) continue;
+        for (const Mat4& m : all_mat4(rng)) {
+          compare_arms(init, strict(), kTol, [&](Complex* amps) {
+            kernels::apply_mat4_range(amps, m, qb, qa, 0, groups);
+          });
+        }
+      }
+    }
+  }
+}
+
+TEST_P(KernelEquivalence, Diag4AllBitPairs) {
+  math::Rng rng(104);
+  for (int nq = 2; nq <= 8; ++nq) {
+    const AmpVector init = random_state(nq, rng);
+    for (int qb = 0; qb < nq; ++qb) {
+      for (int qa = 0; qa < nq; ++qa) {
+        if (qa == qb) continue;
+        Complex d[4];
+        for (Complex& c : d) {
+          c = {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+        }
+        compare_arms(init, strict(), kTol, [&](Complex* amps) {
+          kernels::apply_diag4_range(amps, d, std::size_t{1} << qb,
+                                     std::size_t{1} << qa, 0, init.size());
+        });
+      }
+    }
+  }
+}
+
+TEST_P(KernelEquivalence, PartialRangesExerciseHeadsAndTails) {
+  // parallel_for hands the kernels arbitrary [lo, hi) chunks; the SIMD
+  // heads/tails must land on exactly the same amplitudes as scalar.
+  math::Rng rng(105);
+  const int nq = 7;
+  const AmpVector init = random_state(nq, rng);
+  for (int rep = 0; rep < 24; ++rep) {
+    const int q = static_cast<int>(rng.uniform_int(nq));
+    const Mat2 m = circuit::gate_matrix_1q(GateKind::kU3, random_angles(rng));
+    const std::size_t groups = init.size() >> 1;
+    std::size_t lo = rng.uniform_int(groups);
+    std::size_t hi = rng.uniform_int(groups + 1);
+    if (lo > hi) std::swap(lo, hi);
+    compare_arms(init, strict(), kTol, [&](Complex* amps) {
+      kernels::apply_mat2_range(amps, m, q, lo, hi);
+    });
+    const std::size_t dlo = rng.uniform_int(init.size());
+    compare_arms(init, strict(), kTol, [&](Complex* amps) {
+      kernels::apply_diag2_range(amps, Complex{0.6, -0.8}, Complex{0.0, 1.0},
+                                 std::size_t{1} << q, dlo, init.size());
+    });
+  }
+}
+
+TEST_P(KernelEquivalence, BracketsMatchScalarReference) {
+  math::Rng rng(106);
+  // The FMA bracket reassociates an n-term reduction into vector lanes;
+  // the bound scales with the register, hence the looser tolerance.
+  const double tol = 1e-10;
+  for (int nq = 1; nq <= 8; ++nq) {
+    const AmpVector lam = random_state(nq, rng);
+    const AmpVector psi = random_state(nq, rng);
+    for (int q = 0; q < nq; ++q) {
+      for (const Mat2& m : all_mat2(rng)) {
+        kernels::set_simd_runtime_enabled(false);
+        const Complex ref =
+            kernels::bracket_1q(lam.data(), psi.data(), psi.size(), m, q);
+        kernels::set_simd_runtime_enabled(true);
+        const Complex got =
+            kernels::bracket_1q(lam.data(), psi.data(), psi.size(), m, q);
+        if (strict()) {
+          EXPECT_EQ(got, ref);
+        } else {
+          EXPECT_NEAR(std::abs(got - ref), 0.0, tol);
+        }
+      }
+    }
+    if (nq < 2) continue;
+    for (int qb = 0; qb < nq; ++qb) {
+      for (int qa = 0; qa < nq; ++qa) {
+        if (qa == qb) continue;
+        for (const Mat4& m : all_mat4(rng)) {
+          kernels::set_simd_runtime_enabled(false);
+          const Complex ref = kernels::bracket_2q(lam.data(), psi.data(),
+                                                  psi.size(), m, qb, qa);
+          kernels::set_simd_runtime_enabled(true);
+          const Complex got = kernels::bracket_2q(lam.data(), psi.data(),
+                                                  psi.size(), m, qb, qa);
+          if (strict()) {
+            EXPECT_EQ(got, ref);
+          } else {
+            EXPECT_NEAR(std::abs(got - ref), 0.0, tol);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST_P(KernelEquivalence, BatchedRowKernelsMatchPerColumnScalar) {
+  math::Rng rng(107);
+  for (const std::size_t count : {std::size_t{1}, std::size_t{2},
+                                  std::size_t{5}, std::size_t{40}}) {
+    // Four rows of `count` columns — one 2q butterfly group, batched.
+    std::vector<AmpVector> rows(4);
+    for (auto& r : rows) {
+      r.resize(count);
+      for (Complex& a : r) {
+        a = {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+      }
+    }
+    const Mat2 m2 = circuit::gate_matrix_1q(GateKind::kU3, random_angles(rng));
+    const Mat4 m4 =
+        circuit::gate_matrix_2q(GateKind::kCRX, random_angles(rng));
+    std::vector<Mat2> m2s;
+    std::vector<Mat4> m4s;
+    std::vector<Complex> ds;
+    for (std::size_t b = 0; b < count; ++b) {
+      m2s.push_back(circuit::gate_matrix_1q(
+          b % 3 == 0 ? GateKind::kRZ : GateKind::kU3, random_angles(rng)));
+      m4s.push_back(circuit::gate_matrix_2q(GateKind::kCRZ,
+                                            random_angles(rng)));
+      ds.push_back({rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)});
+    }
+
+    // Scalar per-column reference: one-group unbatched butterflies.
+    auto ref_rows = rows;
+    kernels::set_simd_runtime_enabled(false);
+    for (std::size_t b = 0; b < count; ++b) {
+      Complex pair[2] = {ref_rows[0][b], ref_rows[1][b]};
+      kernels::apply_mat2_range(pair, m2, 0, 0, 1);
+      ref_rows[0][b] = pair[0];
+      ref_rows[1][b] = pair[1];
+      Complex quad[4] = {ref_rows[0][b], ref_rows[1][b], ref_rows[2][b],
+                         ref_rows[3][b]};
+      kernels::apply_mat4_range(quad, m4, 1, 0, 0, 1);
+      for (int i = 0; i < 4; ++i) ref_rows[static_cast<std::size_t>(i)][b] =
+          quad[i];
+      Complex pair2[2] = {ref_rows[2][b], ref_rows[3][b]};
+      kernels::apply_mat2_range(pair2, m2s[b], 0, 0, 1);
+      ref_rows[2][b] = pair2[0];
+      ref_rows[3][b] = pair2[1];
+      Complex quad2[4] = {ref_rows[0][b], ref_rows[1][b], ref_rows[2][b],
+                          ref_rows[3][b]};
+      kernels::apply_mat4_range(quad2, m4s[b], 1, 0, 0, 1);
+      for (int i = 0; i < 4; ++i) ref_rows[static_cast<std::size_t>(i)][b] =
+          quad2[i];
+      ref_rows[1][b] *= ds[b];
+      ref_rows[0][b] *= ds[0];
+    }
+
+    auto got_rows = rows;
+    kernels::set_simd_runtime_enabled(true);
+    kernels::batched_mat2(got_rows[0].data(), got_rows[1].data(), m2, count);
+    kernels::batched_mat4(got_rows[0].data(), got_rows[1].data(),
+                          got_rows[2].data(), got_rows[3].data(), m4, count);
+    kernels::batched_mat2_each(got_rows[2].data(), got_rows[3].data(),
+                               m2s.data(), count);
+    kernels::batched_mat4_each(got_rows[0].data(), got_rows[1].data(),
+                               got_rows[2].data(), got_rows[3].data(),
+                               m4s.data(), count);
+    kernels::batched_scale_each(got_rows[1].data(), ds.data(), count);
+    kernels::batched_scale(got_rows[0].data(), ds[0], count);
+
+    for (int r = 0; r < 4; ++r) {
+      const auto& ref = ref_rows[static_cast<std::size_t>(r)];
+      const auto& got = got_rows[static_cast<std::size_t>(r)];
+      for (std::size_t b = 0; b < count; ++b) {
+        if (strict()) {
+          EXPECT_EQ(got[b], ref[b]) << "row " << r << " col " << b;
+        } else {
+          EXPECT_NEAR(std::abs(got[b] - ref[b]), 0.0, kTol)
+              << "row " << r << " col " << b;
+        }
+      }
+    }
+  }
+}
+
+TEST_P(KernelEquivalence, FullCircuitEvolutionViaStatevector) {
+  // End-to-end through Statevector's own dispatch (diag detection,
+  // chunking): a deep random evolution stays equivalent across arms.
+  math::Rng rng(108);
+  for (int nq = 2; nq <= 6; nq += 2) {
+    Statevector ref(nq);
+    Statevector got(nq);
+    std::vector<std::pair<Mat2, int>> ops1;
+    std::vector<std::pair<Mat4, std::pair<int, int>>> ops2;
+    math::Rng mrng(200 + static_cast<std::uint64_t>(nq));
+    for (int i = 0; i < 30; ++i) {
+      ops1.emplace_back(all_mat2(mrng)[mrng.uniform_int(13)],
+                        static_cast<int>(mrng.uniform_int(nq)));
+      int qb = static_cast<int>(mrng.uniform_int(nq));
+      int qa = qb;
+      while (qa == qb) qa = static_cast<int>(mrng.uniform_int(nq));
+      ops2.emplace_back(all_mat4(mrng)[mrng.uniform_int(7)],
+                        std::make_pair(qb, qa));
+    }
+    kernels::set_simd_runtime_enabled(false);
+    for (int i = 0; i < 30; ++i) {
+      ref.apply_mat2(ops1[static_cast<std::size_t>(i)].first,
+                     ops1[static_cast<std::size_t>(i)].second);
+      ref.apply_mat4(ops2[static_cast<std::size_t>(i)].first,
+                     ops2[static_cast<std::size_t>(i)].second.first,
+                     ops2[static_cast<std::size_t>(i)].second.second);
+    }
+    kernels::set_simd_runtime_enabled(true);
+    for (int i = 0; i < 30; ++i) {
+      got.apply_mat2(ops1[static_cast<std::size_t>(i)].first,
+                     ops1[static_cast<std::size_t>(i)].second);
+      got.apply_mat4(ops2[static_cast<std::size_t>(i)].first,
+                     ops2[static_cast<std::size_t>(i)].second.first,
+                     ops2[static_cast<std::size_t>(i)].second.second);
+    }
+    for (std::size_t i = 0; i < ref.dim(); ++i) {
+      if (strict()) {
+        EXPECT_EQ(got.amplitudes()[i], ref.amplitudes()[i]) << "amp " << i;
+      } else {
+        EXPECT_NEAR(std::abs(got.amplitudes()[i] - ref.amplitudes()[i]), 0.0,
+                    1e-10)
+            << "amp " << i;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(StrictAndFast, KernelEquivalence,
+                         ::testing::Values(true, false),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "strict" : "fast";
+                         });
+
+}  // namespace
+}  // namespace arbiterq::sim
