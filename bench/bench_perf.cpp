@@ -10,6 +10,12 @@
 // verifies the parallel runs reproduce the serial loss curve exactly,
 // and emits a machine-readable BENCH_perf.json.
 //
+// Serving-scale mode: `bench_perf --serving-scale` sweeps simulated
+// fleet sizes x shard counts through the sharded serving runtime with
+// synthetic execution, measuring admission rate and per-shard lock
+// contention and verifying admitted results stay bit-identical across
+// shard counts.
+//
 // Plan A/B mode: `bench_perf --plan-ab` pits the compiled-ExecPlan
 // executor against the naive per-call circuit walk on the default
 // benchmark circuits, verifies forward probabilities and adjoint
@@ -1048,13 +1054,214 @@ int run_serving_obs_mode(const std::string& out_path, std::size_t n_jobs) {
   return identical ? 0 : 2;
 }
 
+// ---------------------------------------------------------------------------
+// Serving-scale mode (`--serving-scale`): admission-scale sweep over
+// simulated fleet sizes x shard counts. Execution is synthetic (the slot
+// probability is a seeded pure function of (seed, job, slot, attempt) —
+// see ServeConfig::synthetic_execution), so fleets far wider than any
+// interesting circuit workload still drive the full routing, admission,
+// mailbox and retry machinery. For each fleet size the identical job
+// stream runs under every shard count; the admitted results must be
+// bit-identical across shard counts (exit code 2 otherwise — the
+// sharded-determinism guarantee). Each configuration records the
+// admission rate (jobs/s over the single-threaded submit phase — the
+// number the 100k jobs/s target is about), end-to-end throughput, and
+// the per-shard queue-lock contention that sharding is meant to keep
+// flat as the fleet grows.
+
+struct ScalePoint {
+  int fleet = 0;
+  int shards = 0;
+  std::size_t jobs = 0;
+  std::size_t admitted = 0;
+  std::size_t completed = 0;
+  std::uint64_t retries = 0;
+  std::size_t cross_shard_in = 0;
+  double submit_seconds = 0.0;
+  double admission_jobs_per_s = 0.0;
+  double wall_seconds = 0.0;
+  double throughput_jobs_per_s = 0.0;
+  std::uint64_t lock_wait_ns_total = 0;
+  std::uint64_t lock_wait_ns_max_shard = 0;
+  std::uint64_t lock_contentions = 0;
+  bool identical = true;  ///< vs the same fleet's first shard count
+};
+
+int run_serving_scale_mode(const std::string& out_path,
+                           const std::vector<int>& fleets,
+                           const std::vector<int>& shard_counts,
+                           std::size_t n_jobs) {
+  std::printf("serving-scale mode: %zu jobs per config, synthetic "
+              "execution\n", n_jobs);
+  const data::BenchmarkCase bc{"iris", 2, 2};
+  const data::EncodedSplit split = data::prepare_case(bc, 42);
+  const qnn::QnnModel m(qnn::Backbone::kCRz, bc.num_qubits, bc.num_layers);
+
+  std::vector<ScalePoint> points;
+  bool all_identical = true;
+  double top_rate = 0.0;
+  for (const int fleet : fleets) {
+    std::printf("fleet %d:\n", fleet);
+    core::TrainConfig tcfg;
+    const core::DistributedTrainer trainer(
+        m, device::table3_fleet_cycled(fleet, bc.num_qubits), tcfg);
+    math::Rng wrng(42);
+    std::vector<std::vector<double>> weights;
+    for (int q = 0; q < fleet; ++q) {
+      std::vector<double> wq(static_cast<std::size_t>(m.num_weights()));
+      math::Rng qrng = wrng.split(static_cast<std::uint64_t>(q));
+      for (double& x : wq) x = qrng.normal(0.0, 0.3);
+      weights.push_back(std::move(wq));
+    }
+    // One mid-stream dropout plus a transient rate: the sweep exercises
+    // the cross-shard reroute lanes, not just clean admission.
+    const serve::FaultInjector faults(
+        static_cast<std::size_t>(fleet),
+        serve::FaultInjector::parse("kill:1@64,transient:0.01,lag:32,"
+                                    "seed:9"));
+
+    std::vector<serve::JobResult> baseline;
+    for (const int shards : shard_counts) {
+      serve::ServeConfig sc;
+      sc.shots_per_job = 96;
+      sc.backoff_base_us = 0.0;  // modeled-only backoff: no real sleeps
+      // Size the queue for the whole stream: admission rejects depend
+      // on live occupancy and would break the bit-identity check.
+      sc.queue_capacity = n_jobs * 8;
+      sc.num_shards = shards;
+      // Far fewer worker threads than simulated QPUs: each worker
+      // stripes its shard's lanes.
+      sc.workers_per_shard = 2;
+      sc.synthetic_execution = true;
+      sc.gauge_cadence_us = 0.0;
+      serve::ServingRuntime runtime(trainer.executors(), weights,
+                                    trainer.behavioral_vectors(), sc,
+                                    &faults);
+      const double t0 = now_seconds();
+      for (std::size_t i = 0; i < n_jobs; ++i) {
+        serve::JobSpec spec;
+        spec.features = split.test_features[i % split.test_features.size()];
+        spec.label = split.test_labels[i % split.test_labels.size()];
+        runtime.submit(spec);
+      }
+      const double submit_s = now_seconds() - t0;
+      runtime.drain();
+      const serve::ServingReport rep = runtime.report();
+      const std::vector<serve::JobResult> results = runtime.results();
+
+      ScalePoint p;
+      p.fleet = fleet;
+      p.shards = shards;
+      p.jobs = n_jobs;
+      p.admitted = rep.admitted;
+      p.completed = rep.completed;
+      p.retries = rep.retries;
+      p.submit_seconds = submit_s;
+      p.admission_jobs_per_s =
+          submit_s > 0.0 ? static_cast<double>(rep.admitted) / submit_s
+                         : 0.0;
+      p.wall_seconds = rep.wall_seconds;
+      p.throughput_jobs_per_s = rep.throughput_jobs_per_s;
+      for (const serve::ShardStats& s : rep.shards) {
+        p.cross_shard_in += s.cross_shard_in;
+        p.lock_wait_ns_total += s.lock_wait_ns;
+        p.lock_wait_ns_max_shard =
+            std::max(p.lock_wait_ns_max_shard, s.lock_wait_ns);
+        p.lock_contentions += s.lock_contentions;
+      }
+      if (baseline.empty()) {
+        baseline = results;
+      } else {
+        p.identical = results.size() == baseline.size();
+        for (std::size_t i = 0; p.identical && i < results.size(); ++i) {
+          p.identical = results[i].status == baseline[i].status &&
+                        results[i].probability == baseline[i].probability &&
+                        results[i].retries == baseline[i].retries &&
+                        results[i].virtual_latency_us ==
+                            baseline[i].virtual_latency_us;
+        }
+      }
+      all_identical &= p.identical;
+      top_rate = std::max(top_rate, p.admission_jobs_per_s);
+      points.push_back(p);
+      std::printf("  shards=%-3d admission %9.0f jobs/s  e2e %9.0f "
+                  "jobs/s  lock max/shard %6.2fms  cross-shard %zu  "
+                  "identical=%s\n",
+                  shards, p.admission_jobs_per_s, p.throughput_jobs_per_s,
+                  static_cast<double>(p.lock_wait_ns_max_shard) / 1e6,
+                  p.cross_shard_in, p.identical ? "yes" : "NO");
+    }
+  }
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"mode\": \"serving-scale\",\n");
+  std::fprintf(f, "  \"jobs_per_config\": %zu,\n", n_jobs);
+  std::fprintf(f, "  \"synthetic_execution\": true,\n");
+  std::fprintf(f, "  \"faults\": \"kill:1@64,transient:0.01,lag:32,"
+               "seed:9\",\n");
+  std::fprintf(f,
+               "  \"admission_rate\": \"admitted jobs / single-threaded "
+               "submit-phase seconds\",\n");
+  std::fprintf(f, "  \"top_admission_jobs_per_s\": %.0f,\n", top_rate);
+  std::fprintf(f, "  \"target_admission_jobs_per_s\": 100000,\n");
+  std::fprintf(f, "  \"identical_across_shard_counts\": %s,\n",
+               all_identical ? "true" : "false");
+  std::fprintf(f, "  \"configs\": [");
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const ScalePoint& p = points[i];
+    std::fprintf(
+        f,
+        "%s\n    {\"fleet\": %d, \"shards\": %d, \"jobs\": %zu, "
+        "\"admitted\": %zu, \"completed\": %zu, \"retries\": %llu, "
+        "\"cross_shard_batches\": %zu,\n     \"submit_seconds\": %.6f, "
+        "\"admission_jobs_per_s\": %.1f, \"wall_seconds\": %.6f, "
+        "\"throughput_jobs_per_s\": %.1f,\n     \"lock_wait_ms_total\": "
+        "%.3f, \"lock_wait_ms_max_shard\": %.3f, \"lock_contentions\": "
+        "%llu, \"identical\": %s}",
+        i ? "," : "", p.fleet, p.shards, p.jobs, p.admitted, p.completed,
+        static_cast<unsigned long long>(p.retries), p.cross_shard_in,
+        p.submit_seconds, p.admission_jobs_per_s, p.wall_seconds,
+        p.throughput_jobs_per_s,
+        static_cast<double>(p.lock_wait_ns_total) / 1e6,
+        static_cast<double>(p.lock_wait_ns_max_shard) / 1e6,
+        static_cast<unsigned long long>(p.lock_contentions),
+        p.identical ? "true" : "false");
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  std::printf("serving-scale: top admission %.0f jobs/s (target 100000), "
+              "identical=%s\n",
+              top_rate, all_identical ? "yes" : "NO");
+  return all_identical ? 0 : 2;
+}
+
+std::vector<int> parse_int_list(const char* csv) {
+  std::vector<int> out;
+  std::string tok;
+  for (const char* c = csv;; ++c) {
+    if (*c == ',' || *c == '\0') {
+      if (!tok.empty()) out.push_back(std::atoi(tok.c_str()));
+      tok.clear();
+      if (*c == '\0') break;
+    } else {
+      tok.push_back(*c);
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 // Expanded BENCHMARK_MAIN(): `--threads N` switches to the thread-scaling
 // mode above; otherwise the google-benchmark suite runs. Either way the
 // telemetry accumulated across every iteration (simulator/transpiler
-// counters and the trace ring) is dumped as JSONL to
-// $ARBITERQ_TELEMETRY_PATH, or bench_perf_telemetry.jsonl by default.
+// counters and the trace ring) can be dumped as JSONL by setting
+// $ARBITERQ_TELEMETRY_PATH (no file is written when it is unset).
 int main(int argc, char** argv) {
   int scaling_threads = 0;
   int scaling_fleet = 8;
@@ -1063,7 +1270,11 @@ int main(int argc, char** argv) {
   bool telemetry_ab = false;
   bool serving = false;
   bool serving_obs = false;
+  bool serving_scale = false;
   int serving_jobs = 400;
+  std::vector<int> scale_fleets = {64, 256};
+  std::vector<int> scale_shards = {1, 4, 16};
+  int scale_jobs = 20000;
   std::string scaling_out = "BENCH_perf.json";
   // Strip our flags before google-benchmark sees (and rejects) them.
   std::vector<char*> passthrough;
@@ -1091,6 +1302,14 @@ int main(int argc, char** argv) {
       serving_obs = true;
     } else if (flag == "--serving-jobs") {
       if (const char* v = next()) serving_jobs = std::atoi(v);
+    } else if (flag == "--serving-scale") {
+      serving_scale = true;
+    } else if (flag == "--scale-fleets") {
+      if (const char* v = next()) scale_fleets = parse_int_list(v);
+    } else if (flag == "--scale-shards") {
+      if (const char* v = next()) scale_shards = parse_int_list(v);
+    } else if (flag == "--scale-jobs") {
+      if (const char* v = next()) scale_jobs = std::atoi(v);
     } else if (flag == "--scaling-fleet") {
       if (const char* v = next()) scaling_fleet = std::atoi(v);
     } else if (flag == "--scaling-epochs") {
@@ -1110,6 +1329,10 @@ int main(int argc, char** argv) {
     rc = run_serving_mode(scaling_out, n_serving_jobs);
   } else if (serving_obs) {
     rc = run_serving_obs_mode(scaling_out, n_serving_jobs);
+  } else if (serving_scale) {
+    rc = run_serving_scale_mode(
+        scaling_out, scale_fleets, scale_shards,
+        scale_jobs > 0 ? static_cast<std::size_t>(scale_jobs) : 20000);
   } else if (telemetry_ab) {
     rc = run_telemetry_ab_mode(scaling_out);
   } else if (scaling_threads != 0) {
@@ -1126,16 +1349,22 @@ int main(int argc, char** argv) {
     benchmark::Shutdown();
   }
 
+  // The telemetry dump is opt-in: unset ARBITERQ_TELEMETRY_PATH means no
+  // file — benches invoked from a repo checkout must not litter it.
   const char* env = std::getenv("ARBITERQ_TELEMETRY_PATH");
-  const std::string path = env ? env : "bench_perf_telemetry.jsonl";
-  try {
-    arbiterq::telemetry::JsonlExporter exporter(path);
-    exporter.write_global_state();
-    exporter.close();
-    std::printf("(wrote %s: %zu telemetry lines)\n", path.c_str(),
-                exporter.lines_written());
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "telemetry dump failed: %s\n", e.what());
+  if (env != nullptr && env[0] != '\0') {
+    try {
+      arbiterq::telemetry::JsonlExporter exporter(env);
+      exporter.write_global_state();
+      exporter.close();
+      std::printf("(wrote %s: %zu telemetry lines)\n", env,
+                  exporter.lines_written());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "telemetry dump failed: %s\n", e.what());
+    }
+  } else {
+    std::printf("(telemetry dump skipped; set ARBITERQ_TELEMETRY_PATH to "
+                "write the JSONL)\n");
   }
   return rc;
 }

@@ -57,6 +57,8 @@ struct CliOptions {
   int jobs = 0;
   double deadline_us = 0.0;
   int queue_cap = 1024;
+  int shards = 1;        ///< serving shards (clamped to the fleet size)
+  int shard_workers = 0; ///< workers per shard; 0 = one per QPU
   int listen = -1;       ///< scrape port; -1 = off, 0 = ephemeral
   int trace_sample = 0;  ///< per-job tracing: 0 off, 1 full, N sampled
   int linger_ms = 0;     ///< keep the scrape endpoint up after drain
@@ -100,6 +102,12 @@ void usage() {
       "              (default 0 = none)\n"
       "  --queue-cap N  serving admission bound in shot-batches\n"
       "              (default 1024)\n"
+      "  --shards N  partition the serving fleet into N shards, each\n"
+      "              with its own bounded queue, workers and mailbox\n"
+      "              lanes (clamped to the fleet size; default 1).\n"
+      "              Admitted results are bit-identical across N\n"
+      "  --shard-workers N  worker threads per shard (each strides its\n"
+      "              shard's QPU lanes; default 0 = one per QPU)\n"
       "  --listen PORT  serve a live scrape endpoint on 127.0.0.1:PORT\n"
       "              during --serve: /metrics (Prometheus text),\n"
       "              /healthz (fleet health JSON), /slo (SLO report)\n"
@@ -144,6 +152,10 @@ bool parse(int argc, char** argv, CliOptions* opts) {
       if (const char* v = next()) opts->deadline_us = std::atof(v);
     } else if (flag == "--queue-cap") {
       if (const char* v = next()) opts->queue_cap = std::atoi(v);
+    } else if (flag == "--shards") {
+      if (const char* v = next()) opts->shards = std::atoi(v);
+    } else if (flag == "--shard-workers") {
+      if (const char* v = next()) opts->shard_workers = std::atoi(v);
     } else if (flag == "--listen") {
       if (const char* v = next()) opts->listen = std::atoi(v);
     } else if (flag == "--trace-sample") {
@@ -313,6 +325,8 @@ int main(int argc, char** argv) {
     sc.deadline_us = opts.deadline_us;
     sc.seed = opts.seed;
     sc.trace_sample_every = opts.trace_sample;
+    sc.num_shards = opts.shards > 0 ? opts.shards : 1;
+    sc.workers_per_shard = opts.shard_workers;
     std::unique_ptr<serve::FaultInjector> faults;
     if (!opts.faults.empty()) {
       faults = std::make_unique<serve::FaultInjector>(
@@ -374,6 +388,21 @@ int main(int argc, char** argv) {
         sr.submitted, sr.completed, sr.rejected, sr.expired, sr.failed,
         static_cast<unsigned long long>(sr.retries), sr.dropouts_detected,
         sr.repartitions, runtime.epochs(), sr.throughput_jobs_per_s);
+    if (runtime.num_shards() > 1) {
+      for (const serve::ShardStats& s : sr.shards) {
+        std::printf(
+            "  shard %zu: qpus [%zu,%zu) cap %zu | %llu batches, "
+            "%llu reserve-rejects | cross-shard %llu in / %llu out | "
+            "lock %.2fms (%llu contended)\n",
+            s.shard, s.first_qpu, s.first_qpu + s.num_qpus, s.capacity,
+            static_cast<unsigned long long>(s.admitted_batches),
+            static_cast<unsigned long long>(s.reserve_rejects),
+            static_cast<unsigned long long>(s.cross_shard_in),
+            static_cast<unsigned long long>(s.cross_shard_out),
+            static_cast<double>(s.lock_wait_ns) / 1e6,
+            static_cast<unsigned long long>(s.lock_contentions));
+      }
+    }
     const telemetry::MetricsSnapshot snap =
         telemetry::MetricsRegistry::global().snapshot();
     for (const telemetry::HistogramSnapshot& h : snap.histograms) {

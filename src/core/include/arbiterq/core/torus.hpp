@@ -64,4 +64,16 @@ TorusPartition repartition_alive(
     const std::vector<std::vector<double>>& model_vectors,
     const std::vector<int>& alive, int num_tori = 0);
 
+/// Scoped degradation-time rebuild: remove `dead_qpu` from the one torus
+/// that contains it, leaving every other torus byte-identical to `prev`.
+/// Survivors keep their phase order (they were phase-sorted when the
+/// partition was built, and removing a member preserves that order), so
+/// the rebuild is O(|torus|), deterministic, and — unlike
+/// repartition_alive — contained: a dropout in one torus never reshuffles
+/// the rest of the fleet, which is what lets a sharded serving runtime
+/// repartition one shard while its siblings keep draining. A torus that
+/// loses its last member is dropped. Throws when `dead_qpu` is not a
+/// member, or when removing it would leave no tori at all.
+TorusPartition repartition_torus(const TorusPartition& prev, int dead_qpu);
+
 }  // namespace arbiterq::core

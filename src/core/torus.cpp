@@ -127,4 +127,24 @@ TorusPartition repartition_alive(
   return out;
 }
 
+TorusPartition repartition_torus(const TorusPartition& prev, int dead_qpu) {
+  const std::size_t victim_torus = prev.torus_of(dead_qpu);  // throws if
+                                                             // unknown
+  TorusPartition out = prev;
+  std::vector<int>& members = out.tori[victim_torus];
+  members.erase(std::remove(members.begin(), members.end(), dead_qpu),
+                members.end());
+  if (members.empty()) {
+    // The torus died with its last member: drop it (indices of later
+    // tori shift down, which routing epochs absorb deterministically).
+    out.tori.erase(out.tori.begin() +
+                   static_cast<std::ptrdiff_t>(victim_torus));
+  }
+  if (out.tori.empty()) {
+    throw std::invalid_argument("repartition_torus: no survivors");
+  }
+  AQ_COUNTER_ADD("core.torus.scoped_repartitions", 1);
+  return out;
+}
+
 }  // namespace arbiterq::core

@@ -27,6 +27,13 @@ std::vector<Qpu> table3_fleet(int min_qubits = 10, double bias_factor = 4.0);
 std::vector<Qpu> table3_fleet_subset(int count, int min_qubits = 10,
                                      double bias_factor = 4.0);
 
+/// Arbitrarily large simulated fleet for scale benchmarks: the Table III
+/// rows cycled `count` times with per-device noise seeds, so a 256- or
+/// 1024-QPU fleet keeps the paper's heterogeneity spread while every
+/// device stays individually deterministic. Ids are 1..count.
+std::vector<Qpu> table3_fleet_cycled(int count, int min_qubits = 10,
+                                     double bias_factor = 4.0);
+
 /// The origin_wukong-like chip: 6x12 grid, U3+CZ, f1q=99.72%, f2q=95.86%.
 Qpu origin_wukong();
 

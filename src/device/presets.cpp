@@ -51,6 +51,27 @@ constexpr Table3Row kTable3[10] = {
     {2.42e-4, 9.75e-3, 166.0, 38.6, TopoFamily::kGrid, 280.0},
 };
 
+Qpu make_table3_device(int index, int min_qubits, double bias_factor) {
+  const Table3Row& row = kTable3[static_cast<std::size_t>(index % 10)];
+  QpuSpec spec;
+  spec.name = "sim-qpu-" + std::to_string(index + 1);
+  spec.id = index + 1;
+  spec.topology = make_topology(row.family, min_qubits);
+  spec.basis = BasisSet::kIbm;
+  spec.infidelity_1q = row.infid_1q;
+  spec.infidelity_2q = row.infid_2q;
+  spec.t1_us = row.t1_us;
+  spec.t2_us = row.t2_us;
+  spec.delay_us = row.delay_us;
+  spec.readout_error = 0.01;
+  // Coherent calibration error grows with gate infidelity: a sloppier
+  // device is also miscalibrated, which is what moves its optimum.
+  spec.coherent_bias_scale = bias_factor * std::sqrt(row.infid_1q);
+  spec.noise_seed =
+      0x5EEDULL + static_cast<std::uint64_t>(index + 1) * 7919ULL;
+  return Qpu(std::move(spec));
+}
+
 }  // namespace
 
 std::vector<Qpu> table3_fleet(int min_qubits, double bias_factor) {
@@ -68,23 +89,23 @@ std::vector<Qpu> table3_fleet_subset(int count, int min_qubits,
   std::vector<Qpu> fleet;
   fleet.reserve(static_cast<std::size_t>(count));
   for (int i = 0; i < count; ++i) {
-    const Table3Row& row = kTable3[static_cast<std::size_t>(i)];
-    QpuSpec spec;
-    spec.name = "sim-qpu-" + std::to_string(i + 1);
-    spec.id = i + 1;
-    spec.topology = make_topology(row.family, min_qubits);
-    spec.basis = BasisSet::kIbm;
-    spec.infidelity_1q = row.infid_1q;
-    spec.infidelity_2q = row.infid_2q;
-    spec.t1_us = row.t1_us;
-    spec.t2_us = row.t2_us;
-    spec.delay_us = row.delay_us;
-    spec.readout_error = 0.01;
-    // Coherent calibration error grows with gate infidelity: a sloppier
-    // device is also miscalibrated, which is what moves its optimum.
-    spec.coherent_bias_scale = bias_factor * std::sqrt(row.infid_1q);
-    spec.noise_seed = 0x5EEDULL + static_cast<std::uint64_t>(i + 1) * 7919ULL;
-    fleet.emplace_back(std::move(spec));
+    fleet.push_back(make_table3_device(i, min_qubits, bias_factor));
+  }
+  return fleet;
+}
+
+std::vector<Qpu> table3_fleet_cycled(int count, int min_qubits,
+                                     double bias_factor) {
+  if (count < 1) {
+    throw std::invalid_argument("table3_fleet_cycled: count must be >= 1");
+  }
+  if (min_qubits < 2) {
+    throw std::invalid_argument("table3_fleet_cycled: need >= 2 qubits");
+  }
+  std::vector<Qpu> fleet;
+  fleet.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    fleet.push_back(make_table3_device(i, min_qubits, bias_factor));
   }
   return fleet;
 }

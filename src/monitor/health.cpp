@@ -98,6 +98,11 @@ void FleetHealthMonitor::observe_membership(int qpu, bool online) {
   have_online_[i] = true;
 }
 
+void FleetHealthMonitor::set_shard_map(std::vector<int> shard_by_qpu) {
+  std::lock_guard<std::mutex> lock(mu_);
+  shard_map_ = std::move(shard_by_qpu);
+}
+
 void FleetHealthMonitor::observe_slo_breach(const std::string& slo_class,
                                             double burn_rate) {
   (void)slo_class;  // per-class detail lives in the SloReport itself
@@ -171,6 +176,7 @@ FleetHealthReport FleetHealthMonitor::report() const {
     h.drift = drift_[i];
     h.online = online_[i];
     h.churn_flips = churn_flips_[i];
+    if (i < shard_map_.size()) h.shard = shard_map_[i];
     const bool in_graph = have_similarity_ && i < similarity_.degree.size();
     if (in_graph) {
       h.degree = similarity_.degree[i];
@@ -199,17 +205,17 @@ std::string FleetHealthReport::to_table_string() const {
   std::string out;
   char buf[256];
   std::snprintf(buf, sizeof buf,
-                "%4s %-9s %6s %10s %10s %11s %8s %10s %6s %6s %6s\n",
-                "qpu", "status", "epochs", "loss", "loss_ema", "slope",
-                "improve", "drift", "deg", "group", "flips");
+                "%4s %5s %-9s %6s %10s %10s %11s %8s %10s %6s %6s %6s\n",
+                "qpu", "shard", "status", "epochs", "loss", "loss_ema",
+                "slope", "improve", "drift", "deg", "group", "flips");
   out += buf;
   for (const QpuHealth& h : qpus) {
     std::snprintf(buf, sizeof buf,
-                  "%4d %-9s %6d %10.4f %10.4f %11.2e %7.1f%% %10.2e "
+                  "%4d %5d %-9s %6d %10.4f %10.4f %11.2e %7.1f%% %10.2e "
                   "%6d %6d %6d\n",
-                  h.qpu, status_name(h.status).c_str(), h.epochs, h.loss,
-                  h.loss_ema, h.loss_slope, 100.0 * h.improvement, h.drift,
-                  h.degree, h.group, h.churn_flips);
+                  h.qpu, h.shard, status_name(h.status).c_str(), h.epochs,
+                  h.loss, h.loss_ema, h.loss_slope, 100.0 * h.improvement,
+                  h.drift, h.degree, h.group, h.churn_flips);
     out += buf;
   }
   std::snprintf(buf, sizeof buf,
@@ -243,6 +249,7 @@ std::string FleetHealthReport::to_jsonl() const {
                .field("group_size", h.group_size)
                .field("online", h.online)
                .field("churn_flips", h.churn_flips)
+               .field("shard", h.shard)
                .finish() +
            "\n";
   }

@@ -114,6 +114,7 @@ struct QpuHealth {
   int group_size = 1;
   bool online = true;   ///< last observed churn state
   int churn_flips = 0;  ///< online<->offline transitions observed
+  int shard = -1;       ///< serving shard owning this QPU (-1 = unsharded)
 };
 
 struct FleetHealthReport {
@@ -157,6 +158,10 @@ class FleetHealthMonitor final : public telemetry::TrainingTelemetry {
   /// SLO breach forwarded by an SloEngine: tallies the breach and keeps
   /// the worst burn rate seen, surfaced in the report summary.
   void observe_slo_breach(const std::string& slo_class, double burn_rate);
+  /// QPU -> serving-shard ownership (set by a sharded ServingRuntime);
+  /// surfaces as the `shard` column of every health row. Entries beyond
+  /// fleet_size are ignored; unmapped QPUs report -1.
+  void set_shard_map(std::vector<int> shard_by_qpu);
 
   /// Calibration baseline the drift distances are measured against.
   void set_baseline(const std::vector<core::BehavioralVector>& vectors);
@@ -181,6 +186,7 @@ class FleetHealthMonitor final : public telemetry::TrainingTelemetry {
   std::vector<bool> online_;
   std::vector<bool> have_online_;
   std::vector<int> churn_flips_;
+  std::vector<int> shard_map_;  ///< by QPU; empty until set_shard_map
   std::vector<core::BehavioralVector> baseline_;
   SimilarityView similarity_;
   bool have_similarity_ = false;

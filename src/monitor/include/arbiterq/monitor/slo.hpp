@@ -91,8 +91,18 @@ struct SloClassReport {
   std::size_t breaches = 0;
 };
 
+/// Per-serving-shard roll-up across all classes (only shards that
+/// observed at least one job appear).
+struct SloShardReport {
+  int shard = -1;
+  std::size_t jobs = 0;
+  std::size_t violations = 0;
+  double compliance = 1.0;  ///< 1 - violations/jobs
+};
+
 struct SloReport {
   std::vector<SloClassReport> classes;  ///< all classes, fixed order
+  std::vector<SloShardReport> shards;   ///< ascending shard id
   std::vector<SloBreach> breaches;      ///< in detection order
 
   std::string to_table_string() const;
@@ -114,8 +124,12 @@ class SloEngine {
 
   /// Record one finished job. `ok` is final-disposition success;
   /// `virtual_latency_us` is the job's modeled latency (ignored for the
-  /// compliance test when the class target is disabled).
-  void observe_job(SloClass cls, double virtual_latency_us, bool ok);
+  /// compliance test when the class target is disabled). `shard`, when
+  /// >= 0, attributes the observation to a serving shard so the report
+  /// (and per-shard counters) can localize which slice of the fleet is
+  /// burning budget; -1 keeps the observation unsharded.
+  void observe_job(SloClass cls, double virtual_latency_us, bool ok,
+                   int shard = -1);
 
   SloReport report() const;
 
@@ -139,10 +153,17 @@ class SloEngine {
     std::size_t breaches = 0;
   };
 
+  struct ShardState {
+    std::size_t jobs = 0;
+    std::size_t violations = 0;
+  };
+
   SloPolicy policy_;
   FleetHealthMonitor* monitor_;
   mutable std::mutex mu_;
   std::array<ClassState, kNumSloClasses> state_;
+  /// Indexed by shard id (grown on demand; shard counts are small).
+  std::vector<ShardState> shard_state_;
   std::vector<SloBreach> breaches_;
 };
 

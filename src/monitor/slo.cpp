@@ -49,7 +49,7 @@ SloEngine::SloEngine(SloPolicy policy, FleetHealthMonitor* monitor)
 }
 
 void SloEngine::observe_job(SloClass cls, double virtual_latency_us,
-                            bool ok) {
+                            bool ok, int shard) {
   const auto ci = static_cast<std::size_t>(cls);
   if (ci >= kNumSloClasses) {
     throw std::invalid_argument("SloEngine: unknown class");
@@ -69,6 +69,12 @@ void SloEngine::observe_job(SloClass cls, double virtual_latency_us,
     if (violation) {
       ++st.violations;
       ++st.window_violations;
+    }
+    if (shard >= 0) {
+      const auto si = static_cast<std::size_t>(shard);
+      if (si >= shard_state_.size()) shard_state_.resize(si + 1);
+      ++shard_state_[si].jobs;
+      if (violation) ++shard_state_[si].violations;
     }
     if (st.window_jobs >= policy_.window_jobs) {
       const double burn =
@@ -99,6 +105,11 @@ void SloEngine::observe_job(SloClass cls, double virtual_latency_us,
     reg.counter("slo.jobs." + name).add(1);
     if (violation) reg.counter("slo.violations." + name).add(1);
     if (breached) reg.counter("slo.breaches." + name).add(1);
+    if (shard >= 0) {
+      const std::string sname = "shard" + std::to_string(shard);
+      reg.counter("slo.jobs." + sname).add(1);
+      if (violation) reg.counter("slo.violations." + sname).add(1);
+    }
   }
   if (breached && monitor_ != nullptr) {
     monitor_->observe_slo_breach(slo_class_name(cls), breach.burn_rate);
@@ -130,6 +141,17 @@ SloReport SloEngine::report() const {
                       obj.error_budget;
     }
     rep.classes.push_back(c);
+  }
+  for (std::size_t s = 0; s < shard_state_.size(); ++s) {
+    const ShardState& st = shard_state_[s];
+    if (st.jobs == 0) continue;
+    SloShardReport sh;
+    sh.shard = static_cast<int>(s);
+    sh.jobs = st.jobs;
+    sh.violations = st.violations;
+    sh.compliance = 1.0 - static_cast<double>(st.violations) /
+                              static_cast<double>(st.jobs);
+    rep.shards.push_back(sh);
   }
   rep.breaches = breaches_;
   return rep;
@@ -183,6 +205,12 @@ std::string SloReport::to_table_string() const {
                   100.0 * c.compliance, c.overall_burn, c.breaches);
     out += buf;
   }
+  for (const SloShardReport& s : shards) {
+    std::snprintf(buf, sizeof buf,
+                  "shard %-3d %6zu jobs %6zu violations %7.1f%% comply\n",
+                  s.shard, s.jobs, s.violations, 100.0 * s.compliance);
+    out += buf;
+  }
   std::snprintf(buf, sizeof buf, "slo: %zu breach window(s) recorded\n",
                 breaches.size());
   out += buf;
@@ -203,6 +231,16 @@ std::string SloReport::to_jsonl() const {
                .field("overall_burn", c.overall_burn)
                .field("window_burn", c.window_burn)
                .field("breaches", static_cast<std::uint64_t>(c.breaches))
+               .finish() +
+           "\n";
+  }
+  for (const SloShardReport& s : shards) {
+    out += report::JsonLine()
+               .field("type", "slo_shard")
+               .field("shard", s.shard)
+               .field("jobs", static_cast<std::uint64_t>(s.jobs))
+               .field("violations", static_cast<std::uint64_t>(s.violations))
+               .field("compliance", s.compliance)
                .finish() +
            "\n";
   }

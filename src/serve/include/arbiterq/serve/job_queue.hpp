@@ -16,11 +16,17 @@
 // blocked pop returns false and the workers exit. The in-flight count
 // is maintained by the pop/task_done pairing.
 
+#include <atomic>
 #include <cstdint>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
+#include <string>
 #include <vector>
+
+namespace arbiterq::telemetry {
+class Gauge;
+}  // namespace arbiterq::telemetry
 
 namespace arbiterq::serve {
 
@@ -47,9 +53,17 @@ struct ShotBatch {
 
 class JobQueue {
  public:
-  /// `num_lanes` = fleet size; `capacity` bounds the *admitted* batches
-  /// resident across all lanes (retries ride above the bound).
-  JobQueue(std::size_t num_lanes, std::size_t capacity);
+  /// `num_lanes` = fleet (or shard) size; `capacity` bounds the
+  /// *admitted* batches resident across all lanes (retries ride above
+  /// the bound). `depth_metric` names the gauge the resident depth is
+  /// published under — per-shard queues pass a shard-suffixed name so
+  /// their depths stay distinguishable. `lane_base` rebases the lane a
+  /// push derives from ShotBatch::qpu (lane = qpu - lane_base): a shard
+  /// owning the QPU block [first, first+n) passes first and keeps its
+  /// lanes local 0..n-1. pop/pop_any/lane_depth always take local lanes.
+  JobQueue(std::size_t num_lanes, std::size_t capacity,
+           std::string depth_metric = "serve.queue.depth",
+           std::size_t lane_base = 0);
 
   JobQueue(const JobQueue&) = delete;
   JobQueue& operator=(const JobQueue&) = delete;
@@ -59,6 +73,14 @@ class JobQueue {
   /// Atomic job admission: either every batch is enqueued or none is
   /// (false when the batches don't all fit, or the queue is closed).
   bool try_push_all(std::vector<ShotBatch> batches);
+  /// Admission path for capacity units reserved *outside* the queue
+  /// (the sharded runtime's front-end reserves per-shard capacity with
+  /// an atomic before the batch ever reaches the shard, so the queue
+  /// itself no longer gates; the reservation is released when the batch
+  /// is popped — see pop()'s `was_admitted`). Accepted even after
+  /// close(): the front-end stopped admitting first, so anything still
+  /// in a mailbox was admitted while the runtime was open.
+  void push_reserved(ShotBatch batch);
   /// Retry/re-route path for already-admitted work: always accepted,
   /// even above capacity or after close().
   void push_retry(ShotBatch batch);
@@ -68,7 +90,17 @@ class JobQueue {
   /// A successful pop marks the batch in flight; the worker must call
   /// task_done() exactly once after the batch reaches a terminal state
   /// (executed, expired, failed) or was re-routed via push_retry.
-  bool pop(std::size_t lane, ShotBatch* out);
+  /// `was_admitted`, when non-null, reports whether the popped batch
+  /// occupied an admission-capacity unit (try_push/try_push_all/
+  /// push_reserved) as opposed to riding above the bound (push_retry) —
+  /// the sharded runtime uses it to release its reservation counter.
+  bool pop(std::size_t lane, ShotBatch* out,
+           bool* was_admitted = nullptr);
+  /// Like pop() but over a fixed set of lanes (a worker that owns
+  /// several QPU lanes): scans priorities high -> low across the lanes
+  /// in the given order, blocking until any of them yields.
+  bool pop_any(const std::vector<std::size_t>& lanes, ShotBatch* out,
+               bool* was_admitted = nullptr);
   /// Balance a successful pop once the popped batch is finished with.
   void task_done();
 
@@ -83,6 +115,18 @@ class JobQueue {
   std::size_t depth() const;
   std::size_t lane_depth(std::size_t lane) const;
   std::size_t rejected() const;
+
+  /// Lock-contention accounting: cumulative nanoseconds callers spent
+  /// blocked acquiring the queue mutex (only contended acquisitions are
+  /// timed — the uncontended fast path is a try_lock), and how many
+  /// acquisitions were contended. This is what makes the sharded bench's
+  /// flat-contention claim a measurement instead of an assertion.
+  std::uint64_t lock_wait_ns() const {
+    return lock_wait_ns_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t lock_contentions() const {
+    return lock_contentions_.load(std::memory_order_relaxed);
+  }
 
  private:
   // One FIFO per (lane, priority); pop scans high -> low priority.
@@ -99,17 +143,31 @@ class JobQueue {
     return closed_ && total_depth_ == 0 && in_flight_ == 0;
   }
   void note_depth_locked();
+  /// Local lane of a batch: its target QPU rebased by lane_base_.
+  std::size_t lane_of(const ShotBatch& batch) const {
+    return static_cast<std::size_t>(batch.qpu) - lane_base_;
+  }
+  /// Acquire mu_, timing the wait when the try_lock fast path misses.
+  std::unique_lock<std::mutex> lock_timed() const;
+  bool pop_locked(std::unique_lock<std::mutex>& lock,
+                  const std::size_t* lanes, std::size_t n_lanes,
+                  ShotBatch* out, bool* was_admitted);
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::vector<std::deque<Entry>> lanes_;  ///< num_lanes * kPriorities
   std::size_t capacity_;
-  std::size_t admitted_depth_ = 0;  ///< try_push batches still resident
+  std::size_t lane_base_;
+  std::string depth_metric_;
+  telemetry::Gauge* depth_gauge_ = nullptr;  ///< resolved on first use
+  std::size_t admitted_depth_ = 0;  ///< admission batches still resident
   std::size_t total_depth_ = 0;
   std::size_t in_flight_ = 0;
   std::size_t rejected_ = 0;
   bool closed_ = false;
   bool aborted_ = false;
+  mutable std::atomic<std::uint64_t> lock_wait_ns_{0};
+  mutable std::atomic<std::uint64_t> lock_contentions_{0};
 };
 
 }  // namespace arbiterq::serve

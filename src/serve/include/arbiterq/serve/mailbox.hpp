@@ -1,0 +1,126 @@
+#pragma once
+// Bounded single-producer/single-consumer mailbox ring, the message lane
+// between the serving front-end and its shards (and between shards). The
+// shape follows the message_buffer/virtual_channel discipline of large
+// manycore simulators: a fixed-capacity ring indexed by two cache-line-
+// separated monotone counters, so in steady state the producer and the
+// consumer touch disjoint lines and never block each other.
+//
+// Contract: exactly one thread calls try_push and exactly one thread
+// calls try_pop at any moment. The serving runtime upholds this either
+// structurally (the admission front-end is serialized by the routing
+// lock; every shard has one dispatcher) or with a producer-side ticket
+// mutex local to the sending shard (inter-shard reroute lanes, where any
+// of the source shard's workers may send — see shard.hpp). Cross-thread
+// visibility of the payload rides the release store of the counter: the
+// consumer's acquire load of tail_ observes the fully-written slot, the
+// producer's acquire load of head_ observes that the slot was vacated.
+//
+// try_push/try_pop never wait: a full lane is backpressure the caller
+// must handle (reject the job, or spin-yield for guaranteed-delivery
+// retry traffic that the consumer is always draining).
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace arbiterq::serve {
+
+template <typename T>
+class Mailbox {
+ public:
+  /// `capacity` payloads may be resident at once (one ring slot is kept
+  /// vacant to distinguish full from empty).
+  explicit Mailbox(std::size_t capacity)
+      : ring_(capacity + 1), slots_(capacity + 1) {}
+
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  /// Producer side. False when the lane is full (the value is untouched
+  /// and stays with the caller).
+  bool try_push(T& value) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t next = advance(tail);
+    if (next == head_.load(std::memory_order_acquire)) return false;
+    ring_[tail] = std::move(value);
+    tail_.store(next, std::memory_order_release);
+    return true;
+  }
+  bool try_push(T&& value) { return try_push(value); }
+
+  /// Consumer side. False when the lane is empty.
+  bool try_pop(T* out) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_.load(std::memory_order_acquire)) return false;
+    *out = std::move(ring_[head]);
+    head_.store(advance(head), std::memory_order_release);
+    return true;
+  }
+
+  bool empty() const {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+  /// Resident payloads; exact only from the producer or consumer thread,
+  /// a point-in-time estimate elsewhere.
+  std::size_t size() const {
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    return tail >= head ? tail - head : tail + slots_ - head;
+  }
+
+  std::size_t capacity() const { return slots_ - 1; }
+
+ private:
+  std::size_t advance(std::size_t i) const {
+    const std::size_t next = i + 1;
+    return next == slots_ ? 0 : next;
+  }
+
+  std::vector<T> ring_;
+  std::size_t slots_;  ///< ring slot count (capacity + 1)
+  alignas(64) std::atomic<std::size_t> head_{0};  ///< consumer cursor
+  alignas(64) std::atomic<std::size_t> tail_{0};  ///< producer cursor
+};
+
+/// Wakeup latch for a mailbox consumer: the dispatcher parks on the
+/// condition variable only after advertising that it sleeps, and every
+/// producer that observes the advertisement rings the bell. The timed
+/// wait is a backstop against the unavoidable advertise/park window, not
+/// the signalling mechanism, so lanes stay latency-bounded without
+/// producers taking a lock on the fast path (one relaxed load when the
+/// consumer is awake).
+class Doorbell {
+ public:
+  /// Producer side: wake the consumer if it advertised sleep.
+  void ring() {
+    if (!sleeping_.load(std::memory_order_relaxed)) return;
+    if (sleeping_.exchange(false, std::memory_order_acq_rel)) {
+      std::lock_guard<std::mutex> lock(mu_);
+      cv_.notify_one();
+    }
+  }
+
+  /// Consumer side: park for up to `max_wait`; returns after a ring, the
+  /// timeout, or spuriously (callers re-scan their lanes regardless).
+  template <typename Rep, typename Period>
+  void wait(const std::chrono::duration<Rep, Period>& max_wait) {
+    std::unique_lock<std::mutex> lock(mu_);
+    sleeping_.store(true, std::memory_order_release);
+    cv_.wait_for(lock, max_wait);
+    sleeping_.store(false, std::memory_order_release);
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::atomic<bool> sleeping_{false};
+};
+
+}  // namespace arbiterq::serve

@@ -59,6 +59,7 @@
 #include "arbiterq/serve/fault_injector.hpp"
 #include "arbiterq/serve/flight_recorder.hpp"
 #include "arbiterq/serve/job_queue.hpp"
+#include "arbiterq/serve/shard.hpp"
 
 namespace arbiterq::serve {
 
@@ -97,6 +98,25 @@ struct ServeConfig {
   /// time, at which serve.queue.depth.sampled and the per-QPU
   /// serve.qpu.inflight.q<i> gauges are refreshed. 0 disables sampling.
   double gauge_cadence_us = 1000.0;
+  /// Shards the fleet is partitioned into (clamped to the fleet size).
+  /// Shard s owns the contiguous QPU block [s*n/S, (s+1)*n/S) with its
+  /// own bounded JobQueue, worker set and mailbox lanes; queue_capacity
+  /// is divided evenly across the shards. Routing stays global (the
+  /// submit-side torus pick and shot split are shard-agnostic), so the
+  /// admitted jobs' results are bit-identical across shard counts.
+  int num_shards = 1;
+  /// Worker threads per shard; each worker owns the shard-local lanes
+  /// congruent to its index (lane l -> worker l % W), preserving the
+  /// one-writer-per-QPU accounting invariant. 0 = one worker per QPU,
+  /// the pre-sharding behavior; set a small value for simulated fleets
+  /// far wider than the host's core count.
+  int workers_per_shard = 0;
+  /// Skip the state-vector execution: the slot probability becomes a
+  /// seeded pure function of (seed, job, slot, attempt) instead of a
+  /// QnnExecutor sample, while routing, modeled time, faults, retries
+  /// and deadlines all stay real. For admission-scale benches where the
+  /// fleet is far wider than any interesting circuit workload.
+  bool synthetic_execution = false;
 };
 
 enum class JobStatus { kPending, kOk, kRejected, kExpired, kFailed };
@@ -148,6 +168,8 @@ struct ServingReport {
   std::vector<double> qpu_busy_us;  ///< modeled busy time per QPU
   double wall_seconds = 0.0;        ///< first submit -> drain complete
   double throughput_jobs_per_s = 0.0;
+  /// Per-shard queue/mailbox accounting (one row per shard).
+  std::vector<ShardStats> shards;
 };
 
 class ServingRuntime {
@@ -192,8 +214,16 @@ class ServingRuntime {
   /// Torus partition of `epoch`; throws when that epoch was never
   /// materialized.
   core::TorusPartition partition(std::size_t epoch) const;
-  /// Queue introspection (live).
-  std::size_t queue_depth() const { return queue_.depth(); }
+  /// Queue introspection (live): resident batches across every shard.
+  std::size_t queue_depth() const;
+  std::size_t num_shards() const noexcept { return shards_.size(); }
+  /// Shard owning QPU q (contiguous blocks: q * S / n).
+  std::size_t shard_of(int qpu) const noexcept {
+    return static_cast<std::size_t>(qpu) * shards_.size() /
+           executors_.size();
+  }
+  /// Per-shard accounting snapshot (live).
+  std::vector<ShardStats> shard_stats() const;
 
  private:
   /// Per-batch slot: written by at most one worker at a time (batch
@@ -220,6 +250,7 @@ class ServingRuntime {
     double deadline_us = 0.0;  ///< resolved; 0 = none
     std::size_t epoch = 0;
     std::size_t torus = 0;
+    std::size_t home_shard = 0;  ///< shard of the split's first member
     JobStatus status = JobStatus::kPending;
     std::vector<BatchSlot> slots;
     std::atomic<int> pending{0};
@@ -243,7 +274,10 @@ class ServingRuntime {
     double wall_latency_us = 0.0;
   };
 
-  void worker_main(int qpu);
+  /// Worker `worker` of shard `shard_index`, striding the shard's local
+  /// lanes with step `stride` (the shard's worker count).
+  void worker_main(std::size_t shard_index, std::size_t worker,
+                   std::size_t stride);
   void process_batch(int qpu, ShotBatch batch);
   /// Re-route or fail a batch after `qpu` failed it. `backoff` charges
   /// and sleeps the exponential-backoff amount (dropouts re-route
@@ -289,7 +323,16 @@ class ServingRuntime {
   FlightRecorder* flight_;
   monitor::SloEngine* slo_;
   math::Rng root_;
-  JobQueue queue_;
+  /// The sharded data plane: each shard owns a private bounded queue
+  /// plus the mailbox lanes feeding it (see shard.hpp). unique_ptr for
+  /// stable addresses (Shard is immovable: mutexes, threads, atomics).
+  std::vector<std::unique_ptr<Shard>> shards_;
+  /// Admitted shot-batch slots not yet at a terminal outcome; drain()
+  /// waits for this to hit zero before closing the shard queues.
+  std::atomic<std::uint64_t> outstanding_{0};
+  /// Cleared by drain(): submissions arriving after are rejected
+  /// without touching any shard.
+  std::atomic<bool> accepting_{true};
 
   // Routing state (submission order defines all of it).
   mutable std::mutex route_mu_;

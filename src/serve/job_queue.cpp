@@ -1,13 +1,18 @@
 #include "arbiterq/serve/job_queue.hpp"
 
+#include <chrono>
 #include <stdexcept>
 
 #include "arbiterq/telemetry/metrics.hpp"
 
 namespace arbiterq::serve {
 
-JobQueue::JobQueue(std::size_t num_lanes, std::size_t capacity)
-    : lanes_(num_lanes * kPriorities), capacity_(capacity) {
+JobQueue::JobQueue(std::size_t num_lanes, std::size_t capacity,
+                   std::string depth_metric, std::size_t lane_base)
+    : lanes_(num_lanes * kPriorities),
+      capacity_(capacity),
+      lane_base_(lane_base),
+      depth_metric_(std::move(depth_metric)) {
   if (num_lanes == 0) {
     throw std::invalid_argument("JobQueue: no lanes");
   }
@@ -17,12 +22,35 @@ JobQueue::JobQueue(std::size_t num_lanes, std::size_t capacity)
 }
 
 void JobQueue::note_depth_locked() {
-  AQ_GAUGE_SET("serve.queue.depth", static_cast<double>(total_depth_));
+  // Direct registry write (not AQ_GAUGE_SET): the gauge name is
+  // per-instance, so the macro's function-local static cache would pin
+  // every queue to whichever instance registered first.
+  if (!telemetry::telemetry_runtime_enabled()) return;
+  if (depth_gauge_ == nullptr) {
+    depth_gauge_ = &telemetry::MetricsRegistry::global().gauge(depth_metric_);
+  }
+  depth_gauge_->set(static_cast<double>(total_depth_));
+}
+
+std::unique_lock<std::mutex> JobQueue::lock_timed() const {
+  std::unique_lock<std::mutex> lock(mu_, std::try_to_lock);
+  if (lock.owns_lock()) return lock;
+  const auto t0 = std::chrono::steady_clock::now();
+  lock.lock();
+  const auto ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  lock_wait_ns_.fetch_add(ns, std::memory_order_relaxed);
+  lock_contentions_.fetch_add(1, std::memory_order_relaxed);
+  AQ_COUNTER_ADD("serve.queue.lock_wait_ns", ns);
+  AQ_COUNTER_ADD("serve.queue.lock_contentions", 1);
+  return lock;
 }
 
 bool JobQueue::try_push(ShotBatch batch) {
-  const std::size_t lane = static_cast<std::size_t>(batch.qpu);
-  std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t lane = lane_of(batch);
+  std::unique_lock<std::mutex> lock = lock_timed();
   if (lane * kPriorities >= lanes_.size()) {
     throw std::out_of_range("JobQueue::try_push: bad lane");
   }
@@ -42,14 +70,14 @@ bool JobQueue::try_push(ShotBatch batch) {
 }
 
 bool JobQueue::try_push_all(std::vector<ShotBatch> batches) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock = lock_timed();
   if (closed_ || admitted_depth_ + batches.size() > capacity_) {
     rejected_ += batches.size();
     AQ_COUNTER_ADD("serve.queue.rejected", batches.size());
     return false;
   }
   for (ShotBatch& batch : batches) {
-    const std::size_t lane = static_cast<std::size_t>(batch.qpu);
+    const std::size_t lane = lane_of(batch);
     if (lane * kPriorities >= lanes_.size()) {
       throw std::out_of_range("JobQueue::try_push_all: bad lane");
     }
@@ -64,9 +92,24 @@ bool JobQueue::try_push_all(std::vector<ShotBatch> batches) {
   return true;
 }
 
+void JobQueue::push_reserved(ShotBatch batch) {
+  const std::size_t lane = lane_of(batch);
+  std::unique_lock<std::mutex> lock = lock_timed();
+  if (lane * kPriorities >= lanes_.size()) {
+    throw std::out_of_range("JobQueue::push_reserved: bad lane");
+  }
+  const int pri = static_cast<int>(batch.priority);
+  lanes_[lane * kPriorities + static_cast<std::size_t>(pri)].push_back(
+      Entry{true, std::move(batch)});
+  ++admitted_depth_;
+  ++total_depth_;
+  note_depth_locked();
+  cv_.notify_all();
+}
+
 void JobQueue::push_retry(ShotBatch batch) {
-  const std::size_t lane = static_cast<std::size_t>(batch.qpu);
-  std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t lane = lane_of(batch);
+  std::unique_lock<std::mutex> lock = lock_timed();
   if (lane * kPriorities >= lanes_.size()) {
     throw std::out_of_range("JobQueue::push_retry: bad lane");
   }
@@ -78,19 +121,25 @@ void JobQueue::push_retry(ShotBatch batch) {
   cv_.notify_all();
 }
 
-bool JobQueue::pop(std::size_t lane, ShotBatch* out) {
-  std::unique_lock<std::mutex> lock(mu_);
-  if (lane * kPriorities >= lanes_.size()) {
-    throw std::out_of_range("JobQueue::pop: bad lane");
+bool JobQueue::pop_locked(std::unique_lock<std::mutex>& lock,
+                          const std::size_t* lanes, std::size_t n_lanes,
+                          ShotBatch* out, bool* was_admitted) {
+  for (std::size_t i = 0; i < n_lanes; ++i) {
+    if (lanes[i] * kPriorities >= lanes_.size()) {
+      throw std::out_of_range("JobQueue::pop: bad lane");
+    }
   }
   for (;;) {
     if (aborted_) return false;
     for (int pri = kPriorities - 1; pri >= 0; --pri) {
-      auto& q = lanes_[lane * kPriorities + static_cast<std::size_t>(pri)];
-      if (!q.empty()) {
+      for (std::size_t i = 0; i < n_lanes; ++i) {
+        auto& q =
+            lanes_[lanes[i] * kPriorities + static_cast<std::size_t>(pri)];
+        if (q.empty()) continue;
         Entry e = std::move(q.front());
         q.pop_front();
         *out = std::move(e.batch);
+        if (was_admitted != nullptr) *was_admitted = e.admitted;
         --total_depth_;
         if (e.admitted) --admitted_depth_;
         ++in_flight_;
@@ -103,8 +152,22 @@ bool JobQueue::pop(std::size_t lane, ShotBatch* out) {
   }
 }
 
+bool JobQueue::pop(std::size_t lane, ShotBatch* out, bool* was_admitted) {
+  std::unique_lock<std::mutex> lock = lock_timed();
+  return pop_locked(lock, &lane, 1, out, was_admitted);
+}
+
+bool JobQueue::pop_any(const std::vector<std::size_t>& lanes, ShotBatch* out,
+                       bool* was_admitted) {
+  if (lanes.empty()) {
+    throw std::invalid_argument("JobQueue::pop_any: no lanes");
+  }
+  std::unique_lock<std::mutex> lock = lock_timed();
+  return pop_locked(lock, lanes.data(), lanes.size(), out, was_admitted);
+}
+
 void JobQueue::task_done() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock = lock_timed();
   if (in_flight_ == 0) {
     throw std::logic_error("JobQueue::task_done: nothing in flight");
   }
@@ -113,30 +176,30 @@ void JobQueue::task_done() {
 }
 
 void JobQueue::close() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock = lock_timed();
   closed_ = true;
   cv_.notify_all();
 }
 
 void JobQueue::abort() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock = lock_timed();
   closed_ = true;
   aborted_ = true;
   cv_.notify_all();
 }
 
 bool JobQueue::closed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock = lock_timed();
   return closed_;
 }
 
 std::size_t JobQueue::depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock = lock_timed();
   return total_depth_;
 }
 
 std::size_t JobQueue::lane_depth(std::size_t lane) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock = lock_timed();
   std::size_t d = 0;
   for (int pri = 0; pri < kPriorities; ++pri) {
     d += lanes_[lane * kPriorities + static_cast<std::size_t>(pri)].size();
@@ -145,7 +208,7 @@ std::size_t JobQueue::lane_depth(std::size_t lane) const {
 }
 
 std::size_t JobQueue::rejected() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock = lock_timed();
   return rejected_;
 }
 

@@ -54,8 +54,6 @@ ServingRuntime::ServingRuntime(
       flight_(flight),
       slo_(slo),
       root_(config.seed),
-      queue_(executors.empty() ? 1 : executors.size(),
-             config.queue_capacity == 0 ? 1 : config.queue_capacity),
       dropout_noted_(executors.size(), false),
       qpu_shots_(executors.size(), 0.0),
       qpu_busy_us_(executors.size(), 0.0) {
@@ -70,6 +68,33 @@ ServingRuntime::ServingRuntime(
   if (config_.shots_per_job <= 0) {
     throw std::invalid_argument("ServingRuntime: shots_per_job must be > 0");
   }
+  // Carve the fleet into contiguous QPU blocks, one shard each, and
+  // split the admission budget evenly. Shard boundaries are a function
+  // of (fleet size, shard count) alone — routing never consults them —
+  // so per-job results are invariant across shard counts.
+  const std::size_t n = executors_.size();
+  const std::size_t num_shards = std::clamp<std::size_t>(
+      config_.num_shards <= 0 ? 1
+                              : static_cast<std::size_t>(config_.num_shards),
+      1, n);
+  const std::size_t total_cap =
+      config_.queue_capacity == 0 ? 1 : config_.queue_capacity;
+  shards_.reserve(num_shards);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    const std::size_t first = s * n / num_shards;
+    const std::size_t last = (s + 1) * n / num_shards;
+    shards_.push_back(std::make_unique<Shard>(
+        s, first, last - first,
+        std::max<std::size_t>(1, total_cap / num_shards), num_shards));
+  }
+  if (monitor_ != nullptr) {
+    std::vector<int> shard_by_qpu(n);
+    for (std::size_t q = 0; q < n; ++q) {
+      shard_by_qpu[q] = static_cast<int>(shard_of(static_cast<int>(q)));
+    }
+    monitor_->set_shard_map(std::move(shard_by_qpu));
+  }
+  AQ_GAUGE_SET("serve.shards", static_cast<double>(num_shards));
   // Epoch 0: the full fleet's partition, built eagerly so routing never
   // races with lazy construction elsewhere.
   std::vector<int> all(executors_.size());
@@ -100,7 +125,11 @@ ServingRuntime::ServingRuntime(
 
 ServingRuntime::~ServingRuntime() {
   if (started_ && !drained_) {
-    queue_.abort();
+    accepting_.store(false, std::memory_order_release);
+    // Dispatchers flush their mailboxes into the queues on stop; abort
+    // then wakes every popper and abandons what remains.
+    for (auto& shard : shards_) shard->stop_dispatch();
+    for (auto& shard : shards_) shard->queue().abort();
     for (std::thread& t : workers_) {
       if (t.joinable()) t.join();
     }
@@ -111,10 +140,19 @@ ServingRuntime::~ServingRuntime() {
 void ServingRuntime::start() {
   if (started_ || drained_) return;
   started_ = true;
-  workers_.reserve(executors_.size());
-  for (std::size_t q = 0; q < executors_.size(); ++q) {
-    workers_.emplace_back(&ServingRuntime::worker_main, this,
-                          static_cast<int>(q));
+  for (auto& shard : shards_) shard->start_dispatch();
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const std::size_t lanes = shards_[s]->num_qpus();
+    const std::size_t per_shard =
+        config_.workers_per_shard <= 0
+            ? lanes
+            : std::min<std::size_t>(
+                  static_cast<std::size_t>(config_.workers_per_shard),
+                  lanes);
+    for (std::size_t w = 0; w < per_shard; ++w) {
+      workers_.emplace_back(&ServingRuntime::worker_main, this, s, w,
+                            per_shard);
+    }
   }
 }
 
@@ -215,13 +253,16 @@ std::optional<std::uint64_t> ServingRuntime::submit(const JobSpec& spec) {
     ev.value = static_cast<double>(pick);
     job->route_events.push_back(ev);
   }
+  job->home_shard = shard_of(split.front().first);
   job->slots.resize(split.size());
   job->pending.store(static_cast<int>(split.size()),
                      std::memory_order_release);
   job->submit_wall_us = wall_now_us();
 
   std::vector<ShotBatch> batches;
+  std::vector<std::size_t> batch_shard;
   batches.reserve(split.size());
+  batch_shard.reserve(split.size());
   for (std::size_t s = 0; s < split.size(); ++s) {
     ShotBatch b;
     b.job = id;
@@ -231,30 +272,77 @@ std::optional<std::uint64_t> ServingRuntime::submit(const JobSpec& spec) {
     b.attempt = 0;
     b.priority = spec.priority;
     batches.push_back(std::move(b));
-  }
-  route.unlock();
-
-  if (traced) {
-    const std::uint64_t now = telemetry::trace_now_ns();
-    trace_child(*job, "serve.job.route", route_start_ns, now);
-    for (ShotBatch& b : batches) b.enqueue_ns = now;
+    batch_shard.push_back(shard_of(split[s].first));
   }
 
-  if (!queue_.try_push_all(std::move(batches))) {
+  // All-or-nothing admission: reserve capacity on every shard the split
+  // touches; any refusal rolls the rest back and rejects the job
+  // synchronously — backpressure never leaves submit().
+  std::vector<std::pair<std::size_t, std::size_t>> need;  // (shard, count)
+  for (std::size_t s : batch_shard) {
+    bool found = false;
+    for (auto& p : need) {
+      if (p.first == s) {
+        ++p.second;
+        found = true;
+        break;
+      }
+    }
+    if (!found) need.emplace_back(s, 1);
+  }
+  bool reserved = accepting_.load(std::memory_order_acquire);
+  std::size_t reserved_upto = 0;
+  if (reserved) {
+    for (; reserved_upto < need.size(); ++reserved_upto) {
+      if (!shards_[need[reserved_upto].first]->try_reserve(
+              need[reserved_upto].second)) {
+        reserved = false;
+        break;
+      }
+    }
+  }
+  if (!reserved) {
+    for (std::size_t i = 0; i < reserved_upto; ++i) {
+      shards_[need[i].first]->release(need[i].second);
+    }
+    route.unlock();
     job->status = JobStatus::kRejected;
     job->pending.store(0, std::memory_order_release);
     AQ_COUNTER_ADD("serve.jobs.rejected", 1);
     if (flight_ != nullptr) {
       FlightEvent ev;
       ev.kind = FlightEventKind::kReject;
-      ev.value = static_cast<double>(queue_.depth());
+      ev.value = static_cast<double>(queue_depth());
       job->route_events.push_back(ev);
       flight_dump(*job);
     }
-    if (slo_ != nullptr) slo_->observe_job(job->slo_class, 0.0, false);
+    if (slo_ != nullptr) {
+      slo_->observe_job(job->slo_class, 0.0, false,
+                        static_cast<int>(job->home_shard));
+    }
     if (traced) trace_root(*job);
     return std::nullopt;
   }
+
+  outstanding_.fetch_add(batches.size(), std::memory_order_release);
+  if (traced) {
+    const std::uint64_t now = telemetry::trace_now_ns();
+    trace_child(*job, "serve.job.route", route_start_ns, now);
+    for (ShotBatch& b : batches) b.enqueue_ns = now;
+  }
+
+  // Mail each shard its slice, slot order preserved, while still
+  // holding the routing lock — that lock is what makes this thread the
+  // admission lanes' single producer (SPSC, see mailbox.hpp).
+  for (const auto& [shard, count] : need) {
+    AdmitMsg msg;
+    msg.batches.reserve(count);
+    for (std::size_t i = 0; i < batches.size(); ++i) {
+      if (batch_shard[i] == shard) msg.batches.push_back(std::move(batches[i]));
+    }
+    shards_[shard]->admit(std::move(msg));
+  }
+  route.unlock();
   AQ_COUNTER_ADD("serve.jobs.admitted", 1);
   return id;
 }
@@ -262,15 +350,30 @@ std::optional<std::uint64_t> ServingRuntime::submit(const JobSpec& spec) {
 void ServingRuntime::ensure_epoch_locked(std::size_t epoch) {
   while (partitions_.size() <= epoch) {
     const std::size_t next = partitions_.size();
-    const std::vector<int> alive = faults_->alive_at_epoch(next);
     // The dropouts that define this epoch are now router-visible:
     // record them (monitor + counters) exactly once.
     for (std::size_t i = 0; i < next && i < faults_->dropouts().size();
          ++i) {
       note_dropout(faults_->dropouts()[i].qpu);
     }
-    partitions_.push_back(core::repartition_alive(behavioral_, weights_,
-                                                  alive, config_.num_tori));
+    // Scoped rebuild: epoch k removes the k-th dropout from the one
+    // torus that contains it (core::repartition_torus), leaving every
+    // other torus — and therefore every other shard's routing — byte-
+    // identical to the previous epoch. A dropout is contained to its
+    // torus instead of reshuffling the fleet.
+    const core::TorusPartition& prev = partitions_[next - 1];
+    const int dead_qpu = faults_->dropouts()[next - 1].qpu;
+    bool member = false;
+    for (const auto& torus : prev.tori) {
+      for (int q : torus) {
+        if (q == dead_qpu) {
+          member = true;
+          break;
+        }
+      }
+    }
+    partitions_.push_back(member ? core::repartition_torus(prev, dead_qpu)
+                                 : prev);
     torus_rate_.emplace_back();
     credit_.emplace_back();
     for (const auto& torus : partitions_[next].tori) {
@@ -286,7 +389,8 @@ void ServingRuntime::ensure_epoch_locked(std::size_t epoch) {
       ++repartitions_;
     }
     AQ_COUNTER_ADD("serve.repartitions", 1);
-    AQ_GAUGE_SET("serve.fleet.alive", static_cast<double>(alive.size()));
+    AQ_GAUGE_SET("serve.fleet.alive",
+                 static_cast<double>(faults_->alive_at_epoch(next).size()));
   }
 }
 
@@ -311,14 +415,27 @@ ServingRuntime::JobState* ServingRuntime::job_ptr(std::uint64_t id) {
   return &jobs_[static_cast<std::size_t>(id)];
 }
 
-void ServingRuntime::worker_main(int qpu) {
+void ServingRuntime::worker_main(std::size_t shard_index, std::size_t worker,
+                                 std::size_t stride) {
+  Shard& shard = *shards_[shard_index];
+  // Striped lane ownership: local lane l belongs to worker l % stride,
+  // so every QPU still has exactly one worker touching its accounting.
+  std::vector<std::size_t> lanes;
+  for (std::size_t l = worker; l < shard.num_qpus(); l += stride) {
+    lanes.push_back(l);
+  }
   ShotBatch batch;
-  std::atomic<int>& inflight = inflight_[static_cast<std::size_t>(qpu)];
-  while (queue_.pop(static_cast<std::size_t>(qpu), &batch)) {
+  bool was_admitted = false;
+  while (shard.queue().pop_any(lanes, &batch, &was_admitted)) {
+    // An admitted batch frees its shard reservation the moment it is
+    // popped — the same lifetime the queue's own admission bound had.
+    if (was_admitted) shard.release(1);
+    const int qpu = batch.qpu;
+    std::atomic<int>& inflight = inflight_[static_cast<std::size_t>(qpu)];
     inflight.fetch_add(1, std::memory_order_relaxed);
     process_batch(qpu, std::move(batch));
     inflight.fetch_sub(1, std::memory_order_relaxed);
-    queue_.task_done();
+    shard.queue().task_done();
   }
 }
 
@@ -403,9 +520,16 @@ void ServingRuntime::process_batch(int qpu, ShotBatch batch) {
   math::Rng rng = root_.split("serve").split(job.id).split(
       static_cast<std::uint64_t>(batch.slot) * 97ULL +
       static_cast<std::uint64_t>(batch.attempt));
-  const double p = exec.sampled_probability(job.features, weights_[uq],
-                                            batch.shots, rng,
-                                            config_.trajectories);
+  // Synthetic mode replaces the state-vector sample with a seeded draw
+  // from the same per-(job, slot, attempt) stream — still a pure
+  // function of the routing decision, so scale benches keep the
+  // bit-identity guarantee without paying for circuit simulation.
+  const double p =
+      config_.synthetic_execution
+          ? rng.uniform(0.0, 1.0)
+          : exec.sampled_probability(job.features, weights_[uq],
+                                     batch.shots, rng,
+                                     config_.trajectories);
   qpu_shots_[uq] += static_cast<double>(batch.shots);
 
   slot.outcome = BatchSlot::Outcome::kOk;
@@ -508,7 +632,18 @@ void ServingRuntime::reroute(JobState& job, ShotBatch batch, int failed_qpu,
   job.retries.fetch_add(1, std::memory_order_relaxed);
   AQ_COUNTER_ADD("serve.retries", 1);
   if (job.traced) batch.enqueue_ns = telemetry::trace_now_ns();
-  queue_.push_retry(std::move(batch));
+  // Same shard: straight into the queue (this worker is already on the
+  // shard's lock). Sibling shard: over the bounded inter-shard lane —
+  // the failed shard's congestion never touches the target's queue lock
+  // from under the routing path.
+  const std::size_t from = shard_of(failed_qpu);
+  const std::size_t to = shard_of(target);
+  if (to == from) {
+    shards_[to]->queue().push_retry(std::move(batch));
+  } else {
+    AQ_COUNTER_ADD("serve.shard.cross_sends", 1);
+    Shard::send_retry(*shards_[from], *shards_[to], std::move(batch));
+  }
 }
 
 std::vector<int> ServingRuntime::partition_members_locked_copy(
@@ -521,6 +656,9 @@ void ServingRuntime::complete_slot(JobState& job) {
   if (job.pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
     finalize(job);
   }
+  // One decrement per admitted slot reaching a terminal outcome; the
+  // drain() barrier spins on this hitting zero.
+  outstanding_.fetch_sub(1, std::memory_order_release);
 }
 
 void ServingRuntime::finalize(JobState& job) {
@@ -587,7 +725,8 @@ void ServingRuntime::finalize(JobState& job) {
   }
   if (slo_ != nullptr) {
     slo_->observe_job(job.slo_class, job.virtual_latency_us,
-                      job.status == JobStatus::kOk);
+                      job.status == JobStatus::kOk,
+                      static_cast<int>(job.home_shard));
   }
   if (flight_ != nullptr && job.status != JobStatus::kOk) {
     flight_dump(job);
@@ -679,7 +818,7 @@ void ServingRuntime::advance_virtual_time(double us) {
   auto& reg = telemetry::MetricsRegistry::global();
   reg.gauge("serve.virtual_time_us").set(static_cast<double>(total));
   reg.gauge("serve.queue.depth.sampled")
-      .set(static_cast<double>(queue_.depth()));
+      .set(static_cast<double>(queue_depth()));
   for (std::size_t q = 0; q < executors_.size(); ++q) {
     // Per-QPU names vary at runtime: registry lookup, not AQ_GAUGE_SET.
     reg.gauge("serve.qpu.inflight.q" + std::to_string(q))
@@ -692,12 +831,36 @@ void ServingRuntime::advance_virtual_time(double us) {
 void ServingRuntime::drain() {
   if (drained_) return;
   if (!started_) start();
-  queue_.close();
+  accepting_.store(false, std::memory_order_release);
+  // Wait for every admitted slot to reach a terminal outcome — that
+  // covers batches still sitting in mailboxes, queues, retry chains and
+  // backoff sleeps. Progress is entirely worker-driven, so this is a
+  // pure wait, not a handshake.
+  while (outstanding_.load(std::memory_order_acquire) != 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  // Mailboxes are empty now; retire the dispatchers, then close the
+  // queues so the workers' blocked pops observe the drain and exit.
+  for (auto& shard : shards_) shard->stop_dispatch();
+  for (auto& shard : shards_) shard->queue().close();
   for (std::thread& t : workers_) {
     if (t.joinable()) t.join();
   }
   drained_ = true;
   drain_wall_us_ = wall_now_us();
+}
+
+std::size_t ServingRuntime::queue_depth() const {
+  std::size_t depth = 0;
+  for (const auto& shard : shards_) depth += shard->queue().depth();
+  return depth;
+}
+
+std::vector<ShardStats> ServingRuntime::shard_stats() const {
+  std::vector<ShardStats> out;
+  out.reserve(shards_.size());
+  for (const auto& shard : shards_) out.push_back(shard->stats());
+  return out;
 }
 
 std::vector<JobResult> ServingRuntime::results() const {
@@ -746,6 +909,7 @@ ServingReport ServingRuntime::report() const {
   }
   rep.qpu_shots = qpu_shots_;
   rep.qpu_busy_us = qpu_busy_us_;
+  rep.shards = shard_stats();
   if (drained_ && first_submit_wall_us_ > 0.0) {
     rep.wall_seconds = (drain_wall_us_ - first_submit_wall_us_) * 1e-6;
     if (rep.wall_seconds > 0.0) {
