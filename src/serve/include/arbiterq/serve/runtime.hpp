@@ -217,10 +217,12 @@ class ServingRuntime {
   /// Queue introspection (live): resident batches across every shard.
   std::size_t queue_depth() const;
   std::size_t num_shards() const noexcept { return shards_.size(); }
-  /// Shard owning QPU q (contiguous blocks: q * S / n).
+  /// Shard owning QPU q — a lookup over the blocks the constructor
+  /// actually built, so it is exact for every fleet/shard combination
+  /// (a closed-form floor expression disagrees with the constructed
+  /// block boundaries whenever S does not divide n).
   std::size_t shard_of(int qpu) const noexcept {
-    return static_cast<std::size_t>(qpu) * shards_.size() /
-           executors_.size();
+    return shard_by_qpu_[static_cast<std::size_t>(qpu)];
   }
   /// Per-shard accounting snapshot (live).
   std::vector<ShardStats> shard_stats() const;
@@ -327,6 +329,9 @@ class ServingRuntime {
   /// plus the mailbox lanes feeding it (see shard.hpp). unique_ptr for
   /// stable addresses (Shard is immovable: mutexes, threads, atomics).
   std::vector<std::unique_ptr<Shard>> shards_;
+  /// QPU -> owning shard, derived from the constructed blocks (the
+  /// inverse shard_of() serves from).
+  std::vector<std::size_t> shard_by_qpu_;
   /// Admitted shot-batch slots not yet at a terminal outcome; drain()
   /// waits for this to hit zero before closing the shard queues.
   std::atomic<std::uint64_t> outstanding_{0};

@@ -104,8 +104,17 @@ class Shard {
   /// (from != to). Serialized per source shard by `from`'s ticket
   /// mutex so the SPSC lane contract holds with many workers sending;
   /// spin-yields on a full lane (guaranteed delivery — retries of
-  /// admitted work are never dropped).
+  /// admitted work are never dropped while the runtime is live). Once
+  /// `to` is abandoned the batch is dropped instead: nothing drains the
+  /// lane anymore, and teardown is discarding pending work anyway.
   static void send_retry(Shard& from, Shard& to, ShotBatch batch);
+
+  /// Teardown-without-drain mode (runtime destructor): senders
+  /// targeting this shard stop spinning on full lanes and drop their
+  /// batches so worker threads can be joined. Irreversible.
+  void abandon() noexcept {
+    abandoned_.store(true, std::memory_order_release);
+  }
 
   /// Spawn / stop the dispatcher thread. stop_dispatch() flushes both
   /// lanes into the queue before returning so no mailed batch is ever
@@ -135,6 +144,7 @@ class Shard {
 
   std::atomic<std::size_t> reserved_{0};
   std::atomic<bool> stop_{false};
+  std::atomic<bool> abandoned_{false};
   std::thread dispatcher_;
   bool dispatching_ = false;
 

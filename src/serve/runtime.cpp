@@ -80,12 +80,16 @@ ServingRuntime::ServingRuntime(
   const std::size_t total_cap =
       config_.queue_capacity == 0 ? 1 : config_.queue_capacity;
   shards_.reserve(num_shards);
+  shard_by_qpu_.resize(n);
   for (std::size_t s = 0; s < num_shards; ++s) {
     const std::size_t first = s * n / num_shards;
     const std::size_t last = (s + 1) * n / num_shards;
     shards_.push_back(std::make_unique<Shard>(
         s, first, last - first,
         std::max<std::size_t>(1, total_cap / num_shards), num_shards));
+    // shard_of() must be the exact inverse of this block layout, so it
+    // serves from a table filled here rather than a re-derivation.
+    for (std::size_t q = first; q < last; ++q) shard_by_qpu_[q] = s;
   }
   if (monitor_ != nullptr) {
     std::vector<int> shard_by_qpu(n);
@@ -125,7 +129,16 @@ ServingRuntime::ServingRuntime(
 
 ServingRuntime::~ServingRuntime() {
   if (started_ && !drained_) {
-    accepting_.store(false, std::memory_order_release);
+    {
+      // Under the routing lock: an in-flight submit finishes mailing
+      // before the flag flips, and later submits reject cleanly.
+      std::lock_guard<std::mutex> lock(route_mu_);
+      accepting_.store(false, std::memory_order_release);
+    }
+    // Abandon mode before the dispatchers stop: a worker spinning in
+    // send_retry on a full inter-shard lane must drop its batch once
+    // nothing drains that lane, or the worker joins below would hang.
+    for (auto& shard : shards_) shard->abandon();
     // Dispatchers flush their mailboxes into the queues on stop; abort
     // then wakes every popper and abandons what remains.
     for (auto& shard : shards_) shard->stop_dispatch();
@@ -831,7 +844,15 @@ void ServingRuntime::advance_virtual_time(double us) {
 void ServingRuntime::drain() {
   if (drained_) return;
   if (!started_) start();
-  accepting_.store(false, std::memory_order_release);
+  {
+    // Serialize with in-flight submits: submit() checks accepting_ and
+    // mails its batches (bumping outstanding_) all under the routing
+    // lock, so flipping the flag under the same lock means every
+    // admitted job is visible to the outstanding_ wait below — no
+    // batch can be mailed after the dispatchers' final flush.
+    std::lock_guard<std::mutex> lock(route_mu_);
+    accepting_.store(false, std::memory_order_release);
+  }
   // Wait for every admitted slot to reach a terminal outcome — that
   // covers batches still sitting in mailboxes, queues, retry chains and
   // backoff sleeps. Progress is entirely worker-driven, so this is a

@@ -78,6 +78,10 @@ void Shard::send_retry(Shard& from, Shard& to, ShotBatch batch) {
   {
     std::lock_guard<std::mutex> ticket(from.out_mu_);
     while (!lane.try_push(std::move(batch))) {
+      // Full lane with the target abandoned (teardown without drain):
+      // its dispatcher will never empty it, so drop the batch rather
+      // than spin this worker past the destructor's join.
+      if (to.abandoned_.load(std::memory_order_acquire)) return;
       to.full_spins_.fetch_add(1, std::memory_order_relaxed);
       std::this_thread::yield();
     }

@@ -351,16 +351,29 @@ class ShardedServeFixture : public ::testing::Test {
 };
 
 TEST_F(ShardedServeFixture, ShardLayoutCoversTheFleetContiguously) {
+  // 4 shards over 6 QPUs: deliberately non-divisible, so this also pins
+  // shard_of() being the exact inverse of the constructed block layout
+  // (a floor-formula shard_of disagrees at the uneven boundaries).
   ServeConfig cfg = base_config(4);
   ServingRuntime runtime(trainer_->executors(), weights_,
                          trainer_->behavioral_vectors(), cfg);
   EXPECT_EQ(runtime.num_shards(), 4U);
+  const std::vector<ShardStats> shards = runtime.shard_stats();
+  ASSERT_EQ(shards.size(), 4U);
   std::size_t covered = 0;
   std::size_t prev_shard = 0;
   for (int q = 0; q < 6; ++q) {
     const std::size_t s = runtime.shard_of(q);
     EXPECT_GE(s, prev_shard);  // contiguous, monotone blocks
     prev_shard = s;
+    // shard_of(q) must name the shard whose block actually contains q —
+    // this is the mapping reserve/admit/reroute all route by.
+    ASSERT_LT(s, shards.size());
+    EXPECT_GE(static_cast<std::size_t>(q), shards[s].first_qpu)
+        << "qpu " << q;
+    EXPECT_LT(static_cast<std::size_t>(q),
+              shards[s].first_qpu + shards[s].num_qpus)
+        << "qpu " << q;
     ++covered;
   }
   EXPECT_EQ(covered, 6U);
@@ -380,9 +393,14 @@ TEST_F(ShardedServeFixture, BitIdenticalResultsAcrossShardCounts) {
   const auto one = run(base_config(1), jobs, &faults);
   const auto two = run(base_config(2), jobs, &faults);
   const auto three = run(base_config(3), jobs, &faults);
+  // 4 does not divide the 6-QPU fleet: boundary QPUs sit at uneven
+  // block edges, so this leg crashes (mis-shard -> out-of-range lane)
+  // if shard_of ever drifts from the constructed layout.
+  const auto four = run(base_config(4), jobs, &faults);
   ASSERT_EQ(one.size(), 24U);
   expect_bit_identical(one, two);
   expect_bit_identical(one, three);
+  expect_bit_identical(one, four);
   // The fault plan injected retries, so the equality above covered the
   // reroute path, not just clean execution.
   int retries = 0;
@@ -425,6 +443,19 @@ TEST_F(ShardedServeFixture, CrossShardRerouteAfterDropout) {
   // Re-running the same scenario is bit-identical despite the reroutes.
   ServingReport rep2;
   expect_bit_identical(results, run(cfg, jobs, &faults, &rep2));
+}
+
+TEST_F(ShardedServeFixture, TeardownWithoutDrainJoinsCleanly) {
+  // Destructor path: no drain(). Workers may be mid-execution or even
+  // mid-cross-shard-reroute (one QPU per shard + a dropout forces
+  // inter-shard lanes); teardown must abandon the pending work and
+  // join every thread instead of hanging on a full lane.
+  const FaultInjector faults(6, FaultInjector::parse("kill:1@8,lag:8"));
+  ServeConfig cfg = base_config(6);
+  ServingRuntime runtime(trainer_->executors(), weights_,
+                         trainer_->behavioral_vectors(), cfg, &faults);
+  for (const JobSpec& spec : make_jobs(30)) runtime.submit(spec);
+  // Falls out of scope undrained; the test passes by not deadlocking.
 }
 
 TEST_F(ShardedServeFixture, BackpressureRejectsSynchronouslyPerShard) {
