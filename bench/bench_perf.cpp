@@ -28,8 +28,10 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <memory>
 #include <string>
 #include <vector>
@@ -41,6 +43,7 @@
 #include "arbiterq/device/presets.hpp"
 #include "arbiterq/exec/parallel.hpp"
 #include "arbiterq/math/rng.hpp"
+#include "arbiterq/monitor/watchdog.hpp"
 #include "arbiterq/qnn/executor.hpp"
 #include "arbiterq/qnn/model.hpp"
 #include "arbiterq/serve/flight_recorder.hpp"
@@ -52,6 +55,7 @@
 #include "arbiterq/sim/statevector.hpp"
 #include "arbiterq/telemetry/export.hpp"
 #include "arbiterq/telemetry/metrics.hpp"
+#include "arbiterq/telemetry/timeseries.hpp"
 #include "arbiterq/telemetry/trace.hpp"
 #include "arbiterq/transpile/optimize.hpp"
 #include "arbiterq/transpile/transpiler.hpp"
@@ -657,11 +661,12 @@ int run_plan_ab_mode(const std::string& out_path) {
 // ---------------------------------------------------------------------------
 // Telemetry A/B mode (`--telemetry-ab`): the same fleet-training workload
 // clocked with the runtime telemetry switch on and off (spans + metric
-// macros become no-ops when off; explicit sinks are unaffected). The loss
-// curves must match exactly — instrumentation is observational only — and
-// the on/off wall-clock ratio is the instrumentation overhead, targeted
-// at < 5% (documented in DESIGN.md; not enforced by exit code because CI
-// machines are noisy).
+// macros become no-ops when off; explicit sinks are unaffected), plus a
+// third arm with a live time-series Collector sampling the registry at
+// 50ms. The loss curves must match exactly across all arms —
+// instrumentation is observational only — and the on/off wall-clock
+// ratio is the instrumentation overhead, targeted at < 5% (documented in
+// DESIGN.md; not enforced by exit code because CI machines are noisy).
 //
 // In ARBITERQ_TELEMETRY=OFF builds the macros compile away entirely, so
 // both arms run the stripped code and the ratio measures the runtime
@@ -694,22 +699,45 @@ int run_telemetry_ab_mode(const std::string& out_path) {
   // to bursty noise that best-of-N across arms is not. One discarded
   // warm-up run eats one-time init costs, and the loop ends with
   // telemetry live for the final dump.
+  // Third arm: telemetry on with a live Collector thread folding the
+  // global registry into a TimeSeriesStore every 50ms — the full
+  // time-series pipeline whose budget DESIGN.md documents.
+  std::vector<double> losses_col;
+  const auto timed_collector_run = [&](std::vector<double>* losses) {
+    telemetry::TimeSeriesStore store;
+    telemetry::CollectorOptions co;
+    co.cadence_us = 50'000.0;
+    telemetry::Collector collector(store,
+                                   telemetry::MetricsRegistry::global(),
+                                   co);
+    collector.start();
+    const double s = timed_run(true, losses);
+    collector.stop();
+    return s;
+  };
+
   telemetry::set_telemetry_runtime_enabled(true);
   (void)trainer.train(core::Strategy::kArbiterQ, split);
-  double off_s = 1e300, on_s = 1e300;
-  std::vector<double> ratios;
+  double off_s = 1e300, on_s = 1e300, col_s = 1e300;
+  std::vector<double> ratios, col_ratios;
   for (int rep = 0; rep < 9; ++rep) {
     const double off_rep = timed_run(false, &losses_off);
     const double on_rep = timed_run(true, &losses_on);
+    const double col_rep = timed_collector_run(&losses_col);
     off_s = std::min(off_s, off_rep);
     on_s = std::min(on_s, on_rep);
+    col_s = std::min(col_s, col_rep);
     ratios.push_back(on_rep / off_rep);
+    col_ratios.push_back(col_rep / off_rep);
   }
   telemetry::set_telemetry_runtime_enabled(true);
   std::sort(ratios.begin(), ratios.end());
+  std::sort(col_ratios.begin(), col_ratios.end());
 
-  const bool equivalent = losses_on == losses_off;
+  const bool equivalent =
+      losses_on == losses_off && losses_col == losses_off;
   const double ratio = ratios[ratios.size() / 2];
+  const double col_ratio = col_ratios[col_ratios.size() / 2];
 #ifdef ARBITERQ_TELEMETRY_ENABLED
   const bool compiled = true;
 #else
@@ -732,18 +760,91 @@ int run_telemetry_ab_mode(const std::string& out_path) {
                "seconds are per-arm minima\",\n");
   std::fprintf(f, "  \"telemetry_on_seconds\": %.6f,\n", on_s);
   std::fprintf(f, "  \"telemetry_off_seconds\": %.6f,\n", off_s);
+  std::fprintf(f, "  \"telemetry_collector_seconds\": %.6f,\n", col_s);
   std::fprintf(f, "  \"overhead_ratio\": %.4f,\n", ratio);
   std::fprintf(f, "  \"overhead_percent\": %.2f,\n", 100.0 * (ratio - 1.0));
+  std::fprintf(f, "  \"collector_overhead_ratio\": %.4f,\n", col_ratio);
+  std::fprintf(f, "  \"collector_overhead_percent\": %.2f,\n",
+               100.0 * (col_ratio - 1.0));
   std::fprintf(f, "  \"overhead_target_percent\": 5.0,\n");
   std::fprintf(f, "  \"equivalent\": %s\n}\n",
                equivalent ? "true" : "false");
   std::fclose(f);
   std::printf("wrote %s\n", out_path.c_str());
-  std::printf("telemetry on %.3fs  off %.3fs  overhead %.2f%%  "
-              "equivalent=%s\n",
-              on_s, off_s, 100.0 * (ratio - 1.0),
-              equivalent ? "yes" : "NO");
+  std::printf("telemetry on %.3fs  off %.3fs  collector %.3fs  "
+              "overhead %.2f%% (collector %.2f%%)  equivalent=%s\n",
+              on_s, off_s, col_s, 100.0 * (ratio - 1.0),
+              100.0 * (col_ratio - 1.0), equivalent ? "yes" : "NO");
   return equivalent ? 0 : 2;
+}
+
+// ---------------------------------------------------------------------------
+// Serving sweeps write an append-only trajectory instead of overwriting:
+// each run becomes one timestamped entry in a "runs" array, so repeated
+// sweeps on a branch accumulate a perf history a human (or a regression
+// script) can diff. The document shape is stable:
+//
+//   { "mode": "<mode>", "schema": 1, "runs": [ {entry}, {entry}, ... ] }
+//
+// When the existing file does not match this shape (older flat schema, a
+// different mode, or garbage), it is replaced with a fresh one-entry
+// document rather than corrupted by a blind splice.
+
+std::string utc_timestamp() {
+  char buf[32];
+  const std::time_t t = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&t, &tm);
+  std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+/// printf-append onto a std::string (entry bodies are built in memory so
+/// the splice below can treat them as opaque text).
+void jsonf(std::string* out, const char* fmt, ...) {
+  char buf[2048];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, ap);
+  va_end(ap);
+  *out += buf;
+}
+
+int append_run_entry(const std::string& out_path, const std::string& mode,
+                     const std::string& entry) {
+  const std::string header =
+      "{\n  \"mode\": \"" + mode + "\",\n  \"schema\": 1,\n  \"runs\": [\n";
+  const std::string footer = "\n  ]\n}\n";
+  std::string prior;
+  if (std::FILE* in = std::fopen(out_path.c_str(), "rb")) {
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, in)) > 0) {
+      prior.append(buf, n);
+    }
+    std::fclose(in);
+  }
+  std::string doc;
+  if (prior.size() > header.size() + footer.size() &&
+      prior.compare(0, header.size(), header) == 0 &&
+      prior.compare(prior.size() - footer.size(), footer.size(), footer) ==
+          0) {
+    doc = prior.substr(0, prior.size() - footer.size());
+    doc += ",\n";
+  } else {
+    doc = header;
+  }
+  doc += entry;
+  doc += footer;
+  std::FILE* f = std::fopen(out_path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fwrite(doc.data(), 1, doc.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
 }
 
 // ---------------------------------------------------------------------------
@@ -880,43 +981,30 @@ int run_serving_mode(const std::string& out_path, std::size_t n_jobs) {
   const bool flight_deterministic = a.flight_jsonl == b.flight_jsonl;
 
   const serve::ServingReport& rep = a.report;
-  std::FILE* f = std::fopen(out_path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
-    return 1;
-  }
-  std::fprintf(f, "{\n  \"mode\": \"serving\",\n");
-  std::fprintf(f, "  \"fleet\": %d,\n  \"jobs\": %zu,\n", fleet_size,
-               n_jobs);
-  std::fprintf(f, "  \"shots_per_job\": 128,\n");
-  std::fprintf(f, "  \"faults\": \"%s\",\n", fault_spec.c_str());
-  std::fprintf(f, "  \"completed\": %zu,\n  \"rejected\": %zu,\n",
-               rep.completed, rep.rejected);
-  std::fprintf(f, "  \"expired\": %zu,\n  \"failed\": %zu,\n", rep.expired,
-               rep.failed);
-  std::fprintf(f, "  \"retries\": %llu,\n",
-               static_cast<unsigned long long>(rep.retries));
-  std::fprintf(f, "  \"dropouts_detected\": %zu,\n", rep.dropouts_detected);
-  std::fprintf(f, "  \"repartitions\": %zu,\n  \"epochs\": %zu,\n",
-               rep.repartitions, a.epochs);
-  std::fprintf(f, "  \"wall_seconds\": %.6f,\n", rep.wall_seconds);
-  std::fprintf(f, "  \"throughput_jobs_per_s\": %.2f,\n",
-               rep.throughput_jobs_per_s);
-  std::fprintf(f,
-               "  \"latency_us\": {\"wall_p50\": %.2f, \"wall_p99\": %.2f, "
-               "\"virtual_p50\": %.2f, \"virtual_p99\": %.2f},\n",
-               p50, p99, vp50, vp99);
-  std::fprintf(f, "  \"flight_records\": %zu,\n", a.flight.size());
-  std::fprintf(f, "  \"flight_coverage\": \"%zu/%zu\",\n", covered,
-               bad_jobs);
-  std::fprintf(f, "  \"flight_covered\": %s,\n",
-               flight_covered ? "true" : "false");
-  std::fprintf(f, "  \"flight_deterministic\": %s,\n",
-               flight_deterministic ? "true" : "false");
-  std::fprintf(f, "  \"deterministic\": %s\n}\n",
-               deterministic ? "true" : "false");
-  std::fclose(f);
-  std::printf("wrote %s\n", out_path.c_str());
+  std::string e;
+  jsonf(&e, "    {\"timestamp\": \"%s\",\n", utc_timestamp().c_str());
+  jsonf(&e, "     \"fleet\": %d, \"jobs\": %zu, \"shots_per_job\": 128, "
+            "\"faults\": \"%s\",\n", fleet_size, n_jobs,
+        fault_spec.c_str());
+  jsonf(&e, "     \"completed\": %zu, \"rejected\": %zu, \"expired\": %zu, "
+            "\"failed\": %zu, \"retries\": %llu,\n", rep.completed,
+        rep.rejected, rep.expired, rep.failed,
+        static_cast<unsigned long long>(rep.retries));
+  jsonf(&e, "     \"dropouts_detected\": %zu, \"repartitions\": %zu, "
+            "\"epochs\": %zu,\n", rep.dropouts_detected, rep.repartitions,
+        a.epochs);
+  jsonf(&e, "     \"wall_seconds\": %.6f, \"throughput_jobs_per_s\": "
+            "%.2f,\n", rep.wall_seconds, rep.throughput_jobs_per_s);
+  jsonf(&e, "     \"latency_us\": {\"wall_p50\": %.2f, \"wall_p99\": %.2f, "
+            "\"virtual_p50\": %.2f, \"virtual_p99\": %.2f},\n",
+        p50, p99, vp50, vp99);
+  jsonf(&e, "     \"flight_records\": %zu, \"flight_coverage\": "
+            "\"%zu/%zu\", \"flight_covered\": %s,\n", a.flight.size(),
+        covered, bad_jobs, flight_covered ? "true" : "false");
+  jsonf(&e, "     \"flight_deterministic\": %s, \"deterministic\": %s}",
+        flight_deterministic ? "true" : "false",
+        deterministic ? "true" : "false");
+  if (const int rc = append_run_entry(out_path, "serving", e)) return rc;
   std::printf("serving: %zu jobs ok, %llu retries, %zu dropouts, "
               "%.1f jobs/s, p50 %.1fus p99 %.1fus, deterministic=%s, "
               "flight %zu/%zu (dump deterministic=%s)\n",
@@ -1024,29 +1112,22 @@ int run_serving_obs_mode(const std::string& out_path, std::size_t n_jobs) {
   const bool identical =
       same(res_off, res_sampled) && same(res_off, res_full);
 
-  std::FILE* f = std::fopen(out_path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
-    return 1;
-  }
-  std::fprintf(f, "{\n  \"mode\": \"serving-obs\",\n");
-  std::fprintf(f, "  \"fleet\": %d,\n  \"jobs\": %zu,\n", w.fleet_size,
-               n_jobs);
-  std::fprintf(f, "  \"faults\": \"%s\",\n", fault_spec.c_str());
-  std::fprintf(f,
-               "  \"timing\": \"median of 5 off/sampled/full triples; "
-               "seconds are per-arm minima\",\n");
-  std::fprintf(f, "  \"trace_off_seconds\": %.6f,\n", off_s);
-  std::fprintf(f, "  \"trace_sampled_seconds\": %.6f,\n", sampled_s);
-  std::fprintf(f, "  \"trace_full_seconds\": %.6f,\n", full_s);
-  std::fprintf(f, "  \"sampled_overhead_ratio\": %.4f,\n", sampled_ratio);
-  std::fprintf(f, "  \"full_overhead_ratio\": %.4f,\n", full_ratio);
-  std::fprintf(f, "  \"full_overhead_percent\": %.2f,\n",
-               100.0 * (full_ratio - 1.0));
-  std::fprintf(f, "  \"overhead_target_percent\": 5.0,\n");
-  std::fprintf(f, "  \"identical\": %s\n}\n", identical ? "true" : "false");
-  std::fclose(f);
-  std::printf("wrote %s\n", out_path.c_str());
+  std::string e;
+  jsonf(&e, "    {\"timestamp\": \"%s\",\n", utc_timestamp().c_str());
+  jsonf(&e, "     \"fleet\": %d, \"jobs\": %zu, \"faults\": \"%s\",\n",
+        w.fleet_size, n_jobs, fault_spec.c_str());
+  jsonf(&e, "     \"timing\": \"median of 5 off/sampled/full triples; "
+            "seconds are per-arm minima\",\n");
+  jsonf(&e, "     \"trace_off_seconds\": %.6f, \"trace_sampled_seconds\": "
+            "%.6f, \"trace_full_seconds\": %.6f,\n", off_s, sampled_s,
+        full_s);
+  jsonf(&e, "     \"sampled_overhead_ratio\": %.4f, "
+            "\"full_overhead_ratio\": %.4f, \"full_overhead_percent\": "
+            "%.2f,\n", sampled_ratio, full_ratio,
+        100.0 * (full_ratio - 1.0));
+  jsonf(&e, "     \"overhead_target_percent\": 5.0, \"identical\": %s}",
+        identical ? "true" : "false");
+  if (const int rc = append_run_entry(out_path, "serving-obs", e)) return rc;
   std::printf("serving-obs: off %.3fs  sampled %.3fs (%+.2f%%)  "
               "full %.3fs (%+.2f%%)  identical=%s\n",
               off_s, sampled_s, 100.0 * (sampled_ratio - 1.0), full_s,
@@ -1084,7 +1165,29 @@ struct ScalePoint {
   std::uint64_t lock_wait_ns_total = 0;
   std::uint64_t lock_wait_ns_max_shard = 0;
   std::uint64_t lock_contentions = 0;
+  std::uint64_t doorbell_wakeups = 0;
+  std::uint64_t doorbell_backstops = 0;
   bool identical = true;  ///< vs the same fleet's first shard count
+  /// Per-window admission series on the modeled virtual clock (the
+  /// "serve.ts.admitted" event series) — the trajectory the single
+  /// aggregate admission rate used to flatten away.
+  double window_virtual_us = 0.0;
+  std::vector<telemetry::SeriesWindow> admitted_windows;
+};
+
+/// One serving-scale configuration run. `with_series` attaches a
+/// virtual-clock TimeSeriesStore to the runtime (per-job observes on the
+/// submit path); `with_collector` additionally runs the full real-time
+/// pipeline — a Collector thread sampling the global registry with
+/// publish_shard_metrics() as its pre-sample hook — which is the "on" arm
+/// of the collector overhead A/B.
+struct ScaleRun {
+  std::vector<serve::JobResult> results;
+  serve::ServingReport report;
+  double submit_seconds = 0.0;
+  double admission_jobs_per_s = 0.0;
+  std::string ts_json;  ///< virtual-clock series dump (with_series only)
+  telemetry::SeriesSnapshot admitted;
 };
 
 int run_serving_scale_mode(const std::string& out_path,
@@ -1100,6 +1203,19 @@ int run_serving_scale_mode(const std::string& out_path,
   std::vector<ScalePoint> points;
   bool all_identical = true;
   double top_rate = 0.0;
+  // Collector A/B + two-run reproducibility run at the sweep's largest
+  // fleet with 4 shards when present (the acceptance configuration),
+  // else the last shard count.
+  const int ab_fleet = fleets.empty() ? 0 : fleets.back();
+  int ab_shards = shard_counts.empty() ? 1 : shard_counts.back();
+  for (const int s : shard_counts) {
+    if (s == 4) ab_shards = 4;
+  }
+  std::string ab_ts_json;
+  bool series_reproducible = true;
+  double collector_off_rate = 0.0, collector_on_rate = 0.0;
+  double collector_ratio = 0.0;
+
   for (const int fleet : fleets) {
     std::printf("fleet %d:\n", fleet);
     core::TrainConfig tcfg;
@@ -1120,8 +1236,24 @@ int run_serving_scale_mode(const std::string& out_path,
         serve::FaultInjector::parse("kill:1@64,transient:0.01,lag:32,"
                                     "seed:9"));
 
-    std::vector<serve::JobResult> baseline;
-    for (const int shards : shard_counts) {
+    // Virtual window sized so the stream spans ~32 windows: total modeled
+    // time ≈ jobs × shots × mean shot latency / fleet. Retention is far
+    // above the estimate so no window is ever evicted — eviction order is
+    // the one thing the bit-identity contract does not cover.
+    double mean_lat = 0.0;
+    for (const qnn::QnnExecutor& ex : trainer.executors()) {
+      mean_lat += ex.shot_latency_us();
+    }
+    mean_lat /= static_cast<double>(fleet);
+    telemetry::TimeSeriesConfig tscfg;
+    tscfg.window_us = std::max(
+        1.0, static_cast<double>(n_jobs) * 96.0 * mean_lat /
+                 static_cast<double>(fleet) / 32.0);
+    tscfg.max_windows = 8192;
+    tscfg.max_series = 16384;
+
+    const auto run_config = [&](int shards, bool with_series,
+                                bool with_collector) {
       serve::ServeConfig sc;
       sc.shots_per_job = 96;
       sc.backoff_base_us = 0.0;  // modeled-only backoff: no real sleeps
@@ -1134,9 +1266,22 @@ int run_serving_scale_mode(const std::string& out_path,
       sc.workers_per_shard = 2;
       sc.synthetic_execution = true;
       sc.gauge_cadence_us = 0.0;
+      telemetry::TimeSeriesStore ts(tscfg);
+      if (with_series) sc.series = &ts;
       serve::ServingRuntime runtime(trainer.executors(), weights,
                                     trainer.behavioral_vectors(), sc,
                                     &faults);
+      std::unique_ptr<telemetry::TimeSeriesStore> rt_store;
+      std::unique_ptr<telemetry::Collector> collector;
+      if (with_collector) {
+        rt_store = std::make_unique<telemetry::TimeSeriesStore>();
+        telemetry::CollectorOptions co;
+        co.cadence_us = 50'000.0;
+        co.pre_sample = [&runtime] { runtime.publish_shard_metrics(); };
+        collector = std::make_unique<telemetry::Collector>(
+            *rt_store, telemetry::MetricsRegistry::global(), co);
+        collector->start();
+      }
       const double t0 = now_seconds();
       for (std::size_t i = 0; i < n_jobs; ++i) {
         serve::JobSpec spec;
@@ -1144,10 +1289,30 @@ int run_serving_scale_mode(const std::string& out_path,
         spec.label = split.test_labels[i % split.test_labels.size()];
         runtime.submit(spec);
       }
-      const double submit_s = now_seconds() - t0;
+      ScaleRun out;
+      out.submit_seconds = now_seconds() - t0;
       runtime.drain();
-      const serve::ServingReport rep = runtime.report();
-      const std::vector<serve::JobResult> results = runtime.results();
+      if (collector) collector->stop();
+      out.report = runtime.report();
+      out.results = runtime.results();
+      out.admission_jobs_per_s =
+          out.submit_seconds > 0.0
+              ? static_cast<double>(out.report.admitted) / out.submit_seconds
+              : 0.0;
+      if (with_series) {
+        out.ts_json = ts.to_json("serve.ts.");
+        for (telemetry::SeriesSnapshot& snap :
+             ts.snapshot("serve.ts.admitted")) {
+          if (snap.name == "serve.ts.admitted") out.admitted = snap;
+        }
+      }
+      return out;
+    };
+
+    std::vector<serve::JobResult> baseline;
+    for (const int shards : shard_counts) {
+      const ScaleRun run = run_config(shards, true, false);
+      const serve::ServingReport& rep = run.report;
 
       ScalePoint p;
       p.fleet = fleet;
@@ -1156,10 +1321,8 @@ int run_serving_scale_mode(const std::string& out_path,
       p.admitted = rep.admitted;
       p.completed = rep.completed;
       p.retries = rep.retries;
-      p.submit_seconds = submit_s;
-      p.admission_jobs_per_s =
-          submit_s > 0.0 ? static_cast<double>(rep.admitted) / submit_s
-                         : 0.0;
+      p.submit_seconds = run.submit_seconds;
+      p.admission_jobs_per_s = run.admission_jobs_per_s;
       p.wall_seconds = rep.wall_seconds;
       p.throughput_jobs_per_s = rep.throughput_jobs_per_s;
       for (const serve::ShardStats& s : rep.shards) {
@@ -1168,76 +1331,190 @@ int run_serving_scale_mode(const std::string& out_path,
         p.lock_wait_ns_max_shard =
             std::max(p.lock_wait_ns_max_shard, s.lock_wait_ns);
         p.lock_contentions += s.lock_contentions;
+        p.doorbell_wakeups += s.doorbell_wakeups;
+        p.doorbell_backstops += s.doorbell_backstops;
       }
+      p.window_virtual_us = run.admitted.window_us;
+      p.admitted_windows = run.admitted.windows;
       if (baseline.empty()) {
-        baseline = results;
+        baseline = run.results;
       } else {
-        p.identical = results.size() == baseline.size();
-        for (std::size_t i = 0; p.identical && i < results.size(); ++i) {
-          p.identical = results[i].status == baseline[i].status &&
-                        results[i].probability == baseline[i].probability &&
-                        results[i].retries == baseline[i].retries &&
-                        results[i].virtual_latency_us ==
-                            baseline[i].virtual_latency_us;
+        p.identical = run.results.size() == baseline.size();
+        for (std::size_t i = 0; p.identical && i < run.results.size();
+             ++i) {
+          p.identical =
+              run.results[i].status == baseline[i].status &&
+              run.results[i].probability == baseline[i].probability &&
+              run.results[i].retries == baseline[i].retries &&
+              run.results[i].virtual_latency_us ==
+                  baseline[i].virtual_latency_us;
         }
       }
       all_identical &= p.identical;
       top_rate = std::max(top_rate, p.admission_jobs_per_s);
-      points.push_back(p);
       std::printf("  shards=%-3d admission %9.0f jobs/s  e2e %9.0f "
                   "jobs/s  lock max/shard %6.2fms  cross-shard %zu  "
-                  "identical=%s\n",
+                  "identical=%s  (%zu windows)\n",
                   shards, p.admission_jobs_per_s, p.throughput_jobs_per_s,
                   static_cast<double>(p.lock_wait_ns_max_shard) / 1e6,
-                  p.cross_shard_in, p.identical ? "yes" : "NO");
+                  p.cross_shard_in, p.identical ? "yes" : "NO",
+                  p.admitted_windows.size());
+      if (fleet == ab_fleet && shards == ab_shards) {
+        ab_ts_json = run.ts_json;
+      }
+      points.push_back(std::move(p));
+    }
+
+    if (fleet == ab_fleet) {
+      // Two-run reproducibility: an identical re-run of the acceptance
+      // configuration must dump byte-identical virtual-clock series.
+      const ScaleRun rerun = run_config(ab_shards, true, false);
+      series_reproducible =
+          !ab_ts_json.empty() && rerun.ts_json == ab_ts_json;
+      std::printf("  series reproducible across two runs: %s "
+                  "(%zu bytes)\n",
+                  series_reproducible ? "yes" : "NO", ab_ts_json.size());
+
+      // Collector A/B: one discarded warm-up, then adjacent off/on pairs.
+      // "On" is the full pipeline — per-job series observes plus a live
+      // Collector thread. The submit phase is ~100ms with worker threads
+      // churning alongside, so single-pair ratios are noisy; the headline
+      // overhead compares per-arm best rates (the per-arm-minima
+      // convention the other A/B modes use).
+      (void)run_config(ab_shards, false, false);
+      double off_best = 0.0, on_best = 0.0;
+      for (int rep = 0; rep < 5; ++rep) {
+        const ScaleRun off = run_config(ab_shards, false, false);
+        const ScaleRun on = run_config(ab_shards, true, true);
+        off_best = std::max(off_best, off.admission_jobs_per_s);
+        on_best = std::max(on_best, on.admission_jobs_per_s);
+      }
+      collector_off_rate = off_best;
+      collector_on_rate = on_best;
+      collector_ratio = on_best > 0.0 ? off_best / on_best : 0.0;
+      std::printf("  collector A/B (fleet %d x %d shards): off %.0f "
+                  "jobs/s  on %.0f jobs/s  overhead %+.2f%% (target "
+                  "<= 5%%)\n",
+                  ab_fleet, ab_shards, collector_off_rate,
+                  collector_on_rate, 100.0 * (collector_ratio - 1.0));
     }
   }
 
-  std::FILE* f = std::fopen(out_path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
-    return 1;
+  // Watchdog acceptance probe: a synthetic queue-saturation ramp (steady
+  // depth, then doubling every window) must be flagged within 2 windows
+  // of the ramp start.
+  std::int64_t ramp_flagged_window = -1;
+  const std::int64_t ramp_start = 6;
+  {
+    telemetry::TimeSeriesConfig wtc;
+    wtc.window_us = 1000.0;
+    telemetry::TimeSeriesStore wstore(wtc);
+    monitor::AnomalyWatchdog dog;
+    double depth = 100.0;
+    for (std::int64_t w = 0; w < 12; ++w) {
+      if (w >= ramp_start) depth *= 2.0;
+      telemetry::MetricsSnapshot snap;
+      snap.gauges.push_back({"serve.queue.depth", depth});
+      wstore.sample(snap, (static_cast<double>(w) + 0.5) * wtc.window_us);
+      for (const monitor::AnomalyEvent& ev : dog.poll(wstore)) {
+        if (ev.kind == monitor::AnomalyKind::kQueueSaturation &&
+            ramp_flagged_window < 0) {
+          ramp_flagged_window = ev.window;
+        }
+      }
+    }
   }
-  std::fprintf(f, "{\n  \"mode\": \"serving-scale\",\n");
-  std::fprintf(f, "  \"jobs_per_config\": %zu,\n", n_jobs);
-  std::fprintf(f, "  \"synthetic_execution\": true,\n");
-  std::fprintf(f, "  \"faults\": \"kill:1@64,transient:0.01,lag:32,"
-               "seed:9\",\n");
-  std::fprintf(f,
-               "  \"admission_rate\": \"admitted jobs / single-threaded "
-               "submit-phase seconds\",\n");
-  std::fprintf(f, "  \"top_admission_jobs_per_s\": %.0f,\n", top_rate);
-  std::fprintf(f, "  \"target_admission_jobs_per_s\": 100000,\n");
-  std::fprintf(f, "  \"identical_across_shard_counts\": %s,\n",
-               all_identical ? "true" : "false");
-  std::fprintf(f, "  \"configs\": [");
+  const bool ramp_flagged = ramp_flagged_window >= 0 &&
+                            ramp_flagged_window - ramp_start < 2;
+  std::printf("watchdog ramp: start window %lld, flagged window %lld "
+              "(%s)\n",
+              static_cast<long long>(ramp_start),
+              static_cast<long long>(ramp_flagged_window),
+              ramp_flagged ? "within 2 windows" : "MISSED");
+
+  std::string e;
+  jsonf(&e, "    {\"timestamp\": \"%s\",\n", utc_timestamp().c_str());
+  jsonf(&e, "     \"jobs_per_config\": %zu, \"synthetic_execution\": true, "
+            "\"faults\": \"kill:1@64,transient:0.01,lag:32,seed:9\",\n",
+        n_jobs);
+  jsonf(&e, "     \"admission_rate\": \"admitted jobs / single-threaded "
+            "submit-phase seconds\",\n");
+  jsonf(&e, "     \"top_admission_jobs_per_s\": %.0f, "
+            "\"target_admission_jobs_per_s\": 100000,\n", top_rate);
+  jsonf(&e, "     \"identical_across_shard_counts\": %s,\n",
+        all_identical ? "true" : "false");
+  jsonf(&e, "     \"collector_ab\": {\"fleet\": %d, \"shards\": %d, "
+            "\"pairs\": 5, \"rates\": \"per-arm best of 5 paired runs\", "
+            "\"admission_off_jobs_per_s\": %.1f, "
+            "\"admission_on_jobs_per_s\": %.1f,\n", ab_fleet, ab_shards,
+        collector_off_rate, collector_on_rate);
+  jsonf(&e, "       \"overhead_ratio\": %.4f, \"overhead_percent\": %.2f, "
+            "\"overhead_target_percent\": 5.0},\n", collector_ratio,
+        100.0 * (collector_ratio - 1.0));
+  jsonf(&e, "     \"series_reproducible\": %s,\n",
+        series_reproducible ? "true" : "false");
+  jsonf(&e, "     \"watchdog_ramp\": {\"ramp_start_window\": %lld, "
+            "\"flagged_window\": %lld, \"flagged_within_2\": %s},\n",
+        static_cast<long long>(ramp_start),
+        static_cast<long long>(ramp_flagged_window),
+        ramp_flagged ? "true" : "false");
+  jsonf(&e, "     \"configs\": [");
   for (std::size_t i = 0; i < points.size(); ++i) {
     const ScalePoint& p = points[i];
-    std::fprintf(
-        f,
-        "%s\n    {\"fleet\": %d, \"shards\": %d, \"jobs\": %zu, "
-        "\"admitted\": %zu, \"completed\": %zu, \"retries\": %llu, "
-        "\"cross_shard_batches\": %zu,\n     \"submit_seconds\": %.6f, "
-        "\"admission_jobs_per_s\": %.1f, \"wall_seconds\": %.6f, "
-        "\"throughput_jobs_per_s\": %.1f,\n     \"lock_wait_ms_total\": "
-        "%.3f, \"lock_wait_ms_max_shard\": %.3f, \"lock_contentions\": "
-        "%llu, \"identical\": %s}",
-        i ? "," : "", p.fleet, p.shards, p.jobs, p.admitted, p.completed,
-        static_cast<unsigned long long>(p.retries), p.cross_shard_in,
-        p.submit_seconds, p.admission_jobs_per_s, p.wall_seconds,
-        p.throughput_jobs_per_s,
-        static_cast<double>(p.lock_wait_ns_total) / 1e6,
-        static_cast<double>(p.lock_wait_ns_max_shard) / 1e6,
-        static_cast<unsigned long long>(p.lock_contentions),
-        p.identical ? "true" : "false");
+    jsonf(&e,
+          "%s\n      {\"fleet\": %d, \"shards\": %d, \"jobs\": %zu, "
+          "\"admitted\": %zu, \"completed\": %zu, \"retries\": %llu, "
+          "\"cross_shard_batches\": %zu,\n       \"submit_seconds\": %.6f, "
+          "\"admission_jobs_per_s\": %.1f, \"wall_seconds\": %.6f, "
+          "\"throughput_jobs_per_s\": %.1f,\n       \"lock_wait_ms_total\": "
+          "%.3f, \"lock_wait_ms_max_shard\": %.3f, \"lock_contentions\": "
+          "%llu,\n       \"doorbell_wakeups\": %llu, "
+          "\"doorbell_backstops\": %llu, \"identical\": %s,\n",
+          i ? "," : "", p.fleet, p.shards, p.jobs, p.admitted, p.completed,
+          static_cast<unsigned long long>(p.retries), p.cross_shard_in,
+          p.submit_seconds, p.admission_jobs_per_s, p.wall_seconds,
+          p.throughput_jobs_per_s,
+          static_cast<double>(p.lock_wait_ns_total) / 1e6,
+          static_cast<double>(p.lock_wait_ns_max_shard) / 1e6,
+          static_cast<unsigned long long>(p.lock_contentions),
+          static_cast<unsigned long long>(p.doorbell_wakeups),
+          static_cast<unsigned long long>(p.doorbell_backstops),
+          p.identical ? "true" : "false");
+    // The admission trajectory on the modeled virtual clock: one entry
+    // per window. Capped at 96 windows per config so a mis-estimated
+    // window width cannot bloat the file; the cap is recorded, never
+    // silent.
+    constexpr std::size_t kMaxEmit = 96;
+    const std::size_t emit = std::min(p.admitted_windows.size(), kMaxEmit);
+    jsonf(&e, "       \"admission_windows\": {\"window_virtual_us\": %.1f, "
+              "\"total_windows\": %zu, \"truncated\": %s, \"series\": [",
+          p.window_virtual_us, p.admitted_windows.size(),
+          p.admitted_windows.size() > kMaxEmit ? "true" : "false");
+    for (std::size_t wi = 0; wi < emit; ++wi) {
+      const telemetry::SeriesWindow& w = p.admitted_windows[wi];
+      const double rate =
+          p.window_virtual_us > 0.0
+              ? static_cast<double>(w.count) / (p.window_virtual_us / 1e6)
+              : 0.0;
+      jsonf(&e, "%s{\"w\": %lld, \"jobs\": %llu, \"rate_per_virtual_s\": "
+                "%.1f}", wi ? ", " : "",
+            static_cast<long long>(w.index),
+            static_cast<unsigned long long>(w.count), rate);
+    }
+    jsonf(&e, "]}}");
   }
-  std::fprintf(f, "\n  ]\n}\n");
-  std::fclose(f);
-  std::printf("wrote %s\n", out_path.c_str());
+  jsonf(&e, "\n     ]}");
+  if (const int rc = append_run_entry(out_path, "serving-scale", e)) {
+    return rc;
+  }
   std::printf("serving-scale: top admission %.0f jobs/s (target 100000), "
-              "identical=%s\n",
-              top_rate, all_identical ? "yes" : "NO");
-  return all_identical ? 0 : 2;
+              "identical=%s, series_reproducible=%s, ramp_flagged=%s, "
+              "collector overhead %+.2f%%\n",
+              top_rate, all_identical ? "yes" : "NO",
+              series_reproducible ? "yes" : "NO",
+              ramp_flagged ? "yes" : "NO",
+              100.0 * (collector_ratio - 1.0));
+  return all_identical && series_reproducible && ramp_flagged ? 0 : 2;
 }
 
 std::vector<int> parse_int_list(const char* csv) {

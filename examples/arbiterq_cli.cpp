@@ -7,6 +7,8 @@
 //
 // Run with --help for the full flag list.
 
+#include <atomic>
+#include <cmath>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -14,6 +16,7 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "arbiterq/core/scheduler.hpp"
 #include "arbiterq/core/torus.hpp"
@@ -23,15 +26,18 @@
 #include "arbiterq/exec/parallel.hpp"
 #include "arbiterq/monitor/health.hpp"
 #include "arbiterq/monitor/slo.hpp"
+#include "arbiterq/monitor/watchdog.hpp"
 #include "arbiterq/report/csv.hpp"
 #include "arbiterq/sim/kernels.hpp"
 #include "arbiterq/serve/flight_recorder.hpp"
 #include "arbiterq/serve/runtime.hpp"
+#include "arbiterq/telemetry/dashboard.hpp"
 #include "arbiterq/telemetry/export.hpp"
 #include "arbiterq/telemetry/http.hpp"
 #include "arbiterq/telemetry/metrics.hpp"
 #include "arbiterq/telemetry/profile.hpp"
 #include "arbiterq/telemetry/prometheus.hpp"
+#include "arbiterq/telemetry/timeseries.hpp"
 #include "arbiterq/telemetry/trace.hpp"
 
 namespace {
@@ -62,6 +68,7 @@ struct CliOptions {
   int listen = -1;       ///< scrape port; -1 = off, 0 = ephemeral
   int trace_sample = 0;  ///< per-job tracing: 0 off, 1 full, N sampled
   int linger_ms = 0;     ///< keep the scrape endpoint up after drain
+  bool watch = false;    ///< live terminal dashboard during --serve
   std::string tenant;
   std::string flight_out;
   std::string csv;
@@ -110,8 +117,13 @@ void usage() {
       "              shard's QPU lanes; default 0 = one per QPU)\n"
       "  --listen PORT  serve a live scrape endpoint on 127.0.0.1:PORT\n"
       "              during --serve: /metrics (Prometheus text),\n"
-      "              /healthz (fleet health JSON), /slo (SLO report)\n"
-      "              (0 = kernel-assigned port)\n"
+      "              /healthz (fleet health JSON), /slo (SLO report),\n"
+      "              /timeseries (windowed JSON series; filter with\n"
+      "              ?name=<substring>), /dashboard (self-contained\n"
+      "              HTML with sparklines)  (0 = kernel-assigned port)\n"
+      "  --watch     live terminal dashboard during --serve: per-shard\n"
+      "              admission rate, queue depth, p99 latency and fleet\n"
+      "              health as sparkline rows (0.5s windows)\n"
       "  --trace-sample N  per-job causal tracing for --serve: 0 = off,\n"
       "              1 = every job, N = every Nth job (default 0)\n"
       "  --tenant NAME  tenant label stamped on serving jobs (traces,\n"
@@ -158,6 +170,8 @@ bool parse(int argc, char** argv, CliOptions* opts) {
       if (const char* v = next()) opts->shard_workers = std::atoi(v);
     } else if (flag == "--listen") {
       if (const char* v = next()) opts->listen = std::atoi(v);
+    } else if (flag == "--watch") {
+      opts->watch = true;
     } else if (flag == "--trace-sample") {
       if (const char* v = next()) opts->trace_sample = std::atoi(v);
     } else if (flag == "--tenant") {
@@ -208,6 +222,81 @@ bool parse(int argc, char** argv, CliOptions* opts) {
     }
   }
   return true;
+}
+
+/// Last `n` plot points of the named series (exact-name match).
+std::vector<double> series_plot_tail(const telemetry::TimeSeriesStore& store,
+                                     const std::string& name,
+                                     std::size_t n) {
+  for (const telemetry::SeriesSnapshot& s : store.snapshot(name)) {
+    if (s.name != name) continue;
+    std::vector<double> vals = telemetry::plot_values(s);
+    if (vals.size() > n) {
+      vals.erase(vals.begin(),
+                 vals.end() - static_cast<std::ptrdiff_t>(n));
+    }
+    return vals;
+  }
+  return {};
+}
+
+double last_finite(const std::vector<double>& vals) {
+  for (auto it = vals.rbegin(); it != vals.rend(); ++it) {
+    if (std::isfinite(*it)) return *it;
+  }
+  return 0.0;
+}
+
+/// One --watch frame: per-shard admission rate and queue depth, fleet
+/// p99 latency, and the health summary, each as a sparkline row.
+void render_watch_frame(const serve::ServingRuntime& runtime,
+                        const telemetry::TimeSeriesStore& store,
+                        monitor::FleetHealthMonitor* mon) {
+  std::string frame = "\x1b[H\x1b[2J";
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "arbiterq --watch | %zu shards | queue depth %zu\n",
+                runtime.num_shards(), runtime.queue_depth());
+  frame += buf;
+  constexpr std::size_t kTail = 48;
+  for (std::size_t s = 0; s < runtime.num_shards(); ++s) {
+    const std::string shard = std::to_string(s);
+    const std::vector<double> admit = series_plot_tail(
+        store, "serve.shard" + shard + ".admitted_batches", kTail);
+    const std::string depth_name =
+        runtime.num_shards() > 1 ? "serve.queue.depth.shard" + shard
+                                 : std::string("serve.queue.depth");
+    const std::vector<double> depth =
+        series_plot_tail(store, depth_name, kTail);
+    std::snprintf(buf, sizeof buf, "shard %-3zu admit/s %9.1f ", s,
+                  last_finite(admit));
+    frame += buf;
+    frame += telemetry::terminal_sparkline(admit);
+    std::snprintf(buf, sizeof buf, "  depth %6.0f ",
+                  last_finite(depth));
+    frame += buf;
+    frame += telemetry::terminal_sparkline(depth);
+    frame += "\n";
+  }
+  const std::vector<double> p99 =
+      series_plot_tail(store, "serve.job.latency_us", kTail);
+  std::snprintf(buf, sizeof buf, "p99 wall latency %9.1f us ",
+                last_finite(p99));
+  frame += buf;
+  frame += telemetry::terminal_sparkline(p99);
+  frame += "\n";
+  if (mon != nullptr) {
+    const monitor::FleetHealthReport rep = mon->report();
+    std::snprintf(buf, sizeof buf,
+                  "health: %zu healthy, %zu drifting, %zu stalled, "
+                  "%zu isolated | slo breaches %zu | anomalies %zu %s\n",
+                  rep.healthy, rep.drifting, rep.stalled, rep.isolated,
+                  rep.slo_breaches, rep.anomalies,
+                  rep.worst_anomaly.c_str());
+    frame += buf;
+  }
+  std::fwrite(frame.data(), 1, frame.size(), stdout);
+  std::fflush(stdout);
 }
 
 }  // namespace
@@ -337,16 +426,46 @@ int main(int argc, char** argv) {
     // when --health wasn't requested.
     std::unique_ptr<monitor::FleetHealthMonitor> serve_mon;
     monitor::FleetHealthMonitor* mon_ptr = mon.get();
-    if (mon_ptr == nullptr && opts.listen >= 0) {
+    if (mon_ptr == nullptr && (opts.listen >= 0 || opts.watch)) {
       serve_mon = std::make_unique<monitor::FleetHealthMonitor>(
           static_cast<std::size_t>(opts.fleet));
       mon_ptr = serve_mon.get();
+    }
+    // Live telemetry store: the Collector folds 500ms wall-clock windows
+    // of the global registry into it, and the runtime (sc.series) adds
+    // its virtual-time serve.ts.* event series — per-shard/per-tenant
+    // admission and latency keyed on the modeled admission clock. The
+    // store is declared before the runtime so the handles the runtime
+    // resolves in its constructor outlive it.
+    std::unique_ptr<telemetry::TimeSeriesStore> store;
+    std::unique_ptr<monitor::AnomalyWatchdog> watchdog;
+    if (opts.listen >= 0 || opts.watch) {
+      telemetry::TimeSeriesConfig tc;
+      tc.window_us = 500'000.0;
+      tc.max_windows = 240;
+      store = std::make_unique<telemetry::TimeSeriesStore>(tc);
+      watchdog = std::make_unique<monitor::AnomalyWatchdog>(
+          monitor::WatchdogConfig{}, mon_ptr);
+      sc.series = store.get();
     }
     serve::FlightRecorder flight;
     monitor::SloEngine slo(monitor::SloPolicy::defaults(), mon_ptr);
     serve::ServingRuntime runtime(trainer.executors(), r.weights,
                                   trainer.behavioral_vectors(), sc,
                                   faults.get(), mon_ptr, &flight, &slo);
+
+    // The collector thread is declared after `runtime` so it stops and
+    // destructs first (pre_sample reaches into the runtime).
+    std::unique_ptr<telemetry::Collector> collector;
+    if (store != nullptr) {
+      telemetry::CollectorOptions co;
+      co.cadence_us = 100'000.0;
+      co.pre_sample = [&runtime] { runtime.publish_shard_metrics(); };
+      co.post_sample = [&store, &watchdog] { watchdog->poll(*store); };
+      collector = std::make_unique<telemetry::Collector>(
+          *store, telemetry::MetricsRegistry::global(), co);
+      collector->start();
+    }
 
     telemetry::ScrapeServer scrape;
     if (opts.listen >= 0) {
@@ -361,12 +480,38 @@ int main(int argc, char** argv) {
       });
       scrape.handle_text("/slo", "application/json",
                          [&slo] { return slo.report().to_jsonl(); });
+      scrape.handle_query("/timeseries", [&store](const std::string& q) {
+        telemetry::ScrapeResponse resp;
+        resp.content_type = "application/json";
+        resp.body = store->to_json(telemetry::query_param(q, "name"));
+        return resp;
+      });
+      scrape.handle_text(
+          "/dashboard", "text/html; charset=utf-8", [&store, mon_ptr] {
+            std::string footer = "<pre>";
+            footer += mon_ptr->report().to_table_string();
+            footer += "</pre>";
+            return telemetry::render_dashboard_html(*store, "arbiterq fleet",
+                                                    "", footer);
+          });
       if (scrape.start(static_cast<std::uint16_t>(opts.listen))) {
         std::printf("scrape endpoint: http://127.0.0.1:%u/metrics\n",
                     static_cast<unsigned>(scrape.port()));
       } else {
         std::fprintf(stderr, "cannot bind scrape port %d\n", opts.listen);
       }
+    }
+
+    std::atomic<bool> watch_stop{false};
+    std::thread watch_thread;
+    if (opts.watch) {
+      watch_thread = std::thread([&] {
+        while (!watch_stop.load(std::memory_order_acquire)) {
+          render_watch_frame(runtime, *store, mon_ptr);
+          std::this_thread::sleep_for(std::chrono::milliseconds(500));
+        }
+        render_watch_frame(runtime, *store, mon_ptr);
+      });
     }
 
     const std::size_t n_jobs =
@@ -380,6 +525,10 @@ int main(int argc, char** argv) {
       runtime.submit(spec);
     }
     runtime.drain();
+    if (watch_thread.joinable()) {
+      watch_stop.store(true, std::memory_order_release);
+      watch_thread.join();
+    }
     const serve::ServingReport sr = runtime.report();
     std::printf(
         "serving: %zu jobs (%zu ok, %zu rejected, %zu expired, %zu "
@@ -425,6 +574,15 @@ int main(int argc, char** argv) {
           std::chrono::milliseconds(opts.linger_ms));
     }
     scrape.stop();
+    if (collector) {
+      collector->stop();
+      if (watchdog->anomaly_count() > 0) {
+        const monitor::FleetHealthReport rep = mon_ptr->report();
+        std::printf("watchdog: %zu anomalies (worst %s, score %.2f)\n",
+                    watchdog->anomaly_count(), rep.worst_anomaly.c_str(),
+                    rep.worst_anomaly_score);
+      }
+    }
   }
 
   if (tel) {

@@ -30,4 +30,7 @@ echo "==> tier 2: UndefinedBehaviorSanitizer (full suite)"
 echo "==> tier 2: ARBITERQ_TELEMETRY=OFF"
 "${repo_root}/scripts/check_telemetry_off.sh"
 
+echo "==> tier 2: live scrape smoke (/timeseries + /dashboard)"
+"${repo_root}/scripts/check_scrape_smoke.sh" "${build_dir}"
+
 echo "OK: all checks passed"

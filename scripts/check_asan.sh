@@ -2,8 +2,10 @@
 # Build the tree with AddressSanitizer + UBSan and run the tests that
 # exercise the compiled-execution-plan hot path: the ExecPlan/Workspace
 # suite, the adjoint engine, the simulator and statevector kernels, the
-# SIMD apply/bracket kernels and the sample-batched register, and the
-# parallel equivalence suite. Guards the plan's zero-allocation
+# SIMD apply/bracket kernels and the sample-batched register, the
+# parallel equivalence suite, and the time-series store (ring eviction
+# keeps handing out live window references). Guards the plan's
+# zero-allocation
 # steady-state claim — workspace reuse across bind/apply/adjoint walks
 # must not hide use-after-free, out-of-bounds table indexing, or
 # mismatched lifetimes when plans are rebuilt by recalibrate().
@@ -21,7 +23,8 @@ cmake -B "${build_dir}" -S "${repo_root}" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
 
 targets=(test_exec_plan test_adjoint test_simulator test_statevector
-  test_kernels test_batched test_parallel_equivalence)
+  test_kernels test_batched test_parallel_equivalence test_timeseries
+  test_watchdog)
 cmake --build "${build_dir}" -j "$(nproc)" --target "${targets[@]}"
 
 # Promote UBSan findings to hard failures; keep ASan strict about leaks.

@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# End-to-end scrape smoke: run `arbiterq_cli --serve --listen` for real,
+# then hit the live endpoint with curl and assert that the windowed
+# time-series surface actually carries data — /timeseries returns at
+# least one series with a non-empty windows array (and honors ?name=
+# filtering), and /dashboard renders the self-contained sparkline HTML.
+# Guards the full wiring: ServingRuntime event series -> Collector ->
+# TimeSeriesStore -> ScrapeServer, which no unit test crosses in one go.
+#
+# Note: the CLI's stdout is block-buffered when redirected, so waiting
+# for its log lines deadlocks against short linger windows. Poll the
+# port instead.
+#
+# Usage: scripts/check_scrape_smoke.sh [build-dir]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+
+cmake -B "${build_dir}" -S "${repo_root}" > /dev/null
+cmake --build "${build_dir}" -j "$(nproc)" --target arbiterq_cli
+
+workdir="$(mktemp -d)"
+cli_pid=""
+cleanup() {
+  [[ -n "${cli_pid}" ]] && kill "${cli_pid}" 2> /dev/null || true
+  rm -rf "${workdir}"
+}
+trap cleanup EXIT
+
+port=""
+for candidate in 19381 19382 19383; do
+  "${build_dir}/examples/arbiterq_cli" \
+    --epochs 1 --serve --jobs 60 --shards 2 \
+    --listen "${candidate}" --linger-ms 60000 \
+    > "${workdir}/cli.log" 2>&1 &
+  cli_pid=$!
+  for _ in $(seq 1 100); do
+    if curl -sf --max-time 1 "http://127.0.0.1:${candidate}/healthz" \
+        > /dev/null 2>&1; then
+      port="${candidate}"
+      break
+    fi
+    if ! kill -0 "${cli_pid}" 2> /dev/null; then
+      break  # CLI exited (port taken or crash); try the next port
+    fi
+    sleep 0.2
+  done
+  [[ -n "${port}" ]] && break
+  kill "${cli_pid}" 2> /dev/null || true
+  wait "${cli_pid}" 2> /dev/null || true
+  cli_pid=""
+done
+
+if [[ -z "${port}" ]]; then
+  echo "FAIL: scrape endpoint never came up" >&2
+  cat "${workdir}/cli.log" >&2
+  exit 1
+fi
+
+fail() {
+  echo "FAIL: $1" >&2
+  exit 1
+}
+
+ts_json="$(curl -sf --max-time 5 "http://127.0.0.1:${port}/timeseries")"
+grep -q '"series": \[{' <<< "${ts_json}" \
+  || fail "/timeseries returned no series: ${ts_json:0:200}"
+grep -q '"windows": \[{' <<< "${ts_json}" \
+  || fail "/timeseries series have no windows: ${ts_json:0:200}"
+grep -q 'serve.ts.admitted' <<< "${ts_json}" \
+  || fail "/timeseries missing the admission series"
+
+filtered="$(curl -sf --max-time 5 \
+  "http://127.0.0.1:${port}/timeseries?name=serve.ts.admitted")"
+grep -q 'serve.ts.admitted' <<< "${filtered}" \
+  || fail "?name= filter dropped the requested series"
+if grep -q 'serve.job.latency_us' <<< "${filtered}"; then
+  fail "?name= filter failed to exclude other series"
+fi
+
+dashboard="$(curl -sf --max-time 5 "http://127.0.0.1:${port}/dashboard")"
+grep -q '<!DOCTYPE html>' <<< "${dashboard}" \
+  || fail "/dashboard is not an HTML document"
+grep -q '<svg' <<< "${dashboard}" \
+  || fail "/dashboard has no sparklines"
+grep -q 'serve.ts.admitted' <<< "${dashboard}" \
+  || fail "/dashboard does not show the admission series"
+
+kill "${cli_pid}" 2> /dev/null || true
+wait "${cli_pid}" 2> /dev/null || true
+cli_pid=""
+
+echo "OK: /timeseries and /dashboard serve live windowed series on :${port}"

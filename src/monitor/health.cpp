@@ -7,6 +7,7 @@
 
 #include "arbiterq/core/similarity.hpp"
 #include "arbiterq/report/jsonl.hpp"
+#include "arbiterq/telemetry/metrics.hpp"
 
 namespace arbiterq::monitor {
 
@@ -111,6 +112,17 @@ void FleetHealthMonitor::observe_slo_breach(const std::string& slo_class,
   slo_worst_burn_ = std::max(slo_worst_burn_, burn_rate);
 }
 
+void FleetHealthMonitor::observe_anomaly(const std::string& series,
+                                         const std::string& kind,
+                                         double score) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++anomalies_;
+  if (std::abs(score) >= std::abs(worst_anomaly_score_)) {
+    worst_anomaly_score_ = score;
+    worst_anomaly_ = series + " " + kind;
+  }
+}
+
 void FleetHealthMonitor::on_assignment(
     const telemetry::AssignmentRecord& record) {
   (void)record;
@@ -134,8 +146,20 @@ void FleetHealthMonitor::observe_calibration(
   }
   const std::size_t n =
       std::min({vectors.size(), baseline_.size(), drift_.size()});
+  double worst = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
     drift_[i] = core::behavioral_distance(baseline_[i], vectors[i]);
+    worst = std::max(worst, drift_[i]);
+  }
+  // Publish the distances as gauges so the time-series collector (and
+  // the watchdog's drift-velocity detector) can follow their trajectory.
+  if (telemetry::telemetry_runtime_enabled()) {
+    auto& reg = telemetry::MetricsRegistry::global();
+    for (std::size_t i = 0; i < n; ++i) {
+      // Per-QPU names vary at runtime: registry lookup, not AQ_GAUGE_SET.
+      reg.gauge("monitor.qpu.drift.q" + std::to_string(i)).set(drift_[i]);
+    }
+    reg.gauge("monitor.fleet.drift.max").set(worst);
   }
 }
 
@@ -161,6 +185,9 @@ FleetHealthReport FleetHealthMonitor::report() const {
   rep.churn = churn_;
   rep.slo_breaches = slo_breaches_;
   rep.slo_worst_burn = slo_worst_burn_;
+  rep.anomalies = anomalies_;
+  rep.worst_anomaly = worst_anomaly_;
+  rep.worst_anomaly_score = worst_anomaly_score_;
   rep.qpus.reserve(trackers_.size());
   for (std::size_t i = 0; i < trackers_.size(); ++i) {
     const ConvergenceTracker& t = trackers_[i];
@@ -221,10 +248,13 @@ std::string FleetHealthReport::to_table_string() const {
   std::snprintf(buf, sizeof buf,
                 "fleet: %zu healthy, %zu drifting, %zu stalled, "
                 "%zu isolated | edge churn +%zu -%zu (kept %zu)"
-                " | slo breaches %zu (worst burn %.2f)\n",
+                " | slo breaches %zu (worst burn %.2f)"
+                " | anomalies %zu%s%s\n",
                 healthy, drifting, stalled, isolated, churn.added.size(),
                 churn.removed.size(), churn.kept, slo_breaches,
-                slo_worst_burn);
+                slo_worst_burn, anomalies,
+                worst_anomaly.empty() ? "" : " worst ",
+                worst_anomaly.c_str());
   out += buf;
   return out;
 }
@@ -266,6 +296,9 @@ std::string FleetHealthReport::to_jsonl() const {
              .field("edges_kept", static_cast<std::uint64_t>(churn.kept))
              .field("slo_breaches", static_cast<std::uint64_t>(slo_breaches))
              .field("slo_worst_burn", slo_worst_burn)
+             .field("anomalies", static_cast<std::uint64_t>(anomalies))
+             .field("worst_anomaly", worst_anomaly)
+             .field("worst_anomaly_score", worst_anomaly_score)
              .finish() +
          "\n";
   return out;

@@ -130,6 +130,11 @@ struct FleetHealthReport {
   std::size_t slo_breaches = 0;
   /// Highest burn rate among forwarded breaches (0 when none).
   double slo_worst_burn = 0.0;
+  /// Time-series anomalies forwarded by an AnomalyWatchdog.
+  std::size_t anomalies = 0;
+  /// "series kind" of the highest-scored anomaly (empty when none).
+  std::string worst_anomaly;
+  double worst_anomaly_score = 0.0;
 
   /// Fixed-width human-readable table plus a one-line summary.
   std::string to_table_string() const;
@@ -158,6 +163,11 @@ class FleetHealthMonitor final : public telemetry::TrainingTelemetry {
   /// SLO breach forwarded by an SloEngine: tallies the breach and keeps
   /// the worst burn rate seen, surfaced in the report summary.
   void observe_slo_breach(const std::string& slo_class, double burn_rate);
+  /// Windowed time-series anomaly forwarded by an AnomalyWatchdog
+  /// (watchdog.hpp): tallied next to SLO breaches; the highest |score|
+  /// seen is kept as "series kind" in the report summary.
+  void observe_anomaly(const std::string& series, const std::string& kind,
+                       double score);
   /// QPU -> serving-shard ownership (set by a sharded ServingRuntime);
   /// surfaces as the `shard` column of every health row. Entries beyond
   /// fleet_size are ignored; unmapped QPUs report -1.
@@ -194,6 +204,9 @@ class FleetHealthMonitor final : public telemetry::TrainingTelemetry {
   std::size_t assignments_ = 0;
   std::size_t slo_breaches_ = 0;
   double slo_worst_burn_ = 0.0;
+  std::size_t anomalies_ = 0;
+  std::string worst_anomaly_;
+  double worst_anomaly_score_ = 0.0;
 };
 
 }  // namespace arbiterq::monitor

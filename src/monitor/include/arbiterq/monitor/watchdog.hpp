@@ -1,0 +1,129 @@
+#pragma once
+// Windowed anomaly watchdogs over a telemetry::TimeSeriesStore — the
+// detector layer that turns the store's history into events a human (or
+// ROADMAP item 3's recalibration trigger) can act on. Three detectors,
+// each judging only *closed* windows (the newest window is still
+// filling) and each window at most once:
+//
+//   rate z-score     counter/event series. Maintains an exponentially
+//                    weighted mean mu and variance s2 of the per-window
+//                    rate; a window with |x - mu| / max(sqrt(s2),
+//                    z_floor·max(mu,1)) > z_threshold after `min_windows`
+//                    warm-up windows flags kRateSpike / kRateCollapse.
+//
+//   saturation slope queue-depth gauges (name contains "queue.depth").
+//                    Relative per-window growth g_w = (d_w − d_{w−1}) /
+//                    max(d_{w−1}, 1) on the window max; flags
+//                    kQueueSaturation after `slope_windows` consecutive
+//                    windows with g_w > slope_threshold (a ramp that
+//                    doubles the depth every window is flagged on its
+//                    2nd window with the defaults).
+//
+//   drift velocity   behavioral-distance gauges (name contains
+//                    ".drift"). v_w = d_w − d_{w−1} per window; flags
+//                    kDriftVelocity when v_w > drift_velocity_threshold
+//                    (drift *accelerating*, as opposed to the health
+//                    monitor's absolute drift_threshold).
+//
+// Events are appended to the watchdog's log and, when a
+// FleetHealthMonitor is attached, forwarded via observe_anomaly() so
+// they surface next to SLO breaches in the fleet health summary.
+// poll() is deterministic: judging is a pure function of the store's
+// window contents, so a virtual-clock store yields identical events
+// across runs.
+
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "arbiterq/monitor/health.hpp"
+#include "arbiterq/telemetry/timeseries.hpp"
+
+namespace arbiterq::monitor {
+
+enum class AnomalyKind : std::uint8_t {
+  kRateSpike,
+  kRateCollapse,
+  kQueueSaturation,
+  kDriftVelocity,
+};
+
+const char* anomaly_kind_name(AnomalyKind kind) noexcept;
+
+struct WatchdogConfig {
+  /// EWMA weight of the newest closed window (mean and variance alike).
+  double ewma_alpha = 0.3;
+  /// z threshold for rate spikes/collapses.
+  double z_threshold = 4.0;
+  /// Sigma floor as a fraction of max(EWMA mean, 1): keeps a perfectly
+  /// steady series (sigma -> 0) from flagging on rounding jitter.
+  double z_floor = 0.05;
+  /// Closed windows consumed before rate judging starts.
+  int min_windows = 4;
+  /// Relative per-window depth growth counting toward saturation.
+  double slope_threshold = 0.5;
+  /// Consecutive growing windows before kQueueSaturation fires.
+  int slope_windows = 2;
+  /// Per-window behavioral-distance increase flagged as accelerating.
+  double drift_velocity_threshold = 1e-4;
+  /// Cap on retained events (oldest dropped first).
+  std::size_t max_events = 1024;
+};
+
+struct AnomalyEvent {
+  AnomalyKind kind = AnomalyKind::kRateSpike;
+  std::string series;
+  std::int64_t window = 0;  ///< window index the anomaly was judged at
+  double value = 0.0;       ///< the offending window's rate/depth/drift
+  double score = 0.0;       ///< z, relative slope, or velocity
+
+  std::string to_string() const;
+};
+
+class AnomalyWatchdog {
+ public:
+  explicit AnomalyWatchdog(WatchdogConfig config = {},
+                           FleetHealthMonitor* monitor = nullptr);
+
+  /// Scan every series for newly closed windows and judge them; returns
+  /// the events raised by this call (also appended to events() and
+  /// forwarded to the attached monitor). Thread-safe; deterministic for
+  /// a given store state.
+  std::vector<AnomalyEvent> poll(const telemetry::TimeSeriesStore& store);
+
+  std::vector<AnomalyEvent> events() const;
+  std::size_t anomaly_count() const;
+  /// One {"type":"anomaly",...} JSONL line per event.
+  std::string to_jsonl() const;
+
+ private:
+  struct SeriesState {
+    std::int64_t last_judged = std::numeric_limits<std::int64_t>::min();
+    // Rate detector.
+    double ewma = 0.0;
+    double ewvar = 0.0;
+    int warmup = 0;
+    // Slope / velocity detectors.
+    double prev = 0.0;
+    bool has_prev = false;
+    int rising = 0;
+  };
+
+  void judge(const telemetry::SeriesSnapshot& s, SeriesState& st,
+             std::vector<AnomalyEvent>& out);
+  void raise(std::vector<AnomalyEvent>& out, AnomalyKind kind,
+             const std::string& series, std::int64_t window, double value,
+             double score);
+
+  WatchdogConfig config_;
+  FleetHealthMonitor* monitor_;
+  mutable std::mutex mu_;
+  std::map<std::string, SeriesState> state_;
+  std::deque<AnomalyEvent> events_;
+};
+
+}  // namespace arbiterq::monitor

@@ -1,0 +1,177 @@
+#include "arbiterq/monitor/watchdog.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "arbiterq/report/jsonl.hpp"
+
+namespace arbiterq::monitor {
+
+namespace {
+
+bool is_queue_depth(const std::string& name) {
+  return name.find("queue.depth") != std::string::npos;
+}
+
+bool is_drift(const std::string& name) {
+  return name.find(".drift") != std::string::npos;
+}
+
+}  // namespace
+
+const char* anomaly_kind_name(AnomalyKind kind) noexcept {
+  switch (kind) {
+    case AnomalyKind::kRateSpike: return "rate_spike";
+    case AnomalyKind::kRateCollapse: return "rate_collapse";
+    case AnomalyKind::kQueueSaturation: return "queue_saturation";
+    case AnomalyKind::kDriftVelocity: return "drift_velocity";
+  }
+  return "unknown";
+}
+
+std::string AnomalyEvent::to_string() const {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, " w=%lld value=%.4g score=%.3g",
+                static_cast<long long>(window), value, score);
+  return std::string(anomaly_kind_name(kind)) + " " + series + buf;
+}
+
+AnomalyWatchdog::AnomalyWatchdog(WatchdogConfig config,
+                                 FleetHealthMonitor* monitor)
+    : config_(config), monitor_(monitor) {}
+
+std::vector<AnomalyEvent> AnomalyWatchdog::poll(
+    const telemetry::TimeSeriesStore& store) {
+  std::vector<AnomalyEvent> raised;
+  const std::vector<telemetry::SeriesSnapshot> all = store.snapshot();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const telemetry::SeriesSnapshot& s : all) {
+    judge(s, state_[s.name], raised);
+  }
+  return raised;
+}
+
+void AnomalyWatchdog::judge(const telemetry::SeriesSnapshot& s,
+                            SeriesState& st,
+                            std::vector<AnomalyEvent>& out) {
+  if (s.windows.size() < 2) return;  // nothing closed yet
+  const std::int64_t newest = s.windows.back().index;
+
+  const bool rate_kind = s.kind == telemetry::SeriesKind::kCounterRate ||
+                         s.kind == telemetry::SeriesKind::kEvent;
+  const bool gauge_kind = s.kind == telemetry::SeriesKind::kGauge;
+  const bool depth = gauge_kind && is_queue_depth(s.name);
+  const bool drift = gauge_kind && is_drift(s.name);
+  if (!rate_kind && !depth && !drift) return;
+
+  // Judge only closed windows (the newest is still filling), each once.
+  for (std::size_t i = 0; i + 1 < s.windows.size(); ++i) {
+    const telemetry::SeriesWindow& w = s.windows[i];
+    if (w.index <= st.last_judged || w.index >= newest) continue;
+    st.last_judged = w.index;
+
+    if (rate_kind) {
+      const double x = s.rate(i);
+      if (st.warmup == 0) {
+        st.ewma = x;
+        st.ewvar = 0.0;
+        st.warmup = 1;
+        continue;
+      }
+      if (st.warmup >= config_.min_windows) {
+        const double sigma = std::sqrt(std::max(st.ewvar, 0.0));
+        const double floor = config_.z_floor * std::max(st.ewma, 1.0);
+        const double z = (x - st.ewma) / std::max(sigma, floor);
+        if (std::abs(z) > config_.z_threshold) {
+          raise(out,
+                z > 0 ? AnomalyKind::kRateSpike : AnomalyKind::kRateCollapse,
+                s.name, w.index, x, z);
+        }
+      }
+      // West's EW update: variance first (it uses the pre-update mean).
+      const double d = x - st.ewma;
+      st.ewvar = (1.0 - config_.ewma_alpha) *
+                 (st.ewvar + config_.ewma_alpha * d * d);
+      st.ewma += config_.ewma_alpha * d;
+      ++st.warmup;
+      continue;
+    }
+
+    if (depth) {
+      const double d = w.max;
+      if (st.has_prev) {
+        const double g = (d - st.prev) / std::max(st.prev, 1.0);
+        if (g > config_.slope_threshold) {
+          ++st.rising;
+          if (st.rising >= config_.slope_windows) {
+            raise(out, AnomalyKind::kQueueSaturation, s.name, w.index, d, g);
+            st.rising = 0;
+          }
+        } else {
+          st.rising = 0;
+        }
+      }
+      st.prev = d;
+      st.has_prev = true;
+      continue;
+    }
+
+    // drift velocity
+    const double d = w.last;
+    if (st.has_prev) {
+      const double v = d - st.prev;
+      if (v > config_.drift_velocity_threshold) {
+        raise(out, AnomalyKind::kDriftVelocity, s.name, w.index, d, v);
+      }
+    }
+    st.prev = d;
+    st.has_prev = true;
+  }
+}
+
+void AnomalyWatchdog::raise(std::vector<AnomalyEvent>& out, AnomalyKind kind,
+                            const std::string& series, std::int64_t window,
+                            double value, double score) {
+  AnomalyEvent e;
+  e.kind = kind;
+  e.series = series;
+  e.window = window;
+  e.value = value;
+  e.score = score;
+  out.push_back(e);
+  events_.push_back(e);
+  while (events_.size() > config_.max_events) events_.pop_front();
+  if (monitor_ != nullptr) {
+    monitor_->observe_anomaly(series, anomaly_kind_name(kind), score);
+  }
+}
+
+std::vector<AnomalyEvent> AnomalyWatchdog::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {events_.begin(), events_.end()};
+}
+
+std::size_t AnomalyWatchdog::anomaly_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::string AnomalyWatchdog::to_jsonl() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const AnomalyEvent& e : events_) {
+    out += report::JsonLine()
+               .field("type", "anomaly")
+               .field("kind", anomaly_kind_name(e.kind))
+               .field("series", e.series)
+               .field("window", static_cast<std::int64_t>(e.window))
+               .field("value", e.value)
+               .field("score", e.score)
+               .finish() +
+           "\n";
+  }
+  return out;
+}
+
+}  // namespace arbiterq::monitor

@@ -109,12 +109,17 @@ class Doorbell {
 
   /// Consumer side: park for up to `max_wait`; returns after a ring, the
   /// timeout, or spuriously (callers re-scan their lanes regardless).
+  /// True when a producer rang (it cleared the sleep advertisement);
+  /// false for a timeout/spurious return — the backstop path, counted by
+  /// the shard dispatcher as serve.shard.doorbell_backstops.
   template <typename Rep, typename Period>
-  void wait(const std::chrono::duration<Rep, Period>& max_wait) {
+  bool wait(const std::chrono::duration<Rep, Period>& max_wait) {
     std::unique_lock<std::mutex> lock(mu_);
     sleeping_.store(true, std::memory_order_release);
     cv_.wait_for(lock, max_wait);
-    sleeping_.store(false, std::memory_order_release);
+    // ring() claims the advertisement with an exchange; finding it
+    // already cleared means a producer signalled us.
+    return !sleeping_.exchange(false, std::memory_order_acq_rel);
   }
 
  private:

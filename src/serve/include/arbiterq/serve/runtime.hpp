@@ -44,6 +44,7 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -60,6 +61,7 @@
 #include "arbiterq/serve/flight_recorder.hpp"
 #include "arbiterq/serve/job_queue.hpp"
 #include "arbiterq/serve/shard.hpp"
+#include "arbiterq/telemetry/timeseries.hpp"
 
 namespace arbiterq::serve {
 
@@ -117,6 +119,19 @@ struct ServeConfig {
   /// and deadlines all stay real. For admission-scale benches where the
   /// fleet is far wider than any interesting circuit workload.
   bool synthetic_execution = false;
+  /// Optional time-series sink (non-owning; must outlive the runtime).
+  /// When set, the runtime records event series on a *modeled admission
+  /// clock* — a virtual timeline advanced under the routing lock by each
+  /// admitted job's modeled execution cost divided by the routing
+  /// epoch's alive fleet (an idealized perfectly-parallel fleet clock):
+  /// serve.ts.admitted(.shard<k>, .tenant.<t>) at admission time,
+  /// serve.ts.completed(.shard<k>) and the
+  /// serve.ts.virtual_latency_us histogram at admission + modeled
+  /// latency. Every timestamp is a pure function of the admitted job
+  /// sequence, so the windowed series is bit-identical across runs and
+  /// thread schedules (store timestamps use the store's own clock
+  /// domain — size window_us in modeled microseconds).
+  telemetry::TimeSeriesStore* series = nullptr;
 };
 
 enum class JobStatus { kPending, kOk, kRejected, kExpired, kFailed };
@@ -226,6 +241,11 @@ class ServingRuntime {
   }
   /// Per-shard accounting snapshot (live).
   std::vector<ShardStats> shard_stats() const;
+  /// Publish the per-shard accounting into the global MetricsRegistry as
+  /// serve.shard<k>.* counters (delta-fed, so a sampling Collector folds
+  /// them into per-window rates) plus a queue-depth gauge per shard.
+  /// Intended as a Collector pre_sample hook; safe to call any time.
+  void publish_shard_metrics();
 
  private:
   /// Per-batch slot: written by at most one worker at a time (batch
@@ -252,6 +272,8 @@ class ServingRuntime {
     double deadline_us = 0.0;  ///< resolved; 0 = none
     std::size_t epoch = 0;
     std::size_t torus = 0;
+    /// Modeled admission-clock stamp (see ServeConfig::series).
+    double admit_virtual_us = 0.0;
     std::size_t home_shard = 0;  ///< shard of the split's first member
     JobStatus status = JobStatus::kPending;
     std::vector<BatchSlot> slots;
@@ -345,7 +367,28 @@ class ServingRuntime {
   std::vector<core::TorusPartition> partitions_;  ///< by epoch
   std::vector<std::vector<double>> torus_rate_;   ///< by epoch
   std::vector<std::vector<double>> credit_;       ///< by epoch
+  std::vector<std::size_t> epoch_alive_;          ///< members, by epoch
   double first_submit_wall_us_ = 0.0;
+  /// Modeled admission clock (ServeConfig::series); routing lock held.
+  double admit_clock_us_ = 0.0;
+  /// Per-QPU shot latency, cached so the admission-clock advance is a
+  /// plain vector walk instead of per-slot executor calls.
+  std::vector<double> shot_lat_us_;
+
+  // Time-series handles, resolved once in the constructor (per-series
+  // locking happens inside the store). Tenant series are resolved
+  // lazily under the routing lock.
+  telemetry::TimeSeriesStore::Series* ts_admitted_ = nullptr;
+  telemetry::TimeSeriesStore::Series* ts_completed_ = nullptr;
+  telemetry::TimeSeriesStore::Series* ts_latency_ = nullptr;
+  std::vector<telemetry::TimeSeriesStore::Series*> ts_admitted_shard_;
+  std::vector<telemetry::TimeSeriesStore::Series*> ts_completed_shard_;
+  std::map<std::string, telemetry::TimeSeriesStore::Series*> ts_tenant_;
+
+  /// Last-published per-shard counter values (publish_shard_metrics
+  /// feeds registry counters by delta); guarded by publish_mu_.
+  std::mutex publish_mu_;
+  std::vector<ShardStats> published_;
 
   // Job store: deque gives stable element addresses; guarded only for
   // push/index, the elements synchronize through their atomics.

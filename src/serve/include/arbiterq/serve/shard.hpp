@@ -58,6 +58,8 @@ struct ShardStats {
   std::uint64_t cross_shard_in = 0;     ///< reroute batches received
   std::uint64_t cross_shard_out = 0;    ///< reroute batches sent to siblings
   std::uint64_t mailbox_full_spins = 0; ///< producer yields on a full lane
+  std::uint64_t doorbell_wakeups = 0;   ///< dispatcher parks ended by a ring
+  std::uint64_t doorbell_backstops = 0; ///< parks ended by the 200us timeout
   std::uint64_t lock_wait_ns = 0;       ///< queue-mutex contention (JobQueue)
   std::uint64_t lock_contentions = 0;
 };
@@ -153,6 +155,8 @@ class Shard {
   std::atomic<std::uint64_t> cross_in_{0};
   std::atomic<std::uint64_t> cross_out_{0};
   std::atomic<std::uint64_t> full_spins_{0};
+  std::atomic<std::uint64_t> doorbell_wakeups_{0};
+  std::atomic<std::uint64_t> doorbell_backstops_{0};
 };
 
 }  // namespace arbiterq::serve

@@ -107,12 +107,39 @@ ServingRuntime::ServingRuntime(
                                                 config_.num_tori));
   torus_rate_.emplace_back();
   credit_.emplace_back();
+  std::size_t members0 = 0;
   for (const auto& torus : partitions_[0].tori) {
     double rate = 0.0;
     for (int q : torus) rate += executors_[static_cast<std::size_t>(q)]
                                     .shot_rate();
     torus_rate_[0].push_back(rate);
     credit_[0].push_back(0.0);
+    members0 += torus.size();
+  }
+  epoch_alive_.push_back(std::max<std::size_t>(1, members0));
+  if (config_.series != nullptr) {
+    shot_lat_us_.reserve(executors_.size());
+    for (const auto& ex : executors_) {
+      shot_lat_us_.push_back(ex.shot_latency_us());
+    }
+    telemetry::TimeSeriesStore& ts = *config_.series;
+    ts_admitted_ = ts.series("serve.ts.admitted",
+                             telemetry::SeriesKind::kEvent);
+    ts_completed_ = ts.series("serve.ts.completed",
+                              telemetry::SeriesKind::kEvent);
+    ts_latency_ = ts.series("serve.ts.virtual_latency_us",
+                            telemetry::SeriesKind::kHistogram,
+                            telemetry::latency_buckets_us());
+    ts_admitted_shard_.resize(shards_.size());
+    ts_completed_shard_.resize(shards_.size());
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      ts_admitted_shard_[s] =
+          ts.series("serve.ts.admitted.shard" + std::to_string(s),
+                    telemetry::SeriesKind::kEvent);
+      ts_completed_shard_[s] =
+          ts.series("serve.ts.completed.shard" + std::to_string(s),
+                    telemetry::SeriesKind::kEvent);
+    }
   }
   inflight_ = std::make_unique<std::atomic<int>[]>(executors_.size());
   for (std::size_t q = 0; q < executors_.size(); ++q) {
@@ -338,6 +365,35 @@ std::optional<std::uint64_t> ServingRuntime::submit(const JobSpec& spec) {
   }
 
   outstanding_.fetch_add(batches.size(), std::memory_order_release);
+  if (config_.series != nullptr) {
+    // Advance the modeled admission clock by this job's modeled serial
+    // execution cost spread over the epoch's alive fleet; pure function
+    // of the admitted sequence (routing lock held), so the recorded
+    // series reproduces bit-identically.
+    double modeled_us = 0.0;
+    for (const auto& [q, shots] : split) {
+      modeled_us += static_cast<double>(shots) *
+                    shot_lat_us_[static_cast<std::size_t>(q)];
+    }
+    admit_clock_us_ += modeled_us / static_cast<double>(epoch_alive_[epoch]);
+    job->admit_virtual_us = admit_clock_us_;
+    config_.series->observe(ts_admitted_, admit_clock_us_, 1.0);
+    config_.series->observe(ts_admitted_shard_[job->home_shard],
+                            admit_clock_us_, 1.0);
+    if (!job->tenant.empty()) {
+      auto it = ts_tenant_.find(job->tenant);
+      if (it == ts_tenant_.end()) {
+        it = ts_tenant_
+                 .emplace(job->tenant,
+                          config_.series->series(
+                              "serve.ts.admitted.tenant." +
+                                  telemetry::safe_label(job->tenant, 64),
+                              telemetry::SeriesKind::kEvent))
+                 .first;
+      }
+      config_.series->observe(it->second, admit_clock_us_, 1.0);
+    }
+  }
   if (traced) {
     const std::uint64_t now = telemetry::trace_now_ns();
     trace_child(*job, "serve.job.route", route_start_ns, now);
@@ -389,6 +445,7 @@ void ServingRuntime::ensure_epoch_locked(std::size_t epoch) {
                                  : prev);
     torus_rate_.emplace_back();
     credit_.emplace_back();
+    std::size_t members = 0;
     for (const auto& torus : partitions_[next].tori) {
       double rate = 0.0;
       for (int q : torus) {
@@ -396,7 +453,9 @@ void ServingRuntime::ensure_epoch_locked(std::size_t epoch) {
       }
       torus_rate_[next].push_back(rate);
       credit_[next].push_back(0.0);
+      members += torus.size();
     }
+    epoch_alive_.push_back(std::max<std::size_t>(1, members));
     {
       std::lock_guard<std::mutex> lock(state_mu_);
       ++repartitions_;
@@ -736,6 +795,14 @@ void ServingRuntime::finalize(JobState& job) {
           .add(1);
     }
   }
+  if (config_.series != nullptr) {
+    // Completion stamped at modeled admission + modeled latency: still a
+    // pure function of the job, so the series stays schedule-invariant.
+    const double t = job.admit_virtual_us + job.virtual_latency_us;
+    config_.series->observe(ts_completed_, t, 1.0);
+    config_.series->observe(ts_completed_shard_[job.home_shard], t, 1.0);
+    config_.series->observe(ts_latency_, t, job.virtual_latency_us);
+  }
   if (slo_ != nullptr) {
     slo_->observe_job(job.slo_class, job.virtual_latency_us,
                       job.status == JobStatus::kOk,
@@ -882,6 +949,37 @@ std::vector<ShardStats> ServingRuntime::shard_stats() const {
   out.reserve(shards_.size());
   for (const auto& shard : shards_) out.push_back(shard->stats());
   return out;
+}
+
+void ServingRuntime::publish_shard_metrics() {
+  if (!telemetry::telemetry_runtime_enabled()) return;
+  auto& reg = telemetry::MetricsRegistry::global();
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  if (published_.size() != shards_.size()) {
+    published_.assign(shards_.size(), ShardStats{});
+  }
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const ShardStats cur = shards_[s]->stats();
+    const ShardStats& prev = published_[s];
+    // Monotone ShardStats tallies feed registry *counters* by delta so
+    // a sampling Collector rolls them up into per-window rates.
+    const std::string p = "serve.shard" + std::to_string(s) + ".";
+    reg.counter(p + "admitted_batches")
+        .add(cur.admitted_batches - prev.admitted_batches);
+    reg.counter(p + "reserve_rejects")
+        .add(cur.reserve_rejects - prev.reserve_rejects);
+    reg.counter(p + "cross_shard_in")
+        .add(cur.cross_shard_in - prev.cross_shard_in);
+    reg.counter(p + "cross_shard_out")
+        .add(cur.cross_shard_out - prev.cross_shard_out);
+    reg.counter(p + "doorbell_wakeups")
+        .add(cur.doorbell_wakeups - prev.doorbell_wakeups);
+    reg.counter(p + "doorbell_backstops")
+        .add(cur.doorbell_backstops - prev.doorbell_backstops);
+    reg.gauge(p + "queue_depth")
+        .set(static_cast<double>(shards_[s]->queue().depth()));
+    published_[s] = cur;
+  }
 }
 
 std::vector<JobResult> ServingRuntime::results() const {

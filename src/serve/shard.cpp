@@ -130,7 +130,15 @@ bool Shard::drain_lanes() {
 
 void Shard::dispatch_main() {
   while (!stop_.load(std::memory_order_acquire)) {
-    if (!drain_lanes()) doorbell_.wait(kDispatchParkBackstop);
+    if (!drain_lanes()) {
+      if (doorbell_.wait(kDispatchParkBackstop)) {
+        doorbell_wakeups_.fetch_add(1, std::memory_order_relaxed);
+        AQ_COUNTER_ADD("serve.shard.doorbell_wakeups", 1);
+      } else {
+        doorbell_backstops_.fetch_add(1, std::memory_order_relaxed);
+        AQ_COUNTER_ADD("serve.shard.doorbell_backstops", 1);
+      }
+    }
   }
   drain_lanes();
 }
@@ -146,6 +154,8 @@ ShardStats Shard::stats() const {
   s.cross_shard_in = cross_in_.load(std::memory_order_relaxed);
   s.cross_shard_out = cross_out_.load(std::memory_order_relaxed);
   s.mailbox_full_spins = full_spins_.load(std::memory_order_relaxed);
+  s.doorbell_wakeups = doorbell_wakeups_.load(std::memory_order_relaxed);
+  s.doorbell_backstops = doorbell_backstops_.load(std::memory_order_relaxed);
   s.lock_wait_ns = queue_.lock_wait_ns();
   s.lock_contentions = queue_.lock_contentions();
   return s;

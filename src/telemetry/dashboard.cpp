@@ -1,0 +1,188 @@
+#include "arbiterq/telemetry/dashboard.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace arbiterq::telemetry {
+
+namespace {
+
+const char* const kBlocks[8] = {"▁", "▂", "▃", "▄",
+                                "▅", "▆", "▇", "█"};
+
+void append_compact(std::string& out, double v) {
+  char buf[40];
+  if (!std::isfinite(v)) {
+    out += "-";
+    return;
+  }
+  const double a = std::fabs(v);
+  if (a != 0.0 && (a >= 1e6 || a < 1e-3)) {
+    std::snprintf(buf, sizeof(buf), "%.3g", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f", v);
+  }
+  out += buf;
+}
+
+void append_html_escaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+}
+
+struct Range {
+  double lo = 0.0;
+  double hi = 0.0;
+  bool valid = false;
+};
+
+Range finite_range(const std::vector<double>& values) {
+  Range r;
+  for (double v : values) {
+    if (!std::isfinite(v)) continue;
+    if (!r.valid) {
+      r.lo = r.hi = v;
+      r.valid = true;
+    } else {
+      r.lo = std::min(r.lo, v);
+      r.hi = std::max(r.hi, v);
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+std::string terminal_sparkline(const std::vector<double>& values) {
+  std::string out;
+  const Range r = finite_range(values);
+  if (!r.valid) return out;
+  const double span = r.hi - r.lo;
+  for (double v : values) {
+    if (!std::isfinite(v)) {
+      out += " ";
+      continue;
+    }
+    int level = 3;  // flat series renders as a mid row
+    if (span > 0.0) {
+      level = static_cast<int>((v - r.lo) / span * 7.0 + 0.5);
+      level = std::clamp(level, 0, 7);
+    }
+    out += kBlocks[level];
+  }
+  return out;
+}
+
+std::string svg_sparkline(const std::vector<double>& values, int width,
+                          int height) {
+  std::string out;
+  char buf[96];
+  std::snprintf(buf, sizeof(buf),
+                "<svg width=\"%d\" height=\"%d\" viewBox=\"0 0 %d %d\">",
+                width, height, width, height);
+  out += buf;
+  const Range r = finite_range(values);
+  if (r.valid && values.size() > 1) {
+    const double span = r.hi - r.lo;
+    out += "<polyline fill=\"none\" stroke=\"#2a7\" stroke-width=\"1.5\" "
+           "points=\"";
+    const double dx =
+        static_cast<double>(width - 2) / static_cast<double>(values.size() - 1);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      double v = values[i];
+      if (!std::isfinite(v)) v = r.lo;
+      const double frac = span > 0.0 ? (v - r.lo) / span : 0.5;
+      const double x = 1.0 + dx * static_cast<double>(i);
+      const double y = 2.0 + (1.0 - frac) * static_cast<double>(height - 4);
+      std::snprintf(buf, sizeof(buf), "%.1f,%.1f ", x, y);
+      out += buf;
+    }
+    out += "\"/>";
+  }
+  out += "</svg>";
+  return out;
+}
+
+std::vector<double> plot_values(const SeriesSnapshot& s) {
+  std::vector<double> out;
+  out.reserve(s.windows.size());
+  for (std::size_t i = 0; i < s.windows.size(); ++i) {
+    switch (s.kind) {
+      case SeriesKind::kCounterRate:
+      case SeriesKind::kEvent:
+        out.push_back(s.rate(i));
+        break;
+      case SeriesKind::kGauge:
+        out.push_back(s.windows[i].last);
+        break;
+      case SeriesKind::kHistogram:
+        out.push_back(s.quantile(i, 0.99));
+        break;
+    }
+  }
+  return out;
+}
+
+std::string render_dashboard_html(const TimeSeriesStore& store,
+                                  const std::string& title,
+                                  const std::string& filter,
+                                  const std::string& footer_html,
+                                  int refresh_seconds) {
+  const std::vector<SeriesSnapshot> all = store.snapshot(filter);
+  std::string out;
+  out.reserve(2048 + all.size() * 512);
+  out += "<!DOCTYPE html><html><head><meta charset=\"utf-8\">";
+  if (refresh_seconds > 0) {
+    out += "<meta http-equiv=\"refresh\" content=\"" +
+           std::to_string(refresh_seconds) + "\">";
+  }
+  out += "<title>";
+  append_html_escaped(out, title);
+  out += "</title><style>"
+         "body{font-family:monospace;background:#14161a;color:#cdd3da;"
+         "margin:1.2em}"
+         "h1{font-size:1.1em;color:#8fd18f}"
+         "table{border-collapse:collapse}"
+         "td,th{padding:2px 10px;text-align:left;border-bottom:1px solid "
+         "#262a30;font-size:0.85em;white-space:nowrap}"
+         "th{color:#7aa2c4}"
+         ".k{color:#6b7480}"
+         "</style></head><body><h1>";
+  append_html_escaped(out, title);
+  out += "</h1><table><tr><th>series</th><th>kind</th><th></th>"
+         "<th>latest</th><th>min</th><th>max</th><th>windows</th></tr>";
+  for (const SeriesSnapshot& s : all) {
+    const std::vector<double> vals = plot_values(s);
+    const Range r = finite_range(vals);
+    out += "<tr><td>";
+    append_html_escaped(out, s.name);
+    out += "</td><td class=\"k\">";
+    out += series_kind_name(s.kind);
+    out += "</td><td>";
+    out += svg_sparkline(vals);
+    out += "</td><td>";
+    append_compact(out, vals.empty() ? 0.0 : vals.back());
+    out += "</td><td>";
+    append_compact(out, r.valid ? r.lo : 0.0);
+    out += "</td><td>";
+    append_compact(out, r.valid ? r.hi : 0.0);
+    out += "</td><td class=\"k\">";
+    out += std::to_string(s.windows.size());
+    out += "</td></tr>";
+  }
+  out += "</table>";
+  if (!footer_html.empty()) out += footer_html;
+  out += "</body></html>";
+  return out;
+}
+
+}  // namespace arbiterq::telemetry

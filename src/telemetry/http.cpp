@@ -40,9 +40,31 @@ const char* prometheus_content_type() {
   return "text/plain; version=0.0.4; charset=utf-8";
 }
 
+std::string query_param(const std::string& query, const std::string& key) {
+  std::size_t pos = 0;
+  while (pos < query.size()) {
+    std::size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    const std::size_t eq = query.find('=', pos);
+    if (eq != std::string::npos && eq < amp &&
+        query.compare(pos, eq - pos, key) == 0) {
+      return query.substr(eq + 1, amp - eq - 1);
+    }
+    pos = amp + 1;
+  }
+  return {};
+}
+
 ScrapeServer::~ScrapeServer() { stop(); }
 
 void ScrapeServer::handle(const std::string& path, Handler handler) {
+  handle_query(path, [handler = std::move(handler)](const std::string&) {
+    return handler();
+  });
+}
+
+void ScrapeServer::handle_query(const std::string& path,
+                                QueryHandler handler) {
   std::lock_guard<std::mutex> lock(mu_);
   handlers_[path] = std::move(handler);
 }
@@ -76,8 +98,12 @@ std::string ScrapeServer::dispatch(const std::string& request) const {
   }
   const std::string method = line.substr(0, sp1);
   std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  std::string query_string;
   const std::size_t query = path.find('?');
-  if (query != std::string::npos) path.resize(query);
+  if (query != std::string::npos) {
+    query_string = path.substr(query + 1);
+    path.resize(query);
+  }
 
   const bool head = method == "HEAD";
   if (method != "GET" && !head) {
@@ -87,7 +113,7 @@ std::string ScrapeServer::dispatch(const std::string& request) const {
     return render(r, head);
   }
 
-  Handler handler;
+  QueryHandler handler;
   {
     std::lock_guard<std::mutex> lock(mu_);
     const auto it = handlers_.find(path);
@@ -104,7 +130,7 @@ std::string ScrapeServer::dispatch(const std::string& request) const {
     r.body = "not found; registered paths:\n" + known;
     return render(r, head);
   }
-  return render(handler(), head);
+  return render(handler(query_string), head);
 }
 
 bool ScrapeServer::start(std::uint16_t port) {

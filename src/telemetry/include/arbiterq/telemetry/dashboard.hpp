@@ -1,0 +1,40 @@
+#pragma once
+// Dashboard renderers over a TimeSeriesStore: a self-contained HTML page
+// with inline SVG sparklines for the ScrapeServer's /dashboard endpoint,
+// and Unicode block sparklines for `arbiterq_cli --watch`'s terminal
+// view. Everything is rendered server-side at request time — no
+// JavaScript beyond a meta refresh, no external assets — so the page
+// works from curl, an air-gapped browser, or a CI artifact.
+
+#include <string>
+#include <vector>
+
+#include "arbiterq/telemetry/timeseries.hpp"
+
+namespace arbiterq::telemetry {
+
+/// One row of Unicode block characters (U+2581..U+2588), min-max scaled;
+/// empty input renders as an empty string, a flat series as a mid row.
+std::string terminal_sparkline(const std::vector<double>& values);
+
+/// Inline SVG polyline sparkline (self-contained, no external refs).
+std::string svg_sparkline(const std::vector<double>& values, int width = 160,
+                          int height = 28);
+
+/// Per-window scalar used for plots: rate for counter/event series,
+/// window-last for gauges, p99 for histograms.
+std::vector<double> plot_values(const SeriesSnapshot& s);
+
+/// Full self-contained HTML dashboard: one sparkline row per series in
+/// the store (filtered by substring when `filter` is non-empty), with
+/// latest value, min, and max. `footer_html` is appended verbatim
+/// (callers inject health/anomaly summaries without telemetry depending
+/// on the monitor layer). Auto-refreshes every `refresh_seconds` when
+/// positive.
+std::string render_dashboard_html(const TimeSeriesStore& store,
+                                  const std::string& title,
+                                  const std::string& filter = {},
+                                  const std::string& footer_html = {},
+                                  int refresh_seconds = 2);
+
+}  // namespace arbiterq::telemetry

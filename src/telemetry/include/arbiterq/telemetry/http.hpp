@@ -36,9 +36,17 @@ struct ScrapeResponse {
 /// Content type for /metrics (Prometheus text exposition 0.0.4).
 const char* prometheus_content_type();
 
+/// Value of `key` in a raw query string ("a=1&b=x" style); empty when
+/// absent. No percent-decoding — scrape filters are plain metric-name
+/// substrings.
+std::string query_param(const std::string& query, const std::string& key);
+
 class ScrapeServer {
  public:
   using Handler = std::function<ScrapeResponse()>;
+  /// Query-aware handler: receives the raw query string (the part after
+  /// '?', empty when there is none); see query_param().
+  using QueryHandler = std::function<ScrapeResponse(const std::string&)>;
 
   ScrapeServer() = default;
   /// Joins the server thread and closes the socket.
@@ -48,8 +56,11 @@ class ScrapeServer {
   ScrapeServer& operator=(const ScrapeServer&) = delete;
 
   /// Register (or replace) the handler for an exact path, e.g.
-  /// "/metrics". Query strings are stripped before lookup.
+  /// "/metrics". Query strings are stripped before lookup (and ignored).
   void handle(const std::string& path, Handler handler);
+  /// Register a handler that also sees the request's query string
+  /// (label-filterable endpoints like /timeseries?name=serve.shard).
+  void handle_query(const std::string& path, QueryHandler handler);
   /// Convenience: a 200 handler with a fixed content type whose body is
   /// rendered per request.
   void handle_text(const std::string& path, std::string content_type,
@@ -76,7 +87,7 @@ class ScrapeServer {
   void serve_loop();
 
   mutable std::mutex mu_;
-  std::map<std::string, Handler> handlers_;
+  std::map<std::string, QueryHandler> handlers_;
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_requested_{false};
   std::atomic<std::uint64_t> requests_{0};

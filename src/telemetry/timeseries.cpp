@@ -1,0 +1,465 @@
+#include "arbiterq/telemetry/timeseries.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+namespace arbiterq::telemetry {
+
+namespace {
+
+std::int64_t window_index(double t_us, double window_us) {
+  return static_cast<std::int64_t>(std::floor(t_us / window_us));
+}
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void append_double(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+}  // namespace
+
+const char* series_kind_name(SeriesKind kind) noexcept {
+  switch (kind) {
+    case SeriesKind::kCounterRate: return "counter_rate";
+    case SeriesKind::kGauge: return "gauge";
+    case SeriesKind::kHistogram: return "histogram";
+    case SeriesKind::kEvent: return "event";
+  }
+  return "unknown";
+}
+
+double SeriesSnapshot::rate(std::size_t i) const {
+  if (i >= windows.size() || window_us <= 0.0) return 0.0;
+  const double per_second = 1e6 / window_us;
+  if (kind == SeriesKind::kCounterRate) {
+    return windows[i].delta * per_second;
+  }
+  return static_cast<double>(windows[i].count) * per_second;
+}
+
+double SeriesSnapshot::quantile(std::size_t i, double q) const {
+  if (kind != SeriesKind::kHistogram || i >= windows.size()) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  const SeriesWindow& w = windows[i];
+  HistogramSnapshot h;
+  h.upper_bounds = upper_bounds;
+  h.bucket_counts = w.buckets;
+  h.count = w.count;
+  h.sum = w.sum;
+  return h.quantile(q);
+}
+
+// ---------------------------------------------------------------------------
+// Series
+
+class TimeSeriesStore::Series {
+ public:
+  Series(std::string name, SeriesKind kind, std::vector<double> bounds,
+         const TimeSeriesConfig& cfg)
+      : name_(std::move(name)),
+        kind_(kind),
+        bounds_(std::move(bounds)),
+        cfg_(cfg) {}
+
+  const std::string& name() const noexcept { return name_; }
+  SeriesKind kind() const noexcept { return kind_; }
+  const std::vector<double>& bounds() const noexcept { return bounds_; }
+
+  bool matches(SeriesKind kind, const std::vector<double>& bounds) const {
+    return kind == kind_ && bounds == bounds_;
+  }
+
+  void observe(double t_us, double value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    SeriesWindow& w = window_at(window_index(t_us, cfg_.window_us));
+    fold_point(w, value);
+    w.count += 1;
+    w.sum += value;
+    if (kind_ == SeriesKind::kHistogram) {
+      std::size_t b = 0;
+      while (b < bounds_.size() && value > bounds_[b]) ++b;
+      w.buckets[b] += 1;
+    }
+    w.samples += 1;
+  }
+
+  void fold_counter(double t_us, double value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    SeriesWindow& w = window_at(window_index(t_us, cfg_.window_us));
+    // A cumulative value that went backwards means the registry was
+    // reset; restart the baseline instead of folding a negative delta.
+    const double delta =
+        (has_prev_ && value >= prev_value_) ? value - prev_value_ : value;
+    prev_value_ = value;
+    has_prev_ = true;
+    w.delta += delta;
+    fold_point(w, value);
+    w.samples += 1;
+  }
+
+  void fold_gauge(double t_us, double value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    SeriesWindow& w = window_at(window_index(t_us, cfg_.window_us));
+    fold_point(w, value);
+    w.samples += 1;
+  }
+
+  void fold_histogram(double t_us, const HistogramSnapshot& h) {
+    std::lock_guard<std::mutex> lock(mu_);
+    SeriesWindow& w = window_at(window_index(t_us, cfg_.window_us));
+    const bool reset =
+        !prev_buckets_.empty() && (h.count < prev_count_ ||
+                                   prev_buckets_.size() != h.bucket_counts.size());
+    for (std::size_t b = 0; b < h.bucket_counts.size() && b < w.buckets.size();
+         ++b) {
+      const std::uint64_t prev =
+          (reset || b >= prev_buckets_.size()) ? 0 : prev_buckets_[b];
+      w.buckets[b] += h.bucket_counts[b] - std::min(prev, h.bucket_counts[b]);
+    }
+    const std::uint64_t prev_count = reset ? 0 : prev_count_;
+    const double prev_sum = reset ? 0.0 : prev_sum_;
+    w.count += h.count - std::min(prev_count, h.count);
+    w.sum += h.sum - prev_sum;
+    prev_buckets_ = h.bucket_counts;
+    prev_count_ = h.count;
+    prev_sum_ = h.sum;
+    w.samples += 1;
+  }
+
+  SeriesSnapshot snapshot() const {
+    SeriesSnapshot out;
+    out.name = name_;
+    out.kind = kind_;
+    out.window_us = cfg_.window_us;
+    out.upper_bounds = bounds_;
+    std::lock_guard<std::mutex> lock(mu_);
+    out.windows.reserve(windows_.size());
+    for (const auto& [idx, w] : windows_) out.windows.push_back(w);
+    return out;
+  }
+
+ private:
+  void fold_point(SeriesWindow& w, double value) {
+    if (w.samples == 0) {
+      w.min = w.max = value;
+    } else {
+      w.min = std::min(w.min, value);
+      w.max = std::max(w.max, value);
+    }
+    w.last = value;
+  }
+
+  SeriesWindow& window_at(std::int64_t idx) {
+    // Hot-path cache: back-to-back observations almost always land in
+    // the same window, so skip the map walk for repeats. Map nodes are
+    // stable, so the pointer survives inserts; only eviction of the
+    // cached window itself (handled below) invalidates it.
+    if (last_window_ != nullptr && last_index_ == idx) {
+      return *last_window_;
+    }
+    auto it = windows_.find(idx);
+    if (it == windows_.end()) {
+      SeriesWindow w;
+      w.index = idx;
+      if (kind_ == SeriesKind::kHistogram) {
+        w.buckets.assign(bounds_.size() + 1, 0);
+      }
+      it = windows_.emplace(idx, std::move(w)).first;
+      while (windows_.size() > cfg_.max_windows) {
+        auto oldest = windows_.begin();
+        if (last_window_ == &oldest->second) last_window_ = nullptr;
+        const bool dropped_self = oldest == it;
+        windows_.erase(oldest);
+        if (dropped_self) {
+          // The observation predates every retained window: fold it into
+          // a scratch window that snapshots never see instead of
+          // returning a dangling reference.
+          discard_ = SeriesWindow{};
+          discard_.index = idx;
+          if (kind_ == SeriesKind::kHistogram) {
+            discard_.buckets.assign(bounds_.size() + 1, 0);
+          }
+          return discard_;
+        }
+      }
+    }
+    last_index_ = idx;
+    last_window_ = &it->second;
+    return it->second;
+  }
+
+  const std::string name_;
+  const SeriesKind kind_;
+  const std::vector<double> bounds_;
+  const TimeSeriesConfig cfg_;
+
+  mutable std::mutex mu_;
+  std::map<std::int64_t, SeriesWindow> windows_;
+  std::int64_t last_index_ = 0;
+  SeriesWindow* last_window_ = nullptr;
+  SeriesWindow discard_;  ///< sink for observations older than retention
+  // Previous cumulative sample, for the registry-difference paths.
+  bool has_prev_ = false;
+  double prev_value_ = 0.0;
+  std::vector<std::uint64_t> prev_buckets_;
+  std::uint64_t prev_count_ = 0;
+  double prev_sum_ = 0.0;
+};
+
+// ---------------------------------------------------------------------------
+// TimeSeriesStore
+
+TimeSeriesStore::TimeSeriesStore(TimeSeriesConfig cfg) : cfg_(cfg) {
+  if (cfg_.window_us <= 0.0) {
+    throw std::invalid_argument("TimeSeriesStore: window_us must be > 0");
+  }
+  if (cfg_.max_windows == 0) {
+    throw std::invalid_argument("TimeSeriesStore: max_windows must be > 0");
+  }
+}
+
+TimeSeriesStore::~TimeSeriesStore() = default;
+
+TimeSeriesStore::Series* TimeSeriesStore::series(
+    const std::string& name, SeriesKind kind,
+    const std::vector<double>& upper_bounds) {
+  if (kind == SeriesKind::kHistogram) {
+    if (upper_bounds.empty()) {
+      throw std::invalid_argument("TimeSeriesStore: histogram needs bounds");
+    }
+    for (std::size_t i = 1; i < upper_bounds.size(); ++i) {
+      if (upper_bounds[i] <= upper_bounds[i - 1]) {
+        throw std::invalid_argument(
+            "TimeSeriesStore: bounds must be strictly ascending");
+      }
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = series_.find(name);
+  if (it != series_.end()) {
+    if (!it->second->matches(kind, upper_bounds)) {
+      throw std::invalid_argument("TimeSeriesStore: series '" + name +
+                                  "' registered with a different shape");
+    }
+    return it->second.get();
+  }
+  if (series_.size() >= cfg_.max_series) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  auto s = std::make_unique<Series>(name, kind, upper_bounds, cfg_);
+  Series* raw = s.get();
+  series_.emplace(name, std::move(s));
+  return raw;
+}
+
+void TimeSeriesStore::observe(Series* s, double t_us, double value) {
+  if (s == nullptr) return;
+  s->observe(t_us, value);
+}
+
+void TimeSeriesStore::observe(const std::string& name, double t_us,
+                              double value) {
+  observe(series(name, SeriesKind::kEvent), t_us, value);
+}
+
+void TimeSeriesStore::sample(const MetricsSnapshot& snap, double t_us) {
+  for (const CounterSnapshot& c : snap.counters) {
+    Series* s = series(c.name, SeriesKind::kCounterRate);
+    if (s != nullptr) s->fold_counter(t_us, static_cast<double>(c.value));
+  }
+  for (const GaugeSnapshot& g : snap.gauges) {
+    Series* s = series(g.name, SeriesKind::kGauge);
+    if (s != nullptr) s->fold_gauge(t_us, g.value);
+  }
+  for (const HistogramSnapshot& h : snap.histograms) {
+    Series* s = series(h.name, SeriesKind::kHistogram, h.upper_bounds);
+    if (s != nullptr) s->fold_histogram(t_us, h);
+  }
+}
+
+std::vector<SeriesSnapshot> TimeSeriesStore::snapshot(
+    const std::string& filter) const {
+  std::vector<const Series*> picked;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    picked.reserve(series_.size());
+    for (const auto& [name, s] : series_) {
+      if (filter.empty() || name.find(filter) != std::string::npos) {
+        picked.push_back(s.get());
+      }
+    }
+  }
+  // Per-series snapshots are taken outside the map lock (each series has
+  // its own mutex; the handles are stable for the store's lifetime).
+  std::vector<SeriesSnapshot> out;
+  out.reserve(picked.size());
+  for (const Series* s : picked) out.push_back(s->snapshot());
+  return out;
+}
+
+std::string TimeSeriesStore::to_json(const std::string& filter) const {
+  const std::vector<SeriesSnapshot> all = snapshot(filter);
+  std::string out;
+  out.reserve(256 + all.size() * 256);
+  out += "{\"window_us\": ";
+  append_double(out, cfg_.window_us);
+  out += ", \"max_windows\": " + std::to_string(cfg_.max_windows);
+  out += ", \"series\": [";
+  bool first_series = true;
+  for (const SeriesSnapshot& s : all) {
+    if (!first_series) out += ", ";
+    first_series = false;
+    out += "{\"name\": \"";
+    append_escaped(out, s.name);
+    out += "\", \"kind\": \"";
+    out += series_kind_name(s.kind);
+    out += "\", \"windows\": [";
+    for (std::size_t i = 0; i < s.windows.size(); ++i) {
+      const SeriesWindow& w = s.windows[i];
+      if (i != 0) out += ", ";
+      out += "{\"w\": " + std::to_string(w.index);
+      out += ", \"t_us\": ";
+      append_double(out, static_cast<double>(w.index) * s.window_us);
+      switch (s.kind) {
+        case SeriesKind::kCounterRate:
+          out += ", \"delta\": ";
+          append_double(out, w.delta);
+          out += ", \"rate\": ";
+          append_double(out, s.rate(i));
+          break;
+        case SeriesKind::kGauge:
+          out += ", \"last\": ";
+          append_double(out, w.last);
+          out += ", \"min\": ";
+          append_double(out, w.min);
+          out += ", \"max\": ";
+          append_double(out, w.max);
+          break;
+        case SeriesKind::kHistogram:
+          // Order-independent fields only (see header): keeps the
+          // virtual-clock document bit-stable across thread schedules.
+          out += ", \"count\": " + std::to_string(w.count);
+          out += ", \"min\": ";
+          append_double(out, w.count != 0 ? w.min : 0.0);
+          out += ", \"max\": ";
+          append_double(out, w.count != 0 ? w.max : 0.0);
+          out += ", \"p50\": ";
+          append_double(out, s.quantile(i, 0.50));
+          out += ", \"p99\": ";
+          append_double(out, s.quantile(i, 0.99));
+          break;
+        case SeriesKind::kEvent:
+          out += ", \"count\": " + std::to_string(w.count);
+          out += ", \"rate\": ";
+          append_double(out, s.rate(i));
+          out += ", \"sum\": ";
+          append_double(out, w.sum);
+          out += ", \"min\": ";
+          append_double(out, w.min);
+          out += ", \"max\": ";
+          append_double(out, w.max);
+          break;
+      }
+      out += "}";
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::size_t TimeSeriesStore::series_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return series_.size();
+}
+
+// ---------------------------------------------------------------------------
+// Collector
+
+double steady_now_us() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Collector::Collector(TimeSeriesStore& store, MetricsRegistry& registry,
+                     Options opts)
+    : store_(store), registry_(registry), opts_(std::move(opts)) {
+  if (!opts_.clock) opts_.clock = steady_now_us;
+  if (opts_.cadence_us <= 0.0) opts_.cadence_us = 250'000.0;
+}
+
+Collector::~Collector() { stop(); }
+
+void Collector::start() {
+  if (running_) throw std::logic_error("Collector: already running");
+  stop_requested_ = false;
+  thread_ = std::thread(&Collector::run, this);
+  running_ = true;
+}
+
+void Collector::stop() {
+  if (!running_) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  running_ = false;
+  // Close the run with a final sample so short-lived serving windows are
+  // never lost between the last tick and stop().
+  collect_once();
+}
+
+void Collector::collect_once() {
+  if (opts_.pre_sample) opts_.pre_sample();
+  store_.sample(registry_.snapshot(), opts_.clock());
+  samples_.fetch_add(1, std::memory_order_relaxed);
+  if (opts_.post_sample) opts_.post_sample();
+}
+
+void Collector::run() {
+  const auto cadence = std::chrono::duration<double, std::micro>(
+      opts_.cadence_us);
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_requested_) {
+    lock.unlock();
+    collect_once();
+    lock.lock();
+    cv_.wait_for(lock, cadence, [this] { return stop_requested_; });
+  }
+}
+
+}  // namespace arbiterq::telemetry

@@ -4,8 +4,12 @@
 
 #include "arbiterq/telemetry/http.hpp"
 
+#include <atomic>
+#include <chrono>
 #include <cstring>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -16,6 +20,7 @@
 
 #include "arbiterq/telemetry/metrics.hpp"
 #include "arbiterq/telemetry/prometheus.hpp"
+#include "arbiterq/telemetry/timeseries.hpp"
 
 namespace {
 
@@ -146,6 +151,135 @@ TEST(ScrapeServer, StartWhileRunningThrowsAndStopIsIdempotent) {
   server.stop();
   server.stop();  // no-op
   EXPECT_FALSE(server.running());
+}
+
+TEST(ScrapeDispatch, QueryHandlerReceivesTheQueryString) {
+  telemetry::ScrapeServer server;
+  server.handle_query("/timeseries", [](const std::string& query) {
+    telemetry::ScrapeResponse resp;
+    resp.content_type = "application/json";
+    resp.body = "{\"filter\":\"" + telemetry::query_param(query, "name") +
+                "\"}";
+    return resp;
+  });
+  const std::string with_query = server.dispatch(
+      "GET /timeseries?name=serve.shard0&limit=3 HTTP/1.1\r\n\r\n");
+  EXPECT_NE(with_query.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(with_query.find("{\"filter\":\"serve.shard0\"}"),
+            std::string::npos);
+  const std::string without =
+      server.dispatch("GET /timeseries HTTP/1.1\r\n\r\n");
+  EXPECT_NE(without.find("{\"filter\":\"\"}"), std::string::npos);
+}
+
+TEST(ScrapeServer, ConcurrentClientsOnMetricsAndTimeseries) {
+  // Two clients hammering /metrics and /timeseries at the same time:
+  // every exchange must come back complete (the server answers serially
+  // on the accept thread; concurrency shows up as queued connects).
+  telemetry::ScrapeServer server;
+  telemetry::MetricsRegistry registry;
+  registry.counter("scrape.concurrent.hits").add(7);
+  telemetry::TimeSeriesConfig tc;
+  tc.window_us = 1000.0;
+  telemetry::TimeSeriesStore ts(tc);
+  for (int w = 0; w < 4; ++w) ts.observe("serve.ts.admitted", w * 1000.0, 1.0);
+  server.handle_text("/metrics", telemetry::prometheus_content_type(),
+                     [&registry] {
+                       return telemetry::prometheus_text(registry.snapshot());
+                     });
+  server.handle_query("/timeseries", [&ts](const std::string& query) {
+    telemetry::ScrapeResponse resp;
+    resp.content_type = "application/json";
+    resp.body = ts.to_json(telemetry::query_param(query, "name"));
+    return resp;
+  });
+  ASSERT_TRUE(server.start(0));
+  const std::uint16_t port = server.port();
+
+  constexpr int kPerClient = 16;
+  std::atomic<int> failures{0};
+  auto client = [port, &failures](const std::string& path,
+                                  const std::string& expect) {
+    for (int i = 0; i < kPerClient; ++i) {
+      const std::string r =
+          http_get(port, "GET " + path + " HTTP/1.1\r\nHost: l\r\n\r\n");
+      if (r.find("HTTP/1.0 200 OK") == std::string::npos ||
+          r.find(expect) == std::string::npos) {
+        failures.fetch_add(1);
+      }
+    }
+  };
+  std::thread a(client, "/metrics", "arbiterq_scrape_concurrent_hits_total 7");
+  std::thread b(client, "/timeseries?name=serve.ts",
+                "\"serve.ts.admitted\"");
+  a.join();
+  b.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(server.requests_served(), 2U * kPerClient);
+  server.stop();
+}
+
+TEST(ScrapeServer, SlowChunkedRequestWriteStillServed) {
+  telemetry::ScrapeServer server;
+  add_handlers(server);
+  ASSERT_TRUE(server.start(0));
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(server.port());
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof addr),
+            0);
+  // Dribble the request a few bytes at a time with pauses: the server
+  // must keep reading until the blank line instead of parsing a prefix.
+  const std::string request = "GET /healthz HTTP/1.1\r\nHost: slow\r\n\r\n";
+  for (std::size_t at = 0; at < request.size(); at += 5) {
+    const std::size_t n = std::min<std::size_t>(5, request.size() - at);
+    ASSERT_EQ(::send(fd, request.data() + at, n, 0),
+              static_cast<ssize_t>(n));
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  std::string response;
+  char buf[1024];
+  for (;;) {
+    const ssize_t got = ::recv(fd, buf, sizeof buf, 0);
+    if (got <= 0) break;
+    response.append(buf, static_cast<std::size_t>(got));
+  }
+  ::close(fd);
+  EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("{\"ok\":true}"), std::string::npos);
+  server.stop();
+}
+
+TEST(ScrapeServer, ClientHangupMidRequestDoesNotWedgeTheServer) {
+  telemetry::ScrapeServer server;
+  add_handlers(server);
+  ASSERT_TRUE(server.start(0));
+
+  // A client that writes half a request line and disappears.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(server.port());
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof addr),
+            0);
+  const char partial[] = "GET /heal";
+  ASSERT_GT(::send(fd, partial, sizeof partial - 1, 0), 0);
+  ::close(fd);
+
+  // The next well-formed client still gets an answer.
+  const std::string ok =
+      http_get(server.port(), "GET /healthz HTTP/1.1\r\nHost: l\r\n\r\n");
+  EXPECT_NE(ok.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(ok.find("{\"ok\":true}"), std::string::npos);
+  server.stop();
 }
 
 TEST(ScrapeServer, HandlerValuesAreLiveNotCached) {

@@ -1,0 +1,373 @@
+// TimeSeriesStore + Collector: window folding semantics for every series
+// kind, retention and cap bounds, JSON dumps, the Collector loop under a
+// fake clock, the dashboard renderers, and the serving runtime's
+// virtual-clock event series reproducing bit-identically across runs.
+
+#include "arbiterq/telemetry/timeseries.hpp"
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "arbiterq/core/trainers.hpp"
+#include "arbiterq/data/pipeline.hpp"
+#include "arbiterq/device/presets.hpp"
+#include "arbiterq/math/rng.hpp"
+#include "arbiterq/serve/runtime.hpp"
+#include "arbiterq/telemetry/dashboard.hpp"
+#include "arbiterq/telemetry/http.hpp"
+#include "arbiterq/telemetry/metrics.hpp"
+
+namespace arbiterq::telemetry {
+namespace {
+
+MetricsSnapshot snap_counter(const std::string& name, std::uint64_t v) {
+  MetricsSnapshot s;
+  s.counters.push_back({name, v});
+  return s;
+}
+
+MetricsSnapshot snap_gauge(const std::string& name, double v) {
+  MetricsSnapshot s;
+  s.gauges.push_back({name, v});
+  return s;
+}
+
+TEST(TimeSeriesStore, CounterFoldsToPerWindowDeltas) {
+  TimeSeriesConfig cfg;
+  cfg.window_us = 1000.0;
+  TimeSeriesStore ts(cfg);
+  ts.sample(snap_counter("c", 10), 100.0);   // window 0: baseline
+  ts.sample(snap_counter("c", 25), 600.0);   // window 0: +15
+  ts.sample(snap_counter("c", 40), 1500.0);  // window 1: +15
+  const auto series = ts.snapshot("c");
+  ASSERT_EQ(series.size(), 1U);
+  const SeriesSnapshot& s = series[0];
+  EXPECT_EQ(s.kind, SeriesKind::kCounterRate);
+  ASSERT_EQ(s.windows.size(), 2U);
+  // The first sample has no previous value: its full value folds in as
+  // the baseline delta.
+  EXPECT_DOUBLE_EQ(s.windows[0].delta, 10.0 + 15.0);
+  EXPECT_DOUBLE_EQ(s.windows[1].delta, 15.0);
+  // rate() is per second of series time: 15 per 1000us window = 15000/s.
+  EXPECT_DOUBLE_EQ(s.rate(1), 15000.0);
+}
+
+TEST(TimeSeriesStore, CounterResetRestartsBaseline) {
+  TimeSeriesConfig cfg;
+  cfg.window_us = 1000.0;
+  TimeSeriesStore ts(cfg);
+  ts.sample(snap_counter("c", 100), 100.0);
+  ts.sample(snap_counter("c", 3), 1200.0);  // registry reset: 3 < 100
+  const auto series = ts.snapshot("c");
+  ASSERT_EQ(series[0].windows.size(), 2U);
+  // The post-reset value folds as-is, never as a negative delta.
+  EXPECT_DOUBLE_EQ(series[0].windows[1].delta, 3.0);
+}
+
+TEST(TimeSeriesStore, GaugeKeepsLastMinMaxPerWindow) {
+  TimeSeriesConfig cfg;
+  cfg.window_us = 1000.0;
+  TimeSeriesStore ts(cfg);
+  ts.sample(snap_gauge("g", 5.0), 100.0);
+  ts.sample(snap_gauge("g", -2.0), 400.0);
+  ts.sample(snap_gauge("g", 3.0), 900.0);
+  const auto series = ts.snapshot("g");
+  ASSERT_EQ(series.size(), 1U);
+  EXPECT_EQ(series[0].kind, SeriesKind::kGauge);
+  ASSERT_EQ(series[0].windows.size(), 1U);
+  EXPECT_DOUBLE_EQ(series[0].windows[0].last, 3.0);
+  EXPECT_DOUBLE_EQ(series[0].windows[0].min, -2.0);
+  EXPECT_DOUBLE_EQ(series[0].windows[0].max, 5.0);
+}
+
+TEST(TimeSeriesStore, HistogramMergesBucketDeltasWithQuantiles) {
+  TimeSeriesConfig cfg;
+  cfg.window_us = 1000.0;
+  TimeSeriesStore ts(cfg);
+  HistogramSnapshot h;
+  h.name = "h";
+  h.upper_bounds = {10.0, 100.0, 1000.0};
+  h.bucket_counts = {8, 2, 0, 0};
+  h.count = 10;
+  h.sum = 60.0;
+  MetricsSnapshot s1;
+  s1.histograms.push_back(h);
+  ts.sample(s1, 100.0);
+  // Second sample in a later window: 90 more observations, all fast.
+  h.bucket_counts = {98, 2, 0, 0};
+  h.count = 100;
+  h.sum = 500.0;
+  MetricsSnapshot s2;
+  s2.histograms.push_back(h);
+  ts.sample(s2, 1500.0);
+  const auto series = ts.snapshot("h");
+  ASSERT_EQ(series.size(), 1U);
+  EXPECT_EQ(series[0].kind, SeriesKind::kHistogram);
+  ASSERT_EQ(series[0].windows.size(), 2U);
+  EXPECT_EQ(series[0].windows[0].count, 10U);
+  EXPECT_EQ(series[0].windows[1].count, 90U);
+  ASSERT_EQ(series[0].windows[1].buckets.size(), 4U);
+  EXPECT_EQ(series[0].windows[1].buckets[0], 90U);
+  // All 90 delta observations are in the <=10 bucket: p50 interpolates
+  // inside it.
+  EXPECT_LE(series[0].quantile(1, 0.5), 10.0);
+  EXPECT_GT(series[0].quantile(1, 0.5), 0.0);
+  // Quantiles on non-histogram windows are NaN.
+  TimeSeriesStore other(cfg);
+  other.observe("e", 100.0, 1.0);
+  EXPECT_TRUE(std::isnan(other.snapshot("e")[0].quantile(0, 0.5)));
+}
+
+TEST(TimeSeriesStore, EventPathFoldsCountSumMinMax) {
+  TimeSeriesConfig cfg;
+  cfg.window_us = 1000.0;
+  TimeSeriesStore ts(cfg);
+  TimeSeriesStore::Series* s = ts.series("ev", SeriesKind::kEvent);
+  ASSERT_NE(s, nullptr);
+  ts.observe(s, 100.0, 2.0);
+  ts.observe(s, 200.0, -1.0);
+  ts.observe(s, 1100.0, 7.0);
+  const auto series = ts.snapshot("ev");
+  ASSERT_EQ(series[0].windows.size(), 2U);
+  EXPECT_EQ(series[0].windows[0].count, 2U);
+  EXPECT_DOUBLE_EQ(series[0].windows[0].sum, 1.0);
+  EXPECT_DOUBLE_EQ(series[0].windows[0].min, -1.0);
+  EXPECT_DOUBLE_EQ(series[0].windows[0].max, 2.0);
+  EXPECT_EQ(series[0].windows[1].count, 1U);
+  // Event rate: 2 events in a 1000us window = 2000 events/s.
+  EXPECT_DOUBLE_EQ(series[0].rate(0), 2000.0);
+}
+
+TEST(TimeSeriesStore, RetentionEvictsOldestWindowFirst) {
+  TimeSeriesConfig cfg;
+  cfg.window_us = 1000.0;
+  cfg.max_windows = 3;
+  TimeSeriesStore ts(cfg);
+  for (int w = 0; w < 6; ++w) {
+    ts.observe("ev", 1000.0 * w + 1.0, 1.0);
+  }
+  const auto series = ts.snapshot("ev");
+  ASSERT_EQ(series[0].windows.size(), 3U);
+  EXPECT_EQ(series[0].windows.front().index, 3);
+  EXPECT_EQ(series[0].windows.back().index, 5);
+  // An observation older than everything retained is absorbed without
+  // resurrecting an evicted window (and without crashing).
+  ts.observe("ev", 1.0, 1.0);
+  EXPECT_EQ(ts.snapshot("ev")[0].windows.front().index, 3);
+}
+
+TEST(TimeSeriesStore, SeriesCapCountsDrops) {
+  TimeSeriesConfig cfg;
+  cfg.max_series = 2;
+  TimeSeriesStore ts(cfg);
+  EXPECT_NE(ts.series("a", SeriesKind::kEvent), nullptr);
+  EXPECT_NE(ts.series("b", SeriesKind::kEvent), nullptr);
+  EXPECT_EQ(ts.series("c", SeriesKind::kEvent), nullptr);
+  // Null handles are observable no-ops, so hot paths need no branch.
+  ts.observe(nullptr, 0.0, 1.0);
+  ts.observe("d", 0.0, 1.0);
+  EXPECT_EQ(ts.series_count(), 2U);
+  EXPECT_GE(ts.dropped_series(), 2U);
+}
+
+TEST(TimeSeriesStore, KindMismatchThrows) {
+  TimeSeriesStore ts;
+  ASSERT_NE(ts.series("x", SeriesKind::kEvent), nullptr);
+  EXPECT_THROW(ts.series("x", SeriesKind::kGauge), std::invalid_argument);
+  EXPECT_THROW(ts.series("h", SeriesKind::kHistogram, {3.0, 2.0}),
+               std::invalid_argument);  // bounds not ascending
+}
+
+TEST(TimeSeriesStore, SnapshotFilterIsSubstringMatch) {
+  TimeSeriesStore ts;
+  ts.observe("serve.shard0.rate", 0.0, 1.0);
+  ts.observe("serve.shard1.rate", 0.0, 1.0);
+  ts.observe("monitor.drift", 0.0, 1.0);
+  EXPECT_EQ(ts.snapshot("shard").size(), 2U);
+  EXPECT_EQ(ts.snapshot("").size(), 3U);
+  const std::string json = ts.to_json("shard0");
+  EXPECT_NE(json.find("serve.shard0.rate"), std::string::npos);
+  EXPECT_EQ(json.find("monitor.drift"), std::string::npos);
+}
+
+TEST(TimeSeriesStore, JsonEmitsPerKindFields) {
+  TimeSeriesConfig cfg;
+  cfg.window_us = 1000.0;
+  TimeSeriesStore ts(cfg);
+  ts.sample(snap_counter("c", 5), 100.0);
+  ts.observe("e", 100.0, 2.5);
+  const std::string json = ts.to_json();
+  EXPECT_NE(json.find("\"kind\": \"counter_rate\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\": \"event\""), std::string::npos);
+  EXPECT_NE(json.find("\"delta\""), std::string::npos);
+  EXPECT_NE(json.find("\"t_us\""), std::string::npos);
+}
+
+// ------------------------------------------------------------- Collector
+
+TEST(Collector, FakeClockSamplesIntoWindows) {
+  TimeSeriesConfig cfg;
+  cfg.window_us = 1000.0;
+  TimeSeriesStore ts(cfg);
+  MetricsRegistry reg;
+  Counter& c = reg.counter("jobs");
+  double now = 0.0;
+  int pre = 0, post = 0;
+  CollectorOptions opts;
+  opts.clock = [&now] { return now; };
+  opts.pre_sample = [&pre] { ++pre; };
+  opts.post_sample = [&post] { ++post; };
+  Collector col(ts, reg, opts);
+  c.add(10);
+  col.collect_once();
+  now = 1500.0;
+  c.add(5);
+  col.collect_once();
+  EXPECT_EQ(col.samples(), 2U);
+  EXPECT_EQ(pre, 2);
+  EXPECT_EQ(post, 2);
+  const auto series = ts.snapshot("jobs");
+  ASSERT_EQ(series.size(), 1U);
+  ASSERT_EQ(series[0].windows.size(), 2U);
+  EXPECT_DOUBLE_EQ(series[0].windows[0].delta, 10.0);
+  EXPECT_DOUBLE_EQ(series[0].windows[1].delta, 5.0);
+}
+
+TEST(Collector, StartStopTakesFinalSample) {
+  TimeSeriesStore ts;
+  MetricsRegistry reg;
+  reg.counter("x").add(1);
+  CollectorOptions opts;
+  opts.cadence_us = 1e9;  // one initial tick, then sleep forever
+  Collector col(ts, reg, opts);
+  col.start();
+  EXPECT_TRUE(col.running());
+  while (col.samples() < 1) std::this_thread::yield();
+  col.stop();
+  EXPECT_FALSE(col.running());
+  // At least the loop's first sample plus stop()'s closing sample.
+  EXPECT_GE(col.samples(), 2U);
+  EXPECT_EQ(ts.snapshot("x").size(), 1U);
+}
+
+// ------------------------------------------------- dashboard + query parsing
+
+TEST(Dashboard, TerminalSparklineScalesMinToMax) {
+  const std::string flat = terminal_sparkline({1.0, 1.0, 1.0});
+  EXPECT_FALSE(flat.empty());
+  const std::string ramp = terminal_sparkline({0.0, 1.0, 2.0, 3.0});
+  // Lowest and highest points map to the lightest/heaviest glyphs.
+  EXPECT_EQ(ramp.find("▁"), 0U);
+  EXPECT_NE(ramp.find("█"), std::string::npos);
+  EXPECT_TRUE(terminal_sparkline({}).empty());
+}
+
+TEST(Dashboard, SvgAndHtmlRender) {
+  TimeSeriesConfig cfg;
+  cfg.window_us = 1000.0;
+  TimeSeriesStore ts(cfg);
+  for (int w = 0; w < 4; ++w) ts.observe("serve.rate", 1000.0 * w, 1.0);
+  const std::string svg = svg_sparkline({1.0, 2.0, 3.0});
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("polyline"), std::string::npos);
+  const std::string html =
+      render_dashboard_html(ts, "fleet", "", "<pre>footer</pre>");
+  EXPECT_NE(html.find("serve.rate"), std::string::npos);
+  EXPECT_NE(html.find("<pre>footer</pre>"), std::string::npos);
+  EXPECT_NE(html.find("<!DOCTYPE html>"), std::string::npos);
+}
+
+TEST(Dashboard, PlotValuesPicksKindAppropriateSignal) {
+  TimeSeriesConfig cfg;
+  cfg.window_us = 1'000'000.0;  // 1s windows: rate == count
+  TimeSeriesStore ts(cfg);
+  ts.observe("ev", 100.0, 1.0);
+  ts.observe("ev", 200.0, 1.0);
+  ts.sample(snap_gauge("g", 7.0), 100.0);
+  const auto ev = plot_values(ts.snapshot("ev")[0]);
+  ASSERT_EQ(ev.size(), 1U);
+  EXPECT_DOUBLE_EQ(ev[0], 2.0);
+  const auto g = plot_values(ts.snapshot("g")[0]);
+  ASSERT_EQ(g.size(), 1U);
+  EXPECT_DOUBLE_EQ(g[0], 7.0);
+}
+
+TEST(QueryParam, ExtractsKeysFromQueryStrings) {
+  EXPECT_EQ(query_param("name=serve.shard0&limit=5", "name"),
+            "serve.shard0");
+  EXPECT_EQ(query_param("name=serve.shard0&limit=5", "limit"), "5");
+  EXPECT_EQ(query_param("name=x", "missing"), "");
+  EXPECT_EQ(query_param("", "name"), "");
+}
+
+// ---------------------------------------- serving runtime virtual series
+
+class ServingSeriesTest : public ::testing::Test {
+ protected:
+  ServingSeriesTest()
+      : model_(qnn::Backbone::kCRz, 2, 2),
+        split_(data::prepare_case({"iris", 2, 2})) {
+    core::TrainConfig cfg;
+    trainer_ = std::make_unique<core::DistributedTrainer>(
+        model_, device::table3_fleet_subset(6, 2), cfg);
+    math::Rng rng(42);
+    std::vector<double> base(
+        static_cast<std::size_t>(model_.num_weights()));
+    for (double& w : base) w = rng.normal(0.0, 0.3);
+    for (std::size_t q = 0; q < trainer_->fleet_size(); ++q) {
+      std::vector<double> w = base;
+      math::Rng qrng = rng.split(q);
+      for (double& x : w) x += qrng.normal(0.0, 0.05);
+      weights_.push_back(std::move(w));
+    }
+  }
+
+  std::string run_and_dump(std::size_t n_jobs) const {
+    serve::ServeConfig cfg;
+    cfg.num_shards = 2;
+    cfg.queue_capacity = n_jobs * 8;
+    cfg.backoff_base_us = 0.0;
+    TimeSeriesConfig tc;
+    tc.window_us = 50'000.0;  // virtual us; generous retention below
+    tc.max_windows = 4096;
+    TimeSeriesStore ts(tc);
+    cfg.series = &ts;
+    serve::ServingRuntime runtime(trainer_->executors(), weights_,
+                                  trainer_->behavioral_vectors(), cfg);
+    for (std::size_t i = 0; i < n_jobs; ++i) {
+      serve::JobSpec spec;
+      spec.features = split_.test_features[i % split_.test_features.size()];
+      spec.label = split_.test_labels[i % split_.test_labels.size()];
+      spec.tenant = i % 2 == 0 ? "alpha" : "beta";
+      runtime.submit(spec);
+    }
+    runtime.drain();
+    return ts.to_json("serve.ts.");
+  }
+
+  qnn::QnnModel model_;
+  data::EncodedSplit split_;
+  std::unique_ptr<core::DistributedTrainer> trainer_;
+  std::vector<std::vector<double>> weights_;
+};
+
+TEST_F(ServingSeriesTest, VirtualClockSeriesAreBitIdenticalAcrossRuns) {
+  const std::string a = run_and_dump(48);
+  const std::string b = run_and_dump(48);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+  // Global, per-shard, and per-tenant admission series all recorded.
+  EXPECT_NE(a.find("\"serve.ts.admitted\""), std::string::npos);
+  EXPECT_NE(a.find("serve.ts.admitted.shard0"), std::string::npos);
+  EXPECT_NE(a.find("serve.ts.admitted.tenant.alpha"), std::string::npos);
+  EXPECT_NE(a.find("serve.ts.virtual_latency_us"), std::string::npos);
+  EXPECT_NE(a.find("serve.ts.completed"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace arbiterq::telemetry
