@@ -32,6 +32,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <ctime>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -43,11 +44,13 @@
 #include "arbiterq/device/presets.hpp"
 #include "arbiterq/exec/parallel.hpp"
 #include "arbiterq/math/rng.hpp"
+#include "arbiterq/monitor/slo.hpp"
 #include "arbiterq/monitor/watchdog.hpp"
 #include "arbiterq/qnn/executor.hpp"
 #include "arbiterq/qnn/model.hpp"
 #include "arbiterq/serve/flight_recorder.hpp"
 #include "arbiterq/serve/runtime.hpp"
+#include "arbiterq/serve/trafficgen.hpp"
 #include "arbiterq/sim/adjoint.hpp"
 #include "arbiterq/sim/density_matrix.hpp"
 #include "arbiterq/sim/kernels.hpp"
@@ -1517,6 +1520,418 @@ int run_serving_scale_mode(const std::string& out_path,
   return all_identical && series_reproducible && ramp_flagged ? 0 : 2;
 }
 
+// ---------------------------------------------------------------------------
+// Fairness mode (`--fairness`): the multi-tenant QoS acceptance
+// scenario. An adversarial open-loop traffic mix (one flooding
+// best-effort tenant, two heavy bulk tenants, four light interactive
+// tenants — see serve::adversarial_mix) is replayed through the sharded
+// runtime under every arbiter. Execution is synthetic and the whole
+// stream is submitted before the workers start (saturated-backlog
+// replay), so with model_queue_wait the wait-inclusive virtual latency
+// of every job is a pure function of (arrival sequence, arbiter) —
+// bit-identical across runs and shard counts (exit 2 otherwise).
+//
+// Fairness is scored per arbiter with a Jain index over
+// service/entitlement ratios: service is the jobs a tenant got finished
+// within the modeled horizon, entitlement is its weighted max-min
+// (water-filled) share of the total service the arbiter actually
+// delivered. Gates (exit 2 on failure): weighted_credit Jain >= 0.9
+// with the interactive class p99 inside the SLO target, aggregate
+// admission within 10% of FIFO, and bit-identity everywhere. FIFO's
+// numbers land in the same JSON entry as the side-by-side starvation
+// evidence.
+
+double vec_percentile(std::vector<double> v, double q) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const double pos = q * static_cast<double>(v.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  return v[lo] + (v[hi] - v[lo]) * (pos - static_cast<double>(lo));
+}
+
+/// Weighted max-min water-filling: distribute `capacity` across tenants
+/// proportional to weight, cap each at its demand, redistribute the
+/// surplus among the uncapped until none caps or capacity is exhausted.
+std::vector<double> waterfill_entitlements(
+    const std::vector<double>& weight, const std::vector<double>& demand,
+    double capacity) {
+  const std::size_t n = weight.size();
+  std::vector<double> ent(n, 0.0);
+  std::vector<bool> capped(n, false);
+  double remaining = capacity;
+  for (;;) {
+    double wsum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!capped[i]) wsum += std::max(0.0, weight[i]);
+    }
+    if (wsum <= 0.0 || remaining <= 1e-9) break;
+    bool newly_capped = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (capped[i] || weight[i] <= 0.0) continue;
+      const double share = remaining * weight[i] / wsum;
+      if (share >= demand[i]) {
+        ent[i] = demand[i];
+        capped[i] = true;
+        remaining -= demand[i];
+        newly_capped = true;
+      }
+    }
+    if (!newly_capped) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!capped[i] && weight[i] > 0.0) {
+          ent[i] = remaining * weight[i] / wsum;
+        }
+      }
+      break;
+    }
+  }
+  return ent;
+}
+
+struct FairnessTenantRow {
+  std::string name;
+  double weight = 1.0;
+  std::size_t arrivals = 0;
+  std::size_t admitted = 0;
+  std::size_t completed = 0;
+  std::size_t served_in_horizon = 0;
+  double entitled = 0.0;
+  double ratio = 0.0;  ///< served / entitled
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+};
+
+struct FairnessClassRow {
+  std::size_t jobs = 0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double compliance = 1.0;  ///< from the attached SloEngine
+};
+
+struct FairnessArbiterResult {
+  serve::ArbiterKind kind = serve::ArbiterKind::kFifo;
+  bool identical = true;  ///< across shard counts and a re-run
+  std::size_t admitted = 0;
+  std::size_t completed = 0;
+  std::size_t served_in_horizon = 0;
+  double jain = 0.0;
+  std::string starved_tenant;  ///< min service/entitlement ratio
+  double starved_ratio = 0.0;
+  std::vector<FairnessTenantRow> tenants;
+  FairnessClassRow classes[monitor::kNumSloClasses];
+};
+
+int run_fairness_mode(const std::string& out_path, int fleet,
+                      const std::vector<int>& shard_counts, double scale) {
+  if (fleet < 1 || shard_counts.empty() || scale <= 0.0) {
+    std::fprintf(stderr, "fairness: bad fleet/shards/scale\n");
+    return 1;
+  }
+  const data::BenchmarkCase bc{"iris", 2, 2};
+  const qnn::QnnModel m(qnn::Backbone::kCRz, bc.num_qubits, bc.num_layers);
+  core::TrainConfig tcfg;
+  const core::DistributedTrainer trainer(
+      m, device::table3_fleet_cycled(fleet, bc.num_qubits), tcfg);
+  math::Rng wrng(42);
+  std::vector<std::vector<double>> weights;
+  for (int q = 0; q < fleet; ++q) {
+    std::vector<double> wq(static_cast<std::size_t>(m.num_weights()));
+    math::Rng qrng = wrng.split(static_cast<std::uint64_t>(q));
+    for (double& x : wq) x = qrng.normal(0.0, 0.3);
+    weights.push_back(std::move(wq));
+  }
+
+  // Scale the scenario to the modeled fleet: capacity is the jobs the
+  // whole fleet completes per modeled second, and the horizon is sized
+  // so the mix (mean demand ~3.1x capacity, see adversarial_mix) yields
+  // ~12k jobs at scale 1.
+  const int shots = 96;
+  double mean_lat = 0.0;
+  for (const qnn::QnnExecutor& ex : trainer.executors()) {
+    mean_lat += ex.shot_latency_us();
+  }
+  mean_lat /= static_cast<double>(fleet);
+  const double capacity_jobs_per_s =
+      static_cast<double>(fleet) * 1e6 /
+      (static_cast<double>(shots) * mean_lat);
+  const double target_jobs = std::max(200.0, 12000.0 * scale);
+  const double duration_s = target_jobs / (3.12 * capacity_jobs_per_s);
+  const double horizon_us = duration_s * 1e6;
+  // Interactive SLO: wait-inclusive p99 within 16 serial job executions
+  // — a handful of queued batches, versus the O(backlog) wait a FIFO
+  // dequeue leaves the interactive tenants with.
+  const double slo_target_us =
+      16.0 * static_cast<double>(shots) * mean_lat;
+
+  serve::TrafficGenerator gen(
+      serve::adversarial_mix(7, duration_s, capacity_jobs_per_s));
+  const std::vector<serve::GeneratedJob> stream = gen.generate_all();
+  const std::vector<serve::TenantSpec> tenant_rows = gen.tenant_specs();
+  std::map<std::string, std::size_t> tenant_index;
+  std::vector<std::size_t> arrivals(tenant_rows.size(), 0);
+  for (std::size_t t = 0; t < tenant_rows.size(); ++t) {
+    tenant_index[tenant_rows[t].name] = t;
+  }
+  for (const serve::GeneratedJob& g : stream) ++arrivals[g.tenant];
+  std::printf("fairness mode: fleet %d, %zu jobs over %.4f modeled s "
+              "(capacity %.0f jobs/s, slo target %.0f us)\n",
+              fleet, stream.size(), duration_s, capacity_jobs_per_s,
+              slo_target_us);
+
+  monitor::SloPolicy policy;
+  policy.objectives[static_cast<std::size_t>(
+      monitor::SloClass::kLatencyBound)] = {slo_target_us, 0.05};
+  policy.objectives[static_cast<std::size_t>(
+      monitor::SloClass::kThroughputBound)] = {0.0, 0.25};
+  policy.objectives[static_cast<std::size_t>(
+      monitor::SloClass::kBestEffort)] = {0.0, 0.5};
+
+  struct OneRun {
+    std::vector<serve::JobResult> results;
+    serve::ServingReport report;
+    monitor::SloReport slo;
+  };
+  const auto run_one = [&](serve::ArbiterKind kind, int shards) {
+    serve::ServeConfig sc;
+    sc.shots_per_job = shots;
+    sc.backoff_base_us = 0.0;
+    sc.queue_capacity = stream.size() * 32;  // never reject on capacity
+    sc.num_shards = shards;
+    sc.workers_per_shard = 2;
+    sc.synthetic_execution = true;
+    sc.gauge_cadence_us = 0.0;
+    sc.autostart = false;  // saturated-backlog replay: submit, then run
+    sc.model_queue_wait = true;
+    sc.arbiter = kind;
+    sc.tenants = tenant_rows;
+    monitor::SloEngine slo(policy);
+    serve::ServingRuntime rt(trainer.executors(), weights,
+                             trainer.behavioral_vectors(), sc, nullptr,
+                             nullptr, nullptr, &slo);
+    for (const serve::GeneratedJob& g : stream) rt.submit(g.spec);
+    rt.start();
+    rt.drain();
+    OneRun out;
+    out.results = rt.results();
+    out.report = rt.report();
+    out.slo = slo.report();
+    return out;
+  };
+  const auto same_results = [](const std::vector<serve::JobResult>& a,
+                               const std::vector<serve::JobResult>& b) {
+    if (a.size() != b.size()) {
+      std::fprintf(stderr, "  mismatch: %zu vs %zu results\n", a.size(),
+                   b.size());
+      return false;
+    }
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (a[i].status != b[i].status ||
+          a[i].probability != b[i].probability ||
+          a[i].retries != b[i].retries ||
+          a[i].virtual_latency_us != b[i].virtual_latency_us ||
+          a[i].admit_virtual_us != b[i].admit_virtual_us) {
+        std::fprintf(stderr,
+                     "  mismatch at job %zu (%s): vlat %.6f vs %.6f, "
+                     "p %.9f vs %.9f\n",
+                     i, a[i].tenant.c_str(), a[i].virtual_latency_us,
+                     b[i].virtual_latency_us, a[i].probability,
+                     b[i].probability);
+        return false;
+      }
+    }
+    return true;
+  };
+
+  const serve::ArbiterKind kinds[] = {
+      serve::ArbiterKind::kFifo, serve::ArbiterKind::kRoundRobin,
+      serve::ArbiterKind::kMatrix, serve::ArbiterKind::kWeightedCredit};
+  std::vector<FairnessArbiterResult> rows;
+  for (const serve::ArbiterKind kind : kinds) {
+    FairnessArbiterResult row;
+    row.kind = kind;
+    OneRun last;
+    std::vector<serve::JobResult> baseline;
+    for (const int shards : shard_counts) {
+      last = run_one(kind, shards);
+      if (baseline.empty()) {
+        baseline = last.results;
+      } else if (!same_results(baseline, last.results)) {
+        row.identical = false;
+      }
+    }
+    // Same config twice: the replay itself must reproduce.
+    if (!same_results(baseline,
+                      run_one(kind, shard_counts.back()).results)) {
+      row.identical = false;
+    }
+
+    const serve::ServingReport& rep = last.report;
+    row.admitted = rep.admitted;
+    row.completed = rep.completed;
+    std::vector<std::size_t> served(tenant_rows.size(), 0);
+    std::vector<double> class_lat[monitor::kNumSloClasses];
+    for (const serve::JobResult& r : last.results) {
+      if (r.status != serve::JobStatus::kOk) continue;
+      const double finish = r.admit_virtual_us + r.virtual_latency_us;
+      const auto it = tenant_index.find(r.tenant);
+      if (it != tenant_index.end() && finish <= horizon_us) {
+        ++served[it->second];
+      }
+      class_lat[static_cast<std::size_t>(r.slo_class)].push_back(
+          r.virtual_latency_us);
+    }
+    for (std::size_t c = 0; c < monitor::kNumSloClasses; ++c) {
+      row.classes[c].jobs = class_lat[c].size();
+      row.classes[c].p50_us = vec_percentile(class_lat[c], 0.50);
+      row.classes[c].p99_us = vec_percentile(class_lat[c], 0.99);
+    }
+    for (const monitor::SloClassReport& cr : last.slo.classes) {
+      row.classes[static_cast<std::size_t>(cr.cls)].compliance =
+          cr.compliance;
+    }
+
+    // Jain over service/entitlement: each tenant's in-horizon service
+    // against its water-filled share of the service this arbiter
+    // actually delivered inside the horizon.
+    std::vector<double> w(tenant_rows.size()), demand(tenant_rows.size());
+    double total_served = 0.0;
+    for (std::size_t t = 0; t < tenant_rows.size(); ++t) {
+      w[t] = tenant_rows[t].weight;
+      demand[t] = static_cast<double>(arrivals[t]);
+      total_served += static_cast<double>(served[t]);
+      row.served_in_horizon += served[t];
+    }
+    const std::vector<double> entitled =
+        waterfill_entitlements(w, demand, total_served);
+    double sum = 0.0, sum_sq = 0.0;
+    std::size_t n_rated = 0;
+    for (std::size_t t = 0; t < tenant_rows.size(); ++t) {
+      FairnessTenantRow tr;
+      tr.name = tenant_rows[t].name;
+      tr.weight = tenant_rows[t].weight;
+      tr.arrivals = arrivals[t];
+      tr.served_in_horizon = served[t];
+      tr.entitled = entitled[t];
+      for (const serve::TenantReport& trep : rep.tenants) {
+        if (trep.name != tr.name) continue;
+        tr.admitted = trep.admitted;
+        tr.completed = trep.completed;
+        tr.p50_us = trep.p50_virtual_latency_us;
+        tr.p99_us = trep.p99_virtual_latency_us;
+      }
+      if (entitled[t] > 1e-9) {
+        tr.ratio = static_cast<double>(served[t]) / entitled[t];
+        sum += tr.ratio;
+        sum_sq += tr.ratio * tr.ratio;
+        ++n_rated;
+        if (row.starved_tenant.empty() || tr.ratio < row.starved_ratio) {
+          row.starved_tenant = tr.name;
+          row.starved_ratio = tr.ratio;
+        }
+      }
+      row.tenants.push_back(std::move(tr));
+    }
+    row.jain = sum_sq > 0.0
+                   ? sum * sum / (static_cast<double>(n_rated) * sum_sq)
+                   : 0.0;
+    const std::size_t lat_c =
+        static_cast<std::size_t>(monitor::SloClass::kLatencyBound);
+    std::printf("  %-16s jain %.3f  admitted %6zu  served@T %6zu  "
+                "int p99 %10.0f us (slo %s)  starved %s=%.2f  "
+                "identical=%s\n",
+                serve::arbiter_kind_name(kind).c_str(), row.jain,
+                row.admitted, row.served_in_horizon,
+                row.classes[lat_c].p99_us,
+                row.classes[lat_c].p99_us <= slo_target_us ? "ok" : "MISS",
+                row.starved_tenant.c_str(), row.starved_ratio,
+                row.identical ? "yes" : "NO");
+    rows.push_back(std::move(row));
+  }
+
+  // Gates: everything deterministic; weighted_credit fair (Jain >= 0.9)
+  // with the interactive p99 inside the SLO while admitting within 10%
+  // of FIFO's aggregate.
+  const FairnessArbiterResult& fifo = rows[0];
+  const FairnessArbiterResult& wc = rows[3];
+  const std::size_t lat_c =
+      static_cast<std::size_t>(monitor::SloClass::kLatencyBound);
+  bool all_identical = true;
+  for (const FairnessArbiterResult& r : rows) all_identical &= r.identical;
+  const bool jain_ok = wc.jain >= 0.9;
+  const bool slo_ok = wc.classes[lat_c].p99_us <= slo_target_us;
+  const bool admission_ok =
+      fifo.admitted > 0 &&
+      std::abs(static_cast<double>(wc.admitted) -
+               static_cast<double>(fifo.admitted)) <=
+          0.10 * static_cast<double>(fifo.admitted);
+
+  std::string e;
+  jsonf(&e, "    {\"timestamp\": \"%s\",\n", utc_timestamp().c_str());
+  jsonf(&e, "     \"fleet\": %d, \"jobs\": %zu, \"duration_modeled_s\": "
+            "%.6f, \"capacity_jobs_per_s\": %.1f,\n",
+        fleet, stream.size(), duration_s, capacity_jobs_per_s);
+  jsonf(&e, "     \"shots_per_job\": %d, \"slo_target_us\": %.1f, "
+            "\"scenario\": \"adversarial_mix(seed=7)\", \"shards\": [",
+        shots, slo_target_us);
+  for (std::size_t i = 0; i < shard_counts.size(); ++i) {
+    jsonf(&e, "%s%d", i ? ", " : "", shard_counts[i]);
+  }
+  jsonf(&e, "],\n");
+  jsonf(&e, "     \"gates\": {\"identical\": %s, \"wc_jain_ge_0.9\": %s, "
+            "\"wc_int_p99_in_slo\": %s, \"wc_admission_within_10pct\": "
+            "%s},\n",
+        all_identical ? "true" : "false", jain_ok ? "true" : "false",
+        slo_ok ? "true" : "false", admission_ok ? "true" : "false");
+  jsonf(&e, "     \"arbiters\": [");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const FairnessArbiterResult& r = rows[i];
+    jsonf(&e, "%s\n      {\"arbiter\": \"%s\", \"identical\": %s, "
+              "\"jain\": %.4f, \"admitted\": %zu, \"completed\": %zu, "
+              "\"served_in_horizon\": %zu,\n       \"starved_tenant\": "
+              "\"%s\", \"starved_ratio\": %.4f,\n",
+          i ? "," : "", serve::arbiter_kind_name(r.kind).c_str(),
+          r.identical ? "true" : "false", r.jain, r.admitted, r.completed,
+          r.served_in_horizon, r.starved_tenant.c_str(), r.starved_ratio);
+    jsonf(&e, "       \"classes\": [");
+    for (std::size_t c = 0; c < monitor::kNumSloClasses; ++c) {
+      jsonf(&e, "%s{\"class\": \"%s\", \"jobs\": %zu, \"p50_us\": %.1f, "
+                "\"p99_us\": %.1f, \"compliance\": %.4f}",
+            c ? ", " : "",
+            monitor::slo_class_name(static_cast<monitor::SloClass>(c))
+                .c_str(),
+            r.classes[c].jobs, r.classes[c].p50_us, r.classes[c].p99_us,
+            r.classes[c].compliance);
+    }
+    jsonf(&e, "],\n       \"tenants\": [");
+    for (std::size_t t = 0; t < r.tenants.size(); ++t) {
+      const FairnessTenantRow& tr = r.tenants[t];
+      jsonf(&e, "%s\n        {\"name\": \"%s\", \"weight\": %.1f, "
+                "\"arrivals\": %zu, \"admitted\": %zu, \"completed\": "
+                "%zu, \"served_in_horizon\": %zu, \"entitled\": %.1f, "
+                "\"service_ratio\": %.4f, \"p50_us\": %.1f, \"p99_us\": "
+                "%.1f}",
+            t ? "," : "", tr.name.c_str(), tr.weight, tr.arrivals,
+            tr.admitted, tr.completed, tr.served_in_horizon, tr.entitled,
+            tr.ratio, tr.p50_us, tr.p99_us);
+    }
+    jsonf(&e, "]}");
+  }
+  jsonf(&e, "\n     ]}");
+  if (const int rc = append_run_entry(out_path, "fairness", e)) {
+    return rc;
+  }
+  const bool ok = all_identical && jain_ok && slo_ok && admission_ok;
+  std::printf("fairness: wc jain %.3f (>= 0.9 %s)  wc int p99 %.0f us "
+              "(slo %.0f us %s)  admission wc/fifo %zu/%zu (%s)  "
+              "identical=%s -> %s\n",
+              wc.jain, jain_ok ? "ok" : "FAIL", wc.classes[lat_c].p99_us,
+              slo_target_us, slo_ok ? "ok" : "FAIL", wc.admitted,
+              fifo.admitted, admission_ok ? "ok" : "FAIL",
+              all_identical ? "yes" : "NO", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 2;
+}
+
 std::vector<int> parse_int_list(const char* csv) {
   std::vector<int> out;
   std::string tok;
@@ -1548,10 +1963,14 @@ int main(int argc, char** argv) {
   bool serving = false;
   bool serving_obs = false;
   bool serving_scale = false;
+  bool fairness = false;
   int serving_jobs = 400;
   std::vector<int> scale_fleets = {64, 256};
   std::vector<int> scale_shards = {1, 4, 16};
   int scale_jobs = 20000;
+  int fairness_fleet = 256;
+  std::vector<int> fairness_shards = {1, 2, 4};
+  double fairness_scale = 1.0;
   std::string scaling_out = "BENCH_perf.json";
   // Strip our flags before google-benchmark sees (and rejects) them.
   std::vector<char*> passthrough;
@@ -1581,6 +2000,14 @@ int main(int argc, char** argv) {
       if (const char* v = next()) serving_jobs = std::atoi(v);
     } else if (flag == "--serving-scale") {
       serving_scale = true;
+    } else if (flag == "--fairness") {
+      fairness = true;
+    } else if (flag == "--fairness-fleet") {
+      if (const char* v = next()) fairness_fleet = std::atoi(v);
+    } else if (flag == "--fairness-shards") {
+      if (const char* v = next()) fairness_shards = parse_int_list(v);
+    } else if (flag == "--fairness-scale") {
+      if (const char* v = next()) fairness_scale = std::atof(v);
     } else if (flag == "--scale-fleets") {
       if (const char* v = next()) scale_fleets = parse_int_list(v);
     } else if (flag == "--scale-shards") {
@@ -1610,6 +2037,9 @@ int main(int argc, char** argv) {
     rc = run_serving_scale_mode(
         scaling_out, scale_fleets, scale_shards,
         scale_jobs > 0 ? static_cast<std::size_t>(scale_jobs) : 20000);
+  } else if (fairness) {
+    rc = run_fairness_mode(scaling_out, fairness_fleet, fairness_shards,
+                           fairness_scale);
   } else if (telemetry_ab) {
     rc = run_telemetry_ab_mode(scaling_out);
   } else if (scaling_threads != 0) {

@@ -31,6 +31,7 @@
 #include "arbiterq/sim/kernels.hpp"
 #include "arbiterq/serve/flight_recorder.hpp"
 #include "arbiterq/serve/runtime.hpp"
+#include "arbiterq/serve/trafficgen.hpp"
 #include "arbiterq/telemetry/dashboard.hpp"
 #include "arbiterq/telemetry/export.hpp"
 #include "arbiterq/telemetry/http.hpp"
@@ -69,6 +70,9 @@ struct CliOptions {
   int trace_sample = 0;  ///< per-job tracing: 0 off, 1 full, N sampled
   int linger_ms = 0;     ///< keep the scrape endpoint up after drain
   bool watch = false;    ///< live terminal dashboard during --serve
+  std::string arbiter = "fifo";  ///< dequeue arbiter for --serve
+  std::string tenants;   ///< tenant table spec (parse_tenant_profiles)
+  std::string traffic;   ///< open-loop traffic spec (parse_traffic_spec)
   std::string tenant;
   std::string flight_out;
   std::string csv;
@@ -126,6 +130,21 @@ void usage() {
       "              health as sparkline rows (0.5s windows)\n"
       "  --trace-sample N  per-job causal tracing for --serve: 0 = off,\n"
       "              1 = every job, N = every Nth job (default 0)\n"
+      "  --arbiter KIND  dequeue arbiter for --serve: fifo (default,\n"
+      "              the pre-tenant order) | round_robin/rr | matrix |\n"
+      "              weighted_credit/wc (per-tenant weights)\n"
+      "  --tenants SPEC  tenant table for --serve: ';'-separated tenants,\n"
+      "              each \"name[,key=value...]\" with keys class\n"
+      "              (latency|throughput|best), weight, rate, shots,\n"
+      "              deadline_us, max_in_flight, admit_rate,\n"
+      "              admit_burst, flood, flood_from, flood_until — e.g.\n"
+      "              \"int0,class=latency,weight=8;bulk,weight=1\"\n"
+      "  --traffic SPEC  drive --serve with the open-loop generator\n"
+      "              instead of the test set (requires --tenants):\n"
+      "              \"<steady|diurnal|bursty|adversarial>[,key=value..]\"\n"
+      "              with keys duration, seed, period, amplitude, cycle,\n"
+      "              duty, mult, idle — arrivals pin the modeled\n"
+      "              admission clock, so the run replays bit-identically\n"
       "  --tenant NAME  tenant label stamped on serving jobs (traces,\n"
       "              flight records, per-tenant counters)\n"
       "  --flight-out PATH  dump the flight recorder (postmortems of\n"
@@ -174,6 +193,12 @@ bool parse(int argc, char** argv, CliOptions* opts) {
       opts->watch = true;
     } else if (flag == "--trace-sample") {
       if (const char* v = next()) opts->trace_sample = std::atoi(v);
+    } else if (flag == "--arbiter") {
+      if (const char* v = next()) opts->arbiter = v;
+    } else if (flag == "--tenants") {
+      if (const char* v = next()) opts->tenants = v;
+    } else if (flag == "--traffic") {
+      if (const char* v = next()) opts->traffic = v;
     } else if (flag == "--tenant") {
       if (const char* v = next()) opts->tenant = v;
     } else if (flag == "--flight-out") {
@@ -285,6 +310,20 @@ void render_watch_frame(const serve::ServingRuntime& runtime,
   frame += buf;
   frame += telemetry::terminal_sparkline(p99);
   frame += "\n";
+  // One row per tenant slot: live resident depth plus the sampled
+  // serve.queue.depth.tenant.<t> gauge trail.
+  const std::vector<serve::TenantSpec>& tenants = runtime.tenants();
+  const std::vector<std::size_t> depths = runtime.tenant_queue_depths();
+  for (std::size_t t = 0; t < tenants.size(); ++t) {
+    const std::vector<double> trail = series_plot_tail(
+        store, "serve.queue.depth.tenant." + tenants[t].name, kTail);
+    std::snprintf(buf, sizeof buf, "tenant %-12s depth %6zu ",
+                  tenants[t].name.c_str(),
+                  t < depths.size() ? depths[t] : 0);
+    frame += buf;
+    frame += telemetry::terminal_sparkline(trail);
+    frame += "\n";
+  }
   if (mon != nullptr) {
     const monitor::FleetHealthReport rep = mon->report();
     std::snprintf(buf, sizeof buf,
@@ -416,6 +455,50 @@ int main(int argc, char** argv) {
     sc.trace_sample_every = opts.trace_sample;
     sc.num_shards = opts.shards > 0 ? opts.shards : 1;
     sc.workers_per_shard = opts.shard_workers;
+    // Multi-tenant QoS: the tenant table (quotas + weights), the dequeue
+    // arbiter, and optionally the open-loop traffic generator replacing
+    // the test-set submission loop.
+    std::unique_ptr<serve::TrafficGenerator> traffic;
+    try {
+      sc.arbiter = serve::arbiter_kind_from_string(opts.arbiter);
+      std::vector<serve::TenantProfile> profiles;
+      if (!opts.tenants.empty()) {
+        profiles = serve::parse_tenant_profiles(opts.tenants);
+      }
+      if (!opts.traffic.empty()) {
+        if (profiles.empty()) {
+          std::fprintf(stderr, "--traffic requires --tenants\n");
+          return 1;
+        }
+        serve::TrafficConfig tc = serve::parse_traffic_spec(opts.traffic);
+        tc.tenants = std::move(profiles);
+        tc.feature_dim = split.test_features.empty()
+                             ? 4
+                             : split.test_features.front().size();
+        traffic = std::make_unique<serve::TrafficGenerator>(tc);
+        sc.tenants = traffic->tenant_specs();
+        // Staged replay: stage the whole arrival stream before the
+        // workers start so admission (quotas AND backpressure) and the
+        // arbitrated dequeue order are pure functions of (config, seed)
+        // — live submission would race the workers' drain and make
+        // queue-full rejects wall-clock dependent.
+        sc.autostart = false;
+      } else {
+        for (const serve::TenantProfile& p : profiles) {
+          serve::TenantSpec t;
+          t.name = p.name;
+          t.weight = p.weight;
+          t.max_in_flight = p.max_in_flight;
+          t.admit_rate_per_s = p.admit_rate_per_s;
+          t.admit_burst = p.admit_burst;
+          sc.tenants.push_back(std::move(t));
+        }
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bad --arbiter/--tenants/--traffic: %s\n",
+                   e.what());
+      return 1;
+    }
     std::unique_ptr<serve::FaultInjector> faults;
     if (!opts.faults.empty()) {
       faults = std::make_unique<serve::FaultInjector>(
@@ -514,15 +597,32 @@ int main(int argc, char** argv) {
       });
     }
 
-    const std::size_t n_jobs =
-        opts.jobs > 0 ? static_cast<std::size_t>(opts.jobs)
-                      : split.test_features.size();
-    for (std::size_t i = 0; i < n_jobs; ++i) {
-      serve::JobSpec spec;
-      spec.features = split.test_features[i % split.test_features.size()];
-      spec.label = split.test_labels[i % split.test_labels.size()];
-      spec.tenant = opts.tenant;
-      runtime.submit(spec);
+    if (traffic) {
+      std::size_t arrivals = 0;
+      while (const auto g = traffic->next()) {
+        runtime.submit(g->spec);
+        ++arrivals;
+      }
+      std::printf("traffic: %zu open-loop arrivals (%s, %.2f modeled s, "
+                  "seed %llu)\n",
+                  arrivals,
+                  serve::traffic_pattern_name(traffic->config().pattern)
+                      .c_str(),
+                  traffic->config().duration_s,
+                  static_cast<unsigned long long>(
+                      traffic->config().seed));
+      runtime.start();
+    } else {
+      const std::size_t n_jobs =
+          opts.jobs > 0 ? static_cast<std::size_t>(opts.jobs)
+                        : split.test_features.size();
+      for (std::size_t i = 0; i < n_jobs; ++i) {
+        serve::JobSpec spec;
+        spec.features = split.test_features[i % split.test_features.size()];
+        spec.label = split.test_labels[i % split.test_labels.size()];
+        spec.tenant = opts.tenant;
+        runtime.submit(spec);
+      }
     }
     runtime.drain();
     if (watch_thread.joinable()) {
@@ -537,6 +637,15 @@ int main(int argc, char** argv) {
         sr.submitted, sr.completed, sr.rejected, sr.expired, sr.failed,
         static_cast<unsigned long long>(sr.retries), sr.dropouts_detected,
         sr.repartitions, runtime.epochs(), sr.throughput_jobs_per_s);
+    for (const serve::TenantReport& t : sr.tenants) {
+      std::printf(
+          "  tenant %-16s w %4.1f | %5zu submitted, %5zu ok, "
+          "%4zu rejected (%zu quota, %zu throttled) | "
+          "p50 %8.0fus p99 %8.0fus\n",
+          t.name.c_str(), t.weight, t.submitted, t.completed, t.rejected,
+          t.quota_rejected, t.throttled, t.p50_virtual_latency_us,
+          t.p99_virtual_latency_us);
+    }
     if (runtime.num_shards() > 1) {
       for (const serve::ShardStats& s : sr.shards) {
         std::printf(

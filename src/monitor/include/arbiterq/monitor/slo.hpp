@@ -34,6 +34,7 @@
 
 #include <array>
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -100,10 +101,21 @@ struct SloShardReport {
   double compliance = 1.0;  ///< 1 - violations/jobs
 };
 
+/// Per-tenant roll-up across all classes (only tenants that observed at
+/// least one job appear; jobs observed with an empty tenant stay
+/// unattributed).
+struct SloTenantReport {
+  std::string tenant;
+  std::size_t jobs = 0;
+  std::size_t violations = 0;
+  double compliance = 1.0;  ///< 1 - violations/jobs
+};
+
 struct SloReport {
-  std::vector<SloClassReport> classes;  ///< all classes, fixed order
-  std::vector<SloShardReport> shards;   ///< ascending shard id
-  std::vector<SloBreach> breaches;      ///< in detection order
+  std::vector<SloClassReport> classes;   ///< all classes, fixed order
+  std::vector<SloShardReport> shards;    ///< ascending shard id
+  std::vector<SloTenantReport> tenants;  ///< ascending tenant name
+  std::vector<SloBreach> breaches;       ///< in detection order
 
   std::string to_table_string() const;
   /// One {"type":"slo",...} line per class then one {"type":
@@ -127,9 +139,12 @@ class SloEngine {
   /// compliance test when the class target is disabled). `shard`, when
   /// >= 0, attributes the observation to a serving shard so the report
   /// (and per-shard counters) can localize which slice of the fleet is
-  /// burning budget; -1 keeps the observation unsharded.
+  /// burning budget; -1 keeps the observation unsharded. `tenant`, when
+  /// non-empty, additionally attributes the observation to a serving
+  /// tenant so the multi-tenant QoS report can show who is burning
+  /// whose budget.
   void observe_job(SloClass cls, double virtual_latency_us, bool ok,
-                   int shard = -1);
+                   int shard = -1, const std::string& tenant = {});
 
   SloReport report() const;
 
@@ -164,6 +179,8 @@ class SloEngine {
   std::array<ClassState, kNumSloClasses> state_;
   /// Indexed by shard id (grown on demand; shard counts are small).
   std::vector<ShardState> shard_state_;
+  /// Keyed by tenant name; ordered so report() rows are stable.
+  std::map<std::string, ShardState> tenant_state_;
   std::vector<SloBreach> breaches_;
 };
 

@@ -49,7 +49,7 @@ SloEngine::SloEngine(SloPolicy policy, FleetHealthMonitor* monitor)
 }
 
 void SloEngine::observe_job(SloClass cls, double virtual_latency_us,
-                            bool ok, int shard) {
+                            bool ok, int shard, const std::string& tenant) {
   const auto ci = static_cast<std::size_t>(cls);
   if (ci >= kNumSloClasses) {
     throw std::invalid_argument("SloEngine: unknown class");
@@ -75,6 +75,11 @@ void SloEngine::observe_job(SloClass cls, double virtual_latency_us,
       if (si >= shard_state_.size()) shard_state_.resize(si + 1);
       ++shard_state_[si].jobs;
       if (violation) ++shard_state_[si].violations;
+    }
+    if (!tenant.empty()) {
+      ShardState& ts = tenant_state_[tenant];
+      ++ts.jobs;
+      if (violation) ++ts.violations;
     }
     if (st.window_jobs >= policy_.window_jobs) {
       const double burn =
@@ -153,6 +158,16 @@ SloReport SloEngine::report() const {
                               static_cast<double>(st.jobs);
     rep.shards.push_back(sh);
   }
+  for (const auto& [name, st] : tenant_state_) {
+    if (st.jobs == 0) continue;
+    SloTenantReport t;
+    t.tenant = name;
+    t.jobs = st.jobs;
+    t.violations = st.violations;
+    t.compliance = 1.0 - static_cast<double>(st.violations) /
+                             static_cast<double>(st.jobs);
+    rep.tenants.push_back(t);
+  }
   rep.breaches = breaches_;
   return rep;
 }
@@ -211,6 +226,13 @@ std::string SloReport::to_table_string() const {
                   s.shard, s.jobs, s.violations, 100.0 * s.compliance);
     out += buf;
   }
+  for (const SloTenantReport& t : tenants) {
+    std::snprintf(buf, sizeof buf,
+                  "tenant %-16s %6zu jobs %6zu violations %7.1f%% comply\n",
+                  t.tenant.c_str(), t.jobs, t.violations,
+                  100.0 * t.compliance);
+    out += buf;
+  }
   std::snprintf(buf, sizeof buf, "slo: %zu breach window(s) recorded\n",
                 breaches.size());
   out += buf;
@@ -241,6 +263,16 @@ std::string SloReport::to_jsonl() const {
                .field("jobs", static_cast<std::uint64_t>(s.jobs))
                .field("violations", static_cast<std::uint64_t>(s.violations))
                .field("compliance", s.compliance)
+               .finish() +
+           "\n";
+  }
+  for (const SloTenantReport& t : tenants) {
+    out += report::JsonLine()
+               .field("type", "slo_tenant")
+               .field("tenant", t.tenant)
+               .field("jobs", static_cast<std::uint64_t>(t.jobs))
+               .field("violations", static_cast<std::uint64_t>(t.violations))
+               .field("compliance", t.compliance)
                .finish() +
            "\n";
   }

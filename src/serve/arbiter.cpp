@@ -1,0 +1,210 @@
+#include "arbiterq/serve/arbiter.hpp"
+
+#include <stdexcept>
+
+namespace arbiterq::serve {
+namespace {
+
+/// Shared precondition check: n matches, at least one requester.
+std::size_t check_requesters(const std::uint64_t* head_seq, std::size_t n,
+                             std::size_t expected) {
+  if (n != expected) {
+    throw std::invalid_argument("Arbiter::grant: tenant count mismatch");
+  }
+  for (std::size_t t = 0; t < n; ++t) {
+    if (head_seq[t] != kNoRequest) return t;
+  }
+  throw std::invalid_argument("Arbiter::grant: no requester");
+}
+
+class FifoArbiter final : public Arbiter {
+ public:
+  explicit FifoArbiter(std::size_t num_tenants) : n_(num_tenants) {}
+  ArbiterKind kind() const noexcept override { return ArbiterKind::kFifo; }
+  std::size_t num_tenants() const noexcept override { return n_; }
+
+  std::size_t grant(const std::uint64_t* head_seq, std::size_t n) override {
+    std::size_t winner = check_requesters(head_seq, n, n_);
+    for (std::size_t t = winner + 1; t < n; ++t) {
+      if (head_seq[t] < head_seq[winner]) winner = t;
+    }
+    return winner;
+  }
+
+ private:
+  std::size_t n_;
+};
+
+class RoundRobinArbiter final : public Arbiter {
+ public:
+  explicit RoundRobinArbiter(std::size_t num_tenants)
+      : n_(num_tenants), last_(num_tenants - 1) {}
+  ArbiterKind kind() const noexcept override {
+    return ArbiterKind::kRoundRobin;
+  }
+  std::size_t num_tenants() const noexcept override { return n_; }
+
+  std::size_t grant(const std::uint64_t* head_seq, std::size_t n) override {
+    check_requesters(head_seq, n, n_);
+    for (std::size_t i = 1; i <= n; ++i) {
+      const std::size_t t = (last_ + i) % n;
+      if (head_seq[t] != kNoRequest) {
+        last_ = t;
+        return t;
+      }
+    }
+    throw std::logic_error("RoundRobinArbiter: unreachable");
+  }
+
+ private:
+  std::size_t n_;
+  std::size_t last_;  ///< most recently granted tenant
+};
+
+class MatrixArbiter final : public Arbiter {
+ public:
+  explicit MatrixArbiter(std::size_t num_tenants)
+      : n_(num_tenants), beats_(num_tenants * num_tenants, false) {
+    // Initial strict total order: lower index beats higher.
+    for (std::size_t i = 0; i < n_; ++i) {
+      for (std::size_t j = i + 1; j < n_; ++j) beats_[i * n_ + j] = true;
+    }
+  }
+  ArbiterKind kind() const noexcept override { return ArbiterKind::kMatrix; }
+  std::size_t num_tenants() const noexcept override { return n_; }
+
+  std::size_t grant(const std::uint64_t* head_seq, std::size_t n) override {
+    check_requesters(head_seq, n, n_);
+    // The matrix encodes a strict total order (demoting the winner
+    // preserves it), so among any requester set exactly one tenant
+    // beats every other requester.
+    for (std::size_t i = 0; i < n_; ++i) {
+      if (head_seq[i] == kNoRequest) continue;
+      bool wins = true;
+      for (std::size_t j = 0; j < n_; ++j) {
+        if (j == i || head_seq[j] == kNoRequest) continue;
+        if (!beats_[i * n_ + j]) {
+          wins = false;
+          break;
+        }
+      }
+      if (!wins) continue;
+      // Winner becomes least-recently-served: loses to everyone.
+      for (std::size_t j = 0; j < n_; ++j) {
+        if (j == i) continue;
+        beats_[i * n_ + j] = false;
+        beats_[j * n_ + i] = true;
+      }
+      return i;
+    }
+    throw std::logic_error("MatrixArbiter: no total-order winner");
+  }
+
+ private:
+  std::size_t n_;
+  std::vector<bool> beats_;  ///< beats_[i*n+j]: i outranks j
+};
+
+class WeightedCreditArbiter final : public Arbiter {
+ public:
+  WeightedCreditArbiter(std::size_t num_tenants, std::vector<double> weights)
+      : n_(num_tenants), weights_(num_tenants, 1.0), credit_(num_tenants, 0.0) {
+    for (std::size_t t = 0; t < n_ && t < weights.size(); ++t) {
+      weights_[t] = weights[t];
+    }
+  }
+  ArbiterKind kind() const noexcept override {
+    return ArbiterKind::kWeightedCredit;
+  }
+  std::size_t num_tenants() const noexcept override { return n_; }
+
+  std::size_t grant(const std::uint64_t* head_seq, std::size_t n) override {
+    check_requesters(head_seq, n, n_);
+    double total_weight = 0.0;
+    for (std::size_t t = 0; t < n_; ++t) {
+      if (head_seq[t] != kNoRequest && weights_[t] > 0.0) {
+        total_weight += weights_[t];
+      }
+    }
+    if (total_weight <= 0.0) {
+      // Only background (weight <= 0) tenants are asking: no credit
+      // flows; serve them oldest-first.
+      std::size_t winner = kNoWinner;
+      for (std::size_t t = 0; t < n_; ++t) {
+        if (head_seq[t] == kNoRequest) continue;
+        if (winner == kNoWinner || head_seq[t] < head_seq[winner]) winner = t;
+      }
+      return winner;
+    }
+    // Distribute one grant's worth of credit across the positive-weight
+    // requesters, richest requester wins (oldest-first on ties) and
+    // pays 1.0 — so credits always sum to their pre-call total, and a
+    // weight-w requester out of total W is granted at least every
+    // ceil(W/w) calls.
+    std::size_t winner = kNoWinner;
+    for (std::size_t t = 0; t < n_; ++t) {
+      if (head_seq[t] == kNoRequest || weights_[t] <= 0.0) continue;
+      credit_[t] += weights_[t] / total_weight;
+      if (winner == kNoWinner || credit_[t] > credit_[winner] ||
+          (credit_[t] == credit_[winner] &&
+           head_seq[t] < head_seq[winner])) {
+        winner = t;
+      }
+    }
+    credit_[winner] -= 1.0;
+    return winner;
+  }
+
+ private:
+  static constexpr std::size_t kNoWinner = ~std::size_t{0};
+  std::size_t n_;
+  std::vector<double> weights_;
+  std::vector<double> credit_;
+};
+
+}  // namespace
+
+std::string arbiter_kind_name(ArbiterKind kind) {
+  switch (kind) {
+    case ArbiterKind::kFifo:
+      return "fifo";
+    case ArbiterKind::kRoundRobin:
+      return "round_robin";
+    case ArbiterKind::kMatrix:
+      return "matrix";
+    case ArbiterKind::kWeightedCredit:
+      return "weighted_credit";
+  }
+  throw std::logic_error("arbiter_kind_name: unknown kind");
+}
+
+ArbiterKind arbiter_kind_from_string(const std::string& name) {
+  if (name == "fifo") return ArbiterKind::kFifo;
+  if (name == "round_robin" || name == "rr") return ArbiterKind::kRoundRobin;
+  if (name == "matrix") return ArbiterKind::kMatrix;
+  if (name == "weighted_credit" || name == "wc") {
+    return ArbiterKind::kWeightedCredit;
+  }
+  throw std::invalid_argument("unknown arbiter kind: " + name);
+}
+
+std::unique_ptr<Arbiter> Arbiter::create(const ArbiterConfig& config,
+                                         std::size_t num_tenants) {
+  if (num_tenants == 0) {
+    throw std::invalid_argument("Arbiter::create: no tenants");
+  }
+  switch (config.kind) {
+    case ArbiterKind::kFifo:
+      return std::make_unique<FifoArbiter>(num_tenants);
+    case ArbiterKind::kRoundRobin:
+      return std::make_unique<RoundRobinArbiter>(num_tenants);
+    case ArbiterKind::kMatrix:
+      return std::make_unique<MatrixArbiter>(num_tenants);
+    case ArbiterKind::kWeightedCredit:
+      return std::make_unique<WeightedCreditArbiter>(num_tenants,
+                                                     config.weights);
+  }
+  throw std::logic_error("Arbiter::create: unknown kind");
+}
+
+}  // namespace arbiterq::serve

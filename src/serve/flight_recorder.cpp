@@ -30,6 +30,10 @@ std::string flight_event_kind_name(FlightEventKind kind) {
       return "expire";
     case FlightEventKind::kRetriesExhausted:
       return "retries_exhausted";
+    case FlightEventKind::kQuotaReject:
+      return "quota_reject";
+    case FlightEventKind::kThrottle:
+      return "throttle";
   }
   throw std::logic_error("flight_event_kind_name: unknown kind");
 }

@@ -1,0 +1,97 @@
+#pragma once
+// Dequeue arbiters for the multi-tenant serving queue. Each (lane,
+// priority) cell of a shard's JobQueue holds one FIFO per tenant; when a
+// worker pops, the lane's arbiter decides which tenant's head-of-line
+// batch runs next. The interface is the Orion router-arbiter shape (an
+// Arbiter base with RR/matrix implementations behind a factory), lifted
+// from wire grants to tenant grants.
+//
+// Contract: grant() receives one slot per tenant carrying the queue push
+// sequence of that tenant's head-of-line request (kNoRequest when the
+// tenant has nothing pending at this lane/priority), picks a requesting
+// tenant, updates internal state, and returns the winner. The caller
+// serializes calls (the queue mutex) and guarantees at least one
+// requester.
+//
+// Determinism: an arbiter's decision is a pure function of its config
+// and the sequence of requester sets it has seen. The runtime keeps one
+// arbiter per *lane* (QPU), and a lane's content sequence is a pure
+// function of the admitted arrival sequence, so in saturated-backlog
+// replays (submit everything, then drain) the full dequeue order — not
+// just the admitted set — is bit-identical across runs, thread counts
+// and shard counts.
+//
+//   fifo            — grant the globally oldest request (minimum push
+//                     sequence). Exactly the pre-tenant single-FIFO
+//                     behavior; the default.
+//   round_robin     — rotate from the last granted tenant; oldest-first
+//                     is ignored, every requester is visited within one
+//                     full turn.
+//   matrix          — least-recently-served pairwise: a priority matrix
+//                     m[i][j] ("i beats j") grants the requester that
+//                     beats every other requester, then demotes the
+//                     winner below everyone. LRS among *requesters*,
+//                     not a fixed rotation order.
+//   weighted_credit — each grant distributes one credit across the
+//                     requesters proportional to their weights; the
+//                     richest requester wins (ties break oldest-first)
+//                     and pays 1.0. A tenant with weight w out of a
+//                     requesting total W is granted at least once every
+//                     ceil(W/w) grants — the starvation bound an
+//                     adversarial heavy tenant cannot break.
+//                     Weight <= 0 marks a *background* tenant: it never
+//                     accrues credit and only wins when no positive-
+//                     weight tenant is requesting.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace arbiterq::serve {
+
+enum class ArbiterKind {
+  kFifo = 0,
+  kRoundRobin = 1,
+  kMatrix = 2,
+  kWeightedCredit = 3,
+};
+
+/// Stable name ("fifo", "round_robin", "matrix", "weighted_credit").
+std::string arbiter_kind_name(ArbiterKind kind);
+/// Inverse of arbiter_kind_name, also accepting the short forms "rr"
+/// and "wc"; throws std::invalid_argument on anything else.
+ArbiterKind arbiter_kind_from_string(const std::string& name);
+
+/// grant() slot value for a tenant with nothing pending.
+inline constexpr std::uint64_t kNoRequest = ~std::uint64_t{0};
+
+struct ArbiterConfig {
+  ArbiterKind kind = ArbiterKind::kFifo;
+  /// Per-tenant weights (weighted_credit only). Tenants beyond the
+  /// vector default to 1.0; a weight <= 0 marks a background tenant.
+  std::vector<double> weights;
+};
+
+class Arbiter {
+ public:
+  virtual ~Arbiter() = default;
+
+  virtual ArbiterKind kind() const noexcept = 0;
+  virtual std::size_t num_tenants() const noexcept = 0;
+
+  /// Pick the next tenant. `head_seq[t]` is tenant t's head-of-line
+  /// push sequence, or kNoRequest; `n` must equal num_tenants() and at
+  /// least one slot must be a request. Not thread-safe (caller holds
+  /// the queue lock).
+  virtual std::size_t grant(const std::uint64_t* head_seq,
+                            std::size_t n) = 0;
+
+  /// Factory (the Orion create_arbiter shape). Throws on
+  /// num_tenants == 0.
+  static std::unique_ptr<Arbiter> create(const ArbiterConfig& config,
+                                         std::size_t num_tenants);
+};
+
+}  // namespace arbiterq::serve

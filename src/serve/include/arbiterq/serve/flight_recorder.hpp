@@ -37,6 +37,8 @@ enum class FlightEventKind {
   kReroute,           ///< slot re-routed (value = new target QPU)
   kExpire,            ///< slot crossed the modeled deadline
   kRetriesExhausted,  ///< slot failed with no retries left
+  kQuotaReject,       ///< tenant max_in_flight quota hit (value = in flight)
+  kThrottle,          ///< tenant admission credits exhausted (value = tokens)
 };
 
 std::string flight_event_kind_name(FlightEventKind kind);

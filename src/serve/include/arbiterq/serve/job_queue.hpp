@@ -4,6 +4,15 @@
 // targets its device, so a batch routed (or re-routed) to QPU q is
 // executed by q's worker and nobody else.
 //
+// Multi-tenant arbitration: each (lane, priority) cell holds one FIFO
+// per tenant, and a per-lane Arbiter (see arbiter.hpp) decides which
+// tenant's head-of-line batch a pop takes. With a single tenant (the
+// default) the cell degenerates to the old single FIFO and the arbiter
+// is never consulted. Arbiter state is per *lane*, shared across the
+// priority levels of that lane, so a tenant's credit/rotation position
+// carries across priorities; priorities themselves still scan strictly
+// high -> low.
+//
 // Admission control: try_push enforces a global capacity across all
 // lanes and fails (backpressure) when the runtime is saturated — the
 // caller turns that into a rejected job. Retries and re-routes of
@@ -20,9 +29,12 @@
 #include <cstdint>
 #include <condition_variable>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
+
+#include "arbiterq/serve/arbiter.hpp"
 
 namespace arbiterq::telemetry {
 class Gauge;
@@ -44,6 +56,9 @@ struct ShotBatch {
   int shots = 0;
   int attempt = 0;
   JobPriority priority = JobPriority::kNormal;
+  /// Tenant slot the owning job resolved to (0 when the runtime has no
+  /// tenant table); selects the per-tenant FIFO and arbiter port.
+  std::uint32_t tenant = 0;
   std::vector<int> excluded;
   /// Trace clock at (re-)enqueue, for queue-wait spans of traced jobs;
   /// 0 when the owning job is untraced (the common case — the clock
@@ -61,9 +76,13 @@ class JobQueue {
   /// push derives from ShotBatch::qpu (lane = qpu - lane_base): a shard
   /// owning the QPU block [first, first+n) passes first and keeps its
   /// lanes local 0..n-1. pop/pop_any/lane_depth always take local lanes.
+  /// `num_tenants` sizes the per-tenant FIFOs (batches with tenant >=
+  /// num_tenants are clamped into the last slot); `arbiter` configures
+  /// the per-lane dequeue arbiters, consulted only when num_tenants > 1.
   JobQueue(std::size_t num_lanes, std::size_t capacity,
            std::string depth_metric = "serve.queue.depth",
-           std::size_t lane_base = 0);
+           std::size_t lane_base = 0, std::size_t num_tenants = 1,
+           const ArbiterConfig& arbiter = {});
 
   JobQueue(const JobQueue&) = delete;
   JobQueue& operator=(const JobQueue&) = delete;
@@ -114,7 +133,12 @@ class JobQueue {
   /// Batches resident across all lanes right now.
   std::size_t depth() const;
   std::size_t lane_depth(std::size_t lane) const;
+  /// Batches resident for tenant slot `tenant` across all lanes.
+  std::size_t tenant_depth(std::size_t tenant) const;
+  std::size_t num_tenants() const noexcept { return num_tenants_; }
   std::size_t rejected() const;
+  /// Arbiter grants issued so far (pops that consulted an arbiter).
+  std::uint64_t arbiter_grants() const;
 
   /// Lock-contention accounting: cumulative nanoseconds callers spent
   /// blocked acquiring the queue mutex (only contended acquisitions are
@@ -129,13 +153,16 @@ class JobQueue {
   }
 
  private:
-  // One FIFO per (lane, priority); pop scans high -> low priority.
+  // One FIFO per (lane, priority, tenant); pop scans high -> low
+  // priority, the lane arbiter picks the tenant within a cell.
   static constexpr int kPriorities = 3;
 
   /// Queue entry: only admission-path batches count against capacity
-  /// while resident; retries ride above the bound.
+  /// while resident; retries ride above the bound. `seq` is the queue-
+  /// wide push sequence — the arbiters' oldest-first tie-break.
   struct Entry {
     bool admitted = false;
+    std::uint64_t seq = 0;
     ShotBatch batch;
   };
 
@@ -147,6 +174,24 @@ class JobQueue {
   std::size_t lane_of(const ShotBatch& batch) const {
     return static_cast<std::size_t>(batch.qpu) - lane_base_;
   }
+  /// Tenant slot of a batch, clamped into range.
+  std::size_t tenant_of(const ShotBatch& batch) const {
+    const auto t = static_cast<std::size_t>(batch.tenant);
+    return t < num_tenants_ ? t : num_tenants_ - 1;
+  }
+  /// FIFO cell for (local lane, priority, tenant).
+  std::deque<Entry>& cell(std::size_t lane, int pri, std::size_t tenant) {
+    return lanes_[(lane * kPriorities + static_cast<std::size_t>(pri)) *
+                      num_tenants_ +
+                  tenant];
+  }
+  const std::deque<Entry>& cell(std::size_t lane, int pri,
+                                std::size_t tenant) const {
+    return lanes_[(lane * kPriorities + static_cast<std::size_t>(pri)) *
+                      num_tenants_ +
+                  tenant];
+  }
+  void enqueue_locked(ShotBatch batch, bool admitted);
   /// Acquire mu_, timing the wait when the try_lock fast path misses.
   std::unique_lock<std::mutex> lock_timed() const;
   bool pop_locked(std::unique_lock<std::mutex>& lock,
@@ -155,11 +200,19 @@ class JobQueue {
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::vector<std::deque<Entry>> lanes_;  ///< num_lanes * kPriorities
+  std::vector<std::deque<Entry>> lanes_;  ///< num_lanes*kPriorities*tenants
   std::size_t capacity_;
   std::size_t lane_base_;
+  std::size_t num_tenants_;
   std::string depth_metric_;
   telemetry::Gauge* depth_gauge_ = nullptr;  ///< resolved on first use
+  /// Per-lane tenant arbiters (empty when num_tenants_ == 1: the pop
+  /// path never consults an arbiter for a single tenant).
+  std::vector<std::unique_ptr<Arbiter>> arbiters_;
+  std::vector<std::uint64_t> head_seq_;  ///< grant() scratch, mu_-guarded
+  std::vector<std::size_t> tenant_depth_;  ///< resident per tenant
+  std::uint64_t push_seq_ = 0;
+  std::uint64_t arbiter_grants_ = 0;
   std::size_t admitted_depth_ = 0;  ///< admission batches still resident
   std::size_t total_depth_ = 0;
   std::size_t in_flight_ = 0;

@@ -57,6 +57,7 @@
 #include "arbiterq/monitor/health.hpp"
 #include "arbiterq/monitor/slo.hpp"
 #include "arbiterq/qnn/executor.hpp"
+#include "arbiterq/serve/arbiter.hpp"
 #include "arbiterq/serve/fault_injector.hpp"
 #include "arbiterq/serve/flight_recorder.hpp"
 #include "arbiterq/serve/job_queue.hpp"
@@ -64,6 +65,29 @@
 #include "arbiterq/telemetry/timeseries.hpp"
 
 namespace arbiterq::serve {
+
+/// One tenant's QoS contract. Tenants are identified by name
+/// (JobSpec::tenant); jobs naming a tenant not in the table — or naming
+/// none — fall into an implicit catch-all slot appended after the
+/// configured rows. Both quota mechanisms meter on the *modeled*
+/// admission clock, so every accept/reject decision is a pure function
+/// of the arrival sequence (bit-identical across runs and shard counts).
+struct TenantSpec {
+  std::string name;
+  /// Weighted-credit arbiter share; <= 0 marks a background tenant
+  /// (served only when no positive-weight tenant is waiting on a lane).
+  double weight = 1.0;
+  /// Max jobs concurrently in flight on the modeled clock (a job is in
+  /// flight from its admission stamp until stamp + modeled serial
+  /// execution cost); a submit over the cap is rejected. 0 = unlimited.
+  std::size_t max_in_flight = 0;
+  /// Admission-credit token bucket: tokens refill at this rate per
+  /// *modeled* second up to admit_burst; each admitted job costs one
+  /// token and a submit without a whole token is rejected (throttled).
+  /// 0 = unlimited.
+  double admit_rate_per_s = 0.0;
+  double admit_burst = 1.0;
+};
 
 struct ServeConfig {
   int shots_per_job = 256;
@@ -132,6 +156,30 @@ struct ServeConfig {
   /// thread schedules (store timestamps use the store's own clock
   /// domain — size window_us in modeled microseconds).
   telemetry::TimeSeriesStore* series = nullptr;
+  // ---- Multi-tenant QoS -----------------------------------------------
+  /// Dequeue arbiter deciding, per lane, which tenant's batch a worker
+  /// runs next (see arbiter.hpp). kFifo reproduces the pre-tenant
+  /// single-FIFO order exactly and is the default.
+  ArbiterKind arbiter = ArbiterKind::kFifo;
+  /// Tenant table. Empty = single anonymous tenant, all QoS machinery
+  /// off (the pre-tenant behavior). Non-empty: jobs resolve by
+  /// JobSpec::tenant name, unknown/empty names land in an implicit
+  /// catch-all slot named "other"; quotas, weighted-credit shares and
+  /// per-tenant telemetry key off the resolved slot.
+  std::vector<TenantSpec> tenants;
+  /// Derive each job's queue priority from its SLO class instead of
+  /// JobSpec::priority: latency_bound -> kHigh, throughput_bound ->
+  /// kNormal, best_effort -> kLow.
+  bool class_lanes = false;
+  /// Model queue wait: per-QPU modeled lane clocks make a batch start
+  /// at max(lane clock, job ready time), so virtual_latency_us becomes
+  /// wait-inclusive (what the fairness bench measures) instead of
+  /// execution-chain-only. Lane clocks advance in dequeue order, which
+  /// is deterministic in saturated-backlog replays (submit everything
+  /// with autostart=false, then start()+drain()) but schedule-dependent
+  /// when workers race live admission — leave this off when the
+  /// execution-chain latency contract matters.
+  bool model_queue_wait = false;
 };
 
 enum class JobStatus { kPending, kOk, kRejected, kExpired, kFailed };
@@ -146,9 +194,20 @@ struct JobSpec {
   double deadline_us = -1.0;
   /// Free-form tenant label for traces, flight records, and per-tenant
   /// counters. Sanitized (safe_label) before reaching any exporter.
+  /// With a ServeConfig::tenants table, also the quota/arbiter slot
+  /// this job resolves to.
   std::string tenant;
   /// Service class the attached SloEngine judges this job under.
   monitor::SloClass slo_class = monitor::SloClass::kBestEffort;
+  /// Per-job shot-budget override; <= 0 uses ServeConfig::shots_per_job.
+  int shots = 0;
+  /// Open-loop arrival stamp on the modeled admission clock (us). >= 0
+  /// advances the clock to max(clock, arrival_us) instead of the
+  /// cost-based advance — the TrafficGenerator drives the runtime with
+  /// these, making quota decisions and the recorded series pure
+  /// functions of the generated arrival sequence. < 0 = closed-loop
+  /// submit (the pre-tenant behavior).
+  double arrival_us = -1.0;
 };
 
 struct JobResult {
@@ -166,6 +225,25 @@ struct JobResult {
   double wall_latency_us = 0.0;
   std::size_t torus = 0;  ///< torus within the routing epoch's partition
   std::size_t epoch = 0;  ///< membership epoch the job was routed under
+  std::string tenant;     ///< JobSpec::tenant, verbatim
+  monitor::SloClass slo_class = monitor::SloClass::kBestEffort;
+  double admit_virtual_us = 0.0;  ///< modeled admission-clock stamp
+};
+
+/// Per-tenant accounting (ServingReport::tenants; populated only when
+/// ServeConfig::tenants is non-empty). Latency percentiles are over the
+/// job-level virtual latency of this tenant's non-rejected jobs.
+struct TenantReport {
+  std::string name;
+  double weight = 1.0;
+  std::size_t submitted = 0;
+  std::size_t admitted = 0;
+  std::size_t completed = 0;       ///< status == kOk
+  std::size_t rejected = 0;        ///< all rejects (capacity + quota)
+  std::size_t quota_rejected = 0;  ///< max_in_flight quota rejects
+  std::size_t throttled = 0;       ///< admission-credit rejects
+  double p50_virtual_latency_us = 0.0;
+  double p99_virtual_latency_us = 0.0;
 };
 
 /// Aggregate accounting after drain().
@@ -185,6 +263,9 @@ struct ServingReport {
   double throughput_jobs_per_s = 0.0;
   /// Per-shard queue/mailbox accounting (one row per shard).
   std::vector<ShardStats> shards;
+  /// Per-tenant accounting (configured tenants then the catch-all slot;
+  /// empty when no tenant table is configured).
+  std::vector<TenantReport> tenants;
 };
 
 class ServingRuntime {
@@ -241,6 +322,14 @@ class ServingRuntime {
   }
   /// Per-shard accounting snapshot (live).
   std::vector<ShardStats> shard_stats() const;
+  /// Resolved tenant table: the configured rows plus the implicit
+  /// catch-all slot; empty when no tenants were configured.
+  const std::vector<TenantSpec>& tenants() const noexcept {
+    return tenants_;
+  }
+  /// Live resident queue depth per tenant slot, summed across shards
+  /// (empty when no tenants were configured).
+  std::vector<std::size_t> tenant_queue_depths() const;
   /// Publish the per-shard accounting into the global MetricsRegistry as
   /// serve.shard<k>.* counters (delta-fed, so a sampling Collector folds
   /// them into per-window rates) plus a queue-depth gauge per shard.
@@ -258,6 +347,10 @@ class ServingRuntime {
     double probability = 0.0;
     int shots = 0;
     double chain_us = 0.0;  ///< modeled time of the whole retry chain
+    /// Modeled finish stamp on the lane clock (model_queue_wait only;
+    /// 0 for slots that never executed — finalize falls back to the
+    /// chain for those).
+    double finish_us = 0.0;
     /// Flight-recorder event sequence for this slot (collected only
     /// when a recorder is attached; single-writer like the rest of the
     /// slot, published by the release decrement of `pending`).
@@ -281,6 +374,8 @@ class ServingRuntime {
     std::atomic<int> retries{0};
     double submit_wall_us = 0.0;
     std::string tenant;
+    std::uint32_t tenant_id = 0;  ///< resolved slot (0 when no table)
+    int shots = 0;                ///< resolved per-job shot budget
     monitor::SloClass slo_class = monitor::SloClass::kBestEffort;
     /// Tracing state, fixed at submit() before any batch is enqueued.
     bool traced = false;
@@ -369,11 +464,35 @@ class ServingRuntime {
   std::vector<std::vector<double>> credit_;       ///< by epoch
   std::vector<std::size_t> epoch_alive_;          ///< members, by epoch
   double first_submit_wall_us_ = 0.0;
-  /// Modeled admission clock (ServeConfig::series); routing lock held.
+  /// Modeled admission clock; routing lock held. Advanced by every
+  /// admitted job's modeled cost (or pinned to JobSpec::arrival_us in
+  /// open-loop mode) — quota decisions and the ts series meter on it.
   double admit_clock_us_ = 0.0;
   /// Per-QPU shot latency, cached so the admission-clock advance is a
   /// plain vector walk instead of per-slot executor calls.
   std::vector<double> shot_lat_us_;
+
+  // ---- Multi-tenant QoS state (routing lock) --------------------------
+  /// Resolved tenant table: configured rows + the implicit catch-all
+  /// slot. Empty = QoS off (single anonymous tenant).
+  std::vector<TenantSpec> tenants_;
+  std::map<std::string, std::uint32_t> tenant_ids_;  ///< name -> slot
+  /// Sanitized per-tenant metric labels, index-aligned with tenants_.
+  std::vector<std::string> tenant_labels_;
+  /// Per-tenant quota state, metered on the modeled admission clock.
+  struct TenantQos {
+    double tokens = 0.0;          ///< admission credits available
+    double token_stamp_us = 0.0;  ///< clock at last refill
+    /// Min-heap of modeled completion stamps of in-flight jobs
+    /// (max_in_flight quota only).
+    std::vector<double> inflight_done_us;
+    std::uint64_t quota_rejected = 0;
+    std::uint64_t throttled = 0;
+  };
+  std::vector<TenantQos> tenant_qos_;
+  /// Tenant slot for a job's tenant name (catch-all when unknown);
+  /// routing lock held.
+  std::uint32_t resolve_tenant_locked(const std::string& name) const;
 
   // Time-series handles, resolved once in the constructor (per-series
   // locking happens inside the store). Tenant series are resolved
@@ -384,6 +503,11 @@ class ServingRuntime {
   std::vector<telemetry::TimeSeriesStore::Series*> ts_admitted_shard_;
   std::vector<telemetry::TimeSeriesStore::Series*> ts_completed_shard_;
   std::map<std::string, telemetry::TimeSeriesStore::Series*> ts_tenant_;
+  /// Slot-indexed per-tenant series (tenant table configured): resolved
+  /// once in the constructor so finalize() touches them lock-free.
+  std::vector<telemetry::TimeSeriesStore::Series*> ts_tenant_admitted_;
+  std::vector<telemetry::TimeSeriesStore::Series*> ts_tenant_completed_;
+  std::vector<telemetry::TimeSeriesStore::Series*> ts_tenant_latency_;
 
   /// Last-published per-shard counter values (publish_shard_metrics
   /// feeds registry counters by delta); guarded by publish_mu_.
@@ -405,6 +529,10 @@ class ServingRuntime {
   // the workers are joined.
   std::vector<double> qpu_shots_;
   std::vector<double> qpu_busy_us_;
+  /// Per-QPU modeled lane clock (model_queue_wait): the finish stamp of
+  /// the last batch the lane executed. Same single-writer discipline as
+  /// qpu_busy_us_.
+  std::vector<double> qpu_clock_us_;
 
   // Virtual-time gauge sampling: workers accumulate modeled execution
   // microseconds; whichever worker crosses the next cadence boundary

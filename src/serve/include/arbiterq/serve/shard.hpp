@@ -70,9 +70,11 @@ class Shard {
   /// [first_qpu, first_qpu + num_qpus). `capacity` bounds the admission
   /// units resident in this shard (mailed or queued); it also sizes the
   /// admission mailbox, so a successful reservation can never meet a
-  /// full admission lane.
+  /// full admission lane. `num_tenants`/`arbiter` configure the queue's
+  /// per-tenant FIFOs and per-lane dequeue arbiters (see job_queue.hpp).
   Shard(std::size_t index, std::size_t first_qpu, std::size_t num_qpus,
-        std::size_t capacity, std::size_t num_shards);
+        std::size_t capacity, std::size_t num_shards,
+        std::size_t num_tenants = 1, const ArbiterConfig& arbiter = {});
   ~Shard();
 
   Shard(const Shard&) = delete;
@@ -123,6 +125,14 @@ class Shard {
   /// stranded; both are idempotent.
   void start_dispatch();
   void stop_dispatch();
+
+  /// Synchronously drain everything already mailed into the queue. The
+  /// caller must ensure the dispatcher is not running — it is the only
+  /// other mailbox consumer. Used by the runtime to pre-saturate the
+  /// queue before the workers start, so a staged (autostart=false)
+  /// replay's dequeue arbiters see the full backlog from the first pop
+  /// instead of racing the dispatcher's drain.
+  void flush_pending() { drain_lanes(); }
 
   ShardStats stats() const;
 

@@ -8,16 +8,31 @@
 namespace arbiterq::serve {
 
 JobQueue::JobQueue(std::size_t num_lanes, std::size_t capacity,
-                   std::string depth_metric, std::size_t lane_base)
-    : lanes_(num_lanes * kPriorities),
+                   std::string depth_metric, std::size_t lane_base,
+                   std::size_t num_tenants, const ArbiterConfig& arbiter)
+    : lanes_(num_lanes * kPriorities *
+             (num_tenants == 0 ? 1 : num_tenants)),
       capacity_(capacity),
       lane_base_(lane_base),
-      depth_metric_(std::move(depth_metric)) {
+      num_tenants_(num_tenants == 0 ? 1 : num_tenants),
+      depth_metric_(std::move(depth_metric)),
+      tenant_depth_(num_tenants == 0 ? 1 : num_tenants, 0) {
   if (num_lanes == 0) {
     throw std::invalid_argument("JobQueue: no lanes");
   }
   if (capacity_ == 0) {
     throw std::invalid_argument("JobQueue: zero capacity");
+  }
+  if (num_tenants_ > 1) {
+    // One arbiter per lane: a lane's grant history is a pure function
+    // of that lane's content sequence, independent of which shard or
+    // worker owns it — the property that keeps saturated-backlog
+    // dequeue order identical across shard counts.
+    arbiters_.reserve(num_lanes);
+    for (std::size_t l = 0; l < num_lanes; ++l) {
+      arbiters_.push_back(Arbiter::create(arbiter, num_tenants_));
+    }
+    head_seq_.resize(num_tenants_, kNoRequest);
   }
 }
 
@@ -48,10 +63,24 @@ std::unique_lock<std::mutex> JobQueue::lock_timed() const {
   return lock;
 }
 
+void JobQueue::enqueue_locked(ShotBatch batch, bool admitted) {
+  const std::size_t lane = lane_of(batch);
+  const std::size_t tenant = tenant_of(batch);
+  const int pri = static_cast<int>(batch.priority);
+  Entry e;
+  e.admitted = admitted;
+  e.seq = push_seq_++;
+  e.batch = std::move(batch);
+  cell(lane, pri, tenant).push_back(std::move(e));
+  ++tenant_depth_[tenant];
+  if (admitted) ++admitted_depth_;
+  ++total_depth_;
+}
+
 bool JobQueue::try_push(ShotBatch batch) {
   const std::size_t lane = lane_of(batch);
   std::unique_lock<std::mutex> lock = lock_timed();
-  if (lane * kPriorities >= lanes_.size()) {
+  if (lane * kPriorities * num_tenants_ >= lanes_.size()) {
     throw std::out_of_range("JobQueue::try_push: bad lane");
   }
   if (closed_ || admitted_depth_ >= capacity_) {
@@ -59,11 +88,7 @@ bool JobQueue::try_push(ShotBatch batch) {
     AQ_COUNTER_ADD("serve.queue.rejected", 1);
     return false;
   }
-  const int pri = static_cast<int>(batch.priority);
-  lanes_[lane * kPriorities + static_cast<std::size_t>(pri)].push_back(
-      Entry{true, std::move(batch)});
-  ++admitted_depth_;
-  ++total_depth_;
+  enqueue_locked(std::move(batch), /*admitted=*/true);
   note_depth_locked();
   cv_.notify_all();
   return true;
@@ -78,14 +103,10 @@ bool JobQueue::try_push_all(std::vector<ShotBatch> batches) {
   }
   for (ShotBatch& batch : batches) {
     const std::size_t lane = lane_of(batch);
-    if (lane * kPriorities >= lanes_.size()) {
+    if (lane * kPriorities * num_tenants_ >= lanes_.size()) {
       throw std::out_of_range("JobQueue::try_push_all: bad lane");
     }
-    const int pri = static_cast<int>(batch.priority);
-    lanes_[lane * kPriorities + static_cast<std::size_t>(pri)].push_back(
-        Entry{true, std::move(batch)});
-    ++admitted_depth_;
-    ++total_depth_;
+    enqueue_locked(std::move(batch), /*admitted=*/true);
   }
   note_depth_locked();
   cv_.notify_all();
@@ -95,14 +116,10 @@ bool JobQueue::try_push_all(std::vector<ShotBatch> batches) {
 void JobQueue::push_reserved(ShotBatch batch) {
   const std::size_t lane = lane_of(batch);
   std::unique_lock<std::mutex> lock = lock_timed();
-  if (lane * kPriorities >= lanes_.size()) {
+  if (lane * kPriorities * num_tenants_ >= lanes_.size()) {
     throw std::out_of_range("JobQueue::push_reserved: bad lane");
   }
-  const int pri = static_cast<int>(batch.priority);
-  lanes_[lane * kPriorities + static_cast<std::size_t>(pri)].push_back(
-      Entry{true, std::move(batch)});
-  ++admitted_depth_;
-  ++total_depth_;
+  enqueue_locked(std::move(batch), /*admitted=*/true);
   note_depth_locked();
   cv_.notify_all();
 }
@@ -110,13 +127,10 @@ void JobQueue::push_reserved(ShotBatch batch) {
 void JobQueue::push_retry(ShotBatch batch) {
   const std::size_t lane = lane_of(batch);
   std::unique_lock<std::mutex> lock = lock_timed();
-  if (lane * kPriorities >= lanes_.size()) {
+  if (lane * kPriorities * num_tenants_ >= lanes_.size()) {
     throw std::out_of_range("JobQueue::push_retry: bad lane");
   }
-  const int pri = static_cast<int>(batch.priority);
-  lanes_[lane * kPriorities + static_cast<std::size_t>(pri)].push_back(
-      Entry{false, std::move(batch)});
-  ++total_depth_;
+  enqueue_locked(std::move(batch), /*admitted=*/false);
   note_depth_locked();
   cv_.notify_all();
 }
@@ -125,7 +139,7 @@ bool JobQueue::pop_locked(std::unique_lock<std::mutex>& lock,
                           const std::size_t* lanes, std::size_t n_lanes,
                           ShotBatch* out, bool* was_admitted) {
   for (std::size_t i = 0; i < n_lanes; ++i) {
-    if (lanes[i] * kPriorities >= lanes_.size()) {
+    if (lanes[i] * kPriorities * num_tenants_ >= lanes_.size()) {
       throw std::out_of_range("JobQueue::pop: bad lane");
     }
   }
@@ -133,13 +147,35 @@ bool JobQueue::pop_locked(std::unique_lock<std::mutex>& lock,
     if (aborted_) return false;
     for (int pri = kPriorities - 1; pri >= 0; --pri) {
       for (std::size_t i = 0; i < n_lanes; ++i) {
-        auto& q =
-            lanes_[lanes[i] * kPriorities + static_cast<std::size_t>(pri)];
-        if (q.empty()) continue;
-        Entry e = std::move(q.front());
-        q.pop_front();
+        const std::size_t lane = lanes[i];
+        std::deque<Entry>* q = nullptr;
+        std::size_t tenant = 0;
+        if (num_tenants_ == 1) {
+          q = &cell(lane, pri, 0);
+          if (q->empty()) q = nullptr;
+        } else {
+          // Fill the grant ports with each tenant's head-of-line push
+          // sequence at this (lane, priority) and let the lane arbiter
+          // pick; the FIFO arbiter reproduces the single-deque order
+          // exactly (global minimum sequence).
+          bool any = false;
+          for (std::size_t t = 0; t < num_tenants_; ++t) {
+            const std::deque<Entry>& c = cell(lane, pri, t);
+            head_seq_[t] = c.empty() ? kNoRequest : c.front().seq;
+            any = any || !c.empty();
+          }
+          if (any) {
+            tenant = arbiters_[lane]->grant(head_seq_.data(), num_tenants_);
+            ++arbiter_grants_;
+            q = &cell(lane, pri, tenant);
+          }
+        }
+        if (q == nullptr) continue;
+        Entry e = std::move(q->front());
+        q->pop_front();
         *out = std::move(e.batch);
         if (was_admitted != nullptr) *was_admitted = e.admitted;
+        --tenant_depth_[num_tenants_ == 1 ? 0 : tenant];
         --total_depth_;
         if (e.admitted) --admitted_depth_;
         ++in_flight_;
@@ -202,14 +238,26 @@ std::size_t JobQueue::lane_depth(std::size_t lane) const {
   std::unique_lock<std::mutex> lock = lock_timed();
   std::size_t d = 0;
   for (int pri = 0; pri < kPriorities; ++pri) {
-    d += lanes_[lane * kPriorities + static_cast<std::size_t>(pri)].size();
+    for (std::size_t t = 0; t < num_tenants_; ++t) {
+      d += cell(lane, pri, t).size();
+    }
   }
   return d;
+}
+
+std::size_t JobQueue::tenant_depth(std::size_t tenant) const {
+  std::unique_lock<std::mutex> lock = lock_timed();
+  return tenant < tenant_depth_.size() ? tenant_depth_[tenant] : 0;
 }
 
 std::size_t JobQueue::rejected() const {
   std::unique_lock<std::mutex> lock = lock_timed();
   return rejected_;
+}
+
+std::uint64_t JobQueue::arbiter_grants() const {
+  std::unique_lock<std::mutex> lock = lock_timed();
+  return arbiter_grants_;
 }
 
 }  // namespace arbiterq::serve

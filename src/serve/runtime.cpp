@@ -17,6 +17,29 @@ double wall_now_us() {
   return std::chrono::duration<double, std::micro>(t).count();
 }
 
+/// Nearest-rank percentile (q in [0, 1]); reorders `v`.
+double percentile(std::vector<double>& v, double q) {
+  if (v.empty()) return 0.0;
+  const auto k = static_cast<std::size_t>(
+      q * static_cast<double>(v.size() - 1) + 0.5);
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(k),
+                   v.end());
+  return v[k];
+}
+
+/// ServeConfig::class_lanes mapping: tighter class, higher lane.
+JobPriority class_lane(monitor::SloClass cls) {
+  switch (cls) {
+    case monitor::SloClass::kLatencyBound:
+      return JobPriority::kHigh;
+    case monitor::SloClass::kThroughputBound:
+      return JobPriority::kNormal;
+    case monitor::SloClass::kBestEffort:
+      return JobPriority::kLow;
+  }
+  return JobPriority::kNormal;
+}
+
 std::uint64_t trace_thread_hash() {
   return std::hash<std::thread::id>{}(std::this_thread::get_id());
 }
@@ -68,6 +91,31 @@ ServingRuntime::ServingRuntime(
   if (config_.shots_per_job <= 0) {
     throw std::invalid_argument("ServingRuntime: shots_per_job must be > 0");
   }
+  // Tenant table: configured rows plus the implicit catch-all slot that
+  // absorbs unknown/unnamed tenants. Built before the shards so every
+  // shard's queue is sized for the same tenant universe.
+  if (!config_.tenants.empty()) {
+    tenants_ = config_.tenants;
+    TenantSpec other;
+    other.name = "other";
+    tenants_.push_back(std::move(other));
+    tenant_qos_.resize(tenants_.size());
+    tenant_labels_.reserve(tenants_.size());
+    for (std::size_t t = 0; t < tenants_.size(); ++t) {
+      tenant_labels_.push_back(telemetry::safe_label(tenants_[t].name, 64));
+      // Admission-credit buckets start full: a tenant may spend its
+      // whole burst at clock 0.
+      tenant_qos_[t].tokens = tenants_[t].admit_burst;
+      if (!tenants_[t].name.empty()) {
+        tenant_ids_.emplace(tenants_[t].name,
+                            static_cast<std::uint32_t>(t));
+      }
+    }
+  }
+  ArbiterConfig arb;
+  arb.kind = config_.arbiter;
+  for (const TenantSpec& t : tenants_) arb.weights.push_back(t.weight);
+  const std::size_t num_tenants = tenants_.empty() ? 1 : tenants_.size();
   // Carve the fleet into contiguous QPU blocks, one shard each, and
   // split the admission budget evenly. Shard boundaries are a function
   // of (fleet size, shard count) alone — routing never consults them —
@@ -86,7 +134,8 @@ ServingRuntime::ServingRuntime(
     const std::size_t last = (s + 1) * n / num_shards;
     shards_.push_back(std::make_unique<Shard>(
         s, first, last - first,
-        std::max<std::size_t>(1, total_cap / num_shards), num_shards));
+        std::max<std::size_t>(1, total_cap / num_shards), num_shards,
+        num_tenants, arb));
     // shard_of() must be the exact inverse of this block layout, so it
     // serves from a table filled here rather than a re-derivation.
     for (std::size_t q = first; q < last; ++q) shard_by_qpu_[q] = s;
@@ -117,11 +166,15 @@ ServingRuntime::ServingRuntime(
     members0 += torus.size();
   }
   epoch_alive_.push_back(std::max<std::size_t>(1, members0));
+  // The shot-latency cache and modeled lane clocks feed the admission
+  // clock, the tenant quotas, and the wait model — needed with or
+  // without a time-series sink.
+  shot_lat_us_.reserve(executors_.size());
+  for (const auto& ex : executors_) {
+    shot_lat_us_.push_back(ex.shot_latency_us());
+  }
+  qpu_clock_us_.assign(executors_.size(), 0.0);
   if (config_.series != nullptr) {
-    shot_lat_us_.reserve(executors_.size());
-    for (const auto& ex : executors_) {
-      shot_lat_us_.push_back(ex.shot_latency_us());
-    }
     telemetry::TimeSeriesStore& ts = *config_.series;
     ts_admitted_ = ts.series("serve.ts.admitted",
                              telemetry::SeriesKind::kEvent);
@@ -139,6 +192,24 @@ ServingRuntime::ServingRuntime(
       ts_completed_shard_[s] =
           ts.series("serve.ts.completed.shard" + std::to_string(s),
                     telemetry::SeriesKind::kEvent);
+    }
+    // Slot-indexed tenant series, resolved up front so the finalize
+    // path (worker threads) reads the vectors without a lock. The lazy
+    // name-keyed map stays for runs without a tenant table.
+    ts_tenant_admitted_.resize(tenants_.size());
+    ts_tenant_completed_.resize(tenants_.size());
+    ts_tenant_latency_.resize(tenants_.size());
+    for (std::size_t t = 0; t < tenants_.size(); ++t) {
+      ts_tenant_admitted_[t] =
+          ts.series("serve.ts.admitted.tenant." + tenant_labels_[t],
+                    telemetry::SeriesKind::kEvent);
+      ts_tenant_completed_[t] =
+          ts.series("serve.ts.completed.tenant." + tenant_labels_[t],
+                    telemetry::SeriesKind::kEvent);
+      ts_tenant_latency_[t] =
+          ts.series("serve.ts.virtual_latency_us.tenant." + tenant_labels_[t],
+                    telemetry::SeriesKind::kHistogram,
+                    telemetry::latency_buckets_us());
     }
   }
   inflight_ = std::make_unique<std::atomic<int>[]>(executors_.size());
@@ -180,7 +251,14 @@ ServingRuntime::~ServingRuntime() {
 void ServingRuntime::start() {
   if (started_ || drained_) return;
   started_ = true;
-  for (auto& shard : shards_) shard->start_dispatch();
+  for (auto& shard : shards_) {
+    // Jobs staged before start() (autostart=false) are still sitting in
+    // the admission mailbox; land them in the queue before any worker or
+    // dispatcher runs so the per-lane arbiters grant over the complete
+    // backlog — the saturated-replay determinism contract.
+    shard->flush_pending();
+    shard->start_dispatch();
+  }
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     const std::size_t lanes = shards_[s]->num_qpus();
     const std::size_t per_shard =
@@ -206,6 +284,20 @@ std::optional<std::uint64_t> ServingRuntime::submit(const JobSpec& spec) {
   const std::uint64_t route_start_ns =
       traced ? telemetry::trace_now_ns() : 0;
   if (first_submit_wall_us_ == 0.0) first_submit_wall_us_ = wall_now_us();
+
+  // Open-loop arrivals pin the modeled admission clock to the generated
+  // timeline (monotone: out-of-order stamps never rewind it); closed-
+  // loop submits advance it by modeled cost below, after admission.
+  if (spec.arrival_us >= 0.0 && spec.arrival_us > admit_clock_us_) {
+    admit_clock_us_ = spec.arrival_us;
+  }
+  const bool qos = !tenants_.empty();
+  const std::uint32_t tenant_id =
+      qos ? resolve_tenant_locked(spec.tenant) : 0;
+  const int job_shots =
+      spec.shots > 0 ? spec.shots : config_.shots_per_job;
+  const JobPriority priority =
+      config_.class_lanes ? class_lane(spec.slo_class) : spec.priority;
 
   const std::size_t epoch =
       faults_ != nullptr ? faults_->routing_epoch(id) : 0;
@@ -238,7 +330,7 @@ std::optional<std::uint64_t> ServingRuntime::submit(const JobSpec& spec) {
     member_rate += executors_[static_cast<std::size_t>(q)].shot_rate();
   }
   std::vector<std::pair<int, int>> split;  // (qpu, shots)
-  int remaining = config_.shots_per_job;
+  int remaining = job_shots;
   for (std::size_t i = 0; i < members.size() && remaining > 0; ++i) {
     const int q = members[i];
     int shots;
@@ -250,8 +342,7 @@ std::optional<std::uint64_t> ServingRuntime::submit(const JobSpec& spec) {
               ? executors_[static_cast<std::size_t>(q)].shot_rate() /
                     member_rate
               : 1.0 / static_cast<double>(members.size());
-      shots = static_cast<int>(
-          std::lround(share * config_.shots_per_job));
+      shots = static_cast<int>(std::lround(share * job_shots));
       shots = std::clamp(shots, 0, remaining);
     }
     if (shots <= 0) continue;
@@ -259,7 +350,14 @@ std::optional<std::uint64_t> ServingRuntime::submit(const JobSpec& spec) {
     split.emplace_back(q, shots);
   }
   if (split.empty()) {
-    split.emplace_back(members.front(), config_.shots_per_job);
+    split.emplace_back(members.front(), job_shots);
+  }
+  // Modeled serial execution cost of the split: advances the admission
+  // clock on admit and stamps the tenant's in-flight window.
+  double modeled_us = 0.0;
+  for (const auto& [q, shots] : split) {
+    modeled_us += static_cast<double>(shots) *
+                  shot_lat_us_[static_cast<std::size_t>(q)];
   }
 
   // Create the job row before admission so a rejection still records.
@@ -272,12 +370,14 @@ std::optional<std::uint64_t> ServingRuntime::submit(const JobSpec& spec) {
   job->id = id;
   job->features = spec.features;
   job->label = spec.label;
-  job->priority = spec.priority;
+  job->priority = priority;
   job->deadline_us =
       spec.deadline_us >= 0.0 ? spec.deadline_us : config_.deadline_us;
   job->epoch = epoch;
   job->torus = pick;
   job->tenant = spec.tenant;
+  job->tenant_id = tenant_id;
+  job->shots = job_shots;
   job->slo_class = spec.slo_class;
   job->traced = traced;
   if (traced) {
@@ -299,6 +399,65 @@ std::optional<std::uint64_t> ServingRuntime::submit(const JobSpec& spec) {
                      std::memory_order_release);
   job->submit_wall_us = wall_now_us();
 
+  // Tenant quotas, evaluated on the modeled admission clock *before*
+  // capacity reservation: both decisions are pure functions of the
+  // arrival sequence (unlike the live-occupancy capacity check), so the
+  // quota-admitted set is bit-identical across runs and shard counts.
+  if (qos) {
+    const TenantSpec& tspec = tenants_[tenant_id];
+    TenantQos& tq = tenant_qos_[tenant_id];
+    const double now = admit_clock_us_;
+    // Retire in-flight entries whose modeled completion has passed.
+    while (!tq.inflight_done_us.empty() &&
+           tq.inflight_done_us.front() <= now) {
+      std::pop_heap(tq.inflight_done_us.begin(), tq.inflight_done_us.end(),
+                    std::greater<>());
+      tq.inflight_done_us.pop_back();
+    }
+    if (tspec.admit_rate_per_s > 0.0) {
+      tq.tokens = std::min(
+          tspec.admit_burst,
+          tq.tokens +
+              (now - tq.token_stamp_us) * tspec.admit_rate_per_s * 1e-6);
+      tq.token_stamp_us = now;
+    }
+    FlightEventKind reject_kind = FlightEventKind::kQuotaReject;
+    double reject_value = 0.0;
+    bool quota_reject = false;
+    if (tspec.max_in_flight > 0 &&
+        tq.inflight_done_us.size() >= tspec.max_in_flight) {
+      quota_reject = true;
+      ++tq.quota_rejected;
+      reject_value = static_cast<double>(tq.inflight_done_us.size());
+      AQ_COUNTER_ADD("serve.jobs.rejected.quota", 1);
+    } else if (tspec.admit_rate_per_s > 0.0 && tq.tokens < 1.0) {
+      quota_reject = true;
+      ++tq.throttled;
+      reject_kind = FlightEventKind::kThrottle;
+      reject_value = tq.tokens;
+      AQ_COUNTER_ADD("serve.jobs.rejected.throttled", 1);
+    }
+    if (quota_reject) {
+      route.unlock();
+      job->status = JobStatus::kRejected;
+      job->pending.store(0, std::memory_order_release);
+      AQ_COUNTER_ADD("serve.jobs.rejected", 1);
+      if (flight_ != nullptr) {
+        FlightEvent ev;
+        ev.kind = reject_kind;
+        ev.value = reject_value;
+        job->route_events.push_back(ev);
+        flight_dump(*job);
+      }
+      if (slo_ != nullptr) {
+        slo_->observe_job(job->slo_class, 0.0, false,
+                          static_cast<int>(job->home_shard), job->tenant);
+      }
+      if (traced) trace_root(*job);
+      return std::nullopt;
+    }
+  }
+
   std::vector<ShotBatch> batches;
   std::vector<std::size_t> batch_shard;
   batches.reserve(split.size());
@@ -310,7 +469,8 @@ std::optional<std::uint64_t> ServingRuntime::submit(const JobSpec& spec) {
     b.qpu = split[s].first;
     b.shots = split[s].second;
     b.attempt = 0;
-    b.priority = spec.priority;
+    b.priority = priority;
+    b.tenant = tenant_id;
     batches.push_back(std::move(b));
     batch_shard.push_back(shard_of(split[s].first));
   }
@@ -358,29 +518,44 @@ std::optional<std::uint64_t> ServingRuntime::submit(const JobSpec& spec) {
     }
     if (slo_ != nullptr) {
       slo_->observe_job(job->slo_class, 0.0, false,
-                        static_cast<int>(job->home_shard));
+                        static_cast<int>(job->home_shard), job->tenant);
     }
     if (traced) trace_root(*job);
     return std::nullopt;
   }
 
   outstanding_.fetch_add(batches.size(), std::memory_order_release);
-  if (config_.series != nullptr) {
-    // Advance the modeled admission clock by this job's modeled serial
-    // execution cost spread over the epoch's alive fleet; pure function
-    // of the admitted sequence (routing lock held), so the recorded
-    // series reproduces bit-identically.
-    double modeled_us = 0.0;
-    for (const auto& [q, shots] : split) {
-      modeled_us += static_cast<double>(shots) *
-                    shot_lat_us_[static_cast<std::size_t>(q)];
-    }
+  // Stamp the job on the modeled admission clock. Closed-loop submits
+  // advance it by the job's modeled serial cost spread over the epoch's
+  // alive fleet (an idealized perfectly-parallel fleet clock); open-loop
+  // submits already pinned it to the arrival stamp above. Pure function
+  // of the admitted sequence (routing lock held), so the recorded
+  // series reproduces bit-identically.
+  if (spec.arrival_us < 0.0) {
     admit_clock_us_ += modeled_us / static_cast<double>(epoch_alive_[epoch]);
-    job->admit_virtual_us = admit_clock_us_;
+  }
+  job->admit_virtual_us = admit_clock_us_;
+  if (qos) {
+    // Consume quota only for actually-admitted jobs: a capacity reject
+    // below this point cannot happen (reservation succeeded), so the
+    // consumed state stays a pure function of the arrival sequence.
+    const TenantSpec& tspec = tenants_[tenant_id];
+    TenantQos& tq = tenant_qos_[tenant_id];
+    if (tspec.admit_rate_per_s > 0.0) tq.tokens -= 1.0;
+    if (tspec.max_in_flight > 0) {
+      tq.inflight_done_us.push_back(admit_clock_us_ + modeled_us);
+      std::push_heap(tq.inflight_done_us.begin(), tq.inflight_done_us.end(),
+                     std::greater<>());
+    }
+  }
+  if (config_.series != nullptr) {
     config_.series->observe(ts_admitted_, admit_clock_us_, 1.0);
     config_.series->observe(ts_admitted_shard_[job->home_shard],
                             admit_clock_us_, 1.0);
-    if (!job->tenant.empty()) {
+    if (qos) {
+      config_.series->observe(ts_tenant_admitted_[tenant_id],
+                              admit_clock_us_, 1.0);
+    } else if (!job->tenant.empty()) {
       auto it = ts_tenant_.find(job->tenant);
       if (it == ts_tenant_.end()) {
         it = ts_tenant_
@@ -482,6 +657,15 @@ void ServingRuntime::note_dropout(int qpu) {
   if (monitor_ != nullptr) monitor_->observe_membership(qpu, false);
 }
 
+std::uint32_t ServingRuntime::resolve_tenant_locked(
+    const std::string& name) const {
+  const auto it = tenant_ids_.find(name);
+  if (it != tenant_ids_.end()) return it->second;
+  // Unknown or empty tenant: the catch-all slot the constructor
+  // appended after the configured rows.
+  return static_cast<std::uint32_t>(tenants_.size() - 1);
+}
+
 ServingRuntime::JobState* ServingRuntime::job_ptr(std::uint64_t id) {
   std::lock_guard<std::mutex> lock(jobs_mu_);
   return &jobs_[static_cast<std::size_t>(id)];
@@ -564,17 +748,32 @@ void ServingRuntime::process_batch(int qpu, ShotBatch batch) {
   }
   const double exec_us =
       static_cast<double>(batch.shots) * exec.shot_latency_us() * mult;
+  const double chain_before_us = slot.chain_us;
   slot.chain_us += exec_us;
   qpu_busy_us_[uq] += exec_us;
+  // Wait model: the batch starts when both the lane is free and the
+  // batch is ready (admission stamp + any prior failed attempts or
+  // backoffs on its chain). The lane clock is single-writer — only this
+  // QPU's worker touches it — and advances whether the batch executes
+  // or expires (either way it occupied the device).
+  double elapsed_us = slot.chain_us;
+  if (config_.model_queue_wait) {
+    const double ready_us = job.admit_virtual_us + chain_before_us;
+    const double start_us = std::max(qpu_clock_us_[uq], ready_us);
+    slot.finish_us = start_us + exec_us;
+    qpu_clock_us_[uq] = slot.finish_us;
+    elapsed_us = slot.finish_us - job.admit_virtual_us;
+  }
   if (mult > 1.0) {
     flight_note(slot, FlightEventKind::kLatencySpike, si, batch.attempt,
                 qpu, slot.chain_us, mult);
   }
   advance_virtual_time(exec_us);
 
-  // Deadline check on the chain's modeled time *before* burning the
+  // Deadline check on the modeled elapsed time (wait-inclusive under
+  // the wait model, chain-only otherwise) *before* burning the
   // execution: an expired batch is dropped, not retried.
-  if (job.deadline_us > 0.0 && slot.chain_us > job.deadline_us) {
+  if (job.deadline_us > 0.0 && elapsed_us > job.deadline_us) {
     slot.outcome = BatchSlot::Outcome::kExpired;
     slot.qpu = qpu;
     slot.shots = batch.shots;
@@ -757,7 +956,12 @@ void ServingRuntime::finalize(JobState& job) {
         any_failed = true;  // unreachable; defensive
         break;
     }
-    vlat = std::max(vlat, slot.chain_us);
+    // Wait model: a slot's latency is its lane-clock finish relative to
+    // the admission stamp; slots that never reached a device (faulted
+    // out) fall back to their chain time.
+    vlat = std::max(vlat, config_.model_queue_wait && slot.finish_us > 0.0
+                              ? slot.finish_us - job.admit_virtual_us
+                              : slot.chain_us);
   }
   job.probability = total_shots > 0.0 ? weighted / total_shots : 0.5;
   job.loss = qnn::loss_value(config_.loss, job.probability, job.label);
@@ -802,11 +1006,16 @@ void ServingRuntime::finalize(JobState& job) {
     config_.series->observe(ts_completed_, t, 1.0);
     config_.series->observe(ts_completed_shard_[job.home_shard], t, 1.0);
     config_.series->observe(ts_latency_, t, job.virtual_latency_us);
+    if (!tenants_.empty()) {
+      config_.series->observe(ts_tenant_completed_[job.tenant_id], t, 1.0);
+      config_.series->observe(ts_tenant_latency_[job.tenant_id], t,
+                              job.virtual_latency_us);
+    }
   }
   if (slo_ != nullptr) {
     slo_->observe_job(job.slo_class, job.virtual_latency_us,
                       job.status == JobStatus::kOk,
-                      static_cast<int>(job.home_shard));
+                      static_cast<int>(job.home_shard), job.tenant);
   }
   if (flight_ != nullptr && job.status != JobStatus::kOk) {
     flight_dump(job);
@@ -869,7 +1078,7 @@ void ServingRuntime::flight_dump(const JobState& job) {
   rec.status = job_status_name(job.status);
   rec.epoch = job.epoch;
   rec.torus = job.torus;
-  rec.shots = config_.shots_per_job;
+  rec.shots = job.shots > 0 ? job.shots : config_.shots_per_job;
   rec.retries = job.retries.load(std::memory_order_relaxed);
   rec.virtual_latency_us = job.virtual_latency_us;
   rec.events = job.route_events;
@@ -980,6 +1189,26 @@ void ServingRuntime::publish_shard_metrics() {
         .set(static_cast<double>(shards_[s]->queue().depth()));
     published_[s] = cur;
   }
+  // Per-tenant resident depth, summed across the shards — the gauge a
+  // sampling Collector folds into serve.queue.depth.tenant.<t> rollups.
+  for (std::size_t t = 0; t < tenants_.size(); ++t) {
+    std::size_t depth = 0;
+    for (const auto& shard : shards_) {
+      depth += shard->queue().tenant_depth(t);
+    }
+    reg.gauge("serve.queue.depth.tenant." + tenant_labels_[t])
+        .set(static_cast<double>(depth));
+  }
+}
+
+std::vector<std::size_t> ServingRuntime::tenant_queue_depths() const {
+  std::vector<std::size_t> out(tenants_.size(), 0);
+  for (std::size_t t = 0; t < tenants_.size(); ++t) {
+    for (const auto& shard : shards_) {
+      out[t] += shard->queue().tenant_depth(t);
+    }
+  }
+  return out;
 }
 
 std::vector<JobResult> ServingRuntime::results() const {
@@ -998,6 +1227,9 @@ std::vector<JobResult> ServingRuntime::results() const {
     r.wall_latency_us = job.wall_latency_us;
     r.torus = job.torus;
     r.epoch = job.epoch;
+    r.tenant = job.tenant;
+    r.slo_class = job.slo_class;
+    r.admit_virtual_us = job.admit_virtual_us;
     out.push_back(r);
   }
   return out;
@@ -1029,6 +1261,45 @@ ServingReport ServingRuntime::report() const {
   rep.qpu_shots = qpu_shots_;
   rep.qpu_busy_us = qpu_busy_us_;
   rep.shards = shard_stats();
+  if (!tenants_.empty()) {
+    rep.tenants.resize(tenants_.size());
+    std::vector<std::vector<double>> vlats(tenants_.size());
+    {
+      std::lock_guard<std::mutex> lock(jobs_mu_);
+      for (const JobState& job : jobs_) {
+        TenantReport& t = rep.tenants[job.tenant_id];
+        ++t.submitted;
+        switch (job.status) {
+          case JobStatus::kOk:
+            ++t.completed;
+            vlats[job.tenant_id].push_back(job.virtual_latency_us);
+            break;
+          case JobStatus::kRejected:
+            ++t.rejected;
+            break;
+          default:
+            break;
+        }
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(route_mu_);
+      for (std::size_t i = 0; i < tenants_.size(); ++i) {
+        rep.tenants[i].quota_rejected = tenant_qos_[i].quota_rejected;
+        rep.tenants[i].throttled = tenant_qos_[i].throttled;
+      }
+    }
+    for (std::size_t i = 0; i < tenants_.size(); ++i) {
+      TenantReport& t = rep.tenants[i];
+      t.name = tenants_[i].name;
+      t.weight = tenants_[i].weight;
+      t.admitted = t.submitted - t.rejected;
+      if (!vlats[i].empty()) {
+        t.p50_virtual_latency_us = percentile(vlats[i], 0.50);
+        t.p99_virtual_latency_us = percentile(vlats[i], 0.99);
+      }
+    }
+  }
   if (drained_ && first_submit_wall_us_ > 0.0) {
     rep.wall_seconds = (drain_wall_us_ - first_submit_wall_us_) * 1e-6;
     if (rep.wall_seconds > 0.0) {

@@ -16,7 +16,8 @@ constexpr std::chrono::microseconds kDispatchParkBackstop{200};
 }  // namespace
 
 Shard::Shard(std::size_t index, std::size_t first_qpu, std::size_t num_qpus,
-             std::size_t capacity, std::size_t num_shards)
+             std::size_t capacity, std::size_t num_shards,
+             std::size_t num_tenants, const ArbiterConfig& arbiter)
     : index_(index),
       first_qpu_(first_qpu),
       num_qpus_(num_qpus),
@@ -25,7 +26,7 @@ Shard::Shard(std::size_t index, std::size_t first_qpu, std::size_t num_qpus,
              num_shards <= 1
                  ? std::string("serve.queue.depth")
                  : "serve.queue.depth.shard" + std::to_string(index),
-             first_qpu),
+             first_qpu, num_tenants, arbiter),
       admission_(capacity == 0 ? 1 : capacity) {
   if (num_qpus_ == 0) {
     throw std::invalid_argument("Shard: no QPUs");
